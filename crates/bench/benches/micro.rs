@@ -1,0 +1,188 @@
+//! Criterion micro-benchmarks of the simulator's hot paths: cache lookups,
+//! DRAM scheduling, CDP block scans, stream-table training, hint-vector
+//! filtering, trace generation and a small end-to-end machine run.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use ecdp::hints::{HintTable, HintVector};
+use ecdp::profile::profile_workload;
+use ecdp::system::{run_system, CompilerArtifacts, SystemKind};
+use prefetch::{AllowAll, CdpConfig, ContentDirectedPrefetcher, StreamConfig, StreamPrefetcher};
+use sim_core::cache::{Cache, CacheConfig, LineState};
+use sim_core::dram::{Dram, DramRequest};
+use sim_core::{
+    DemandAccess, DramConfig, FillEvent, PrefetchCtx, Prefetcher, PrefetcherId,
+};
+use sim_mem::SimMemory;
+use workloads::{by_name, InputSet, Workload};
+
+fn bench_cache(c: &mut Criterion) {
+    let mut cache = Cache::new(CacheConfig {
+        bytes: 1024 * 1024,
+        ways: 8,
+        hit_latency: 15,
+    });
+    for i in 0..16384u32 {
+        cache.fill(i * 64, LineState::default());
+    }
+    let mut i = 0u32;
+    c.bench_function("l2_access_hit", |b| {
+        b.iter(|| {
+            i = (i + 997) % 16384;
+            black_box(cache.access(i * 64).is_some())
+        })
+    });
+    let mut j = 0u32;
+    c.bench_function("l2_fill_evict", |b| {
+        b.iter(|| {
+            j += 1;
+            black_box(cache.fill((16384 + j) * 64, LineState::default()))
+        })
+    });
+}
+
+fn bench_dram(c: &mut Criterion) {
+    c.bench_function("dram_enqueue_tick", |b| {
+        b.iter_batched(
+            || Dram::new(DramConfig::default(), 1),
+            |mut dram| {
+                for k in 0..16u32 {
+                    dram.try_enqueue(DramRequest {
+                        block_addr: k * 64 * 9,
+                        is_write: false,
+                        is_demand: true,
+                        core: 0,
+                        mshr_slot: k,
+                        enqueue_cycle: 0,
+                    });
+                }
+                black_box(dram.tick(10_000).len())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_cdp_scan(c: &mut Criterion) {
+    let mut mem = SimMemory::new();
+    let block = 0x4000_0040;
+    for i in 0..16u32 {
+        // Half the words look like pointers.
+        let v = if i % 2 == 0 { 0x4000_1000 + i * 64 } else { i };
+        mem.write_u32(block + i * 4, v);
+    }
+    let mut cdp =
+        ContentDirectedPrefetcher::new(PrefetcherId(1), CdpConfig::default(), Box::new(AllowAll));
+    let ev = FillEvent {
+        block_addr: block,
+        kind: sim_core::AccessKind::DemandLoad,
+        trigger_pc: 0x100,
+        trigger_addr: block,
+        depth: 0,
+        pg: None,
+        cycle: 0,
+    };
+    c.bench_function("cdp_block_scan", |b| {
+        b.iter(|| {
+            let mut ctx = PrefetchCtx::new(&mem, 0);
+            cdp.on_fill(&mut ctx, &ev);
+            black_box(ctx.take_requests().len())
+        })
+    });
+}
+
+fn bench_stream(c: &mut Criterion) {
+    let mem = SimMemory::new();
+    let mut stream = StreamPrefetcher::new(PrefetcherId(0), StreamConfig::default());
+    let mut addr = 0x4000_0000u32;
+    c.bench_function("stream_train_advance", |b| {
+        b.iter(|| {
+            addr = addr.wrapping_add(64);
+            let mut ctx = PrefetchCtx::new(&mem, 0);
+            stream.on_demand_access(
+                &mut ctx,
+                &DemandAccess {
+                    pc: 0x10,
+                    addr,
+                    value: 0,
+                    hit: false,
+                    is_store: false,
+                    cycle: 0,
+                },
+            );
+            black_box(ctx.take_requests().len())
+        })
+    });
+}
+
+fn bench_hints(c: &mut Criterion) {
+    let mut table = HintTable::new();
+    for pc in 0..64u32 {
+        let mut v = HintVector::default();
+        v.set(8);
+        v.set(-4);
+        table.insert(pc * 4, v);
+    }
+    let mut off = 0i32;
+    c.bench_function("hint_table_allow", |b| {
+        b.iter(|| {
+            use prefetch::ScanFilter;
+            off = (off + 4) % 64;
+            black_box(table.allow(32, off))
+        })
+    });
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    c.bench_function("trace_generate_mst_train", |b| {
+        b.iter(|| {
+            let t = by_name("mst").unwrap().generate(InputSet::Train);
+            black_box(t.ops.len())
+        })
+    });
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    // A small end-to-end run: profile once, then measure the simulation.
+    let wl = workloads::olden::Mst;
+    let train = wl.generate(InputSet::Train);
+    let artifacts = CompilerArtifacts::from_profile(&profile_workload(&train));
+    let mut group = c.benchmark_group("machine_run_mst_train");
+    group.sample_size(10);
+    group.bench_function("stream_ecdp_throttled", |b| {
+        b.iter(|| black_box(run_system(SystemKind::StreamEcdpThrottled, &train, &artifacts).cycles))
+    });
+    group.bench_function("stream_only", |b| {
+        b.iter(|| black_box(run_system(SystemKind::StreamOnly, &train, &artifacts).cycles))
+    });
+    group.finish();
+}
+
+fn bench_interval_rollover(c: &mut Criterion) {
+    use sim_core::throttling::FeedbackCounters;
+    let mut counters = FeedbackCounters::default();
+    c.bench_function("feedback_interval_rollover", |b| {
+        b.iter(|| {
+            for _ in 0..64 {
+                counters.record_issued();
+                counters.record_used(false);
+            }
+            counters.end_interval();
+            black_box(counters.prefetched)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_cache,
+    bench_dram,
+    bench_cdp_scan,
+    bench_stream,
+    bench_hints,
+    bench_trace_generation,
+    bench_end_to_end,
+    bench_interval_rollover
+);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Runs the ablation studies and the three-prefetcher extension, appending
+//! them to EXPERIMENTS.md (or printing to stdout with `--print`).
+use bench::experiments::ablation;
+use bench::Lab;
+
+fn main() {
+    let print_only = std::env::args().any(|a| a == "--print");
+    let mut lab = Lab::new();
+    let mut report = String::from("\n# Ablations and extensions\n\n");
+    for (name, f) in [
+        ("compare bits", ablation::compare_bits_sweep as fn(&mut Lab) -> String),
+        ("recursion depth", ablation::recursion_depth_sweep),
+        ("sampling interval", ablation::interval_sweep),
+        ("hint threshold", ablation::hint_threshold_sweep),
+        ("profile stability", ablation::profile_quality),
+        ("dram policies", ablation::dram_policy_sweep),
+        ("three prefetchers", ablation::three_prefetchers),
+        ("extended prefetchers", bench::experiments::compare::extended_prefetchers),
+    ] {
+        eprintln!("[ablations] {name} ...");
+        report.push_str(&f(&mut lab));
+        report.push('\n');
+    }
+    if print_only {
+        println!("{report}");
+    } else {
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open("EXPERIMENTS.md")
+            .expect("open EXPERIMENTS.md");
+        f.write_all(report.as_bytes()).expect("append report");
+        println!("appended ablations to EXPERIMENTS.md");
+    }
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 1 of the paper. Run with `cargo run --release -p bench --bin fig01_motivation`.
+fn main() {
+    let mut lab = bench::Lab::new();
+    println!("{}", bench::experiments::single::fig01(&mut lab));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 2 and Table 1 of the paper. Run with `cargo run --release -p bench --bin fig02_cdp_problem`.
+fn main() {
+    let mut lab = bench::Lab::new();
+    println!("{}", bench::experiments::single::fig02_tab01(&mut lab));
+}

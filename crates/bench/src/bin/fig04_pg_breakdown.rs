@@ -1,0 +1,5 @@
+//! Regenerates Figure 4 of the paper. Run with `cargo run --release -p bench --bin fig04_pg_breakdown`.
+fn main() {
+    let mut lab = bench::Lab::new();
+    println!("{}", bench::experiments::single::fig04(&mut lab));
+}

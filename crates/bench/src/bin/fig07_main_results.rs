@@ -1,0 +1,5 @@
+//! Regenerates Figure 7 and Table 6 of the paper. Run with `cargo run --release -p bench --bin fig07_main_results`.
+fn main() {
+    let mut lab = bench::Lab::new();
+    println!("{}", bench::experiments::single::fig07_tab06(&mut lab));
+}

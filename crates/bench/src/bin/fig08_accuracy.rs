@@ -1,0 +1,5 @@
+//! Regenerates Figure 8 of the paper. Run with `cargo run --release -p bench --bin fig08_accuracy`.
+fn main() {
+    let mut lab = bench::Lab::new();
+    println!("{}", bench::experiments::single::fig08(&mut lab));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 9 of the paper. Run with `cargo run --release -p bench --bin fig09_coverage`.
+fn main() {
+    let mut lab = bench::Lab::new();
+    println!("{}", bench::experiments::single::fig09(&mut lab));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 10 of the paper. Run with `cargo run --release -p bench --bin fig10_pg_usefulness`.
+fn main() {
+    let mut lab = bench::Lab::new();
+    println!("{}", bench::experiments::single::fig10(&mut lab));
+}

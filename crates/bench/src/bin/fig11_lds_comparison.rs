@@ -1,0 +1,5 @@
+//! Regenerates Figure 11 of the paper. Run with `cargo run --release -p bench --bin fig11_lds_comparison`.
+fn main() {
+    let mut lab = bench::Lab::new();
+    println!("{}", bench::experiments::compare::fig11(&mut lab));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 12 of the paper. Run with `cargo run --release -p bench --bin fig12_hw_filter`.
+fn main() {
+    let mut lab = bench::Lab::new();
+    println!("{}", bench::experiments::compare::fig12(&mut lab));
+}

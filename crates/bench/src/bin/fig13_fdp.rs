@@ -1,0 +1,5 @@
+//! Regenerates Figure 13 of the paper. Run with `cargo run --release -p bench --bin fig13_fdp`.
+fn main() {
+    let mut lab = bench::Lab::new();
+    println!("{}", bench::experiments::compare::fig13(&mut lab));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 14 of the paper. Run with `cargo run --release -p bench --bin fig14_dualcore`.
+fn main() {
+    let mut lab = bench::Lab::new();
+    println!("{}", bench::experiments::multi::fig14(&mut lab));
+}

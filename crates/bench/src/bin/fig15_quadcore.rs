@@ -1,0 +1,5 @@
+//! Regenerates Figure 15 of the paper. Run with `cargo run --release -p bench --bin fig15_quadcore`.
+fn main() {
+    let mut lab = bench::Lab::new();
+    println!("{}", bench::experiments::multi::fig15(&mut lab));
+}

@@ -1,0 +1,104 @@
+//! Demonstrates coordinated throttling across program phases: a synthetic
+//! workload alternates between a streaming phase (the stream prefetcher's
+//! regime) and a pointer-chase phase (CDP's regime), and the Table 3
+//! heuristics hand the memory system back and forth between the two
+//! prefetchers. Renders the per-interval aggressiveness trajectories.
+//!
+//! ```text
+//! cargo run --release -p bench --bin phase_dynamics
+//! ```
+
+use ecdp::profile::profile_workload;
+use ecdp::system::{build_machine, CompilerArtifacts, SystemKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sim_core::{Aggressiveness, Trace, TraceBuilder};
+use sim_mem::{layout, Heap, SimMemory};
+use throttle::{level_trajectory, CoordinatedThrottle, Recorder};
+
+/// Builds a trace alternating `phases` times between an array sweep and a
+/// scrambled list chase.
+fn phased_trace(seed: u64, phases: usize) -> Trace {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut tb = TraceBuilder::new(SimMemory::new());
+    let mut heap = Heap::new(layout::HEAP_BASE, layout::HEAP_LIMIT);
+
+    let sweep_words = 600_000u32;
+    let mut array = 0;
+    let mut head = 0;
+    let chase_len = 60_000usize;
+    tb.setup(|mem| {
+        array = heap.alloc(sweep_words * 4).unwrap();
+        for i in 0..sweep_words {
+            mem.write_u32(array + i * 4, rng.gen::<u32>() & 0xFFFF);
+        }
+        // Scrambled 16-byte-node list: four next-pointers per block.
+        use rand::seq::SliceRandom;
+        let mut nodes: Vec<u32> = (0..chase_len).map(|_| heap.alloc(16).unwrap()).collect();
+        nodes.shuffle(&mut rng);
+        for (i, &n) in nodes.iter().enumerate() {
+            mem.write_u32(n, rng.gen::<u32>() & 0xFFFF);
+            let next = if i + 1 < nodes.len() { nodes[i + 1] } else { nodes[0] };
+            mem.write_u32(n + 12, next);
+        }
+        head = nodes[0];
+    });
+
+    for phase in 0..phases {
+        if phase % 2 == 0 {
+            // Streaming phase.
+            for i in 0..sweep_words / 2 {
+                let _ = tb.load(0x100, array + i * 8, None);
+                tb.compute(2);
+            }
+        } else {
+            // Pointer-chase phase.
+            let mut cur = head;
+            let mut dep = None;
+            for _ in 0..chase_len {
+                let (_, vid) = tb.load(0x200, cur, dep);
+                tb.compute(4);
+                let (next, nid) = tb.load(0x204, cur + 12, Some(vid));
+                cur = next;
+                dep = Some(nid);
+            }
+        }
+    }
+    tb.finish()
+}
+
+fn render(levels: &[Aggressiveness]) -> String {
+    levels
+        .iter()
+        .map(|l| char::from(b'1' + l.index() as u8))
+        .collect()
+}
+
+fn main() {
+    println!("profiling the phased workload ...");
+    let train = phased_trace(1, 4);
+    let artifacts = CompilerArtifacts::from_profile(&profile_workload(&train));
+    let reference = phased_trace(2, 6);
+
+    let mut machine = build_machine(SystemKind::StreamEcdpThrottled, &artifacts);
+    let (policy, log) = Recorder::new(CoordinatedThrottle::default());
+    machine.set_throttle(Box::new(policy));
+    let stats = machine.run(&reference);
+
+    let log = log.borrow();
+    println!(
+        "run complete: IPC {:.3}, {} sampling intervals\n",
+        stats.ipc(),
+        log.len()
+    );
+    println!("aggressiveness per interval (1 = very conservative .. 4 = aggressive):");
+    println!("  stream: {}", render(&level_trajectory(&log, 0, Aggressiveness::Aggressive)));
+    println!("  ecdp  : {}", render(&level_trajectory(&log, 1, Aggressiveness::Aggressive)));
+    println!(
+        "\nECDP is throttled down during the streaming phases (its coverage collapses\n\
+         while the stream prefetcher's soars) and restored in the pointer-chase\n\
+         phases — the coordination the paper's §4.2 heuristics provide. The idle\n\
+         stream prefetcher is not penalised in chase phases: issuing nothing, it\n\
+         stays accurate by definition (case 3/5 of Table 3)."
+    );
+}

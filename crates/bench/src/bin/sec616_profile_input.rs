@@ -1,0 +1,5 @@
+//! Regenerates the profiling-input study (Section 6.1.6) of the paper. Run with `cargo run --release -p bench --bin sec616_profile_input`.
+fn main() {
+    let mut lab = bench::Lab::new();
+    println!("{}", bench::experiments::single::sec616(&mut lab));
+}

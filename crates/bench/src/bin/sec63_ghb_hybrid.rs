@@ -1,0 +1,5 @@
+//! Regenerates the GHB-hybrid study (Section 6.3) of the paper. Run with `cargo run --release -p bench --bin sec63_ghb_hybrid`.
+fn main() {
+    let mut lab = bench::Lab::new();
+    println!("{}", bench::experiments::compare::sec63(&mut lab));
+}

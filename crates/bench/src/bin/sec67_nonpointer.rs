@@ -1,0 +1,5 @@
+//! Regenerates the non-pointer study (Section 6.7) of the paper. Run with `cargo run --release -p bench --bin sec67_nonpointer`.
+fn main() {
+    let mut lab = bench::Lab::new();
+    println!("{}", bench::experiments::misc::sec67(&mut lab));
+}

@@ -1,0 +1,5 @@
+//! Regenerates the GRP comparison (Section 7.1) of the paper. Run with `cargo run --release -p bench --bin sec71_grp`.
+fn main() {
+    let mut lab = bench::Lab::new();
+    println!("{}", bench::experiments::compare::sec71(&mut lab));
+}

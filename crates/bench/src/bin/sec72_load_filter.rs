@@ -1,0 +1,5 @@
+//! Regenerates the per-load-filter comparison (Section 7.2) of the paper. Run with `cargo run --release -p bench --bin sec72_load_filter`.
+fn main() {
+    let mut lab = bench::Lab::new();
+    println!("{}", bench::experiments::compare::sec72(&mut lab));
+}

@@ -1,0 +1,5 @@
+//! Regenerates the PAB comparison (Section 7.4) of the paper. Run with `cargo run --release -p bench --bin sec74_pab`.
+fn main() {
+    let mut lab = bench::Lab::new();
+    println!("{}", bench::experiments::compare::sec74(&mut lab));
+}

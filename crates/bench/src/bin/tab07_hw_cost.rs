@@ -1,0 +1,4 @@
+//! Regenerates Table 7 of the paper (hardware cost accounting).
+fn main() {
+    println!("{}", bench::experiments::single::tab07());
+}

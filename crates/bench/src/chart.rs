@@ -1,0 +1,87 @@
+//! Minimal horizontal bar charts in monospaced text, used to render the
+//! paper's figures inside `EXPERIMENTS.md` code blocks.
+
+/// Renders labelled values as a horizontal bar chart.
+///
+/// Bars are scaled so the maximum value spans `width` characters; a
+/// reference line (e.g. the 1.0x baseline of a speedup chart) is marked
+/// with `|` when it falls inside the plotted range.
+///
+/// # Example
+///
+/// ```
+/// let chart = bench::chart::bar_chart(
+///     &[("base", 1.0), ("ours", 1.5)],
+///     20,
+///     Some(1.0),
+/// );
+/// assert!(chart.contains("ours"));
+/// ```
+pub fn bar_chart(items: &[(&str, f64)], width: usize, reference: Option<f64>) -> String {
+    if items.is_empty() {
+        return String::new();
+    }
+    let max = items
+        .iter()
+        .map(|(_, v)| *v)
+        .fold(f64::MIN, f64::max)
+        .max(1e-12);
+    let label_w = items.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let ref_col = reference
+        .filter(|r| *r > 0.0 && *r <= max)
+        .map(|r| ((r / max) * width as f64).round() as usize);
+
+    let mut out = String::new();
+    for (label, value) in items {
+        let bar_len = ((value / max) * width as f64).round() as usize;
+        let mut bar: Vec<char> = std::iter::repeat_n('#', bar_len)
+            .chain(std::iter::repeat_n(' ', width.saturating_sub(bar_len)))
+            .collect();
+        if let Some(rc) = ref_col {
+            if rc < bar.len() && bar[rc] == ' ' {
+                bar[rc] = '|';
+            }
+        }
+        let bar: String = bar.into_iter().collect();
+        out.push_str(&format!("{label:>label_w$} {bar} {value:.2}\n"));
+    }
+    out
+}
+
+/// Renders a chart as a fenced markdown code block with a caption.
+pub fn figure(caption: &str, items: &[(&str, f64)], reference: Option<f64>) -> String {
+    format!("{caption}\n\n```text\n{}```\n", bar_chart(items, 42, reference))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bars_scale_to_max() {
+        let c = bar_chart(&[("a", 1.0), ("b", 2.0)], 10, None);
+        let lines: Vec<&str> = c.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[1].matches('#').count() == 10);
+        assert!(lines[0].matches('#').count() == 5);
+    }
+
+    #[test]
+    fn reference_line_is_marked() {
+        let c = bar_chart(&[("a", 0.5), ("b", 2.0)], 20, Some(1.0));
+        assert!(c.lines().next().unwrap().contains('|'));
+    }
+
+    #[test]
+    fn empty_input_is_empty_output() {
+        assert!(bar_chart(&[], 10, None).is_empty());
+    }
+
+    #[test]
+    fn figure_wraps_in_code_block() {
+        let f = figure("Speedups", &[("x", 1.0)], None);
+        assert!(f.starts_with("Speedups"));
+        assert!(f.contains("```text"));
+        assert!(f.trim_end().ends_with("```"));
+    }
+}

@@ -1,0 +1,63 @@
+//! One generator per table/figure of the paper's evaluation.
+//!
+//! Each function takes a [`crate::Lab`] and returns a self-contained text
+//! report (markdown tables plus commentary lines starting with `paper:`
+//! that state the result the original reported, for side-by-side reading in
+//! `EXPERIMENTS.md`).
+
+pub mod ablation;
+pub mod compare;
+pub mod misc;
+pub mod multi;
+pub mod single;
+
+/// Names of the 15 pointer-intensive workloads, in Table 1 order.
+pub const POINTER_BENCHES: [&str; 15] = [
+    "perlbench",
+    "gcc",
+    "mcf",
+    "astar",
+    "xalancbmk",
+    "omnetpp",
+    "parser",
+    "art",
+    "ammp",
+    "bisort",
+    "health",
+    "mst",
+    "perimeter",
+    "voronoi",
+    "pfast",
+];
+
+/// Geometric-mean speedups with and without `health` (the paper reports
+/// both because `health` skews averages).
+pub fn gmean_with_without_health(pairs: &[(&str, f64)]) -> (f64, f64) {
+    let all: Vec<f64> = pairs.iter().map(|(_, v)| *v).collect();
+    let no_health: Vec<f64> = pairs
+        .iter()
+        .filter(|(n, _)| *n != "health")
+        .map(|(_, v)| *v)
+        .collect();
+    (crate::gmean(&all), crate::gmean(&no_health))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_list_matches_table1_order() {
+        assert_eq!(POINTER_BENCHES.len(), 15);
+        assert_eq!(POINTER_BENCHES[0], "perlbench");
+        assert_eq!(POINTER_BENCHES[14], "pfast");
+    }
+
+    #[test]
+    fn health_exclusion() {
+        let pairs = [("health", 4.0), ("mst", 1.0)];
+        let (with, without) = gmean_with_without_health(&pairs);
+        assert!((with - 2.0).abs() < 1e-12);
+        assert!((without - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,326 @@
+//! Single-core experiments: Figures 1, 2, 4, 7, 8, 9, 10 and Tables 1, 6, 7
+//! plus the §6.1.6 profiling-input study.
+
+use ecdp::cost::HardwareCost;
+use ecdp::profile::profile_workload;
+use ecdp::system::{run_system, CompilerArtifacts, SystemKind};
+use sim_core::MachineConfig;
+use workloads::{by_name, InputSet};
+
+use crate::experiments::{gmean_with_without_health, POINTER_BENCHES};
+use crate::table::{f2, f3, pct, Table};
+use crate::Lab;
+
+/// Figure 1: performance of the stream prefetcher (top) and the potential
+/// of ideal LDS prefetching (bottom).
+pub fn fig01(lab: &mut Lab) -> String {
+    let mut t = Table::new(vec![
+        "bench",
+        "stream speedup vs no-pf",
+        "stream coverage",
+        "oracle-LDS speedup vs stream",
+    ]);
+    let mut oracle = Vec::new();
+    for name in POINTER_BENCHES {
+        let nopf = lab.run(name, SystemKind::NoPrefetch);
+        let stream = lab.run(name, SystemKind::StreamOnly);
+        let orac = lab.run(name, SystemKind::OracleLds);
+        let cov = stream.prefetchers[0].coverage(stream.l2_demand_misses);
+        t.row(vec![
+            name.to_string(),
+            f2(stream.ipc() / nopf.ipc()),
+            f2(cov),
+            f2(orac.ipc() / stream.ipc()),
+        ]);
+        oracle.push((name, orac.ipc() / stream.ipc()));
+    }
+    let (with, without) = gmean_with_without_health(&oracle);
+    let chart = crate::chart::figure(
+        "Ideal-LDS-oracle speedup over the stream baseline, per benchmark:",
+        &oracle,
+        Some(1.0),
+    );
+    format!(
+        "## Figure 1 — motivation: stream prefetching vs ideal LDS prefetching\n\n{}\n{chart}\n\
+         oracle-LDS gmean speedup: {} ({} w/o health)\n\
+         paper: ideal LDS prefetching improves average performance by +53.7% (+37.7% w/o health);\n\
+         paper: the stream prefetcher covers <20% of misses on the eight LDS-bound benchmarks.\n\
+         note: our stand-ins are more memory-bound than the originals, so oracle potentials are larger.\n",
+        t.to_markdown(),
+        pct(with),
+        pct(without)
+    )
+}
+
+/// Figure 2 + Table 1: the original CDP problem — performance loss and
+/// bandwidth explosion, with per-benchmark CDP accuracy.
+pub fn fig02_tab01(lab: &mut Lab) -> String {
+    let mut t = Table::new(vec![
+        "bench",
+        "CDP speedup vs stream",
+        "BPKI stream",
+        "BPKI stream+CDP",
+        "CDP accuracy (Table 1)",
+    ]);
+    let mut speed = Vec::new();
+    let mut bw = Vec::new();
+    for name in POINTER_BENCHES {
+        let base = lab.run(name, SystemKind::StreamOnly);
+        let cdp = lab.run(name, SystemKind::StreamCdp);
+        t.row(vec![
+            name.to_string(),
+            f2(cdp.ipc() / base.ipc()),
+            format!("{:.1}", base.bpki()),
+            format!("{:.1}", cdp.bpki()),
+            format!("{:.1}%", cdp.prefetchers[1].accuracy() * 100.0),
+        ]);
+        speed.push((name, cdp.ipc() / base.ipc()));
+        bw.push(cdp.bpki() / base.bpki().max(1e-9));
+    }
+    let (s_with, s_wo) = gmean_with_without_health(&speed);
+    format!(
+        "## Figure 2 + Table 1 — original CDP degrades performance and wastes bandwidth\n\n{}\n\
+         CDP gmean speedup: {} ({} w/o health); bandwidth ratio gmean: {:.2}x\n\
+         paper: CDP reduces average performance by 14% and increases bandwidth by 83.3%;\n\
+         paper Table 1 accuracies range from 0.9% (xalancbmk) to 83.3% (perimeter).\n",
+        t.to_markdown(),
+        pct(s_with),
+        pct(s_wo),
+        crate::gmean(&bw)
+    )
+}
+
+/// Figure 4: breakdown of pointer groups into beneficial and harmful.
+pub fn fig04(lab: &mut Lab) -> String {
+    let mut t = Table::new(vec!["bench", "beneficial PGs", "harmful PGs", "% beneficial"]);
+    for name in POINTER_BENCHES {
+        let (b, h) = lab.profile(name).counts();
+        let pctb = if b + h == 0 { 0.0 } else { 100.0 * b as f64 / (b + h) as f64 };
+        t.row(vec![
+            name.to_string(),
+            b.to_string(),
+            h.to_string(),
+            format!("{pctb:.0}%"),
+        ]);
+    }
+    format!(
+        "## Figure 4 — beneficial vs harmful pointer groups (train-input profile)\n\n{}\n\
+         paper: in many benchmarks (astar, omnetpp, bisort, mst) a large fraction of PGs are harmful.\n",
+        t.to_markdown()
+    )
+}
+
+/// Figure 7 + Table 6: the main result — performance and bandwidth of CDP,
+/// ECDP, CDP+throttling and ECDP+throttling over the stream baseline.
+pub fn fig07_tab06(lab: &mut Lab) -> String {
+    let kinds = [
+        SystemKind::StreamCdp,
+        SystemKind::StreamEcdp,
+        SystemKind::StreamCdpThrottled,
+        SystemKind::StreamEcdpThrottled,
+    ];
+    let mut t = Table::new(vec![
+        "bench", "cdp", "ecdp", "cdp+thr", "ecdp+thr", "ΔBPKI ecdp+thr",
+    ]);
+    let mut per_kind: Vec<Vec<(&str, f64)>> = vec![Vec::new(); kinds.len()];
+    let mut bw = Vec::new();
+    for name in POINTER_BENCHES {
+        let base = lab.run(name, SystemKind::StreamOnly);
+        let mut cells = vec![name.to_string()];
+        for (k, kind) in kinds.iter().enumerate() {
+            let s = lab.run(name, *kind);
+            let ratio = s.ipc() / base.ipc();
+            cells.push(f2(ratio));
+            per_kind[k].push((name, ratio));
+        }
+        let ours = lab.run(name, SystemKind::StreamEcdpThrottled);
+        let delta = (ours.bpki() - base.bpki()) / base.bpki().max(1e-9);
+        cells.push(format!("{:+.1}%", delta * 100.0));
+        bw.push(ours.bpki() / base.bpki().max(1e-9));
+        t.row(cells);
+    }
+    let mut out = format!("## Figure 7 + Table 6 — main results (speedup vs stream baseline)\n\n{}\n", t.to_markdown());
+    let labels = ["CDP", "ECDP", "CDP+throttle", "ECDP+throttle"];
+    let mut chart_items = vec![("baseline", 1.0f64)];
+    let mut gmeans = Vec::new();
+    for (k, label) in labels.iter().enumerate() {
+        let (w, wo) = gmean_with_without_health(&per_kind[k]);
+        gmeans.push(w);
+        out.push_str(&format!("{label}: gmean {} ({} w/o health)\n", pct(w), pct(wo)));
+    }
+    for (label, g) in labels.iter().zip(&gmeans) {
+        chart_items.push((label, *g));
+    }
+    out.push('\n');
+    out.push_str(&crate::chart::figure(
+        "Average speedup over the stream baseline (gmean, 15 benchmarks):",
+        &chart_items,
+        Some(1.0),
+    ));
+    out.push_str(&format!(
+        "ECDP+throttle bandwidth ratio gmean: {:.2}x\n\
+         paper: CDP -14%, ECDP +8.6% (+2.7% w/o health), CDP+throttle +9.4% (+4.5%),\n\
+         paper: ECDP+throttle +22.5% (+16% w/o health) with bandwidth -25% (-27.1%).\n\
+         note: our baseline stream prefetcher wastes little bandwidth on the pointer\n\
+         benchmarks, so the throttling contribution and bandwidth savings are smaller\n\
+         than the paper's (see DESIGN.md calibration notes).\n",
+        crate::gmean(&bw)
+    ));
+    out
+}
+
+/// Figure 8: prefetcher accuracy under each configuration.
+pub fn fig08(lab: &mut Lab) -> String {
+    accuracy_coverage_report(lab, true)
+}
+
+/// Figure 9: prefetcher coverage under each configuration.
+pub fn fig09(lab: &mut Lab) -> String {
+    accuracy_coverage_report(lab, false)
+}
+
+fn accuracy_coverage_report(lab: &mut Lab, accuracy: bool) -> String {
+    let kinds = [
+        (SystemKind::StreamCdp, "cdp"),
+        (SystemKind::StreamEcdp, "ecdp"),
+        (SystemKind::StreamCdpThrottled, "cdp+thr"),
+        (SystemKind::StreamEcdpThrottled, "ecdp+thr"),
+    ];
+    let metric = |s: &sim_core::RunStats, pf: usize| -> f64 {
+        if accuracy {
+            s.prefetchers[pf].accuracy()
+        } else {
+            s.prefetchers[pf].coverage(s.l2_demand_misses)
+        }
+    };
+    let mut headers = vec!["bench".to_string()];
+    for (_, l) in kinds {
+        headers.push(format!("CDP {l}"));
+    }
+    for (_, l) in kinds {
+        headers.push(format!("stream {l}"));
+    }
+    let mut t = Table::new(headers);
+    let mut sums = vec![0.0f64; kinds.len() * 2];
+    for name in POINTER_BENCHES {
+        let mut cells = vec![name.to_string()];
+        for (k, (kind, _)) in kinds.iter().enumerate() {
+            let s = lab.run(name, *kind);
+            let v = metric(&s, 1);
+            sums[k] += v;
+            cells.push(f2(v));
+        }
+        for (k, (kind, _)) in kinds.iter().enumerate() {
+            let s = lab.run(name, *kind);
+            let v = metric(&s, 0);
+            sums[kinds.len() + k] += v;
+            cells.push(f2(v));
+        }
+        t.row(cells);
+    }
+    let n = POINTER_BENCHES.len() as f64;
+    let what = if accuracy { "accuracy" } else { "coverage" };
+    let fig = if accuracy { "Figure 8" } else { "Figure 9" };
+    let paper_line = if accuracy {
+        "paper: ECDP+throttling improves CDP accuracy by 129% and stream accuracy by 28% over stream+CDP."
+    } else {
+        "paper: ECDP with coordinated throttling slightly reduces average coverage of both prefetchers —\n\
+         the price paid for the large accuracy gains."
+    };
+    format!(
+        "## {fig} — prefetcher {what} across configurations\n\n{}\n\
+         means: CDP {what} cdp={:.2} ecdp={:.2} cdp+thr={:.2} ecdp+thr={:.2};\n\
+         stream {what} cdp={:.2} ecdp={:.2} cdp+thr={:.2} ecdp+thr={:.2}\n{paper_line}\n",
+        t.to_markdown(),
+        sums[0] / n, sums[1] / n, sums[2] / n, sums[3] / n,
+        sums[4] / n, sums[5] / n, sums[6] / n, sums[7] / n,
+    )
+}
+
+/// Figure 10: distribution of pointer-group usefulness, original CDP vs
+/// ECDP (measured on the evaluation run).
+pub fn fig10(lab: &mut Lab) -> String {
+    let mut cdp_hist = [0usize; 4];
+    let mut ecdp_hist = [0usize; 4];
+    for name in POINTER_BENCHES {
+        let art = lab.artifacts(name);
+        let trace = lab.trace(name, InputSet::Ref);
+        let (_, pc) = ecdp::system::run_system_profiled(SystemKind::StreamCdp, trace, &art);
+        let (_, pe) = ecdp::system::run_system_profiled(SystemKind::StreamEcdp, trace, &art);
+        for (h, p) in [(&mut cdp_hist, pc), (&mut ecdp_hist, pe)] {
+            let hh = p.usefulness_histogram();
+            for i in 0..4 {
+                h[i] += hh[i];
+            }
+        }
+    }
+    let total = |h: &[usize; 4]| h.iter().sum::<usize>().max(1) as f64;
+    let (tc, te) = (total(&cdp_hist), total(&ecdp_hist));
+    let mut t = Table::new(vec!["usefulness bucket", "original CDP", "ECDP"]);
+    let labels = ["0–25%", "25–50%", "50–75%", "75–100%"];
+    for i in 0..4 {
+        t.row(vec![
+            labels[i].to_string(),
+            format!("{:.1}%", 100.0 * cdp_hist[i] as f64 / tc),
+            format!("{:.1}%", 100.0 * ecdp_hist[i] as f64 / te),
+        ]);
+    }
+    format!(
+        "## Figure 10 — pointer-group usefulness distribution (all benchmarks pooled)\n\n{}\n\
+         paper: with original CDP only 27% of PGs are 75–100% useful and 46% are 0–25% useful;\n\
+         paper: with ECDP 68.5% become 75–100% useful and only 5.2% remain 0–25% useful.\n",
+        t.to_markdown()
+    )
+}
+
+/// Table 7: hardware cost of the proposal.
+pub fn tab07() -> String {
+    let paper = HardwareCost::paper();
+    let ours = HardwareCost::for_config(&MachineConfig::default());
+    let cfg = MachineConfig::default();
+    format!(
+        "## Table 7 — hardware cost\n\n\
+         Paper configuration (128 B blocks):\n```\n{paper}\n```\n\
+         This reproduction (64 B blocks, positive+negative hint vectors):\n```\n{ours}\n```\n\
+         area overhead vs 1 MB L2: {:.3}% (paper: 0.206%);\n\
+         cost without prefetched bits: {} bits (paper: 912 bits).\n",
+        ours.overhead_vs_l2(&cfg) * 100.0,
+        ours.without_prefetched_bits()
+    )
+}
+
+/// §6.1.6: sensitivity of ECDP to the profiling input set.
+pub fn sec616(lab: &mut Lab) -> String {
+    let mut t = Table::new(vec![
+        "bench",
+        "speedup (train profile)",
+        "speedup (ref profile)",
+        "delta",
+    ]);
+    let mut deltas = Vec::new();
+    for name in POINTER_BENCHES {
+        let base = lab.run(name, SystemKind::StreamOnly).ipc();
+        let with_train = lab.run(name, SystemKind::StreamEcdpThrottled).ipc() / base;
+        // Re-profile on the ref input (the "same input" experiment).
+        let ref_trace = by_name(name).unwrap().generate(InputSet::Ref);
+        let ref_profile = profile_workload(&ref_trace);
+        let ref_art = CompilerArtifacts::from_profile(&ref_profile);
+        let with_ref =
+            run_system(SystemKind::StreamEcdpThrottled, &ref_trace, &ref_art).ipc() / base;
+        deltas.push((with_ref / with_train - 1.0) * 100.0);
+        t.row(vec![
+            name.to_string(),
+            f3(with_train),
+            f3(with_ref),
+            format!("{:+.1}%", (with_ref / with_train - 1.0) * 100.0),
+        ]);
+    }
+    let max = deltas.iter().cloned().fold(f64::MIN, f64::max);
+    format!(
+        "## §6.1.6 — effect of the profiling input set\n\n{}\n\
+         largest same-input improvement: {max:+.1}%\n\
+         paper: profiling with the evaluation input improves only mst, by 4%; the mechanism\n\
+         is insensitive to the profiling input.\n",
+        t.to_markdown()
+    )
+}

@@ -1,0 +1,159 @@
+//! Caching layer for experiment composition: traces, compiler artifacts and
+//! single-core run results are computed once per process.
+
+use std::collections::HashMap;
+
+use ecdp::profile::{profile_workload, PgProfile};
+use ecdp::system::{run_system, CompilerArtifacts, SystemKind};
+use sim_core::{RunStats, Trace};
+use workloads::{by_name, InputSet};
+
+/// A memoising experiment context.
+///
+/// # Example
+///
+/// ```no_run
+/// use bench::Lab;
+/// use ecdp::system::SystemKind;
+///
+/// let mut lab = Lab::new();
+/// let base = lab.run("mst", SystemKind::StreamOnly).ipc();
+/// let ours = lab.run("mst", SystemKind::StreamEcdpThrottled).ipc();
+/// println!("speedup: {:.2}", ours / base);
+/// ```
+pub struct Lab {
+    traces: HashMap<(String, InputSet), Trace>,
+    profiles: HashMap<String, PgProfile>,
+    artifacts: HashMap<String, CompilerArtifacts>,
+    runs: HashMap<(String, SystemKind), RunStats>,
+    /// When true, prints one progress line per fresh simulation to stderr.
+    pub verbose: bool,
+}
+
+impl Default for Lab {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Lab {
+    /// Creates an empty lab.
+    pub fn new() -> Self {
+        Lab {
+            traces: HashMap::new(),
+            profiles: HashMap::new(),
+            artifacts: HashMap::new(),
+            runs: HashMap::new(),
+            verbose: std::env::var_os("BENCH_VERBOSE").is_some(),
+        }
+    }
+
+    /// The (cached) trace for a workload and input set.
+    ///
+    /// With `BENCH_TRACE_CACHE=<dir>` in the environment, traces are also
+    /// cached on disk in the `sim_core::trace_io` format — useful when many
+    /// per-figure binaries run as separate processes. The cache is keyed by
+    /// workload name and input set only; delete the directory after
+    /// changing workload generators.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is not a known workload.
+    pub fn trace(&mut self, name: &str, input: InputSet) -> &Trace {
+        let key = (name.to_string(), input);
+        if !self.traces.contains_key(&key) {
+            let disk = std::env::var_os("BENCH_TRACE_CACHE").map(|dir| {
+                let mut p = std::path::PathBuf::from(dir);
+                p.push(format!("{name}-{input:?}.trc"));
+                p
+            });
+            if let Some(path) = disk.as_ref().filter(|p| p.exists()) {
+                if let Ok(f) = std::fs::File::open(path) {
+                    if let Ok(t) = sim_core::trace_io::read(&mut std::io::BufReader::new(f)) {
+                        if self.verbose {
+                            eprintln!("[lab] loaded {name} {input:?} from cache");
+                        }
+                        self.traces.insert(key.clone(), t);
+                        return &self.traces[&key];
+                    }
+                }
+            }
+            let wl = by_name(name).unwrap_or_else(|| panic!("unknown workload {name}"));
+            if self.verbose {
+                eprintln!("[lab] generating {name} {input:?}");
+            }
+            let t = wl.generate(input);
+            if let Some(path) = disk {
+                if let Some(parent) = path.parent() {
+                    let _ = std::fs::create_dir_all(parent);
+                }
+                if let Ok(f) = std::fs::File::create(&path) {
+                    let _ = sim_core::trace_io::write(&t, &mut std::io::BufWriter::new(f));
+                }
+            }
+            self.traces.insert(key.clone(), t);
+        }
+        &self.traces[&key]
+    }
+
+    /// The (cached) pointer-group profile from the workload's train input.
+    pub fn profile(&mut self, name: &str) -> &PgProfile {
+        if !self.profiles.contains_key(name) {
+            let _ = self.trace(name, InputSet::Train);
+            let t = &self.traces[&(name.to_string(), InputSet::Train)];
+            if self.verbose {
+                eprintln!("[lab] profiling {name}");
+            }
+            let p = profile_workload(t);
+            self.profiles.insert(name.to_string(), p);
+        }
+        &self.profiles[name]
+    }
+
+    /// The (cached) compiler artifacts derived from the train profile.
+    pub fn artifacts(&mut self, name: &str) -> CompilerArtifacts {
+        if !self.artifacts.contains_key(name) {
+            let p = self.profile(name).clone();
+            self.artifacts
+                .insert(name.to_string(), CompilerArtifacts::from_profile(&p));
+        }
+        self.artifacts[name].clone()
+    }
+
+    /// Runs (or returns the cached run of) `name`'s ref input on `kind`.
+    pub fn run(&mut self, name: &str, kind: SystemKind) -> RunStats {
+        let key = (name.to_string(), kind);
+        if !self.runs.contains_key(&key) {
+            let art = self.artifacts(name);
+            let _ = self.trace(name, InputSet::Ref);
+            let t = &self.traces[&(name.to_string(), InputSet::Ref)];
+            if self.verbose {
+                eprintln!("[lab] running {name} on {}", kind.label());
+            }
+            let stats = run_system(kind, t, &art);
+            self.runs.insert(key.clone(), stats);
+        }
+        self.runs[&key].clone()
+    }
+
+    /// Speedup of `kind` over the stream-only baseline for one workload.
+    pub fn speedup(&mut self, name: &str, kind: SystemKind) -> f64 {
+        let base = self.run(name, SystemKind::StreamOnly).ipc();
+        self.run(name, kind).ipc() / base
+    }
+
+    /// BPKI ratio of `kind` versus the stream-only baseline.
+    pub fn bpki_ratio(&mut self, name: &str, kind: SystemKind) -> f64 {
+        let base = self.run(name, SystemKind::StreamOnly).bpki();
+        self.run(name, kind).bpki() / base.max(1e-9)
+    }
+}
+
+impl std::fmt::Debug for Lab {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Lab")
+            .field("traces", &self.traces.len())
+            .field("runs", &self.runs.len())
+            .finish()
+    }
+}

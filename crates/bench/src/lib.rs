@@ -1,0 +1,59 @@
+//! Experiment harness for the ECDP reproduction.
+//!
+//! Every table and figure of the paper's evaluation has a generator
+//! function in [`experiments`]; the `bin/` binaries are thin wrappers, and
+//! `bin/run_all` regenerates the complete `EXPERIMENTS.md`. The [`Lab`]
+//! caches workload traces, profiling artifacts and run results within a
+//! process so composite reports do not repeat simulations.
+
+pub mod chart;
+pub mod experiments;
+pub mod lab;
+pub mod table;
+
+pub use lab::Lab;
+pub use table::Table;
+
+/// Geometric mean of a slice of positive ratios.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty or contains non-positive values.
+pub fn gmean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "gmean of empty slice");
+    let s: f64 = xs
+        .iter()
+        .map(|&x| {
+            assert!(x > 0.0, "gmean requires positive values");
+            x.ln()
+        })
+        .sum();
+    (s / xs.len() as f64).exp()
+}
+
+/// Arithmetic mean.
+pub fn amean(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gmean_of_ratios() {
+        assert!((gmean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((gmean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn amean_is_average() {
+        assert!((amean(&[1.0, 3.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn gmean_rejects_zero() {
+        let _ = gmean(&[0.0]);
+    }
+}

@@ -1,0 +1,140 @@
+//! Plain-text/markdown table formatting for experiment reports.
+
+/// A simple column-aligned table with a header row.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders as a GitHub-flavoured markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str("| ");
+        out.push_str(&self.headers.join(" | "));
+        out.push_str(" |\n|");
+        for _ in &self.headers {
+            out.push_str("---|");
+        }
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str("| ");
+            out.push_str(&r.join(" | "));
+            out.push_str(" |\n");
+        }
+        out
+    }
+
+    /// Renders as a column-aligned plain-text table.
+    pub fn to_text(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.headers.iter().enumerate() {
+            widths[i] = h.len();
+        }
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let mut out = fmt_row(&self.headers);
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&fmt_row(r));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a ratio as a percentage delta, e.g. 1.225 -> "+22.5%".
+pub fn pct(ratio: f64) -> String {
+    format!("{:+.1}%", (ratio - 1.0) * 100.0)
+}
+
+/// Formats a float with two decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats a float with three decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_shape() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["1", "2"]);
+        let md = t.to_markdown();
+        assert!(md.starts_with("| a | b |"));
+        assert!(md.contains("| 1 | 2 |"));
+        assert_eq!(md.lines().count(), 3);
+    }
+
+    #[test]
+    fn text_alignment() {
+        let mut t = Table::new(vec!["name", "x"]);
+        t.row(vec!["longname", "1"]);
+        let txt = t.to_text();
+        assert!(txt.contains("longname"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn width_mismatch_panics() {
+        let mut t = Table::new(vec!["a"]);
+        t.row(vec!["1", "2"]);
+    }
+
+    #[test]
+    fn pct_formats_deltas() {
+        assert_eq!(pct(1.225), "+22.5%");
+        assert_eq!(pct(0.86), "-14.0%");
+    }
+}

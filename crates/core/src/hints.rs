@@ -1,0 +1,195 @@
+//! Compiler hint bit vectors (paper §3, Figure 6).
+//!
+//! A hint vector accompanies each static load instruction. If bit `n` of
+//! the (positive) vector is set, the pointer group at byte offset `4 × n`
+//! from the byte the load accesses is *beneficial* and may be prefetched by
+//! the content-directed prefetcher. A second vector encodes negative
+//! offsets (footnote 6 of the paper): bit `n` covers offset `-4 × (n + 1)`.
+//! With 64-byte blocks and 4-byte pointers each vector is 16 bits.
+
+use std::collections::HashMap;
+
+use prefetch::ScanFilter;
+use sim_mem::PTRS_PER_BLOCK;
+
+/// A per-load pair of hint bit vectors (positive and negative offsets).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HintVector {
+    /// Bit `n` allows offset `4 * n` (0..=60).
+    pub positive: u16,
+    /// Bit `n` allows offset `-4 * (n + 1)` (-4..=-64).
+    pub negative: u16,
+}
+
+impl HintVector {
+    /// A vector allowing every offset (equivalent to unfiltered CDP).
+    pub const ALL: HintVector = HintVector {
+        positive: u16::MAX,
+        negative: u16::MAX,
+    };
+
+    /// True if no pointer group is enabled.
+    pub fn is_empty(&self) -> bool {
+        self.positive == 0 && self.negative == 0
+    }
+
+    /// Number of enabled pointer groups.
+    pub fn count(&self) -> u32 {
+        self.positive.count_ones() + self.negative.count_ones()
+    }
+
+    /// Enables the pointer group at byte `offset` (must be word aligned and
+    /// within ±`BLOCK_BYTES`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset` is not a multiple of 4 or out of range.
+    pub fn set(&mut self, offset: i32) {
+        assert!(offset.rem_euclid(4) == 0, "offsets are word aligned");
+        if offset >= 0 {
+            let bit = (offset / 4) as usize;
+            assert!(bit < PTRS_PER_BLOCK, "offset {offset} out of range");
+            self.positive |= 1 << bit;
+        } else {
+            let bit = ((-offset) / 4 - 1) as usize;
+            assert!(bit < PTRS_PER_BLOCK, "offset {offset} out of range");
+            self.negative |= 1 << bit;
+        }
+    }
+
+    /// True if the pointer group at byte `offset` is beneficial.
+    pub fn allows(&self, offset: i32) -> bool {
+        if offset % 4 != 0 {
+            return false;
+        }
+        if offset >= 0 {
+            let bit = (offset / 4) as usize;
+            bit < PTRS_PER_BLOCK && self.positive & (1 << bit) != 0
+        } else {
+            let bit = ((-offset) / 4) as usize;
+            (1..=PTRS_PER_BLOCK).contains(&bit) && self.negative & (1 << (bit - 1)) != 0
+        }
+    }
+}
+
+/// The hint vectors for every profiled static load — the information the
+/// paper's new ISA instruction would carry into the pipeline.
+///
+/// Loads absent from the table produce no content-directed prefetches
+/// (the compiler found none of their pointer groups beneficial, or the
+/// load never missed during profiling).
+#[derive(Debug, Clone, Default)]
+pub struct HintTable {
+    vectors: HashMap<u32, HintVector>,
+}
+
+impl HintTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts or replaces the hint vector for load `pc`.
+    pub fn insert(&mut self, pc: u32, v: HintVector) {
+        self.vectors.insert(pc, v);
+    }
+
+    /// The hint vector for `pc`, if the load was profiled.
+    pub fn get(&self, pc: u32) -> Option<&HintVector> {
+        self.vectors.get(&pc)
+    }
+
+    /// Number of loads with hints.
+    pub fn len(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// True if no load has hints.
+    pub fn is_empty(&self) -> bool {
+        self.vectors.is_empty()
+    }
+
+    /// Iterates over `(pc, vector)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&u32, &HintVector)> {
+        self.vectors.iter()
+    }
+}
+
+impl ScanFilter for HintTable {
+    fn allow(&self, pc: u32, offset: i32) -> bool {
+        self.get(pc).is_some_and(|v| v.allows(offset))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn positive_offsets_round_trip() {
+        let mut v = HintVector::default();
+        v.set(0);
+        v.set(8);
+        v.set(60);
+        assert!(v.allows(0));
+        assert!(v.allows(8));
+        assert!(v.allows(60));
+        assert!(!v.allows(4));
+        assert_eq!(v.count(), 3);
+    }
+
+    #[test]
+    fn negative_offsets_round_trip() {
+        let mut v = HintVector::default();
+        v.set(-4);
+        v.set(-64);
+        assert!(v.allows(-4));
+        assert!(v.allows(-64));
+        assert!(!v.allows(-8));
+        assert!(!v.allows(4));
+    }
+
+    #[test]
+    fn unaligned_offsets_never_allowed() {
+        let v = HintVector::ALL;
+        assert!(!v.allows(3));
+        assert!(!v.allows(-5));
+        assert!(v.allows(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn set_out_of_range_panics() {
+        let mut v = HintVector::default();
+        v.set(64);
+    }
+
+    #[test]
+    fn all_vector_allows_full_block() {
+        let v = HintVector::ALL;
+        for n in 0..16 {
+            assert!(v.allows(n * 4));
+            assert!(v.allows(-(n + 1) * 4));
+        }
+        assert_eq!(v.count(), 32);
+    }
+
+    #[test]
+    fn table_filters_by_pc() {
+        let mut t = HintTable::new();
+        let mut v = HintVector::default();
+        v.set(12);
+        t.insert(0x100, v);
+        assert!(t.allow(0x100, 12));
+        assert!(!t.allow(0x100, 8));
+        // Unprofiled load: nothing allowed.
+        assert!(!t.allow(0x200, 12));
+    }
+
+    #[test]
+    fn vector_is_16_bits_per_direction() {
+        // The paper's Figure 6: 64-byte blocks, 4-byte pointers => 16 bits.
+        assert_eq!(PTRS_PER_BLOCK, 16);
+        assert_eq!(std::mem::size_of::<HintVector>(), 4);
+    }
+}

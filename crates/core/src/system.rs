@@ -1,0 +1,412 @@
+//! Assembly of every machine configuration evaluated in the paper.
+//!
+//! [`SystemKind`] enumerates the systems; [`build_machine`] wires the right
+//! prefetchers, scan filters and throttling policy together, and
+//! [`run_system`] runs a trace through one. Multi-core experiments use
+//! [`core_setup`] to get the per-core equivalent.
+
+use std::collections::HashSet;
+
+use prefetch::{
+    AllowAll, AvdConfig, AvdPrefetcher, CdpConfig, ContentDirectedPrefetcher, DbpConfig,
+    DependenceBasedPrefetcher, FilterConfig, GhbConfig, GhbPrefetcher, JumpPointerConfig,
+    JumpPointerPrefetcher, MarkovConfig, MarkovPrefetcher, NextLinePrefetcher,
+    PollutionFilteredPrefetcher, ScanFilter, StreamConfig, StreamPrefetcher, StrideConfig,
+    StridePrefetcher,
+};
+use sim_core::{CoreSetup, Machine, MachineConfig, PrefetcherId, RunStats, Trace};
+use throttle::{CoordinatedThrottle, FdpThrottle, PabSelector, Switchable};
+
+use crate::hints::HintTable;
+use crate::profile::PgProfile;
+
+/// Everything the "compiler" hands to the hardware: hint bit vectors for
+/// ECDP plus the coarser per-load gates used by the §7.1/§7.2 comparisons.
+#[derive(Debug, Clone, Default)]
+pub struct CompilerArtifacts {
+    /// Per-load hint bit vectors (ECDP).
+    pub hints: HintTable,
+    /// Loads with at least one beneficial pointer group (GRP-style gate).
+    pub grp_loads: HashSet<u32>,
+    /// Loads whose aggregate prefetches are majority useful
+    /// (Srinivasan-style per-load filter).
+    pub accurate_loads: HashSet<u32>,
+}
+
+impl CompilerArtifacts {
+    /// Derives all artifacts from a profiling run.
+    pub fn from_profile(profile: &PgProfile) -> Self {
+        CompilerArtifacts {
+            hints: profile.hint_table(),
+            grp_loads: profile.loads_with_beneficial_pg(),
+            accurate_loads: profile.majority_useful_loads(),
+        }
+    }
+
+    /// Empty artifacts (for systems that do not use the compiler).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+}
+
+/// A coarse per-load gate: when a load is enabled, *all* pointers in its
+/// fetched blocks may be prefetched; when disabled, none (GRP §7.1 and the
+/// per-triggering-load filter §7.2).
+#[derive(Debug, Clone, Default)]
+pub struct PerLoadGate {
+    enabled: HashSet<u32>,
+}
+
+impl PerLoadGate {
+    /// Creates a gate enabling exactly `enabled`.
+    pub fn new(enabled: HashSet<u32>) -> Self {
+        PerLoadGate { enabled }
+    }
+}
+
+impl ScanFilter for PerLoadGate {
+    fn allow(&self, _pc: u32, _offset: i32) -> bool {
+        true
+    }
+
+    fn scan_load(&self, pc: u32) -> bool {
+        self.enabled.contains(&pc)
+    }
+}
+
+/// Every system configuration evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SystemKind {
+    /// No prefetching at all.
+    NoPrefetch,
+    /// The baseline: aggressive stream prefetcher only.
+    StreamOnly,
+    /// Baseline plus the Figure 1 oracle: LDS misses become hits.
+    OracleLds,
+    /// Stream + original (unfiltered) CDP — the Figure 2 problem case.
+    StreamCdp,
+    /// Stream + compiler-guided ECDP.
+    StreamEcdp,
+    /// Stream + original CDP with coordinated throttling.
+    StreamCdpThrottled,
+    /// The full proposal: stream + ECDP + coordinated throttling.
+    StreamEcdpThrottled,
+    /// Stream + dependence-based prefetcher (§6.3).
+    StreamDbp,
+    /// Stream + Markov correlation prefetcher (§6.3).
+    StreamMarkov,
+    /// GHB G/DC alone (§6.3; it subsumes streaming patterns).
+    GhbAlone,
+    /// GHB + ECDP hybrid (§6.3 orthogonality experiment).
+    GhbEcdp,
+    /// GHB + ECDP + coordinated throttling.
+    GhbEcdpThrottled,
+    /// Stream + CDP behind the Zhuang–Lee hardware filter (§6.4).
+    StreamCdpHwFilter,
+    /// Hardware filter plus coordinated throttling (§6.4).
+    StreamCdpHwFilterThrottled,
+    /// Stream + ECDP throttled by (uncoordinated) FDP (§6.5).
+    StreamEcdpFdp,
+    /// Stream + ECDP under the PAB best-prefetcher-only selector (§7.4).
+    StreamEcdpPab,
+    /// Stream + CDP gated per-load in GRP's coarse style (§7.1).
+    StreamGrpCdp,
+    /// Stream + CDP gated by per-triggering-load accuracy (§7.2).
+    StreamLoadFilterCdp,
+    /// Next-line prefetching only (the 1977 baseline, for context).
+    NextLineOnly,
+    /// Per-PC stride prefetching only.
+    StrideOnly,
+    /// Stream + hardware jump-pointer prefetching (§7.3, 64 KB storage).
+    StreamJumpPointer,
+    /// Stream + address-value-delta prediction used as a prefetcher (§7.3).
+    StreamAvd,
+}
+
+impl SystemKind {
+    /// Short label used in experiment tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            SystemKind::NoPrefetch => "no-pf",
+            SystemKind::StreamOnly => "stream",
+            SystemKind::OracleLds => "stream+oracle",
+            SystemKind::StreamCdp => "stream+cdp",
+            SystemKind::StreamEcdp => "stream+ecdp",
+            SystemKind::StreamCdpThrottled => "stream+cdp+throttle",
+            SystemKind::StreamEcdpThrottled => "stream+ecdp+throttle",
+            SystemKind::StreamDbp => "stream+dbp",
+            SystemKind::StreamMarkov => "stream+markov",
+            SystemKind::GhbAlone => "ghb",
+            SystemKind::GhbEcdp => "ghb+ecdp",
+            SystemKind::GhbEcdpThrottled => "ghb+ecdp+throttle",
+            SystemKind::StreamCdpHwFilter => "stream+cdp+hwfilter",
+            SystemKind::StreamCdpHwFilterThrottled => "stream+cdp+hwfilter+throttle",
+            SystemKind::StreamEcdpFdp => "stream+ecdp+fdp",
+            SystemKind::StreamEcdpPab => "stream+ecdp+pab",
+            SystemKind::StreamGrpCdp => "stream+grp-cdp",
+            SystemKind::StreamLoadFilterCdp => "stream+loadfilter-cdp",
+            SystemKind::NextLineOnly => "next-line",
+            SystemKind::StrideOnly => "stride",
+            SystemKind::StreamJumpPointer => "stream+jump",
+            SystemKind::StreamAvd => "stream+avd",
+        }
+    }
+}
+
+fn stream() -> Box<StreamPrefetcher> {
+    Box::new(StreamPrefetcher::new(PrefetcherId(0), StreamConfig::default()))
+}
+
+fn cdp(filter: Box<dyn ScanFilter>) -> Box<ContentDirectedPrefetcher> {
+    Box::new(ContentDirectedPrefetcher::new(
+        PrefetcherId(1),
+        CdpConfig::default(),
+        filter,
+    ))
+}
+
+/// Builds the per-core prefetcher/throttle setup for `kind`.
+pub fn core_setup(kind: SystemKind, artifacts: &CompilerArtifacts) -> CoreSetup {
+    let mut setup = CoreSetup::bare();
+    match kind {
+        SystemKind::NoPrefetch => {}
+        SystemKind::StreamOnly | SystemKind::OracleLds => {
+            setup.prefetchers.push(stream());
+        }
+        SystemKind::StreamCdp => {
+            setup.prefetchers.push(stream());
+            setup.prefetchers.push(cdp(Box::new(AllowAll)));
+        }
+        SystemKind::StreamEcdp => {
+            setup.prefetchers.push(stream());
+            setup.prefetchers.push(cdp(Box::new(artifacts.hints.clone())));
+        }
+        SystemKind::StreamCdpThrottled => {
+            setup.prefetchers.push(stream());
+            setup.prefetchers.push(cdp(Box::new(AllowAll)));
+            setup.throttle = Box::new(CoordinatedThrottle::default());
+        }
+        SystemKind::StreamEcdpThrottled => {
+            setup.prefetchers.push(stream());
+            setup.prefetchers.push(cdp(Box::new(artifacts.hints.clone())));
+            setup.throttle = Box::new(CoordinatedThrottle::default());
+        }
+        SystemKind::StreamDbp => {
+            setup.prefetchers.push(stream());
+            setup.prefetchers.push(Box::new(DependenceBasedPrefetcher::new(
+                PrefetcherId(1),
+                DbpConfig::default(),
+            )));
+        }
+        SystemKind::StreamMarkov => {
+            setup.prefetchers.push(stream());
+            setup.prefetchers.push(Box::new(MarkovPrefetcher::new(
+                PrefetcherId(1),
+                MarkovConfig::default(),
+            )));
+        }
+        SystemKind::GhbAlone => {
+            setup.prefetchers.push(Box::new(GhbPrefetcher::new(
+                PrefetcherId(0),
+                GhbConfig::default(),
+            )));
+        }
+        SystemKind::GhbEcdp | SystemKind::GhbEcdpThrottled => {
+            setup.prefetchers.push(Box::new(GhbPrefetcher::new(
+                PrefetcherId(0),
+                GhbConfig::default(),
+            )));
+            setup.prefetchers.push(cdp(Box::new(artifacts.hints.clone())));
+            if kind == SystemKind::GhbEcdpThrottled {
+                setup.throttle = Box::new(CoordinatedThrottle::default());
+            }
+        }
+        SystemKind::StreamCdpHwFilter | SystemKind::StreamCdpHwFilterThrottled => {
+            setup.prefetchers.push(stream());
+            setup.prefetchers.push(Box::new(PollutionFilteredPrefetcher::new(
+                cdp(Box::new(AllowAll)),
+                FilterConfig::default(),
+            )));
+            if kind == SystemKind::StreamCdpHwFilterThrottled {
+                setup.throttle = Box::new(CoordinatedThrottle::default());
+            }
+        }
+        SystemKind::StreamEcdpFdp => {
+            setup.prefetchers.push(stream());
+            setup.prefetchers.push(cdp(Box::new(artifacts.hints.clone())));
+            setup.throttle = Box::new(FdpThrottle::default());
+        }
+        SystemKind::StreamEcdpPab => {
+            let (s, sf) = Switchable::new(stream());
+            let (c, cf) = Switchable::new(cdp(Box::new(artifacts.hints.clone())));
+            setup.prefetchers.push(Box::new(s));
+            setup.prefetchers.push(Box::new(c));
+            setup.throttle = Box::new(PabSelector::new(vec![sf, cf]));
+        }
+        SystemKind::StreamGrpCdp => {
+            setup.prefetchers.push(stream());
+            setup.prefetchers.push(cdp(Box::new(PerLoadGate::new(
+                artifacts.grp_loads.clone(),
+            ))));
+        }
+        SystemKind::StreamLoadFilterCdp => {
+            setup.prefetchers.push(stream());
+            setup.prefetchers.push(cdp(Box::new(PerLoadGate::new(
+                artifacts.accurate_loads.clone(),
+            ))));
+        }
+        SystemKind::NextLineOnly => {
+            setup.prefetchers.push(Box::new(NextLinePrefetcher::new(PrefetcherId(0))));
+        }
+        SystemKind::StrideOnly => {
+            setup.prefetchers.push(Box::new(StridePrefetcher::new(
+                PrefetcherId(0),
+                StrideConfig::default(),
+            )));
+        }
+        SystemKind::StreamJumpPointer => {
+            setup.prefetchers.push(stream());
+            setup.prefetchers.push(Box::new(JumpPointerPrefetcher::new(
+                PrefetcherId(1),
+                JumpPointerConfig::default(),
+            )));
+        }
+        SystemKind::StreamAvd => {
+            setup.prefetchers.push(stream());
+            setup.prefetchers.push(Box::new(AvdPrefetcher::new(
+                PrefetcherId(1),
+                AvdConfig::default(),
+            )));
+        }
+    }
+    setup
+}
+
+/// Builds a single-core [`Machine`] for `kind` with the default
+/// configuration (Table 5).
+pub fn build_machine(kind: SystemKind, artifacts: &CompilerArtifacts) -> Machine {
+    build_machine_with(kind, artifacts, MachineConfig::default())
+}
+
+/// [`build_machine`] with an explicit machine configuration.
+pub fn build_machine_with(
+    kind: SystemKind,
+    artifacts: &CompilerArtifacts,
+    mut config: MachineConfig,
+) -> Machine {
+    config.oracle_lds = kind == SystemKind::OracleLds;
+    let setup = core_setup(kind, artifacts);
+    let mut machine = Machine::new(config);
+    for p in setup.prefetchers {
+        machine.add_prefetcher(p);
+    }
+    machine.set_throttle(setup.throttle);
+    machine
+}
+
+/// Builds the machine for `kind`, runs `trace`, returns statistics.
+pub fn run_system(kind: SystemKind, trace: &Trace, artifacts: &CompilerArtifacts) -> RunStats {
+    build_machine(kind, artifacts).run(trace)
+}
+
+/// Like [`run_system`], but also collects the pointer-group usefulness
+/// observed *during this run* (used by the Figure 10 experiment to compare
+/// PG usefulness under original CDP versus ECDP).
+pub fn run_system_profiled(
+    kind: SystemKind,
+    trace: &Trace,
+    artifacts: &CompilerArtifacts,
+) -> (RunStats, crate::profile::PgProfile) {
+    let mut machine = build_machine(kind, artifacts);
+    let (collector, handle) = crate::profile::PgCollector::new();
+    machine.set_observer(Box::new(collector));
+    let stats = machine.run(trace);
+    let pgs = handle.borrow().clone();
+    (stats, crate::profile::PgProfile { pgs, min_samples: 4 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::{InputSet, Workload};
+
+    fn artifacts_for(trace: &Trace) -> CompilerArtifacts {
+        CompilerArtifacts::from_profile(&crate::profile::profile_workload(trace))
+    }
+
+    #[test]
+    fn all_kinds_build() {
+        let a = CompilerArtifacts::empty();
+        for kind in [
+            SystemKind::NoPrefetch,
+            SystemKind::StreamOnly,
+            SystemKind::OracleLds,
+            SystemKind::StreamCdp,
+            SystemKind::StreamEcdp,
+            SystemKind::StreamCdpThrottled,
+            SystemKind::StreamEcdpThrottled,
+            SystemKind::StreamDbp,
+            SystemKind::StreamMarkov,
+            SystemKind::GhbAlone,
+            SystemKind::GhbEcdp,
+            SystemKind::GhbEcdpThrottled,
+            SystemKind::StreamCdpHwFilter,
+            SystemKind::StreamCdpHwFilterThrottled,
+            SystemKind::StreamEcdpFdp,
+            SystemKind::StreamEcdpPab,
+            SystemKind::StreamGrpCdp,
+            SystemKind::StreamLoadFilterCdp,
+            SystemKind::NextLineOnly,
+            SystemKind::StrideOnly,
+            SystemKind::StreamJumpPointer,
+            SystemKind::StreamAvd,
+        ] {
+            let _ = build_machine(kind, &a);
+            assert!(!kind.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn stream_beats_no_prefetch_on_streaming_workload() {
+        let t = workloads::streaming::Libquantum.generate(InputSet::Train);
+        let a = CompilerArtifacts::empty();
+        let none = run_system(SystemKind::NoPrefetch, &t, &a);
+        let stream = run_system(SystemKind::StreamOnly, &t, &a);
+        assert!(
+            stream.ipc() > 1.2 * none.ipc(),
+            "stream {} vs none {}",
+            stream.ipc(),
+            none.ipc()
+        );
+    }
+
+    #[test]
+    fn ecdp_filters_prefetches_versus_cdp() {
+        let t = workloads::olden::Mst.generate(InputSet::Train);
+        let a = artifacts_for(&t);
+        assert!(!a.hints.is_empty(), "profiling must produce hints");
+        let with_cdp = run_system(SystemKind::StreamCdp, &t, &a);
+        let with_ecdp = run_system(SystemKind::StreamEcdp, &t, &a);
+        let cdp_issued = with_cdp.prefetchers[1].issued;
+        let ecdp_issued = with_ecdp.prefetchers[1].issued;
+        assert!(
+            ecdp_issued < cdp_issued,
+            "ECDP must prune prefetches: {ecdp_issued} vs {cdp_issued}"
+        );
+        assert!(
+            with_ecdp.prefetchers[1].accuracy() > with_cdp.prefetchers[1].accuracy(),
+            "ECDP accuracy {} must beat CDP {}",
+            with_ecdp.prefetchers[1].accuracy(),
+            with_cdp.prefetchers[1].accuracy()
+        );
+    }
+
+    #[test]
+    fn oracle_is_an_upper_bound_on_pointer_chase() {
+        let t = workloads::olden::Health.generate(InputSet::Train);
+        let a = CompilerArtifacts::empty();
+        let base = run_system(SystemKind::StreamOnly, &t, &a);
+        let oracle = run_system(SystemKind::OracleLds, &t, &a);
+        assert!(oracle.ipc() > base.ipc());
+    }
+}

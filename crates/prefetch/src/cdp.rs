@@ -1,0 +1,417 @@
+//! Content-directed prefetching (Cooksey, Jourdan & Grunwald, ASPLOS 2002) —
+//! the stateless pointer-scanning LDS prefetcher the paper builds ECDP on.
+//!
+//! On a last-level-cache fill, the prefetcher scans the 16 pointer-sized
+//! words of the incoming block. A word whose high-order *compare bits*
+//! match those of the block's own address is predicted to be a virtual
+//! address and prefetched. Prefetched blocks are scanned recursively up to
+//! the *maximum recursion depth*, which is the CDP aggressiveness knob
+//! (paper Table 2: depths 1–4).
+//!
+//! The scan of **demand-miss** fills can be filtered through a
+//! [`ScanFilter`]. The base CDP uses [`AllowAll`]; the `ecdp` crate installs
+//! the compiler-generated hint bit vectors here, and the GRP/per-load-filter
+//! comparisons install their coarser filters. Blocks fetched by CDP's own
+//! prefetches are always scanned unfiltered, exactly as §3 specifies.
+
+use sim_core::{
+    Aggressiveness, FillEvent, PgTag, PrefetchCtx, PrefetchRequest, Prefetcher, PrefetcherId,
+    PrefetcherKind,
+};
+use sim_mem::{block_of, Addr, BLOCK_BYTES};
+
+/// Decides which pointers found in a demand-fetched block may be prefetched.
+///
+/// `pc` is the static load whose miss fetched the block; `offset` is the
+/// byte offset of the candidate pointer from the (word-aligned) byte the
+/// load accessed — the paper's `PG(L, X)` coordinates.
+pub trait ScanFilter {
+    /// True if the pointer group `PG(pc, offset)` may generate prefetches.
+    fn allow(&self, pc: u32, offset: i32) -> bool;
+
+    /// True if blocks fetched by `pc`'s demand misses should be scanned at
+    /// all (coarse per-load gate, used by the GRP comparison).
+    fn scan_load(&self, _pc: u32) -> bool {
+        true
+    }
+}
+
+/// The unfiltered scan of the original CDP.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct AllowAll;
+
+impl ScanFilter for AllowAll {
+    fn allow(&self, _pc: u32, _offset: i32) -> bool {
+        true
+    }
+}
+
+/// Content-directed prefetcher parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CdpConfig {
+    /// High-order address bits compared by the pointer predictor
+    /// (paper §5: 8 of 32).
+    pub compare_bits: u32,
+}
+
+impl Default for CdpConfig {
+    fn default() -> Self {
+        CdpConfig { compare_bits: 8 }
+    }
+}
+
+/// Maximum recursion depth for the four aggressiveness levels (Table 2).
+const DEPTH_LEVELS: [u8; 4] = [1, 2, 3, 4];
+
+/// The content-directed prefetcher. See the module docs.
+///
+/// # Example
+///
+/// ```
+/// use prefetch::{AllowAll, CdpConfig, ContentDirectedPrefetcher};
+/// use sim_core::PrefetcherId;
+///
+/// let cdp = ContentDirectedPrefetcher::new(
+///     PrefetcherId(1),
+///     CdpConfig::default(),
+///     Box::new(AllowAll),
+/// );
+/// assert_eq!(cdp.max_depth(), 4); // aggressive by default
+/// ```
+pub struct ContentDirectedPrefetcher {
+    id: PrefetcherId,
+    config: CdpConfig,
+    level: Aggressiveness,
+    filter: Box<dyn ScanFilter>,
+}
+
+impl ContentDirectedPrefetcher {
+    /// Creates a CDP registered as `id` with the given scan filter.
+    pub fn new(id: PrefetcherId, config: CdpConfig, filter: Box<dyn ScanFilter>) -> Self {
+        ContentDirectedPrefetcher {
+            id,
+            config,
+            level: Aggressiveness::Aggressive,
+            filter,
+        }
+    }
+
+    /// Current maximum recursion depth (set by the aggressiveness level).
+    pub fn max_depth(&self) -> u8 {
+        DEPTH_LEVELS[self.level.index()]
+    }
+
+    /// True if `word`, found in the block at `block_addr`, is predicted to
+    /// be a virtual address by the compare-bits matcher.
+    pub fn looks_like_pointer(&self, block_addr: Addr, word: u32) -> bool {
+        if word == 0 {
+            return false;
+        }
+        let shift = 32 - self.config.compare_bits;
+        (word >> shift) == (block_addr >> shift)
+    }
+
+    fn scan(
+        &mut self,
+        ctx: &mut PrefetchCtx<'_>,
+        block_addr: Addr,
+        depth: u8,
+        filtered_by: Option<(u32, Addr)>,
+        root_pc: u32,
+        inherited_pg: Option<PgTag>,
+    ) {
+        let words = ctx.block_words(block_addr);
+        for (i, &w) in words.iter().enumerate() {
+            if !self.looks_like_pointer(block_addr, w) {
+                continue;
+            }
+            // Skip pointers into the same block: the prefetch would be
+            // dropped at the L2 probe anyway.
+            if block_of(w) == block_addr {
+                continue;
+            }
+            let pg = match filtered_by {
+                Some((pc, trigger_addr)) => {
+                    let trigger_off = (trigger_addr & (BLOCK_BYTES - 1)) & !3;
+                    let offset = (i as i32) * 4 - trigger_off as i32;
+                    if !self.filter.allow(pc, offset) {
+                        continue;
+                    }
+                    Some(PgTag {
+                        pc,
+                        offset: offset as i16,
+                    })
+                }
+                // Recursive scans prefetch every pointer and inherit the
+                // root pointer group: the paper defines a PG's prefetches
+                // as *all* prefetches generated on its behalf, including
+                // recursive ones, so junk spawned downstream counts against
+                // the group during profiling.
+                None => inherited_pg,
+            };
+            ctx.request(PrefetchRequest {
+                addr: w,
+                id: self.id,
+                depth,
+                pg,
+                root_pc,
+            });
+        }
+    }
+}
+
+impl std::fmt::Debug for ContentDirectedPrefetcher {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ContentDirectedPrefetcher")
+            .field("id", &self.id)
+            .field("level", &self.level)
+            .finish()
+    }
+}
+
+impl Prefetcher for ContentDirectedPrefetcher {
+    fn name(&self) -> &'static str {
+        "cdp"
+    }
+
+    fn kind(&self) -> PrefetcherKind {
+        PrefetcherKind::ContentDirected
+    }
+
+    fn on_fill(&mut self, ctx: &mut PrefetchCtx<'_>, ev: &FillEvent) {
+        match ev.kind {
+            sim_core::AccessKind::DemandLoad => {
+                if !self.filter.scan_load(ev.trigger_pc) {
+                    return;
+                }
+                self.scan(
+                    ctx,
+                    ev.block_addr,
+                    1,
+                    Some((ev.trigger_pc, ev.trigger_addr)),
+                    ev.trigger_pc,
+                    None,
+                );
+            }
+            sim_core::AccessKind::Prefetch(id) if id == self.id && ev.depth < self.max_depth() => {
+                self.scan(ctx, ev.block_addr, ev.depth + 1, None, ev.trigger_pc, ev.pg);
+            }
+            _ => {}
+        }
+    }
+
+    fn set_aggressiveness(&mut self, level: Aggressiveness) {
+        self.level = level;
+    }
+
+    fn aggressiveness(&self) -> Aggressiveness {
+        self.level
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::AccessKind;
+    use sim_mem::SimMemory;
+
+    fn cdp() -> ContentDirectedPrefetcher {
+        ContentDirectedPrefetcher::new(PrefetcherId(1), CdpConfig::default(), Box::new(AllowAll))
+    }
+
+    fn demand_fill(
+        pf: &mut ContentDirectedPrefetcher,
+        mem: &SimMemory,
+        block: Addr,
+        trigger_pc: u32,
+        trigger_addr: Addr,
+    ) -> Vec<PrefetchRequest> {
+        let mut ctx = PrefetchCtx::new(mem, 0);
+        pf.on_fill(
+            &mut ctx,
+            &FillEvent {
+                block_addr: block,
+                kind: AccessKind::DemandLoad,
+                trigger_pc,
+                trigger_addr,
+                depth: 0,
+                pg: None,
+                cycle: 0,
+            },
+        );
+        ctx.take_requests()
+    }
+
+    #[test]
+    fn pointer_predictor_uses_compare_bits() {
+        let pf = cdp();
+        let block = 0x4000_0040;
+        assert!(pf.looks_like_pointer(block, 0x4012_3456)); // same top byte
+        assert!(!pf.looks_like_pointer(block, 0x0800_0000)); // global region
+        assert!(!pf.looks_like_pointer(block, 0)); // null
+        assert!(!pf.looks_like_pointer(block, 0x4100_0000)); // 0x41 != 0x40
+    }
+
+    #[test]
+    fn demand_fill_prefetches_matching_words() {
+        let mut mem = SimMemory::new();
+        let block = 0x4000_0040;
+        mem.write_u32(block + 8, 0x4000_1000); // pointer
+        mem.write_u32(block + 12, 1234); // integer
+        mem.write_u32(block + 20, 0x4000_2000); // pointer
+        let mut pf = cdp();
+        let reqs = demand_fill(&mut pf, &mem, block, 0x100, block);
+        let addrs: Vec<Addr> = reqs.iter().map(|r| r.addr).collect();
+        assert_eq!(addrs, vec![0x4000_1000, 0x4000_2000]);
+        assert!(reqs.iter().all(|r| r.depth == 1));
+    }
+
+    #[test]
+    fn pg_tags_are_relative_to_accessed_byte() {
+        let mut mem = SimMemory::new();
+        let block = 0x4000_0040;
+        mem.write_u32(block + 8, 0x4000_1000);
+        mem.write_u32(block, 0x4000_2000);
+        let mut pf = cdp();
+        // Load accessed byte 4 of the block.
+        let reqs = demand_fill(&mut pf, &mem, block, 0x100, block + 4);
+        let pgs: Vec<i16> = reqs.iter().map(|r| r.pg.unwrap().offset).collect();
+        // Pointer at byte 0 => offset -4; pointer at byte 8 => offset +4.
+        assert!(pgs.contains(&-4));
+        assert!(pgs.contains(&4));
+    }
+
+    #[test]
+    fn self_block_pointers_are_skipped() {
+        let mut mem = SimMemory::new();
+        let block = 0x4000_0040;
+        mem.write_u32(block, block + 16); // points into same block
+        let mut pf = cdp();
+        assert!(demand_fill(&mut pf, &mem, block, 0x100, block).is_empty());
+    }
+
+    #[test]
+    fn recursion_respects_max_depth() {
+        let mut mem = SimMemory::new();
+        let block = 0x4000_0040;
+        mem.write_u32(block, 0x4000_2000);
+        let mut pf = cdp();
+        pf.set_aggressiveness(Aggressiveness::VeryConservative); // depth 1
+        let mut ctx = PrefetchCtx::new(&mem, 0);
+        pf.on_fill(
+            &mut ctx,
+            &FillEvent {
+                block_addr: block,
+                kind: AccessKind::Prefetch(PrefetcherId(1)),
+                trigger_pc: 0x100,
+                trigger_addr: block,
+                depth: 1,
+                pg: None,
+                cycle: 0,
+            },
+        );
+        assert!(
+            ctx.take_requests().is_empty(),
+            "depth-1 fill must not be scanned at max depth 1"
+        );
+        pf.set_aggressiveness(Aggressiveness::Aggressive); // depth 4
+        let mut ctx = PrefetchCtx::new(&mem, 0);
+        pf.on_fill(
+            &mut ctx,
+            &FillEvent {
+                block_addr: block,
+                kind: AccessKind::Prefetch(PrefetcherId(1)),
+                trigger_pc: 0x100,
+                trigger_addr: block,
+                depth: 1,
+                pg: None,
+                cycle: 0,
+            },
+        );
+        let reqs = ctx.take_requests();
+        assert_eq!(reqs.len(), 1);
+        assert_eq!(reqs[0].depth, 2);
+    }
+
+    #[test]
+    fn other_prefetchers_fills_are_ignored() {
+        let mut mem = SimMemory::new();
+        let block = 0x4000_0040;
+        mem.write_u32(block, 0x4000_2000);
+        let mut pf = cdp();
+        let mut ctx = PrefetchCtx::new(&mem, 0);
+        pf.on_fill(
+            &mut ctx,
+            &FillEvent {
+                block_addr: block,
+                kind: AccessKind::Prefetch(PrefetcherId(0)), // stream's fill
+                trigger_pc: 0,
+                trigger_addr: block,
+                depth: 0,
+                pg: None,
+                cycle: 0,
+            },
+        );
+        assert!(ctx.take_requests().is_empty());
+    }
+
+    #[test]
+    fn scan_filter_blocks_pointer_groups() {
+        struct OnlyOffset8;
+        impl ScanFilter for OnlyOffset8 {
+            fn allow(&self, _pc: u32, offset: i32) -> bool {
+                offset == 8
+            }
+        }
+        let mut mem = SimMemory::new();
+        let block = 0x4000_0040;
+        mem.write_u32(block + 8, 0x4000_1000); // offset 8 from byte 0
+        mem.write_u32(block + 12, 0x4000_2000); // offset 12
+        let mut pf = ContentDirectedPrefetcher::new(
+            PrefetcherId(1),
+            CdpConfig::default(),
+            Box::new(OnlyOffset8),
+        );
+        let reqs = demand_fill(&mut pf, &mem, block, 0x100, block);
+        assert_eq!(reqs.len(), 1);
+        assert_eq!(reqs[0].addr, 0x4000_1000);
+    }
+
+    #[test]
+    fn recursive_scan_is_unfiltered() {
+        struct DenyAll;
+        impl ScanFilter for DenyAll {
+            fn allow(&self, _pc: u32, _offset: i32) -> bool {
+                false
+            }
+        }
+        let mut mem = SimMemory::new();
+        let block = 0x4000_0040;
+        mem.write_u32(block, 0x4000_2000);
+        let mut pf = ContentDirectedPrefetcher::new(
+            PrefetcherId(1),
+            CdpConfig::default(),
+            Box::new(DenyAll),
+        );
+        // Demand fill: filtered away.
+        assert!(demand_fill(&mut pf, &mem, block, 0x100, block).is_empty());
+        // Prefetch fill: scanned regardless (paper §3).
+        let mut ctx = PrefetchCtx::new(&mem, 0);
+        pf.on_fill(
+            &mut ctx,
+            &FillEvent {
+                block_addr: block,
+                kind: AccessKind::Prefetch(PrefetcherId(1)),
+                trigger_pc: 0x100,
+                trigger_addr: block,
+                depth: 1,
+                pg: Some(PgTag { pc: 0x100, offset: 0 }),
+                cycle: 0,
+            },
+        );
+        let reqs = ctx.take_requests();
+        assert_eq!(reqs.len(), 1);
+        // Root PG attribution is inherited through the recursion.
+        assert_eq!(reqs[0].pg, Some(PgTag { pc: 0x100, offset: 0 }));
+    }
+}

@@ -1,0 +1,47 @@
+//! Hardware prefetcher implementations for the ECDP reproduction.
+//!
+//! This crate provides every prefetcher evaluated in the paper:
+//!
+//! * [`StreamPrefetcher`] — the baseline IBM POWER4/POWER5-style stream
+//!   prefetcher (32 streams, distance/degree controlled by the
+//!   aggressiveness level of Table 2).
+//! * [`ContentDirectedPrefetcher`] — Cooksey et al.'s stateless CDP with the
+//!   compare-bits virtual-address predictor and recursive block scanning.
+//!   Its scan can be filtered through a [`ScanFilter`] — the hook the `ecdp`
+//!   crate uses to install compiler-generated hint bit vectors.
+//! * [`MarkovPrefetcher`] — address-correlation prefetching (Joseph &
+//!   Grunwald) with a 1 MB correlation table.
+//! * [`GhbPrefetcher`] — global-history-buffer G/DC delta correlation
+//!   (Nesbit & Smith).
+//! * [`DependenceBasedPrefetcher`] — Roth et al.'s producer/consumer LDS
+//!   prefetcher (potential-producer window + correlation table).
+//! * [`PollutionFilteredPrefetcher`] — Zhuang & Lee's hardware filter
+//!   wrapped around any inner prefetcher (the §6.4 comparison).
+//!
+//! Beyond the paper's evaluation set, the crate also provides the related
+//! prefetchers its discussion ranges over: [`NextLinePrefetcher`] (the 1977
+//! baseline), [`StridePrefetcher`] (per-PC reference prediction),
+//! [`JumpPointerPrefetcher`] (the 64 KB pointer-storage approach of §7.3)
+//! and [`AvdPrefetcher`] (address-value-delta prediction, §7.3).
+
+pub mod avd;
+pub mod cdp;
+pub mod dbp;
+pub mod filter;
+pub mod ghb;
+pub mod jump_pointer;
+pub mod markov;
+pub mod nextline;
+pub mod stream;
+pub mod stride;
+
+pub use avd::{AvdConfig, AvdPrefetcher};
+pub use cdp::{AllowAll, CdpConfig, ContentDirectedPrefetcher, ScanFilter};
+pub use dbp::{DbpConfig, DependenceBasedPrefetcher};
+pub use filter::{FilterConfig, PollutionFilteredPrefetcher};
+pub use ghb::{GhbConfig, GhbPrefetcher};
+pub use jump_pointer::{JumpPointerConfig, JumpPointerPrefetcher};
+pub use markov::{MarkovConfig, MarkovPrefetcher};
+pub use nextline::NextLinePrefetcher;
+pub use stream::{StreamConfig, StreamPrefetcher};
+pub use stride::{StrideConfig, StridePrefetcher};

@@ -1,0 +1,134 @@
+//! Next-N-line prefetching — the simplest hardware prefetcher (Gindele
+//! 1977, the paper's reference \[12\]): on a demand miss, prefetch the next
+//! sequential block(s). Included as the historical baseline the stream
+//! prefetcher descends from.
+
+use sim_core::{
+    Aggressiveness, DemandAccess, PrefetchCtx, PrefetchRequest, Prefetcher, PrefetcherId,
+    PrefetcherKind,
+};
+use sim_mem::{block_of, Addr, BLOCK_BYTES};
+
+/// Blocks prefetched per miss for the four aggressiveness levels.
+const DEGREE_LEVELS: [u32; 4] = [1, 1, 2, 4];
+
+/// A next-N-line prefetcher.
+///
+/// # Example
+///
+/// ```
+/// use prefetch::NextLinePrefetcher;
+/// use sim_core::{Prefetcher, PrefetcherId};
+///
+/// let pf = NextLinePrefetcher::new(PrefetcherId(0));
+/// assert_eq!(pf.name(), "next-line");
+/// ```
+#[derive(Debug)]
+pub struct NextLinePrefetcher {
+    id: PrefetcherId,
+    level: Aggressiveness,
+}
+
+impl NextLinePrefetcher {
+    /// Creates a next-line prefetcher registered as `id`.
+    pub fn new(id: PrefetcherId) -> Self {
+        NextLinePrefetcher {
+            id,
+            level: Aggressiveness::Aggressive,
+        }
+    }
+}
+
+impl Prefetcher for NextLinePrefetcher {
+    fn name(&self) -> &'static str {
+        "next-line"
+    }
+
+    fn kind(&self) -> PrefetcherKind {
+        PrefetcherKind::Stream
+    }
+
+    fn on_demand_access(&mut self, ctx: &mut PrefetchCtx<'_>, ev: &DemandAccess) {
+        if ev.hit {
+            return;
+        }
+        let base = block_of(ev.addr);
+        for k in 1..=DEGREE_LEVELS[self.level.index()] {
+            let target = u64::from(base) + u64::from(k * BLOCK_BYTES);
+            if target > u64::from(Addr::MAX) {
+                break;
+            }
+            ctx.request(PrefetchRequest {
+                addr: target as Addr,
+                id: self.id,
+                depth: 0,
+                pg: None,
+                root_pc: ev.pc,
+            });
+        }
+    }
+
+    fn set_aggressiveness(&mut self, level: Aggressiveness) {
+        self.level = level;
+    }
+
+    fn aggressiveness(&self) -> Aggressiveness {
+        self.level
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_mem::SimMemory;
+
+    fn miss(pf: &mut NextLinePrefetcher, addr: Addr) -> Vec<Addr> {
+        let mem = SimMemory::new();
+        let mut ctx = PrefetchCtx::new(&mem, 0);
+        pf.on_demand_access(
+            &mut ctx,
+            &DemandAccess {
+                pc: 1,
+                addr,
+                value: 0,
+                hit: false,
+                is_store: false,
+                cycle: 0,
+            },
+        );
+        ctx.take_requests().iter().map(|r| r.addr).collect()
+    }
+
+    #[test]
+    fn prefetches_sequential_blocks() {
+        let mut pf = NextLinePrefetcher::new(PrefetcherId(0));
+        let got = miss(&mut pf, 0x4000_0010);
+        assert_eq!(got, vec![0x4000_0040, 0x4000_0080, 0x4000_00C0, 0x4000_0100]);
+    }
+
+    #[test]
+    fn degree_follows_aggressiveness() {
+        let mut pf = NextLinePrefetcher::new(PrefetcherId(0));
+        pf.set_aggressiveness(Aggressiveness::VeryConservative);
+        assert_eq!(miss(&mut pf, 0x4000_0000).len(), 1);
+    }
+
+    #[test]
+    fn hits_do_not_trigger() {
+        let mut pf = NextLinePrefetcher::new(PrefetcherId(0));
+        let mem = SimMemory::new();
+        let mut ctx = PrefetchCtx::new(&mem, 0);
+        pf.on_demand_access(
+            &mut ctx,
+            &DemandAccess {
+                pc: 1,
+                addr: 0x100,
+                value: 0,
+                hit: true,
+                is_store: false,
+                cycle: 0,
+            },
+        );
+        assert!(ctx.take_requests().is_empty());
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests over the prefetcher implementations.
+
+use proptest::prelude::*;
+
+use prefetch::{
+    GhbConfig, GhbPrefetcher, MarkovConfig, MarkovPrefetcher, StreamConfig, StreamPrefetcher,
+    StrideConfig, StridePrefetcher,
+};
+use sim_core::{Addr, DemandAccess, PrefetchCtx, Prefetcher, PrefetcherId};
+use sim_mem::SimMemory;
+
+fn drive(pf: &mut dyn Prefetcher, addrs: &[Addr]) -> Vec<Addr> {
+    let mem = SimMemory::new();
+    let mut out = Vec::new();
+    for (i, &addr) in addrs.iter().enumerate() {
+        let mut ctx = PrefetchCtx::new(&mem, i as u64);
+        pf.on_demand_access(
+            &mut ctx,
+            &DemandAccess {
+                pc: 0x10,
+                addr,
+                value: 0,
+                hit: false,
+                is_store: false,
+                cycle: i as u64,
+            },
+        );
+        out.extend(ctx.take_requests().iter().map(|r| r.addr));
+    }
+    out
+}
+
+proptest! {
+    /// The stream prefetcher never emits a request more than
+    /// `distance + degree` blocks from the most recent demand.
+    #[test]
+    fn stream_requests_stay_near_the_demand(
+        blocks in proptest::collection::vec(0u32..10_000, 1..200)
+    ) {
+        let mut pf = StreamPrefetcher::new(PrefetcherId(0), StreamConfig::default());
+        let mem = SimMemory::new();
+        for (i, &b) in blocks.iter().enumerate() {
+            let addr = 0x4000_0000 + b * 64;
+            let mut ctx = PrefetchCtx::new(&mem, i as u64);
+            pf.on_demand_access(&mut ctx, &DemandAccess {
+                pc: 0x10, addr, value: 0, hit: false, is_store: false, cycle: i as u64,
+            });
+            for r in ctx.take_requests() {
+                let demand_block = i64::from(addr / 64);
+                let req_block = i64::from(r.addr / 64);
+                prop_assert!(
+                    (req_block - demand_block).abs() <= 36,
+                    "request {} blocks away", (req_block - demand_block).abs()
+                );
+            }
+        }
+    }
+
+    /// Markov only ever predicts block addresses it has previously observed
+    /// as misses.
+    #[test]
+    fn markov_predicts_only_observed_blocks(
+        blocks in proptest::collection::vec(0u32..64, 1..300)
+    ) {
+        let mut pf = MarkovPrefetcher::new(PrefetcherId(0), MarkovConfig::default());
+        let mem = SimMemory::new();
+        let mut seen = std::collections::HashSet::new();
+        for (i, &b) in blocks.iter().enumerate() {
+            let addr = 0x4000_0000 + b * 64;
+            let mut ctx = PrefetchCtx::new(&mem, i as u64);
+            pf.on_demand_access(&mut ctx, &DemandAccess {
+                pc: 0x10, addr, value: 0, hit: false, is_store: false, cycle: i as u64,
+            });
+            for r in ctx.take_requests() {
+                prop_assert!(seen.contains(&sim_mem::block_of(r.addr)),
+                    "predicted unobserved block {:#x}", r.addr);
+            }
+            seen.insert(sim_mem::block_of(addr));
+        }
+    }
+
+    /// The stride prefetcher's requests are always exact multiples of the
+    /// learned stride ahead of the base address.
+    #[test]
+    fn stride_requests_are_stride_multiples(stride in 1u32..5000, start in 0u32..1000) {
+        let mut pf = StridePrefetcher::new(PrefetcherId(0), StrideConfig::default());
+        let base = 0x4000_0000 + start * 4;
+        let addrs: Vec<Addr> = (0..12).map(|i| base + i * stride).collect();
+        let reqs = drive(&mut pf, &addrs);
+        for r in &reqs {
+            prop_assert_eq!(
+                (i64::from(*r) - i64::from(base)).rem_euclid(i64::from(stride)),
+                0,
+                "request {:#x} off-stride", r
+            );
+        }
+        prop_assert!(!reqs.is_empty(), "a perfect stride must eventually fire");
+    }
+
+    /// GHB never panics and never emits address zero on arbitrary miss
+    /// streams.
+    #[test]
+    fn ghb_is_robust_to_arbitrary_misses(
+        blocks in proptest::collection::vec(0u32..100_000, 1..300)
+    ) {
+        let mut pf = GhbPrefetcher::new(PrefetcherId(0), GhbConfig::default());
+        let addrs: Vec<Addr> = blocks.iter().map(|b| 0x4000_0000u32.wrapping_add(b * 64)).collect();
+        let reqs = drive(&mut pf, &addrs);
+        for r in reqs {
+            prop_assert!(r != 0);
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Machine configuration (paper Table 5, adapted to 64-byte blocks).
+
+use crate::cache::CacheConfig;
+
+/// Out-of-order core parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoreConfig {
+    /// Reorder-buffer (instruction window) capacity, in instructions.
+    pub window_size: u32,
+    /// Instructions dispatched into the window per cycle.
+    pub dispatch_width: u32,
+    /// Instructions retired per cycle.
+    pub retire_width: u32,
+    /// Maximum in-flight memory operations (load/store queue entries).
+    pub lsq_size: u32,
+    /// Memory operations issued to the L1 per cycle.
+    pub issue_width: u32,
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        CoreConfig {
+            window_size: 256,
+            dispatch_width: 4,
+            retire_width: 4,
+            lsq_size: 32,
+            issue_width: 8,
+        }
+    }
+}
+
+/// Memory-controller scheduling policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DramScheduling {
+    /// First-ready FCFS with demand-first priority (the default: row hits
+    /// first, then demands over prefetches, then oldest).
+    #[default]
+    FrFcfsDemandFirst,
+    /// First-ready FCFS without demand priority.
+    FrFcfs,
+    /// Strict arrival order.
+    Fcfs,
+}
+
+/// Row-buffer management policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RowPolicy {
+    /// Leave the row open after an access (default; rewards locality).
+    #[default]
+    OpenPage,
+    /// Precharge after every access: every access pays the full row cycle,
+    /// but there are no conflict penalties to open rows.
+    ClosedPage,
+}
+
+/// DRAM and off-chip bus parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DramConfig {
+    /// Number of DRAM banks.
+    pub num_banks: u32,
+    /// Row-buffer size in bytes (determines the row index of an address).
+    pub row_bytes: u32,
+    /// Bank busy time for a row-buffer hit, in core cycles.
+    pub row_hit_cycles: u64,
+    /// Bank busy time for a row-buffer conflict (precharge + activate + CAS).
+    pub row_conflict_cycles: u64,
+    /// Fixed controller/queueing overhead added to every access, in cycles.
+    pub controller_overhead: u64,
+    /// Core cycles to transfer one cache block over the data bus.
+    ///
+    /// 64-byte block over an 8-byte bus at a 5:1 core:bus frequency ratio =
+    /// 8 beats x 5 cycles = 40 core cycles.
+    pub bus_transfer_cycles: u64,
+    /// Capacity of the shared memory request buffer, per core
+    /// (paper: 32 x core-count).
+    pub request_buffer_per_core: u32,
+    /// Controller scheduling policy.
+    pub scheduling: DramScheduling,
+    /// Row-buffer management policy.
+    pub row_policy: RowPolicy,
+}
+
+impl Default for DramConfig {
+    fn default() -> Self {
+        DramConfig {
+            num_banks: 8,
+            row_bytes: 8192,
+            row_hit_cycles: 110,
+            row_conflict_cycles: 300,
+            controller_overhead: 110,
+            bus_transfer_cycles: 40,
+            request_buffer_per_core: 32,
+            scheduling: DramScheduling::default(),
+            row_policy: RowPolicy::default(),
+        }
+    }
+}
+
+/// Full single-core machine configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MachineConfig {
+    /// Core (window) parameters.
+    pub core: CoreConfig,
+    /// L1 data cache geometry and latency.
+    pub l1: CacheConfig,
+    /// L2 (last-level) cache geometry and latency.
+    pub l2: CacheConfig,
+    /// Number of L2 miss-status-holding registers.
+    pub l2_mshrs: u32,
+    /// DRAM system parameters.
+    pub dram: DramConfig,
+    /// Capacity of the per-core prefetch request queue.
+    pub prefetch_queue_size: u32,
+    /// L2 evictions per feedback-sampling interval (paper §4.1: 8192).
+    pub interval_evictions: u64,
+    /// When set, L2 misses of loads marked as linked-data-structure accesses
+    /// are ideally converted to hits (the oracle experiment of Figure 1).
+    pub oracle_lds: bool,
+    /// Safety net: abort if the machine makes no forward progress for this
+    /// many cycles (deadlock in the model, not the workload).
+    pub deadlock_cycles: u64,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            core: CoreConfig::default(),
+            l1: CacheConfig {
+                bytes: 32 * 1024,
+                ways: 4,
+                hit_latency: 2,
+            },
+            l2: CacheConfig {
+                bytes: 1024 * 1024,
+                ways: 8,
+                hit_latency: 15,
+            },
+            l2_mshrs: 32,
+            dram: DramConfig::default(),
+            prefetch_queue_size: 128,
+            interval_evictions: 8192,
+            oracle_lds: false,
+            deadlock_cycles: 20_000_000,
+        }
+    }
+}
+
+impl MachineConfig {
+    /// The minimum DRAM round-trip latency of this configuration, in cycles
+    /// (controller overhead + row conflict + bus transfer).
+    pub fn min_memory_latency(&self) -> u64 {
+        self.dram.controller_overhead + self.dram.row_conflict_cycles + self.dram.bus_transfer_cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_table5() {
+        let c = MachineConfig::default();
+        assert_eq!(c.core.window_size, 256);
+        assert_eq!(c.core.lsq_size, 32);
+        assert_eq!(c.l2.bytes, 1024 * 1024);
+        assert_eq!(c.l2.ways, 8);
+        assert_eq!(c.l2_mshrs, 32);
+        assert_eq!(c.dram.num_banks, 8);
+        assert_eq!(c.prefetch_queue_size, 128);
+        assert_eq!(c.interval_evictions, 8192);
+    }
+
+    #[test]
+    fn min_memory_latency_is_450() {
+        // Paper: "450-cycle minimum memory latency".
+        assert_eq!(MachineConfig::default().min_memory_latency(), 450);
+    }
+}

@@ -1,0 +1,411 @@
+//! DRAM system: shared memory request buffer, banks with row buffers, and
+//! the off-chip data bus.
+//!
+//! Scheduling is FR-FCFS with demand-first priority: among the pending
+//! requests for a free bank, row-buffer hits win, then demand requests beat
+//! prefetches, then oldest-first. Every block transfer (read fill or dirty
+//! writeback) occupies the shared data bus for a full transfer time — the
+//! `BPKI` bandwidth metric counts these bus transfers.
+
+use crate::config::{DramConfig, DramScheduling, RowPolicy};
+use sim_mem::{block_of, Addr};
+
+/// A request queued at the memory controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramRequest {
+    /// Block address (low bits zero).
+    pub block_addr: Addr,
+    /// True for dirty writebacks (no completion routing needed).
+    pub is_write: bool,
+    /// True for demand misses (scheduling priority over prefetches).
+    pub is_demand: bool,
+    /// Issuing core.
+    pub core: u8,
+    /// MSHR slot to wake on completion (reads only).
+    pub mshr_slot: u32,
+    /// Cycle the request entered the buffer.
+    pub enqueue_cycle: u64,
+}
+
+/// A finished DRAM access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramCompletion {
+    /// The original request.
+    pub request: DramRequest,
+    /// Cycle at which the data transfer finished.
+    pub finish_cycle: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Bank {
+    busy_until: u64,
+    open_row: Option<u32>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct InFlight {
+    request: DramRequest,
+    finish_cycle: u64,
+}
+
+/// The DRAM system shared by all cores.
+///
+/// Call [`Dram::try_enqueue`] to submit requests (bounded by the memory
+/// request buffer), [`Dram::tick`] each cycle to collect completions, and
+/// [`Dram::next_event`] to find the next cycle at which anything can happen
+/// (for idle-cycle skipping).
+#[derive(Debug)]
+pub struct Dram {
+    config: DramConfig,
+    capacity: usize,
+    queue: Vec<DramRequest>,
+    banks: Vec<Bank>,
+    in_flight: Vec<InFlight>,
+    bus_free_at: u64,
+    bus_transfers: u64,
+    bus_transfers_by_core: Vec<u64>,
+    row_hits: u64,
+    row_conflicts: u64,
+}
+
+impl Dram {
+    /// Creates a DRAM system serving `cores` cores (the request buffer holds
+    /// `request_buffer_per_core * cores` entries).
+    pub fn new(config: DramConfig, cores: u32) -> Self {
+        let capacity = (config.request_buffer_per_core * cores) as usize;
+        let banks = vec![
+            Bank {
+                busy_until: 0,
+                open_row: None
+            };
+            config.num_banks as usize
+        ];
+        Dram {
+            config,
+            capacity,
+            queue: Vec::new(),
+            banks,
+            in_flight: Vec::new(),
+            bus_free_at: 0,
+            bus_transfers: 0,
+            bus_transfers_by_core: vec![0; cores as usize],
+            row_hits: 0,
+            row_conflicts: 0,
+        }
+    }
+
+    /// Total block transfers over the data bus so far (reads + writebacks).
+    pub fn bus_transfers(&self) -> u64 {
+        self.bus_transfers
+    }
+
+    /// Block transfers attributable to one core.
+    pub fn bus_transfers_for(&self, core: u8) -> u64 {
+        self.bus_transfers_by_core[core as usize]
+    }
+
+    /// Row-buffer hits / conflicts, for reporting.
+    pub fn row_stats(&self) -> (u64, u64) {
+        (self.row_hits, self.row_conflicts)
+    }
+
+    /// Requests currently buffered or in flight.
+    pub fn occupancy(&self) -> usize {
+        self.queue.len() + self.in_flight.len()
+    }
+
+    /// True when the request buffer cannot accept another request.
+    pub fn is_full(&self) -> bool {
+        self.occupancy() >= self.capacity
+    }
+
+    #[inline]
+    fn bank_of(&self, addr: Addr) -> usize {
+        ((addr / sim_mem::BLOCK_BYTES) % self.config.num_banks) as usize
+    }
+
+    #[inline]
+    fn row_of(&self, addr: Addr) -> u32 {
+        addr / self.config.row_bytes
+    }
+
+    /// Submits a request. Returns false (rejecting it) when the buffer is
+    /// full — the caller must retry later.
+    pub fn try_enqueue(&mut self, request: DramRequest) -> bool {
+        if self.is_full() {
+            return false;
+        }
+        debug_assert_eq!(request.block_addr, block_of(request.block_addr));
+        self.queue.push(request);
+        true
+    }
+
+    /// Schedules work onto free banks and returns accesses that finished at
+    /// or before `now`.
+    pub fn tick(&mut self, now: u64) -> Vec<DramCompletion> {
+        self.schedule(now);
+        let mut done = Vec::new();
+        let mut i = 0;
+        while i < self.in_flight.len() {
+            if self.in_flight[i].finish_cycle <= now {
+                let f = self.in_flight.swap_remove(i);
+                done.push(DramCompletion {
+                    request: f.request,
+                    finish_cycle: f.finish_cycle,
+                });
+            } else {
+                i += 1;
+            }
+        }
+        done
+    }
+
+    fn schedule(&mut self, now: u64) {
+        for bank_idx in 0..self.banks.len() {
+            loop {
+                if self.banks[bank_idx].busy_until > now || self.queue.is_empty() {
+                    break;
+                }
+                // Pick the next request for this bank per the configured
+                // scheduling policy.
+                let open_row = self.banks[bank_idx].open_row;
+                let mut best: Option<(usize, (bool, bool, u64))> = None;
+                for (qi, req) in self.queue.iter().enumerate() {
+                    if self.bank_of(req.block_addr) != bank_idx {
+                        continue;
+                    }
+                    let row_hit = open_row == Some(self.row_of(req.block_addr));
+                    // Higher key wins. Scheduling policies zero out the
+                    // components they ignore.
+                    let key = match self.config.scheduling {
+                        DramScheduling::FrFcfsDemandFirst => {
+                            (row_hit, req.is_demand, u64::MAX - req.enqueue_cycle)
+                        }
+                        DramScheduling::FrFcfs => {
+                            (row_hit, false, u64::MAX - req.enqueue_cycle)
+                        }
+                        DramScheduling::Fcfs => (false, false, u64::MAX - req.enqueue_cycle),
+                    };
+                    if best.as_ref().is_none_or(|(_, bk)| key > *bk) {
+                        best = Some((qi, key));
+                    }
+                }
+                let Some((qi, _)) = best else { break };
+                let req = self.queue.swap_remove(qi);
+                let row = self.row_of(req.block_addr);
+                let row_hit = self.config.row_policy == RowPolicy::OpenPage
+                    && self.banks[bank_idx].open_row == Some(row);
+                let access = if row_hit {
+                    self.row_hits += 1;
+                    self.config.row_hit_cycles
+                } else {
+                    self.row_conflicts += 1;
+                    self.config.row_conflict_cycles
+                };
+                // The bank could have started serving this request as soon
+                // as both it and the request were available (tick may be
+                // called later than that moment).
+                let start = req.enqueue_cycle.max(self.banks[bank_idx].busy_until);
+                let data_ready = start + self.config.controller_overhead + access;
+                let bus_start = data_ready.max(self.bus_free_at);
+                let finish = bus_start + self.config.bus_transfer_cycles;
+                self.bus_free_at = finish;
+                self.bus_transfers += 1;
+                self.bus_transfers_by_core[req.core as usize] += 1;
+                self.banks[bank_idx].busy_until = data_ready;
+                self.banks[bank_idx].open_row = match self.config.row_policy {
+                    RowPolicy::OpenPage => Some(row),
+                    RowPolicy::ClosedPage => None,
+                };
+                self.in_flight.push(InFlight {
+                    request: req,
+                    finish_cycle: finish,
+                });
+            }
+        }
+    }
+
+    /// The next cycle at which a completion or a scheduling decision can
+    /// occur, or `None` if the DRAM system is completely idle.
+    pub fn next_event(&self, now: u64) -> Option<u64> {
+        let mut next: Option<u64> = None;
+        let mut consider = |c: u64| {
+            let c = c.max(now + 1);
+            next = Some(next.map_or(c, |n: u64| n.min(c)));
+        };
+        for f in &self.in_flight {
+            consider(f.finish_cycle);
+        }
+        if !self.queue.is_empty() {
+            // A queued request can be scheduled as soon as its bank frees;
+            // conservatively use the earliest bank-free time.
+            for b in &self.banks {
+                consider(b.busy_until);
+            }
+        }
+        next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dram() -> Dram {
+        Dram::new(DramConfig::default(), 1)
+    }
+
+    fn read_req(addr: Addr, demand: bool, at: u64) -> DramRequest {
+        DramRequest {
+            block_addr: addr,
+            is_write: false,
+            is_demand: demand,
+            core: 0,
+            mshr_slot: 0,
+            enqueue_cycle: at,
+        }
+    }
+
+    #[test]
+    fn single_read_completes_at_min_latency() {
+        let mut d = dram();
+        assert!(d.try_enqueue(read_req(0x4000_0000, true, 0)));
+        // Cold access: row conflict path. 110 + 300 + 40 = 450.
+        let done = d.tick(450);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].finish_cycle, 450);
+    }
+
+    #[test]
+    fn row_hit_is_faster_than_conflict() {
+        let mut d = dram();
+        // Two blocks in the same row, same bank (consecutive isn't:
+        // consecutive blocks interleave banks, so use stride num_banks).
+        let a = 0x4000_0000;
+        let b = a + 64 * 8; // same bank (8 banks), same 8KB row
+        d.try_enqueue(read_req(a, true, 0));
+        let first = d.tick(10_000);
+        assert_eq!(first.len(), 1);
+        let t1 = first[0].finish_cycle;
+        d.try_enqueue(read_req(b, true, t1));
+        let second = d.tick(100_000);
+        assert_eq!(second.len(), 1);
+        let latency2 = second[0].finish_cycle - t1;
+        assert!(
+            latency2 < 450,
+            "row hit latency {latency2} should beat cold 450"
+        );
+    }
+
+    #[test]
+    fn demand_beats_prefetch_on_same_bank() {
+        let mut d = dram();
+        let a = 0x4000_0000;
+        let b = a + 64 * 8; // same bank
+        d.try_enqueue(read_req(a, false, 0)); // prefetch, arrived first
+        d.try_enqueue(read_req(b, true, 1)); // demand, arrived second
+        let done = d.tick(2000);
+        assert_eq!(done.len(), 2);
+        let first = done.iter().min_by_key(|c| c.finish_cycle).unwrap();
+        assert!(first.request.is_demand, "demand should be served first");
+    }
+
+    #[test]
+    fn buffer_capacity_is_enforced() {
+        let mut d = Dram::new(
+            DramConfig {
+                request_buffer_per_core: 2,
+                ..DramConfig::default()
+            },
+            1,
+        );
+        assert!(d.try_enqueue(read_req(0x0, true, 0)));
+        assert!(d.try_enqueue(read_req(0x40, true, 0)));
+        assert!(!d.try_enqueue(read_req(0x80, true, 0)));
+        assert!(d.is_full());
+    }
+
+    #[test]
+    fn bus_serialises_transfers() {
+        let mut d = dram();
+        // Two different banks: bank accesses overlap but bus transfers
+        // serialise, so completions are >= one transfer apart.
+        d.try_enqueue(read_req(0x4000_0000, true, 0));
+        d.try_enqueue(read_req(0x4000_0040, true, 0));
+        let done = d.tick(10_000);
+        assert_eq!(done.len(), 2);
+        let mut t: Vec<u64> = done.iter().map(|c| c.finish_cycle).collect();
+        t.sort_unstable();
+        assert!(t[1] - t[0] >= DramConfig::default().bus_transfer_cycles);
+        assert_eq!(d.bus_transfers(), 2);
+    }
+
+    #[test]
+    fn next_event_tracks_in_flight() {
+        let mut d = dram();
+        assert_eq!(d.next_event(0), None);
+        d.try_enqueue(read_req(0x0, true, 0));
+        let _ = d.tick(0); // schedules, nothing completes yet
+        let ev = d.next_event(0).expect("in-flight event");
+        assert_eq!(ev, 450);
+    }
+
+    #[test]
+    fn closed_page_never_row_hits() {
+        let mut d = Dram::new(
+            DramConfig {
+                row_policy: RowPolicy::ClosedPage,
+                ..DramConfig::default()
+            },
+            1,
+        );
+        let a = 0x4000_0000;
+        let b = a + 64 * 8; // same bank, same row
+        d.try_enqueue(read_req(a, true, 0));
+        let t1 = d.tick(10_000)[0].finish_cycle;
+        d.try_enqueue(read_req(b, true, t1));
+        let _ = d.tick(100_000);
+        let (hits, conflicts) = d.row_stats();
+        assert_eq!(hits, 0, "closed page cannot row-hit");
+        assert_eq!(conflicts, 2);
+    }
+
+    #[test]
+    fn fcfs_serves_in_arrival_order() {
+        let mut d = Dram::new(
+            DramConfig {
+                scheduling: DramScheduling::Fcfs,
+                ..DramConfig::default()
+            },
+            1,
+        );
+        let a = 0x4000_0000;
+        let b = a + 64 * 8; // same bank
+        d.try_enqueue(read_req(a, false, 0)); // prefetch arrived first
+        d.try_enqueue(read_req(b, true, 1)); // demand second
+        let done = d.tick(2000);
+        let first = done.iter().min_by_key(|c| c.finish_cycle).unwrap();
+        assert!(
+            !first.request.is_demand,
+            "FCFS must ignore demand priority"
+        );
+    }
+
+    #[test]
+    fn writes_occupy_bus() {
+        let mut d = dram();
+        let w = DramRequest {
+            block_addr: 0x1000,
+            is_write: true,
+            is_demand: false,
+            core: 0,
+            mshr_slot: 0,
+            enqueue_cycle: 0,
+        };
+        d.try_enqueue(w);
+        let done = d.tick(10_000);
+        assert_eq!(done.len(), 1);
+        assert!(done[0].request.is_write);
+        assert_eq!(d.bus_transfers(), 1);
+    }
+}

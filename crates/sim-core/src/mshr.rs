@@ -1,0 +1,180 @@
+//! Miss-status-holding registers for the last-level cache.
+//!
+//! Each entry records, per the paper's Table 7, the triggering load's block
+//! offset (here: the full trigger address) and — for ECDP — the hint bit
+//! vector context needed when the fill arrives. Demand requests arriving for
+//! a block whose prefetch is already in flight *merge* into the entry; such
+//! prefetches are counted as used-but-late.
+
+use crate::prefetcher::{AccessKind, PgTag};
+use sim_mem::Addr;
+
+/// An in-flight last-level-cache miss.
+#[derive(Debug, Clone)]
+pub struct MshrEntry {
+    /// Block address being fetched.
+    pub block_addr: Addr,
+    /// What allocated the entry.
+    pub kind: AccessKind,
+    /// PC of the triggering (root) load.
+    pub trigger_pc: u32,
+    /// Exact byte address of the triggering demand access.
+    pub trigger_addr: Addr,
+    /// Content-directed recursion depth (prefetch entries).
+    pub depth: u8,
+    /// Pointer-group attribution (prefetch entries).
+    pub pg: Option<PgTag>,
+    /// Window slots (trace op indices) waiting on the fill.
+    pub waiters: Vec<u32>,
+    /// True if a demand request merged into a prefetch-allocated entry.
+    pub demand_merged: bool,
+    /// True if a merged demand was a store.
+    pub store_merged: bool,
+}
+
+/// A fixed-capacity MSHR file with block-address lookup.
+///
+/// # Example
+///
+/// ```
+/// use sim_core::mshr::MshrFile;
+/// use sim_core::prefetcher::AccessKind;
+///
+/// let mut m = MshrFile::new(2);
+/// let slot = m.alloc(0x1000, AccessKind::DemandLoad, 0x400, 0x1004).unwrap();
+/// assert!(m.find(0x1000).is_some());
+/// let entry = m.free(slot);
+/// assert_eq!(entry.block_addr, 0x1000);
+/// assert!(m.find(0x1000).is_none());
+/// ```
+#[derive(Debug)]
+pub struct MshrFile {
+    entries: Vec<Option<MshrEntry>>,
+    occupied: u32,
+}
+
+impl MshrFile {
+    /// Creates an MSHR file with `capacity` entries.
+    pub fn new(capacity: u32) -> Self {
+        MshrFile {
+            entries: (0..capacity).map(|_| None).collect(),
+            occupied: 0,
+        }
+    }
+
+    /// Number of occupied entries.
+    pub fn occupied(&self) -> u32 {
+        self.occupied
+    }
+
+    /// True if no entry is free.
+    pub fn is_full(&self) -> bool {
+        self.occupied as usize == self.entries.len()
+    }
+
+    /// Finds the slot holding `block_addr`, if any.
+    pub fn find(&self, block_addr: Addr) -> Option<usize> {
+        self.entries
+            .iter()
+            .position(|e| e.as_ref().is_some_and(|e| e.block_addr == block_addr))
+    }
+
+    /// Immutable access to a slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is free.
+    pub fn get(&self, slot: usize) -> &MshrEntry {
+        self.entries[slot].as_ref().expect("free MSHR slot")
+    }
+
+    /// Mutable access to a slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is free.
+    pub fn get_mut(&mut self, slot: usize) -> &mut MshrEntry {
+        self.entries[slot].as_mut().expect("free MSHR slot")
+    }
+
+    /// Allocates an entry for `block_addr`. Returns `None` when full.
+    pub fn alloc(
+        &mut self,
+        block_addr: Addr,
+        kind: AccessKind,
+        trigger_pc: u32,
+        trigger_addr: Addr,
+    ) -> Option<usize> {
+        debug_assert!(self.find(block_addr).is_none(), "duplicate MSHR");
+        let slot = self.entries.iter().position(Option::is_none)?;
+        self.entries[slot] = Some(MshrEntry {
+            block_addr,
+            kind,
+            trigger_pc,
+            trigger_addr,
+            depth: 0,
+            pg: None,
+            waiters: Vec::new(),
+            demand_merged: false,
+            store_merged: false,
+        });
+        self.occupied += 1;
+        Some(slot)
+    }
+
+    /// Frees a slot, returning the entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is already free.
+    pub fn free(&mut self, slot: usize) -> MshrEntry {
+        let e = self.entries[slot].take().expect("double free of MSHR slot");
+        self.occupied -= 1;
+        e
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_until_full() {
+        let mut m = MshrFile::new(2);
+        assert!(m.alloc(0x0, AccessKind::DemandLoad, 1, 0x0).is_some());
+        assert!(m.alloc(0x40, AccessKind::DemandLoad, 1, 0x40).is_some());
+        assert!(m.is_full());
+        assert!(m.alloc(0x80, AccessKind::DemandLoad, 1, 0x80).is_none());
+    }
+
+    #[test]
+    fn free_slot_is_reusable() {
+        let mut m = MshrFile::new(1);
+        let s = m.alloc(0x0, AccessKind::DemandLoad, 1, 0x0).unwrap();
+        m.free(s);
+        assert_eq!(m.occupied(), 0);
+        assert!(m.alloc(0x40, AccessKind::DemandLoad, 1, 0x40).is_some());
+    }
+
+    #[test]
+    fn find_locates_entry_by_block() {
+        let mut m = MshrFile::new(4);
+        m.alloc(0x100, AccessKind::DemandLoad, 1, 0x104).unwrap();
+        let s = m.alloc(0x200, AccessKind::DemandLoad, 2, 0x200).unwrap();
+        assert_eq!(m.find(0x200), Some(s));
+        assert_eq!(m.find(0x300), None);
+    }
+
+    #[test]
+    fn merge_state_tracks_waiters() {
+        let mut m = MshrFile::new(1);
+        let s = m
+            .alloc(0x0, AccessKind::Prefetch(crate::prefetcher::PrefetcherId(1)), 0, 0)
+            .unwrap();
+        let e = m.get_mut(s);
+        e.waiters.push(7);
+        e.demand_merged = true;
+        assert_eq!(m.get(s).waiters, vec![7]);
+        assert!(m.get(s).demand_merged);
+    }
+}

@@ -1,0 +1,307 @@
+//! Multi-core simulation: private L1/L2/prefetchers per core, shared memory
+//! request buffer, DRAM banks and data bus.
+//!
+//! Methodology follows the paper's multi-core experiments: every core runs
+//! its own workload; when a core finishes its trace its statistics are
+//! snapshotted and the core *restarts* the trace (with warm caches) so that
+//! memory-system contention persists until the slowest core completes.
+
+use crate::dram::Dram;
+use crate::engine::CoreSim;
+use crate::prefetcher::{NullObserver, Prefetcher};
+use crate::stats::RunStats;
+use crate::throttling::{NoThrottle, ThrottlePolicy};
+use crate::trace::Trace;
+use crate::MachineConfig;
+
+/// Per-core prefetcher + throttling configuration for [`MultiMachine`].
+pub struct CoreSetup {
+    /// Prefetchers, registration order = [`crate::PrefetcherId`].
+    pub prefetchers: Vec<Box<dyn Prefetcher>>,
+    /// Throttling policy for this core.
+    pub throttle: Box<dyn ThrottlePolicy>,
+}
+
+impl CoreSetup {
+    /// A core with no prefetching and no throttling.
+    pub fn bare() -> Self {
+        CoreSetup {
+            prefetchers: Vec::new(),
+            throttle: Box::new(NoThrottle),
+        }
+    }
+}
+
+impl std::fmt::Debug for CoreSetup {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CoreSetup")
+            .field("prefetchers", &self.prefetchers.len())
+            .finish()
+    }
+}
+
+/// Results of a multi-core run.
+#[derive(Debug, Clone)]
+pub struct MultiRunStats {
+    /// Per-core statistics, snapshotted when each core first completed its
+    /// trace.
+    pub per_core: Vec<RunStats>,
+    /// Total bus transfers across all cores during the measured region.
+    pub total_bus_transfers: u64,
+}
+
+impl MultiRunStats {
+    /// Weighted speedup against per-core alone IPCs (Snavely & Tullsen):
+    /// `sum_i IPC_shared_i / IPC_alone_i`.
+    pub fn weighted_speedup(&self, alone_ipc: &[f64]) -> f64 {
+        self.per_core
+            .iter()
+            .zip(alone_ipc)
+            .map(|(s, &a)| s.ipc() / a)
+            .sum()
+    }
+
+    /// Harmonic-mean speedup (Luo et al.): `n / sum_i (IPC_alone_i /
+    /// IPC_shared_i)`.
+    pub fn hmean_speedup(&self, alone_ipc: &[f64]) -> f64 {
+        let n = self.per_core.len() as f64;
+        let denom: f64 = self
+            .per_core
+            .iter()
+            .zip(alone_ipc)
+            .map(|(s, &a)| a / s.ipc())
+            .sum();
+        n / denom
+    }
+
+    /// Unfairness: the maximum per-core slowdown (`IPC_alone / IPC_shared`)
+    /// divided by the minimum — 1.0 means perfectly even degradation.
+    pub fn unfairness(&self, alone_ipc: &[f64]) -> f64 {
+        let slowdowns: Vec<f64> = self
+            .per_core
+            .iter()
+            .zip(alone_ipc)
+            .map(|(s, &a)| a / s.ipc().max(1e-12))
+            .collect();
+        let max = slowdowns.iter().cloned().fold(f64::MIN, f64::max);
+        let min = slowdowns.iter().cloned().fold(f64::MAX, f64::min);
+        max / min.max(1e-12)
+    }
+}
+
+/// A chip multiprocessor: N cores with private cache hierarchies sharing the
+/// DRAM system.
+pub struct MultiMachine {
+    config: MachineConfig,
+    cores: Vec<CoreSetup>,
+}
+
+impl MultiMachine {
+    /// Creates a multi-core machine from per-core setups.
+    pub fn new(config: MachineConfig, cores: Vec<CoreSetup>) -> Self {
+        MultiMachine { config, cores }
+    }
+
+    /// Number of cores.
+    pub fn num_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Runs one trace per core until every core has completed its trace at
+    /// least once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `traces.len()` differs from the core count, or on a
+    /// simulator deadlock.
+    pub fn run(&mut self, traces: &[Trace]) -> MultiRunStats {
+        assert_eq!(traces.len(), self.cores.len(), "one trace per core");
+        let n = self.cores.len();
+        let mut dram = Dram::new(self.config.dram.clone(), n as u32);
+        let mut sims: Vec<CoreSim> = (0..n)
+            .map(|i| {
+                CoreSim::new(
+                    i as u8,
+                    self.config.clone(),
+                    &traces[i],
+                    self.cores[i].prefetchers.len(),
+                )
+            })
+            .collect();
+        let mut observer = NullObserver;
+        let mut snapshots: Vec<Option<RunStats>> = vec![None; n];
+        let bus_at_start: Vec<u64> = vec![0; n];
+        let mut now: u64 = 0;
+        let mut last_activity: u64 = 0;
+
+        while snapshots.iter().any(Option::is_none) {
+            let mut activity = false;
+            for completion in dram.tick(now) {
+                if completion.request.is_write {
+                    continue;
+                }
+                let c = completion.request.core as usize;
+                sims[c].apply_completion(
+                    &completion,
+                    now,
+                    &mut self.cores[c].prefetchers,
+                    &mut observer,
+                );
+                activity = true;
+            }
+            // Rotate core service order for fairness.
+            for k in 0..n {
+                let c = (k + (now as usize)) % n;
+                let ops = &traces[c].ops[..];
+                activity |= sims[c].step(
+                    ops,
+                    now,
+                    &mut dram,
+                    &mut self.cores[c].prefetchers,
+                    &mut observer,
+                );
+                activity |= sims[c].issue_to_dram(&mut dram, now, &mut observer);
+                let core = &mut self.cores[c];
+                sims[c].maybe_end_interval(&mut core.prefetchers, core.throttle.as_mut());
+                if sims[c].finished(ops) {
+                    if snapshots[c].is_none() {
+                        let mut s = sims[c].stats.clone();
+                        s.cycles = now.max(1);
+                        s.bus_transfers = dram.bus_transfers_for(c as u8) - bus_at_start[c];
+                        for (i, p) in self.cores[c].prefetchers.iter().enumerate() {
+                            s.prefetchers[i].name = p.name().to_string();
+                        }
+                        snapshots[c] = Some(s);
+                    }
+                    // Restart the trace to keep generating contention
+                    // (unless everyone is done).
+                    if snapshots.iter().any(Option::is_none) {
+                        sims[c].rewind(&traces[c]);
+                    }
+                }
+            }
+
+            if activity {
+                last_activity = now;
+                now += 1;
+                continue;
+            }
+            let dram_full = dram.is_full();
+            if sims
+                .iter()
+                .enumerate()
+                .any(|(c, s)| s.has_immediate_work(&traces[c].ops, now, dram_full))
+            {
+                now += 1;
+            } else {
+                let mut next: Option<u64> = None;
+                for s in &sims {
+                    if let Some(e) = s.next_local_event(now) {
+                        next = Some(next.map_or(e, |n: u64| n.min(e)));
+                    }
+                }
+                if let Some(d) = dram.next_event(now) {
+                    next = Some(next.map_or(d, |n| n.min(d)));
+                }
+                now = next.unwrap_or(now + 1);
+            }
+            assert!(
+                now - last_activity < self.config.deadlock_cycles,
+                "multi-core simulator deadlock at cycle {now}"
+            );
+        }
+        let _ = bus_at_start;
+
+        MultiRunStats {
+            per_core: snapshots.into_iter().map(Option::unwrap).collect(),
+            total_bus_transfers: dram.bus_transfers(),
+        }
+    }
+}
+
+impl std::fmt::Debug for MultiMachine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MultiMachine")
+            .field("cores", &self.cores.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceBuilder;
+    use sim_mem::{layout, SimMemory};
+
+    fn stream_trace(len: u32, base_off: u32) -> Trace {
+        let mut tb = TraceBuilder::new(SimMemory::new());
+        for i in 0..len {
+            tb.load(0x400, layout::HEAP_BASE + base_off + i * 64, None);
+            tb.compute(4);
+        }
+        tb.finish()
+    }
+
+    #[test]
+    fn two_cores_complete() {
+        let cfg = MachineConfig::default();
+        let mut mm = MultiMachine::new(cfg, vec![CoreSetup::bare(), CoreSetup::bare()]);
+        let t0 = stream_trace(500, 0);
+        let t1 = stream_trace(500, 0x100_0000);
+        let r = mm.run(&[t0, t1]);
+        assert_eq!(r.per_core.len(), 2);
+        for s in &r.per_core {
+            assert_eq!(s.retired_instructions, 500 * 5);
+            assert!(s.cycles > 0);
+        }
+        assert!(r.total_bus_transfers >= 1000);
+    }
+
+    #[test]
+    fn contention_slows_cores_down() {
+        let cfg = MachineConfig::default();
+        let alone = {
+            let mut m = crate::Machine::new(cfg.clone());
+            m.run(&stream_trace(500, 0))
+        };
+        let mut mm = MultiMachine::new(
+            cfg,
+            vec![CoreSetup::bare(), CoreSetup::bare(), CoreSetup::bare(), CoreSetup::bare()],
+        );
+        let traces: Vec<Trace> = (0..4).map(|i| stream_trace(500, i * 0x100_0000)).collect();
+        let r = mm.run(&traces);
+        // With four cores sharing the bus, at least one core must be slower
+        // than running alone.
+        assert!(
+            r.per_core.iter().any(|s| s.cycles > alone.cycles),
+            "expected shared-resource contention"
+        );
+    }
+
+    #[test]
+    fn speedup_metrics_are_sane() {
+        let stats = MultiRunStats {
+            per_core: vec![
+                RunStats {
+                    cycles: 100,
+                    retired_instructions: 100,
+                    ..Default::default()
+                },
+                RunStats {
+                    cycles: 100,
+                    retired_instructions: 50,
+                    ..Default::default()
+                },
+            ],
+            total_bus_transfers: 0,
+        };
+        // Alone IPCs of 1.0 and 1.0: weighted speedup = 1.0 + 0.5.
+        let ws = stats.weighted_speedup(&[1.0, 1.0]);
+        assert!((ws - 1.5).abs() < 1e-12);
+        // Slowdowns are 1.0 and 2.0: unfairness = 2.0.
+        assert!((stats.unfairness(&[1.0, 1.0]) - 2.0).abs() < 1e-9);
+        // denom = 1/1 + 1/0.5 = 3, hmean speedup = 2/3.
+        let hs = stats.hmean_speedup(&[1.0, 1.0]);
+        assert!((hs - 2.0 / 3.0).abs() < 1e-9);
+    }
+}

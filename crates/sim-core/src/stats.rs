@@ -1,0 +1,190 @@
+//! End-of-run statistics.
+
+/// Per-prefetcher outcome statistics for one run.
+#[derive(Debug, Clone, Default)]
+pub struct PrefetcherStats {
+    /// Prefetcher display name.
+    pub name: String,
+    /// Prefetch requests issued past the L2 probe (consumed bandwidth).
+    pub issued: u64,
+    /// Prefetches used by demand requests (including late ones).
+    pub used: u64,
+    /// Used prefetches whose demand arrived before the fill.
+    pub late: u64,
+    /// Demand misses caused by blocks this prefetcher evicted.
+    pub pollution: u64,
+    /// Prefetched blocks evicted without use.
+    pub unused_evicted: u64,
+}
+
+impl PrefetcherStats {
+    /// Lifetime prefetch accuracy: used / issued (1.0 if nothing issued).
+    pub fn accuracy(&self) -> f64 {
+        if self.issued == 0 {
+            1.0
+        } else {
+            self.used as f64 / self.issued as f64
+        }
+    }
+
+    /// Lifetime coverage given the run's demand misses.
+    pub fn coverage(&self, demand_misses: u64) -> f64 {
+        let denom = self.used + demand_misses;
+        if denom == 0 {
+            0.0
+        } else {
+            self.used as f64 / denom as f64
+        }
+    }
+}
+
+/// Aggregate service-latency statistics (memory-request buffer entry to
+/// data-transfer completion).
+#[derive(Debug, Clone, Default)]
+pub struct LatencyStats {
+    /// Requests measured.
+    pub count: u64,
+    /// Sum of latencies, in cycles.
+    pub total_cycles: u64,
+    /// Maximum observed latency.
+    pub max_cycles: u64,
+}
+
+impl LatencyStats {
+    /// Records one request's service latency.
+    pub fn record(&mut self, cycles: u64) {
+        self.count += 1;
+        self.total_cycles += cycles;
+        self.max_cycles = self.max_cycles.max(cycles);
+    }
+
+    /// Mean service latency in cycles (0.0 when nothing was measured).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_cycles as f64 / self.count as f64
+        }
+    }
+}
+
+/// Statistics from a single-core run.
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Instructions retired (memory ops + compute instructions).
+    pub retired_instructions: u64,
+    /// Demand accesses that reached the L2.
+    pub l2_demand_accesses: u64,
+    /// Demand accesses that missed in the L2 (after MSHR merges).
+    pub l2_demand_misses: u64,
+    /// Demand misses on loads marked as LDS accesses.
+    pub l2_lds_misses: u64,
+    /// Demand L2 misses that merged into an in-flight prefetch.
+    pub l2_merged_into_prefetch: u64,
+    /// L1 data-cache hits.
+    pub l1_hits: u64,
+    /// L1 data-cache misses.
+    pub l1_misses: u64,
+    /// Block transfers over the off-chip bus (reads + writebacks).
+    pub bus_transfers: u64,
+    /// Dirty L2 evictions written back to memory.
+    pub writebacks: u64,
+    /// DRAM row-buffer hits.
+    pub dram_row_hits: u64,
+    /// DRAM row-buffer conflicts.
+    pub dram_row_conflicts: u64,
+    /// Sampling intervals completed.
+    pub intervals: u64,
+    /// Per-prefetcher statistics, in registration order.
+    pub prefetchers: Vec<PrefetcherStats>,
+    /// Sum over useful prefetches of (demand arrival - fill) wait cycles —
+    /// used to quantify prefetch service latency effects.
+    pub useful_prefetch_wait_cycles: u64,
+    /// DRAM service latency of demand misses.
+    pub demand_service: LatencyStats,
+    /// DRAM service latency of prefetch requests (the paper's §4 resource
+    /// contention measurement: this grows when prefetchers fight).
+    pub prefetch_service: LatencyStats,
+}
+
+impl RunStats {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.retired_instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Bus accesses per thousand retired instructions — the paper's
+    /// bandwidth-consumption metric.
+    pub fn bpki(&self) -> f64 {
+        if self.retired_instructions == 0 {
+            0.0
+        } else {
+            self.bus_transfers as f64 * 1000.0 / self.retired_instructions as f64
+        }
+    }
+
+    /// Demand misses per thousand instructions.
+    pub fn mpki(&self) -> f64 {
+        if self.retired_instructions == 0 {
+            0.0
+        } else {
+            self.l2_demand_misses as f64 * 1000.0 / self.retired_instructions as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_and_bpki() {
+        let s = RunStats {
+            cycles: 1000,
+            retired_instructions: 2000,
+            bus_transfers: 50,
+            ..Default::default()
+        };
+        assert!((s.ipc() - 2.0).abs() < 1e-12);
+        assert!((s.bpki() - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_division_guards() {
+        let s = RunStats::default();
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.bpki(), 0.0);
+        assert_eq!(s.mpki(), 0.0);
+        let p = PrefetcherStats::default();
+        assert_eq!(p.accuracy(), 1.0);
+        assert_eq!(p.coverage(0), 0.0);
+    }
+
+    #[test]
+    fn latency_stats_mean_and_max() {
+        let mut l = LatencyStats::default();
+        assert_eq!(l.mean(), 0.0);
+        l.record(100);
+        l.record(300);
+        assert!((l.mean() - 200.0).abs() < 1e-12);
+        assert_eq!(l.max_cycles, 300);
+        assert_eq!(l.count, 2);
+    }
+
+    #[test]
+    fn accuracy_and_coverage() {
+        let p = PrefetcherStats {
+            issued: 100,
+            used: 40,
+            ..Default::default()
+        };
+        assert!((p.accuracy() - 0.4).abs() < 1e-12);
+        assert!((p.coverage(60) - 0.4).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,305 @@
+//! Workload traces: recording (functional execution) and the record format
+//! replayed by the timing engine.
+
+use sim_mem::{Addr, SimMemory};
+
+/// Kind of a trace operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// A load of a 4-byte value.
+    Load,
+    /// A store of a 4-byte value.
+    Store,
+    /// `value` non-memory instructions (modelled as single-cycle ALU ops).
+    Compute,
+}
+
+/// Sentinel meaning "no producing load" in [`TraceOp::dep`].
+pub const NO_DEP: u32 = u32::MAX;
+
+/// One record of a workload trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceOp {
+    /// Static instruction address (identifies the load for ECDP hints).
+    pub pc: u32,
+    /// Data address (loads/stores) or 0.
+    pub addr: Addr,
+    /// Store value, or instruction count for [`OpKind::Compute`].
+    pub value: u32,
+    /// Absolute trace index of the load that produces this op's *address*,
+    /// or [`NO_DEP`]. A pointer chase is a chain of such dependences.
+    pub dep: u32,
+    /// Operation kind.
+    pub kind: OpKind,
+    /// True if this access dereferences a linked-data-structure pointer
+    /// (used by the Figure 1 oracle experiment and the pointer-intensity
+    /// classification).
+    pub lds: bool,
+}
+
+/// An identifier for a recorded load, used to express address dependences.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadId(pub(crate) u32);
+
+/// A recorded workload: the initial memory image plus the operation stream.
+///
+/// The timing engine replays `ops` against a copy of `initial_memory`,
+/// applying stores in program order, so block contents seen by the
+/// content-directed prefetcher match functional execution.
+pub struct Trace {
+    /// Memory image at the start of the timed region (after setup).
+    pub initial_memory: SimMemory,
+    /// The operation stream.
+    pub ops: Vec<TraceOp>,
+    /// Total instruction count (memory ops + compute counts).
+    pub instructions: u64,
+}
+
+impl Trace {
+    /// Number of memory operations (loads + stores) in the trace.
+    pub fn memory_ops(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|o| o.kind != OpKind::Compute)
+            .count()
+    }
+}
+
+impl std::fmt::Debug for Trace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Trace")
+            .field("ops", &self.ops.len())
+            .field("instructions", &self.instructions)
+            .finish()
+    }
+}
+
+/// Records a trace while a workload executes functionally.
+///
+/// The builder owns a [`SimMemory`]; the workload first populates it through
+/// [`TraceBuilder::setup`] (untimed — building the data structures), then
+/// issues its timed accesses through [`TraceBuilder::load`],
+/// [`TraceBuilder::store`] and [`TraceBuilder::compute`].
+pub struct TraceBuilder {
+    mem: SimMemory,
+    snapshot: Option<SimMemory>,
+    ops: Vec<TraceOp>,
+    instructions: u64,
+    lds_mode: bool,
+}
+
+impl TraceBuilder {
+    /// Creates a builder over `mem`.
+    pub fn new(mem: SimMemory) -> Self {
+        TraceBuilder {
+            mem,
+            snapshot: None,
+            ops: Vec::new(),
+            instructions: 0,
+            lds_mode: false,
+        }
+    }
+
+    /// Runs untimed setup code against the memory image. May be called
+    /// multiple times, but only before the first timed operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if timed operations have already been recorded.
+    pub fn setup(&mut self, f: impl FnOnce(&mut SimMemory)) {
+        assert!(
+            self.ops.is_empty(),
+            "setup must precede timed operations"
+        );
+        f(&mut self.mem);
+    }
+
+    /// Read-only view of the evolving memory image (for workload logic that
+    /// needs to inspect memory without recording an access).
+    pub fn memory(&self) -> &SimMemory {
+        &self.mem
+    }
+
+    /// Marks subsequent loads/stores as LDS accesses until the matching
+    /// [`TraceBuilder::lds_end`]. Equivalent to passing `lds = true`
+    /// explicitly on each access.
+    pub fn lds_begin(&mut self) {
+        self.lds_mode = true;
+    }
+
+    /// Ends an [`TraceBuilder::lds_begin`] region.
+    pub fn lds_end(&mut self) {
+        self.lds_mode = false;
+    }
+
+    fn ensure_snapshot(&mut self) {
+        if self.snapshot.is_none() {
+            self.snapshot = Some(self.mem.clone());
+        }
+    }
+
+    /// Records a 4-byte load at `addr` by instruction `pc`, whose *address*
+    /// was produced by `dep` (the pointer-chase link). Returns the loaded
+    /// value and this load's id for downstream dependences.
+    pub fn load(&mut self, pc: u32, addr: Addr, dep: Option<LoadId>) -> (u32, LoadId) {
+        self.ensure_snapshot();
+        let value = self.mem.read_u32(addr);
+        let id = LoadId(self.ops.len() as u32);
+        self.ops.push(TraceOp {
+            pc,
+            addr,
+            value: 0,
+            dep: dep.map_or(NO_DEP, |d| d.0),
+            kind: OpKind::Load,
+            lds: self.lds_mode || dep.is_some(),
+        });
+        self.instructions += 1;
+        (value, id)
+    }
+
+    /// Records a 4-byte store of `value` at `addr` by instruction `pc`.
+    pub fn store(&mut self, pc: u32, addr: Addr, value: u32, dep: Option<LoadId>) {
+        self.ensure_snapshot();
+        self.mem.write_u32(addr, value);
+        self.ops.push(TraceOp {
+            pc,
+            addr,
+            value,
+            dep: dep.map_or(NO_DEP, |d| d.0),
+            kind: OpKind::Store,
+            lds: self.lds_mode || dep.is_some(),
+        });
+        self.instructions += 1;
+    }
+
+    /// Records `count` non-memory instructions of work.
+    ///
+    /// Large counts are split into chunks of at most 64 instructions so a
+    /// single record never dominates the 256-entry instruction window.
+    pub fn compute(&mut self, count: u32) {
+        if count == 0 {
+            return;
+        }
+        self.ensure_snapshot();
+        let mut left = count;
+        while left > 0 {
+            let chunk = left.min(64);
+            self.ops.push(TraceOp {
+                pc: 0,
+                addr: 0,
+                value: chunk,
+                dep: NO_DEP,
+                kind: OpKind::Compute,
+                lds: false,
+            });
+            left -= chunk;
+        }
+        self.instructions += u64::from(count);
+    }
+
+    /// Number of timed operations recorded so far.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True if no timed operations have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Finalises the trace.
+    pub fn finish(self) -> Trace {
+        let initial_memory = self.snapshot.unwrap_or(self.mem);
+        Trace {
+            initial_memory,
+            ops: self.ops,
+            instructions: self.instructions,
+        }
+    }
+}
+
+impl std::fmt::Debug for TraceBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceBuilder")
+            .field("ops", &self.ops.len())
+            .field("instructions", &self.instructions)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_returns_functional_value() {
+        let mut mem = SimMemory::new();
+        mem.write_u32(0x4000_0000, 1234);
+        let mut tb = TraceBuilder::new(mem);
+        let (v, _) = tb.load(1, 0x4000_0000, None);
+        assert_eq!(v, 1234);
+    }
+
+    #[test]
+    fn store_updates_functional_memory() {
+        let mut tb = TraceBuilder::new(SimMemory::new());
+        tb.store(1, 0x4000_0000, 7, None);
+        let (v, _) = tb.load(2, 0x4000_0000, None);
+        assert_eq!(v, 7);
+    }
+
+    #[test]
+    fn snapshot_precedes_timed_stores() {
+        let mut tb = TraceBuilder::new(SimMemory::new());
+        tb.setup(|m| m.write_u32(0x100, 5));
+        tb.store(1, 0x100, 9, None);
+        let trace = tb.finish();
+        // Initial memory has the setup value, not the timed store.
+        assert_eq!(trace.initial_memory.read_u32(0x100), 5);
+    }
+
+    #[test]
+    fn dependences_are_recorded() {
+        let mut mem = SimMemory::new();
+        mem.write_u32(0x4000_0000, 0x4000_0040);
+        let mut tb = TraceBuilder::new(mem);
+        let (p, id) = tb.load(1, 0x4000_0000, None);
+        let (_, _) = tb.load(2, p, Some(id));
+        let trace = tb.finish();
+        assert_eq!(trace.ops[1].dep, 0);
+        assert!(trace.ops[1].lds, "dependent load is an LDS access");
+        assert_eq!(trace.ops[0].dep, NO_DEP);
+    }
+
+    #[test]
+    fn compute_counts_instructions() {
+        let mut tb = TraceBuilder::new(SimMemory::new());
+        tb.compute(10);
+        tb.compute(0); // no-op
+        tb.load(1, 0, None);
+        let trace = tb.finish();
+        assert_eq!(trace.instructions, 11);
+        assert_eq!(trace.ops.len(), 2);
+        assert_eq!(trace.memory_ops(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "setup must precede")]
+    fn setup_after_ops_panics() {
+        let mut tb = TraceBuilder::new(SimMemory::new());
+        tb.load(1, 0, None);
+        tb.setup(|_| {});
+    }
+
+    #[test]
+    fn lds_mode_marks_accesses() {
+        let mut tb = TraceBuilder::new(SimMemory::new());
+        tb.lds_begin();
+        tb.load(1, 0x10, None);
+        tb.lds_end();
+        tb.load(2, 0x20, None);
+        let t = tb.finish();
+        assert!(t.ops[0].lds);
+        assert!(!t.ops[1].lds);
+    }
+}

@@ -1,0 +1,226 @@
+//! Compact binary serialisation for [`Trace`]s.
+//!
+//! Workload generation is deterministic but not free (tens of milliseconds
+//! to minutes per trace); experiments that run as separate processes can
+//! cache traces on disk instead of regenerating them. The format is a
+//! simple private container: a magic/version header, the sparse non-zero
+//! 4 KB pages of the initial memory image, and the fixed-width op records.
+//!
+//! # Example
+//!
+//! ```
+//! use sim_core::{trace_io, TraceBuilder};
+//! use sim_mem::SimMemory;
+//!
+//! let mut tb = TraceBuilder::new(SimMemory::new());
+//! tb.store(1, 0x4000_0000, 7, None);
+//! tb.load(2, 0x4000_0000, None);
+//! let trace = tb.finish();
+//!
+//! let mut buf = Vec::new();
+//! trace_io::write(&trace, &mut buf)?;
+//! let back = trace_io::read(&mut buf.as_slice())?;
+//! assert_eq!(back.ops, trace.ops);
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+use std::io::{self, Read, Write};
+
+use sim_mem::SimMemory;
+
+use crate::trace::{OpKind, Trace, TraceOp};
+
+const MAGIC: &[u8; 8] = b"ECDPTRC1";
+const PAGE_BYTES: usize = 4096;
+
+fn write_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn write_u64(w: &mut impl Write, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+/// Serialises a trace.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write(trace: &Trace, w: &mut impl Write) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+
+    // Sparse memory image: page count, then (page index, 4096 raw bytes)
+    // for every resident page with non-zero content.
+    let image = &trace.initial_memory;
+    let mut pages: Vec<(u32, [u8; PAGE_BYTES])> = Vec::new();
+    for page_idx in image.resident_page_indices() {
+        let base = page_idx * PAGE_BYTES as u32;
+        let mut buf = [0u8; PAGE_BYTES];
+        for (i, b) in buf.iter_mut().enumerate() {
+            *b = image.read_u8(base + i as u32);
+        }
+        if buf.iter().any(|&b| b != 0) {
+            pages.push((page_idx, buf));
+        }
+    }
+    write_u32(w, pages.len() as u32)?;
+    for (idx, buf) in &pages {
+        write_u32(w, *idx)?;
+        w.write_all(buf)?;
+    }
+
+    // Ops.
+    write_u64(w, trace.instructions)?;
+    write_u32(w, trace.ops.len() as u32)?;
+    for op in &trace.ops {
+        let kind = match op.kind {
+            OpKind::Load => 0u8,
+            OpKind::Store => 1,
+            OpKind::Compute => 2,
+        };
+        w.write_all(&[kind, u8::from(op.lds)])?;
+        write_u32(w, op.pc)?;
+        write_u32(w, op.addr)?;
+        write_u32(w, op.value)?;
+        write_u32(w, op.dep)?;
+    }
+    Ok(())
+}
+
+/// Deserialises a trace written by [`write`].
+///
+/// # Errors
+///
+/// Returns `InvalidData` on a bad magic/version or malformed records, and
+/// propagates reader I/O errors.
+pub fn read(r: &mut impl Read) -> io::Result<Trace> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not an ECDP trace (bad magic)",
+        ));
+    }
+
+    let mut memory = SimMemory::new();
+    let page_count = read_u32(r)?;
+    for _ in 0..page_count {
+        let idx = read_u32(r)?;
+        let mut buf = [0u8; PAGE_BYTES];
+        r.read_exact(&mut buf)?;
+        let base = idx
+            .checked_mul(PAGE_BYTES as u32)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "page index overflow"))?;
+        for (i, &b) in buf.iter().enumerate() {
+            if b != 0 {
+                memory.write_u8(base + i as u32, b);
+            }
+        }
+    }
+
+    let instructions = read_u64(r)?;
+    let op_count = read_u32(r)?;
+    let mut ops = Vec::with_capacity(op_count as usize);
+    for _ in 0..op_count {
+        let mut head = [0u8; 2];
+        r.read_exact(&mut head)?;
+        let kind = match head[0] {
+            0 => OpKind::Load,
+            1 => OpKind::Store,
+            2 => OpKind::Compute,
+            k => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("bad op kind {k}"),
+                ))
+            }
+        };
+        ops.push(TraceOp {
+            pc: read_u32(r)?,
+            addr: read_u32(r)?,
+            value: read_u32(r)?,
+            dep: read_u32(r)?,
+            kind,
+            lds: head[1] != 0,
+        });
+    }
+    Ok(Trace {
+        initial_memory: memory,
+        ops,
+        instructions,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceBuilder;
+
+    fn sample() -> Trace {
+        let mut tb = TraceBuilder::new(SimMemory::new());
+        tb.setup(|m| {
+            m.write_u32(0x4000_0000, 0x4000_0040);
+            m.write_u32(0x4000_0040, 0);
+        });
+        let (p, id) = tb.load(0x100, 0x4000_0000, None);
+        let _ = tb.load(0x104, p, Some(id));
+        tb.store(0x108, 0x4000_0080, 99, None);
+        tb.compute(130); // chunks into 64 + 64 + 2
+        tb.finish()
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write(&t, &mut buf).unwrap();
+        let back = read(&mut buf.as_slice()).unwrap();
+        assert_eq!(back.ops, t.ops);
+        assert_eq!(back.instructions, t.instructions);
+        assert_eq!(
+            back.initial_memory.read_u32(0x4000_0000),
+            t.initial_memory.read_u32(0x4000_0000)
+        );
+        assert_eq!(back.initial_memory.read_u32(0x4000_0080), 0);
+    }
+
+    #[test]
+    fn replay_of_deserialised_trace_matches() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write(&t, &mut buf).unwrap();
+        let back = read(&mut buf.as_slice()).unwrap();
+        let a = crate::Machine::new(crate::MachineConfig::default()).run(&t);
+        let b = crate::Machine::new(crate::MachineConfig::default()).run(&back);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.bus_transfers, b.bus_transfers);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let err = read(&mut &b"NOTATRACE_______"[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_input_is_an_error() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write(&t, &mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(read(&mut buf.as_slice()).is_err());
+    }
+}

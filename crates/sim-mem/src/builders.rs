@@ -1,0 +1,502 @@
+//! Builders for the linked data structures traversed by the benchmark
+//! stand-ins.
+//!
+//! Each builder allocates nodes from a [`Heap`] and writes real pointer
+//! values into [`SimMemory`], so that fetched cache blocks contain the
+//! pointer bytes the content-directed prefetcher scans for. Node layouts
+//! mirror the paper's examples: the `mst`-style hash node of Figure 5
+//! (`key`, data elements, `next`) and the binary tree node of Figure 3
+//! (`data`, `left`, `right`).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::heap::HeapExhausted;
+use crate::{Addr, Heap, SimMemory};
+
+/// A singly linked list whose node layout is `{ payload[words], next }`.
+#[derive(Debug, Clone)]
+pub struct LinkedList {
+    /// Address of the first node, or 0 for an empty list.
+    pub head: Addr,
+    /// All node addresses in list order.
+    pub nodes: Vec<Addr>,
+    /// Byte offset of the `next` pointer within a node.
+    pub next_offset: u32,
+    /// Node size in bytes.
+    pub node_size: u32,
+}
+
+/// Builds a linked list of `len` nodes with `payload_words` 4-byte payload
+/// words followed by a `next` pointer.
+///
+/// If `shuffle` is true the nodes are allocated in one order and linked in a
+/// random order, destroying spatial locality (the pointer-chasing pattern a
+/// stream prefetcher cannot cover).
+///
+/// # Errors
+///
+/// Returns [`HeapExhausted`] if the heap cannot fit the list.
+pub fn build_list(
+    mem: &mut SimMemory,
+    heap: &mut Heap,
+    len: usize,
+    payload_words: u32,
+    shuffle: bool,
+    rng: &mut StdRng,
+) -> Result<LinkedList, HeapExhausted> {
+    let node_size = (payload_words + 1) * 4;
+    let next_offset = payload_words * 4;
+    let mut nodes = Vec::with_capacity(len);
+    for _ in 0..len {
+        nodes.push(heap.alloc(node_size)?);
+    }
+    if shuffle {
+        nodes.shuffle(rng);
+    }
+    for (i, &n) in nodes.iter().enumerate() {
+        for w in 0..payload_words {
+            mem.write_u32(n + w * 4, rng.gen());
+        }
+        let next = if i + 1 < len { nodes[i + 1] } else { 0 };
+        mem.write_u32(n + next_offset, next);
+    }
+    Ok(LinkedList {
+        head: nodes.first().copied().unwrap_or(0),
+        nodes,
+        next_offset,
+        node_size,
+    })
+}
+
+/// A binary tree with the Figure 3 node layout:
+/// `{ data: u32, pad: u32, left: Addr, pad: u32, right: Addr, pad... }`.
+#[derive(Debug, Clone)]
+pub struct BinaryTree {
+    /// Address of the root node, or 0 for an empty tree.
+    pub root: Addr,
+    /// All node addresses in allocation (BFS) order.
+    pub nodes: Vec<Addr>,
+    /// Node size in bytes.
+    pub node_size: u32,
+}
+
+/// Byte offset of the `data` field in a [`BinaryTree`] node.
+pub const TREE_DATA_OFFSET: u32 = 0;
+/// Byte offset of the `left` child pointer in a [`BinaryTree`] node.
+pub const TREE_LEFT_OFFSET: u32 = 8;
+/// Byte offset of the `right` child pointer in a [`BinaryTree`] node.
+pub const TREE_RIGHT_OFFSET: u32 = 16;
+/// Size in bytes of a [`BinaryTree`] node (three used words, 8-byte spaced).
+pub const TREE_NODE_SIZE: u32 = 24;
+
+/// Builds a complete binary tree of the given `depth` (a tree of depth 1 is
+/// a single node). Nodes are allocated in BFS order, so siblings tend to be
+/// contiguous and several nodes share each cache block — the layout of the
+/// paper's Figure 3(b).
+///
+/// # Errors
+///
+/// Returns [`HeapExhausted`] if the heap cannot fit the tree.
+pub fn build_binary_tree(
+    mem: &mut SimMemory,
+    heap: &mut Heap,
+    depth: u32,
+    rng: &mut StdRng,
+) -> Result<BinaryTree, HeapExhausted> {
+    let count = (1usize << depth) - 1;
+    let mut nodes = Vec::with_capacity(count);
+    for _ in 0..count {
+        nodes.push(heap.alloc(TREE_NODE_SIZE)?);
+    }
+    for (i, &n) in nodes.iter().enumerate() {
+        mem.write_u32(n + TREE_DATA_OFFSET, rng.gen());
+        let l = 2 * i + 1;
+        let r = 2 * i + 2;
+        mem.write_u32(n + TREE_LEFT_OFFSET, if l < count { nodes[l] } else { 0 });
+        mem.write_u32(n + TREE_RIGHT_OFFSET, if r < count { nodes[r] } else { 0 });
+    }
+    Ok(BinaryTree {
+        root: nodes.first().copied().unwrap_or(0),
+        nodes,
+        node_size: TREE_NODE_SIZE,
+    })
+}
+
+/// A chained hash table with the Figure 5 node layout:
+/// `{ key: u32, data: [u32; data_words], next: Addr }`.
+#[derive(Debug, Clone)]
+pub struct HashTable {
+    /// Address of the bucket-pointer array (one `Addr` per bucket).
+    pub buckets: Addr,
+    /// Number of buckets.
+    pub num_buckets: u32,
+    /// Keys inserted, in insertion order.
+    pub keys: Vec<u32>,
+    /// Number of 4-byte data words between `key` and `next`.
+    pub data_words: u32,
+    /// Node size in bytes.
+    pub node_size: u32,
+}
+
+impl HashTable {
+    /// Byte offset of the `key` field.
+    pub const KEY_OFFSET: u32 = 0;
+    /// Byte offset of the first data word.
+    pub const DATA_OFFSET: u32 = 4;
+    /// Byte offset of the `next` pointer.
+    pub fn next_offset(&self) -> u32 {
+        4 + self.data_words * 4
+    }
+    /// Bucket index for `key` (multiplicative hash).
+    pub fn bucket_of(&self, key: u32) -> u32 {
+        (key.wrapping_mul(2654435761)) % self.num_buckets
+    }
+    /// Address of the bucket-head slot for `key`.
+    pub fn bucket_slot(&self, key: u32) -> Addr {
+        self.buckets + self.bucket_of(key) * 4
+    }
+}
+
+/// Builds a chained hash table of `num_keys` random keys over `num_buckets`
+/// buckets, each node carrying `data_words` data words (the harmful pointer
+/// groups PG1/PG2 of the paper's Figure 5 when `data_words >= 2`... the data
+/// slots hold heap-looking pointers to per-node satellite records).
+///
+/// # Errors
+///
+/// Returns [`HeapExhausted`] if the heap cannot fit the table.
+pub fn build_hash_table(
+    mem: &mut SimMemory,
+    heap: &mut Heap,
+    num_buckets: u32,
+    num_keys: u32,
+    data_words: u32,
+    rng: &mut StdRng,
+) -> Result<HashTable, HeapExhausted> {
+    build_hash_table_with_ratio(mem, heap, num_buckets, num_keys, data_words, 1.0, rng)
+}
+
+/// [`build_hash_table`] with control over the fraction of data words that
+/// actually hold satellite pointers (the rest are written as zero /
+/// immediate values). Lower ratios model nodes whose payload is usually
+/// inline, keeping the chain's pointer groups above the beneficial bar.
+///
+/// # Errors
+///
+/// Returns [`HeapExhausted`] if the heap cannot fit the table.
+pub fn build_hash_table_with_ratio(
+    mem: &mut SimMemory,
+    heap: &mut Heap,
+    num_buckets: u32,
+    num_keys: u32,
+    data_words: u32,
+    sat_ratio: f64,
+    rng: &mut StdRng,
+) -> Result<HashTable, HeapExhausted> {
+    let node_size = (2 + data_words) * 4;
+    let buckets = heap.alloc(num_buckets * 4)?;
+    for b in 0..num_buckets {
+        mem.write_u32(buckets + b * 4, 0);
+    }
+    let mut table = HashTable {
+        buckets,
+        num_buckets,
+        keys: Vec::with_capacity(num_keys as usize),
+        data_words,
+        node_size,
+    };
+    // Nodes are allocated in one phase and satellite records in another, as
+    // real programs do (build the table, then attach payloads). This keeps
+    // satellites out of the node cache blocks — prefetching a node's data
+    // pointer really does fetch a block the chain walk never touches.
+    let mut nodes = Vec::with_capacity(num_keys as usize);
+    for _ in 0..num_keys {
+        nodes.push(heap.alloc(node_size)?);
+    }
+    for node in nodes {
+        let key: u32 = rng.gen();
+        mem.write_u32(node + HashTable::KEY_OFFSET, key);
+        // Data words hold pointers to satellite records: real heap addresses,
+        // so CDP sees them as prefetch candidates (the harmful PGs).
+        for w in 0..data_words {
+            let val = if rng.gen_bool(sat_ratio) {
+                heap.alloc(32)?
+            } else {
+                0
+            };
+            mem.write_u32(node + HashTable::DATA_OFFSET + w * 4, val);
+        }
+        // Push-front into the bucket chain.
+        let slot = table.bucket_slot(key);
+        let old_head = mem.read_u32(slot);
+        mem.write_u32(node + table.next_offset(), old_head);
+        mem.write_u32(slot, node);
+        table.keys.push(key);
+    }
+    Ok(table)
+}
+
+/// A quadtree with node layout `{ value: u32, children: [Addr; 4], pad }`.
+#[derive(Debug, Clone)]
+pub struct QuadTree {
+    /// Address of the root node.
+    pub root: Addr,
+    /// All node addresses in BFS order.
+    pub nodes: Vec<Addr>,
+    /// Node size in bytes.
+    pub node_size: u32,
+}
+
+/// Byte offset of the `value` field in a [`QuadTree`] node.
+pub const QUAD_VALUE_OFFSET: u32 = 0;
+/// Byte offset of the first child pointer in a [`QuadTree`] node.
+pub const QUAD_CHILD_OFFSET: u32 = 4;
+/// Size in bytes of a [`QuadTree`] node.
+pub const QUAD_NODE_SIZE: u32 = 24;
+
+/// Builds a complete quadtree of the given `depth` (depth 1 is a leaf-only
+/// root). All four children of an interior node are visited by the
+/// `perimeter`-style traversal, which is why CDP is highly accurate there.
+///
+/// # Errors
+///
+/// Returns [`HeapExhausted`] if the heap cannot fit the tree.
+pub fn build_quadtree(
+    mem: &mut SimMemory,
+    heap: &mut Heap,
+    depth: u32,
+    rng: &mut StdRng,
+) -> Result<QuadTree, HeapExhausted> {
+    // Number of nodes in a complete 4-ary tree: (4^depth - 1) / 3.
+    let count = ((4u64.pow(depth) - 1) / 3) as usize;
+    // Each sibling group of four children is allocated contiguously (the
+    // construction recursion allocates them together), but the groups
+    // themselves land in scattered order — siblings share cache blocks
+    // (content-directed scans harvest all four child pointers usefully)
+    // while the depth-first traversal presents no streamable address
+    // pattern.
+    let num_groups = count / 4;
+    let mut groups = Vec::with_capacity(num_groups);
+    for _ in 0..num_groups {
+        groups.push(heap.alloc(4 * QUAD_NODE_SIZE)?);
+    }
+    groups.shuffle(rng);
+    let root = heap.alloc(QUAD_NODE_SIZE)?;
+    let mut nodes = Vec::with_capacity(count);
+    nodes.push(root);
+    for &group in &groups {
+        for k in 0..4u32 {
+            nodes.push(group + k * QUAD_NODE_SIZE);
+        }
+    }
+    for (i, &n) in nodes.iter().enumerate() {
+        mem.write_u32(n + QUAD_VALUE_OFFSET, rng.gen::<u32>() & 0xFFFF);
+        for c in 0..4usize {
+            let child = 4 * i + c + 1;
+            let val = if child < count { nodes[child] } else { 0 };
+            mem.write_u32(n + QUAD_CHILD_OFFSET + (c as u32) * 4, val);
+        }
+    }
+    Ok(QuadTree {
+        root: nodes[0],
+        nodes,
+        node_size: QUAD_NODE_SIZE,
+    })
+}
+
+/// A directed graph stored as per-node adjacency lists of pointers.
+///
+/// Node layout: `{ value: u32, degree: u32, adj: [Addr; max_degree] }`.
+#[derive(Debug, Clone)]
+pub struct Graph {
+    /// All node addresses.
+    pub nodes: Vec<Addr>,
+    /// Maximum out-degree (size of the adjacency array).
+    pub max_degree: u32,
+    /// Node size in bytes.
+    pub node_size: u32,
+}
+
+impl Graph {
+    /// Byte offset of the `value` field.
+    pub const VALUE_OFFSET: u32 = 0;
+    /// Byte offset of the `degree` field.
+    pub const DEGREE_OFFSET: u32 = 4;
+    /// Byte offset of the first adjacency pointer.
+    pub const ADJ_OFFSET: u32 = 8;
+}
+
+/// Builds a random directed graph of `num_nodes` nodes with out-degree
+/// uniform in `1..=max_degree`. Used by the `mcf`-style network traversal.
+///
+/// # Errors
+///
+/// Returns [`HeapExhausted`] if the heap cannot fit the graph.
+pub fn build_graph(
+    mem: &mut SimMemory,
+    heap: &mut Heap,
+    num_nodes: usize,
+    max_degree: u32,
+    rng: &mut StdRng,
+) -> Result<Graph, HeapExhausted> {
+    let node_size = 8 + max_degree * 4;
+    let mut nodes = Vec::with_capacity(num_nodes);
+    for _ in 0..num_nodes {
+        nodes.push(heap.alloc(node_size)?);
+    }
+    for &n in &nodes {
+        mem.write_u32(n + Graph::VALUE_OFFSET, rng.gen());
+        let degree = rng.gen_range(1..=max_degree);
+        mem.write_u32(n + Graph::DEGREE_OFFSET, degree);
+        for d in 0..max_degree {
+            let target = if d < degree {
+                nodes[rng.gen_range(0..num_nodes)]
+            } else {
+                0
+            };
+            mem.write_u32(n + Graph::ADJ_OFFSET + d * 4, target);
+        }
+    }
+    Ok(Graph {
+        nodes,
+        max_degree,
+        node_size,
+    })
+}
+
+/// Creates a deterministic RNG for workload construction.
+pub fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout;
+
+    fn setup() -> (SimMemory, Heap, StdRng) {
+        (
+            SimMemory::new(),
+            Heap::new(layout::HEAP_BASE, layout::HEAP_LIMIT),
+            seeded_rng(42),
+        )
+    }
+
+    #[test]
+    fn list_is_walkable() {
+        let (mut mem, mut heap, mut rng) = setup();
+        let list = build_list(&mut mem, &mut heap, 100, 3, false, &mut rng).unwrap();
+        let mut cur = list.head;
+        let mut count = 0;
+        while cur != 0 {
+            count += 1;
+            cur = mem.read_u32(cur + list.next_offset);
+        }
+        assert_eq!(count, 100);
+    }
+
+    #[test]
+    fn shuffled_list_visits_all_nodes() {
+        let (mut mem, mut heap, mut rng) = setup();
+        let list = build_list(&mut mem, &mut heap, 50, 1, true, &mut rng).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        let mut cur = list.head;
+        while cur != 0 {
+            assert!(seen.insert(cur), "cycle in list");
+            cur = mem.read_u32(cur + list.next_offset);
+        }
+        assert_eq!(seen.len(), 50);
+    }
+
+    #[test]
+    fn tree_structure_is_complete() {
+        let (mut mem, mut heap, mut rng) = setup();
+        let tree = build_binary_tree(&mut mem, &mut heap, 5, &mut rng).unwrap();
+        assert_eq!(tree.nodes.len(), 31);
+        // Count nodes by recursive walk.
+        fn count(mem: &SimMemory, node: Addr) -> usize {
+            if node == 0 {
+                return 0;
+            }
+            1 + count(mem, mem.read_u32(node + TREE_LEFT_OFFSET))
+                + count(mem, mem.read_u32(node + TREE_RIGHT_OFFSET))
+        }
+        assert_eq!(count(&mem, tree.root), 31);
+    }
+
+    #[test]
+    fn tree_nodes_share_cache_blocks() {
+        let (mut mem, mut heap, mut rng) = setup();
+        let tree = build_binary_tree(&mut mem, &mut heap, 4, &mut rng).unwrap();
+        // 24-byte nodes: at least two nodes per 64-byte block somewhere.
+        let b0 = crate::block_of(tree.nodes[0]);
+        let b1 = crate::block_of(tree.nodes[1]);
+        assert_eq!(b0, b1);
+    }
+
+    #[test]
+    fn hash_table_lookup_finds_every_key() {
+        let (mut mem, mut heap, mut rng) = setup();
+        let table = build_hash_table(&mut mem, &mut heap, 64, 500, 2, &mut rng).unwrap();
+        for &key in &table.keys {
+            let mut node = mem.read_u32(table.bucket_slot(key));
+            let mut found = false;
+            while node != 0 {
+                if mem.read_u32(node + HashTable::KEY_OFFSET) == key {
+                    found = true;
+                    break;
+                }
+                node = mem.read_u32(node + table.next_offset());
+            }
+            assert!(found, "key {key:#x} missing from chain");
+        }
+    }
+
+    #[test]
+    fn hash_table_data_words_are_heap_pointers() {
+        let (mut mem, mut heap, mut rng) = setup();
+        let table = build_hash_table(&mut mem, &mut heap, 16, 50, 2, &mut rng).unwrap();
+        let node = mem.read_u32(table.buckets); // some bucket may be empty
+        let mut any = node;
+        for b in 0..table.num_buckets {
+            any = mem.read_u32(table.buckets + b * 4);
+            if any != 0 {
+                break;
+            }
+        }
+        assert_ne!(any, 0);
+        let d0 = mem.read_u32(any + HashTable::DATA_OFFSET);
+        assert!(layout::in_heap(d0), "data word should be a satellite pointer");
+    }
+
+    #[test]
+    fn quadtree_children_link_correctly() {
+        let (mut mem, mut heap, mut rng) = setup();
+        let qt = build_quadtree(&mut mem, &mut heap, 3, &mut rng).unwrap();
+        assert_eq!(qt.nodes.len(), 21); // 1 + 4 + 16
+        let c0 = mem.read_u32(qt.root + QUAD_CHILD_OFFSET);
+        assert_eq!(c0, qt.nodes[1]);
+        // Leaves have null children.
+        let leaf = qt.nodes[20];
+        for c in 0..4 {
+            assert_eq!(mem.read_u32(leaf + QUAD_CHILD_OFFSET + c * 4), 0);
+        }
+    }
+
+    #[test]
+    fn graph_adjacency_within_bounds() {
+        let (mut mem, mut heap, mut rng) = setup();
+        let g = build_graph(&mut mem, &mut heap, 200, 4, &mut rng).unwrap();
+        let set: std::collections::HashSet<_> = g.nodes.iter().copied().collect();
+        for &n in &g.nodes {
+            let degree = mem.read_u32(n + Graph::DEGREE_OFFSET);
+            assert!((1..=4).contains(&degree));
+            for d in 0..degree {
+                let t = mem.read_u32(n + Graph::ADJ_OFFSET + d * 4);
+                assert!(set.contains(&t), "adjacency must point at a node");
+            }
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! A simple heap allocator for the simulated address space.
+//!
+//! Workload stand-ins allocate their linked-data-structure nodes through
+//! [`Heap`], which mimics the behaviour of a real `malloc` closely enough for
+//! the effects the paper depends on: consecutive allocations of equal-sized
+//! nodes are laid out contiguously (so several nodes share a cache block, as
+//! in the paper's Figure 3/5 examples), and freed nodes are recycled through
+//! size-class free lists (so long-running workloads fragment their layout the
+//! way real programs do — the reason the paper says pointers are "almost
+//! always" at a constant offset).
+
+use crate::Addr;
+
+/// Allocation failure: the heap region is exhausted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeapExhausted {
+    /// Size of the allocation that failed, in bytes.
+    pub requested: u32,
+}
+
+impl std::fmt::Display for HeapExhausted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "simulated heap exhausted allocating {} bytes", self.requested)
+    }
+}
+
+impl std::error::Error for HeapExhausted {}
+
+/// Alignment of every heap allocation, in bytes.
+pub const HEAP_ALIGN: u32 = 8;
+
+const NUM_SIZE_CLASSES: usize = 64;
+
+/// A bump allocator with size-class free lists over a region of the simulated
+/// address space.
+///
+/// # Example
+///
+/// ```
+/// use sim_mem::{Heap, layout};
+///
+/// let mut heap = Heap::new(layout::HEAP_BASE, layout::HEAP_LIMIT);
+/// let a = heap.alloc(24).unwrap();
+/// let b = heap.alloc(24).unwrap();
+/// assert_eq!(b, a + 24); // equal-size allocations are contiguous
+/// heap.free(a, 24);
+/// let c = heap.alloc(24).unwrap();
+/// assert_eq!(c, a); // freed node recycled
+/// ```
+#[derive(Debug, Clone)]
+pub struct Heap {
+    base: Addr,
+    limit: Addr,
+    brk: Addr,
+    /// Free lists indexed by size class (size / HEAP_ALIGN, capped).
+    free: Vec<Vec<Addr>>,
+    allocated: u64,
+    live: u64,
+}
+
+impl Heap {
+    /// Creates a heap spanning `[base, limit]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is not `HEAP_ALIGN`-aligned or `base >= limit`.
+    pub fn new(base: Addr, limit: Addr) -> Self {
+        assert_eq!(base % HEAP_ALIGN, 0, "heap base must be aligned");
+        assert!(base < limit, "heap base must precede limit");
+        Heap {
+            base,
+            limit,
+            brk: base,
+            free: vec![Vec::new(); NUM_SIZE_CLASSES],
+            allocated: 0,
+            live: 0,
+        }
+    }
+
+    /// First address of the heap region.
+    pub fn base(&self) -> Addr {
+        self.base
+    }
+
+    /// Current high-water mark (first never-allocated address).
+    pub fn brk(&self) -> Addr {
+        self.brk
+    }
+
+    /// Total bytes handed out over the heap's lifetime.
+    pub fn total_allocated(&self) -> u64 {
+        self.allocated
+    }
+
+    /// Bytes currently live (allocated and not freed).
+    pub fn live_bytes(&self) -> u64 {
+        self.live
+    }
+
+    fn size_class(size: u32) -> Option<usize> {
+        let cls = (size / HEAP_ALIGN) as usize;
+        (cls < NUM_SIZE_CLASSES).then_some(cls)
+    }
+
+    fn round_up(size: u32) -> u32 {
+        size.div_ceil(HEAP_ALIGN) * HEAP_ALIGN
+    }
+
+    /// Allocates `size` bytes (rounded up to [`HEAP_ALIGN`]).
+    ///
+    /// Recycles a freed chunk of the same size class when one is available,
+    /// otherwise bumps the high-water mark.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapExhausted`] if the region cannot fit the allocation.
+    pub fn alloc(&mut self, size: u32) -> Result<Addr, HeapExhausted> {
+        let size = Self::round_up(size.max(HEAP_ALIGN));
+        if let Some(cls) = Self::size_class(size) {
+            if let Some(addr) = self.free[cls].pop() {
+                self.allocated += u64::from(size);
+                self.live += u64::from(size);
+                return Ok(addr);
+            }
+        }
+        let addr = self.brk;
+        let end = addr.checked_add(size).ok_or(HeapExhausted { requested: size })?;
+        if end > self.limit {
+            return Err(HeapExhausted { requested: size });
+        }
+        self.brk = end;
+        self.allocated += u64::from(size);
+        self.live += u64::from(size);
+        Ok(addr)
+    }
+
+    /// Allocates `size` bytes, skipping `pad` bytes of padding first.
+    ///
+    /// Used by workloads to perturb node layout (dynamic allocation noise),
+    /// exercising the paper's footnote 3: layouts where pointers are *not*
+    /// at a perfectly constant offset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapExhausted`] if the region cannot fit the allocation.
+    pub fn alloc_padded(&mut self, size: u32, pad: u32) -> Result<Addr, HeapExhausted> {
+        if pad > 0 {
+            let _ = self.alloc(pad)?;
+        }
+        self.alloc(size)
+    }
+
+    /// Returns `addr` (of a `size`-byte allocation) to the free list.
+    ///
+    /// The allocator trusts the caller: freeing an address that was never
+    /// allocated simply seeds the free list with it.
+    pub fn free(&mut self, addr: Addr, size: u32) {
+        let size = Self::round_up(size.max(HEAP_ALIGN));
+        self.live = self.live.saturating_sub(u64::from(size));
+        if let Some(cls) = Self::size_class(size) {
+            self.free[cls].push(addr);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout;
+
+    fn heap() -> Heap {
+        Heap::new(layout::HEAP_BASE, layout::HEAP_LIMIT)
+    }
+
+    #[test]
+    fn sequential_allocations_are_contiguous() {
+        let mut h = heap();
+        let a = h.alloc(32).unwrap();
+        let b = h.alloc(32).unwrap();
+        let c = h.alloc(32).unwrap();
+        assert_eq!(b, a + 32);
+        assert_eq!(c, b + 32);
+    }
+
+    #[test]
+    fn allocations_are_aligned() {
+        let mut h = heap();
+        let a = h.alloc(5).unwrap();
+        let b = h.alloc(7).unwrap();
+        assert_eq!(a % HEAP_ALIGN, 0);
+        assert_eq!(b % HEAP_ALIGN, 0);
+        assert_eq!(b - a, 8); // 5 rounds up to 8
+    }
+
+    #[test]
+    fn free_then_alloc_recycles() {
+        let mut h = heap();
+        let a = h.alloc(48).unwrap();
+        let _b = h.alloc(48).unwrap();
+        h.free(a, 48);
+        assert_eq!(h.alloc(48).unwrap(), a);
+    }
+
+    #[test]
+    fn different_size_classes_do_not_mix() {
+        let mut h = heap();
+        let a = h.alloc(16).unwrap();
+        h.free(a, 16);
+        let b = h.alloc(32).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn exhaustion_is_an_error() {
+        let mut h = Heap::new(layout::HEAP_BASE, layout::HEAP_BASE + 64);
+        assert!(h.alloc(32).is_ok());
+        assert!(h.alloc(32).is_ok());
+        let err = h.alloc(32).unwrap_err();
+        assert_eq!(err.requested, 32);
+    }
+
+    #[test]
+    fn accounting_tracks_live_and_total() {
+        let mut h = heap();
+        let a = h.alloc(64).unwrap();
+        assert_eq!(h.total_allocated(), 64);
+        assert_eq!(h.live_bytes(), 64);
+        h.free(a, 64);
+        assert_eq!(h.live_bytes(), 0);
+        assert_eq!(h.total_allocated(), 64);
+    }
+
+    #[test]
+    fn padded_alloc_skips_space() {
+        let mut h = heap();
+        let a = h.alloc(16).unwrap();
+        let b = h.alloc_padded(16, 8).unwrap();
+        assert_eq!(b, a + 16 + 8);
+    }
+}

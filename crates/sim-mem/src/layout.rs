@@ -1,0 +1,74 @@
+//! Address-space layout of the simulated machine.
+//!
+//! The CDP virtual-address-matching predictor relies on the observation that
+//! most heap pointers share their high-order bits with the address of the
+//! cache block they are stored in (the paper's *compare bits*, 8 in the
+//! evaluated configuration). We therefore place the heap in a region whose
+//! top byte is constant (`0x40`), so that pointers into the heap match blocks
+//! in the heap, while global and stack addresses have distinct top bytes.
+
+use crate::Addr;
+
+/// Base of the global/static data region (top byte `0x08`).
+pub const GLOBAL_BASE: Addr = 0x0800_0000;
+/// Exclusive upper bound of the global region.
+pub const GLOBAL_LIMIT: Addr = 0x08FF_FFFF;
+
+/// Base of the heap region (top byte `0x40`).
+///
+/// All linked-data-structure nodes are allocated here, so intra-heap pointers
+/// always share the top 8 bits with heap cache-block addresses and are
+/// recognised by the CDP compare-bits predictor.
+pub const HEAP_BASE: Addr = 0x4000_0000;
+/// Exclusive upper bound of the heap region (16 MB region, one compare-byte).
+pub const HEAP_LIMIT: Addr = 0x40FF_FFFF;
+
+/// Base of the downward-growing stack region (top byte `0x7F`).
+pub const STACK_BASE: Addr = 0x7FFF_F000;
+
+/// Number of high-order bits compared by the CDP pointer predictor.
+///
+/// Matches the configuration of §5: "Our CDP implementation uses 8 bits (out
+/// of the 32 bits of an address) for the *number of compare bits* parameter."
+pub const DEFAULT_COMPARE_BITS: u32 = 8;
+
+/// Returns `true` if `addr` lies inside the simulated heap region.
+#[inline]
+pub fn in_heap(addr: Addr) -> bool {
+    (HEAP_BASE..=HEAP_LIMIT).contains(&addr)
+}
+
+/// Returns `true` if `addr` lies inside the global/static region.
+#[inline]
+pub fn in_global(addr: Addr) -> bool {
+    (GLOBAL_BASE..=GLOBAL_LIMIT).contains(&addr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heap_pointers_share_compare_bits() {
+        let a = HEAP_BASE + 0x1234;
+        let b = HEAP_LIMIT - 0x40;
+        let shift = 32 - DEFAULT_COMPARE_BITS;
+        assert_eq!(a >> shift, b >> shift);
+    }
+
+    #[test]
+    fn regions_do_not_overlap() {
+        let (global_limit, heap_base) = (GLOBAL_LIMIT, HEAP_BASE);
+        let (heap_limit, stack_base) = (HEAP_LIMIT, STACK_BASE);
+        assert!(global_limit < heap_base);
+        assert!(heap_limit < stack_base);
+    }
+
+    #[test]
+    fn in_heap_bounds() {
+        assert!(in_heap(HEAP_BASE));
+        assert!(in_heap(HEAP_LIMIT));
+        assert!(!in_heap(HEAP_BASE - 1));
+        assert!(!in_heap(0));
+    }
+}

@@ -1,0 +1,91 @@
+//! Simulated 32-bit memory substrate for the ECDP reproduction.
+//!
+//! The content-directed prefetcher (CDP) of Cooksey et al. — and the
+//! bandwidth-efficient ECDP variant built on top of it — work by scanning the
+//! *bytes* of fetched cache blocks for values that look like virtual
+//! addresses. Reproducing that behaviour requires workloads whose linked data
+//! structures actually live in a simulated address space, with real pointer
+//! values stored at real offsets. This crate provides that substrate:
+//!
+//! * [`SimMemory`] — a sparse, page-granular 32-bit byte-addressable memory.
+//! * [`Heap`] — a simple first-fit heap allocator carving nodes out of the
+//!   simulated address space, with optional allocation "noise" to perturb
+//!   layout the way real allocators do.
+//! * [`builders`] — helpers that construct the linked data structures the
+//!   benchmark stand-ins traverse (lists, binary trees, hash tables,
+//!   quadtrees, adjacency graphs).
+//!
+//! # Example
+//!
+//! ```
+//! use sim_mem::{SimMemory, Heap, layout};
+//!
+//! let mut mem = SimMemory::new();
+//! let mut heap = Heap::new(layout::HEAP_BASE, layout::HEAP_LIMIT);
+//! let node = heap.alloc(16).expect("heap exhausted");
+//! mem.write_u32(node + 8, 0xdead_beef);
+//! assert_eq!(mem.read_u32(node + 8), 0xdead_beef);
+//! ```
+
+pub mod builders;
+pub mod heap;
+pub mod layout;
+pub mod memory;
+
+pub use heap::Heap;
+pub use memory::SimMemory;
+
+/// A simulated 32-bit virtual address.
+///
+/// The paper models the x86 ISA, where pointers are 4 bytes; every address in
+/// the simulated machine fits in a `u32`. Pointer-sized values read out of
+/// cache blocks are also `u32`, which is what the CDP compare-bits check
+/// operates on.
+pub type Addr = u32;
+
+/// Size of a simulated cache block in bytes.
+///
+/// The paper's hint-bit-vector example (§3) uses 64-byte blocks with 4-byte
+/// pointers, giving 16-bit hint vectors; the FDP comparison (§6.5) also uses
+/// 64-byte blocks. We use 64 bytes throughout.
+pub const BLOCK_BYTES: u32 = 64;
+
+/// Number of 4-byte pointer slots in one cache block.
+pub const PTRS_PER_BLOCK: usize = (BLOCK_BYTES / 4) as usize;
+
+/// Returns the address of the cache block containing `addr`.
+#[inline]
+pub fn block_of(addr: Addr) -> Addr {
+    addr & !(BLOCK_BYTES - 1)
+}
+
+/// Returns the byte offset of `addr` within its cache block.
+#[inline]
+pub fn block_offset(addr: Addr) -> u32 {
+    addr & (BLOCK_BYTES - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_of_masks_low_bits() {
+        assert_eq!(block_of(0x1000), 0x1000);
+        assert_eq!(block_of(0x103f), 0x1000);
+        assert_eq!(block_of(0x1040), 0x1040);
+    }
+
+    #[test]
+    fn block_offset_is_low_bits() {
+        assert_eq!(block_offset(0x1000), 0);
+        assert_eq!(block_offset(0x103f), 63);
+    }
+
+    #[test]
+    fn ptrs_per_block_matches_paper() {
+        // 64-byte block, 4-byte pointers => 16 candidate slots, matching the
+        // 16-bit hint bit vector of the paper's Figure 6.
+        assert_eq!(PTRS_PER_BLOCK, 16);
+    }
+}

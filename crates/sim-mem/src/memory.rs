@@ -1,0 +1,299 @@
+//! Sparse page-granular simulated memory.
+
+use crate::{Addr, BLOCK_BYTES};
+
+const PAGE_SHIFT: u32 = 12;
+const PAGE_BYTES: usize = 1 << PAGE_SHIFT;
+const PAGE_MASK: u32 = (PAGE_BYTES as u32) - 1;
+/// Number of pages in the 32-bit address space.
+const NUM_PAGES: usize = 1 << (32 - PAGE_SHIFT);
+
+type Page = Box<[u8; PAGE_BYTES]>;
+
+/// A sparse, byte-addressable simulated 32-bit memory.
+///
+/// Pages are allocated lazily on first write; reads of untouched memory
+/// return zero, which conveniently never looks like a heap pointer to the
+/// CDP compare-bits predictor.
+///
+/// All multi-byte accessors are little-endian (the modelled ISA is x86) and
+/// impose no alignment requirements.
+///
+/// # Example
+///
+/// ```
+/// use sim_mem::SimMemory;
+///
+/// let mut mem = SimMemory::new();
+/// mem.write_u32(0x4000_0000, 42);
+/// assert_eq!(mem.read_u32(0x4000_0000), 42);
+/// assert_eq!(mem.read_u32(0x5000_0000), 0); // untouched => zero
+/// ```
+pub struct SimMemory {
+    pages: Vec<Option<Page>>,
+    resident: usize,
+}
+
+impl SimMemory {
+    /// Creates an empty memory with no resident pages.
+    pub fn new() -> Self {
+        let mut pages = Vec::new();
+        pages.resize_with(NUM_PAGES, || None);
+        SimMemory { pages, resident: 0 }
+    }
+
+    /// Number of 4 KB pages currently resident (lazily allocated).
+    pub fn resident_pages(&self) -> usize {
+        self.resident
+    }
+
+    /// Indices of the resident 4 KB pages (page `i` spans addresses
+    /// `i * 4096 .. (i + 1) * 4096`), in ascending order.
+    pub fn resident_page_indices(&self) -> Vec<u32> {
+        self.pages
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.is_some())
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+
+    #[inline]
+    fn page_index(addr: Addr) -> usize {
+        (addr >> PAGE_SHIFT) as usize
+    }
+
+    #[inline]
+    fn page(&self, addr: Addr) -> Option<&Page> {
+        self.pages[Self::page_index(addr)].as_ref()
+    }
+
+    #[inline]
+    fn page_mut(&mut self, addr: Addr) -> &mut Page {
+        let idx = Self::page_index(addr);
+        if self.pages[idx].is_none() {
+            self.pages[idx] = Some(Box::new([0u8; PAGE_BYTES]));
+            self.resident += 1;
+        }
+        self.pages[idx].as_mut().unwrap()
+    }
+
+    /// Reads one byte.
+    #[inline]
+    pub fn read_u8(&self, addr: Addr) -> u8 {
+        match self.page(addr) {
+            Some(p) => p[(addr & PAGE_MASK) as usize],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte.
+    #[inline]
+    pub fn write_u8(&mut self, addr: Addr, value: u8) {
+        let p = self.page_mut(addr);
+        p[(addr & PAGE_MASK) as usize] = value;
+    }
+
+    /// Reads a little-endian `u16` (no alignment requirement).
+    pub fn read_u16(&self, addr: Addr) -> u16 {
+        u16::from_le_bytes([self.read_u8(addr), self.read_u8(addr.wrapping_add(1))])
+    }
+
+    /// Writes a little-endian `u16`.
+    pub fn write_u16(&mut self, addr: Addr, value: u16) {
+        for (i, b) in value.to_le_bytes().iter().enumerate() {
+            self.write_u8(addr.wrapping_add(i as u32), *b);
+        }
+    }
+
+    /// Reads a little-endian `u32` (no alignment requirement).
+    #[inline]
+    pub fn read_u32(&self, addr: Addr) -> u32 {
+        // Fast path: the access does not straddle a page boundary.
+        if (addr & PAGE_MASK) <= PAGE_MASK - 3 {
+            match self.page(addr) {
+                Some(p) => {
+                    let off = (addr & PAGE_MASK) as usize;
+                    u32::from_le_bytes(p[off..off + 4].try_into().unwrap())
+                }
+                None => 0,
+            }
+        } else {
+            u32::from_le_bytes([
+                self.read_u8(addr),
+                self.read_u8(addr.wrapping_add(1)),
+                self.read_u8(addr.wrapping_add(2)),
+                self.read_u8(addr.wrapping_add(3)),
+            ])
+        }
+    }
+
+    /// Writes a little-endian `u32`.
+    #[inline]
+    pub fn write_u32(&mut self, addr: Addr, value: u32) {
+        if (addr & PAGE_MASK) <= PAGE_MASK - 3 {
+            let p = self.page_mut(addr);
+            let off = (addr & PAGE_MASK) as usize;
+            p[off..off + 4].copy_from_slice(&value.to_le_bytes());
+        } else {
+            for (i, b) in value.to_le_bytes().iter().enumerate() {
+                self.write_u8(addr.wrapping_add(i as u32), *b);
+            }
+        }
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn read_u64(&self, addr: Addr) -> u64 {
+        (self.read_u32(addr) as u64) | ((self.read_u32(addr.wrapping_add(4)) as u64) << 32)
+    }
+
+    /// Writes a little-endian `u64`.
+    pub fn write_u64(&mut self, addr: Addr, value: u64) {
+        self.write_u32(addr, value as u32);
+        self.write_u32(addr.wrapping_add(4), (value >> 32) as u32);
+    }
+
+    /// Copies the cache block containing `addr` into `buf`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf.len() != BLOCK_BYTES`.
+    pub fn read_block(&self, addr: Addr, buf: &mut [u8]) {
+        assert_eq!(buf.len(), BLOCK_BYTES as usize, "block buffer size");
+        let base = crate::block_of(addr);
+        // A 64-byte block never straddles a 4 KB page.
+        match self.page(base) {
+            Some(p) => {
+                let off = (base & PAGE_MASK) as usize;
+                buf.copy_from_slice(&p[off..off + BLOCK_BYTES as usize]);
+            }
+            None => buf.fill(0),
+        }
+    }
+
+    /// Reads the 16 pointer-sized little-endian words of the cache block
+    /// containing `addr`.
+    ///
+    /// This is the view of a fetched block that the content-directed
+    /// prefetcher scans for candidate virtual addresses.
+    pub fn read_block_words(&self, addr: Addr) -> [u32; crate::PTRS_PER_BLOCK] {
+        let base = crate::block_of(addr);
+        let mut words = [0u32; crate::PTRS_PER_BLOCK];
+        if let Some(p) = self.page(base) {
+            let off = (base & PAGE_MASK) as usize;
+            for (i, w) in words.iter_mut().enumerate() {
+                let o = off + i * 4;
+                *w = u32::from_le_bytes(p[o..o + 4].try_into().unwrap());
+            }
+        }
+        words
+    }
+}
+
+impl Default for SimMemory {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clone for SimMemory {
+    fn clone(&self) -> Self {
+        SimMemory {
+            pages: self.pages.clone(),
+            resident: self.resident,
+        }
+    }
+}
+
+impl std::fmt::Debug for SimMemory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimMemory")
+            .field("resident_pages", &self.resident)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_initialised() {
+        let mem = SimMemory::new();
+        assert_eq!(mem.read_u8(0), 0);
+        assert_eq!(mem.read_u32(0xFFFF_FFF0), 0);
+        assert_eq!(mem.resident_pages(), 0);
+    }
+
+    #[test]
+    fn rw_roundtrip_u8_u16_u32_u64() {
+        let mut mem = SimMemory::new();
+        mem.write_u8(0x100, 0xAB);
+        assert_eq!(mem.read_u8(0x100), 0xAB);
+        mem.write_u16(0x200, 0xBEEF);
+        assert_eq!(mem.read_u16(0x200), 0xBEEF);
+        mem.write_u32(0x300, 0xDEAD_BEEF);
+        assert_eq!(mem.read_u32(0x300), 0xDEAD_BEEF);
+        mem.write_u64(0x400, 0x0123_4567_89AB_CDEF);
+        assert_eq!(mem.read_u64(0x400), 0x0123_4567_89AB_CDEF);
+    }
+
+    #[test]
+    fn unaligned_u32_crossing_page_boundary() {
+        let mut mem = SimMemory::new();
+        let addr = 0x1FFE; // straddles 0x1000..0x2000 page boundary
+        mem.write_u32(addr, 0x1122_3344);
+        assert_eq!(mem.read_u32(addr), 0x1122_3344);
+        assert_eq!(mem.read_u8(0x1FFE), 0x44);
+        assert_eq!(mem.read_u8(0x2001), 0x11);
+    }
+
+    #[test]
+    fn little_endian_layout() {
+        let mut mem = SimMemory::new();
+        mem.write_u32(0x500, 0x0102_0304);
+        assert_eq!(mem.read_u8(0x500), 0x04);
+        assert_eq!(mem.read_u8(0x503), 0x01);
+    }
+
+    #[test]
+    fn read_block_contents() {
+        let mut mem = SimMemory::new();
+        let base = 0x4000_0040;
+        for i in 0..16u32 {
+            mem.write_u32(base + i * 4, 0x4000_0000 + i);
+        }
+        let mut buf = [0u8; 64];
+        mem.read_block(base + 20, &mut buf); // any addr in block
+        assert_eq!(u32::from_le_bytes(buf[0..4].try_into().unwrap()), 0x4000_0000);
+        let words = mem.read_block_words(base + 63);
+        assert_eq!(words[15], 0x4000_000F);
+    }
+
+    #[test]
+    fn read_block_untouched_is_zero() {
+        let mem = SimMemory::new();
+        let words = mem.read_block_words(0x7000_0000);
+        assert!(words.iter().all(|&w| w == 0));
+    }
+
+    #[test]
+    fn clone_is_deep() {
+        let mut a = SimMemory::new();
+        a.write_u32(0x100, 7);
+        let b = a.clone();
+        a.write_u32(0x100, 9);
+        assert_eq!(b.read_u32(0x100), 7);
+        assert_eq!(a.read_u32(0x100), 9);
+    }
+
+    #[test]
+    fn resident_page_accounting() {
+        let mut mem = SimMemory::new();
+        mem.write_u8(0x0, 1);
+        mem.write_u8(0x1, 1); // same page
+        assert_eq!(mem.resident_pages(), 1);
+        mem.write_u8(0x1000, 1);
+        assert_eq!(mem.resident_pages(), 2);
+    }
+}

@@ -1,0 +1,214 @@
+//! Coordinated prefetcher throttling — the paper's §4.2.
+//!
+//! Every sampling interval, each prefetcher (the *deciding* prefetcher)
+//! makes a throttling decision from three inputs: its own coverage, its own
+//! accuracy, and the *rival* prefetcher's coverage:
+//!
+//! | Case | Own coverage | Own accuracy    | Rival coverage | Decision |
+//! |------|--------------|-----------------|----------------|----------|
+//! | 1    | High         | —               | —              | Up       |
+//! | 2    | Low          | Low             | —              | Down     |
+//! | 3    | Low          | Medium or High  | Low            | Up       |
+//! | 4    | Low          | Low or Medium   | High           | Down     |
+//! | 5    | Low          | High            | High           | Keep     |
+//!
+//! With more than two prefetchers, the rival coverage is the maximum
+//! coverage among the other prefetchers (the paper notes the scheme is
+//! prefetcher-symmetric and extensible this way).
+
+use sim_core::{IntervalFeedback, ThrottleDecision, ThrottlePolicy};
+
+/// The thresholds of the paper's Table 4.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Thresholds {
+    /// Coverage at or above which coverage is "high" (`T_coverage`).
+    pub coverage: f64,
+    /// Accuracy below which accuracy is "low" (`A_low`).
+    pub accuracy_low: f64,
+    /// Accuracy at or above which accuracy is "high" (`A_high`).
+    pub accuracy_high: f64,
+}
+
+impl Default for Thresholds {
+    fn default() -> Self {
+        // Paper Table 4.
+        Thresholds {
+            coverage: 0.2,
+            accuracy_low: 0.4,
+            accuracy_high: 0.7,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AccClass {
+    Low,
+    Medium,
+    High,
+}
+
+/// The coordinated throttling policy. See the module docs.
+///
+/// # Example
+///
+/// ```
+/// use throttle::CoordinatedThrottle;
+/// use sim_core::ThrottlePolicy;
+///
+/// let policy = CoordinatedThrottle::new(Default::default());
+/// assert_eq!(policy.name(), "coordinated");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CoordinatedThrottle {
+    thresholds: Thresholds,
+}
+
+impl CoordinatedThrottle {
+    /// Creates the policy with the given thresholds (use
+    /// `Thresholds::default()` for the paper's values).
+    pub fn new(thresholds: Thresholds) -> Self {
+        CoordinatedThrottle { thresholds }
+    }
+
+    fn acc_class(&self, accuracy: f64) -> AccClass {
+        if accuracy >= self.thresholds.accuracy_high {
+            AccClass::High
+        } else if accuracy < self.thresholds.accuracy_low {
+            AccClass::Low
+        } else {
+            AccClass::Medium
+        }
+    }
+
+    /// The Table 3 decision for one prefetcher.
+    fn decide(&self, own_coverage: f64, own_accuracy: f64, rival_coverage: f64) -> ThrottleDecision {
+        let cov_high = own_coverage >= self.thresholds.coverage;
+        if cov_high {
+            // Case 1.
+            return ThrottleDecision::Up;
+        }
+        let rival_high = rival_coverage >= self.thresholds.coverage;
+        match (self.acc_class(own_accuracy), rival_high) {
+            // Case 2.
+            (AccClass::Low, _) => ThrottleDecision::Down,
+            // Case 3.
+            (AccClass::Medium | AccClass::High, false) => ThrottleDecision::Up,
+            // Case 4.
+            (AccClass::Medium, true) => ThrottleDecision::Down,
+            // Case 5.
+            (AccClass::High, true) => ThrottleDecision::Keep,
+        }
+    }
+}
+
+impl ThrottlePolicy for CoordinatedThrottle {
+    fn name(&self) -> &'static str {
+        "coordinated"
+    }
+
+    fn adjust(&mut self, feedback: &[IntervalFeedback]) -> Vec<ThrottleDecision> {
+        feedback
+            .iter()
+            .enumerate()
+            .map(|(i, own)| {
+                let rival_coverage = feedback
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| *j != i)
+                    .map(|(_, f)| f.coverage)
+                    .fold(0.0, f64::max);
+                self.decide(own.coverage, own.accuracy, rival_coverage)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::Aggressiveness;
+
+    fn fb(coverage: f64, accuracy: f64) -> IntervalFeedback {
+        IntervalFeedback {
+            accuracy,
+            coverage,
+            lateness: 0.0,
+            pollution: 0.0,
+            level: Aggressiveness::Moderate,
+        }
+    }
+
+    fn policy() -> CoordinatedThrottle {
+        CoordinatedThrottle::new(Thresholds::default())
+    }
+
+    #[test]
+    fn case1_high_coverage_throttles_up() {
+        // Regardless of accuracy and rival.
+        let d = policy().adjust(&[fb(0.5, 0.1), fb(0.9, 0.9)]);
+        assert_eq!(d, vec![ThrottleDecision::Up, ThrottleDecision::Up]);
+    }
+
+    #[test]
+    fn case2_low_coverage_low_accuracy_throttles_down() {
+        let d = policy().adjust(&[fb(0.1, 0.2), fb(0.1, 0.2)]);
+        assert_eq!(d, vec![ThrottleDecision::Down, ThrottleDecision::Down]);
+    }
+
+    #[test]
+    fn case3_low_rival_gives_chance_to_accurate_prefetcher() {
+        // Own: low cov, medium acc; rival: low cov.
+        let d = policy().adjust(&[fb(0.1, 0.5), fb(0.05, 0.1)]);
+        assert_eq!(d[0], ThrottleDecision::Up);
+        // High accuracy too.
+        let d = policy().adjust(&[fb(0.1, 0.9), fb(0.05, 0.1)]);
+        assert_eq!(d[0], ThrottleDecision::Up);
+    }
+
+    #[test]
+    fn case4_medium_accuracy_yields_to_high_coverage_rival() {
+        let d = policy().adjust(&[fb(0.1, 0.5), fb(0.6, 0.9)]);
+        assert_eq!(d[0], ThrottleDecision::Down);
+        assert_eq!(d[1], ThrottleDecision::Up, "rival is case 1");
+    }
+
+    #[test]
+    fn case5_high_accuracy_with_strong_rival_keeps() {
+        let d = policy().adjust(&[fb(0.1, 0.9), fb(0.6, 0.9)]);
+        assert_eq!(d[0], ThrottleDecision::Keep);
+    }
+
+    #[test]
+    fn thresholds_match_paper_table4() {
+        let t = Thresholds::default();
+        assert_eq!(t.coverage, 0.2);
+        assert_eq!(t.accuracy_low, 0.4);
+        assert_eq!(t.accuracy_high, 0.7);
+    }
+
+    #[test]
+    fn boundary_values_classify_as_documented() {
+        let p = policy();
+        // accuracy == A_high is high; accuracy == A_low is medium.
+        assert_eq!(p.acc_class(0.7), AccClass::High);
+        assert_eq!(p.acc_class(0.4), AccClass::Medium);
+        assert_eq!(p.acc_class(0.39), AccClass::Low);
+        // coverage == T_coverage is high: case 1.
+        assert_eq!(p.decide(0.2, 0.0, 0.0), ThrottleDecision::Up);
+    }
+
+    #[test]
+    fn three_prefetchers_use_max_rival_coverage() {
+        // Own (idx 0): low cov, high acc. Rivals: one low, one high
+        // coverage. Max rival coverage is high => case 5 Keep.
+        let d = policy().adjust(&[fb(0.1, 0.9), fb(0.05, 0.5), fb(0.8, 0.9)]);
+        assert_eq!(d[0], ThrottleDecision::Keep);
+    }
+
+    #[test]
+    fn single_prefetcher_has_zero_rival_coverage() {
+        // Only one prefetcher: rival coverage 0 => case 3 for med/high acc.
+        let d = policy().adjust(&[fb(0.1, 0.9)]);
+        assert_eq!(d, vec![ThrottleDecision::Up]);
+    }
+}

@@ -1,0 +1,155 @@
+//! Feedback-Directed Prefetching (Srinath et al., HPCA 2007) — the
+//! uncoordinated baseline the paper compares coordinated throttling against
+//! in §6.5.
+//!
+//! FDP throttles each prefetcher *individually* from three signals:
+//! prefetch accuracy (two thresholds), lateness (one threshold) and
+//! cache-pollution (one threshold) — six tunables in total counting the
+//! two levels each signal classifies into. Crucially, a prefetcher's
+//! decision never considers the other prefetcher's behaviour, which is the
+//! structural reason it loses to coordinated throttling on hybrid systems.
+//!
+//! Decision table (after Srinath et al., Table 5):
+//!
+//! | Accuracy | Late? | Polluting? | Decision |
+//! |----------|-------|------------|----------|
+//! | High     | yes   | —          | Up       |
+//! | High     | no    | —          | Keep     |
+//! | Medium   | yes   | no         | Up       |
+//! | Medium   | yes   | yes        | Down     |
+//! | Medium   | no    | yes        | Down     |
+//! | Medium   | no    | no         | Keep     |
+//! | Low      | —     | yes        | Down     |
+//! | Low      | —     | no         | Down     |
+
+use sim_core::{IntervalFeedback, ThrottleDecision, ThrottlePolicy};
+
+/// FDP's threshold set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FdpThresholds {
+    /// Accuracy at or above which accuracy is "high".
+    pub accuracy_high: f64,
+    /// Accuracy below which accuracy is "low".
+    pub accuracy_low: f64,
+    /// Fraction of used prefetches arriving late above which the prefetcher
+    /// is "late".
+    pub lateness: f64,
+    /// Pollution events per demand miss above which the prefetcher is
+    /// "polluting".
+    pub pollution: f64,
+}
+
+impl Default for FdpThresholds {
+    fn default() -> Self {
+        // Accuracy thresholds from the FDP paper; lateness/pollution adapted
+        // to this simulator's counters (see DESIGN.md).
+        FdpThresholds {
+            accuracy_high: 0.75,
+            accuracy_low: 0.40,
+            lateness: 0.10,
+            pollution: 0.05,
+        }
+    }
+}
+
+/// The FDP throttling policy. See the module docs.
+#[derive(Debug, Clone, Default)]
+pub struct FdpThrottle {
+    thresholds: FdpThresholds,
+}
+
+impl FdpThrottle {
+    /// Creates the policy with the given thresholds.
+    pub fn new(thresholds: FdpThresholds) -> Self {
+        FdpThrottle { thresholds }
+    }
+
+    fn decide(&self, f: &IntervalFeedback) -> ThrottleDecision {
+        let t = &self.thresholds;
+        let late = f.lateness > t.lateness;
+        let polluting = f.pollution > t.pollution;
+        if f.accuracy >= t.accuracy_high {
+            if late {
+                ThrottleDecision::Up
+            } else {
+                ThrottleDecision::Keep
+            }
+        } else if f.accuracy >= t.accuracy_low {
+            match (late, polluting) {
+                (true, false) => ThrottleDecision::Up,
+                (_, true) => ThrottleDecision::Down,
+                (false, false) => ThrottleDecision::Keep,
+            }
+        } else {
+            ThrottleDecision::Down
+        }
+    }
+}
+
+impl ThrottlePolicy for FdpThrottle {
+    fn name(&self) -> &'static str {
+        "fdp"
+    }
+
+    fn adjust(&mut self, feedback: &[IntervalFeedback]) -> Vec<ThrottleDecision> {
+        // Each prefetcher is throttled independently: no cross-prefetcher
+        // inputs, by design.
+        feedback.iter().map(|f| self.decide(f)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::Aggressiveness;
+
+    fn fb(accuracy: f64, lateness: f64, pollution: f64) -> IntervalFeedback {
+        IntervalFeedback {
+            accuracy,
+            coverage: 0.5,
+            lateness,
+            pollution,
+            level: Aggressiveness::Moderate,
+        }
+    }
+
+    fn p() -> FdpThrottle {
+        FdpThrottle::new(FdpThresholds::default())
+    }
+
+    #[test]
+    fn accurate_and_late_throttles_up() {
+        assert_eq!(p().adjust(&[fb(0.9, 0.5, 0.0)]), vec![ThrottleDecision::Up]);
+    }
+
+    #[test]
+    fn accurate_and_timely_keeps() {
+        assert_eq!(p().adjust(&[fb(0.9, 0.0, 0.0)]), vec![ThrottleDecision::Keep]);
+    }
+
+    #[test]
+    fn inaccurate_always_throttles_down() {
+        assert_eq!(p().adjust(&[fb(0.1, 0.0, 0.0)]), vec![ThrottleDecision::Down]);
+        assert_eq!(p().adjust(&[fb(0.1, 0.9, 0.9)]), vec![ThrottleDecision::Down]);
+    }
+
+    #[test]
+    fn medium_accuracy_polluting_throttles_down() {
+        assert_eq!(p().adjust(&[fb(0.5, 0.5, 0.5)]), vec![ThrottleDecision::Down]);
+        assert_eq!(p().adjust(&[fb(0.5, 0.0, 0.5)]), vec![ThrottleDecision::Down]);
+    }
+
+    #[test]
+    fn medium_accuracy_late_clean_throttles_up() {
+        assert_eq!(p().adjust(&[fb(0.5, 0.5, 0.0)]), vec![ThrottleDecision::Up]);
+    }
+
+    #[test]
+    fn decisions_are_independent_per_prefetcher() {
+        // A terrible rival does not change the first prefetcher's decision —
+        // the defining difference from coordinated throttling.
+        let alone = p().adjust(&[fb(0.9, 0.5, 0.0)])[0];
+        let with_rival = p().adjust(&[fb(0.9, 0.5, 0.0), fb(0.01, 0.0, 0.9)])[0];
+        assert_eq!(alone, with_rival);
+    }
+}

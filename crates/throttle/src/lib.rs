@@ -1,0 +1,23 @@
+//! Prefetcher throttling policies for the hybrid prefetching system.
+//!
+//! * [`CoordinatedThrottle`] — the paper's contribution (§4): both
+//!   prefetchers adjust their aggressiveness each sampling interval based on
+//!   their own accuracy and coverage *and the rival prefetcher's coverage*,
+//!   following the five-case heuristic table (paper Table 3) with the
+//!   thresholds of Table 4.
+//! * [`FdpThrottle`] — Feedback-Directed Prefetching (Srinath et al., HPCA
+//!   2007): per-prefetcher throttling from accuracy, lateness and pollution,
+//!   with *no* coordination between prefetchers — the §6.5 comparison.
+//! * [`PabSelector`] + [`Switchable`] — Gendler et al.'s
+//!   most-accurate-prefetcher-only scheme (§7.4): every interval, all
+//!   prefetchers except the most accurate one are turned off entirely.
+
+pub mod coordinated;
+pub mod fdp;
+pub mod pab;
+pub mod recorder;
+
+pub use coordinated::{CoordinatedThrottle, Thresholds};
+pub use fdp::{FdpThresholds, FdpThrottle};
+pub use pab::{PabSelector, Switchable};
+pub use recorder::{level_trajectory, IntervalRecord, Recorder};

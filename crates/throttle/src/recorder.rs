@@ -1,0 +1,142 @@
+//! A recording decorator for throttling policies: captures the feedback and
+//! decisions of every sampling interval for post-run analysis (the data
+//! behind the paper's phase-behaviour discussion in §6.1.1).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use sim_core::{Aggressiveness, IntervalFeedback, ThrottleDecision, ThrottlePolicy};
+
+/// One recorded sampling interval.
+#[derive(Debug, Clone)]
+pub struct IntervalRecord {
+    /// Interval index (0-based).
+    pub interval: u64,
+    /// Feedback per prefetcher, in registration order.
+    pub feedback: Vec<IntervalFeedback>,
+    /// Decision per prefetcher.
+    pub decisions: Vec<ThrottleDecision>,
+}
+
+/// Wraps any [`ThrottlePolicy`] and records every interval.
+///
+/// # Example
+///
+/// ```
+/// use throttle::{CoordinatedThrottle, Recorder};
+/// use sim_core::ThrottlePolicy;
+///
+/// let (mut policy, log) = Recorder::new(CoordinatedThrottle::default());
+/// let _ = policy.adjust(&[]);
+/// assert_eq!(log.borrow().len(), 1);
+/// ```
+pub struct Recorder<P> {
+    inner: P,
+    log: Rc<RefCell<Vec<IntervalRecord>>>,
+}
+
+impl<P: ThrottlePolicy> Recorder<P> {
+    /// Wraps `inner`; returns the recorder and a shared handle to the log.
+    #[allow(clippy::type_complexity)]
+    pub fn new(inner: P) -> (Self, Rc<RefCell<Vec<IntervalRecord>>>) {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        (
+            Recorder {
+                inner,
+                log: Rc::clone(&log),
+            },
+            log,
+        )
+    }
+}
+
+impl<P> std::fmt::Debug for Recorder<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Recorder")
+            .field("intervals", &self.log.borrow().len())
+            .finish()
+    }
+}
+
+impl<P: ThrottlePolicy> ThrottlePolicy for Recorder<P> {
+    fn name(&self) -> &'static str {
+        "recorded"
+    }
+
+    fn adjust(&mut self, feedback: &[IntervalFeedback]) -> Vec<ThrottleDecision> {
+        let decisions = self.inner.adjust(feedback);
+        let mut log = self.log.borrow_mut();
+        let interval = log.len() as u64;
+        log.push(IntervalRecord {
+            interval,
+            feedback: feedback.to_vec(),
+            decisions: decisions.clone(),
+        });
+        decisions
+    }
+}
+
+/// Reconstructs the aggressiveness level trajectory of one prefetcher from
+/// a recorded log, starting from `initial`.
+pub fn level_trajectory(
+    log: &[IntervalRecord],
+    prefetcher: usize,
+    initial: Aggressiveness,
+) -> Vec<Aggressiveness> {
+    let mut level = initial;
+    let mut out = vec![level];
+    for rec in log {
+        if let Some(d) = rec.decisions.get(prefetcher) {
+            level = match d {
+                ThrottleDecision::Up => level.up(),
+                ThrottleDecision::Down => level.down(),
+                ThrottleDecision::Keep => level,
+            };
+        }
+        out.push(level);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CoordinatedThrottle;
+
+    fn fb(cov: f64, acc: f64) -> IntervalFeedback {
+        IntervalFeedback {
+            accuracy: acc,
+            coverage: cov,
+            lateness: 0.0,
+            pollution: 0.0,
+            level: Aggressiveness::Aggressive,
+        }
+    }
+
+    #[test]
+    fn records_every_interval() {
+        let (mut p, log) = Recorder::new(CoordinatedThrottle::default());
+        p.adjust(&[fb(0.5, 0.9), fb(0.1, 0.1)]);
+        p.adjust(&[fb(0.5, 0.9), fb(0.1, 0.1)]);
+        let log = log.borrow();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[1].interval, 1);
+        assert_eq!(log[0].decisions.len(), 2);
+    }
+
+    #[test]
+    fn trajectory_follows_decisions() {
+        let (mut p, log) = Recorder::new(CoordinatedThrottle::default());
+        // Prefetcher 1: low coverage, low accuracy => Down every interval.
+        for _ in 0..5 {
+            p.adjust(&[fb(0.9, 0.9), fb(0.05, 0.1)]);
+        }
+        let log = log.borrow();
+        let levels = level_trajectory(&log, 1, Aggressiveness::Aggressive);
+        assert_eq!(levels.len(), 6);
+        assert_eq!(*levels.last().unwrap(), Aggressiveness::VeryConservative);
+        // Prefetcher 0 is case 1: pinned at the top.
+        let up = level_trajectory(&log, 0, Aggressiveness::Aggressive);
+        assert!(up.iter().all(|&l| l == Aggressiveness::Aggressive));
+    }
+}

@@ -1,0 +1,124 @@
+//! Stand-in for `pfast` (parallel fast alignment search tool), the
+//! bioinformatics workload of the paper's §5: seed-and-extend alignment of
+//! short reads against a reference genome index.
+//!
+//! The access pattern: hash each read's k-mer seed into an index table,
+//! walk the bucket's candidate-hit chain (pointer chase), and for promising
+//! candidates stream a short window of the reference sequence to extend the
+//! alignment. The chain walks are LDS misses the stream prefetcher cannot
+//! cover; the extension windows are short streams.
+
+use rand::Rng;
+use sim_core::Trace;
+use sim_mem::builders::{self, HashTable};
+
+use crate::common::Ctx;
+use crate::{InputSet, Workload};
+
+/// PCs of `pfast`'s static loads.
+pub mod pfast_pc {
+    /// Seed-index bucket load.
+    pub const BUCKET: u32 = 0xF000;
+    /// Candidate-hit key load.
+    pub const KEY: u32 = 0xF004;
+    /// Candidate `next` pointer load.
+    pub const NEXT: u32 = 0xF008;
+    /// Candidate position-record dereference.
+    pub const POS: u32 = 0xF00C;
+    /// Reference-sequence extension load (streaming).
+    pub const REF_SEQ: u32 = 0xF010;
+}
+
+/// The `pfast` stand-in. See the module docs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Pfast;
+
+impl Workload for Pfast {
+    fn describe(&self) -> &'static str {
+        "seed-and-extend alignment: candidate chains plus reference windows"
+    }
+
+    fn name(&self) -> &'static str {
+        "pfast"
+    }
+
+    fn generate(&self, input: InputSet) -> Trace {
+        let mut c = Ctx::new(0xFA57, input);
+        let buckets = c.scale(input, 2048, 4096) as u32;
+        let kmers = c.scale(input, 35_000, 45_000) as u32;
+        let reads = c.scale(input, 8_000, 30_000);
+        let genome_words = c.scale(input, 100_000, 250_000) as u32;
+
+        let mut table = None;
+        let mut genome = 0;
+        {
+            let heap = &mut c.heap;
+            let rng = &mut c.rng;
+            c.tb.setup(|mem| {
+                table = Some(builders::build_hash_table_with_ratio(mem, heap, buckets, kmers, 1, 0.4, rng).unwrap());
+                genome = heap.alloc(genome_words * 4).unwrap();
+                for i in 0..genome_words {
+                    mem.write_u32(genome + i * 4, rng.gen());
+                }
+            });
+        }
+        let table = table.unwrap();
+        let next_off = table.next_offset();
+
+        for _ in 0..reads {
+            // Look the read's seed up: walk the candidate chain.
+            let key = table.keys[c.rng.gen_range(0..table.keys.len())];
+            let (mut node, mut dep) = {
+                let (v, id) = c.tb.load(pfast_pc::BUCKET, table.bucket_slot(key), None);
+                (v, Some(id))
+            };
+            let mut extended = false;
+            while node != 0 {
+                let (k, kid) = c.tb.load(pfast_pc::KEY, node + HashTable::KEY_OFFSET, dep);
+                c.tb.compute(8);
+                if k == key && !extended {
+                    // Promising candidate: dereference its position record
+                    // and extend along the reference (short stream).
+                    let (pos, pid) = c.tb.load(pfast_pc::POS, node + HashTable::DATA_OFFSET, Some(kid));
+                    if pos != 0 {
+                        let (_, _) = c.tb.load(pfast_pc::POS, pos, Some(pid));
+                    }
+                    let start = (k % (genome_words - 64)) & !3;
+                    for w in 0..16u32 {
+                        let _ = c.tb.load(pfast_pc::REF_SEQ, genome + (start + w) * 4, None);
+                        c.tb.compute(2);
+                    }
+                    extended = true;
+                }
+                let (next, nid) = c.tb.load(pfast_pc::NEXT, node + next_off, Some(kid));
+                node = next;
+                dep = Some(nid);
+            }
+            c.tb.compute(30);
+        }
+        c.tb.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pfast_mixes_chains_and_extension() {
+        let t = Pfast.generate(InputSet::Train);
+        let chains = t.ops.iter().filter(|o| o.pc == pfast_pc::NEXT).count();
+        let ext = t.ops.iter().filter(|o| o.pc == pfast_pc::REF_SEQ).count();
+        assert!(chains > 5_000, "chain walks: {chains}");
+        assert!(ext > 5_000, "extensions: {ext}");
+    }
+
+    #[test]
+    fn every_read_walks_its_full_chain() {
+        // `extended` limits extension to one per read, but the chain is
+        // always walked to the end (candidates may repeat keys).
+        let t = Pfast.generate(InputSet::Train);
+        let buckets = t.ops.iter().filter(|o| o.pc == pfast_pc::BUCKET).count();
+        assert_eq!(buckets, 8_000);
+    }
+}

@@ -1,0 +1,83 @@
+//! Shared scaffolding for workload construction.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sim_core::TraceBuilder;
+use sim_mem::{layout, Heap, SimMemory};
+
+use crate::InputSet;
+
+/// Construction context for a workload: a trace builder over fresh memory,
+/// a heap, and a deterministic RNG derived from the workload seed and input
+/// set.
+pub struct Ctx {
+    /// Trace builder (functional execution + recording).
+    pub tb: TraceBuilder,
+    /// Heap allocator over the simulated heap region.
+    pub heap: Heap,
+    /// Deterministic RNG (differs between `Train` and `Ref`).
+    pub rng: StdRng,
+}
+
+impl Ctx {
+    /// Creates a context. `seed` identifies the workload; the input set
+    /// perturbs it so training and reference runs see different data.
+    pub fn new(seed: u64, input: InputSet) -> Self {
+        let salt = match input {
+            InputSet::Train => 0x5eed_0001,
+            InputSet::Ref => 0x5eed_0002,
+        };
+        Ctx {
+            tb: TraceBuilder::new(SimMemory::new()),
+            heap: Heap::new(layout::HEAP_BASE, layout::HEAP_LIMIT),
+            rng: StdRng::seed_from_u64(seed ^ salt),
+        }
+    }
+
+    /// Scales an iteration count by the input set (train inputs are
+    /// smaller, as in the paper's methodology).
+    pub fn scale(&self, input: InputSet, train: usize, reference: usize) -> usize {
+        match input {
+            InputSet::Train => train,
+            InputSet::Ref => reference,
+        }
+    }
+}
+
+impl std::fmt::Debug for Ctx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ctx").finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn train_and_ref_rngs_differ() {
+        use rand::Rng;
+        let mut a = Ctx::new(7, InputSet::Train);
+        let mut b = Ctx::new(7, InputSet::Ref);
+        let xa: u64 = a.rng.gen();
+        let xb: u64 = b.rng.gen();
+        assert_ne!(xa, xb);
+    }
+
+    #[test]
+    fn same_inputs_are_deterministic() {
+        use rand::Rng;
+        let mut a = Ctx::new(7, InputSet::Ref);
+        let mut b = Ctx::new(7, InputSet::Ref);
+        let xa: u64 = a.rng.gen();
+        let xb: u64 = b.rng.gen();
+        assert_eq!(xa, xb);
+    }
+
+    #[test]
+    fn scale_selects_by_input() {
+        let c = Ctx::new(1, InputSet::Train);
+        assert_eq!(c.scale(InputSet::Train, 10, 100), 10);
+        assert_eq!(c.scale(InputSet::Ref, 10, 100), 100);
+    }
+}

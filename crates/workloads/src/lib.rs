@@ -1,0 +1,154 @@
+//! Benchmark stand-ins for the paper's workload suite.
+//!
+//! The paper evaluates on 15 pointer-intensive applications from SPEC
+//! CPU2006/CPU2000, Olden and bioinformatics (`pfast`), plus the remaining
+//! non-pointer-intensive SPEC/Olden programs. The original binaries and
+//! inputs are not reproducible here, so each workload is a *synthetic
+//! stand-in* that replicates the access-pattern structure its namesake is
+//! known for — the property that actually drives CDP/ECDP behaviour:
+//!
+//! * which linked data structures exist (lists, trees, hash chains,
+//!   quadtrees, graphs) and their node layouts (where the pointers sit);
+//! * which pointer fields the traversal actually dereferences (the
+//!   beneficial pointer groups) versus which it loads past (the harmful
+//!   ones);
+//! * how much streaming/array traffic accompanies the pointer chasing.
+//!
+//! Every workload implements [`Workload`] and produces a [`sim_core::Trace`]
+//! by *executing functionally* against simulated memory, so fetched cache
+//! blocks contain real pointer bytes for the content-directed prefetcher to
+//! scan. Each has a `Train` and a `Ref` input set (different sizes and
+//! seeds) supporting the paper's §6.1.6 profiling-input experiment.
+//!
+//! # Example
+//!
+//! ```
+//! use workloads::{by_name, InputSet};
+//!
+//! let mst = by_name("mst").expect("mst is in the suite");
+//! let trace = mst.generate(InputSet::Train);
+//! assert!(trace.memory_ops() > 1000);
+//! ```
+
+pub mod bio;
+pub mod common;
+pub mod olden;
+pub mod olden_extra;
+pub mod spec_fp;
+pub mod spec_int;
+pub mod streaming;
+
+use sim_core::Trace;
+
+/// Which input set to generate (paper §5: profiling uses `Train`, timed
+/// runs use `Ref`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InputSet {
+    /// Smaller input with a different seed — the profiling input.
+    Train,
+    /// The measured input.
+    Ref,
+}
+
+/// A benchmark stand-in that can generate an executable trace.
+pub trait Workload {
+    /// Benchmark name (matches the paper's tables, e.g. `"mst"`).
+    fn name(&self) -> &'static str;
+
+    /// True for the pointer-intensive suite (the paper's main 15); false
+    /// for the §6.7 streaming/compute workloads.
+    fn pointer_intensive(&self) -> bool {
+        true
+    }
+
+    /// One-line description of the access pattern being modelled.
+    fn describe(&self) -> &'static str {
+        "benchmark stand-in"
+    }
+
+    /// Runs the workload functionally and records its trace.
+    fn generate(&self, input: InputSet) -> Trace;
+}
+
+/// The 15 pointer-intensive workloads of the paper's main evaluation, in
+/// the order of Table 1.
+pub fn pointer_suite() -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(spec_int::Perlbench),
+        Box::new(spec_int::Gcc),
+        Box::new(spec_int::Mcf),
+        Box::new(spec_int::Astar),
+        Box::new(spec_int::Xalancbmk),
+        Box::new(spec_int::Omnetpp),
+        Box::new(spec_int::Parser),
+        Box::new(spec_fp::Art),
+        Box::new(spec_fp::Ammp),
+        Box::new(olden::Bisort),
+        Box::new(olden::Health),
+        Box::new(olden::Mst),
+        Box::new(olden::Perimeter),
+        Box::new(olden::Voronoi),
+        Box::new(bio::Pfast),
+    ]
+}
+
+/// The non-pointer-intensive workloads used for §6.7 and the multi-core
+/// mixes.
+pub fn streaming_suite() -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(streaming::Libquantum),
+        Box::new(streaming::Bwaves),
+        Box::new(streaming::GemsFdtd),
+        Box::new(streaming::H264ref),
+        Box::new(streaming::Hmmer),
+        Box::new(streaming::Lbm),
+        Box::new(streaming::Milc),
+        Box::new(streaming::Sjeng),
+        Box::new(olden_extra::Treeadd),
+        Box::new(olden_extra::Em3d),
+        Box::new(olden_extra::Tsp),
+        Box::new(olden_extra::Power),
+    ]
+}
+
+/// Looks a workload up by its paper name across both suites.
+pub fn by_name(name: &str) -> Option<Box<dyn Workload>> {
+    pointer_suite()
+        .into_iter()
+        .chain(streaming_suite())
+        .find(|w| w.name() == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suites_have_paper_counts() {
+        assert_eq!(pointer_suite().len(), 15);
+        // 8 SPEC streaming/compute stand-ins + 4 remaining Olden programs.
+        assert_eq!(streaming_suite().len(), 12);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = pointer_suite()
+            .iter()
+            .chain(streaming_suite().iter())
+            .map(|w| w.name())
+            .collect();
+        let before = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), before);
+    }
+
+    #[test]
+    fn by_name_finds_both_suites() {
+        assert!(by_name("mst").is_some());
+        assert!(by_name("libquantum").is_some());
+        assert!(by_name("nonexistent").is_none());
+        assert!(by_name("mst").unwrap().pointer_intensive());
+        assert!(!by_name("libquantum").unwrap().pointer_intensive());
+    }
+}

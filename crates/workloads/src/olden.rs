@@ -1,0 +1,530 @@
+//! Stand-ins for the Olden pointer benchmarks used in the paper: `bisort`,
+//! `health`, `mst`, `perimeter` and `voronoi`.
+//!
+//! These five cover the paper's spectrum of CDP behaviour: `perimeter`
+//! (83% CDP accuracy — every child pointer is traversed), `health` (long
+//! list chases where CDP prefetching is hugely profitable), `voronoi`
+//! (about half the scanned pointers useful), and the two pathological
+//! cases the paper analyses in depth: `bisort` (subtree swaps invalidate
+//! prefetched subtrees, §2.3) and `mst` (hash-chain nodes whose data-field
+//! pointers are almost never dereferenced, §3 Figure 5).
+
+use sim_core::{Addr, Trace};
+use sim_mem::builders::{
+    self, HashTable, QUAD_CHILD_OFFSET, QUAD_VALUE_OFFSET, TREE_DATA_OFFSET, TREE_LEFT_OFFSET,
+    TREE_RIGHT_OFFSET,
+};
+use rand::Rng;
+
+use crate::common::Ctx;
+use crate::{InputSet, Workload};
+
+/// `bisort`: bitonic sort over a binary tree with frequent subtree swaps.
+///
+/// The traversal descends random root-to-leaf paths; at visited nodes it
+/// swaps the children of the current node with those of a recently visited
+/// node, so pointers prefetched from a block often belong to subtrees the
+/// program will never enter — the CDP failure mode of §2.3.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Bisort;
+
+/// PCs of `bisort`'s static loads.
+pub mod bisort_pc {
+    /// Load of a node's sort key.
+    pub const KEY: u32 = 0x1000;
+    /// Load of a node's left child pointer.
+    pub const LEFT: u32 = 0x1004;
+    /// Load of a node's right child pointer.
+    pub const RIGHT: u32 = 0x1008;
+}
+
+impl Workload for Bisort {
+    fn describe(&self) -> &'static str {
+        "binary-tree bitonic sort with frequent subtree swaps (CDP-hostile)"
+    }
+
+    fn name(&self) -> &'static str {
+        "bisort"
+    }
+
+    fn generate(&self, input: InputSet) -> Trace {
+        let mut c = Ctx::new(0xB150, input);
+        let depth = c.scale(input, 16, 17) as u32;
+        let descents = c.scale(input, 4_000, 26_000);
+
+        let mut tree = None;
+        let heap = &mut c.heap;
+        let rng = &mut c.rng;
+        c.tb.setup(|mem| {
+            tree = Some(builders::build_binary_tree(mem, heap, depth, rng).unwrap());
+        });
+        let tree = tree.unwrap();
+        let root = tree.root;
+
+        // Random root-to-leaf descents with subtree swaps: at half the
+        // visited nodes, the children are exchanged with those of another
+        // (random) node — the bitonic merge's swap — and the walk continues
+        // into the swapped-in subtree. Pointers CDP harvested from the
+        // node's block at fill time now name subtrees the program will not
+        // enter, reproducing the §2.3 failure mode.
+        let num_nodes = tree.nodes.len();
+        for _ in 0..descents {
+            let mut cur = root;
+            let mut dep = None;
+            let mut hops = 0;
+            while cur != 0 && hops < 24 {
+                let (key, kid) = c.tb.load(bisort_pc::KEY, cur + TREE_DATA_OFFSET, dep);
+                c.tb.compute(10);
+                let (l, lid) = c.tb.load(bisort_pc::LEFT, cur + TREE_LEFT_OFFSET, Some(kid));
+                let (r, rid) = c.tb.load(bisort_pc::RIGHT, cur + TREE_RIGHT_OFFSET, Some(kid));
+                let swap = c.rng.gen_bool(0.15);
+                let (next, nid) = if swap {
+                    // Swap in another node's subtrees (modelled as wiring
+                    // this node's children to two random nodes, which is
+                    // what an accumulated sequence of subtree swaps looks
+                    // like from this node's point of view).
+                    let other = tree.nodes[c.rng.gen_range(0..num_nodes)];
+                    let (ol, olid) = c.tb.load(bisort_pc::LEFT, other + TREE_LEFT_OFFSET, None);
+                    let (or, orid) = c.tb.load(bisort_pc::RIGHT, other + TREE_RIGHT_OFFSET, None);
+                    c.tb.store(0x1010, cur + TREE_LEFT_OFFSET, ol, Some(olid));
+                    c.tb.store(0x1014, cur + TREE_RIGHT_OFFSET, or, Some(orid));
+                    c.tb.store(0x1018, other + TREE_LEFT_OFFSET, l, Some(lid));
+                    c.tb.store(0x101C, other + TREE_RIGHT_OFFSET, r, Some(rid));
+                    if key % 10 < 7 {
+                        (ol, olid)
+                    } else {
+                        (or, orid)
+                    }
+                } else if key % 10 < 7 {
+                    // The bitonic merge descends left-heavy in this phase,
+                    // so the left-child pointer group is beneficial while
+                    // the right one stays below the 50% usefulness bar.
+                    (l, lid)
+                } else {
+                    (r, rid)
+                };
+                cur = next;
+                dep = Some(nid);
+                hops += 1;
+            }
+            c.tb.compute(8);
+        }
+        c.tb.finish()
+    }
+}
+
+/// `health`: a hierarchy of villages, each with a linked list of patients
+/// that is walked in full every simulation step. Long regular pointer
+/// chases make LDS prefetching extremely profitable here (the paper notes
+/// the benchmark skews averages and reports results with and without it).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Health;
+
+/// PCs of `health`'s static loads.
+pub mod health_pc {
+    /// Load of a patient's data field.
+    pub const DATA: u32 = 0x2000;
+    /// Load of a patient's `next` pointer.
+    pub const NEXT: u32 = 0x2004;
+    /// Load of a village's patient-list head.
+    pub const HEAD: u32 = 0x2008;
+    /// Rare dereference of a patient's treatment record.
+    pub const RECORD: u32 = 0x200C;
+}
+
+impl Workload for Health {
+    fn describe(&self) -> &'static str {
+        "village hierarchy with long scrambled patient lists (CDP's best case)"
+    }
+
+    fn name(&self) -> &'static str {
+        "health"
+    }
+
+    fn generate(&self, input: InputSet) -> Trace {
+        let mut c = Ctx::new(0x4EA1, input);
+        let villages = c.scale(input, 192, 256);
+        let patients_per = c.scale(input, 350, 420);
+        let steps = c.scale(input, 2, 2);
+
+        // Each village: a head slot plus a patient list. Patient node:
+        // {record_ptr, data, severity, next} = 16 bytes, so four nodes share
+        // a cache block. Nodes of one village are *clustered* (allocated
+        // together at initialisation) but the list order within the cluster
+        // is scrambled by the simulation's insertions/removals — the regime
+        // where a stream prefetcher finds no monotonic miss pattern but
+        // content-directed prefetching harvests four next-pointers per
+        // fetched block and sprints ahead of the walk. The `record` pointer
+        // names a satellite treatment record that the walk rarely touches:
+        // a harmful pointer group for unfiltered CDP.
+        let mut heads: Vec<Addr> = Vec::with_capacity(villages);
+        {
+            let heap = &mut c.heap;
+            let rng = &mut c.rng;
+            c.tb.setup(|mem| {
+                use rand::seq::SliceRandom;
+                let mut all_lists: Vec<Vec<Addr>> = Vec::with_capacity(villages);
+                for _ in 0..villages {
+                    heads.push(heap.alloc(8).unwrap());
+                    let mut nodes: Vec<Addr> =
+                        (0..patients_per).map(|_| heap.alloc(16).unwrap()).collect();
+                    nodes.shuffle(rng);
+                    all_lists.push(nodes);
+                }
+                // Satellite records live in their own region, allocated in a
+                // second phase as the real program would.
+                for (v, nodes) in all_lists.iter().enumerate() {
+                    for (i, &n) in nodes.iter().enumerate() {
+                        // Only half the patients carry a treatment record;
+                        // the chain's pointer groups stay majority-useful
+                        // while the record group stays harmful.
+                        let record = if rng.gen_bool(0.5) { heap.alloc(24).unwrap() } else { 0 };
+                        mem.write_u32(n, record);
+                        mem.write_u32(n + 4, rng.gen());
+                        mem.write_u32(n + 8, rng.gen::<u32>() & 0xFFFF);
+                        let next = if i + 1 < nodes.len() { nodes[i + 1] } else { 0 };
+                        mem.write_u32(n + 12, next);
+                    }
+                    mem.write_u32(heads[v], nodes.first().copied().unwrap_or(0));
+                }
+            });
+        }
+
+        let next_offset = 12;
+        for _ in 0..steps {
+            for &head_slot in &heads {
+                let (mut cur, mut dep) = {
+                    let (v, id) = c.tb.load(health_pc::HEAD, head_slot, None);
+                    (v, Some(id))
+                };
+                let mut visited = 0u32;
+                while cur != 0 {
+                    let (_, did) = c.tb.load(health_pc::DATA, cur + 4, dep);
+                    c.tb.compute(4);
+                    visited += 1;
+                    if visited.is_multiple_of(97) {
+                        // Rare treatment-record access (the satellite).
+                        let (rec, rid) = c.tb.load(health_pc::RECORD, cur, Some(did));
+                        if rec != 0 {
+                            let _ = c.tb.load(health_pc::RECORD, rec, Some(rid));
+                        }
+                    }
+                    let (next, nid) = c.tb.load(health_pc::NEXT, cur + next_offset, Some(did));
+                    cur = next;
+                    dep = Some(nid);
+                }
+                c.tb.compute(12);
+            }
+        }
+        c.tb.finish()
+    }
+}
+
+/// `mst`: the paper's Figure 5 example. A chained hash table whose nodes
+/// are `{key, data1, data2, next}`; lookups walk the chain comparing keys.
+/// The `data` words are pointers to satellite records that are only touched
+/// on a key match — so `PG(key-load, data offsets)` are harmful and
+/// `PG(key-load, next offsets)` are beneficial, exactly the case ECDP's
+/// compiler hints are designed to separate.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Mst;
+
+/// PCs of `mst`'s static loads.
+pub mod mst_pc {
+    /// Load of the bucket head pointer.
+    pub const BUCKET: u32 = 0x3000;
+    /// Load of a node's key (`ent->Key != Key` in Figure 5).
+    pub const KEY: u32 = 0x3004;
+    /// Load of a node's `next` pointer.
+    pub const NEXT: u32 = 0x3008;
+    /// Load of a data pointer after a key match.
+    pub const DATA: u32 = 0x300C;
+    /// Dereference of the satellite record.
+    pub const SAT: u32 = 0x3010;
+}
+
+impl Workload for Mst {
+    fn describe(&self) -> &'static str {
+        "hash-table chain probes over {key, d1, d2, next} nodes (Figure 5)"
+    }
+
+    fn name(&self) -> &'static str {
+        "mst"
+    }
+
+    fn generate(&self, input: InputSet) -> Trace {
+        let mut c = Ctx::new(0x357A, input);
+        let buckets = c.scale(input, 2048, 4096) as u32;
+        let keys = c.scale(input, 30_000, 45_000) as u32;
+        let lookups = c.scale(input, 6_000, 22_000);
+
+        let mut table = None;
+        {
+            let heap = &mut c.heap;
+            let rng = &mut c.rng;
+            c.tb.setup(|mem| {
+                // Figure 5's node layout {key, d1, d2, next}; only some nodes
+                // carry live satellite records (the rest hold immediate
+                // values), which keeps the next-pointer groups above the
+                // beneficial bar while the data groups stay harmful.
+                table = Some(
+                    builders::build_hash_table_with_ratio(mem, heap, buckets, keys, 2, 0.35, rng)
+                        .unwrap(),
+                );
+            });
+        }
+        let table = table.unwrap();
+        let next_off = table.next_offset();
+
+        for _ in 0..lookups {
+            // Most lookups are membership probes for keys that are absent
+            // (as in the real HashLookup): the chain is walked to the end,
+            // no data record is touched, and the data-pointer groups stay
+            // as useless as Figure 5 describes.
+            let key = if c.rng.gen_bool(0.2) {
+                table.keys[c.rng.gen_range(0..table.keys.len())]
+            } else {
+                c.rng.gen()
+            };
+            let (mut node, mut dep) = {
+                let (v, id) = c.tb.load(mst_pc::BUCKET, table.bucket_slot(key), None);
+                (v, Some(id))
+            };
+            while node != 0 {
+                let (k, kid) = c.tb.load(mst_pc::KEY, node + HashTable::KEY_OFFSET, dep);
+                c.tb.compute(8);
+                if k == key {
+                    // Key match: touch the satellite record.
+                    let (d, did) = c.tb.load(mst_pc::DATA, node + HashTable::DATA_OFFSET, Some(kid));
+                    if d != 0 {
+                        let _ = c.tb.load(mst_pc::SAT, d, Some(did));
+                    }
+                    break;
+                }
+                let (next, nid) = c.tb.load(mst_pc::NEXT, node + next_off, Some(kid));
+                node = next;
+                dep = Some(nid);
+            }
+            c.tb.compute(24);
+        }
+        c.tb.finish()
+    }
+}
+
+/// `perimeter`: full recursive traversal of a quadtree — all four child
+/// pointers of every visited node are dereferenced, which is why the
+/// original CDP is already 83% accurate on it (paper Table 1).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Perimeter;
+
+/// PCs of `perimeter`'s static loads.
+pub mod perimeter_pc {
+    /// Load of a node's value.
+    pub const VALUE: u32 = 0x4000;
+    /// Load of a child pointer (one PC per child slot).
+    pub const CHILD: [u32; 4] = [0x4004, 0x4008, 0x400C, 0x4010];
+}
+
+impl Workload for Perimeter {
+    fn describe(&self) -> &'static str {
+        "full quadtree recursion; all four child pointers used"
+    }
+
+    fn name(&self) -> &'static str {
+        "perimeter"
+    }
+
+    fn generate(&self, input: InputSet) -> Trace {
+        let mut c = Ctx::new(0x9E81, input);
+        let depth = c.scale(input, 8, 9) as u32;
+        let passes = c.scale(input, 1, 1);
+
+        let mut tree = None;
+        {
+            let heap = &mut c.heap;
+            let rng = &mut c.rng;
+            c.tb.setup(|mem| {
+                tree = Some(builders::build_quadtree(mem, heap, depth, rng).unwrap());
+            });
+        }
+        let tree = tree.unwrap();
+
+        for _ in 0..passes {
+            // Iterative DFS carrying the dependence of the pointer load
+            // that produced each node address.
+            let mut stack: Vec<(Addr, Option<sim_core::trace::LoadId>)> = vec![(tree.root, None)];
+            while let Some((node, dep)) = stack.pop() {
+                let (_, vid) = c.tb.load(perimeter_pc::VALUE, node + QUAD_VALUE_OFFSET, dep);
+                c.tb.compute(3);
+                for (i, &pc) in perimeter_pc::CHILD.iter().enumerate() {
+                    let (child, cid) =
+                        c.tb.load(pc, node + QUAD_CHILD_OFFSET + (i as u32) * 4, Some(vid));
+                    if child != 0 {
+                        stack.push((child, Some(cid)));
+                    }
+                }
+            }
+            c.tb.compute(20);
+        }
+        c.tb.finish()
+    }
+}
+
+/// `voronoi`: walks a doubly-connected edge list. Each edge holds four
+/// neighbour pointers (`onext`, `oprev`, `sym`, `dual`); a walk follows one
+/// of the first two per step and occasionally jumps through `sym`, so
+/// roughly half the scanned pointers are eventually useful (Table 1: 47%).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Voronoi;
+
+/// PCs of `voronoi`'s static loads.
+pub mod voronoi_pc {
+    /// Load of an edge's coordinate data.
+    pub const COORD: u32 = 0x5000;
+    /// Load of the `onext` pointer.
+    pub const ONEXT: u32 = 0x5004;
+    /// Load of the `oprev` pointer.
+    pub const OPREV: u32 = 0x5008;
+    /// Load of the `sym` pointer.
+    pub const SYM: u32 = 0x500C;
+}
+
+impl Workload for Voronoi {
+    fn describe(&self) -> &'static str {
+        "DCEL edge walks over onext/oprev/sym pointers"
+    }
+
+    fn name(&self) -> &'static str {
+        "voronoi"
+    }
+
+    fn generate(&self, input: InputSet) -> Trace {
+        let mut c = Ctx::new(0x0707, input);
+        let edges = c.scale(input, 110_000, 170_000);
+        let steps = c.scale(input, 30_000, 110_000);
+
+        // Edge: {x, y, onext, oprev, sym, pad} = 24 bytes.
+        let mut nodes: Vec<Addr> = Vec::with_capacity(edges);
+        {
+            let heap = &mut c.heap;
+            let rng = &mut c.rng;
+            c.tb.setup(|mem| {
+                for _ in 0..edges {
+                    nodes.push(heap.alloc(24).unwrap());
+                }
+                // Connect the edges in a random ring (a DCEL built by a
+                // divide-and-conquer algorithm has no allocation-order
+                // locality) plus random `sym` shortcuts.
+                use rand::seq::SliceRandom;
+                let mut order: Vec<usize> = (0..nodes.len()).collect();
+                order.shuffle(rng);
+                for (k, &i) in order.iter().enumerate() {
+                    let e = nodes[i];
+                    mem.write_u32(e, rng.gen());
+                    mem.write_u32(e + 4, rng.gen());
+                    let onext = nodes[order[(k + 1) % order.len()]];
+                    let oprev = nodes[order[(k + order.len() - 1) % order.len()]];
+                    let sym = nodes[rng.gen_range(0..nodes.len())];
+                    mem.write_u32(e + 8, onext);
+                    mem.write_u32(e + 12, oprev);
+                    mem.write_u32(e + 16, sym);
+                }
+            });
+        }
+
+        let mut cur = nodes[0];
+        let mut dep = None;
+        for _ in 0..steps {
+            let (_, xid) = c.tb.load(voronoi_pc::COORD, cur, dep);
+            c.tb.compute(64);
+            // Geometric predicates inspect the symmetric edge's origin about
+            // a third of the time before deciding where to walk.
+            if c.rng.gen_bool(0.35) {
+                let (sym, sid) = c.tb.load(voronoi_pc::SYM, cur + 16, Some(xid));
+                if sym != 0 {
+                    let _ = c.tb.load(voronoi_pc::COORD, sym, Some(sid));
+                }
+                c.tb.compute(12);
+            }
+            let roll = c.rng.gen_range(0..10);
+            let (next, nid) = if roll < 5 {
+                c.tb.load(voronoi_pc::ONEXT, cur + 8, Some(xid))
+            } else if roll < 8 {
+                c.tb.load(voronoi_pc::OPREV, cur + 12, Some(xid))
+            } else {
+                c.tb.load(voronoi_pc::SYM, cur + 16, Some(xid))
+            };
+            if next != 0 {
+                cur = next;
+                dep = Some(nid);
+            }
+        }
+        c.tb.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lds_fraction(t: &Trace) -> f64 {
+        let mem = t.memory_ops() as f64;
+        let lds = t.ops.iter().filter(|o| o.lds).count() as f64;
+        lds / mem
+    }
+
+    #[test]
+    fn bisort_generates_pointer_chases() {
+        let t = Bisort.generate(InputSet::Train);
+        assert!(t.memory_ops() > 10_000);
+        assert!(lds_fraction(&t) > 0.5, "bisort is pointer dominated");
+    }
+
+    #[test]
+    fn health_walks_full_lists() {
+        let t = Health.generate(InputSet::Train);
+        // 192 villages x 350 patients x 2 loads x 2 steps plus heads.
+        assert!(t.memory_ops() > 200_000);
+        assert!(lds_fraction(&t) > 0.8);
+    }
+
+    #[test]
+    fn mst_lookups_touch_chains() {
+        let t = Mst.generate(InputSet::Train);
+        assert!(t.memory_ops() > 10_000);
+        // Satellite loads exist but are rare relative to key/next loads.
+        let sat = t.ops.iter().filter(|o| o.pc == mst_pc::SAT).count();
+        let key = t.ops.iter().filter(|o| o.pc == mst_pc::KEY).count();
+        assert!(sat > 0);
+        assert!(key > 3 * sat, "keys checked far more often than matched");
+    }
+
+    #[test]
+    fn perimeter_visits_every_node_each_pass() {
+        let t = Perimeter.generate(InputSet::Train);
+        let value_loads = t.ops.iter().filter(|o| o.pc == perimeter_pc::VALUE).count();
+        // Depth-8 quadtree: (4^8 - 1) / 3 = 21845 nodes, 1 pass.
+        assert_eq!(value_loads, 21845);
+    }
+
+    #[test]
+    fn voronoi_walks_edges() {
+        let t = Voronoi.generate(InputSet::Train);
+        assert!(t.memory_ops() >= 2 * 30_000);
+    }
+
+    #[test]
+    fn traces_are_deterministic() {
+        let a = Mst.generate(InputSet::Train);
+        let b = Mst.generate(InputSet::Train);
+        assert_eq!(a.ops.len(), b.ops.len());
+        assert_eq!(a.ops[100], b.ops[100]);
+    }
+
+    #[test]
+    fn train_and_ref_differ() {
+        let a = Bisort.generate(InputSet::Train);
+        let b = Bisort.generate(InputSet::Ref);
+        assert!(b.memory_ops() > a.memory_ops());
+    }
+}

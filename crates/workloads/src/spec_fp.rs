@@ -1,0 +1,213 @@
+//! Stand-ins for the pointer-relevant SPEC FP benchmarks: `art` and `ammp`.
+
+use rand::Rng;
+use sim_core::{Addr, Trace};
+
+use crate::common::Ctx;
+use crate::{InputSet, Workload};
+
+/// `art`: neural-network image recognition. Dominated by streaming sweeps
+/// over weight matrices (the stream prefetcher's home turf) with a small
+/// pointer-indexed winner list — so CDP finds pointers rarely and its few
+/// prefetches are mostly useless (Table 1: 1.9%).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Art;
+
+/// PCs of `art`'s static loads.
+pub mod art_pc {
+    /// Weight-matrix streaming load.
+    pub const WEIGHT: u32 = 0xD000;
+    /// F1-layer streaming load.
+    pub const F1: u32 = 0xD004;
+    /// Winner-list node load.
+    pub const WINNER: u32 = 0xD008;
+    /// Winner `next` pointer load.
+    pub const WINNER_NEXT: u32 = 0xD00C;
+}
+
+impl Workload for Art {
+    fn describe(&self) -> &'static str {
+        "weight-matrix streaming with a tiny winner list"
+    }
+
+    fn name(&self) -> &'static str {
+        "art"
+    }
+
+    fn generate(&self, input: InputSet) -> Trace {
+        let mut c = Ctx::new(0xA127, input);
+        let neurons = c.scale(input, 600, 1_000) as u32;
+        let features = 512u32;
+        let passes = c.scale(input, 1, 2);
+
+        let mut weights = 0;
+        let mut f1 = 0;
+        let mut winner_head = 0;
+        {
+            let heap = &mut c.heap;
+            let rng = &mut c.rng;
+            c.tb.setup(|mem| {
+                weights = heap.alloc(neurons * features * 4).unwrap();
+                f1 = heap.alloc(features * 4).unwrap();
+                for i in 0..neurons * features {
+                    mem.write_u32(weights + i * 4, rng.gen());
+                }
+                // Small winner list: {score, next} nodes.
+                let list = sim_mem::builders::build_list(mem, heap, 64, 1, true, rng).unwrap();
+                winner_head = list.head;
+            });
+        }
+
+        for _ in 0..passes {
+            for n in 0..neurons {
+                // Dot product sweep: weights row x f1 vector.
+                for fidx in (0..features).step_by(2) {
+                    let row = weights + (n * features + fidx) * 4;
+                    let _ = c.tb.load(art_pc::WEIGHT, row, None);
+                    let _ = c.tb.load(art_pc::F1, f1 + fidx * 4, None);
+                    c.tb.compute(3);
+                }
+                // Winner bookkeeping: short pointer walk.
+                if n % 16 == 0 {
+                    let mut cur = winner_head;
+                    let mut dep = None;
+                    let mut hops = 0;
+                    while cur != 0 && hops < 8 {
+                        let (_, sid) = c.tb.load(art_pc::WINNER, cur, dep);
+                        let (next, nid) = c.tb.load(art_pc::WINNER_NEXT, cur + 4, Some(sid));
+                        cur = next;
+                        dep = Some(nid);
+                        hops += 1;
+                    }
+                }
+            }
+        }
+        c.tb.finish()
+    }
+}
+
+/// `ammp`: molecular dynamics. Walks a linked list of atoms; each atom
+/// points at a neighbour array that is streamed through. A mid-accuracy
+/// CDP case (Table 1: 22%): the `next` and neighbour-array pointers are
+/// useful, the remaining scanned words are coordinates.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Ammp;
+
+/// PCs of `ammp`'s static loads.
+pub mod ammp_pc {
+    /// Atom coordinate loads.
+    pub const COORD: u32 = 0xE000;
+    /// Atom neighbour-array pointer load.
+    pub const NLIST_PTR: u32 = 0xE004;
+    /// Neighbour-array streaming load.
+    pub const NLIST: u32 = 0xE008;
+    /// Atom `next` pointer load.
+    pub const NEXT: u32 = 0xE00C;
+}
+
+impl Workload for Ammp {
+    fn describe(&self) -> &'static str {
+        "64-byte atom chain with per-atom neighbour-array streaming"
+    }
+
+    fn name(&self) -> &'static str {
+        "ammp"
+    }
+
+    fn generate(&self, input: InputSet) -> Trace {
+        let mut c = Ctx::new(0xA339, input);
+        let atoms = c.scale(input, 30_000, 70_000);
+        let neighbours = 12u32;
+        let steps = c.scale(input, 2, 2);
+
+        // Atom: coordinates, velocities and forces fill a 64-byte record
+        // (real `ammp` atoms are far larger still), with the neighbour-list
+        // pointer at offset 48 and the `next` pointer at offset 56. One
+        // atom per cache block means a scanned block yields exactly the two
+        // chain pointers — no breadth explosion, a clean depth-wise sprint.
+        let mut head = 0;
+        {
+            let heap = &mut c.heap;
+            let rng = &mut c.rng;
+            c.tb.setup(|mem| {
+                let mut nodes: Vec<Addr> = Vec::with_capacity(atoms);
+                for _ in 0..atoms {
+                    nodes.push(heap.alloc(64).unwrap());
+                }
+                use rand::seq::SliceRandom;
+                nodes.shuffle(rng);
+                for (i, &a) in nodes.iter().enumerate() {
+                    for w in 0..12 {
+                        // Coordinates/forces: bounded magnitudes that never
+                        // look like heap pointers to the compare-bits check.
+                        mem.write_u32(a + w * 4, rng.gen::<u32>() & 0x00FF_FFFF);
+                    }
+                    let nlist = heap.alloc(neighbours * 4).unwrap();
+                    for k in 0..neighbours {
+                        mem.write_u32(nlist + k * 4, rng.gen::<u32>() & 0x00FF_FFFF);
+                    }
+                    mem.write_u32(a + 48, nlist);
+                    let next = if i + 1 < nodes.len() { nodes[i + 1] } else { 0 };
+                    mem.write_u32(a + 56, next);
+                }
+                head = nodes[0];
+            });
+        }
+
+        for _ in 0..steps {
+            let mut cur = head;
+            let mut dep = None;
+            while cur != 0 {
+                let (_, xid) = c.tb.load(ammp_pc::COORD, cur, dep);
+                let _ = c.tb.load(ammp_pc::COORD, cur + 16, Some(xid));
+                c.tb.compute(40);
+                let (nlist, nlid) = c.tb.load(ammp_pc::NLIST_PTR, cur + 48, Some(xid));
+                if nlist != 0 {
+                    for k in (0..neighbours).step_by(3) {
+                        let _ = c.tb.load(ammp_pc::NLIST, nlist + k * 4, Some(nlid));
+                        c.tb.compute(10);
+                    }
+                }
+                let (next, nid) = c.tb.load(ammp_pc::NEXT, cur + 56, Some(xid));
+                cur = next;
+                dep = Some(nid);
+            }
+        }
+        c.tb.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn art_is_stream_dominated() {
+        let t = Art.generate(InputSet::Train);
+        let streamed = t
+            .ops
+            .iter()
+            .filter(|o| o.pc == art_pc::WEIGHT || o.pc == art_pc::F1)
+            .count();
+        let pointered = t
+            .ops
+            .iter()
+            .filter(|o| o.pc == art_pc::WINNER || o.pc == art_pc::WINNER_NEXT)
+            .count();
+        assert!(streamed > 20 * pointered.max(1), "art must stream");
+    }
+
+    #[test]
+    fn ammp_walks_all_atoms() {
+        let t = Ammp.generate(InputSet::Train);
+        let nexts = t.ops.iter().filter(|o| o.pc == ammp_pc::NEXT).count();
+        assert_eq!(nexts, 30_000 * 2, "every atom visited each step");
+    }
+
+    #[test]
+    fn ammp_has_neighbour_streaming() {
+        let t = Ammp.generate(InputSet::Train);
+        let nl = t.ops.iter().filter(|o| o.pc == ammp_pc::NLIST).count();
+        assert!(nl > 100_000);
+    }
+}

@@ -1,0 +1,659 @@
+//! Stand-ins for the pointer-intensive SPEC CPU2006/2000 integer
+//! benchmarks: `perlbench`, `gcc`, `mcf`, `astar`, `xalancbmk`, `omnetpp`
+//! and `parser`.
+//!
+//! Each reproduces the access-pattern skeleton of its namesake: `gcc` mixes
+//! high-coverage streaming over IR arrays with short instruction-list
+//! chases; `mcf` walks a network-simplex graph picking one arc of many by
+//! cost (very low CDP accuracy); `xalancbmk` descends a wide DOM tree along
+//! random paths (the lowest CDP accuracy of Table 1); `omnetpp` pops a
+//! pointer heap and follows event-to-gate links; `parser` walks a
+//! dictionary trie; `perlbench` does hash lookups over string buckets with
+//! interpreter-style dispatch in between; `astar` expands grid nodes with
+//! eight neighbour pointers, dereferencing the heuristic-chosen few.
+
+use rand::Rng;
+use sim_core::{Addr, Trace};
+use sim_mem::builders::{self, Graph, HashTable};
+
+use crate::common::Ctx;
+use crate::{InputSet, Workload};
+
+/// `perlbench`: hash-table symbol lookups with interpreter dispatch.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Perlbench;
+
+/// PCs of `perlbench`'s static loads.
+pub mod perl_pc {
+    /// Bucket head load.
+    pub const BUCKET: u32 = 0x6000;
+    /// Node key load.
+    pub const KEY: u32 = 0x6004;
+    /// Node `next` load.
+    pub const NEXT: u32 = 0x6008;
+    /// Value-body dereference after a hit.
+    pub const VALUE: u32 = 0x600C;
+    /// Opcode-table (array) load.
+    pub const OPTAB: u32 = 0x6010;
+}
+
+impl Workload for Perlbench {
+    fn describe(&self) -> &'static str {
+        "symbol-table hash lookups between interpreter dispatch bursts"
+    }
+
+    fn name(&self) -> &'static str {
+        "perlbench"
+    }
+
+    fn generate(&self, input: InputSet) -> Trace {
+        let mut c = Ctx::new(0x9E51, input);
+        let buckets = c.scale(input, 2048, 8192) as u32;
+        let keys = c.scale(input, 35_000, 45_000) as u32;
+        let ops = c.scale(input, 6_000, 40_000);
+
+        let mut table = None;
+        let mut optab = 0;
+        {
+            let heap = &mut c.heap;
+            let rng = &mut c.rng;
+            c.tb.setup(|mem| {
+                table = Some(builders::build_hash_table_with_ratio(mem, heap, buckets, keys, 1, 0.4, rng).unwrap());
+                optab = heap.alloc(4096).unwrap();
+                for i in 0..1024 {
+                    mem.write_u32(optab + i * 4, rng.gen());
+                }
+            });
+        }
+        let table = table.unwrap();
+        let next_off = table.next_offset();
+
+        for _ in 0..ops {
+            // Interpreter dispatch: a few opcode-table reads (streaming).
+            let slot = c.rng.gen_range(0..1024u32);
+            let _ = c.tb.load(perl_pc::OPTAB, optab + slot * 4, None);
+            c.tb.compute(24);
+
+            // Symbol lookup: mostly keys that exist (short chains, hit
+            // usually found mid-chain, so `next` prefetches pay off often).
+            let key = table.keys[c.rng.gen_range(0..table.keys.len())];
+            let (mut node, mut dep) = {
+                let (v, id) = c.tb.load(perl_pc::BUCKET, table.bucket_slot(key), None);
+                (v, Some(id))
+            };
+            while node != 0 {
+                let (k, kid) = c.tb.load(perl_pc::KEY, node + HashTable::KEY_OFFSET, dep);
+                c.tb.compute(8);
+                if k == key {
+                    let (v, vid) = c.tb.load(perl_pc::VALUE, node + HashTable::DATA_OFFSET, Some(kid));
+                    if v != 0 {
+                        let _ = c.tb.load(perl_pc::VALUE, v, Some(vid));
+                    }
+                    break;
+                }
+                let (n, nid) = c.tb.load(perl_pc::NEXT, node + next_off, Some(kid));
+                node = n;
+                dep = Some(nid);
+            }
+        }
+        c.tb.finish()
+    }
+}
+
+/// `gcc`: streaming passes over IR arrays (high stream-prefetcher
+/// coverage, 57% in the paper) punctuated by short basic-block instruction
+/// chains whose operand pointers are rarely dereferenced.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Gcc;
+
+/// PCs of `gcc`'s static loads.
+pub mod gcc_pc {
+    /// Sequential IR-array scan load.
+    pub const IR_SCAN: u32 = 0x7000;
+    /// Instruction-node opcode load.
+    pub const INSN: u32 = 0x7004;
+    /// Instruction `next` pointer load.
+    pub const NEXT: u32 = 0x7008;
+    /// Operand dereference (rare).
+    pub const OPERAND: u32 = 0x700C;
+}
+
+impl Workload for Gcc {
+    fn describe(&self) -> &'static str {
+        "IR-array streaming interleaved with scrambled instruction chains"
+    }
+
+    fn name(&self) -> &'static str {
+        "gcc"
+    }
+
+    fn generate(&self, input: InputSet) -> Trace {
+        let mut c = Ctx::new(0x6CC0, input);
+        let ir_words = c.scale(input, 180_000, 250_000) as u32;
+        let blocks = c.scale(input, 2_000, 3_500);
+        let insns_per_block = 12;
+
+        // Instruction node: {opcode, op1, op2, next} = 16 bytes. Operand
+        // pointers name value nodes in a large (1.9 MB) region but are
+        // dereferenced rarely — harmful pointer groups. Instruction chains
+        // are scrambled in memory (optimisation passes reorder them), so
+        // the stream prefetcher covers only the IR-array sweeps.
+        let mut ir = 0;
+        let mut block_heads: Vec<Addr> = Vec::with_capacity(blocks);
+        {
+            let heap = &mut c.heap;
+            let rng = &mut c.rng;
+            c.tb.setup(|mem| {
+                use rand::seq::SliceRandom;
+                ir = heap.alloc(ir_words * 4).unwrap();
+                for i in 0..ir_words {
+                    mem.write_u32(ir + i * 4, rng.gen::<u32>() & 0xFFFF);
+                }
+                let mut values = Vec::with_capacity(120_000);
+                for _ in 0..120_000u32 {
+                    values.push(heap.alloc(16).unwrap());
+                }
+                let total = blocks * insns_per_block;
+                let mut insns: Vec<Addr> = (0..total).map(|_| heap.alloc(16).unwrap()).collect();
+                insns.shuffle(rng);
+                for (b, chunk) in insns.chunks(insns_per_block).enumerate() {
+                    for (k, &insn) in chunk.iter().enumerate() {
+                        mem.write_u32(insn, rng.gen::<u32>() & 0xFF);
+                        // Most operands are immediates/registers; only ~30%
+                        // of instructions reference a value node in memory.
+                        let op1 = if rng.gen_bool(0.3) { values[rng.gen_range(0..values.len())] } else { 0 };
+                        let op2 = if rng.gen_bool(0.15) { values[rng.gen_range(0..values.len())] } else { 0 };
+                        mem.write_u32(insn + 4, op1);
+                        mem.write_u32(insn + 8, op2);
+                        let next = if k + 1 < chunk.len() { chunk[k + 1] } else { 0 };
+                        mem.write_u32(insn + 12, next);
+                    }
+                    let _ = b;
+                    block_heads.push(chunk[0]);
+                }
+            });
+        }
+
+        // Pass 1 interleaved: stream over the IR array, then process a
+        // basic block's instruction list.
+        let chunk = ir_words as usize / blocks.max(1);
+        for (b, &head) in block_heads.iter().enumerate() {
+            let start = (b * chunk) as u32;
+            for w in 0..chunk as u32 {
+                let _ = c.tb.load(gcc_pc::IR_SCAN, ir + (start + w) * 4, None);
+                if w % 4 == 0 {
+                    c.tb.compute(5);
+                }
+            }
+            let mut insn = head;
+            let mut dep = None;
+            while insn != 0 {
+                let (op, oid) = c.tb.load(gcc_pc::INSN, insn, dep);
+                c.tb.compute(4);
+                if op & 0x1F == 0 {
+                    // 1-in-32 operand dereference.
+                    // Rare operand dereference.
+                    let (p, pid) = c.tb.load(gcc_pc::OPERAND, insn + 4, Some(oid));
+                    if p != 0 {
+                        let _ = c.tb.load(gcc_pc::OPERAND, p, Some(pid));
+                    }
+                }
+                let (n, nid) = c.tb.load(gcc_pc::NEXT, insn + 12, Some(oid));
+                insn = n;
+                dep = Some(nid);
+            }
+        }
+        c.tb.finish()
+    }
+}
+
+/// `mcf`: network-simplex over a flow graph. Each node embeds eight arc
+/// pointers but the pivot step dereferences only the cheapest one, so the
+/// vast majority of scanned pointers are useless (Table 1: 1.4% CDP
+/// accuracy) and the stream prefetcher finds nothing to stream.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Mcf;
+
+/// PCs of `mcf`'s static loads.
+pub mod mcf_pc {
+    /// Node cost/value load.
+    pub const COST: u32 = 0x8000;
+    /// Node degree load.
+    pub const DEGREE: u32 = 0x8004;
+    /// Arc pointer load (the one chosen arc).
+    pub const ARC: u32 = 0x8008;
+}
+
+impl Workload for Mcf {
+    fn describe(&self) -> &'static str {
+        "network-simplex pivots choosing one arc of eight"
+    }
+
+    fn name(&self) -> &'static str {
+        "mcf"
+    }
+
+    fn generate(&self, input: InputSet) -> Trace {
+        let mut c = Ctx::new(0x0C0F, input);
+        let nodes = c.scale(input, 75_000, 140_000);
+        let steps = c.scale(input, 40_000, 120_000);
+
+        let mut graph = None;
+        {
+            let heap = &mut c.heap;
+            let rng = &mut c.rng;
+            c.tb.setup(|mem| {
+                graph = Some(builders::build_graph(mem, heap, nodes, 8, rng).unwrap());
+            });
+        }
+        let graph = graph.unwrap();
+
+        let mut cur = graph.nodes[0];
+        let mut dep = None;
+        for _ in 0..steps {
+            let (_, cid) = c.tb.load(mcf_pc::COST, cur + Graph::VALUE_OFFSET, dep);
+            let (deg, did) = c.tb.load(mcf_pc::DEGREE, cur + Graph::DEGREE_OFFSET, Some(cid));
+            c.tb.compute(160);
+            let deg = deg.clamp(1, graph.max_degree);
+            // Pivot: the cheapest arc (slot 0, where the simplex keeps its
+            // basis arc) is taken often; otherwise a data-dependent arc out
+            // of eight — one beneficial pointer group, seven harmful ones.
+            let pick = if c.rng.gen_bool(0.6) { 0 } else { c.rng.gen_range(0..deg) };
+            let (next, nid) = c.tb.load(mcf_pc::ARC, cur + Graph::ADJ_OFFSET + pick * 4, Some(did));
+            if next != 0 {
+                cur = next;
+                dep = Some(nid);
+            } else {
+                cur = graph.nodes[c.rng.gen_range(0..graph.nodes.len())];
+                dep = None;
+            }
+        }
+        c.tb.finish()
+    }
+}
+
+/// `astar`: grid pathfinding. Node expansion reads the full node but only
+/// dereferences the one or two neighbours the heuristic selects, plus an
+/// open-list chase.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Astar;
+
+/// PCs of `astar`'s static loads.
+pub mod astar_pc {
+    /// Node f-score load.
+    pub const SCORE: u32 = 0x9000;
+    /// Neighbour pointer load.
+    pub const NEIGHBOR: u32 = 0x9004;
+    /// Open-list `next` load.
+    pub const OPEN_NEXT: u32 = 0x9008;
+}
+
+impl Workload for Astar {
+    fn describe(&self) -> &'static str {
+        "graph expansion along heuristic-favoured neighbour slots"
+    }
+
+    fn name(&self) -> &'static str {
+        "astar"
+    }
+
+    fn generate(&self, input: InputSet) -> Trace {
+        let mut c = Ctx::new(0xA57A, input);
+        let nodes = c.scale(input, 70_000, 120_000);
+        let expansions = c.scale(input, 18_000, 80_000);
+
+        let mut graph = None;
+        {
+            let heap = &mut c.heap;
+            let rng = &mut c.rng;
+            c.tb.setup(|mem| {
+                graph = Some(builders::build_graph(mem, heap, nodes, 8, rng).unwrap());
+            });
+        }
+        let graph = graph.unwrap();
+
+        let mut cur = graph.nodes[0];
+        let mut dep = None;
+        let mut open: Vec<(Addr, Option<sim_core::trace::LoadId>)> = Vec::new();
+        for _ in 0..expansions {
+            let (_, sid) = c.tb.load(astar_pc::SCORE, cur + Graph::VALUE_OFFSET, dep);
+            c.tb.compute(120);
+            // Expand: dereference the two heuristic-selected neighbours.
+            // The heuristic points "toward the goal" most of the time, so
+            // the first neighbour slots form beneficial pointer groups.
+            let first = if c.rng.gen_bool(0.7) { 0 } else { c.rng.gen_range(0..8) };
+            let second = if c.rng.gen_bool(0.5) { 1 } else { c.rng.gen_range(0..8) };
+            let (n1, n1id) =
+                c.tb.load(astar_pc::NEIGHBOR, cur + Graph::ADJ_OFFSET + first * 4, Some(sid));
+            let (n2, n2id) =
+                c.tb.load(astar_pc::NEIGHBOR, cur + Graph::ADJ_OFFSET + second * 4, Some(sid));
+            if n2 != 0 {
+                open.push((n2, Some(n2id)));
+                if open.len() > 64 {
+                    open.remove(0);
+                }
+            }
+            if n1 != 0 {
+                cur = n1;
+                dep = Some(n1id);
+            } else if let Some((n, d)) = open.pop() {
+                cur = n;
+                dep = d;
+            } else {
+                cur = graph.nodes[c.rng.gen_range(0..graph.nodes.len())];
+                dep = None;
+            }
+        }
+        c.tb.finish()
+    }
+}
+
+/// `xalancbmk`: XSLT over a DOM. Wide nodes (first-child, next-sibling,
+/// parent, attributes, text) but queries descend essentially random paths,
+/// so almost no scanned pointer is used — the worst CDP accuracy in
+/// Table 1 (0.9%).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Xalancbmk;
+
+/// PCs of `xalancbmk`'s static loads.
+pub mod xalanc_pc {
+    /// Node tag load.
+    pub const TAG: u32 = 0xA000;
+    /// Child-pointer load.
+    pub const CHILD: u32 = 0xA004;
+    /// Attribute dereference.
+    pub const ATTR: u32 = 0xA008;
+}
+
+impl Workload for Xalancbmk {
+    fn describe(&self) -> &'static str {
+        "random root-to-leaf descents of a wide DOM tree"
+    }
+
+    fn name(&self) -> &'static str {
+        "xalancbmk"
+    }
+
+    fn generate(&self, input: InputSet) -> Trace {
+        let mut c = Ctx::new(0x8A11, input);
+        let fanout = 8u32;
+        let depth = c.scale(input, 5, 5) as u32;
+        let queries = c.scale(input, 12_000, 55_000);
+
+        // DOM node: {tag, attrs_ptr, children[8]} = 40 bytes.
+        let node_size = 8 + fanout * 4;
+        let mut levels: Vec<Vec<Addr>> = Vec::new();
+        {
+            let heap = &mut c.heap;
+            let rng = &mut c.rng;
+            c.tb.setup(|mem| {
+                let mut prev: Vec<Addr> = vec![heap.alloc(node_size).unwrap()];
+                levels.push(prev.clone());
+                for _ in 1..=depth {
+                    let mut level = Vec::new();
+                    for &parent in &prev {
+                        for k in 0..fanout {
+                            let child = heap.alloc(node_size).unwrap();
+                            mem.write_u32(child, rng.gen::<u32>() & 0xFFF);
+                            let attr = heap.alloc(16).unwrap();
+                            mem.write_u32(child + 4, attr);
+                            mem.write_u32(parent + 8 + k * 4, child);
+                            level.push(child);
+                        }
+                    }
+                    levels.push(level.clone());
+                    prev = level;
+                }
+            });
+        }
+        let root = levels[0][0];
+
+        for _ in 0..queries {
+            let mut cur = root;
+            let mut dep = None;
+            // depth + 1 hops so the (large) leaf level is actually read.
+            for _ in 0..=depth {
+                let (tag, tid) = c.tb.load(xalanc_pc::TAG, cur, dep);
+                c.tb.compute(20);
+                if tag & 0x3F == 0 {
+                    let (a, aid) = c.tb.load(xalanc_pc::ATTR, cur + 4, Some(tid));
+                    if a != 0 {
+                        let _ = c.tb.load(xalanc_pc::ATTR, a, Some(aid));
+                    }
+                }
+                let pick = c.rng.gen_range(0..fanout);
+                let (child, cid) = c.tb.load(xalanc_pc::CHILD, cur + 8 + pick * 4, Some(tid));
+                if child == 0 {
+                    break;
+                }
+                cur = child;
+                dep = Some(cid);
+            }
+        }
+        c.tb.finish()
+    }
+}
+
+/// `omnetpp`: discrete-event simulation. Pops events from a pointer heap
+/// (array-resident, stream-friendly) and follows each event's module/gate
+/// links (pointer part, moderately useful).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Omnetpp;
+
+/// PCs of `omnetpp`'s static loads.
+pub mod omnet_pc {
+    /// Heap-array slot load.
+    pub const HEAP_SLOT: u32 = 0xB000;
+    /// Event timestamp load.
+    pub const EVENT: u32 = 0xB004;
+    /// Event target-gate pointer load.
+    pub const GATE: u32 = 0xB008;
+    /// Gate-to-module link load.
+    pub const MODULE: u32 = 0xB00C;
+}
+
+impl Workload for Omnetpp {
+    fn describe(&self) -> &'static str {
+        "near-ordered event-queue pops dereferencing gate/module links"
+    }
+
+    fn name(&self) -> &'static str {
+        "omnetpp"
+    }
+
+    fn generate(&self, input: InputSet) -> Trace {
+        let mut c = Ctx::new(0x0E77, input);
+        let events = c.scale(input, 60_000, 120_000) as u32;
+        let pops = c.scale(input, 20_000, 90_000);
+
+        // Event: {time, gate_ptr, payload, next_ev} = 16B. Gate: {id,
+        // module_ptr, peer_gate} = 16B.
+        let mut heap_arr = 0;
+        {
+            let heap = &mut c.heap;
+            let rng = &mut c.rng;
+            c.tb.setup(|mem| {
+                let mut gates = Vec::new();
+                for _ in 0..4096 {
+                    let g = heap.alloc(16).unwrap();
+                    let module = heap.alloc(32).unwrap();
+                    mem.write_u32(g, rng.gen());
+                    mem.write_u32(g + 4, module);
+                    gates.push(g);
+                }
+                heap_arr = heap.alloc(events * 4).unwrap();
+                for i in 0..events {
+                    // Event: {time, gate_ptr, payload...} = 32 bytes, with
+                    // bounded timestamps/payloads that never pass the
+                    // compare-bits pointer test.
+                    let ev = heap.alloc(32).unwrap();
+                    mem.write_u32(ev, rng.gen::<u32>() & 0x00FF_FFFF);
+                    mem.write_u32(ev + 4, gates[rng.gen_range(0..gates.len())]);
+                    for w in 2..8 {
+                        mem.write_u32(ev + w * 4, rng.gen::<u32>() & 0x00FF_FFFF);
+                    }
+                    mem.write_u32(heap_arr + i * 4, ev);
+                }
+            });
+        }
+
+        let mut idx = 0u32;
+        for _ in 0..pops {
+            // Events are consumed in near-timestamp order, which the event
+            // heap keeps roughly in array order; occasionally a newly
+            // scheduled event jumps the queue.
+            idx = if c.rng.gen_bool(0.1) {
+                c.rng.gen_range(0..events)
+            } else {
+                (idx + 1) % events
+            };
+            let (ev, eid) = c.tb.load(omnet_pc::HEAP_SLOT, heap_arr + idx * 4, None);
+            if ev == 0 {
+                continue;
+            }
+            let (_, tid) = c.tb.load(omnet_pc::EVENT, ev, Some(eid));
+            c.tb.compute(24);
+            let (gate, gid) = c.tb.load(omnet_pc::GATE, ev + 4, Some(tid));
+            if gate != 0 {
+                let (module, mid) = c.tb.load(omnet_pc::MODULE, gate + 4, Some(gid));
+                if module != 0 {
+                    let _ = c.tb.load(omnet_pc::MODULE, module, Some(mid));
+                }
+            }
+            c.tb.compute(16);
+        }
+        c.tb.finish()
+    }
+}
+
+/// `parser`: dictionary trie walks. Each node has four child slots; word
+/// lookups follow data-dependent children, so a modest fraction of scanned
+/// pointers get used (Table 1: 13%).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Parser;
+
+/// PCs of `parser`'s static loads.
+pub mod parser_pc {
+    /// Trie-node flags load.
+    pub const FLAGS: u32 = 0xC000;
+    /// Child-pointer load.
+    pub const CHILD: u32 = 0xC004;
+}
+
+impl Workload for Parser {
+    fn describe(&self) -> &'static str {
+        "uniform descents of a full 8-ary dictionary trie"
+    }
+
+    fn name(&self) -> &'static str {
+        "parser"
+    }
+
+    fn generate(&self, input: InputSet) -> Trace {
+        let mut c = Ctx::new(0x9A25, input);
+        let fanout = 8u32;
+        let depth = c.scale(input, 5, 5) as u32;
+        let words = c.scale(input, 15_000, 70_000);
+
+        // Trie node: {flags, pad, children[8]} = 40 bytes. The dictionary is
+        // a full 8-ary trie of depth 5 (~37k nodes, 1.5 MB): upper levels
+        // cache, the leaf levels miss. Lookups pick children uniformly, so
+        // each child slot is used an eighth of the time — all pointer
+        // groups are below the 50% bar, like the paper's 13% CDP accuracy.
+        let node_size = 8 + fanout * 4;
+        let mut root = 0;
+        {
+            let heap = &mut c.heap;
+            let rng = &mut c.rng;
+            c.tb.setup(|mem| {
+                root = heap.alloc(node_size).unwrap();
+                let mut frontier = vec![root];
+                for _ in 0..depth {
+                    let mut next = Vec::new();
+                    for &n in &frontier {
+                        mem.write_u32(n, rng.gen::<u32>() & 0xFF);
+                        for k in 0..fanout {
+                            let ch = heap.alloc(node_size).unwrap();
+                            mem.write_u32(n + 8 + k * 4, ch);
+                            next.push(ch);
+                        }
+                    }
+                    frontier = next;
+                }
+                for &leaf in &frontier {
+                    mem.write_u32(leaf, rng.gen::<u32>() & 0xFF);
+                }
+            });
+        }
+
+        for _ in 0..words {
+            let mut cur = root;
+            let mut dep = None;
+            for _ in 0..=depth {
+                let (_, fid) = c.tb.load(parser_pc::FLAGS, cur, dep);
+                c.tb.compute(16);
+                let pick = c.rng.gen_range(0..fanout);
+                let (child, cid) = c.tb.load(parser_pc::CHILD, cur + 8 + pick * 4, Some(fid));
+                if child == 0 {
+                    break;
+                }
+                cur = child;
+                dep = Some(cid);
+            }
+            c.tb.compute(6);
+        }
+        c.tb.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_generate_nonempty_traces() {
+        for w in crate::pointer_suite() {
+            if !matches!(
+                w.name(),
+                "perlbench" | "gcc" | "mcf" | "astar" | "xalancbmk" | "omnetpp" | "parser"
+            ) {
+                continue;
+            }
+            let t = w.generate(InputSet::Train);
+            assert!(t.memory_ops() > 5_000, "{} too small", w.name());
+            assert!(t.instructions > t.memory_ops() as u64, "{}", w.name());
+        }
+    }
+
+    #[test]
+    fn gcc_mixes_streaming_and_pointers() {
+        let t = Gcc.generate(InputSet::Train);
+        let scans = t.ops.iter().filter(|o| o.pc == gcc_pc::IR_SCAN).count();
+        let chases = t.ops.iter().filter(|o| o.pc == gcc_pc::NEXT).count();
+        assert!(scans > 3 * chases, "gcc is stream dominated");
+        assert!(chases > 1000, "but has real pointer chases");
+    }
+
+    #[test]
+    fn mcf_uses_one_arc_of_eight() {
+        let t = Mcf.generate(InputSet::Train);
+        let arcs = t.ops.iter().filter(|o| o.pc == mcf_pc::ARC).count();
+        let costs = t.ops.iter().filter(|o| o.pc == mcf_pc::COST).count();
+        // Exactly one arc dereference per step.
+        assert_eq!(arcs, costs);
+    }
+
+    #[test]
+    fn xalancbmk_descends_to_depth() {
+        let t = Xalancbmk.generate(InputSet::Train);
+        let tags = t.ops.iter().filter(|o| o.pc == xalanc_pc::TAG).count();
+        assert!(tags >= 12_000, "every query reads at least the root");
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        let a = Mcf.generate(InputSet::Ref);
+        let b = Mcf.generate(InputSet::Ref);
+        assert_eq!(a.ops.len(), b.ops.len());
+    }
+}

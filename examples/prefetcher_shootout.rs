@@ -1,0 +1,57 @@
+//! Prefetcher shootout: run one workload across every prefetching system in
+//! the library — the single-workload version of the paper's Figures 7, 11,
+//! 12 and 13.
+//!
+//! ```text
+//! cargo run --release -p ecdp --example prefetcher_shootout [workload]
+//! ```
+
+use ecdp::profile::profile_workload;
+use ecdp::system::{run_system, CompilerArtifacts, SystemKind};
+use workloads::{by_name, InputSet};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "health".to_string());
+    let workload = by_name(&name).unwrap_or_else(|| {
+        eprintln!("unknown workload {name}");
+        std::process::exit(1);
+    });
+
+    let train = workload.generate(InputSet::Train);
+    let artifacts = CompilerArtifacts::from_profile(&profile_workload(&train));
+    let reference = workload.generate(InputSet::Ref);
+
+    let systems = [
+        SystemKind::NoPrefetch,
+        SystemKind::StreamOnly,
+        SystemKind::StreamCdp,
+        SystemKind::StreamEcdp,
+        SystemKind::StreamEcdpThrottled,
+        SystemKind::StreamDbp,
+        SystemKind::StreamMarkov,
+        SystemKind::GhbAlone,
+        SystemKind::StreamCdpHwFilter,
+        SystemKind::StreamEcdpFdp,
+        SystemKind::StreamEcdpPab,
+        SystemKind::OracleLds,
+    ];
+
+    let base = run_system(SystemKind::StreamOnly, &reference, &artifacts);
+    println!("workload: {name} ({} memory ops)\n", reference.memory_ops());
+    println!(
+        "{:<30} {:>8} {:>9} {:>8} {:>10}",
+        "system", "IPC", "speedup", "BPKI", "L2 misses"
+    );
+    for kind in systems {
+        let s = run_system(kind, &reference, &artifacts);
+        println!(
+            "{:<30} {:>8.3} {:>8.2}x {:>8.1} {:>10}",
+            kind.label(),
+            s.ipc(),
+            s.ipc() / base.ipc(),
+            s.bpki(),
+            s.l2_demand_misses
+        );
+    }
+    println!("\n(OracleLds is the Figure 1 upper bound: every LDS miss becomes a hit.)");
+}

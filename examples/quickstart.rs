@@ -1,0 +1,61 @@
+//! Quickstart: profile a workload, build the paper's full proposal
+//! (ECDP + coordinated prefetcher throttling), and compare it against the
+//! stream-prefetcher baseline and the original content-directed prefetcher.
+//!
+//! ```text
+//! cargo run --release -p ecdp --example quickstart [workload]
+//! ```
+
+use ecdp::profile::profile_workload;
+use ecdp::system::{run_system, CompilerArtifacts, SystemKind};
+use workloads::{by_name, InputSet};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "mst".to_string());
+    let workload = by_name(&name).unwrap_or_else(|| {
+        eprintln!("unknown workload {name}; try mst, health, xalancbmk, ...");
+        std::process::exit(1);
+    });
+
+    // Step 1 — the "compiler": run the train input with unfiltered CDP and
+    // classify every pointer group PG(load, offset) as beneficial/harmful.
+    println!("profiling `{name}` on its train input ...");
+    let train = workload.generate(InputSet::Train);
+    let profile = profile_workload(&train);
+    let (beneficial, harmful) = profile.counts();
+    println!("  pointer groups: {beneficial} beneficial, {harmful} harmful");
+    let artifacts = CompilerArtifacts::from_profile(&profile);
+    println!("  hint bit vectors emitted for {} static loads", artifacts.hints.len());
+
+    // Step 2 — evaluate on the ref input.
+    let reference = workload.generate(InputSet::Ref);
+    println!(
+        "running the ref input ({} memory ops) on four systems ...\n",
+        reference.memory_ops()
+    );
+    let base = run_system(SystemKind::StreamOnly, &reference, &artifacts);
+    println!(
+        "{:<24} {:>8} {:>8} {:>10} {:>9}",
+        "system", "IPC", "speedup", "BPKI", "CDP acc"
+    );
+    for kind in [
+        SystemKind::StreamOnly,
+        SystemKind::StreamCdp,
+        SystemKind::StreamEcdp,
+        SystemKind::StreamEcdpThrottled,
+    ] {
+        let stats = run_system(kind, &reference, &artifacts);
+        let acc = stats
+            .prefetchers
+            .get(1)
+            .map_or("-".to_string(), |p| format!("{:.0}%", p.accuracy() * 100.0));
+        println!(
+            "{:<24} {:>8.3} {:>7.2}x {:>10.1} {:>9}",
+            kind.label(),
+            stats.ipc(),
+            stats.ipc() / base.ipc(),
+            stats.bpki(),
+            acc
+        );
+    }
+}

@@ -1,0 +1,81 @@
+//! Watch coordinated throttling work: wrap the policy so every sampling
+//! interval's feedback and decisions are printed, then run a workload whose
+//! phases exercise the paper's Table 3 heuristics.
+//!
+//! ```text
+//! cargo run --release -p ecdp --example throttling_dynamics [workload]
+//! ```
+
+use ecdp::profile::profile_workload;
+use ecdp::system::{build_machine, CompilerArtifacts, SystemKind};
+use sim_core::{IntervalFeedback, ThrottleDecision, ThrottlePolicy};
+use throttle::CoordinatedThrottle;
+use workloads::{by_name, InputSet};
+
+/// A logging decorator for any throttling policy.
+struct Logged<P> {
+    inner: P,
+    interval: u32,
+}
+
+impl<P: ThrottlePolicy> ThrottlePolicy for Logged<P> {
+    fn name(&self) -> &'static str {
+        "logged"
+    }
+
+    fn adjust(&mut self, feedback: &[IntervalFeedback]) -> Vec<ThrottleDecision> {
+        let decisions = self.inner.adjust(feedback);
+        self.interval += 1;
+        if self.interval <= 30 {
+            print!("interval {:>3}:", self.interval);
+            let names = ["stream", "cdp"];
+            for (i, (f, d)) in feedback.iter().zip(&decisions).enumerate() {
+                print!(
+                    "  {}[acc={:.2} cov={:.2} {:?} -> {:?}]",
+                    names.get(i).unwrap_or(&"pf"),
+                    f.accuracy,
+                    f.coverage,
+                    f.level,
+                    d
+                );
+            }
+            println!();
+        }
+        decisions
+    }
+}
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "pfast".to_string());
+    let workload = by_name(&name).unwrap_or_else(|| {
+        eprintln!("unknown workload {name}");
+        std::process::exit(1);
+    });
+    let train = workload.generate(InputSet::Train);
+    let artifacts = CompilerArtifacts::from_profile(&profile_workload(&train));
+    let reference = workload.generate(InputSet::Ref);
+
+    println!("== {name}: coordinated throttling, first 30 intervals ==");
+    let mut machine = build_machine(SystemKind::StreamEcdpThrottled, &artifacts);
+    machine.set_throttle(Box::new(Logged {
+        inner: CoordinatedThrottle::default(),
+        interval: 0,
+    }));
+    let stats = machine.run(&reference);
+    println!(
+        "\nfinished: IPC {:.3}, BPKI {:.1}, {} sampling intervals total",
+        stats.ipc(),
+        stats.bpki(),
+        stats.intervals
+    );
+    for p in &stats.prefetchers {
+        println!(
+            "  {}: issued {} used {} ({:.0}% accurate, {} late)",
+            p.name,
+            p.issued,
+            p.used,
+            p.accuracy() * 100.0,
+            p.late
+        );
+    }
+}

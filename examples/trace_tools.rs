@@ -1,0 +1,49 @@
+//! Trace tooling: record a workload trace, save it in the compact binary
+//! format, reload it, and verify the replay is bit-identical — the workflow
+//! behind the harness's `BENCH_TRACE_CACHE` disk cache.
+//!
+//! ```text
+//! cargo run --release -p ecdp --example trace_tools [workload] [file.trc]
+//! ```
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+
+use sim_core::{trace_io, Machine, MachineConfig};
+use workloads::{by_name, InputSet};
+
+fn main() -> std::io::Result<()> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "mst".to_string());
+    let path = std::env::args()
+        .nth(2)
+        .unwrap_or_else(|| format!("target/{name}-train.trc"));
+    let workload = by_name(&name).unwrap_or_else(|| {
+        eprintln!("unknown workload {name}");
+        std::process::exit(1);
+    });
+
+    println!("recording `{name}` (train input) ...");
+    let trace = workload.generate(InputSet::Train);
+    println!(
+        "  {} ops / {} instructions / {} resident pages",
+        trace.ops.len(),
+        trace.instructions,
+        trace.initial_memory.resident_pages()
+    );
+
+    trace_io::write(&trace, &mut BufWriter::new(File::create(&path)?))?;
+    let bytes = std::fs::metadata(&path)?.len();
+    println!("  saved to {path} ({:.1} MB)", bytes as f64 / 1e6);
+
+    let reloaded = trace_io::read(&mut BufReader::new(File::open(&path)?))?;
+    println!("  reloaded: {} ops", reloaded.ops.len());
+
+    let a = Machine::new(MachineConfig::default()).run(&trace);
+    let b = Machine::new(MachineConfig::default()).run(&reloaded);
+    assert_eq!(a.cycles, b.cycles, "replays must be identical");
+    println!(
+        "  replay check: {} cycles, {} bus transfers — identical both ways ✓",
+        a.cycles, a.bus_transfers
+    );
+    Ok(())
+}

@@ -1,0 +1,177 @@
+//! End-to-end integration tests: the full profile → hint → run pipeline on
+//! real workload stand-ins, asserting the paper's qualitative results.
+//!
+//! The heavy cases are ignored in debug builds; run with
+//! `cargo test --release` to exercise everything.
+
+use ecdp::profile::profile_workload;
+use ecdp::system::{run_system, CompilerArtifacts, SystemKind};
+use workloads::{by_name, InputSet};
+
+fn artifacts_for(name: &str) -> (CompilerArtifacts, sim_core::Trace) {
+    let wl = by_name(name).unwrap();
+    let train = wl.generate(InputSet::Train);
+    let profile = profile_workload(&train);
+    (CompilerArtifacts::from_profile(&profile), train)
+}
+
+/// Artifacts from the train input, evaluated on the ref input (the paper's
+/// methodology; needed where the qualitative shape only emerges at ref
+/// working-set sizes).
+fn artifacts_for_ref(name: &str) -> (CompilerArtifacts, sim_core::Trace) {
+    let wl = by_name(name).unwrap();
+    let profile = profile_workload(&wl.generate(InputSet::Train));
+    (
+        CompilerArtifacts::from_profile(&profile),
+        wl.generate(InputSet::Ref),
+    )
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "slow in debug builds")]
+fn cdp_degrades_mst_and_ecdp_repairs_it() {
+    // The paper's central Figure 5 / §3 example: unfiltered CDP wrecks mst,
+    // the compiler hints restore it.
+    let (art, reference) = artifacts_for_ref("mst");
+    let base = run_system(SystemKind::StreamOnly, &reference, &art);
+    let cdp = run_system(SystemKind::StreamCdp, &reference, &art);
+    let ecdp = run_system(SystemKind::StreamEcdp, &reference, &art);
+
+    assert!(
+        cdp.ipc() < 0.8 * base.ipc(),
+        "CDP must hurt mst: {} vs {}",
+        cdp.ipc(),
+        base.ipc()
+    );
+    assert!(
+        cdp.bpki() > 1.5 * base.bpki(),
+        "CDP must waste bandwidth on mst"
+    );
+    assert!(
+        ecdp.ipc() > 0.95 * base.ipc(),
+        "ECDP must repair the loss: {} vs {}",
+        ecdp.ipc(),
+        base.ipc()
+    );
+    assert!(
+        ecdp.prefetchers[1].accuracy() > cdp.prefetchers[1].accuracy(),
+        "hints must raise CDP accuracy"
+    );
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "slow in debug builds")]
+fn cdp_speeds_up_health_dramatically() {
+    // The paper's best case: long list chases with multi-node blocks.
+    let (art, train) = artifacts_for("health");
+    let base = run_system(SystemKind::StreamOnly, &train, &art);
+    let ours = run_system(SystemKind::StreamEcdpThrottled, &train, &art);
+    assert!(
+        ours.ipc() > 1.4 * base.ipc(),
+        "health must gain a lot: {:.3} vs {:.3}",
+        ours.ipc(),
+        base.ipc()
+    );
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "slow in debug builds")]
+fn proposal_never_loses_badly_where_cdp_does() {
+    // On the CDP-hostile benchmarks the full proposal must stay close to
+    // the baseline even when it cannot win.
+    for name in ["mst", "xalancbmk", "bisort"] {
+        let (art, reference) = artifacts_for_ref(name);
+        let base = run_system(SystemKind::StreamOnly, &reference, &art);
+        let cdp = run_system(SystemKind::StreamCdp, &reference, &art);
+        let ours = run_system(SystemKind::StreamEcdpThrottled, &reference, &art);
+        assert!(cdp.ipc() < base.ipc(), "{name}: CDP should hurt");
+        assert!(
+            ours.ipc() > 0.9 * base.ipc(),
+            "{name}: proposal must not lose: {:.3} vs {:.3}",
+            ours.ipc(),
+            base.ipc()
+        );
+    }
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "slow in debug builds")]
+fn oracle_bounds_every_real_prefetcher() {
+    let (art, train) = artifacts_for("omnetpp");
+    let oracle = run_system(SystemKind::OracleLds, &train, &art);
+    for kind in [
+        SystemKind::StreamOnly,
+        SystemKind::StreamCdp,
+        SystemKind::StreamEcdpThrottled,
+        SystemKind::GhbAlone,
+    ] {
+        let s = run_system(kind, &train, &art);
+        assert!(
+            s.ipc() <= oracle.ipc() * 1.02,
+            "{:?} beats the oracle?!",
+            kind
+        );
+    }
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "slow in debug builds")]
+fn streaming_workloads_are_unaffected_by_the_proposal() {
+    // §6.7: no LDS misses => nothing for ECDP to do.
+    let (art, train) = artifacts_for("libquantum");
+    let base = run_system(SystemKind::StreamOnly, &train, &art);
+    let ours = run_system(SystemKind::StreamEcdpThrottled, &train, &art);
+    let ratio = ours.ipc() / base.ipc();
+    assert!(
+        (0.97..=1.03).contains(&ratio),
+        "streaming workload perturbed: {ratio}"
+    );
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "slow in debug builds")]
+fn runs_are_deterministic() {
+    let (art, train) = artifacts_for("perlbench");
+    let a = run_system(SystemKind::StreamEcdpThrottled, &train, &art);
+    let b = run_system(SystemKind::StreamEcdpThrottled, &train, &art);
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.bus_transfers, b.bus_transfers);
+    assert_eq!(a.prefetchers[1].issued, b.prefetchers[1].issued);
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "slow in debug builds")]
+fn profiling_attributes_figure5_pointer_groups() {
+    // In mst's node layout {key, d1, d2, next}, the next-offset PGs must
+    // profile as beneficial and the data-offset ones as harmful.
+    let wl = by_name("mst").unwrap();
+    let train = wl.generate(InputSet::Train);
+    let profile = profile_workload(&train);
+    let (beneficial, harmful) = profile.counts();
+    assert!(beneficial > 0, "mst has a useful next chain");
+    assert!(
+        harmful > 5,
+        "mst has a substantial harmful population ({beneficial} beneficial, {harmful} harmful)"
+    );
+    let hints = profile.hint_table();
+    assert!(!hints.is_empty(), "hints must be emitted");
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "slow in debug builds")]
+fn hardware_filter_is_coarser_than_ecdp() {
+    // §6.4: the 8 KB Zhuang-Lee filter helps CDP but less than the
+    // compiler hints on the Figure 5 benchmark.
+    let (art, train) = artifacts_for("mst");
+    let cdp = run_system(SystemKind::StreamCdp, &train, &art);
+    let hw = run_system(SystemKind::StreamCdpHwFilter, &train, &art);
+    let ours = run_system(SystemKind::StreamEcdpThrottled, &train, &art);
+    assert!(
+        hw.ipc() >= cdp.ipc() * 0.98,
+        "the filter should not be worse than raw CDP"
+    );
+    assert!(
+        ours.ipc() >= hw.ipc(),
+        "ECDP+throttling should beat the hardware filter"
+    );
+}

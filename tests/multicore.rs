@@ -1,0 +1,101 @@
+//! Multi-core integration tests: private caches, shared DRAM, weighted
+//! speedup, and the proposal's behaviour under contention.
+
+use ecdp::profile::profile_workload;
+use ecdp::system::{core_setup, run_system, CompilerArtifacts, SystemKind};
+use sim_core::{MachineConfig, MultiMachine, Trace};
+use workloads::{by_name, InputSet};
+
+fn train_trace(name: &str) -> Trace {
+    by_name(name).unwrap().generate(InputSet::Train)
+}
+
+fn artifacts(trace: &Trace) -> CompilerArtifacts {
+    CompilerArtifacts::from_profile(&profile_workload(trace))
+}
+
+fn clone_trace(t: &Trace) -> Trace {
+    Trace {
+        initial_memory: t.initial_memory.clone(),
+        ops: t.ops.clone(),
+        instructions: t.instructions,
+    }
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "slow in debug builds")]
+fn sharing_the_bus_slows_both_cores() {
+    let t0 = train_trace("mst");
+    let t1 = train_trace("omnetpp");
+    let a0 = artifacts(&t0);
+    let a1 = artifacts(&t1);
+    let alone0 = run_system(SystemKind::StreamOnly, &t0, &a0).ipc();
+    let alone1 = run_system(SystemKind::StreamOnly, &t1, &a1).ipc();
+
+    let mut mm = MultiMachine::new(
+        MachineConfig::default(),
+        vec![
+            core_setup(SystemKind::StreamOnly, &a0),
+            core_setup(SystemKind::StreamOnly, &a1),
+        ],
+    );
+    let shared = mm.run(&[clone_trace(&t0), clone_trace(&t1)]);
+    assert!(shared.per_core[0].ipc() <= alone0 * 1.01);
+    assert!(shared.per_core[1].ipc() <= alone1 * 1.01);
+    let ws = shared.weighted_speedup(&[alone0, alone1]);
+    assert!(ws > 0.5 && ws <= 2.02, "weighted speedup out of range: {ws}");
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "slow in debug builds")]
+fn proposal_helps_a_pointer_intensive_pair() {
+    let t0 = train_trace("health");
+    let t1 = train_trace("mst");
+    let a0 = artifacts(&t0);
+    let a1 = artifacts(&t1);
+    let alone = [
+        run_system(SystemKind::StreamOnly, &t0, &a0).ipc(),
+        run_system(SystemKind::StreamOnly, &t1, &a1).ipc(),
+    ];
+
+    let run_pair = |kind: SystemKind| {
+        let mut mm = MultiMachine::new(
+            MachineConfig::default(),
+            vec![core_setup(kind, &a0), core_setup(kind, &a1)],
+        );
+        mm.run(&[clone_trace(&t0), clone_trace(&t1)])
+    };
+    let base = run_pair(SystemKind::StreamOnly);
+    let ours = run_pair(SystemKind::StreamEcdpThrottled);
+    let ws_base = base.weighted_speedup(&alone);
+    let ws_ours = ours.weighted_speedup(&alone);
+    assert!(
+        ws_ours > ws_base,
+        "proposal must help a pointer-intensive mix: {ws_ours:.3} vs {ws_base:.3}"
+    );
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "slow in debug builds")]
+fn four_cores_complete_and_account_bus_traffic() {
+    let names = ["mst", "libquantum", "omnetpp", "sjeng"];
+    let traces: Vec<Trace> = names.iter().map(|n| train_trace(n)).collect();
+    let arts: Vec<CompilerArtifacts> = traces.iter().map(artifacts).collect();
+    let mut mm = MultiMachine::new(
+        MachineConfig::default(),
+        arts.iter()
+            .map(|a| core_setup(SystemKind::StreamEcdpThrottled, a))
+            .collect(),
+    );
+    let r = mm.run(&traces.iter().map(clone_trace).collect::<Vec<_>>());
+    assert_eq!(r.per_core.len(), 4);
+    let per_core_sum: u64 = r.per_core.iter().map(|s| s.bus_transfers).sum();
+    assert!(
+        r.total_bus_transfers >= per_core_sum,
+        "total bus traffic includes post-snapshot restarts"
+    );
+    for (i, s) in r.per_core.iter().enumerate() {
+        assert!(s.retired_instructions > 0, "core {i} retired nothing");
+        assert!(s.cycles > 0);
+    }
+}

@@ -1,0 +1,262 @@
+//! Property-based tests (proptest) for the core data structures and
+//! invariants of the simulator substrate.
+
+use proptest::prelude::*;
+
+use ecdp::hints::HintVector;
+use sim_core::cache::{Cache, CacheConfig, LineState};
+use sim_core::dram::{Dram, DramRequest};
+use sim_core::{
+    Aggressiveness, DramConfig, IntervalFeedback, Machine, MachineConfig, ThrottleDecision,
+    ThrottlePolicy, TraceBuilder,
+};
+use sim_mem::{layout, Heap, SimMemory};
+use throttle::CoordinatedThrottle;
+
+// ---------------------------------------------------------------- sim-mem
+
+proptest! {
+    #[test]
+    fn heap_allocations_never_overlap(sizes in proptest::collection::vec(1u32..256, 1..64)) {
+        let mut heap = Heap::new(layout::HEAP_BASE, layout::HEAP_LIMIT);
+        let mut spans: Vec<(u32, u32)> = Vec::new();
+        for size in sizes {
+            let addr = heap.alloc(size).unwrap();
+            let rounded = size.div_ceil(8) * 8;
+            prop_assert!(addr >= layout::HEAP_BASE);
+            prop_assert!(addr + rounded <= layout::HEAP_LIMIT);
+            prop_assert_eq!(addr % 8, 0);
+            for &(a, s) in &spans {
+                prop_assert!(addr + rounded <= a || a + s <= addr, "overlap");
+            }
+            spans.push((addr, rounded));
+        }
+    }
+
+    #[test]
+    fn memory_matches_hashmap_model(
+        writes in proptest::collection::vec((0u32..0x2_0000, any::<u32>()), 1..200)
+    ) {
+        let mut mem = SimMemory::new();
+        let mut model = std::collections::HashMap::new();
+        for (addr, value) in &writes {
+            let addr = addr * 4; // word aligned
+            mem.write_u32(addr, *value);
+            model.insert(addr, *value);
+        }
+        for (addr, value) in &model {
+            prop_assert_eq!(mem.read_u32(*addr), *value);
+        }
+    }
+
+    #[test]
+    fn block_words_reflect_word_writes(
+        base_block in 0u32..1000,
+        words in proptest::collection::vec(any::<u32>(), 16)
+    ) {
+        let mut mem = SimMemory::new();
+        let base = base_block * 64;
+        for (i, w) in words.iter().enumerate() {
+            mem.write_u32(base + (i as u32) * 4, *w);
+        }
+        let got = mem.read_block_words(base + 17); // any byte in the block
+        prop_assert_eq!(got.to_vec(), words);
+    }
+}
+
+// ---------------------------------------------------------------- cache
+
+/// A slow but obviously correct set-associative LRU model.
+struct ModelCache {
+    sets: usize,
+    ways: usize,
+    lines: Vec<Vec<u32>>, // per set, MRU first
+}
+
+impl ModelCache {
+    fn new(sets: usize, ways: usize) -> Self {
+        ModelCache {
+            sets,
+            ways,
+            lines: vec![Vec::new(); sets],
+        }
+    }
+
+    fn set_of(&self, block: u32) -> usize {
+        (block as usize) % self.sets
+    }
+
+    fn access(&mut self, block: u32) -> bool {
+        let s = self.set_of(block);
+        if let Some(pos) = self.lines[s].iter().position(|&b| b == block) {
+            let b = self.lines[s].remove(pos);
+            self.lines[s].insert(0, b);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn fill(&mut self, block: u32) {
+        let s = self.set_of(block);
+        if let Some(pos) = self.lines[s].iter().position(|&b| b == block) {
+            self.lines[s].remove(pos);
+        }
+        self.lines[s].insert(0, block);
+        self.lines[s].truncate(self.ways);
+    }
+}
+
+proptest! {
+    #[test]
+    fn cache_agrees_with_lru_model(blocks in proptest::collection::vec(0u32..64, 1..400)) {
+        // 4 sets x 2 ways of 64-byte lines.
+        let mut cache = Cache::new(CacheConfig { bytes: 512, ways: 2, hit_latency: 1 });
+        let mut model = ModelCache::new(4, 2);
+        for b in blocks {
+            let addr = b * 64;
+            let hit = cache.access(addr).is_some();
+            let model_hit = model.access(b);
+            prop_assert_eq!(hit, model_hit, "divergence at block {}", b);
+            if !hit {
+                cache.fill(addr, LineState::default());
+                model.fill(b);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- hints
+
+proptest! {
+    #[test]
+    fn hint_vector_roundtrip(offsets in proptest::collection::vec(-16i32..16, 0..12)) {
+        let mut v = HintVector::default();
+        let set: std::collections::HashSet<i32> =
+            offsets.iter().map(|o| o * 4).collect();
+        for &o in &set {
+            v.set(o);
+        }
+        for slot in -16i32..16 {
+            let off = slot * 4;
+            prop_assert_eq!(v.allows(off), set.contains(&off), "offset {}", off);
+        }
+        prop_assert_eq!(v.count() as usize, set.len());
+    }
+}
+
+// ---------------------------------------------------------------- throttle
+
+/// An independent restatement of the paper's Table 3.
+fn table3(own_cov: f64, own_acc: f64, rival_cov: f64) -> ThrottleDecision {
+    let cov_high = own_cov >= 0.2;
+    let rival_high = rival_cov >= 0.2;
+    let acc = if own_acc >= 0.7 {
+        2
+    } else if own_acc >= 0.4 {
+        1
+    } else {
+        0
+    };
+    match (cov_high, acc, rival_high) {
+        (true, _, _) => ThrottleDecision::Up,      // case 1
+        (false, 0, _) => ThrottleDecision::Down,   // case 2
+        (false, _, false) => ThrottleDecision::Up, // case 3
+        (false, 1, true) => ThrottleDecision::Down, // case 4
+        (false, 2, true) => ThrottleDecision::Keep, // case 5
+        _ => unreachable!(),
+    }
+}
+
+proptest! {
+    #[test]
+    fn coordinated_throttle_implements_table3(
+        cov_a in 0.0f64..1.0, acc_a in 0.0f64..1.0,
+        cov_b in 0.0f64..1.0, acc_b in 0.0f64..1.0,
+    ) {
+        let fb = |cov, acc| IntervalFeedback {
+            accuracy: acc,
+            coverage: cov,
+            lateness: 0.0,
+            pollution: 0.0,
+            level: Aggressiveness::Moderate,
+        };
+        let mut p = CoordinatedThrottle::default();
+        let d = p.adjust(&[fb(cov_a, acc_a), fb(cov_b, acc_b)]);
+        prop_assert_eq!(d[0], table3(cov_a, acc_a, cov_b));
+        prop_assert_eq!(d[1], table3(cov_b, acc_b, cov_a));
+    }
+}
+
+// ---------------------------------------------------------------- dram
+
+proptest! {
+    #[test]
+    fn every_dram_read_completes_after_min_latency(
+        blocks in proptest::collection::vec(0u32..4096, 1..32)
+    ) {
+        let cfg = DramConfig::default();
+        let min_access = cfg.controller_overhead + cfg.row_hit_cycles + cfg.bus_transfer_cycles;
+        let mut dram = Dram::new(cfg, 1);
+        let n = blocks.len();
+        let mut accepted = 0usize;
+        for (i, b) in blocks.iter().enumerate() {
+            let ok = dram.try_enqueue(DramRequest {
+                block_addr: b * 64,
+                is_write: false,
+                is_demand: true,
+                core: 0,
+                mshr_slot: i as u32,
+                enqueue_cycle: 0,
+            });
+            if ok {
+                accepted += 1;
+            }
+        }
+        let mut done = 0usize;
+        let mut now = 0u64;
+        while done < accepted && now < 1_000_000 {
+            now += 1;
+            for c in dram.tick(now) {
+                prop_assert!(c.finish_cycle >= min_access);
+                done += 1;
+            }
+        }
+        prop_assert_eq!(done, accepted, "all accepted reads must complete");
+        prop_assert_eq!(dram.bus_transfers(), accepted as u64);
+        let _ = n;
+    }
+}
+
+// ---------------------------------------------------------------- engine
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    #[test]
+    fn machine_retires_arbitrary_traces(
+        ops in proptest::collection::vec((0u32..2000u32, 0u8..10u8, 1u32..20), 1..120)
+    ) {
+        // Random mixes of loads, stores and compute bursts, with random
+        // (valid, backwards) address dependences.
+        let mut tb = TraceBuilder::new(SimMemory::new());
+        let mut load_ids = Vec::new();
+        for (addr_word, kind, count) in ops {
+            let addr = layout::HEAP_BASE + addr_word * 4;
+            match kind {
+                0..=4 => {
+                    let dep = if kind % 2 == 0 { load_ids.last().copied() } else { None };
+                    let (_, id) = tb.load(0x10 + u32::from(kind), addr, dep);
+                    load_ids.push(id);
+                }
+                5..=6 => tb.store(0x20, addr, count, None),
+                _ => tb.compute(count),
+            }
+        }
+        let trace = tb.finish();
+        let expected = trace.instructions;
+        let mut machine = Machine::new(MachineConfig::default());
+        let stats = machine.run(&trace);
+        prop_assert_eq!(stats.retired_instructions, expected);
+        prop_assert!(stats.cycles > 0);
+    }
+}
