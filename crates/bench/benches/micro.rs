@@ -11,9 +11,7 @@ use ecdp::system::{run_system, CompilerArtifacts, SystemKind};
 use prefetch::{AllowAll, CdpConfig, ContentDirectedPrefetcher, StreamConfig, StreamPrefetcher};
 use sim_core::cache::{Cache, CacheConfig, LineState};
 use sim_core::dram::{Dram, DramRequest};
-use sim_core::{
-    DemandAccess, DramConfig, FillEvent, PrefetchCtx, Prefetcher, PrefetcherId,
-};
+use sim_core::{DemandAccess, DramConfig, FillEvent, PrefetchCtx, Prefetcher, PrefetcherId};
 use sim_mem::SimMemory;
 use workloads::{by_name, InputSet, Workload};
 

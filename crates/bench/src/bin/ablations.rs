@@ -5,21 +5,31 @@ use bench::Lab;
 
 fn main() {
     let print_only = std::env::args().any(|a| a == "--print");
-    let mut lab = Lab::new();
+    let lab = Lab::new();
     let mut report = String::from("\n# Ablations and extensions\n\n");
     for (name, f) in [
-        ("compare bits", ablation::compare_bits_sweep as fn(&mut Lab) -> String),
+        (
+            "compare bits",
+            ablation::compare_bits_sweep as fn(&Lab) -> String,
+        ),
         ("recursion depth", ablation::recursion_depth_sweep),
         ("sampling interval", ablation::interval_sweep),
         ("hint threshold", ablation::hint_threshold_sweep),
         ("profile stability", ablation::profile_quality),
         ("dram policies", ablation::dram_policy_sweep),
         ("three prefetchers", ablation::three_prefetchers),
-        ("extended prefetchers", bench::experiments::compare::extended_prefetchers),
+        (
+            "extended prefetchers",
+            bench::experiments::compare::extended_prefetchers,
+        ),
     ] {
         eprintln!("[ablations] {name} ...");
-        report.push_str(&f(&mut lab));
+        report.push_str(&f(&lab));
         report.push('\n');
+    }
+    match lab.write_manifest("ablations") {
+        Ok(path) => eprintln!("[lab] manifest: {}", path.display()),
+        Err(e) => eprintln!("[lab] manifest write failed: {e}"),
     }
     if print_only {
         println!("{report}");

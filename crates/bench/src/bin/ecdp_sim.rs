@@ -52,7 +52,9 @@ fn usage() -> ! {
 }
 
 fn print_stats(label: &str, s: &sim_core::RunStats, base_ipc: Option<f64>) {
-    let speed = base_ipc.map_or(String::from("      -"), |b| format!("{:>6.2}x", s.ipc() / b));
+    let speed = base_ipc.map_or(String::from("      -"), |b| {
+        format!("{:>6.2}x", s.ipc() / b)
+    });
     println!(
         "{label:<30} IPC {:>7.3}  {speed}  BPKI {:>7.1}  L2-miss {:>8}",
         s.ipc(),
@@ -63,7 +65,7 @@ fn print_stats(label: &str, s: &sim_core::RunStats, base_ipc: Option<f64>) {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut lab = bench::Lab::new();
+    let lab = bench::Lab::new();
     match args.first().map(String::as_str) {
         Some("list") => {
             println!("pointer-intensive workloads:");
@@ -91,7 +93,10 @@ fn main() {
             let mut rows: Vec<_> = hints.iter().collect();
             rows.sort_by_key(|(pc, _)| **pc);
             for (pc, v) in rows {
-                println!("  pc {pc:#07x}: pos {:016b} neg {:016b}", v.positive, v.negative);
+                println!(
+                    "  pc {pc:#07x}: pos {:016b} neg {:016b}",
+                    v.positive, v.negative
+                );
             }
         }
         Some("run") => {

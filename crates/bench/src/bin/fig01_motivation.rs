@@ -1,5 +1,5 @@
 //! Regenerates Figure 1 of the paper. Run with `cargo run --release -p bench --bin fig01_motivation`.
+//! Writes the run manifest to `target/lab/fig01_motivation.json`.
 fn main() {
-    let mut lab = bench::Lab::new();
-    println!("{}", bench::experiments::single::fig01(&mut lab));
+    bench::run_report("fig01_motivation", bench::experiments::single::fig01);
 }

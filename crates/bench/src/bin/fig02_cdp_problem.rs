@@ -1,5 +1,5 @@
-//! Regenerates Figure 2 and Table 1 of the paper. Run with `cargo run --release -p bench --bin fig02_cdp_problem`.
+//! Regenerates Figure 2 of the paper. Run with `cargo run --release -p bench --bin fig02_cdp_problem`.
+//! Writes the run manifest to `target/lab/fig02_cdp_problem.json`.
 fn main() {
-    let mut lab = bench::Lab::new();
-    println!("{}", bench::experiments::single::fig02_tab01(&mut lab));
+    bench::run_report("fig02_cdp_problem", bench::experiments::single::fig02_tab01);
 }

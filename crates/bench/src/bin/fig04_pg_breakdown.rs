@@ -1,5 +1,5 @@
 //! Regenerates Figure 4 of the paper. Run with `cargo run --release -p bench --bin fig04_pg_breakdown`.
+//! Writes the run manifest to `target/lab/fig04_pg_breakdown.json`.
 fn main() {
-    let mut lab = bench::Lab::new();
-    println!("{}", bench::experiments::single::fig04(&mut lab));
+    bench::run_report("fig04_pg_breakdown", bench::experiments::single::fig04);
 }

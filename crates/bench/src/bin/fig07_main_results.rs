@@ -1,5 +1,8 @@
-//! Regenerates Figure 7 and Table 6 of the paper. Run with `cargo run --release -p bench --bin fig07_main_results`.
+//! Regenerates Figure 7 of the paper. Run with `cargo run --release -p bench --bin fig07_main_results`.
+//! Writes the run manifest to `target/lab/fig07_main_results.json`.
 fn main() {
-    let mut lab = bench::Lab::new();
-    println!("{}", bench::experiments::single::fig07_tab06(&mut lab));
+    bench::run_report(
+        "fig07_main_results",
+        bench::experiments::single::fig07_tab06,
+    );
 }

@@ -1,5 +1,5 @@
 //! Regenerates Figure 8 of the paper. Run with `cargo run --release -p bench --bin fig08_accuracy`.
+//! Writes the run manifest to `target/lab/fig08_accuracy.json`.
 fn main() {
-    let mut lab = bench::Lab::new();
-    println!("{}", bench::experiments::single::fig08(&mut lab));
+    bench::run_report("fig08_accuracy", bench::experiments::single::fig08);
 }

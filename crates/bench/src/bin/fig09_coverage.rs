@@ -1,5 +1,5 @@
 //! Regenerates Figure 9 of the paper. Run with `cargo run --release -p bench --bin fig09_coverage`.
+//! Writes the run manifest to `target/lab/fig09_coverage.json`.
 fn main() {
-    let mut lab = bench::Lab::new();
-    println!("{}", bench::experiments::single::fig09(&mut lab));
+    bench::run_report("fig09_coverage", bench::experiments::single::fig09);
 }

@@ -1,5 +1,5 @@
 //! Regenerates Figure 10 of the paper. Run with `cargo run --release -p bench --bin fig10_pg_usefulness`.
+//! Writes the run manifest to `target/lab/fig10_pg_usefulness.json`.
 fn main() {
-    let mut lab = bench::Lab::new();
-    println!("{}", bench::experiments::single::fig10(&mut lab));
+    bench::run_report("fig10_pg_usefulness", bench::experiments::single::fig10);
 }

@@ -1,5 +1,5 @@
 //! Regenerates Figure 11 of the paper. Run with `cargo run --release -p bench --bin fig11_lds_comparison`.
+//! Writes the run manifest to `target/lab/fig11_lds_comparison.json`.
 fn main() {
-    let mut lab = bench::Lab::new();
-    println!("{}", bench::experiments::compare::fig11(&mut lab));
+    bench::run_report("fig11_lds_comparison", bench::experiments::compare::fig11);
 }

@@ -1,5 +1,5 @@
 //! Regenerates Figure 12 of the paper. Run with `cargo run --release -p bench --bin fig12_hw_filter`.
+//! Writes the run manifest to `target/lab/fig12_hw_filter.json`.
 fn main() {
-    let mut lab = bench::Lab::new();
-    println!("{}", bench::experiments::compare::fig12(&mut lab));
+    bench::run_report("fig12_hw_filter", bench::experiments::compare::fig12);
 }

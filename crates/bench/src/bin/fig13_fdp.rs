@@ -1,5 +1,5 @@
 //! Regenerates Figure 13 of the paper. Run with `cargo run --release -p bench --bin fig13_fdp`.
+//! Writes the run manifest to `target/lab/fig13_fdp.json`.
 fn main() {
-    let mut lab = bench::Lab::new();
-    println!("{}", bench::experiments::compare::fig13(&mut lab));
+    bench::run_report("fig13_fdp", bench::experiments::compare::fig13);
 }

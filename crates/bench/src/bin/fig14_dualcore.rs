@@ -1,5 +1,5 @@
 //! Regenerates Figure 14 of the paper. Run with `cargo run --release -p bench --bin fig14_dualcore`.
+//! Writes the run manifest to `target/lab/fig14_dualcore.json`.
 fn main() {
-    let mut lab = bench::Lab::new();
-    println!("{}", bench::experiments::multi::fig14(&mut lab));
+    bench::run_report("fig14_dualcore", bench::experiments::multi::fig14);
 }

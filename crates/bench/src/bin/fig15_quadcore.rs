@@ -1,5 +1,5 @@
 //! Regenerates Figure 15 of the paper. Run with `cargo run --release -p bench --bin fig15_quadcore`.
+//! Writes the run manifest to `target/lab/fig15_quadcore.json`.
 fn main() {
-    let mut lab = bench::Lab::new();
-    println!("{}", bench::experiments::multi::fig15(&mut lab));
+    bench::run_report("fig15_quadcore", bench::experiments::multi::fig15);
 }

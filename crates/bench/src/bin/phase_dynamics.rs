@@ -38,7 +38,11 @@ fn phased_trace(seed: u64, phases: usize) -> Trace {
         nodes.shuffle(&mut rng);
         for (i, &n) in nodes.iter().enumerate() {
             mem.write_u32(n, rng.gen::<u32>() & 0xFFFF);
-            let next = if i + 1 < nodes.len() { nodes[i + 1] } else { nodes[0] };
+            let next = if i + 1 < nodes.len() {
+                nodes[i + 1]
+            } else {
+                nodes[0]
+            };
             mem.write_u32(n + 12, next);
         }
         head = nodes[0];
@@ -92,8 +96,14 @@ fn main() {
         log.len()
     );
     println!("aggressiveness per interval (1 = very conservative .. 4 = aggressive):");
-    println!("  stream: {}", render(&level_trajectory(&log, 0, Aggressiveness::Aggressive)));
-    println!("  ecdp  : {}", render(&level_trajectory(&log, 1, Aggressiveness::Aggressive)));
+    println!(
+        "  stream: {}",
+        render(&level_trajectory(&log, 0, Aggressiveness::Aggressive))
+    );
+    println!(
+        "  ecdp  : {}",
+        render(&level_trajectory(&log, 1, Aggressiveness::Aggressive))
+    );
     println!(
         "\nECDP is throttled down during the streaming phases (its coverage collapses\n\
          while the stream prefetcher's soars) and restored in the pointer-chase\n\

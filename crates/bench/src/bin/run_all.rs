@@ -1,43 +1,138 @@
 //! Regenerates every table and figure of the paper and writes the combined
 //! report to `EXPERIMENTS.md` (in the workspace root, or the path given as
-//! the first argument).
+//! the last positional argument). Also writes the run manifest of every
+//! simulated cell to `target/lab/run_all.json`.
 //!
 //! ```text
-//! cargo run --release -p bench --bin run_all [-- output.md]
+//! cargo run --release -p bench --bin run_all [-- [--jobs N] [--filter SUBSTR] [output.md]]
 //! ```
+//!
+//! Sections are generated concurrently on a worker pool (`--jobs`, or
+//! `BENCH_JOBS`, defaulting to the available parallelism); a prewarm
+//! sweep first fans the shared (workload × system) grid out across all
+//! workers so the per-section work is mostly cache hits. The section text
+//! is identical at any thread count (only the trailing timing line
+//! varies): results are assembled in section order and every simulation
+//! is memoized process-wide by the `Lab`.
+//! `--filter` keeps only sections whose name contains the substring
+//! (case-insensitive).
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
-use bench::experiments::{compare, misc, multi, single};
-use bench::Lab;
+use bench::experiments::{compare, misc, multi, single, POINTER_BENCHES};
+use bench::{Lab, SweepPlan};
+use ecdp::system::SystemKind;
+use workloads::InputSet;
+
+fn usage() -> ! {
+    eprintln!("usage: run_all [--jobs N] [--filter SUBSTR] [output.md]");
+    std::process::exit(2);
+}
 
 fn main() {
-    let out_path = std::env::args().nth(1).unwrap_or_else(|| "EXPERIMENTS.md".to_string());
-    let mut lab = Lab::new();
+    let mut out_path = "EXPERIMENTS.md".to_string();
+    let mut jobs = bench::default_jobs();
+    let mut filter: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--jobs" => {
+                jobs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage());
+            }
+            "--filter" => filter = Some(args.next().unwrap_or_else(|| usage()).to_lowercase()),
+            "--help" | "-h" => usage(),
+            _ if a.starts_with('-') => usage(),
+            _ => out_path = a,
+        }
+    }
+
+    let lab = Lab::new();
     let t0 = Instant::now();
 
-    type Section<'a> = (&'a str, Box<dyn FnOnce(&mut Lab) -> String>);
-    let sections: Vec<Section> = vec![
-        ("Figure 1", Box::new(single::fig01)),
-        ("Figure 2 + Table 1", Box::new(single::fig02_tab01)),
-        ("Figure 4", Box::new(single::fig04)),
-        ("Figure 7 + Table 6", Box::new(single::fig07_tab06)),
-        ("Figure 8", Box::new(single::fig08)),
-        ("Figure 9", Box::new(single::fig09)),
-        ("Figure 10", Box::new(single::fig10)),
-        ("Table 7", Box::new(|_lab| single::tab07())),
-        ("Figure 11", Box::new(compare::fig11)),
-        ("Figure 12", Box::new(compare::fig12)),
-        ("Figure 13", Box::new(compare::fig13)),
-        ("Section 6.1.6", Box::new(single::sec616)),
-        ("Section 6.3", Box::new(compare::sec63)),
-        ("Section 6.7", Box::new(misc::sec67)),
-        ("Section 7.1", Box::new(compare::sec71)),
-        ("Section 7.2", Box::new(compare::sec72)),
-        ("Section 7.4", Box::new(compare::sec74)),
-        ("Figure 14", Box::new(multi::fig14)),
-        ("Figure 15", Box::new(multi::fig15)),
+    type Section<'a> = (&'a str, fn(&Lab) -> String);
+    let mut sections: Vec<Section> = vec![
+        ("Figure 1", single::fig01),
+        ("Figure 2 + Table 1", single::fig02_tab01),
+        ("Figure 4", single::fig04),
+        ("Figure 7 + Table 6", single::fig07_tab06),
+        ("Figure 8", single::fig08),
+        ("Figure 9", single::fig09),
+        ("Figure 10", single::fig10),
+        ("Table 7", |_lab| single::tab07()),
+        ("Figure 11", compare::fig11),
+        ("Figure 12", compare::fig12),
+        ("Figure 13", compare::fig13),
+        ("Section 6.1.6", single::sec616),
+        ("Section 6.3", compare::sec63),
+        ("Section 6.7", misc::sec67),
+        ("Section 7.1", compare::sec71),
+        ("Section 7.2", compare::sec72),
+        ("Section 7.4", compare::sec74),
+        ("Figure 14", multi::fig14),
+        ("Figure 15", multi::fig15),
     ];
+    if let Some(f) = &filter {
+        sections.retain(|(name, _)| name.to_lowercase().contains(f));
+        if sections.is_empty() {
+            eprintln!("[run_all] no section matches --filter {f}");
+            std::process::exit(2);
+        }
+    }
+
+    // Prewarm: fan the shared single-core grid out across all workers so
+    // the section generators (which run concurrently but are internally
+    // serial) mostly hit the cache. Only worth it for a full run — a
+    // filtered run may need none of these cells.
+    if filter.is_none() && jobs > 1 {
+        let plan = SweepPlan::cross(
+            "run_all_prewarm",
+            &POINTER_BENCHES,
+            InputSet::Ref,
+            &[
+                SystemKind::NoPrefetch,
+                SystemKind::StreamOnly,
+                SystemKind::OracleLds,
+                SystemKind::StreamCdp,
+                SystemKind::StreamEcdp,
+                SystemKind::StreamCdpThrottled,
+                SystemKind::StreamEcdpThrottled,
+            ],
+        );
+        eprintln!(
+            "[run_all] prewarming {} cells on {jobs} workers ...",
+            plan.cells.len()
+        );
+        let t = Instant::now();
+        plan.run(&lab, jobs);
+        eprintln!("[run_all] prewarm done in {:.1?}", t.elapsed());
+    }
+
+    // Generate sections concurrently; collect in declaration order.
+    let n = sections.len();
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<std::sync::OnceLock<String>> = Vec::new();
+    slots.resize_with(n, std::sync::OnceLock::new);
+    std::thread::scope(|s| {
+        for _ in 0..jobs.clamp(1, n) {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let (name, f) = sections[i];
+                let t = Instant::now();
+                eprintln!("[run_all] {name} ...");
+                let text = f(&lab);
+                eprintln!("[run_all] {name} done in {:.1?}", t.elapsed());
+                let _ = slots[i].set(text);
+            });
+        }
+    });
 
     let mut report = String::from(
         "# EXPERIMENTS — paper vs reproduction\n\n\
@@ -49,19 +144,18 @@ fn main() {
          `paper:` quote the original result for comparison; absolute numbers are\n\
          not expected to match, the win/loss structure is.\n\n",
     );
-
-    for (name, f) in sections {
-        let t = Instant::now();
-        eprintln!("[run_all] {name} ...");
-        report.push_str(&f(&mut lab));
+    for slot in slots {
+        report.push_str(&slot.into_inner().expect("every section generated"));
         report.push('\n');
-        eprintln!("[run_all] {name} done in {:.1?}", t.elapsed());
     }
-
     report.push_str(&format!(
-        "---\nTotal generation time: {:.1?} (single core).\n",
+        "---\nTotal generation time: {:.1?} ({jobs} worker threads).\n",
         t0.elapsed()
     ));
     std::fs::write(&out_path, &report).expect("write report");
+    match lab.write_manifest("run_all") {
+        Ok(path) => eprintln!("[lab] manifest: {}", path.display()),
+        Err(e) => eprintln!("[lab] manifest write failed: {e}"),
+    }
     println!("wrote {out_path}");
 }

@@ -4,6 +4,7 @@
 //!
 //! We compare each prefetcher's mean DRAM service latency when running
 //! alone against the naive (unthrottled) hybrid, per workload and averaged.
+//! Writes the run manifest to `target/lab/sec4_contention.json`.
 //!
 //! ```text
 //! cargo run --release -p bench --bin sec4_contention
@@ -14,8 +15,7 @@ use bench::table::{f2, Table};
 use bench::Lab;
 use ecdp::system::SystemKind;
 
-fn main() {
-    let mut lab = Lab::new();
+fn report(lab: &Lab) -> String {
     let mut t = Table::new(vec![
         "bench",
         "pf latency alone (stream)",
@@ -50,16 +50,23 @@ fn main() {
             },
         ]);
     }
-    println!("## §4 — prefetch service latency under inter-prefetcher contention\n");
-    println!("{}", t.to_markdown());
+    let mut out =
+        String::from("## §4 — prefetch service latency under inter-prefetcher contention\n\n");
+    out.push_str(&t.to_markdown());
+    out.push('\n');
     if !increases.is_empty() {
-        println!(
-            "mean prefetch service latency, hybrid vs stream-alone: {:.2}x",
+        out.push_str(&format!(
+            "mean prefetch service latency, hybrid vs stream-alone: {:.2}x\n",
             bench::gmean(&increases)
-        );
+        ));
     }
-    println!(
+    out.push_str(
         "paper: resource contention increases the average latency of useful prefetch\n\
-         requests by 52% when the two prefetchers are used together."
+         requests by 52% when the two prefetchers are used together.\n",
     );
+    out
+}
+
+fn main() {
+    bench::run_report("sec4_contention", report);
 }

@@ -1,5 +1,5 @@
-//! Regenerates the profiling-input study (Section 6.1.6) of the paper. Run with `cargo run --release -p bench --bin sec616_profile_input`.
+//! Regenerates Section 6.1.6 of the paper. Run with `cargo run --release -p bench --bin sec616_profile_input`.
+//! Writes the run manifest to `target/lab/sec616_profile_input.json`.
 fn main() {
-    let mut lab = bench::Lab::new();
-    println!("{}", bench::experiments::single::sec616(&mut lab));
+    bench::run_report("sec616_profile_input", bench::experiments::single::sec616);
 }

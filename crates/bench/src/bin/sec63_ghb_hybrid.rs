@@ -1,5 +1,5 @@
-//! Regenerates the GHB-hybrid study (Section 6.3) of the paper. Run with `cargo run --release -p bench --bin sec63_ghb_hybrid`.
+//! Regenerates Section 6.3 of the paper. Run with `cargo run --release -p bench --bin sec63_ghb_hybrid`.
+//! Writes the run manifest to `target/lab/sec63_ghb_hybrid.json`.
 fn main() {
-    let mut lab = bench::Lab::new();
-    println!("{}", bench::experiments::compare::sec63(&mut lab));
+    bench::run_report("sec63_ghb_hybrid", bench::experiments::compare::sec63);
 }

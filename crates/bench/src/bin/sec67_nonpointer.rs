@@ -1,5 +1,5 @@
-//! Regenerates the non-pointer study (Section 6.7) of the paper. Run with `cargo run --release -p bench --bin sec67_nonpointer`.
+//! Regenerates Section 6.7 of the paper. Run with `cargo run --release -p bench --bin sec67_nonpointer`.
+//! Writes the run manifest to `target/lab/sec67_nonpointer.json`.
 fn main() {
-    let mut lab = bench::Lab::new();
-    println!("{}", bench::experiments::misc::sec67(&mut lab));
+    bench::run_report("sec67_nonpointer", bench::experiments::misc::sec67);
 }

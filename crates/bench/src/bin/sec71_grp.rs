@@ -1,5 +1,5 @@
-//! Regenerates the GRP comparison (Section 7.1) of the paper. Run with `cargo run --release -p bench --bin sec71_grp`.
+//! Regenerates Section 7.1 of the paper. Run with `cargo run --release -p bench --bin sec71_grp`.
+//! Writes the run manifest to `target/lab/sec71_grp.json`.
 fn main() {
-    let mut lab = bench::Lab::new();
-    println!("{}", bench::experiments::compare::sec71(&mut lab));
+    bench::run_report("sec71_grp", bench::experiments::compare::sec71);
 }

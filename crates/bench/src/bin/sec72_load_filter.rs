@@ -1,5 +1,5 @@
-//! Regenerates the per-load-filter comparison (Section 7.2) of the paper. Run with `cargo run --release -p bench --bin sec72_load_filter`.
+//! Regenerates Section 7.2 of the paper. Run with `cargo run --release -p bench --bin sec72_load_filter`.
+//! Writes the run manifest to `target/lab/sec72_load_filter.json`.
 fn main() {
-    let mut lab = bench::Lab::new();
-    println!("{}", bench::experiments::compare::sec72(&mut lab));
+    bench::run_report("sec72_load_filter", bench::experiments::compare::sec72);
 }

@@ -1,5 +1,5 @@
-//! Regenerates the PAB comparison (Section 7.4) of the paper. Run with `cargo run --release -p bench --bin sec74_pab`.
+//! Regenerates Section 7.4 of the paper. Run with `cargo run --release -p bench --bin sec74_pab`.
+//! Writes the run manifest to `target/lab/sec74_pab.json`.
 fn main() {
-    let mut lab = bench::Lab::new();
-    println!("{}", bench::experiments::compare::sec74(&mut lab));
+    bench::run_report("sec74_pab", bench::experiments::compare::sec74);
 }

@@ -50,7 +50,10 @@ pub fn bar_chart(items: &[(&str, f64)], width: usize, reference: Option<f64>) ->
 
 /// Renders a chart as a fenced markdown code block with a caption.
 pub fn figure(caption: &str, items: &[(&str, f64)], reference: Option<f64>) -> String {
-    format!("{caption}\n\n```text\n{}```\n", bar_chart(items, 42, reference))
+    format!(
+        "{caption}\n\n```text\n{}```\n",
+        bar_chart(items, 42, reference)
+    )
 }
 
 #[cfg(test)]

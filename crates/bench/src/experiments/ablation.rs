@@ -60,7 +60,7 @@ fn run_with(
 }
 
 /// Sweep the CDP compare-bits parameter (paper §5 fixes it at 8 of 32).
-pub fn compare_bits_sweep(lab: &mut Lab) -> String {
+pub fn compare_bits_sweep(lab: &Lab) -> String {
     let bits = [4u32, 8, 12, 16];
     let mut headers = vec!["bench".to_string()];
     headers.extend(bits.iter().map(|b| format!("{b} bits")));
@@ -71,7 +71,7 @@ pub fn compare_bits_sweep(lab: &mut Lab) -> String {
         let trace = lab.trace(name, InputSet::Ref);
         let mut cells = vec![name.to_string()];
         for b in bits {
-            let s = run_with(trace, Some(&art.hints), b, None, true, 8192);
+            let s = run_with(&trace, Some(&art.hints), b, None, true, 8192);
             cells.push(f2(s.ipc() / base));
         }
         t.row(cells);
@@ -87,7 +87,7 @@ pub fn compare_bits_sweep(lab: &mut Lab) -> String {
 
 /// Sweep the maximum recursion depth with throttling disabled
 /// (paper Table 2 ties depth 1–4 to the aggressiveness ladder).
-pub fn recursion_depth_sweep(lab: &mut Lab) -> String {
+pub fn recursion_depth_sweep(lab: &Lab) -> String {
     let levels = [
         (Aggressiveness::VeryConservative, "depth 1"),
         (Aggressiveness::Conservative, "depth 2"),
@@ -103,7 +103,7 @@ pub fn recursion_depth_sweep(lab: &mut Lab) -> String {
         let trace = lab.trace(name, InputSet::Ref);
         let mut cells = vec![name.to_string()];
         for (level, _) in levels {
-            let s = run_with(trace, Some(&art.hints), 8, Some(level), false, 8192);
+            let s = run_with(&trace, Some(&art.hints), 8, Some(level), false, 8192);
             cells.push(f2(s.ipc() / base));
         }
         t.row(cells);
@@ -118,7 +118,7 @@ pub fn recursion_depth_sweep(lab: &mut Lab) -> String {
 }
 
 /// Sweep the feedback-sampling interval (paper §4.1 fixes 8192 evictions).
-pub fn interval_sweep(lab: &mut Lab) -> String {
+pub fn interval_sweep(lab: &Lab) -> String {
     let intervals = [1024u64, 4096, 8192, 32768];
     let mut headers = vec!["bench".to_string()];
     headers.extend(intervals.iter().map(|i| format!("{i} ev")));
@@ -129,7 +129,7 @@ pub fn interval_sweep(lab: &mut Lab) -> String {
         let trace = lab.trace(name, InputSet::Ref);
         let mut cells = vec![name.to_string()];
         for i in intervals {
-            let s = run_with(trace, Some(&art.hints), 8, None, true, i);
+            let s = run_with(&trace, Some(&art.hints), 8, None, true, i);
             cells.push(f2(s.ipc() / base));
         }
         t.row(cells);
@@ -144,7 +144,7 @@ pub fn interval_sweep(lab: &mut Lab) -> String {
 
 /// Sweep the PG usefulness threshold used to classify beneficial groups
 /// (the paper uses majority, i.e. 50%).
-pub fn hint_threshold_sweep(lab: &mut Lab) -> String {
+pub fn hint_threshold_sweep(lab: &Lab) -> String {
     let thresholds = [0.25f64, 0.5, 0.75];
     let mut headers = vec!["bench".to_string()];
     headers.extend(thresholds.iter().map(|t| format!(">{:.0}%", t * 100.0)));
@@ -171,7 +171,7 @@ pub fn hint_threshold_sweep(lab: &mut Lab) -> String {
             for (pc, v) in vectors {
                 table.insert(pc, v);
             }
-            let s = run_with(trace, Some(&table), 8, None, true, 8192);
+            let s = run_with(&trace, Some(&table), 8, None, true, 8192);
             cells.push(f2(s.ipc() / base));
         }
         t.row(cells);
@@ -187,7 +187,7 @@ pub fn hint_threshold_sweep(lab: &mut Lab) -> String {
 /// Extension (paper §4.2 \"ongoing work\"): coordinated throttling across
 /// *three* prefetchers — stream + ECDP + GHB — using the same
 /// prefetcher-symmetric heuristics with max-rival coverage.
-pub fn three_prefetchers(lab: &mut Lab) -> String {
+pub fn three_prefetchers(lab: &Lab) -> String {
     let mut t = Table::new(vec![
         "bench",
         "2pf (stream+ecdp, throttled)",
@@ -220,7 +220,7 @@ pub fn three_prefetchers(lab: &mut Lab) -> String {
             if throttled {
                 m.set_throttle(Box::new(CoordinatedThrottle::default()));
             }
-            m.run(trace).ipc() / base
+            m.run(&trace).ipc() / base
         };
         let raw = run3(false);
         let thr = run3(true);
@@ -247,12 +247,20 @@ pub fn three_prefetchers(lab: &mut Lab) -> String {
 /// the full proposal (the simulator defaults to FR-FCFS + demand-first +
 /// open page, the configuration the paper's §4 resource-contention
 /// discussion assumes).
-pub fn dram_policy_sweep(lab: &mut Lab) -> String {
+pub fn dram_policy_sweep(lab: &Lab) -> String {
     let configs: [(&str, DramScheduling, RowPolicy); 4] = [
-        ("frfcfs+demand", DramScheduling::FrFcfsDemandFirst, RowPolicy::OpenPage),
+        (
+            "frfcfs+demand",
+            DramScheduling::FrFcfsDemandFirst,
+            RowPolicy::OpenPage,
+        ),
         ("frfcfs", DramScheduling::FrFcfs, RowPolicy::OpenPage),
         ("fcfs", DramScheduling::Fcfs, RowPolicy::OpenPage),
-        ("closed-page", DramScheduling::FrFcfsDemandFirst, RowPolicy::ClosedPage),
+        (
+            "closed-page",
+            DramScheduling::FrFcfsDemandFirst,
+            RowPolicy::ClosedPage,
+        ),
     ];
     let mut headers = vec!["bench".to_string()];
     headers.extend(configs.iter().map(|(l, _, _)| l.to_string()));
@@ -277,7 +285,7 @@ pub fn dram_policy_sweep(lab: &mut Lab) -> String {
                 Box::new(art.hints.clone()),
             )));
             m.set_throttle(Box::new(CoordinatedThrottle::default()));
-            cells.push(f2(m.run(trace).ipc() / base));
+            cells.push(f2(m.run(&trace).ipc() / base));
         }
         t.row(cells);
     }
@@ -296,7 +304,7 @@ pub fn dram_policy_sweep(lab: &mut Lab) -> String {
 
 /// Sensitivity of profiling to train-input size (a calibration hazard this
 /// reproduction hit: cache-resident train inputs misclassify junk PGs).
-pub fn profile_quality(lab: &mut Lab) -> String {
+pub fn profile_quality(lab: &Lab) -> String {
     let mut t = Table::new(vec![
         "bench",
         "hints (train)",
@@ -307,7 +315,7 @@ pub fn profile_quality(lab: &mut Lab) -> String {
         let p_train = lab.profile(name).clone();
         let (b, h) = p_train.counts();
         let ref_trace = lab.trace(name, InputSet::Ref);
-        let p_ref = profile_workload(ref_trace);
+        let p_ref = profile_workload(&ref_trace);
         t.row(vec![
             name.to_string(),
             p_train.hint_table().len().to_string(),

@@ -7,7 +7,7 @@ use crate::table::{f2, pct, Table};
 use crate::Lab;
 
 fn comparison_report(
-    lab: &mut Lab,
+    lab: &Lab,
     title: &str,
     kinds: &[(SystemKind, &str)],
     paper_note: &str,
@@ -55,7 +55,7 @@ fn comparison_report(
 }
 
 /// Figure 11: comparison to DBP, Markov, and GHB prefetching.
-pub fn fig11(lab: &mut Lab) -> String {
+pub fn fig11(lab: &Lab) -> String {
     comparison_report(
         lab,
         "Figure 11 — comparison to LDS/correlation prefetchers",
@@ -72,7 +72,7 @@ pub fn fig11(lab: &mut Lab) -> String {
 }
 
 /// Figure 12: comparison to Zhuang–Lee hardware prefetch filtering.
-pub fn fig12(lab: &mut Lab) -> String {
+pub fn fig12(lab: &Lab) -> String {
     comparison_report(
         lab,
         "Figure 12 — comparison to hardware prefetch filtering",
@@ -89,7 +89,7 @@ pub fn fig12(lab: &mut Lab) -> String {
 }
 
 /// Figure 13: coordinated throttling vs feedback-directed prefetching.
-pub fn fig13(lab: &mut Lab) -> String {
+pub fn fig13(lab: &Lab) -> String {
     comparison_report(
         lab,
         "Figure 13 — coordinated throttling vs FDP",
@@ -109,7 +109,7 @@ pub fn fig13(lab: &mut Lab) -> String {
 
 /// §6.3 (end): ECDP and coordinated throttling are partly orthogonal —
 /// adding them to a GHB baseline.
-pub fn sec63(lab: &mut Lab) -> String {
+pub fn sec63(lab: &Lab) -> String {
     let mut t = Table::new(vec!["bench", "GHB", "GHB+ECDP", "GHB+ECDP+throttle"]);
     let mut ghb = Vec::new();
     let mut ge = Vec::new();
@@ -142,7 +142,7 @@ pub fn sec63(lab: &mut Lab) -> String {
 }
 
 /// §7.1: GRP-style coarse-grained (per-load, all-or-nothing) control.
-pub fn sec71(lab: &mut Lab) -> String {
+pub fn sec71(lab: &Lab) -> String {
     per_load_gate_report(
         lab,
         "§7.1 — GRP-style coarse-grained per-load control",
@@ -153,7 +153,7 @@ pub fn sec71(lab: &mut Lab) -> String {
 }
 
 /// §7.2: Srinivasan-style per-triggering-load filtering.
-pub fn sec72(lab: &mut Lab) -> String {
+pub fn sec72(lab: &Lab) -> String {
     per_load_gate_report(
         lab,
         "§7.2 — per-triggering-load prefetch filtering",
@@ -163,12 +163,7 @@ pub fn sec72(lab: &mut Lab) -> String {
     )
 }
 
-fn per_load_gate_report(
-    lab: &mut Lab,
-    title: &str,
-    kind: SystemKind,
-    paper_note: &str,
-) -> String {
+fn per_load_gate_report(lab: &Lab, title: &str, kind: SystemKind, paper_note: &str) -> String {
     let mut t = Table::new(vec!["bench", "gate speedup", "ECDP+throttle speedup"]);
     let mut gate = Vec::new();
     let mut ours = Vec::new();
@@ -193,7 +188,7 @@ fn per_load_gate_report(
 /// Extended comparison: the related prefetchers the paper discusses but
 /// does not plot — next-line, per-PC stride, hardware jump pointers
 /// (§7.3, 64 KB) and AVD prediction (§7.3).
-pub fn extended_prefetchers(lab: &mut Lab) -> String {
+pub fn extended_prefetchers(lab: &Lab) -> String {
     comparison_report(
         lab,
         "Extended comparison — next-line, stride, jump-pointer and AVD prefetching",
@@ -213,7 +208,7 @@ pub fn extended_prefetchers(lab: &mut Lab) -> String {
 }
 
 /// §7.4: the PAB most-accurate-prefetcher-only selector.
-pub fn sec74(lab: &mut Lab) -> String {
+pub fn sec74(lab: &Lab) -> String {
     let mut t = Table::new(vec!["bench", "PAB speedup", "PAB ΔBPKI", "ours speedup"]);
     let mut pab = Vec::new();
     let mut bw = Vec::new();

@@ -23,7 +23,7 @@ pub const STREAMING_BENCHES: [&str; 12] = [
 ];
 
 /// §6.7: the proposal must not hurt benchmarks without LDS misses.
-pub fn sec67(lab: &mut Lab) -> String {
+pub fn sec67(lab: &Lab) -> String {
     let mut t = Table::new(vec!["bench", "speedup", "ΔBPKI"]);
     let mut speed = Vec::new();
     let mut bw = Vec::new();

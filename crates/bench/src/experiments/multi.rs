@@ -6,9 +6,7 @@
 //! every configuration normalises shared-mode IPCs against the *baseline*
 //! alone runs, so reported gains are shared-mode throughput improvements.
 
-use std::collections::HashMap;
-
-use ecdp::system::{core_setup, run_system, SystemKind};
+use ecdp::system::{core_setup, SystemKind};
 use sim_core::{MachineConfig, MultiMachine, MultiRunStats};
 use workloads::InputSet;
 
@@ -42,7 +40,7 @@ pub const QUAD_CORE_MIXES: [[&str; 4]; 4] = [
 ];
 
 /// Runs one mix under one system kind; returns the multi-core stats.
-pub fn run_mix(lab: &mut Lab, names: &[&str], kind: SystemKind) -> MultiRunStats {
+pub fn run_mix(lab: &Lab, names: &[&str], kind: SystemKind) -> MultiRunStats {
     let setups = names
         .iter()
         .map(|n| {
@@ -66,31 +64,17 @@ pub fn run_mix(lab: &mut Lab, names: &[&str], kind: SystemKind) -> MultiRunStats
     mm.run(&traces)
 }
 
-/// Alone-run IPCs (single-core, same config, train input), memoised.
-fn alone_ipcs(
-    lab: &mut Lab,
-    memo: &mut HashMap<(String, SystemKind), f64>,
-    names: &[&str],
-    kind: SystemKind,
-) -> Vec<f64> {
+/// Alone-run IPCs (single-core, same config, train input); memoised by
+/// the lab's process-wide run cache.
+fn alone_ipcs(lab: &Lab, names: &[&str], kind: SystemKind) -> Vec<f64> {
     names
         .iter()
-        .map(|n| {
-            let key = (n.to_string(), kind);
-            if let Some(v) = memo.get(&key) {
-                return *v;
-            }
-            let art = lab.artifacts(n);
-            let t = lab.trace(n, InputSet::Train);
-            let ipc = run_system(kind, t, &art).ipc();
-            memo.insert(key, ipc);
-            ipc
-        })
+        .map(|n| lab.run_on(n, InputSet::Train, kind).ipc())
         .collect()
 }
 
 fn multicore_report<const N: usize>(
-    lab: &mut Lab,
+    lab: &Lab,
     title: &str,
     mixes: &[[&str; N]],
     paper_note: &str,
@@ -102,7 +86,6 @@ fn multicore_report<const N: usize>(
         (SystemKind::GhbAlone, "ghb"),
         (SystemKind::StreamDbp, "dbp"),
     ];
-    let mut memo = HashMap::new();
     let mut headers = vec!["mix".to_string()];
     for (_, l) in kinds.iter().skip(1) {
         headers.push(format!("{l} WS gain"));
@@ -114,7 +97,7 @@ fn multicore_report<const N: usize>(
     let mut bus_ratio = Vec::new();
     for mix in mixes {
         let names: Vec<&str> = mix.to_vec();
-        let base_alone = alone_ipcs(lab, &mut memo, &names, SystemKind::StreamOnly);
+        let base_alone = alone_ipcs(lab, &names, SystemKind::StreamOnly);
         let base = run_mix(lab, &names, SystemKind::StreamOnly);
         let base_ws = base.weighted_speedup(&base_alone);
         let base_hs = base.hmean_speedup(&base_alone);
@@ -129,8 +112,7 @@ fn multicore_report<const N: usize>(
             cells.push(f2(ws / base_ws));
             if *kind == SystemKind::StreamEcdpThrottled {
                 hs_gains.push(r.hmean_speedup(&base_alone) / base_hs);
-                let ratio =
-                    r.total_bus_transfers as f64 / base.total_bus_transfers.max(1) as f64;
+                let ratio = r.total_bus_transfers as f64 / base.total_bus_transfers.max(1) as f64;
                 bus_ratio.push(ratio);
             }
         }
@@ -154,7 +136,7 @@ fn multicore_report<const N: usize>(
 }
 
 /// Figure 14: dual-core weighted speedup and bus traffic.
-pub fn fig14(lab: &mut Lab) -> String {
+pub fn fig14(lab: &Lab) -> String {
     let mixes: Vec<[&str; 2]> = DUAL_CORE_MIXES.iter().map(|(a, b)| [*a, *b]).collect();
     multicore_report(
         lab,
@@ -167,7 +149,7 @@ pub fn fig14(lab: &mut Lab) -> String {
 }
 
 /// Figure 15: 4-core case studies.
-pub fn fig15(lab: &mut Lab) -> String {
+pub fn fig15(lab: &Lab) -> String {
     multicore_report(
         lab,
         "Figure 15 — 4-core results",

@@ -13,7 +13,7 @@ use crate::Lab;
 
 /// Figure 1: performance of the stream prefetcher (top) and the potential
 /// of ideal LDS prefetching (bottom).
-pub fn fig01(lab: &mut Lab) -> String {
+pub fn fig01(lab: &Lab) -> String {
     let mut t = Table::new(vec![
         "bench",
         "stream speedup vs no-pf",
@@ -54,7 +54,7 @@ pub fn fig01(lab: &mut Lab) -> String {
 
 /// Figure 2 + Table 1: the original CDP problem — performance loss and
 /// bandwidth explosion, with per-benchmark CDP accuracy.
-pub fn fig02_tab01(lab: &mut Lab) -> String {
+pub fn fig02_tab01(lab: &Lab) -> String {
     let mut t = Table::new(vec![
         "bench",
         "CDP speedup vs stream",
@@ -91,11 +91,20 @@ pub fn fig02_tab01(lab: &mut Lab) -> String {
 }
 
 /// Figure 4: breakdown of pointer groups into beneficial and harmful.
-pub fn fig04(lab: &mut Lab) -> String {
-    let mut t = Table::new(vec!["bench", "beneficial PGs", "harmful PGs", "% beneficial"]);
+pub fn fig04(lab: &Lab) -> String {
+    let mut t = Table::new(vec![
+        "bench",
+        "beneficial PGs",
+        "harmful PGs",
+        "% beneficial",
+    ]);
     for name in POINTER_BENCHES {
         let (b, h) = lab.profile(name).counts();
-        let pctb = if b + h == 0 { 0.0 } else { 100.0 * b as f64 / (b + h) as f64 };
+        let pctb = if b + h == 0 {
+            0.0
+        } else {
+            100.0 * b as f64 / (b + h) as f64
+        };
         t.row(vec![
             name.to_string(),
             b.to_string(),
@@ -112,7 +121,7 @@ pub fn fig04(lab: &mut Lab) -> String {
 
 /// Figure 7 + Table 6: the main result — performance and bandwidth of CDP,
 /// ECDP, CDP+throttling and ECDP+throttling over the stream baseline.
-pub fn fig07_tab06(lab: &mut Lab) -> String {
+pub fn fig07_tab06(lab: &Lab) -> String {
     let kinds = [
         SystemKind::StreamCdp,
         SystemKind::StreamEcdp,
@@ -120,7 +129,12 @@ pub fn fig07_tab06(lab: &mut Lab) -> String {
         SystemKind::StreamEcdpThrottled,
     ];
     let mut t = Table::new(vec![
-        "bench", "cdp", "ecdp", "cdp+thr", "ecdp+thr", "ΔBPKI ecdp+thr",
+        "bench",
+        "cdp",
+        "ecdp",
+        "cdp+thr",
+        "ecdp+thr",
+        "ΔBPKI ecdp+thr",
     ]);
     let mut per_kind: Vec<Vec<(&str, f64)>> = vec![Vec::new(); kinds.len()];
     let mut bw = Vec::new();
@@ -139,14 +153,21 @@ pub fn fig07_tab06(lab: &mut Lab) -> String {
         bw.push(ours.bpki() / base.bpki().max(1e-9));
         t.row(cells);
     }
-    let mut out = format!("## Figure 7 + Table 6 — main results (speedup vs stream baseline)\n\n{}\n", t.to_markdown());
+    let mut out = format!(
+        "## Figure 7 + Table 6 — main results (speedup vs stream baseline)\n\n{}\n",
+        t.to_markdown()
+    );
     let labels = ["CDP", "ECDP", "CDP+throttle", "ECDP+throttle"];
     let mut chart_items = vec![("baseline", 1.0f64)];
     let mut gmeans = Vec::new();
     for (k, label) in labels.iter().enumerate() {
         let (w, wo) = gmean_with_without_health(&per_kind[k]);
         gmeans.push(w);
-        out.push_str(&format!("{label}: gmean {} ({} w/o health)\n", pct(w), pct(wo)));
+        out.push_str(&format!(
+            "{label}: gmean {} ({} w/o health)\n",
+            pct(w),
+            pct(wo)
+        ));
     }
     for (label, g) in labels.iter().zip(&gmeans) {
         chart_items.push((label, *g));
@@ -170,16 +191,16 @@ pub fn fig07_tab06(lab: &mut Lab) -> String {
 }
 
 /// Figure 8: prefetcher accuracy under each configuration.
-pub fn fig08(lab: &mut Lab) -> String {
+pub fn fig08(lab: &Lab) -> String {
     accuracy_coverage_report(lab, true)
 }
 
 /// Figure 9: prefetcher coverage under each configuration.
-pub fn fig09(lab: &mut Lab) -> String {
+pub fn fig09(lab: &Lab) -> String {
     accuracy_coverage_report(lab, false)
 }
 
-fn accuracy_coverage_report(lab: &mut Lab, accuracy: bool) -> String {
+fn accuracy_coverage_report(lab: &Lab, accuracy: bool) -> String {
     let kinds = [
         (SystemKind::StreamCdp, "cdp"),
         (SystemKind::StreamEcdp, "ecdp"),
@@ -232,21 +253,27 @@ fn accuracy_coverage_report(lab: &mut Lab, accuracy: bool) -> String {
          means: CDP {what} cdp={:.2} ecdp={:.2} cdp+thr={:.2} ecdp+thr={:.2};\n\
          stream {what} cdp={:.2} ecdp={:.2} cdp+thr={:.2} ecdp+thr={:.2}\n{paper_line}\n",
         t.to_markdown(),
-        sums[0] / n, sums[1] / n, sums[2] / n, sums[3] / n,
-        sums[4] / n, sums[5] / n, sums[6] / n, sums[7] / n,
+        sums[0] / n,
+        sums[1] / n,
+        sums[2] / n,
+        sums[3] / n,
+        sums[4] / n,
+        sums[5] / n,
+        sums[6] / n,
+        sums[7] / n,
     )
 }
 
 /// Figure 10: distribution of pointer-group usefulness, original CDP vs
 /// ECDP (measured on the evaluation run).
-pub fn fig10(lab: &mut Lab) -> String {
+pub fn fig10(lab: &Lab) -> String {
     let mut cdp_hist = [0usize; 4];
     let mut ecdp_hist = [0usize; 4];
     for name in POINTER_BENCHES {
         let art = lab.artifacts(name);
         let trace = lab.trace(name, InputSet::Ref);
-        let (_, pc) = ecdp::system::run_system_profiled(SystemKind::StreamCdp, trace, &art);
-        let (_, pe) = ecdp::system::run_system_profiled(SystemKind::StreamEcdp, trace, &art);
+        let (_, pc) = ecdp::system::run_system_profiled(SystemKind::StreamCdp, &trace, &art);
+        let (_, pe) = ecdp::system::run_system_profiled(SystemKind::StreamEcdp, &trace, &art);
         for (h, p) in [(&mut cdp_hist, pc), (&mut ecdp_hist, pe)] {
             let hh = p.usefulness_histogram();
             for i in 0..4 {
@@ -290,7 +317,7 @@ pub fn tab07() -> String {
 }
 
 /// §6.1.6: sensitivity of ECDP to the profiling input set.
-pub fn sec616(lab: &mut Lab) -> String {
+pub fn sec616(lab: &Lab) -> String {
     let mut t = Table::new(vec![
         "bench",
         "speedup (train profile)",

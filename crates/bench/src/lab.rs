@@ -1,14 +1,74 @@
-//! Caching layer for experiment composition: traces, compiler artifacts and
-//! single-core run results are computed once per process.
+//! Thread-safe caching layer for experiment composition.
+//!
+//! A [`Lab`] memoizes workload traces, train-input profiles, compiler
+//! artifacts and single-core run results behind `Arc<OnceLock>` cells, so
+//! each is computed **exactly once per process** no matter how many
+//! figures request it or how many worker threads run concurrently
+//! (concurrent requesters of the same cell block on the leader instead of
+//! recomputing). `Lab` is `Clone + Send + Sync`; clones share the same
+//! cache, which is what the parallel sweep executor in [`crate::sweep`]
+//! relies on.
 
 use std::collections::HashMap;
+use std::hash::Hash;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
 
 use ecdp::profile::{profile_workload, PgProfile};
 use ecdp::system::{run_system, CompilerArtifacts, SystemKind};
 use sim_core::{RunStats, Trace};
 use workloads::{by_name, InputSet};
 
-/// A memoising experiment context.
+use crate::manifest::{Manifest, RunRecord};
+
+/// A concurrent compute-once map: the first requester of a key runs the
+/// initializer, every other concurrent requester blocks until the value
+/// is ready, and later requesters get the cached clone.
+struct OnceMap<K, V> {
+    inner: Mutex<HashMap<K, Arc<OnceLock<V>>>>,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> OnceMap<K, V> {
+    fn new() -> Self {
+        OnceMap {
+            inner: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn get_or_init(&self, key: &K, f: impl FnOnce() -> V) -> V {
+        let cell = {
+            let mut map = self.inner.lock().unwrap();
+            map.entry(key.clone()).or_default().clone()
+        };
+        // The map lock is released here: a slow initializer only blocks
+        // requesters of the *same* key, never the whole cache.
+        cell.get_or_init(f).clone()
+    }
+
+    fn len(&self) -> usize {
+        self.inner.lock().unwrap().len()
+    }
+
+    /// All initialized entries (skips cells still being computed).
+    fn snapshot(&self) -> Vec<(K, V)> {
+        let map = self.inner.lock().unwrap();
+        map.iter()
+            .filter_map(|(k, cell)| cell.get().map(|v| (k.clone(), v.clone())))
+            .collect()
+    }
+}
+
+struct LabShared {
+    traces: OnceMap<(String, InputSet), Arc<Trace>>,
+    profiles: OnceMap<String, Arc<PgProfile>>,
+    artifacts: OnceMap<String, Arc<CompilerArtifacts>>,
+    /// Run result plus the wall-clock milliseconds of the fresh compute.
+    runs: OnceMap<(String, InputSet, SystemKind), (RunStats, f64)>,
+    verbose: bool,
+}
+
+/// A memoizing, thread-safe experiment context.
 ///
 /// # Example
 ///
@@ -16,18 +76,14 @@ use workloads::{by_name, InputSet};
 /// use bench::Lab;
 /// use ecdp::system::SystemKind;
 ///
-/// let mut lab = Lab::new();
+/// let lab = Lab::new();
 /// let base = lab.run("mst", SystemKind::StreamOnly).ipc();
 /// let ours = lab.run("mst", SystemKind::StreamEcdpThrottled).ipc();
 /// println!("speedup: {:.2}", ours / base);
 /// ```
+#[derive(Clone)]
 pub struct Lab {
-    traces: HashMap<(String, InputSet), Trace>,
-    profiles: HashMap<String, PgProfile>,
-    artifacts: HashMap<String, CompilerArtifacts>,
-    runs: HashMap<(String, SystemKind), RunStats>,
-    /// When true, prints one progress line per fresh simulation to stderr.
-    pub verbose: bool,
+    shared: Arc<LabShared>,
 }
 
 impl Default for Lab {
@@ -37,49 +93,53 @@ impl Default for Lab {
 }
 
 impl Lab {
-    /// Creates an empty lab.
+    /// Creates an empty lab. Set `BENCH_VERBOSE` in the environment for
+    /// one progress line per fresh simulation on stderr.
     pub fn new() -> Self {
         Lab {
-            traces: HashMap::new(),
-            profiles: HashMap::new(),
-            artifacts: HashMap::new(),
-            runs: HashMap::new(),
-            verbose: std::env::var_os("BENCH_VERBOSE").is_some(),
+            shared: Arc::new(LabShared {
+                traces: OnceMap::new(),
+                profiles: OnceMap::new(),
+                artifacts: OnceMap::new(),
+                runs: OnceMap::new(),
+                verbose: std::env::var_os("BENCH_VERBOSE").is_some(),
+            }),
         }
     }
 
-    /// The (cached) trace for a workload and input set.
+    /// The (cached) trace for a workload and input set; generated at most
+    /// once per process.
     ///
     /// With `BENCH_TRACE_CACHE=<dir>` in the environment, traces are also
-    /// cached on disk in the `sim_core::trace_io` format — useful when many
-    /// per-figure binaries run as separate processes. The cache is keyed by
-    /// workload name and input set only; delete the directory after
-    /// changing workload generators.
+    /// cached on disk in the `sim_core::trace_io` format — useful when
+    /// many per-figure binaries run as separate processes. The cache is
+    /// keyed by workload name and input set only; delete the directory
+    /// after changing workload generators.
     ///
     /// # Panics
     ///
     /// Panics if `name` is not a known workload.
-    pub fn trace(&mut self, name: &str, input: InputSet) -> &Trace {
+    pub fn trace(&self, name: &str, input: InputSet) -> Arc<Trace> {
         let key = (name.to_string(), input);
-        if !self.traces.contains_key(&key) {
+        let shared = &self.shared;
+        shared.traces.get_or_init(&key, || {
             let disk = std::env::var_os("BENCH_TRACE_CACHE").map(|dir| {
-                let mut p = std::path::PathBuf::from(dir);
+                let mut p = PathBuf::from(dir);
                 p.push(format!("{name}-{input:?}.trc"));
                 p
             });
             if let Some(path) = disk.as_ref().filter(|p| p.exists()) {
                 if let Ok(f) = std::fs::File::open(path) {
                     if let Ok(t) = sim_core::trace_io::read(&mut std::io::BufReader::new(f)) {
-                        if self.verbose {
+                        if shared.verbose {
                             eprintln!("[lab] loaded {name} {input:?} from cache");
                         }
-                        self.traces.insert(key.clone(), t);
-                        return &self.traces[&key];
+                        return Arc::new(t);
                     }
                 }
             }
             let wl = by_name(name).unwrap_or_else(|| panic!("unknown workload {name}"));
-            if self.verbose {
+            if shared.verbose {
                 eprintln!("[lab] generating {name} {input:?}");
             }
             let t = wl.generate(input);
@@ -91,69 +151,149 @@ impl Lab {
                     let _ = sim_core::trace_io::write(&t, &mut std::io::BufWriter::new(f));
                 }
             }
-            self.traces.insert(key.clone(), t);
-        }
-        &self.traces[&key]
+            Arc::new(t)
+        })
     }
 
-    /// The (cached) pointer-group profile from the workload's train input.
-    pub fn profile(&mut self, name: &str) -> &PgProfile {
-        if !self.profiles.contains_key(name) {
-            let _ = self.trace(name, InputSet::Train);
-            let t = &self.traces[&(name.to_string(), InputSet::Train)];
-            if self.verbose {
+    /// The (cached) pointer-group profile from the workload's train
+    /// input; profiled at most once per process.
+    pub fn profile(&self, name: &str) -> Arc<PgProfile> {
+        let key = name.to_string();
+        self.shared.profiles.get_or_init(&key, || {
+            let t = self.trace(name, InputSet::Train);
+            if self.shared.verbose {
                 eprintln!("[lab] profiling {name}");
             }
-            let p = profile_workload(t);
-            self.profiles.insert(name.to_string(), p);
-        }
-        &self.profiles[name]
+            Arc::new(profile_workload(&t))
+        })
     }
 
     /// The (cached) compiler artifacts derived from the train profile.
-    pub fn artifacts(&mut self, name: &str) -> CompilerArtifacts {
-        if !self.artifacts.contains_key(name) {
-            let p = self.profile(name).clone();
-            self.artifacts
-                .insert(name.to_string(), CompilerArtifacts::from_profile(&p));
-        }
-        self.artifacts[name].clone()
+    pub fn artifacts(&self, name: &str) -> Arc<CompilerArtifacts> {
+        let key = name.to_string();
+        self.shared.artifacts.get_or_init(&key, || {
+            Arc::new(CompilerArtifacts::from_profile(&self.profile(name)))
+        })
+    }
+
+    /// Runs (or returns the cached run of) `name`'s `input` trace on
+    /// `kind`, using artifacts profiled from the train input.
+    pub fn run_on(&self, name: &str, input: InputSet, kind: SystemKind) -> RunStats {
+        let key = (name.to_string(), input, kind);
+        self.shared
+            .runs
+            .get_or_init(&key, || {
+                let art = self.artifacts(name);
+                let t = self.trace(name, input);
+                if self.shared.verbose {
+                    eprintln!("[lab] running {name} {input:?} on {}", kind.label());
+                }
+                let t0 = Instant::now();
+                let stats = run_system(kind, &t, &art);
+                (stats, t0.elapsed().as_secs_f64() * 1e3)
+            })
+            .0
     }
 
     /// Runs (or returns the cached run of) `name`'s ref input on `kind`.
-    pub fn run(&mut self, name: &str, kind: SystemKind) -> RunStats {
-        let key = (name.to_string(), kind);
-        if !self.runs.contains_key(&key) {
-            let art = self.artifacts(name);
-            let _ = self.trace(name, InputSet::Ref);
-            let t = &self.traces[&(name.to_string(), InputSet::Ref)];
-            if self.verbose {
-                eprintln!("[lab] running {name} on {}", kind.label());
-            }
-            let stats = run_system(kind, t, &art);
-            self.runs.insert(key.clone(), stats);
-        }
-        self.runs[&key].clone()
+    pub fn run(&self, name: &str, kind: SystemKind) -> RunStats {
+        self.run_on(name, InputSet::Ref, kind)
     }
 
     /// Speedup of `kind` over the stream-only baseline for one workload.
-    pub fn speedup(&mut self, name: &str, kind: SystemKind) -> f64 {
+    pub fn speedup(&self, name: &str, kind: SystemKind) -> f64 {
         let base = self.run(name, SystemKind::StreamOnly).ipc();
         self.run(name, kind).ipc() / base
     }
 
     /// BPKI ratio of `kind` versus the stream-only baseline.
-    pub fn bpki_ratio(&mut self, name: &str, kind: SystemKind) -> f64 {
+    pub fn bpki_ratio(&self, name: &str, kind: SystemKind) -> f64 {
         let base = self.run(name, SystemKind::StreamOnly).bpki();
         self.run(name, kind).bpki() / base.max(1e-9)
+    }
+
+    /// The [`RunRecord`] of one cached run, if it has been executed.
+    pub fn record_for(&self, name: &str, input: InputSet, kind: SystemKind) -> Option<RunRecord> {
+        let key = (name.to_string(), input, kind);
+        let map = self.shared.runs.inner.lock().unwrap();
+        let (stats, wall_ms) = map.get(&key)?.get()?.clone();
+        drop(map);
+        Some(RunRecord::new(name, input, kind, &stats, wall_ms))
+    }
+
+    /// Records of every run executed so far, sorted by
+    /// (workload, input, system) for deterministic manifests.
+    pub fn records(&self) -> Vec<RunRecord> {
+        let mut records: Vec<RunRecord> = self
+            .shared
+            .runs
+            .snapshot()
+            .into_iter()
+            .map(|((name, input, kind), (stats, wall_ms))| {
+                RunRecord::new(&name, input, kind, &stats, wall_ms)
+            })
+            .collect();
+        records.sort_by_key(RunRecord::sort_key);
+        records
+    }
+
+    /// Writes the manifest of every run executed so far to
+    /// `target/lab/<name>.json` (see [`Manifest::write`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_manifest(&self, name: &str) -> std::io::Result<PathBuf> {
+        Manifest {
+            name: name.to_string(),
+            records: self.records(),
+        }
+        .write()
     }
 }
 
 impl std::fmt::Debug for Lab {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Lab")
-            .field("traces", &self.traces.len())
-            .field("runs", &self.runs.len())
+            .field("traces", &self.shared.traces.len())
+            .field("runs", &self.shared.runs.len())
             .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn once_map_computes_once_across_threads() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let map: OnceMap<u32, u64> = OnceMap::new();
+        let calls = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for k in 0..16u32 {
+                        let v = map.get_or_init(&k, || {
+                            calls.fetch_add(1, Ordering::SeqCst);
+                            u64::from(k) * 3
+                        });
+                        assert_eq!(v, u64::from(k) * 3);
+                    }
+                });
+            }
+        });
+        assert_eq!(calls.load(Ordering::SeqCst), 16, "one compute per key");
+        assert_eq!(map.len(), 16);
+        assert_eq!(map.snapshot().len(), 16);
+    }
+
+    #[test]
+    fn lab_is_send_sync_and_clone_shares_state() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Lab>();
+        let lab = Lab::new();
+        let clone = lab.clone();
+        assert!(Arc::ptr_eq(&lab.shared, &clone.shared));
     }
 }

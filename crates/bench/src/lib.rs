@@ -3,16 +3,37 @@
 //! Every table and figure of the paper's evaluation has a generator
 //! function in [`experiments`]; the `bin/` binaries are thin wrappers, and
 //! `bin/run_all` regenerates the complete `EXPERIMENTS.md`. The [`Lab`]
-//! caches workload traces, profiling artifacts and run results within a
-//! process so composite reports do not repeat simulations.
+//! is a thread-safe cache of workload traces, profiling artifacts and run
+//! results, so composite reports never repeat a simulation and the
+//! [`sweep`] executor can fan cells out across worker threads. Every run
+//! also leaves a [`manifest::RunRecord`] behind; binaries write the
+//! collected records to `target/lab/<name>.json` for the regression
+//! tests.
 
 pub mod chart;
 pub mod experiments;
 pub mod lab;
+pub mod manifest;
+pub mod sweep;
 pub mod table;
 
 pub use lab::Lab;
+pub use manifest::{Manifest, RunRecord};
+pub use sweep::{default_jobs, SweepCell, SweepPlan};
 pub use table::Table;
+
+/// Runs one report generator against a fresh [`Lab`], prints the report,
+/// and writes the run manifest to `target/lab/<name>.json`.
+///
+/// This is the shared entry point of the thin per-figure binaries.
+pub fn run_report(name: &str, generate: impl FnOnce(&Lab) -> String) {
+    let lab = Lab::new();
+    print!("{}", generate(&lab));
+    match lab.write_manifest(name) {
+        Ok(path) => eprintln!("[lab] manifest: {}", path.display()),
+        Err(e) => eprintln!("[lab] manifest write failed: {e}"),
+    }
+}
 
 /// Geometric mean of a slice of positive ratios.
 ///

@@ -1,0 +1,240 @@
+//! Run-manifest observability layer.
+//!
+//! Every simulated cell — a (workload, input set, system) triple — yields
+//! a [`RunRecord`]: the machine-config hash, the full
+//! [`StatsSummary`](sim_core::StatsSummary) (IPC, BPKI, per-prefetcher
+//! accuracy/coverage, ...) and the wall time of the fresh simulation.
+//! Figure and section binaries bundle their records into a [`Manifest`]
+//! written to `target/lab/<name>.json`, which the regression tests (and
+//! any external tooling) consume instead of re-parsing report text.
+//!
+//! Records are deterministic: two runs of the same build produce
+//! byte-identical manifests except for the `wall_ms` fields.
+
+use std::path::PathBuf;
+
+use ecdp::system::SystemKind;
+use sim_core::{Json, MachineConfig, RunStats, StatsSummary};
+use workloads::InputSet;
+
+/// Hash of the default machine configuration, recorded in every
+/// [`RunRecord`] so stale manifests are detectable after config changes.
+///
+/// FNV-1a over the `Debug` rendering of [`MachineConfig::default`]: not
+/// cryptographic, but any field change changes the hash.
+pub fn config_hash() -> u64 {
+    let rendered = format!("{:?}", MachineConfig::default());
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in rendered.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// The outcome of one simulated cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunRecord {
+    /// Workload name (as accepted by `workloads::by_name`).
+    pub workload: String,
+    /// Input set, lower-cased (`"train"` / `"ref"` / `"test"`).
+    pub input: String,
+    /// System label (see `SystemKind::label`).
+    pub system: String,
+    /// Hash of the machine configuration the run used.
+    pub config_hash: u64,
+    /// Wall-clock milliseconds of the fresh simulation (the only
+    /// non-deterministic field; compare with [`RunRecord::same_metrics`]).
+    pub wall_ms: f64,
+    /// Full deterministic statistics summary.
+    pub stats: StatsSummary,
+}
+
+impl RunRecord {
+    /// Builds a record from a finished run.
+    pub fn new(
+        workload: &str,
+        input: InputSet,
+        kind: SystemKind,
+        stats: &RunStats,
+        wall_ms: f64,
+    ) -> Self {
+        RunRecord {
+            workload: workload.to_string(),
+            input: format!("{input:?}").to_lowercase(),
+            system: kind.label().to_string(),
+            config_hash: config_hash(),
+            wall_ms,
+            stats: stats.summary(),
+        }
+    }
+
+    /// Sort key giving manifests a stable record order.
+    pub fn sort_key(&self) -> (String, String, String) {
+        (
+            self.workload.clone(),
+            self.input.clone(),
+            self.system.clone(),
+        )
+    }
+
+    /// Deterministic equality: every field except `wall_ms`.
+    pub fn same_metrics(&self, other: &RunRecord) -> bool {
+        self.workload == other.workload
+            && self.input == other.input
+            && self.system == other.system
+            && self.config_hash == other.config_hash
+            && self.stats == other.stats
+    }
+
+    /// JSON form (field order is part of the manifest format).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("workload", Json::Str(self.workload.clone())),
+            ("input", Json::Str(self.input.clone())),
+            ("system", Json::Str(self.system.clone())),
+            // Hex string: a full 64-bit hash is not exactly representable
+            // as a JSON number (f64 has 53 mantissa bits).
+            (
+                "config_hash",
+                Json::Str(format!("{:016x}", self.config_hash)),
+            ),
+            ("wall_ms", Json::Num(self.wall_ms)),
+            ("stats", self.stats.to_json()),
+        ])
+    }
+
+    /// Parses a record produced by [`RunRecord::to_json`].
+    pub fn from_json(j: &Json) -> Option<Self> {
+        Some(RunRecord {
+            workload: j.get("workload")?.as_str()?.to_string(),
+            input: j.get("input")?.as_str()?.to_string(),
+            system: j.get("system")?.as_str()?.to_string(),
+            config_hash: u64::from_str_radix(j.get("config_hash")?.as_str()?, 16).ok()?,
+            wall_ms: j.get("wall_ms")?.as_f64()?,
+            stats: StatsSummary::from_json(j.get("stats")?).ok()?,
+        })
+    }
+}
+
+/// A named collection of run records, serialized to `target/lab/`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Manifest {
+    /// Manifest name; also the output file stem.
+    pub name: String,
+    /// Records in stable (workload, input, system) order.
+    pub records: Vec<RunRecord>,
+}
+
+impl Manifest {
+    /// JSON form of the whole manifest.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", Json::Str(self.name.clone())),
+            ("schema_version", Json::Num(1.0)),
+            (
+                "records",
+                Json::Arr(self.records.iter().map(RunRecord::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Parses manifest text written by [`Manifest::write`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message on malformed JSON or a record
+    /// missing required fields.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let j = Json::parse(text)?;
+        let name = j
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("manifest missing name")?
+            .to_string();
+        let mut records = Vec::new();
+        for (i, r) in j
+            .get("records")
+            .and_then(Json::as_arr)
+            .ok_or("manifest missing records")?
+            .iter()
+            .enumerate()
+        {
+            records.push(RunRecord::from_json(r).ok_or_else(|| format!("bad record {i}"))?);
+        }
+        Ok(Manifest { name, records })
+    }
+
+    /// The directory manifests are written to: `$BENCH_LAB_DIR` if set,
+    /// else `target/lab` relative to the current directory.
+    pub fn out_dir() -> PathBuf {
+        std::env::var_os("BENCH_LAB_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("target").join("lab"))
+    }
+
+    /// Writes the manifest to `<out_dir>/<name>.json` and returns the
+    /// path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write(&self) -> std::io::Result<PathBuf> {
+        let dir = Self::out_dir();
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{}.json", self.name));
+        std::fs::write(&path, self.to_json().to_string_pretty())?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_record(wall_ms: f64) -> RunRecord {
+        let stats = RunStats::default();
+        RunRecord::new(
+            "mst",
+            InputSet::Ref,
+            SystemKind::StreamEcdpThrottled,
+            &stats,
+            wall_ms,
+        )
+    }
+
+    #[test]
+    fn record_roundtrips_through_json() {
+        let r = sample_record(12.5);
+        let parsed = RunRecord::from_json(&r.to_json()).unwrap();
+        assert_eq!(r, parsed);
+        assert_eq!(parsed.input, "ref");
+        assert_eq!(parsed.system, SystemKind::StreamEcdpThrottled.label());
+    }
+
+    #[test]
+    fn same_metrics_ignores_wall_time_only() {
+        let a = sample_record(1.0);
+        let mut b = sample_record(99.0);
+        assert!(a.same_metrics(&b));
+        b.stats.cycles += 1;
+        assert!(!a.same_metrics(&b));
+    }
+
+    #[test]
+    fn manifest_roundtrips_and_is_deterministic() {
+        let m = Manifest {
+            name: "unit".to_string(),
+            records: vec![sample_record(3.0), sample_record(4.0)],
+        };
+        let text = m.to_json().to_string_pretty();
+        assert_eq!(text, m.to_json().to_string_pretty());
+        let parsed = Manifest::parse(&text).unwrap();
+        assert_eq!(m, parsed);
+    }
+
+    #[test]
+    fn config_hash_is_stable_within_process() {
+        assert_eq!(config_hash(), config_hash());
+    }
+}

@@ -1,0 +1,207 @@
+//! Parallel sweep executor.
+//!
+//! A [`SweepPlan`] is an explicit list of (workload, input set, system)
+//! cells. [`SweepPlan::run`] executes the cells on a scoped-thread worker
+//! pool against a shared [`Lab`], which memoizes traces, profiles and
+//! runs behind compute-once cells — so each trace is generated and
+//! profiled exactly once per process even when many cells (or many
+//! concurrent sweeps) need it.
+//!
+//! Results come back as [`RunRecord`]s in **plan order** regardless of
+//! thread count, and all metric fields are identical at any `jobs` value
+//! (only `wall_ms` may differ); the determinism regression test in
+//! `crates/bench/tests` pins this down.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use ecdp::system::SystemKind;
+use workloads::InputSet;
+
+use crate::lab::Lab;
+use crate::manifest::{Manifest, RunRecord};
+
+/// One simulation cell of a sweep.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SweepCell {
+    /// Workload name (as accepted by `workloads::by_name`).
+    pub workload: String,
+    /// Input set the measured trace comes from.
+    pub input: InputSet,
+    /// System configuration to run.
+    pub system: SystemKind,
+}
+
+/// An ordered list of cells to execute, possibly in parallel.
+#[derive(Debug, Clone, Default)]
+pub struct SweepPlan {
+    /// Name used for the manifest file stem.
+    pub name: String,
+    /// Cells in result order.
+    pub cells: Vec<SweepCell>,
+}
+
+impl SweepPlan {
+    /// An empty plan.
+    pub fn new(name: impl Into<String>) -> Self {
+        SweepPlan {
+            name: name.into(),
+            cells: Vec::new(),
+        }
+    }
+
+    /// The full cross product of workloads × systems on one input set.
+    pub fn cross(
+        name: impl Into<String>,
+        workloads: &[&str],
+        input: InputSet,
+        systems: &[SystemKind],
+    ) -> Self {
+        let mut plan = SweepPlan::new(name);
+        for &w in workloads {
+            for &s in systems {
+                plan.push(w, input, s);
+            }
+        }
+        plan
+    }
+
+    /// Appends one cell.
+    pub fn push(&mut self, workload: &str, input: InputSet, system: SystemKind) {
+        self.cells.push(SweepCell {
+            workload: workload.to_string(),
+            input,
+            system,
+        });
+    }
+
+    /// Keeps only cells whose workload name or system label contains
+    /// `needle` (case-sensitive substring).
+    pub fn filtered(mut self, needle: &str) -> Self {
+        self.cells
+            .retain(|c| c.workload.contains(needle) || c.system.contains_label(needle));
+        self
+    }
+
+    /// Executes every cell against `lab` on up to `jobs` worker threads
+    /// and returns one record per cell, in plan order.
+    ///
+    /// Cells are claimed from a shared atomic counter, so a slow cell
+    /// never stalls unrelated workers; duplicate cells hit the lab cache
+    /// and simulate only once.
+    pub fn run(&self, lab: &Lab, jobs: usize) -> Vec<RunRecord> {
+        let n = self.cells.len();
+        let workers = jobs.clamp(1, n.max(1));
+        let next = AtomicUsize::new(0);
+        let mut slots: Vec<std::sync::OnceLock<RunRecord>> = Vec::new();
+        slots.resize_with(n, std::sync::OnceLock::new);
+
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let cell = &self.cells[i];
+                    lab.run_on(&cell.workload, cell.input, cell.system);
+                    let record = lab
+                        .record_for(&cell.workload, cell.input, cell.system)
+                        .expect("run_on populated the cache");
+                    let _ = slots[i].set(record);
+                });
+            }
+        });
+
+        slots
+            .into_iter()
+            .map(|s| s.into_inner().expect("every claimed cell stored a record"))
+            .collect()
+    }
+
+    /// Runs the plan and writes its manifest to
+    /// `target/lab/<name>.json`; returns the records and the path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors from the manifest write.
+    pub fn run_and_write(
+        &self,
+        lab: &Lab,
+        jobs: usize,
+    ) -> std::io::Result<(Vec<RunRecord>, std::path::PathBuf)> {
+        let records = self.run(lab, jobs);
+        let path = Manifest {
+            name: self.name.clone(),
+            records: records.clone(),
+        }
+        .write()?;
+        Ok((records, path))
+    }
+}
+
+/// The worker-thread count to use by default: `$BENCH_JOBS` if set to a
+/// positive integer, else the machine's available parallelism.
+pub fn default_jobs() -> usize {
+    if let Some(v) = std::env::var_os("BENCH_JOBS") {
+        if let Some(n) = v.to_str().and_then(|s| s.trim().parse::<usize>().ok()) {
+            if n > 0 {
+                return n;
+            }
+        }
+        eprintln!("[sweep] ignoring invalid BENCH_JOBS={v:?}");
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Case-sensitive substring match helper on system labels.
+trait LabelContains {
+    fn contains_label(&self, needle: &str) -> bool;
+}
+
+impl LabelContains for SystemKind {
+    fn contains_label(&self, needle: &str) -> bool {
+        self.label().contains(needle)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_builds_full_product() {
+        let plan = SweepPlan::cross(
+            "t",
+            &["mst", "em3d"],
+            InputSet::Train,
+            &[SystemKind::NoPrefetch, SystemKind::StreamOnly],
+        );
+        assert_eq!(plan.cells.len(), 4);
+        assert_eq!(plan.cells[0].workload, "mst");
+        assert_eq!(plan.cells[3].system, SystemKind::StreamOnly);
+    }
+
+    #[test]
+    fn filter_matches_workload_or_system() {
+        let plan = SweepPlan::cross(
+            "t",
+            &["mst", "em3d"],
+            InputSet::Train,
+            &[SystemKind::NoPrefetch, SystemKind::StreamOnly],
+        );
+        let by_wl = plan.clone().filtered("mst");
+        assert_eq!(by_wl.cells.len(), 2);
+        assert!(by_wl.cells.iter().all(|c| c.workload == "mst"));
+        let by_sys = plan.filtered(SystemKind::StreamOnly.label());
+        assert_eq!(by_sys.cells.len(), 2);
+        assert!(by_sys
+            .cells
+            .iter()
+            .all(|c| c.system == SystemKind::StreamOnly));
+    }
+
+    #[test]
+    fn default_jobs_is_positive() {
+        assert!(default_jobs() >= 1);
+    }
+}

@@ -1,0 +1,147 @@
+//! Golden-stats regression test: a small fixed sweep through the
+//! parallel executor must reproduce the checked-in snapshot in
+//! `tests/golden/smoke.json` (repo root) within tight tolerances.
+//!
+//! The simulator is fully deterministic, so integer counters must match
+//! exactly; derived floats (IPC, BPKI, accuracy, coverage) are compared
+//! at 1e-9 relative tolerance to allow for their round-trip through the
+//! JSON text format.
+//!
+//! To regenerate after an *intentional* behaviour change:
+//!
+//! ```sh
+//! BENCH_UPDATE_GOLDEN=1 cargo test -p bench --test golden_stats
+//! ```
+
+use std::path::PathBuf;
+
+use bench::{Lab, Manifest, RunRecord, SweepPlan};
+use ecdp::system::SystemKind;
+use workloads::InputSet;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden/smoke.json")
+}
+
+/// The pinned sweep: three contrasting workloads (CDP-hostile `mst`,
+/// CDP-friendly `health`, streaming `libquantum`) across the baseline,
+/// unfiltered CDP and the full proposal.
+fn golden_plan() -> SweepPlan {
+    SweepPlan::cross(
+        "golden-smoke",
+        &["mst", "health", "libquantum"],
+        InputSet::Test,
+        &[
+            SystemKind::StreamOnly,
+            SystemKind::StreamCdp,
+            SystemKind::StreamEcdpThrottled,
+        ],
+    )
+}
+
+fn close(a: f64, b: f64, what: &str, ctx: &str) {
+    let tol = 1e-9 * a.abs().max(b.abs()).max(1.0);
+    assert!(
+        (a - b).abs() <= tol,
+        "{ctx}: {what} drifted from golden {a} to {b}"
+    );
+}
+
+#[test]
+fn sweep_matches_golden_snapshot() {
+    let mut records = golden_plan().run(&Lab::new(), 2);
+    // Zero the only nondeterministic field so an update writes a clean,
+    // reviewable diff.
+    for r in &mut records {
+        r.wall_ms = 0.0;
+    }
+
+    let path = golden_path();
+    if std::env::var_os("BENCH_UPDATE_GOLDEN").is_some() {
+        let manifest = Manifest {
+            name: "golden-smoke".to_string(),
+            records,
+        };
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, manifest.to_json().to_string_pretty()).unwrap();
+        eprintln!("updated golden snapshot at {}", path.display());
+        return;
+    }
+
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {} ({e}); run with BENCH_UPDATE_GOLDEN=1 to create it",
+            path.display()
+        )
+    });
+    let golden = Manifest::parse(&text).expect("golden snapshot parses");
+    assert_eq!(
+        golden.records.len(),
+        records.len(),
+        "golden snapshot has a different cell count; regenerate it"
+    );
+
+    for (g, r) in golden.records.iter().zip(&records) {
+        let ctx = format!("{} {} {}", r.workload, r.input, r.system);
+        assert_eq!(g.workload, r.workload);
+        assert_eq!(g.input, r.input);
+        assert_eq!(g.system, r.system);
+        assert_eq!(
+            g.config_hash, r.config_hash,
+            "{ctx}: machine configuration changed since the snapshot; \
+             verify the change is intentional and regenerate the golden file"
+        );
+        compare_stats(g, r, &ctx);
+    }
+}
+
+fn compare_stats(g: &RunRecord, r: &RunRecord, ctx: &str) {
+    // Integer counters: the simulator is deterministic, so exact.
+    assert_eq!(g.stats.cycles, r.stats.cycles, "{ctx}: cycles");
+    assert_eq!(
+        g.stats.retired_instructions, r.stats.retired_instructions,
+        "{ctx}: retired_instructions"
+    );
+    assert_eq!(
+        g.stats.l2_demand_accesses, r.stats.l2_demand_accesses,
+        "{ctx}: l2_demand_accesses"
+    );
+    assert_eq!(
+        g.stats.l2_demand_misses, r.stats.l2_demand_misses,
+        "{ctx}: l2_demand_misses"
+    );
+    assert_eq!(
+        g.stats.l2_lds_misses, r.stats.l2_lds_misses,
+        "{ctx}: l2_lds_misses"
+    );
+    assert_eq!(
+        g.stats.bus_transfers, r.stats.bus_transfers,
+        "{ctx}: bus_transfers"
+    );
+    assert_eq!(g.stats.writebacks, r.stats.writebacks, "{ctx}: writebacks");
+
+    // Derived floats: tight relative tolerance.
+    close(g.stats.ipc, r.stats.ipc, "ipc", ctx);
+    close(g.stats.bpki, r.stats.bpki, "bpki", ctx);
+    close(g.stats.mpki, r.stats.mpki, "mpki", ctx);
+
+    assert_eq!(
+        g.stats.prefetchers.len(),
+        r.stats.prefetchers.len(),
+        "{ctx}: prefetcher count"
+    );
+    for (gp, rp) in g.stats.prefetchers.iter().zip(&r.stats.prefetchers) {
+        let pctx = format!("{ctx} / {}", rp.name);
+        assert_eq!(gp.name, rp.name, "{pctx}: name");
+        assert_eq!(gp.issued, rp.issued, "{pctx}: issued");
+        assert_eq!(gp.used, rp.used, "{pctx}: used");
+        assert_eq!(gp.late, rp.late, "{pctx}: late");
+        assert_eq!(gp.pollution, rp.pollution, "{pctx}: pollution");
+        assert_eq!(
+            gp.unused_evicted, rp.unused_evicted,
+            "{pctx}: unused_evicted"
+        );
+        close(gp.accuracy, rp.accuracy, "accuracy", &pctx);
+        close(gp.coverage, rp.coverage, "coverage", &pctx);
+    }
+}

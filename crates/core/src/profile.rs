@@ -58,9 +58,9 @@ impl PgProfile {
     /// True if `pg` is beneficial: majority (>50%) of its prefetches were
     /// useful, with at least `min_samples` resolved outcomes.
     pub fn is_beneficial(&self, pg: &PgTag) -> bool {
-        self.pgs.get(pg).is_some_and(|u| {
-            u.useful + u.useless >= self.min_samples && u.usefulness() > 0.5
-        })
+        self.pgs
+            .get(pg)
+            .is_some_and(|u| u.useful + u.useless >= self.min_samples && u.usefulness() > 0.5)
     }
 
     /// Counts of (beneficial, harmful) pointer groups — the paper's
@@ -169,7 +169,12 @@ impl PgCollector {
     #[allow(clippy::type_complexity)]
     pub fn new() -> (Self, Rc<RefCell<HashMap<PgTag, PgUsage>>>) {
         let map = Rc::new(RefCell::new(HashMap::new()));
-        (PgCollector { map: Rc::clone(&map) }, map)
+        (
+            PgCollector {
+                map: Rc::clone(&map),
+            },
+            map,
+        )
     }
 }
 
@@ -217,7 +222,12 @@ impl InformingCollector {
     #[allow(clippy::type_complexity)]
     pub fn new() -> (Self, Rc<RefCell<HashMap<PgTag, PgUsage>>>) {
         let map = Rc::new(RefCell::new(HashMap::new()));
-        (InformingCollector { map: Rc::clone(&map) }, map)
+        (
+            InformingCollector {
+                map: Rc::clone(&map),
+            },
+            map,
+        )
     }
 }
 
@@ -262,7 +272,10 @@ pub fn informing_profile(trace: &Trace) -> PgProfile {
     for u in pgs.values_mut() {
         u.useless = u.issued.saturating_sub(u.useful);
     }
-    PgProfile { pgs, min_samples: 4 }
+    PgProfile {
+        pgs,
+        min_samples: 4,
+    }
 }
 
 /// [`profile_workload`] with an explicit machine configuration.
@@ -281,7 +294,10 @@ pub fn profile_workload_with(trace: &Trace, config: MachineConfig) -> PgProfile 
     machine.set_observer(Box::new(collector));
     let _ = machine.run(trace);
     let pgs = handle.borrow().clone();
-    PgProfile { pgs, min_samples: 4 }
+    PgProfile {
+        pgs,
+        min_samples: 4,
+    }
 }
 
 #[cfg(test)]

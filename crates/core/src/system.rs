@@ -154,7 +154,10 @@ impl SystemKind {
 }
 
 fn stream() -> Box<StreamPrefetcher> {
-    Box::new(StreamPrefetcher::new(PrefetcherId(0), StreamConfig::default()))
+    Box::new(StreamPrefetcher::new(
+        PrefetcherId(0),
+        StreamConfig::default(),
+    ))
 }
 
 fn cdp(filter: Box<dyn ScanFilter>) -> Box<ContentDirectedPrefetcher> {
@@ -179,7 +182,9 @@ pub fn core_setup(kind: SystemKind, artifacts: &CompilerArtifacts) -> CoreSetup 
         }
         SystemKind::StreamEcdp => {
             setup.prefetchers.push(stream());
-            setup.prefetchers.push(cdp(Box::new(artifacts.hints.clone())));
+            setup
+                .prefetchers
+                .push(cdp(Box::new(artifacts.hints.clone())));
         }
         SystemKind::StreamCdpThrottled => {
             setup.prefetchers.push(stream());
@@ -188,15 +193,19 @@ pub fn core_setup(kind: SystemKind, artifacts: &CompilerArtifacts) -> CoreSetup 
         }
         SystemKind::StreamEcdpThrottled => {
             setup.prefetchers.push(stream());
-            setup.prefetchers.push(cdp(Box::new(artifacts.hints.clone())));
+            setup
+                .prefetchers
+                .push(cdp(Box::new(artifacts.hints.clone())));
             setup.throttle = Box::new(CoordinatedThrottle::default());
         }
         SystemKind::StreamDbp => {
             setup.prefetchers.push(stream());
-            setup.prefetchers.push(Box::new(DependenceBasedPrefetcher::new(
-                PrefetcherId(1),
-                DbpConfig::default(),
-            )));
+            setup
+                .prefetchers
+                .push(Box::new(DependenceBasedPrefetcher::new(
+                    PrefetcherId(1),
+                    DbpConfig::default(),
+                )));
         }
         SystemKind::StreamMarkov => {
             setup.prefetchers.push(stream());
@@ -216,24 +225,30 @@ pub fn core_setup(kind: SystemKind, artifacts: &CompilerArtifacts) -> CoreSetup 
                 PrefetcherId(0),
                 GhbConfig::default(),
             )));
-            setup.prefetchers.push(cdp(Box::new(artifacts.hints.clone())));
+            setup
+                .prefetchers
+                .push(cdp(Box::new(artifacts.hints.clone())));
             if kind == SystemKind::GhbEcdpThrottled {
                 setup.throttle = Box::new(CoordinatedThrottle::default());
             }
         }
         SystemKind::StreamCdpHwFilter | SystemKind::StreamCdpHwFilterThrottled => {
             setup.prefetchers.push(stream());
-            setup.prefetchers.push(Box::new(PollutionFilteredPrefetcher::new(
-                cdp(Box::new(AllowAll)),
-                FilterConfig::default(),
-            )));
+            setup
+                .prefetchers
+                .push(Box::new(PollutionFilteredPrefetcher::new(
+                    cdp(Box::new(AllowAll)),
+                    FilterConfig::default(),
+                )));
             if kind == SystemKind::StreamCdpHwFilterThrottled {
                 setup.throttle = Box::new(CoordinatedThrottle::default());
             }
         }
         SystemKind::StreamEcdpFdp => {
             setup.prefetchers.push(stream());
-            setup.prefetchers.push(cdp(Box::new(artifacts.hints.clone())));
+            setup
+                .prefetchers
+                .push(cdp(Box::new(artifacts.hints.clone())));
             setup.throttle = Box::new(FdpThrottle::default());
         }
         SystemKind::StreamEcdpPab => {
@@ -245,9 +260,9 @@ pub fn core_setup(kind: SystemKind, artifacts: &CompilerArtifacts) -> CoreSetup 
         }
         SystemKind::StreamGrpCdp => {
             setup.prefetchers.push(stream());
-            setup.prefetchers.push(cdp(Box::new(PerLoadGate::new(
-                artifacts.grp_loads.clone(),
-            ))));
+            setup
+                .prefetchers
+                .push(cdp(Box::new(PerLoadGate::new(artifacts.grp_loads.clone()))));
         }
         SystemKind::StreamLoadFilterCdp => {
             setup.prefetchers.push(stream());
@@ -256,7 +271,9 @@ pub fn core_setup(kind: SystemKind, artifacts: &CompilerArtifacts) -> CoreSetup 
             ))));
         }
         SystemKind::NextLineOnly => {
-            setup.prefetchers.push(Box::new(NextLinePrefetcher::new(PrefetcherId(0))));
+            setup
+                .prefetchers
+                .push(Box::new(NextLinePrefetcher::new(PrefetcherId(0))));
         }
         SystemKind::StrideOnly => {
             setup.prefetchers.push(Box::new(StridePrefetcher::new(
@@ -322,8 +339,29 @@ pub fn run_system_profiled(
     machine.set_observer(Box::new(collector));
     let stats = machine.run(trace);
     let pgs = handle.borrow().clone();
-    (stats, crate::profile::PgProfile { pgs, min_samples: 4 })
+    (
+        stats,
+        crate::profile::PgProfile {
+            pgs,
+            min_samples: 4,
+        },
+    )
 }
+
+// Thread-safety contract of the parallel experiment harness: the shared
+// *inputs and outputs* of `run_system` must be `Send + Sync` so a cached
+// trace/artifact can feed simulations on many worker threads at once. The
+// machine internals themselves (e.g. the `Rc<RefCell<_>>` collector used
+// by `run_system_profiled`) are deliberately single-threaded — each worker
+// builds its own `Machine` — and are *not* part of this contract.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Trace>();
+    assert_send_sync::<RunStats>();
+    assert_send_sync::<CompilerArtifacts>();
+    assert_send_sync::<crate::profile::PgProfile>();
+    assert_send_sync::<SystemKind>();
+};
 
 #[cfg(test)]
 mod tests {

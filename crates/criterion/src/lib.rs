@@ -1,0 +1,213 @@
+//! Offline stand-in for the subset of the `criterion` API this workspace
+//! uses.
+//!
+//! The build environment has no crates.io access, so the workspace
+//! `criterion` dev-dependency points here. Benchmarks compile and run
+//! (`cargo bench`) and report a simple mean wall-clock time per
+//! iteration; there is no statistical analysis, warm-up tuning, or HTML
+//! report. The measurement loop auto-scales the iteration count to
+//! roughly [`Criterion::measurement_time`].
+
+use std::time::{Duration, Instant};
+
+/// How batched inputs are sized (accepted and ignored).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Benchmark driver handed to `criterion_group!` functions.
+#[derive(Debug)]
+pub struct Criterion {
+    target_time: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            target_time: Duration::from_millis(400),
+            sample_size: 0,
+        }
+    }
+}
+
+fn report(name: &str, iters: u64, elapsed: Duration) {
+    let per_iter = elapsed.as_nanos() as f64 / iters.max(1) as f64;
+    let (value, unit) = if per_iter >= 1e9 {
+        (per_iter / 1e9, "s")
+    } else if per_iter >= 1e6 {
+        (per_iter / 1e6, "ms")
+    } else if per_iter >= 1e3 {
+        (per_iter / 1e3, "µs")
+    } else {
+        (per_iter, "ns")
+    };
+    println!("{name:<40} {value:>10.2} {unit}/iter  ({iters} iters)");
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            target_time: self.target_time,
+            min_iters: self.sample_size as u64,
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        report(name, b.iters, b.elapsed);
+        self
+    }
+
+    /// Starts a named group; the group's benchmarks are reported as
+    /// `group/name`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+            sample_size: 0,
+        }
+    }
+}
+
+/// A named collection of benchmarks (subset of criterion's group API).
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Lower-bounds the number of measured iterations.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            target_time: self.parent.target_time,
+            min_iters: self.sample_size as u64,
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        report(&format!("{}/{name}", self.name), b.iters, b.elapsed);
+        self
+    }
+
+    /// Ends the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Runs and times the measured routine.
+#[derive(Debug)]
+pub struct Bencher {
+    target_time: Duration,
+    min_iters: u64,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly until the target measurement time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            std::hint::black_box(routine());
+            iters += 1;
+            if iters >= self.min_iters.max(1) && start.elapsed() >= self.target_time {
+                break;
+            }
+            if iters >= 10_000_000 {
+                break;
+            }
+        }
+        self.iters = iters;
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` on fresh inputs from `setup` (setup time excluded).
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        let mut iters = 0u64;
+        let mut measured = Duration::ZERO;
+        let wall = Instant::now();
+        loop {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(routine(input));
+            measured += t.elapsed();
+            iters += 1;
+            if iters >= self.min_iters.max(1)
+                && (measured >= self.target_time || wall.elapsed() >= 4 * self.target_time)
+            {
+                break;
+            }
+            if iters >= 10_000_000 {
+                break;
+            }
+        }
+        self.iters = iters;
+        self.elapsed = measured;
+    }
+}
+
+/// Declares the benchmark entry list (subset: plain function names only).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn harness_runs() {
+        let mut c = Criterion {
+            target_time: Duration::from_millis(1),
+            sample_size: 0,
+        };
+        tiny(&mut c);
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| 3u32, |x| x * 2, BatchSize::SmallInput)
+        });
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(2);
+        g.bench_function("inner", |b| b.iter(|| ()));
+        g.finish();
+    }
+}

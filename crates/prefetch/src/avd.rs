@@ -207,7 +207,12 @@ mod tests {
             },
         );
         for pc in 0..50u32 {
-            access(&mut pf, pc, layout::HEAP_BASE + pc * 64, layout::HEAP_BASE + pc * 64 + 32);
+            access(
+                &mut pf,
+                pc,
+                layout::HEAP_BASE + pc * 64,
+                layout::HEAP_BASE + pc * 64 + 32,
+            );
         }
         assert!(pf.table.len() <= 5);
     }

@@ -405,13 +405,22 @@ mod tests {
                 trigger_pc: 0x100,
                 trigger_addr: block,
                 depth: 1,
-                pg: Some(PgTag { pc: 0x100, offset: 0 }),
+                pg: Some(PgTag {
+                    pc: 0x100,
+                    offset: 0,
+                }),
                 cycle: 0,
             },
         );
         let reqs = ctx.take_requests();
         assert_eq!(reqs.len(), 1);
         // Root PG attribution is inherited through the recursion.
-        assert_eq!(reqs[0].pg, Some(PgTag { pc: 0x100, offset: 0 }));
+        assert_eq!(
+            reqs[0].pg,
+            Some(PgTag {
+                pc: 0x100,
+                offset: 0
+            })
+        );
     }
 }

@@ -263,7 +263,13 @@ mod tests {
             },
         );
         for i in 0..10u32 {
-            load(&mut pf, &mem, PRODUCER, layout::HEAP_BASE + i * 4, layout::HEAP_BASE + 0x1000 + i);
+            load(
+                &mut pf,
+                &mem,
+                PRODUCER,
+                layout::HEAP_BASE + i * 4,
+                layout::HEAP_BASE + 0x1000 + i,
+            );
         }
         assert_eq!(pf.ppw.len(), 4);
     }

@@ -94,8 +94,10 @@ impl Prefetcher for GhbPrefetcher {
         let pos = self.history.len() - 1;
 
         // Current delta pair (d_{n-1}, d_n).
-        let (Some(d2), Some(d1)) = (self.delta(pos), pos.checked_sub(1).and_then(|p| self.delta(p)))
-        else {
+        let (Some(d2), Some(d1)) = (
+            self.delta(pos),
+            pos.checked_sub(1).and_then(|p| self.delta(p)),
+        ) else {
             return;
         };
 

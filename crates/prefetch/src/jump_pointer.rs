@@ -161,7 +161,9 @@ mod tests {
 
     /// A scattered traversal path (distinct blocks).
     fn path(n: usize) -> Vec<Addr> {
-        (0..n as u32).map(|i| layout::HEAP_BASE + i * 4096).collect()
+        (0..n as u32)
+            .map(|i| layout::HEAP_BASE + i * 4096)
+            .collect()
     }
 
     #[test]

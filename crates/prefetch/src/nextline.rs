@@ -103,7 +103,10 @@ mod tests {
     fn prefetches_sequential_blocks() {
         let mut pf = NextLinePrefetcher::new(PrefetcherId(0));
         let got = miss(&mut pf, 0x4000_0010);
-        assert_eq!(got, vec![0x4000_0040, 0x4000_0080, 0x4000_00C0, 0x4000_0100]);
+        assert_eq!(
+            got,
+            vec![0x4000_0040, 0x4000_0080, 0x4000_00C0, 0x4000_0100]
+        );
     }
 
     #[test]

@@ -92,7 +92,10 @@ impl StreamPrefetcher {
             level: Aggressiveness::Aggressive,
             streams: vec![
                 StreamEntry {
-                    state: StreamState::Training { first_block: 0, hits: 0 },
+                    state: StreamState::Training {
+                        first_block: 0,
+                        hits: 0
+                    },
                     dir: 1,
                     last_demand: 0,
                     frontier: 0,
@@ -316,7 +319,10 @@ mod tests {
         for i in 3..20u32 {
             total += access(&mut pf, &mem, base + i * 64, true).len();
         }
-        assert!(total > 10, "advancing stream should keep prefetching: {total}");
+        assert!(
+            total > 10,
+            "advancing stream should keep prefetching: {total}"
+        );
     }
 
     #[test]

@@ -1,0 +1,327 @@
+//! Offline stand-in for the subset of the `proptest` API this workspace
+//! uses.
+//!
+//! The build environment has no crates.io access, so the workspace
+//! `proptest` dev-dependency points here. The [`proptest!`] macro runs
+//! each property for a fixed number of deterministic cases (seeded from
+//! the test's module path and name, so failures reproduce exactly across
+//! runs and thread counts). There is **no shrinking**: a failing case
+//! reports its case index and generated inputs via the panic message.
+//!
+//! Supported surface:
+//!
+//! * `proptest! { #[test] fn name(x in strategy, ...) { ... } }`, with an
+//!   optional leading `#![proptest_config(ProptestConfig::with_cases(n))]`;
+//! * integer range strategies (`0u32..64`, `1usize..=8`, `-16i32..16`);
+//! * [`collection::vec`] with an exact size or a size range;
+//! * tuples of strategies up to arity 4;
+//! * [`any`] for integers and `bool`;
+//! * `prop_assert!` / `prop_assert_eq!` (panic-based).
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+pub mod collection;
+
+/// Everything a test file needs.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Any, Arbitrary, ProptestConfig,
+        Strategy, TestRng,
+    };
+}
+
+/// Run-count configuration (mirrors `proptest::test_runner::Config`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real proptest defaults to 256; 64 keeps the heavier
+        // simulator properties fast in debug test runs while still giving
+        // good coverage, since cases are deterministic (not fresh each run).
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// The deterministic RNG handed to strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// RNG for one case of one named property; stable across runs.
+    pub fn deterministic(test_name: &str, case: u64) -> Self {
+        // FNV-1a over the test name, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng(StdRng::seed_from_u64(
+            h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        ))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// A value generator (no shrinking).
+pub trait Strategy {
+    /// Generated value type.
+    type Value: std::fmt::Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rand::SampleRange::sample_one(self.clone(), rng)
+            }
+        }
+
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rand::SampleRange::sample_one(self.clone(), rng)
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty float range");
+                let u = <f64 as rand::Standard>::sample(rng) as $t;
+                self.start + u * (self.end - self.start)
+            }
+        }
+
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty float range");
+                let u = <f64 as rand::Standard>::sample(rng) as $t;
+                lo + u * (hi - lo)
+            }
+        }
+    )*};
+}
+
+impl_float_range_strategy!(f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+}
+
+/// Types with a canonical "anything" strategy.
+pub trait Arbitrary: Sized + std::fmt::Debug {
+    /// Draws a fully random value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                <$t as rand::Standard>::sample(rng)
+            }
+        }
+    )*};
+}
+
+impl_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool, f32, f64);
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The full-range strategy for `T` (`any::<u32>()` etc.).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Asserts a condition inside a property (panics with case context).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            panic!($($fmt)+);
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            a == b,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+            stringify!($a), stringify!($b), a, b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            panic!(
+                "{} (left: `{:?}`, right: `{:?}`)",
+                format!($($fmt)+), a, b
+            );
+        }
+    }};
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            a != b,
+            "assertion failed: `{} != {}` (both: `{:?}`)",
+            stringify!($a),
+            stringify!($b),
+            a
+        );
+    }};
+}
+
+/// Defines deterministic property tests. See the crate docs for the
+/// supported grammar.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { @cfg ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { @cfg ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::ProptestConfig = $cfg;
+            let test_name = concat!(module_path!(), "::", stringify!($name));
+            for case in 0..u64::from(cfg.cases) {
+                let mut __proptest_rng = $crate::TestRng::deterministic(test_name, case);
+                $(
+                    let $arg = $crate::Strategy::generate(&($strat), &mut __proptest_rng);
+                )+
+                let outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                    $body
+                }));
+                if let Err(payload) = outcome {
+                    eprintln!(
+                        "proptest case {case}/{} of {test_name} failed \
+                         (deterministic seed; rerun reproduces it)",
+                        cfg.cases
+                    );
+                    ::std::panic::resume_unwind(payload);
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(x in 3u32..10, y in 0usize..=4, z in -5i32..5) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(y <= 4);
+            prop_assert!((-5..5).contains(&z));
+        }
+
+        #[test]
+        fn vecs_obey_size(v in crate::collection::vec(0u8..4, 2..6), w in crate::collection::vec(any::<u32>(), 7)) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert_eq!(w.len(), 7);
+            prop_assert!(v.iter().all(|&x| x < 4));
+        }
+
+        #[test]
+        fn tuples_compose(t in (0u32..4, 1u8..3, 0usize..2)) {
+            let (a, b, c) = t;
+            prop_assert!(a < 4 && (1..3).contains(&b) && c < 2);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+        #[test]
+        fn config_override_applies(_x in 0u32..10) {
+            // Five cases only; nothing to assert beyond successful expansion.
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let a = Strategy::generate(&(0u64..u64::MAX), &mut TestRng::deterministic("t", 3));
+        let b = Strategy::generate(&(0u64..u64::MAX), &mut TestRng::deterministic("t", 3));
+        let c = Strategy::generate(&(0u64..u64::MAX), &mut TestRng::deterministic("t", 4));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

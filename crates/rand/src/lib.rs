@@ -1,0 +1,222 @@
+//! Offline stand-in for the subset of the `rand` 0.8 API this workspace
+//! uses.
+//!
+//! The build environment has no crates.io access, so the workspace
+//! `rand` dependency points here. Only the call surface the workloads and
+//! builders actually exercise is provided: [`rngs::StdRng`] seeded via
+//! [`SeedableRng::seed_from_u64`], the [`Rng`] extension methods
+//! (`gen`, `gen_range`, `gen_bool`) and [`seq::SliceRandom`]
+//! (`shuffle`, `choose`).
+//!
+//! The generator is SplitMix64 — deterministic, seed-stable and of ample
+//! quality for synthetic workload generation. Streams differ from the
+//! real `rand::rngs::StdRng` (ChaCha12), which only shifts which concrete
+//! synthetic inputs the workloads produce; all golden results in this
+//! repository were generated against this implementation.
+
+pub mod rngs;
+pub mod seq;
+
+/// Core random-number source: 64 random bits per step.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 random bits (upper half of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Seeding constructors (API-compatible with `rand::SeedableRng` for the
+/// forms used here).
+pub trait SeedableRng: Sized {
+    /// Seed type (fixed-width byte array in real `rand`).
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Constructs the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Constructs the generator from a 64-bit seed.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from all bit patterns (the role of
+/// `rand`'s `Standard` distribution).
+pub trait Standard: Sized {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// A range argument accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample_one<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_one<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let width = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % width;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_one<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let width = (hi as i128 - lo as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128) % width;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Convenience extension methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// A uniformly random value of `T`.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// A uniform value in `range` (half-open or inclusive).
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_one(self)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p out of range: {p}");
+        f64::sample(self) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::seq::SliceRandom;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let mut c = StdRng::seed_from_u64(43);
+        let (xa, xb, xc): (u64, u64, u64) = (a.gen(), b.gen(), c.gen());
+        assert_eq!(xa, xb);
+        assert_ne!(xa, xc);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v: u32 = rng.gen_range(10..20);
+            assert!((10..20).contains(&v));
+            let w: usize = rng.gen_range(3..=5);
+            assert!((3..=5).contains(&w));
+            let s: i32 = rng.gen_range(-16i32..16);
+            assert!((-16..16).contains(&s));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "a 100-element shuffle should move something");
+    }
+
+    #[test]
+    fn choose_from_slice() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let v = [1, 2, 3];
+        assert!(v.choose(&mut rng).is_some());
+        let empty: [u32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+
+    #[test]
+    fn f64_samples_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+}

@@ -149,7 +149,9 @@ impl MachineConfig {
     /// The minimum DRAM round-trip latency of this configuration, in cycles
     /// (controller overhead + row conflict + bus transfer).
     pub fn min_memory_latency(&self) -> u64 {
-        self.dram.controller_overhead + self.dram.row_conflict_cycles + self.dram.bus_transfer_cycles
+        self.dram.controller_overhead
+            + self.dram.row_conflict_cycles
+            + self.dram.bus_transfer_cycles
     }
 }
 

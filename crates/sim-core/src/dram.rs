@@ -181,9 +181,7 @@ impl Dram {
                         DramScheduling::FrFcfsDemandFirst => {
                             (row_hit, req.is_demand, u64::MAX - req.enqueue_cycle)
                         }
-                        DramScheduling::FrFcfs => {
-                            (row_hit, false, u64::MAX - req.enqueue_cycle)
-                        }
+                        DramScheduling::FrFcfs => (row_hit, false, u64::MAX - req.enqueue_cycle),
                         DramScheduling::Fcfs => (false, false, u64::MAX - req.enqueue_cycle),
                     };
                     if best.as_ref().is_none_or(|(_, bk)| key > *bk) {
@@ -385,10 +383,7 @@ mod tests {
         d.try_enqueue(read_req(b, true, 1)); // demand second
         let done = d.tick(2000);
         let first = done.iter().min_by_key(|c| c.finish_cycle).unwrap();
-        assert!(
-            !first.request.is_demand,
-            "FCFS must ignore demand priority"
-        );
+        assert!(!first.request.is_demand, "FCFS must ignore demand priority");
     }
 
     #[test]

@@ -73,7 +73,12 @@ pub(crate) struct CoreSim {
 }
 
 impl CoreSim {
-    pub(crate) fn new(core_id: u8, cfg: MachineConfig, trace: &Trace, num_prefetchers: usize) -> Self {
+    pub(crate) fn new(
+        core_id: u8,
+        cfg: MachineConfig,
+        trace: &Trace,
+        num_prefetchers: usize,
+    ) -> Self {
         let l1 = Cache::new(cfg.l1);
         let l2 = Cache::new(cfg.l2);
         let mshrs = MshrFile::new(cfg.l2_mshrs);
@@ -99,7 +104,9 @@ impl CoreSim {
             pf_queue: VecDeque::new(),
             pollution: vec![None; POLLUTION_FILTER_ENTRIES],
             pending_writebacks: VecDeque::new(),
-            counters: (0..num_prefetchers).map(|_| FeedbackCounters::default()).collect(),
+            counters: (0..num_prefetchers)
+                .map(|_| FeedbackCounters::default())
+                .collect(),
             misses_smoothed: 0.0,
             cur_misses: 0,
             last_interval_evictions: 0,
@@ -181,7 +188,13 @@ impl CoreSim {
 
     /// Fills a block into the L1, folding a dirty victim into the L2.
     fn fill_l1(&mut self, addr: Addr, dirty: bool) {
-        if let Some(victim) = self.l1.fill(addr, LineState { dirty, ..Default::default() }) {
+        if let Some(victim) = self.l1.fill(
+            addr,
+            LineState {
+                dirty,
+                ..Default::default()
+            },
+        ) {
             if victim.state.dirty {
                 if let Some(line) = self.l2.access(victim.block_addr) {
                     line.dirty = true;
@@ -313,7 +326,9 @@ impl CoreSim {
         let mut budget = self.cfg.core.retire_width;
         let mut retired = 0;
         while budget > 0 {
-            let Some(head) = self.window.front_mut() else { break };
+            let Some(head) = self.window.front_mut() else {
+                break;
+            };
             if self.completed[head.op_idx as usize] > now {
                 break;
             }
@@ -734,9 +749,17 @@ impl CoreSim {
             .iter()
             .zip(prefetchers.iter())
             .map(|(c, p)| {
-                let accuracy = if c.prefetched > 0.0 { c.used / c.prefetched } else { 1.0 };
+                let accuracy = if c.prefetched > 0.0 {
+                    c.used / c.prefetched
+                } else {
+                    1.0
+                };
                 let cov_denom = c.timely + self.misses_smoothed;
-                let coverage = if cov_denom > 0.0 { c.timely / cov_denom } else { 0.0 };
+                let coverage = if cov_denom > 0.0 {
+                    c.timely / cov_denom
+                } else {
+                    0.0
+                };
                 let lateness = if c.used > 0.0 { c.late / c.used } else { 0.0 };
                 let pollution = if self.misses_smoothed > 0.0 {
                     c.pollution / self.misses_smoothed
@@ -926,7 +949,13 @@ impl Machine {
                 core.apply_completion(&completion, now, &mut self.prefetchers, observer.as_mut());
                 activity = true;
             }
-            activity |= core.step(ops, now, &mut dram, &mut self.prefetchers, observer.as_mut());
+            activity |= core.step(
+                ops,
+                now,
+                &mut dram,
+                &mut self.prefetchers,
+                observer.as_mut(),
+            );
             activity |= core.issue_to_dram(&mut dram, now, observer.as_mut());
             core.maybe_end_interval(&mut self.prefetchers, self.throttle.as_mut());
 
@@ -1022,7 +1051,11 @@ mod tests {
         tb.setup(|m| {
             for i in 0..n as u32 {
                 let node = base + i * stride;
-                let next = if (i as usize) < n - 1 { base + (i + 1) * stride } else { 0 };
+                let next = if (i as usize) < n - 1 {
+                    base + (i + 1) * stride
+                } else {
+                    0
+                };
                 m.write_u32(node, next);
             }
         });
@@ -1090,7 +1123,11 @@ mod tests {
         let mut m = Machine::new(MachineConfig::default());
         let stats = m.run(&trace);
         assert_eq!(stats.l2_demand_misses, 1);
-        assert!(stats.ipc() > 0.5, "hit-dominated IPC too low: {}", stats.ipc());
+        assert!(
+            stats.ipc() > 0.5,
+            "hit-dominated IPC too low: {}",
+            stats.ipc()
+        );
         // Early loads issue before the first fill arrives and merge in the
         // MSHRs; the steady state is all L1 hits.
         assert!(stats.l1_hits > 800, "l1 hits {}", stats.l1_hits);
@@ -1108,7 +1145,11 @@ mod tests {
         assert_eq!(stats.retired_instructions, 4000);
         // Retire width 4 bounds IPC at 4.
         assert!(stats.ipc() <= 4.0 + 1e-9);
-        assert!(stats.ipc() > 3.0, "compute IPC {} should near retire width", stats.ipc());
+        assert!(
+            stats.ipc() > 3.0,
+            "compute IPC {} should near retire width",
+            stats.ipc()
+        );
     }
 
     #[test]
@@ -1186,6 +1227,9 @@ mod tests {
         let mut m = Machine::new(MachineConfig::default());
         let stats = m.run(&trace);
         assert!(stats.writebacks > 0, "dirty evictions expected");
-        assert!(stats.bus_transfers > blocks as u64, "writebacks add bus traffic");
+        assert!(
+            stats.bus_transfers > blocks as u64,
+            "writebacks add bus traffic"
+        );
     }
 }

@@ -52,6 +52,7 @@ pub mod cache;
 pub mod config;
 pub mod dram;
 pub mod engine;
+pub mod json;
 pub mod mshr;
 pub mod multicore;
 pub mod prefetcher;
@@ -64,12 +65,13 @@ pub use cache::{Cache, CacheConfig, LineState};
 pub use config::{CoreConfig, DramConfig, DramScheduling, MachineConfig, RowPolicy};
 pub use dram::Dram;
 pub use engine::Machine;
+pub use json::Json;
 pub use multicore::{CoreSetup, MultiMachine, MultiRunStats};
 pub use prefetcher::{
     AccessKind, Aggressiveness, DemandAccess, FillEvent, NullObserver, PgTag, PrefetchCtx,
     PrefetchObserver, PrefetchRequest, Prefetcher, PrefetcherId, PrefetcherKind,
 };
-pub use stats::{PrefetcherStats, RunStats};
+pub use stats::{PrefetcherStats, PrefetcherSummary, RunStats, StatsSummary};
 pub use throttling::{IntervalFeedback, ThrottleDecision, ThrottlePolicy};
 pub use trace::{OpKind, Trace, TraceBuilder, TraceOp};
 

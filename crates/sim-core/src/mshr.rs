@@ -169,7 +169,12 @@ mod tests {
     fn merge_state_tracks_waiters() {
         let mut m = MshrFile::new(1);
         let s = m
-            .alloc(0x0, AccessKind::Prefetch(crate::prefetcher::PrefetcherId(1)), 0, 0)
+            .alloc(
+                0x0,
+                AccessKind::Prefetch(crate::prefetcher::PrefetcherId(1)),
+                0,
+                0,
+            )
             .unwrap();
         let e = m.get_mut(s);
         e.waiters.push(7);

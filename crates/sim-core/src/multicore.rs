@@ -266,7 +266,12 @@ mod tests {
         };
         let mut mm = MultiMachine::new(
             cfg,
-            vec![CoreSetup::bare(), CoreSetup::bare(), CoreSetup::bare(), CoreSetup::bare()],
+            vec![
+                CoreSetup::bare(),
+                CoreSetup::bare(),
+                CoreSetup::bare(),
+                CoreSetup::bare(),
+            ],
         );
         let traces: Vec<Trace> = (0..4).map(|i| stream_trace(500, i * 0x100_0000)).collect();
         let r = mm.run(&traces);

@@ -1,4 +1,8 @@
-//! End-of-run statistics.
+//! End-of-run statistics, plus a stable serializable summary
+//! ([`StatsSummary`]) consumed by the experiment-lab manifests and the
+//! golden-stats regression tests.
+
+use crate::json::Json;
 
 /// Per-prefetcher outcome statistics for one run.
 #[derive(Debug, Clone, Default)]
@@ -139,6 +143,197 @@ impl RunStats {
     }
 }
 
+/// Stable, flat, serializable per-prefetcher summary.
+///
+/// This is the *schema contract* for run manifests and golden snapshots:
+/// add fields only at the end, never rename or reorder, so checked-in
+/// golden JSON stays comparable across refactors of [`PrefetcherStats`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrefetcherSummary {
+    /// Prefetcher display name.
+    pub name: String,
+    /// Prefetch requests issued (bandwidth consumed).
+    pub issued: u64,
+    /// Prefetches used by demand requests.
+    pub used: u64,
+    /// Used prefetches that arrived late.
+    pub late: u64,
+    /// Demand misses caused by this prefetcher's evictions.
+    pub pollution: u64,
+    /// Prefetched blocks evicted without use.
+    pub unused_evicted: u64,
+    /// Lifetime accuracy (used / issued).
+    pub accuracy: f64,
+    /// Lifetime coverage given the run's demand misses.
+    pub coverage: f64,
+}
+
+/// Stable, flat, serializable summary of a [`RunStats`].
+///
+/// Same schema contract as [`PrefetcherSummary`]: append-only.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsSummary {
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Instructions retired.
+    pub retired_instructions: u64,
+    /// Instructions per cycle.
+    pub ipc: f64,
+    /// Bus transfers per thousand instructions.
+    pub bpki: f64,
+    /// Demand misses per thousand instructions.
+    pub mpki: f64,
+    /// Demand accesses that reached the L2.
+    pub l2_demand_accesses: u64,
+    /// Demand accesses that missed in the L2.
+    pub l2_demand_misses: u64,
+    /// Demand misses on LDS-marked loads.
+    pub l2_lds_misses: u64,
+    /// Off-chip bus block transfers.
+    pub bus_transfers: u64,
+    /// Dirty L2 evictions written back.
+    pub writebacks: u64,
+    /// Per-prefetcher summaries, in registration order.
+    pub prefetchers: Vec<PrefetcherSummary>,
+}
+
+impl RunStats {
+    /// The stable summary of this run.
+    pub fn summary(&self) -> StatsSummary {
+        StatsSummary {
+            cycles: self.cycles,
+            retired_instructions: self.retired_instructions,
+            ipc: self.ipc(),
+            bpki: self.bpki(),
+            mpki: self.mpki(),
+            l2_demand_accesses: self.l2_demand_accesses,
+            l2_demand_misses: self.l2_demand_misses,
+            l2_lds_misses: self.l2_lds_misses,
+            bus_transfers: self.bus_transfers,
+            writebacks: self.writebacks,
+            prefetchers: self
+                .prefetchers
+                .iter()
+                .map(|p| PrefetcherSummary {
+                    name: p.name.clone(),
+                    issued: p.issued,
+                    used: p.used,
+                    late: p.late,
+                    pollution: p.pollution,
+                    unused_evicted: p.unused_evicted,
+                    accuracy: p.accuracy(),
+                    coverage: p.coverage(self.l2_demand_misses),
+                })
+                .collect(),
+        }
+    }
+}
+
+fn u64_field(v: &Json, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("missing or non-integer field '{key}'"))
+}
+
+fn f64_field(v: &Json, key: &str) -> Result<f64, String> {
+    v.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("missing or non-numeric field '{key}'"))
+}
+
+impl PrefetcherSummary {
+    /// Serializes to a JSON object (field order fixed).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", Json::Str(self.name.clone())),
+            ("issued", Json::Num(self.issued as f64)),
+            ("used", Json::Num(self.used as f64)),
+            ("late", Json::Num(self.late as f64)),
+            ("pollution", Json::Num(self.pollution as f64)),
+            ("unused_evicted", Json::Num(self.unused_evicted as f64)),
+            ("accuracy", Json::Num(self.accuracy)),
+            ("coverage", Json::Num(self.coverage)),
+        ])
+    }
+
+    /// Parses [`PrefetcherSummary::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the missing/mistyped field.
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        Ok(PrefetcherSummary {
+            name: v
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or("missing prefetcher name")?
+                .to_string(),
+            issued: u64_field(v, "issued")?,
+            used: u64_field(v, "used")?,
+            late: u64_field(v, "late")?,
+            pollution: u64_field(v, "pollution")?,
+            unused_evicted: u64_field(v, "unused_evicted")?,
+            accuracy: f64_field(v, "accuracy")?,
+            coverage: f64_field(v, "coverage")?,
+        })
+    }
+}
+
+impl StatsSummary {
+    /// Serializes to a JSON object (field order fixed).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("cycles", Json::Num(self.cycles as f64)),
+            (
+                "retired_instructions",
+                Json::Num(self.retired_instructions as f64),
+            ),
+            ("ipc", Json::Num(self.ipc)),
+            ("bpki", Json::Num(self.bpki)),
+            ("mpki", Json::Num(self.mpki)),
+            (
+                "l2_demand_accesses",
+                Json::Num(self.l2_demand_accesses as f64),
+            ),
+            ("l2_demand_misses", Json::Num(self.l2_demand_misses as f64)),
+            ("l2_lds_misses", Json::Num(self.l2_lds_misses as f64)),
+            ("bus_transfers", Json::Num(self.bus_transfers as f64)),
+            ("writebacks", Json::Num(self.writebacks as f64)),
+            (
+                "prefetchers",
+                Json::Arr(self.prefetchers.iter().map(|p| p.to_json()).collect()),
+            ),
+        ])
+    }
+
+    /// Parses [`StatsSummary::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the missing/mistyped field.
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        Ok(StatsSummary {
+            cycles: u64_field(v, "cycles")?,
+            retired_instructions: u64_field(v, "retired_instructions")?,
+            ipc: f64_field(v, "ipc")?,
+            bpki: f64_field(v, "bpki")?,
+            mpki: f64_field(v, "mpki")?,
+            l2_demand_accesses: u64_field(v, "l2_demand_accesses")?,
+            l2_demand_misses: u64_field(v, "l2_demand_misses")?,
+            l2_lds_misses: u64_field(v, "l2_lds_misses")?,
+            bus_transfers: u64_field(v, "bus_transfers")?,
+            writebacks: u64_field(v, "writebacks")?,
+            prefetchers: v
+                .get("prefetchers")
+                .and_then(Json::as_arr)
+                .ok_or("missing prefetchers array")?
+                .iter()
+                .map(PrefetcherSummary::from_json)
+                .collect::<Result<_, _>>()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -175,6 +370,33 @@ mod tests {
         assert!((l.mean() - 200.0).abs() < 1e-12);
         assert_eq!(l.max_cycles, 300);
         assert_eq!(l.count, 2);
+    }
+
+    #[test]
+    fn summary_roundtrips_through_json() {
+        let s = RunStats {
+            cycles: 1000,
+            retired_instructions: 2000,
+            bus_transfers: 50,
+            l2_demand_misses: 60,
+            prefetchers: vec![PrefetcherStats {
+                name: "stream".to_string(),
+                issued: 100,
+                used: 40,
+                late: 3,
+                pollution: 1,
+                unused_evicted: 7,
+            }],
+            ..Default::default()
+        };
+        let summary = s.summary();
+        assert!((summary.ipc - 2.0).abs() < 1e-12);
+        let back =
+            StatsSummary::from_json(&Json::parse(&summary.to_json().to_string_pretty()).unwrap())
+                .unwrap();
+        assert_eq!(summary, back);
+        assert_eq!(back.prefetchers[0].name, "stream");
+        assert!((back.prefetchers[0].accuracy - 0.4).abs() < 1e-12);
     }
 
     #[test]

@@ -107,10 +107,7 @@ impl TraceBuilder {
     ///
     /// Panics if timed operations have already been recorded.
     pub fn setup(&mut self, f: impl FnOnce(&mut SimMemory)) {
-        assert!(
-            self.ops.is_empty(),
-            "setup must precede timed operations"
-        );
+        assert!(self.ops.is_empty(), "setup must precede timed operations");
         f(&mut self.mem);
     }
 

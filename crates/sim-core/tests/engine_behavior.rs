@@ -178,7 +178,11 @@ fn throttle_decisions_are_applied_to_prefetchers() {
     }));
     let s = m.run(&trace);
     assert!(s.intervals >= 3, "intervals must elapse: {}", s.intervals);
-    assert_eq!(u64::from(calls.get()), s.intervals, "policy called per interval");
+    assert_eq!(
+        u64::from(calls.get()),
+        s.intervals,
+        "policy called per interval"
+    );
     assert_eq!(
         m.prefetcher(id).aggressiveness(),
         Aggressiveness::VeryConservative,

@@ -468,7 +468,10 @@ mod tests {
         }
         assert_ne!(any, 0);
         let d0 = mem.read_u32(any + HashTable::DATA_OFFSET);
-        assert!(layout::in_heap(d0), "data word should be a satellite pointer");
+        assert!(
+            layout::in_heap(d0),
+            "data word should be a satellite pointer"
+        );
     }
 
     #[test]

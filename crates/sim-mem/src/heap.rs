@@ -20,7 +20,11 @@ pub struct HeapExhausted {
 
 impl std::fmt::Display for HeapExhausted {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "simulated heap exhausted allocating {} bytes", self.requested)
+        write!(
+            f,
+            "simulated heap exhausted allocating {} bytes",
+            self.requested
+        )
     }
 }
 
@@ -124,7 +128,9 @@ impl Heap {
             }
         }
         let addr = self.brk;
-        let end = addr.checked_add(size).ok_or(HeapExhausted { requested: size })?;
+        let end = addr
+            .checked_add(size)
+            .ok_or(HeapExhausted { requested: size })?;
         if end > self.limit {
             return Err(HeapExhausted { requested: size });
         }

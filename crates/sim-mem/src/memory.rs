@@ -265,7 +265,10 @@ mod tests {
         }
         let mut buf = [0u8; 64];
         mem.read_block(base + 20, &mut buf); // any addr in block
-        assert_eq!(u32::from_le_bytes(buf[0..4].try_into().unwrap()), 0x4000_0000);
+        assert_eq!(
+            u32::from_le_bytes(buf[0..4].try_into().unwrap()),
+            0x4000_0000
+        );
         let words = mem.read_block_words(base + 63);
         assert_eq!(words[15], 0x4000_000F);
     }

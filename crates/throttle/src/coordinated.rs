@@ -81,7 +81,12 @@ impl CoordinatedThrottle {
     }
 
     /// The Table 3 decision for one prefetcher.
-    fn decide(&self, own_coverage: f64, own_accuracy: f64, rival_coverage: f64) -> ThrottleDecision {
+    fn decide(
+        &self,
+        own_coverage: f64,
+        own_accuracy: f64,
+        rival_coverage: f64,
+    ) -> ThrottleDecision {
         let cov_high = own_coverage >= self.thresholds.coverage;
         if cov_high {
             // Case 1.

@@ -124,19 +124,34 @@ mod tests {
 
     #[test]
     fn accurate_and_timely_keeps() {
-        assert_eq!(p().adjust(&[fb(0.9, 0.0, 0.0)]), vec![ThrottleDecision::Keep]);
+        assert_eq!(
+            p().adjust(&[fb(0.9, 0.0, 0.0)]),
+            vec![ThrottleDecision::Keep]
+        );
     }
 
     #[test]
     fn inaccurate_always_throttles_down() {
-        assert_eq!(p().adjust(&[fb(0.1, 0.0, 0.0)]), vec![ThrottleDecision::Down]);
-        assert_eq!(p().adjust(&[fb(0.1, 0.9, 0.9)]), vec![ThrottleDecision::Down]);
+        assert_eq!(
+            p().adjust(&[fb(0.1, 0.0, 0.0)]),
+            vec![ThrottleDecision::Down]
+        );
+        assert_eq!(
+            p().adjust(&[fb(0.1, 0.9, 0.9)]),
+            vec![ThrottleDecision::Down]
+        );
     }
 
     #[test]
     fn medium_accuracy_polluting_throttles_down() {
-        assert_eq!(p().adjust(&[fb(0.5, 0.5, 0.5)]), vec![ThrottleDecision::Down]);
-        assert_eq!(p().adjust(&[fb(0.5, 0.0, 0.5)]), vec![ThrottleDecision::Down]);
+        assert_eq!(
+            p().adjust(&[fb(0.5, 0.5, 0.5)]),
+            vec![ThrottleDecision::Down]
+        );
+        assert_eq!(
+            p().adjust(&[fb(0.5, 0.0, 0.5)]),
+            vec![ThrottleDecision::Down]
+        );
     }
 
     #[test]

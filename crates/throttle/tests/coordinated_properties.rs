@@ -1,0 +1,130 @@
+//! Property tests for the coordinated throttling heuristic (paper §4.2).
+//!
+//! Two invariants of the Table 3 decision rule, checked over the whole
+//! input space rather than the hand-picked cases in the unit tests:
+//!
+//! 1. driving a prefetcher's aggressiveness with the decisions can never
+//!    leave the four Table 2 levels — `Up`/`Down` saturate at the ends
+//!    and every step moves at most one level;
+//! 2. at fixed own/rival coverage, the decision is monotone in the
+//!    deciding prefetcher's own accuracy (more accurate never throttles
+//!    harder).
+
+use proptest::prelude::*;
+
+use sim_core::{Aggressiveness, IntervalFeedback, ThrottleDecision, ThrottlePolicy};
+use throttle::CoordinatedThrottle;
+
+fn fb(coverage: f64, accuracy: f64, level: Aggressiveness) -> IntervalFeedback {
+    IntervalFeedback {
+        accuracy,
+        coverage,
+        lateness: 0.0,
+        pollution: 0.0,
+        level,
+    }
+}
+
+/// Orders decisions by how aggressive they leave the prefetcher:
+/// `Down` < `Keep` < `Up`.
+fn rank(d: ThrottleDecision) -> u8 {
+    match d {
+        ThrottleDecision::Down => 0,
+        ThrottleDecision::Keep => 1,
+        ThrottleDecision::Up => 2,
+    }
+}
+
+fn apply(level: Aggressiveness, d: ThrottleDecision) -> Aggressiveness {
+    match d {
+        ThrottleDecision::Up => level.up(),
+        ThrottleDecision::Down => level.down(),
+        ThrottleDecision::Keep => level,
+    }
+}
+
+proptest! {
+    /// A multi-interval walk driven by the policy stays inside the four
+    /// Table 2 levels, saturating at the ends, and never jumps levels.
+    #[test]
+    fn decisions_never_leave_table2_levels(
+        start in 0usize..4,
+        intervals in proptest::collection::vec(
+            (0.0f64..1.0, 0.0f64..1.0, 0.0f64..1.0), 1..64),
+    ) {
+        let mut policy = CoordinatedThrottle::default();
+        let mut level = Aggressiveness::ALL[start];
+        for (own_cov, own_acc, rival_cov) in intervals {
+            let d = policy.adjust(&[
+                fb(own_cov, own_acc, level),
+                fb(rival_cov, 0.5, Aggressiveness::Moderate),
+            ]);
+            let next = apply(level, d[0]);
+            prop_assert!(Aggressiveness::ALL.contains(&next));
+            prop_assert!(
+                next.index().abs_diff(level.index()) <= 1,
+                "level jumped from {level:?} to {next:?}"
+            );
+            if level == Aggressiveness::Aggressive {
+                prop_assert!(next <= level, "Up must saturate at Aggressive");
+            }
+            if level == Aggressiveness::VeryConservative {
+                prop_assert!(next >= level, "Down must saturate at VeryConservative");
+            }
+            level = next;
+        }
+    }
+
+    /// At fixed own and rival coverage, raising the deciding prefetcher's
+    /// accuracy never produces a *less* aggressive decision (Table 3 rows
+    /// 2→5/3 order).
+    #[test]
+    fn decision_is_monotone_in_own_accuracy(
+        own_cov in 0.0f64..1.0,
+        rival_cov in 0.0f64..1.0,
+        acc_lo in 0.0f64..1.0,
+        acc_hi in 0.0f64..1.0,
+    ) {
+        let (acc_lo, acc_hi) = if acc_lo <= acc_hi {
+            (acc_lo, acc_hi)
+        } else {
+            (acc_hi, acc_lo)
+        };
+        let mut policy = CoordinatedThrottle::default();
+        let d_lo = policy.adjust(&[
+            fb(own_cov, acc_lo, Aggressiveness::Moderate),
+            fb(rival_cov, 0.5, Aggressiveness::Moderate),
+        ])[0];
+        let d_hi = policy.adjust(&[
+            fb(own_cov, acc_hi, Aggressiveness::Moderate),
+            fb(rival_cov, 0.5, Aggressiveness::Moderate),
+        ])[0];
+        prop_assert!(
+            rank(d_lo) <= rank(d_hi),
+            "accuracy {acc_lo:.3} -> {d_lo:?} but {acc_hi:.3} -> {d_hi:?} \
+             (cov {own_cov:.3}, rival {rival_cov:.3})"
+        );
+    }
+
+    /// The decision depends only on the three Table 3 inputs — not on the
+    /// current aggressiveness level (the paper's rule is memoryless).
+    #[test]
+    fn decision_ignores_current_level(
+        own_cov in 0.0f64..1.0,
+        own_acc in 0.0f64..1.0,
+        rival_cov in 0.0f64..1.0,
+        level_a in 0usize..4,
+        level_b in 0usize..4,
+    ) {
+        let mut policy = CoordinatedThrottle::default();
+        let a = policy.adjust(&[
+            fb(own_cov, own_acc, Aggressiveness::ALL[level_a]),
+            fb(rival_cov, 0.5, Aggressiveness::Moderate),
+        ])[0];
+        let b = policy.adjust(&[
+            fb(own_cov, own_acc, Aggressiveness::ALL[level_b]),
+            fb(rival_cov, 0.5, Aggressiveness::Moderate),
+        ])[0];
+        prop_assert_eq!(a, b);
+    }
+}

@@ -46,7 +46,7 @@ impl Workload for Pfast {
         let mut c = Ctx::new(0xFA57, input);
         let buckets = c.scale(input, 2048, 4096) as u32;
         let kmers = c.scale(input, 35_000, 45_000) as u32;
-        let reads = c.scale(input, 8_000, 30_000);
+        let reads = c.iters(input, 2_000, 8_000, 30_000);
         let genome_words = c.scale(input, 100_000, 250_000) as u32;
 
         let mut table = None;
@@ -55,7 +55,10 @@ impl Workload for Pfast {
             let heap = &mut c.heap;
             let rng = &mut c.rng;
             c.tb.setup(|mem| {
-                table = Some(builders::build_hash_table_with_ratio(mem, heap, buckets, kmers, 1, 0.4, rng).unwrap());
+                table = Some(
+                    builders::build_hash_table_with_ratio(mem, heap, buckets, kmers, 1, 0.4, rng)
+                        .unwrap(),
+                );
                 genome = heap.alloc(genome_words * 4).unwrap();
                 for i in 0..genome_words {
                     mem.write_u32(genome + i * 4, rng.gen());
@@ -79,7 +82,8 @@ impl Workload for Pfast {
                 if k == key && !extended {
                     // Promising candidate: dereference its position record
                     // and extend along the reference (short stream).
-                    let (pos, pid) = c.tb.load(pfast_pc::POS, node + HashTable::DATA_OFFSET, Some(kid));
+                    let (pos, pid) =
+                        c.tb.load(pfast_pc::POS, node + HashTable::DATA_OFFSET, Some(kid));
                     if pos != 0 {
                         let (_, _) = c.tb.load(pfast_pc::POS, pos, Some(pid));
                     }

@@ -24,6 +24,7 @@ impl Ctx {
     /// perturbs it so training and reference runs see different data.
     pub fn new(seed: u64, input: InputSet) -> Self {
         let salt = match input {
+            InputSet::Test => 0x5eed_0003,
             InputSet::Train => 0x5eed_0001,
             InputSet::Ref => 0x5eed_0002,
         };
@@ -34,10 +35,24 @@ impl Ctx {
         }
     }
 
-    /// Scales an iteration count by the input set (train inputs are
-    /// smaller, as in the paper's methodology).
+    /// Scales a *structure* dimension (heap size, tree depth, table
+    /// buckets) by the input set. Structures are built during functional
+    /// setup — they cost no simulated cycles — so the smoke-test input
+    /// reuses the train sizes and keeps the workload in the same
+    /// cache-behaviour regime.
     pub fn scale(&self, input: InputSet, train: usize, reference: usize) -> usize {
         match input {
+            InputSet::Test | InputSet::Train => train,
+            InputSet::Ref => reference,
+        }
+    }
+
+    /// Scales a *traced iteration* dimension by the input set. These
+    /// dimensions set the trace length and therefore simulation time, so
+    /// the smoke-test input gets its own (much smaller) value.
+    pub fn iters(&self, input: InputSet, test: usize, train: usize, reference: usize) -> usize {
+        match input {
+            InputSet::Test => test,
             InputSet::Train => train,
             InputSet::Ref => reference,
         }

@@ -44,6 +44,10 @@ use sim_core::Trace;
 /// runs use `Ref`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum InputSet {
+    /// Smoke-test input: train-sized data structures with far fewer
+    /// traced iterations, so the end-to-end tests finish in seconds in
+    /// debug builds while staying in the same cache-behaviour regime.
+    Test,
     /// Smaller input with a different seed — the profiling input.
     Train,
     /// The measured input.

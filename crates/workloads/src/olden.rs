@@ -9,12 +9,12 @@
 //! prefetched subtrees, §2.3) and `mst` (hash-chain nodes whose data-field
 //! pointers are almost never dereferenced, §3 Figure 5).
 
+use rand::Rng;
 use sim_core::{Addr, Trace};
 use sim_mem::builders::{
     self, HashTable, QUAD_CHILD_OFFSET, QUAD_VALUE_OFFSET, TREE_DATA_OFFSET, TREE_LEFT_OFFSET,
     TREE_RIGHT_OFFSET,
 };
-use rand::Rng;
 
 use crate::common::Ctx;
 use crate::{InputSet, Workload};
@@ -50,7 +50,7 @@ impl Workload for Bisort {
     fn generate(&self, input: InputSet) -> Trace {
         let mut c = Ctx::new(0xB150, input);
         let depth = c.scale(input, 16, 17) as u32;
-        let descents = c.scale(input, 4_000, 26_000);
+        let descents = c.iters(input, 600, 4_000, 26_000);
 
         let mut tree = None;
         let heap = &mut c.heap;
@@ -75,8 +75,10 @@ impl Workload for Bisort {
             while cur != 0 && hops < 24 {
                 let (key, kid) = c.tb.load(bisort_pc::KEY, cur + TREE_DATA_OFFSET, dep);
                 c.tb.compute(10);
-                let (l, lid) = c.tb.load(bisort_pc::LEFT, cur + TREE_LEFT_OFFSET, Some(kid));
-                let (r, rid) = c.tb.load(bisort_pc::RIGHT, cur + TREE_RIGHT_OFFSET, Some(kid));
+                let (l, lid) =
+                    c.tb.load(bisort_pc::LEFT, cur + TREE_LEFT_OFFSET, Some(kid));
+                let (r, rid) =
+                    c.tb.load(bisort_pc::RIGHT, cur + TREE_RIGHT_OFFSET, Some(kid));
                 let swap = c.rng.gen_bool(0.15);
                 let (next, nid) = if swap {
                     // Swap in another node's subtrees (modelled as wiring
@@ -143,9 +145,9 @@ impl Workload for Health {
 
     fn generate(&self, input: InputSet) -> Trace {
         let mut c = Ctx::new(0x4EA1, input);
-        let villages = c.scale(input, 192, 256);
+        let villages = c.iters(input, 64, 192, 256);
         let patients_per = c.scale(input, 350, 420);
-        let steps = c.scale(input, 2, 2);
+        let steps = c.iters(input, 1, 2, 2);
 
         // Each village: a head slot plus a patient list. Patient node:
         // {record_ptr, data, severity, next} = 16 bytes, so four nodes share
@@ -178,7 +180,11 @@ impl Workload for Health {
                         // Only half the patients carry a treatment record;
                         // the chain's pointer groups stay majority-useful
                         // while the record group stays harmful.
-                        let record = if rng.gen_bool(0.5) { heap.alloc(24).unwrap() } else { 0 };
+                        let record = if rng.gen_bool(0.5) {
+                            heap.alloc(24).unwrap()
+                        } else {
+                            0
+                        };
                         mem.write_u32(n, record);
                         mem.write_u32(n + 4, rng.gen());
                         mem.write_u32(n + 8, rng.gen::<u32>() & 0xFFFF);
@@ -254,9 +260,14 @@ impl Workload for Mst {
 
     fn generate(&self, input: InputSet) -> Trace {
         let mut c = Ctx::new(0x357A, input);
-        let buckets = c.scale(input, 2048, 4096) as u32;
-        let keys = c.scale(input, 30_000, 45_000) as u32;
-        let lookups = c.scale(input, 6_000, 22_000);
+        // The test input keeps the *ref-sized* table: mst's CDP
+        // degradation (Figure 5) is a reuse/pollution effect that only
+        // appears once the table strains the L2, so the smoke input
+        // re-walks the full ref structure with fewer lookups instead of
+        // shrinking the structure into the cold-miss regime.
+        let buckets = c.iters(input, 4096, 2048, 4096) as u32;
+        let keys = c.iters(input, 45_000, 30_000, 45_000) as u32;
+        let lookups = c.iters(input, 10_000, 6_000, 22_000);
 
         let mut table = None;
         {
@@ -295,7 +306,8 @@ impl Workload for Mst {
                 c.tb.compute(8);
                 if k == key {
                     // Key match: touch the satellite record.
-                    let (d, did) = c.tb.load(mst_pc::DATA, node + HashTable::DATA_OFFSET, Some(kid));
+                    let (d, did) =
+                        c.tb.load(mst_pc::DATA, node + HashTable::DATA_OFFSET, Some(kid));
                     if d != 0 {
                         let _ = c.tb.load(mst_pc::SAT, d, Some(did));
                     }
@@ -336,7 +348,7 @@ impl Workload for Perimeter {
 
     fn generate(&self, input: InputSet) -> Trace {
         let mut c = Ctx::new(0x9E81, input);
-        let depth = c.scale(input, 8, 9) as u32;
+        let depth = c.iters(input, 7, 8, 9) as u32;
         let passes = c.scale(input, 1, 1);
 
         let mut tree = None;
@@ -354,7 +366,8 @@ impl Workload for Perimeter {
             // that produced each node address.
             let mut stack: Vec<(Addr, Option<sim_core::trace::LoadId>)> = vec![(tree.root, None)];
             while let Some((node, dep)) = stack.pop() {
-                let (_, vid) = c.tb.load(perimeter_pc::VALUE, node + QUAD_VALUE_OFFSET, dep);
+                let (_, vid) =
+                    c.tb.load(perimeter_pc::VALUE, node + QUAD_VALUE_OFFSET, dep);
                 c.tb.compute(3);
                 for (i, &pc) in perimeter_pc::CHILD.iter().enumerate() {
                     let (child, cid) =
@@ -401,7 +414,7 @@ impl Workload for Voronoi {
     fn generate(&self, input: InputSet) -> Trace {
         let mut c = Ctx::new(0x0707, input);
         let edges = c.scale(input, 110_000, 170_000);
-        let steps = c.scale(input, 30_000, 110_000);
+        let steps = c.iters(input, 7_500, 30_000, 110_000);
 
         // Edge: {x, y, onext, oprev, sym, pad} = 24 bytes.
         let mut nodes: Vec<Addr> = Vec::with_capacity(edges);

@@ -43,7 +43,7 @@ impl Workload for Treeadd {
 
     fn generate(&self, input: InputSet) -> Trace {
         let mut c = Ctx::new(0x7ADD, input);
-        let depth = c.scale(input, 15, 16) as u32;
+        let depth = c.iters(input, 13, 15, 16) as u32;
         let mut tree = None;
         {
             let heap = &mut c.heap;
@@ -59,8 +59,10 @@ impl Workload for Treeadd {
         while let Some((node, dep)) = stack.pop() {
             let (_, vid) = c.tb.load(treeadd_pc::VALUE, node + TREE_DATA_OFFSET, dep);
             c.tb.compute(3);
-            let (l, lid) = c.tb.load(treeadd_pc::LEFT, node + TREE_LEFT_OFFSET, Some(vid));
-            let (r, rid) = c.tb.load(treeadd_pc::RIGHT, node + TREE_RIGHT_OFFSET, Some(vid));
+            let (l, lid) =
+                c.tb.load(treeadd_pc::LEFT, node + TREE_LEFT_OFFSET, Some(vid));
+            let (r, rid) =
+                c.tb.load(treeadd_pc::RIGHT, node + TREE_RIGHT_OFFSET, Some(vid));
             if l != 0 {
                 stack.push((l, Some(lid)));
             }
@@ -103,7 +105,7 @@ impl Workload for Em3d {
         let mut c = Ctx::new(0xE3D0, input);
         let nodes = c.scale(input, 3_000, 6_000);
         let degree = 8u32;
-        let iters = c.scale(input, 4, 6);
+        let iters = c.iters(input, 1, 4, 6);
 
         // Node: {value, deps_ptr} = 8B; deps array of `degree` pointers.
         let mut hnodes: Vec<Addr> = Vec::new();
@@ -161,7 +163,7 @@ impl Workload for Tsp {
     fn generate(&self, input: InputSet) -> Trace {
         let mut c = Ctx::new(0x7590, input);
         let cities = c.scale(input, 2_000, 4_000) as u32;
-        let rounds = c.scale(input, 12, 20);
+        let rounds = c.iters(input, 3, 12, 20);
         let mut coords = 0;
         {
             let heap = &mut c.heap;
@@ -206,15 +208,15 @@ impl Workload for Power {
         let mut c = Ctx::new(0x9043, input);
         let laterals = c.scale(input, 400, 800);
         let branches = 8u32;
-        let iters = c.scale(input, 6, 10);
+        let iters = c.iters(input, 2, 6, 10);
         let mut heads: Vec<Addr> = Vec::new();
         {
             let heap = &mut c.heap;
             let rng = &mut c.rng;
             c.tb.setup(|mem| {
                 for _ in 0..laterals {
-                    let list = builders::build_list(mem, heap, branches as usize, 3, false, rng)
-                        .unwrap();
+                    let list =
+                        builders::build_list(mem, heap, branches as usize, 3, false, rng).unwrap();
                     heads.push(list.head);
                 }
             });

@@ -118,7 +118,7 @@ impl Workload for Ammp {
         let mut c = Ctx::new(0xA339, input);
         let atoms = c.scale(input, 30_000, 70_000);
         let neighbours = 12u32;
-        let steps = c.scale(input, 2, 2);
+        let steps = c.iters(input, 1, 2, 2);
 
         // Atom: coordinates, velocities and forces fill a 64-byte record
         // (real `ammp` atoms are far larger still), with the neighbour-list

@@ -50,7 +50,7 @@ impl Workload for Perlbench {
         let mut c = Ctx::new(0x9E51, input);
         let buckets = c.scale(input, 2048, 8192) as u32;
         let keys = c.scale(input, 35_000, 45_000) as u32;
-        let ops = c.scale(input, 6_000, 40_000);
+        let ops = c.iters(input, 1_500, 6_000, 40_000);
 
         let mut table = None;
         let mut optab = 0;
@@ -58,7 +58,10 @@ impl Workload for Perlbench {
             let heap = &mut c.heap;
             let rng = &mut c.rng;
             c.tb.setup(|mem| {
-                table = Some(builders::build_hash_table_with_ratio(mem, heap, buckets, keys, 1, 0.4, rng).unwrap());
+                table = Some(
+                    builders::build_hash_table_with_ratio(mem, heap, buckets, keys, 1, 0.4, rng)
+                        .unwrap(),
+                );
                 optab = heap.alloc(4096).unwrap();
                 for i in 0..1024 {
                     mem.write_u32(optab + i * 4, rng.gen());
@@ -85,7 +88,8 @@ impl Workload for Perlbench {
                 let (k, kid) = c.tb.load(perl_pc::KEY, node + HashTable::KEY_OFFSET, dep);
                 c.tb.compute(8);
                 if k == key {
-                    let (v, vid) = c.tb.load(perl_pc::VALUE, node + HashTable::DATA_OFFSET, Some(kid));
+                    let (v, vid) =
+                        c.tb.load(perl_pc::VALUE, node + HashTable::DATA_OFFSET, Some(kid));
                     if v != 0 {
                         let _ = c.tb.load(perl_pc::VALUE, v, Some(vid));
                     }
@@ -130,7 +134,7 @@ impl Workload for Gcc {
     fn generate(&self, input: InputSet) -> Trace {
         let mut c = Ctx::new(0x6CC0, input);
         let ir_words = c.scale(input, 180_000, 250_000) as u32;
-        let blocks = c.scale(input, 2_000, 3_500);
+        let blocks = c.iters(input, 500, 2_000, 3_500);
         let insns_per_block = 12;
 
         // Instruction node: {opcode, op1, op2, next} = 16 bytes. Operand
@@ -161,8 +165,16 @@ impl Workload for Gcc {
                         mem.write_u32(insn, rng.gen::<u32>() & 0xFF);
                         // Most operands are immediates/registers; only ~30%
                         // of instructions reference a value node in memory.
-                        let op1 = if rng.gen_bool(0.3) { values[rng.gen_range(0..values.len())] } else { 0 };
-                        let op2 = if rng.gen_bool(0.15) { values[rng.gen_range(0..values.len())] } else { 0 };
+                        let op1 = if rng.gen_bool(0.3) {
+                            values[rng.gen_range(0..values.len())]
+                        } else {
+                            0
+                        };
+                        let op2 = if rng.gen_bool(0.15) {
+                            values[rng.gen_range(0..values.len())]
+                        } else {
+                            0
+                        };
                         mem.write_u32(insn + 4, op1);
                         mem.write_u32(insn + 8, op2);
                         let next = if k + 1 < chunk.len() { chunk[k + 1] } else { 0 };
@@ -236,7 +248,7 @@ impl Workload for Mcf {
     fn generate(&self, input: InputSet) -> Trace {
         let mut c = Ctx::new(0x0C0F, input);
         let nodes = c.scale(input, 75_000, 140_000);
-        let steps = c.scale(input, 40_000, 120_000);
+        let steps = c.iters(input, 10_000, 40_000, 120_000);
 
         let mut graph = None;
         {
@@ -252,14 +264,20 @@ impl Workload for Mcf {
         let mut dep = None;
         for _ in 0..steps {
             let (_, cid) = c.tb.load(mcf_pc::COST, cur + Graph::VALUE_OFFSET, dep);
-            let (deg, did) = c.tb.load(mcf_pc::DEGREE, cur + Graph::DEGREE_OFFSET, Some(cid));
+            let (deg, did) =
+                c.tb.load(mcf_pc::DEGREE, cur + Graph::DEGREE_OFFSET, Some(cid));
             c.tb.compute(160);
             let deg = deg.clamp(1, graph.max_degree);
             // Pivot: the cheapest arc (slot 0, where the simplex keeps its
             // basis arc) is taken often; otherwise a data-dependent arc out
             // of eight — one beneficial pointer group, seven harmful ones.
-            let pick = if c.rng.gen_bool(0.6) { 0 } else { c.rng.gen_range(0..deg) };
-            let (next, nid) = c.tb.load(mcf_pc::ARC, cur + Graph::ADJ_OFFSET + pick * 4, Some(did));
+            let pick = if c.rng.gen_bool(0.6) {
+                0
+            } else {
+                c.rng.gen_range(0..deg)
+            };
+            let (next, nid) =
+                c.tb.load(mcf_pc::ARC, cur + Graph::ADJ_OFFSET + pick * 4, Some(did));
             if next != 0 {
                 cur = next;
                 dep = Some(nid);
@@ -300,7 +318,7 @@ impl Workload for Astar {
     fn generate(&self, input: InputSet) -> Trace {
         let mut c = Ctx::new(0xA57A, input);
         let nodes = c.scale(input, 70_000, 120_000);
-        let expansions = c.scale(input, 18_000, 80_000);
+        let expansions = c.iters(input, 4_500, 18_000, 80_000);
 
         let mut graph = None;
         {
@@ -321,12 +339,26 @@ impl Workload for Astar {
             // Expand: dereference the two heuristic-selected neighbours.
             // The heuristic points "toward the goal" most of the time, so
             // the first neighbour slots form beneficial pointer groups.
-            let first = if c.rng.gen_bool(0.7) { 0 } else { c.rng.gen_range(0..8) };
-            let second = if c.rng.gen_bool(0.5) { 1 } else { c.rng.gen_range(0..8) };
-            let (n1, n1id) =
-                c.tb.load(astar_pc::NEIGHBOR, cur + Graph::ADJ_OFFSET + first * 4, Some(sid));
-            let (n2, n2id) =
-                c.tb.load(astar_pc::NEIGHBOR, cur + Graph::ADJ_OFFSET + second * 4, Some(sid));
+            let first = if c.rng.gen_bool(0.7) {
+                0
+            } else {
+                c.rng.gen_range(0..8)
+            };
+            let second = if c.rng.gen_bool(0.5) {
+                1
+            } else {
+                c.rng.gen_range(0..8)
+            };
+            let (n1, n1id) = c.tb.load(
+                astar_pc::NEIGHBOR,
+                cur + Graph::ADJ_OFFSET + first * 4,
+                Some(sid),
+            );
+            let (n2, n2id) = c.tb.load(
+                astar_pc::NEIGHBOR,
+                cur + Graph::ADJ_OFFSET + second * 4,
+                Some(sid),
+            );
             if n2 != 0 {
                 open.push((n2, Some(n2id)));
                 if open.len() > 64 {
@@ -378,7 +410,7 @@ impl Workload for Xalancbmk {
         let mut c = Ctx::new(0x8A11, input);
         let fanout = 8u32;
         let depth = c.scale(input, 5, 5) as u32;
-        let queries = c.scale(input, 12_000, 55_000);
+        let queries = c.iters(input, 3_000, 12_000, 55_000);
 
         // DOM node: {tag, attrs_ptr, children[8]} = 40 bytes.
         let node_size = 8 + fanout * 4;
@@ -464,7 +496,7 @@ impl Workload for Omnetpp {
     fn generate(&self, input: InputSet) -> Trace {
         let mut c = Ctx::new(0x0E77, input);
         let events = c.scale(input, 60_000, 120_000) as u32;
-        let pops = c.scale(input, 20_000, 90_000);
+        let pops = c.iters(input, 5_000, 20_000, 90_000);
 
         // Event: {time, gate_ptr, payload, next_ev} = 16B. Gate: {id,
         // module_ptr, peer_gate} = 16B.
@@ -553,7 +585,7 @@ impl Workload for Parser {
         let mut c = Ctx::new(0x9A25, input);
         let fanout = 8u32;
         let depth = c.scale(input, 5, 5) as u32;
-        let words = c.scale(input, 15_000, 70_000);
+        let words = c.iters(input, 4_000, 15_000, 70_000);
 
         // Trie node: {flags, pad, children[8]} = 40 bytes. The dictionary is
         // a full 8-ary trie of depth 5 (~37k nodes, 1.5 MB): upper levels

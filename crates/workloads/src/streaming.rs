@@ -41,7 +41,7 @@ impl Workload for Libquantum {
 
     fn generate(&self, input: InputSet) -> Trace {
         let mut c = Ctx::new(0x11B0, input);
-        let words = c.scale(input, 300_000, 700_000) as u32;
+        let words = c.iters(input, 75_000, 300_000, 700_000) as u32;
         let passes = c.scale(input, 1, 1);
         let base = alloc_array(&mut c, words);
         for _ in 0..passes {
@@ -76,7 +76,7 @@ impl Workload for Bwaves {
 
     fn generate(&self, input: InputSet) -> Trace {
         let mut c = Ctx::new(0xB3A5, input);
-        let words = c.scale(input, 120_000, 250_000) as u32;
+        let words = c.iters(input, 30_000, 120_000, 250_000) as u32;
         let a = alloc_array(&mut c, words);
         let b = alloc_array(&mut c, words);
         let d = alloc_array(&mut c, words);
@@ -109,7 +109,7 @@ impl Workload for GemsFdtd {
 
     fn generate(&self, input: InputSet) -> Trace {
         let mut c = Ctx::new(0x6E35, input);
-        let words = c.scale(input, 150_000, 300_000) as u32;
+        let words = c.iters(input, 40_000, 150_000, 300_000) as u32;
         let e = alloc_array(&mut c, words);
         let h = alloc_array(&mut c, words);
         let plane = 1024u32;
@@ -143,7 +143,7 @@ impl Workload for H264ref {
     fn generate(&self, input: InputSet) -> Trace {
         let mut c = Ctx::new(0x4264, input);
         let width = 512u32;
-        let frames = c.scale(input, 60, 120) as u32;
+        let frames = c.iters(input, 15, 60, 120) as u32;
         let frame_words = width * 64;
         let cur = alloc_array(&mut c, frame_words);
         let reff = alloc_array(&mut c, frame_words);
@@ -153,7 +153,8 @@ impl Workload for H264ref {
                 for row in 0..8u32 {
                     let off = ((mby + row) * width / 8 + mbx) % frame_words;
                     let _ = c.tb.load(0x4_0000, cur + off * 4, None);
-                    let _ = c.tb.load(0x4_0004, reff + ((off + 13) % frame_words) * 4, None);
+                    let _ =
+                        c.tb.load(0x4_0004, reff + ((off + 13) % frame_words) * 4, None);
                     c.tb.compute(20);
                 }
             }
@@ -183,7 +184,7 @@ impl Workload for Hmmer {
     fn generate(&self, input: InputSet) -> Trace {
         let mut c = Ctx::new(0x4333, input);
         let row_words = 4096u32;
-        let rows = c.scale(input, 40, 90) as u32;
+        let rows = c.iters(input, 10, 40, 90) as u32;
         let a = alloc_array(&mut c, row_words * 2);
         for r in 0..rows {
             let (prev, cur) = if r % 2 == 0 {
@@ -220,7 +221,7 @@ impl Workload for Lbm {
 
     fn generate(&self, input: InputSet) -> Trace {
         let mut c = Ctx::new(0x1B30, input);
-        let cells = c.scale(input, 60_000, 120_000) as u32;
+        let cells = c.iters(input, 15_000, 60_000, 120_000) as u32;
         let src = alloc_array(&mut c, cells * 2);
         let dst = alloc_array(&mut c, cells * 2);
         for i in 0..cells {
@@ -252,12 +253,13 @@ impl Workload for Milc {
 
     fn generate(&self, input: InputSet) -> Trace {
         let mut c = Ctx::new(0x3317, input);
-        let sites = c.scale(input, 30_000, 60_000) as u32;
+        let sites = c.iters(input, 8_000, 30_000, 60_000) as u32;
         let site_words = 18u32;
         let lattice = alloc_array(&mut c, sites * site_words);
         for s in 0..sites {
             for w in (0..site_words).step_by(3) {
-                let _ = c.tb.load(0x7_0000, lattice + (s * site_words + w) * 4, None);
+                let _ =
+                    c.tb.load(0x7_0000, lattice + (s * site_words + w) * 4, None);
             }
             c.tb.compute(24);
         }
@@ -286,7 +288,7 @@ impl Workload for Sjeng {
     fn generate(&self, input: InputSet) -> Trace {
         let mut c = Ctx::new(0x53E6, input);
         let table_words = 8_192u32; // 32 KB: fits in the L1
-        let moves = c.scale(input, 40_000, 90_000);
+        let moves = c.iters(input, 10_000, 40_000, 90_000);
         let table = alloc_array(&mut c, table_words);
         for _ in 0..moves {
             let slot = c.rng.gen_range(0..table_words);

@@ -38,7 +38,11 @@ fn generate(seed: u64, entries: usize, scans: usize, scan_len: usize) -> Trace {
         nodes.shuffle(&mut rng);
         for (i, &n) in nodes.iter().enumerate() {
             mem.write_u32(n, rng.gen()); // key
-            let payload = if rng.gen_bool(0.3) { heap.alloc(48).unwrap() } else { 0 };
+            let payload = if rng.gen_bool(0.3) {
+                heap.alloc(48).unwrap()
+            } else {
+                0
+            };
             mem.write_u32(n + 4, payload);
             for w in 2..15 {
                 // Inline columns: bounded values, never pointer-like.
@@ -88,7 +92,10 @@ fn main() {
     let base = run_system(SystemKind::StreamOnly, &reference, &artifacts);
     let cdp = run_system(SystemKind::StreamCdp, &reference, &artifacts);
     let ours = run_system(SystemKind::StreamEcdpThrottled, &reference, &artifacts);
-    println!("\n{:<24} {:>8} {:>9} {:>8}", "system", "IPC", "speedup", "BPKI");
+    println!(
+        "\n{:<24} {:>8} {:>9} {:>8}",
+        "system", "IPC", "speedup", "BPKI"
+    );
     for (label, s) in [
         ("stream baseline", &base),
         ("stream+CDP", &cdp),

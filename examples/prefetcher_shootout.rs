@@ -11,7 +11,9 @@ use ecdp::system::{run_system, CompilerArtifacts, SystemKind};
 use workloads::{by_name, InputSet};
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "health".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "health".to_string());
     let workload = by_name(&name).unwrap_or_else(|| {
         eprintln!("unknown workload {name}");
         std::process::exit(1);

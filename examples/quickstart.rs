@@ -25,7 +25,10 @@ fn main() {
     let (beneficial, harmful) = profile.counts();
     println!("  pointer groups: {beneficial} beneficial, {harmful} harmful");
     let artifacts = CompilerArtifacts::from_profile(&profile);
-    println!("  hint bit vectors emitted for {} static loads", artifacts.hints.len());
+    println!(
+        "  hint bit vectors emitted for {} static loads",
+        artifacts.hints.len()
+    );
 
     // Step 2 — evaluate on the ref input.
     let reference = workload.generate(InputSet::Ref);

@@ -46,7 +46,9 @@ impl<P: ThrottlePolicy> ThrottlePolicy for Logged<P> {
 }
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "pfast".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "pfast".to_string());
     let workload = by_name(&name).unwrap_or_else(|| {
         eprintln!("unknown workload {name}");
         std::process::exit(1);

@@ -43,7 +43,10 @@ fn sharing_the_bus_slows_both_cores() {
     assert!(shared.per_core[0].ipc() <= alone0 * 1.01);
     assert!(shared.per_core[1].ipc() <= alone1 * 1.01);
     let ws = shared.weighted_speedup(&[alone0, alone1]);
-    assert!(ws > 0.5 && ws <= 2.02, "weighted speedup out of range: {ws}");
+    assert!(
+        ws > 0.5 && ws <= 2.02,
+        "weighted speedup out of range: {ws}"
+    );
 }
 
 #[test]

@@ -159,9 +159,9 @@ fn table3(own_cov: f64, own_acc: f64, rival_cov: f64) -> ThrottleDecision {
         0
     };
     match (cov_high, acc, rival_high) {
-        (true, _, _) => ThrottleDecision::Up,      // case 1
-        (false, 0, _) => ThrottleDecision::Down,   // case 2
-        (false, _, false) => ThrottleDecision::Up, // case 3
+        (true, _, _) => ThrottleDecision::Up,       // case 1
+        (false, 0, _) => ThrottleDecision::Down,    // case 2
+        (false, _, false) => ThrottleDecision::Up,  // case 3
         (false, 1, true) => ThrottleDecision::Down, // case 4
         (false, 2, true) => ThrottleDecision::Keep, // case 5
         _ => unreachable!(),
