@@ -2,6 +2,8 @@
 //! DRAM scheduling, CDP block scans, stream-table training, hint-vector
 //! filtering, trace generation and a small end-to-end machine run.
 
+#![allow(clippy::unwrap_used)]
+
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
@@ -149,10 +151,22 @@ fn bench_end_to_end(c: &mut Criterion) {
     let mut group = c.benchmark_group("machine_run_mst_train");
     group.sample_size(10);
     group.bench_function("stream_ecdp_throttled", |b| {
-        b.iter(|| black_box(run_system(SystemKind::StreamEcdpThrottled, &train, &artifacts).cycles))
+        b.iter(|| {
+            black_box(
+                run_system(SystemKind::StreamEcdpThrottled, &train, &artifacts)
+                    .expect("run")
+                    .cycles,
+            )
+        })
     });
     group.bench_function("stream_only", |b| {
-        b.iter(|| black_box(run_system(SystemKind::StreamOnly, &train, &artifacts).cycles))
+        b.iter(|| {
+            black_box(
+                run_system(SystemKind::StreamOnly, &train, &artifacts)
+                    .expect("run")
+                    .cycles,
+            )
+        })
     });
     group.finish();
 }

@@ -28,13 +28,15 @@ fn phased_trace(seed: u64, phases: usize) -> Trace {
     let mut head = 0;
     let chase_len = 60_000usize;
     tb.setup(|mem| {
-        array = heap.alloc(sweep_words * 4).unwrap();
+        array = heap.alloc(sweep_words * 4).expect("heap space");
         for i in 0..sweep_words {
             mem.write_u32(array + i * 4, rng.gen::<u32>() & 0xFFFF);
         }
         // Scrambled 16-byte-node list: four next-pointers per block.
         use rand::seq::SliceRandom;
-        let mut nodes: Vec<u32> = (0..chase_len).map(|_| heap.alloc(16).unwrap()).collect();
+        let mut nodes: Vec<u32> = (0..chase_len)
+            .map(|_| heap.alloc(16).expect("heap space"))
+            .collect();
         nodes.shuffle(&mut rng);
         for (i, &n) in nodes.iter().enumerate() {
             mem.write_u32(n, rng.gen::<u32>() & 0xFFFF);
@@ -87,7 +89,7 @@ fn main() {
     let mut machine = build_machine(SystemKind::StreamEcdpThrottled, &artifacts);
     let (policy, log) = Recorder::new(CoordinatedThrottle::default());
     machine.set_throttle(Box::new(policy));
-    let stats = machine.run(&reference);
+    let stats = machine.run(&reference).expect("run failed");
 
     let log = log.borrow();
     println!(

@@ -4,56 +4,184 @@
 //! simulated cell to `target/lab/run_all.json`.
 //!
 //! ```text
-//! cargo run --release -p bench --bin run_all [-- [--jobs N] [--filter SUBSTR] [output.md]]
+//! cargo run --release -p bench --bin run_all [-- [--jobs N] [--filter SUBSTR]
+//!                                               [--resume] [--sweep] [output.md]]
 //! ```
 //!
-//! Sections are generated concurrently on a worker pool (`--jobs`, or
-//! `BENCH_JOBS`, defaulting to the available parallelism); a prewarm
-//! sweep first fans the shared (workload × system) grid out across all
-//! workers so the per-section work is mostly cache hits. The section text
-//! is identical at any thread count (only the trailing timing line
-//! varies): results are assembled in section order and every simulation
-//! is memoized process-wide by the `Lab`.
-//! `--filter` keeps only sections whose name contains the substring
-//! (case-insensitive).
+//! Execution has two phases:
+//!
+//! 1. **Sweep**: the shared (workload × system) grid runs fault-tolerantly
+//!    on the worker pool. Each cell is isolated — a panicking or
+//!    deadlocked cell becomes a `Failed` manifest record while the other
+//!    cells complete — and every finished cell is flushed atomically to
+//!    `target/lab/run_all.json`, so a killed process leaves a valid
+//!    partial manifest. `--resume` skips cells the existing manifest
+//!    already records as successful under the same machine-config hash.
+//!    `--sweep` stops after this phase.
+//! 2. **Sections**: report sections are generated concurrently on the
+//!    same pool (mostly cache hits after the sweep); a failing section is
+//!    reported inline in the output instead of aborting the report.
+//!
+//! The process exits 0 only if every sweep cell and every section
+//! succeeded; any failure exits 1 (usage errors exit 2).
+//!
+//! The sweep grid defaults to the paper's pointer benchmarks × the seven
+//! headline systems on the ref input and can be overridden with
+//! `BENCH_SWEEP_WORKLOADS` (comma-separated), `BENCH_SWEEP_SYSTEMS`
+//! (comma-separated system labels) and `BENCH_SWEEP_INPUT`
+//! (`test`/`train`/`ref`) — the knobs the fault-injection tests use to
+//! drive this binary on a small grid. The section text is identical at
+//! any thread count (only the trailing timing line varies): results are
+//! assembled in section order and every simulation is memoized
+//! process-wide by the `Lab`. `--filter` keeps only sections whose name
+//! contains the substring (case-insensitive) and skips the sweep phase.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
+use bench::cli::{parse_args, Parsed, RunAllArgs, USAGE};
 use bench::experiments::{compare, misc, multi, single, POINTER_BENCHES};
-use bench::{Lab, SweepPlan};
+use bench::{Lab, Manifest, ManifestWriter, RunOutcome, SweepOptions, SweepPlan};
 use ecdp::system::SystemKind;
 use workloads::InputSet;
 
-fn usage() -> ! {
-    eprintln!("usage: run_all [--jobs N] [--filter SUBSTR] [output.md]");
+/// The headline systems swept by default.
+const DEFAULT_SYSTEMS: [SystemKind; 7] = [
+    SystemKind::NoPrefetch,
+    SystemKind::StreamOnly,
+    SystemKind::OracleLds,
+    SystemKind::StreamCdp,
+    SystemKind::StreamEcdp,
+    SystemKind::StreamCdpThrottled,
+    SystemKind::StreamEcdpThrottled,
+];
+
+fn fail_usage(msg: &str) -> ! {
+    eprintln!("run_all: {msg}");
+    eprintln!("{USAGE}");
     std::process::exit(2);
 }
 
+/// Comma-separated override from the environment, if set.
+fn env_list(var: &str) -> Option<Vec<String>> {
+    let v = std::env::var(var).ok()?;
+    Some(
+        v.split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(ToString::to_string)
+            .collect(),
+    )
+}
+
+fn sweep_plan() -> SweepPlan {
+    let workloads = env_list("BENCH_SWEEP_WORKLOADS")
+        .unwrap_or_else(|| POINTER_BENCHES.iter().map(ToString::to_string).collect());
+    let systems: Vec<SystemKind> = match env_list("BENCH_SWEEP_SYSTEMS") {
+        Some(labels) => labels
+            .iter()
+            .map(|l| {
+                SystemKind::from_label(l).unwrap_or_else(|| {
+                    fail_usage(&format!(
+                        "unknown system label {l:?} in BENCH_SWEEP_SYSTEMS"
+                    ))
+                })
+            })
+            .collect(),
+        None => DEFAULT_SYSTEMS.to_vec(),
+    };
+    let input = match std::env::var("BENCH_SWEEP_INPUT").as_deref() {
+        Ok("test") => InputSet::Test,
+        Ok("train") => InputSet::Train,
+        Ok("ref") | Err(_) => InputSet::Ref,
+        Ok(other) => fail_usage(&format!("unknown BENCH_SWEEP_INPUT {other:?}")),
+    };
+    let workload_refs: Vec<&str> = workloads.iter().map(String::as_str).collect();
+    SweepPlan::cross("run_all", &workload_refs, input, &systems)
+}
+
 fn main() {
-    let mut out_path = "EXPERIMENTS.md".to_string();
-    let mut jobs = bench::default_jobs();
-    let mut filter: Option<String> = None;
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        match a.as_str() {
-            "--jobs" => {
-                jobs = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .filter(|&n| n > 0)
-                    .unwrap_or_else(|| usage());
-            }
-            "--filter" => filter = Some(args.next().unwrap_or_else(|| usage()).to_lowercase()),
-            "--help" | "-h" => usage(),
-            _ if a.starts_with('-') => usage(),
-            _ => out_path = a,
+    let args: RunAllArgs = match parse_args(std::env::args().skip(1)) {
+        Ok(Parsed::Run(a)) => a,
+        Ok(Parsed::Help) => {
+            println!("{USAGE}");
+            return;
         }
-    }
+        Err(e) => fail_usage(&e),
+    };
+    let jobs = args.jobs.unwrap_or_else(bench::default_jobs);
+    let out_path = args
+        .out_path
+        .unwrap_or_else(|| "EXPERIMENTS.md".to_string());
 
     let lab = Lab::new();
     let t0 = Instant::now();
+    let mut failures = 0usize;
 
+    // Phase 1 — fault-tolerant sweep over the shared grid, with
+    // incremental manifest flushes and optional resume. A filtered
+    // report run skips it: the filter may need none of these cells.
+    let mut sweep_failures: Vec<RunOutcome> = Vec::new();
+    if args.filter.is_none() || args.sweep_only {
+        let plan = sweep_plan();
+        let prior = if args.resume {
+            let m = Manifest::load(&plan.name);
+            if m.is_none() {
+                eprintln!("[run_all] --resume: no prior manifest, running everything");
+            }
+            m
+        } else {
+            None
+        };
+        let writer = ManifestWriter::new(plan.name.clone());
+        eprintln!(
+            "[run_all] sweeping {} cells on {jobs} workers ...",
+            plan.cells.len()
+        );
+        let t = Instant::now();
+        let exec = plan.run_fault_tolerant(
+            &lab,
+            jobs,
+            &SweepOptions {
+                resume_from: prior.as_ref(),
+                writer: Some(&writer),
+            },
+        );
+        eprintln!(
+            "[run_all] sweep: {} ran, {} skipped (resume), {} failed in {:.1?}",
+            exec.ran,
+            exec.skipped,
+            exec.failed(),
+            t.elapsed()
+        );
+        for f in exec.outcomes.iter().filter_map(RunOutcome::failure) {
+            eprintln!(
+                "[run_all] FAILED {} {} {}: [{}] {}",
+                f.workload, f.input, f.system, f.error_kind, f.error
+            );
+        }
+        failures += exec.failed();
+        sweep_failures = exec
+            .outcomes
+            .into_iter()
+            .filter(RunOutcome::is_failed)
+            .collect();
+    }
+
+    if args.sweep_only {
+        eprintln!(
+            "[run_all] sweep-only run done in {:.1?} ({jobs} worker threads)",
+            t0.elapsed()
+        );
+        if failures > 0 {
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    // Phase 2 — generate sections concurrently; collect in declaration
+    // order. A panicking section becomes an inline error block.
     type Section<'a> = (&'a str, fn(&Lab) -> String);
     let mut sections: Vec<Section> = vec![
         ("Figure 1", single::fig01),
@@ -76,46 +204,16 @@ fn main() {
         ("Figure 14", multi::fig14),
         ("Figure 15", multi::fig15),
     ];
-    if let Some(f) = &filter {
+    if let Some(f) = &args.filter {
         sections.retain(|(name, _)| name.to_lowercase().contains(f));
         if sections.is_empty() {
-            eprintln!("[run_all] no section matches --filter {f}");
-            std::process::exit(2);
+            fail_usage(&format!("no section matches --filter {f}"));
         }
     }
 
-    // Prewarm: fan the shared single-core grid out across all workers so
-    // the section generators (which run concurrently but are internally
-    // serial) mostly hit the cache. Only worth it for a full run — a
-    // filtered run may need none of these cells.
-    if filter.is_none() && jobs > 1 {
-        let plan = SweepPlan::cross(
-            "run_all_prewarm",
-            &POINTER_BENCHES,
-            InputSet::Ref,
-            &[
-                SystemKind::NoPrefetch,
-                SystemKind::StreamOnly,
-                SystemKind::OracleLds,
-                SystemKind::StreamCdp,
-                SystemKind::StreamEcdp,
-                SystemKind::StreamCdpThrottled,
-                SystemKind::StreamEcdpThrottled,
-            ],
-        );
-        eprintln!(
-            "[run_all] prewarming {} cells on {jobs} workers ...",
-            plan.cells.len()
-        );
-        let t = Instant::now();
-        plan.run(&lab, jobs);
-        eprintln!("[run_all] prewarm done in {:.1?}", t.elapsed());
-    }
-
-    // Generate sections concurrently; collect in declaration order.
     let n = sections.len();
     let next = AtomicUsize::new(0);
-    let mut slots: Vec<std::sync::OnceLock<String>> = Vec::new();
+    let mut slots: Vec<std::sync::OnceLock<Result<String, String>>> = Vec::new();
     slots.resize_with(n, std::sync::OnceLock::new);
     std::thread::scope(|s| {
         for _ in 0..jobs.clamp(1, n) {
@@ -127,7 +225,13 @@ fn main() {
                 let (name, f) = sections[i];
                 let t = Instant::now();
                 eprintln!("[run_all] {name} ...");
-                let text = f(&lab);
+                let text = catch_unwind(AssertUnwindSafe(|| f(&lab))).map_err(|payload| {
+                    payload
+                        .downcast_ref::<String>()
+                        .cloned()
+                        .or_else(|| payload.downcast_ref::<&str>().map(ToString::to_string))
+                        .unwrap_or_else(|| "non-string panic payload".to_string())
+                });
                 eprintln!("[run_all] {name} done in {:.1?}", t.elapsed());
                 let _ = slots[i].set(text);
             });
@@ -144,8 +248,15 @@ fn main() {
          `paper:` quote the original result for comparison; absolute numbers are\n\
          not expected to match, the win/loss structure is.\n\n",
     );
-    for slot in slots {
-        report.push_str(&slot.into_inner().expect("every section generated"));
+    for (slot, (name, _)) in slots.into_iter().zip(&sections) {
+        match slot.into_inner().expect("every section generated") {
+            Ok(text) => report.push_str(&text),
+            Err(msg) => {
+                failures += 1;
+                eprintln!("[run_all] FAILED section {name}: {msg}");
+                report.push_str(&format!("## {name}\n\n**GENERATION FAILED**: {msg}\n"));
+            }
+        }
         report.push('\n');
     }
     report.push_str(&format!(
@@ -153,9 +264,27 @@ fn main() {
         t0.elapsed()
     ));
     std::fs::write(&out_path, &report).expect("write report");
-    match lab.write_manifest("run_all") {
+
+    // Final manifest: every successful cell the lab saw (sweep and
+    // sections) plus the sweep's failure records.
+    let mut records: Vec<RunOutcome> = lab
+        .records()
+        .into_iter()
+        .map(RunOutcome::Success)
+        .chain(sweep_failures)
+        .collect();
+    records.sort_by_key(RunOutcome::sort_key);
+    let manifest = Manifest {
+        name: "run_all".to_string(),
+        records,
+    };
+    match manifest.write() {
         Ok(path) => eprintln!("[lab] manifest: {}", path.display()),
         Err(e) => eprintln!("[lab] manifest write failed: {e}"),
     }
     println!("wrote {out_path}");
+    if failures > 0 {
+        eprintln!("[run_all] {failures} failure(s); exiting nonzero");
+        std::process::exit(1);
+    }
 }

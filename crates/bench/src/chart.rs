@@ -57,6 +57,7 @@ pub fn figure(caption: &str, items: &[(&str, f64)], reference: Option<f64>) -> S
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -1,0 +1,139 @@
+//! Strict command-line parsing for the `run_all` binary.
+//!
+//! Hand-rolled (the workspace takes no external dependencies) but
+//! deliberately unforgiving: unknown flags, missing or malformed flag
+//! values and duplicate positionals are hard errors with a usage
+//! message, instead of being silently reinterpreted as an output path.
+
+/// Usage line printed on `--help` and on every parse error.
+pub const USAGE: &str =
+    "usage: run_all [--jobs N] [--filter SUBSTR] [--resume] [--sweep] [output.md]
+
+  --jobs N        worker threads (default: $BENCH_JOBS or available parallelism)
+  --filter SUBSTR only generate report sections whose name contains SUBSTR
+  --resume        skip sweep cells already recorded as successful in the
+                  existing run_all manifest (same machine-config hash)
+  --sweep         run only the sweep phase (no report sections)
+  output.md       report path (default: EXPERIMENTS.md)";
+
+/// Parsed `run_all` arguments.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RunAllArgs {
+    /// Worker threads; `None` means use [`crate::default_jobs`].
+    pub jobs: Option<usize>,
+    /// Lower-cased section filter.
+    pub filter: Option<String>,
+    /// Skip sweep cells with a prior successful record.
+    pub resume: bool,
+    /// Run only the sweep phase.
+    pub sweep_only: bool,
+    /// Report output path; `None` means `EXPERIMENTS.md`.
+    pub out_path: Option<String>,
+}
+
+/// Outcome of parsing: a run request or an explicit help request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Parsed {
+    /// Arguments parsed successfully.
+    Run(RunAllArgs),
+    /// `--help`/`-h` was given.
+    Help,
+}
+
+/// Parses the arguments after the program name.
+///
+/// # Errors
+///
+/// Returns a one-line description for unknown flags, missing or
+/// non-numeric flag values, and more than one positional argument.
+pub fn parse_args<I>(args: I) -> Result<Parsed, String>
+where
+    I: IntoIterator<Item = String>,
+{
+    let mut parsed = RunAllArgs::default();
+    let mut args = args.into_iter();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--jobs" => {
+                let v = args.next().ok_or("--jobs requires a value")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("--jobs value {v:?} is not an integer"))?;
+                if n == 0 {
+                    return Err("--jobs must be at least 1".to_string());
+                }
+                parsed.jobs = Some(n);
+            }
+            "--filter" => {
+                let v = args.next().ok_or("--filter requires a value")?;
+                if v.is_empty() {
+                    return Err("--filter value must be non-empty".to_string());
+                }
+                parsed.filter = Some(v.to_lowercase());
+            }
+            "--resume" => parsed.resume = true,
+            "--sweep" => parsed.sweep_only = true,
+            "--help" | "-h" => return Ok(Parsed::Help),
+            _ if a.starts_with('-') => return Err(format!("unknown flag {a:?}")),
+            _ => {
+                if let Some(prev) = &parsed.out_path {
+                    return Err(format!(
+                        "unexpected extra positional argument {a:?} (output path is already {prev:?})"
+                    ));
+                }
+                parsed.out_path = Some(a);
+            }
+        }
+    }
+    Ok(Parsed::Run(parsed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Parsed, String> {
+        parse_args(args.iter().map(ToString::to_string))
+    }
+
+    #[test]
+    fn parses_the_full_flag_set() {
+        let p = parse(&[
+            "--jobs", "4", "--filter", "Figure", "--resume", "--sweep", "out.md",
+        ]);
+        assert_eq!(
+            p,
+            Ok(Parsed::Run(RunAllArgs {
+                jobs: Some(4),
+                filter: Some("figure".to_string()),
+                resume: true,
+                sweep_only: true,
+                out_path: Some("out.md".to_string()),
+            }))
+        );
+        assert_eq!(parse(&[]), Ok(Parsed::Run(RunAllArgs::default())));
+        assert_eq!(parse(&["--help"]), Ok(Parsed::Help));
+        assert_eq!(parse(&["-h"]), Ok(Parsed::Help));
+    }
+
+    #[test]
+    fn rejects_malformed_jobs() {
+        assert!(parse(&["--jobs"]).is_err(), "missing value");
+        assert!(parse(&["--jobs", "many"]).is_err(), "non-numeric");
+        assert!(parse(&["--jobs", "0"]).is_err(), "zero workers");
+        assert!(parse(&["--jobs", "-3"]).is_err(), "negative");
+    }
+
+    #[test]
+    fn rejects_malformed_filter_and_unknown_flags() {
+        assert!(parse(&["--filter"]).is_err(), "missing value");
+        assert!(parse(&["--filter", ""]).is_err(), "empty value");
+        assert!(parse(&["--jbos", "4"]).is_err(), "unknown flag");
+        assert!(parse(&["--resume=now"]).is_err(), "unknown flag form");
+    }
+
+    #[test]
+    fn rejects_extra_positionals() {
+        assert!(parse(&["a.md", "b.md"]).is_err());
+    }
+}

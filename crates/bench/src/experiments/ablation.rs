@@ -56,7 +56,7 @@ fn run_with(
     if throttled {
         m.set_throttle(Box::new(CoordinatedThrottle::default()));
     }
-    m.run(trace)
+    m.run(trace).expect("ablation run failed")
 }
 
 /// Sweep the CDP compare-bits parameter (paper §5 fixes it at 8 of 32).
@@ -220,7 +220,7 @@ pub fn three_prefetchers(lab: &Lab) -> String {
             if throttled {
                 m.set_throttle(Box::new(CoordinatedThrottle::default()));
             }
-            m.run(&trace).ipc() / base
+            m.run(&trace).expect("ablation run failed").ipc() / base
         };
         let raw = run3(false);
         let thr = run3(true);
@@ -285,7 +285,7 @@ pub fn dram_policy_sweep(lab: &Lab) -> String {
                 Box::new(art.hints.clone()),
             )));
             m.set_throttle(Box::new(CoordinatedThrottle::default()));
-            cells.push(f2(m.run(&trace).ipc() / base));
+            cells.push(f2(m.run(&trace).expect("ablation run failed").ipc() / base));
         }
         t.row(cells);
     }

@@ -61,7 +61,7 @@ pub fn run_mix(lab: &Lab, names: &[&str], kind: SystemKind) -> MultiRunStats {
         })
         .collect();
     let mut mm = MultiMachine::new(MachineConfig::default(), setups);
-    mm.run(&traces)
+    mm.run(&traces).expect("multi-core run failed")
 }
 
 /// Alone-run IPCs (single-core, same config, train input); memoised by

@@ -272,8 +272,10 @@ pub fn fig10(lab: &Lab) -> String {
     for name in POINTER_BENCHES {
         let art = lab.artifacts(name);
         let trace = lab.trace(name, InputSet::Ref);
-        let (_, pc) = ecdp::system::run_system_profiled(SystemKind::StreamCdp, &trace, &art);
-        let (_, pe) = ecdp::system::run_system_profiled(SystemKind::StreamEcdp, &trace, &art);
+        let (_, pc) = ecdp::system::run_system_profiled(SystemKind::StreamCdp, &trace, &art)
+            .expect("profiled run failed");
+        let (_, pe) = ecdp::system::run_system_profiled(SystemKind::StreamEcdp, &trace, &art)
+            .expect("profiled run failed");
         for (h, p) in [(&mut cdp_hist, pc), (&mut ecdp_hist, pe)] {
             let hh = p.usefulness_histogram();
             for i in 0..4 {
@@ -329,11 +331,15 @@ pub fn sec616(lab: &Lab) -> String {
         let base = lab.run(name, SystemKind::StreamOnly).ipc();
         let with_train = lab.run(name, SystemKind::StreamEcdpThrottled).ipc() / base;
         // Re-profile on the ref input (the "same input" experiment).
-        let ref_trace = by_name(name).unwrap().generate(InputSet::Ref);
+        let ref_trace = by_name(name)
+            .expect("known workload")
+            .generate(InputSet::Ref);
         let ref_profile = profile_workload(&ref_trace);
         let ref_art = CompilerArtifacts::from_profile(&ref_profile);
-        let with_ref =
-            run_system(SystemKind::StreamEcdpThrottled, &ref_trace, &ref_art).ipc() / base;
+        let with_ref = run_system(SystemKind::StreamEcdpThrottled, &ref_trace, &ref_art)
+            .expect("run failed")
+            .ipc()
+            / base;
         deltas.push((with_ref / with_train - 1.0) * 100.0);
         t.row(vec![
             name.to_string(),

@@ -1,0 +1,245 @@
+//! Deterministic fault injection for the sweep harness.
+//!
+//! A [`FaultPlan`] maps sweep cells — (workload, input, system) triples —
+//! to injected failures: a panic, a genuine simulator livelock (driven
+//! through the real engine watchdog), or an artificial slowdown. Plans
+//! are parsed from the `BENCH_FAULT_PLAN` environment variable, so the
+//! integration tests can exercise the failure paths of the *real*
+//! `run_all` binary without patching any experiment code.
+//!
+//! Plan syntax (entries separated by `;`):
+//!
+//! ```text
+//! action@workload:input:system[=ms]
+//! ```
+//!
+//! * `action` is `panic`, `livelock` or `slow` (only `slow` takes `=ms`);
+//! * `workload` is a workload name, `input` is `train`/`ref`/`test`,
+//!   `system` is a system label (`SystemKind::label`);
+//! * any of the three selectors may be `*` to match everything.
+//!
+//! Example: `panic@mst:test:stream+cdp;livelock@health:test:stream`.
+
+use ecdp::system::SystemKind;
+use sim_core::{Machine, MachineConfig, OpKind, SimError, Trace, TraceOp};
+use sim_mem::{layout, SimMemory};
+use workloads::InputSet;
+
+/// The failure to inject into a matched cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Panic inside the cell's compute closure.
+    Panic,
+    /// Run a trace with circular address dependences through the real
+    /// engine so the watchdog reports [`SimError::Deadlock`].
+    Livelock,
+    /// Sleep this many milliseconds before the real run (scheduling
+    /// jitter for the executor tests).
+    Slow(u64),
+}
+
+/// One `action@workload:input:system` entry of a plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct FaultRule {
+    workload: String,
+    input: String,
+    system: String,
+    action: FaultAction,
+}
+
+fn matches(selector: &str, value: &str) -> bool {
+    selector == "*" || selector == value
+}
+
+/// A set of fault-injection rules; empty means "no faults".
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    rules: Vec<FaultRule>,
+}
+
+impl FaultPlan {
+    /// The empty plan: nothing is injected.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// True when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Adds a rule; selectors may be `*`.
+    pub fn push(&mut self, action: FaultAction, workload: &str, input: &str, system: &str) {
+        self.rules.push(FaultRule {
+            workload: workload.to_string(),
+            input: input.to_string(),
+            system: system.to_string(),
+            action,
+        });
+    }
+
+    /// Parses the plan syntax described in the module docs.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for malformed entries; an empty
+    /// or whitespace-only string parses to the empty plan.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut plan = FaultPlan::none();
+        for entry in text.split(';').map(str::trim).filter(|e| !e.is_empty()) {
+            let (action_text, cell) = entry
+                .split_once('@')
+                .ok_or_else(|| format!("fault entry {entry:?} is missing '@'"))?;
+            let (cell, ms) = match cell.split_once('=') {
+                Some((c, ms)) => (
+                    c,
+                    Some(ms.parse::<u64>().map_err(|_| {
+                        format!("fault entry {entry:?} has a non-numeric duration {ms:?}")
+                    })?),
+                ),
+                None => (cell, None),
+            };
+            let mut parts = cell.split(':');
+            let (workload, input, system) = match (parts.next(), parts.next(), parts.next()) {
+                (Some(w), Some(i), Some(s)) if parts.next().is_none() => (w, i, s),
+                _ => {
+                    return Err(format!(
+                        "fault entry {entry:?} must target workload:input:system"
+                    ))
+                }
+            };
+            let action = match (action_text, ms) {
+                ("panic", None) => FaultAction::Panic,
+                ("livelock", None) => FaultAction::Livelock,
+                ("slow", Some(ms)) => FaultAction::Slow(ms),
+                ("slow", None) => {
+                    return Err(format!("fault entry {entry:?} needs '=<ms>' for slow"))
+                }
+                (other, _) => return Err(format!("unknown fault action {other:?} in {entry:?}")),
+            };
+            plan.push(action, workload, input, system);
+        }
+        Ok(plan)
+    }
+
+    /// The plan configured via `BENCH_FAULT_PLAN`, or the empty plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a malformed plan — a misspelled injection silently
+    /// testing nothing is worse than failing fast.
+    pub fn from_env() -> Self {
+        match std::env::var("BENCH_FAULT_PLAN") {
+            Ok(text) => {
+                FaultPlan::parse(&text).unwrap_or_else(|e| panic!("invalid BENCH_FAULT_PLAN: {e}"))
+            }
+            Err(_) => FaultPlan::none(),
+        }
+    }
+
+    /// The first matching action for a cell, if any.
+    pub fn action_for(
+        &self,
+        workload: &str,
+        input: InputSet,
+        system: SystemKind,
+    ) -> Option<FaultAction> {
+        let input = format!("{input:?}").to_lowercase();
+        self.rules
+            .iter()
+            .find(|r| {
+                matches(&r.workload, workload)
+                    && matches(&r.input, &input)
+                    && matches(&r.system, system.label())
+            })
+            .map(|r| r.action)
+    }
+}
+
+/// Runs a two-op trace with circular address dependences through the real
+/// engine and returns the watchdog's [`SimError::Deadlock`].
+///
+/// This is the injection vehicle for [`FaultAction::Livelock`]: the error
+/// comes from the same detection path a genuine wedge would take, so the
+/// harness tests cover snapshot capture and error propagation end-to-end.
+///
+/// # Panics
+///
+/// Panics if the engine fails to report the deadlock (itself a bug).
+pub fn run_livelock() -> SimError {
+    let op = |dep: u32| TraceOp {
+        pc: 0x400,
+        addr: layout::HEAP_BASE,
+        value: 0,
+        dep,
+        kind: OpKind::Load,
+        lds: false,
+    };
+    let trace = Trace {
+        initial_memory: SimMemory::new(),
+        ops: vec![op(1), op(0)],
+        instructions: 2,
+    };
+    let mut machine = Machine::new(MachineConfig::default());
+    match machine.run(&trace) {
+        Err(e) => e,
+        Ok(_) => unreachable!("circular address dependences cannot complete"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_mixed_plan() {
+        let plan =
+            FaultPlan::parse("panic@mst:test:stream+cdp; livelock@health:*:stream ;slow@*:*:*=7")
+                .expect("valid plan");
+        assert_eq!(
+            plan.action_for("mst", InputSet::Test, SystemKind::StreamCdp),
+            Some(FaultAction::Panic)
+        );
+        assert_eq!(
+            plan.action_for("health", InputSet::Ref, SystemKind::StreamOnly),
+            Some(FaultAction::Livelock)
+        );
+        // First match wins; the wildcard slow rule catches the rest.
+        assert_eq!(
+            plan.action_for("em3d", InputSet::Train, SystemKind::GhbAlone),
+            Some(FaultAction::Slow(7))
+        );
+    }
+
+    #[test]
+    fn empty_and_invalid_plans() {
+        assert!(FaultPlan::parse("").expect("empty ok").is_empty());
+        assert!(FaultPlan::parse("  ;  ").expect("blank ok").is_empty());
+        assert!(FaultPlan::parse("panic@mst:test").is_err());
+        assert!(FaultPlan::parse("explode@a:b:c").is_err());
+        assert!(FaultPlan::parse("slow@a:b:c").is_err());
+        assert!(FaultPlan::parse("slow@a:b:c=fast").is_err());
+        assert!(FaultPlan::parse("panic mst").is_err());
+    }
+
+    #[test]
+    fn unmatched_cells_get_no_action() {
+        let plan = FaultPlan::parse("panic@mst:test:stream").expect("valid");
+        assert_eq!(
+            plan.action_for("mst", InputSet::Ref, SystemKind::StreamOnly),
+            None
+        );
+        assert_eq!(
+            plan.action_for("health", InputSet::Test, SystemKind::StreamOnly),
+            None
+        );
+    }
+
+    #[test]
+    fn injected_livelock_is_a_real_deadlock() {
+        let err = run_livelock();
+        assert_eq!(err.kind(), "deadlock");
+        let snap = err.snapshot().expect("deadlock carries a snapshot");
+        assert_eq!(snap.retired_ops, 0);
+    }
+}

@@ -1,32 +1,55 @@
 //! Thread-safe caching layer for experiment composition.
 //!
 //! A [`Lab`] memoizes workload traces, train-input profiles, compiler
-//! artifacts and single-core run results behind `Arc<OnceLock>` cells, so
+//! artifacts and single-core run results behind compute-once cells, so
 //! each is computed **exactly once per process** no matter how many
 //! figures request it or how many worker threads run concurrently
 //! (concurrent requesters of the same cell block on the leader instead of
 //! recomputing). `Lab` is `Clone + Send + Sync`; clones share the same
 //! cache, which is what the parallel sweep executor in [`crate::sweep`]
 //! relies on.
+//!
+//! The cache is failure-aware: a cell whose initializer returns an error
+//! or panics stays *empty* (it does not cache the failure and does not
+//! poison the map), so an injected or transient fault in one sweep cell
+//! never wedges the remaining cells — the property the fault-tolerance
+//! integration tests pin down.
 
 use std::collections::HashMap;
 use std::hash::Hash;
 use std::path::PathBuf;
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Instant;
 
 use ecdp::profile::{profile_workload, PgProfile};
 use ecdp::system::{run_system, CompilerArtifacts, SystemKind};
-use sim_core::{RunStats, Trace};
+use sim_core::{RunStats, SimError, Trace};
 use workloads::{by_name, InputSet};
 
-use crate::manifest::{Manifest, RunRecord};
+use crate::fault::{FaultAction, FaultPlan};
+use crate::manifest::{Manifest, RunOutcome, RunRecord};
+
+/// Locks a mutex, recovering from poisoning.
+///
+/// Every value behind these locks is a plain cache entry that is only
+/// written *after* its compute completed, so a panic on another thread
+/// never leaves it half-updated — recovering the guard is always safe
+/// and keeps one panicking sweep cell from wedging the whole lab.
+fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 /// A concurrent compute-once map: the first requester of a key runs the
 /// initializer, every other concurrent requester blocks until the value
 /// is ready, and later requesters get the cached clone.
+///
+/// Failed initializers (error return or panic) leave the cell empty, so
+/// the next requester retries the compute instead of observing a wedged
+/// or poisoned entry.
 struct OnceMap<K, V> {
-    inner: Mutex<HashMap<K, Arc<OnceLock<V>>>>,
+    inner: Mutex<HashMap<K, Arc<Mutex<Option<V>>>>>,
 }
 
 impl<K: Eq + Hash + Clone, V: Clone> OnceMap<K, V> {
@@ -36,25 +59,49 @@ impl<K: Eq + Hash + Clone, V: Clone> OnceMap<K, V> {
         }
     }
 
-    fn get_or_init(&self, key: &K, f: impl FnOnce() -> V) -> V {
+    /// Returns the cached value or runs `f` to produce it. `Err` is
+    /// propagated to the caller and *not* cached; a panicking `f`
+    /// likewise leaves the cell empty for the next requester.
+    fn get_or_try_init<E>(&self, key: &K, f: impl FnOnce() -> Result<V, E>) -> Result<V, E> {
         let cell = {
-            let mut map = self.inner.lock().unwrap();
+            let mut map = lock_recover(&self.inner);
             map.entry(key.clone()).or_default().clone()
         };
         // The map lock is released here: a slow initializer only blocks
         // requesters of the *same* key, never the whole cache.
-        cell.get_or_init(f).clone()
+        let mut slot = lock_recover(&cell);
+        if let Some(v) = slot.as_ref() {
+            return Ok(v.clone());
+        }
+        let v = f()?;
+        *slot = Some(v.clone());
+        Ok(v)
+    }
+
+    fn get_or_init(&self, key: &K, f: impl FnOnce() -> V) -> V {
+        self.get_or_try_init::<std::convert::Infallible>(key, || Ok(f()))
+            .unwrap_or_else(|e| match e {})
+    }
+
+    /// The cached value for `key`, if its compute has completed.
+    fn get(&self, key: &K) -> Option<V> {
+        let cell = lock_recover(&self.inner).get(key)?.clone();
+        let slot = lock_recover(&cell);
+        slot.clone()
     }
 
     fn len(&self) -> usize {
-        self.inner.lock().unwrap().len()
+        lock_recover(&self.inner).len()
     }
 
     /// All initialized entries (skips cells still being computed).
     fn snapshot(&self) -> Vec<(K, V)> {
-        let map = self.inner.lock().unwrap();
+        let map = lock_recover(&self.inner);
         map.iter()
-            .filter_map(|(k, cell)| cell.get().map(|v| (k.clone(), v.clone())))
+            .filter_map(|(k, cell)| {
+                let slot = cell.try_lock().ok()?;
+                slot.as_ref().map(|v| (k.clone(), v.clone()))
+            })
             .collect()
     }
 }
@@ -65,6 +112,7 @@ struct LabShared {
     artifacts: OnceMap<String, Arc<CompilerArtifacts>>,
     /// Run result plus the wall-clock milliseconds of the fresh compute.
     runs: OnceMap<(String, InputSet, SystemKind), (RunStats, f64)>,
+    faults: FaultPlan,
     verbose: bool,
 }
 
@@ -94,14 +142,23 @@ impl Default for Lab {
 
 impl Lab {
     /// Creates an empty lab. Set `BENCH_VERBOSE` in the environment for
-    /// one progress line per fresh simulation on stderr.
+    /// one progress line per fresh simulation on stderr; set
+    /// `BENCH_FAULT_PLAN` (see [`FaultPlan`]) to inject failures into
+    /// matching cells.
     pub fn new() -> Self {
+        Self::with_faults(FaultPlan::from_env())
+    }
+
+    /// Creates an empty lab with an explicit fault-injection plan
+    /// (tests use this instead of mutating the process environment).
+    pub fn with_faults(faults: FaultPlan) -> Self {
         Lab {
             shared: Arc::new(LabShared {
                 traces: OnceMap::new(),
                 profiles: OnceMap::new(),
                 artifacts: OnceMap::new(),
                 runs: OnceMap::new(),
+                faults,
                 verbose: std::env::var_os("BENCH_VERBOSE").is_some(),
             }),
         }
@@ -178,21 +235,58 @@ impl Lab {
 
     /// Runs (or returns the cached run of) `name`'s `input` trace on
     /// `kind`, using artifacts profiled from the train input.
-    pub fn run_on(&self, name: &str, input: InputSet, kind: SystemKind) -> RunStats {
+    ///
+    /// Failed runs are not cached: a later request for the same cell
+    /// retries the simulation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the [`SimError`] of a wedged or injected-fault run.
+    pub fn try_run_on(
+        &self,
+        name: &str,
+        input: InputSet,
+        kind: SystemKind,
+    ) -> Result<RunStats, SimError> {
         let key = (name.to_string(), input, kind);
         self.shared
             .runs
-            .get_or_init(&key, || {
+            .get_or_try_init(&key, || {
+                match self.shared.faults.action_for(name, input, kind) {
+                    Some(FaultAction::Panic) => {
+                        panic!("injected fault: panic in {name} {input:?} {}", kind.label())
+                    }
+                    Some(FaultAction::Livelock) => return Err(crate::fault::run_livelock()),
+                    Some(FaultAction::Slow(ms)) => {
+                        std::thread::sleep(std::time::Duration::from_millis(ms));
+                    }
+                    None => {}
+                }
                 let art = self.artifacts(name);
                 let t = self.trace(name, input);
                 if self.shared.verbose {
                     eprintln!("[lab] running {name} {input:?} on {}", kind.label());
                 }
                 let t0 = Instant::now();
-                let stats = run_system(kind, &t, &art);
-                (stats, t0.elapsed().as_secs_f64() * 1e3)
+                let stats = run_system(kind, &t, &art)?;
+                Ok((stats, t0.elapsed().as_secs_f64() * 1e3))
             })
-            .0
+            .map(|(stats, _)| stats)
+    }
+
+    /// Like [`Lab::try_run_on`], for callers that treat a failed
+    /// simulation as fatal.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the [`SimError`] message when the run fails.
+    pub fn run_on(&self, name: &str, input: InputSet, kind: SystemKind) -> RunStats {
+        self.try_run_on(name, input, kind).unwrap_or_else(|e| {
+            panic!(
+                "simulation of {name} {input:?} on {} failed: {e}",
+                kind.label()
+            )
+        })
     }
 
     /// Runs (or returns the cached run of) `name`'s ref input on `kind`.
@@ -215,13 +309,11 @@ impl Lab {
     /// The [`RunRecord`] of one cached run, if it has been executed.
     pub fn record_for(&self, name: &str, input: InputSet, kind: SystemKind) -> Option<RunRecord> {
         let key = (name.to_string(), input, kind);
-        let map = self.shared.runs.inner.lock().unwrap();
-        let (stats, wall_ms) = map.get(&key)?.get()?.clone();
-        drop(map);
+        let (stats, wall_ms) = self.shared.runs.get(&key)?;
         Some(RunRecord::new(name, input, kind, &stats, wall_ms))
     }
 
-    /// Records of every run executed so far, sorted by
+    /// Records of every successful run executed so far, sorted by
     /// (workload, input, system) for deterministic manifests.
     pub fn records(&self) -> Vec<RunRecord> {
         let mut records: Vec<RunRecord> = self
@@ -246,7 +338,11 @@ impl Lab {
     pub fn write_manifest(&self, name: &str) -> std::io::Result<PathBuf> {
         Manifest {
             name: name.to_string(),
-            records: self.records(),
+            records: self
+                .records()
+                .into_iter()
+                .map(RunOutcome::Success)
+                .collect(),
         }
         .write()
     }
@@ -262,6 +358,7 @@ impl std::fmt::Debug for Lab {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 
@@ -286,6 +383,33 @@ mod tests {
         assert_eq!(calls.load(Ordering::SeqCst), 16, "one compute per key");
         assert_eq!(map.len(), 16);
         assert_eq!(map.snapshot().len(), 16);
+    }
+
+    #[test]
+    fn once_map_survives_a_panicking_initializer() {
+        let map: OnceMap<u32, u64> = OnceMap::new();
+        // A panicking leader used to poison the cell's lock and wedge
+        // every later requester of the same key; now the cell is simply
+        // left empty and the next requester retries.
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            map.get_or_init(&7, || panic!("injected"));
+        }));
+        assert!(r.is_err(), "the panic must propagate to the caller");
+        assert_eq!(map.get(&7), None, "failed compute is not cached");
+        assert_eq!(map.get_or_init(&7, || 21), 21, "retry succeeds");
+        assert_eq!(map.get(&7), Some(21));
+        // Unrelated keys are unaffected throughout.
+        assert_eq!(map.get_or_init(&8, || 24), 24);
+    }
+
+    #[test]
+    fn once_map_does_not_cache_errors() {
+        let map: OnceMap<u32, u64> = OnceMap::new();
+        let e = map.get_or_try_init(&1, || Err::<u64, _>("boom"));
+        assert_eq!(e, Err("boom"));
+        assert_eq!(map.get(&1), None);
+        assert_eq!(map.get_or_try_init::<&str>(&1, || Ok(5)), Ok(5));
+        assert_eq!(map.get(&1), Some(5));
     }
 
     #[test]

@@ -11,27 +11,40 @@
 //! tests.
 
 pub mod chart;
+pub mod cli;
 pub mod experiments;
+pub mod fault;
 pub mod lab;
 pub mod manifest;
 pub mod sweep;
 pub mod table;
 
+pub use fault::{FaultAction, FaultPlan};
 pub use lab::Lab;
-pub use manifest::{Manifest, RunRecord};
-pub use sweep::{default_jobs, SweepCell, SweepPlan};
+pub use manifest::{config_hash, FailureRecord, Manifest, ManifestWriter, RunOutcome, RunRecord};
+pub use sweep::{default_jobs, SweepCell, SweepExecution, SweepOptions, SweepPlan};
 pub use table::Table;
 
 /// Runs one report generator against a fresh [`Lab`], prints the report,
 /// and writes the run manifest to `target/lab/<name>.json`.
 ///
-/// This is the shared entry point of the thin per-figure binaries.
+/// This is the shared entry point of the thin per-figure binaries. A
+/// panicking generator (e.g. a wedged simulation surfaced through
+/// [`Lab::run_on`]) still gets its manifest of completed cells written,
+/// and the process exits with status 1 instead of aborting mid-stream.
 pub fn run_report(name: &str, generate: impl FnOnce(&Lab) -> String) {
     let lab = Lab::new();
-    print!("{}", generate(&lab));
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| generate(&lab)));
+    match &result {
+        Ok(report) => print!("{report}"),
+        Err(_) => eprintln!("[lab] report {name} failed; writing partial manifest"),
+    }
     match lab.write_manifest(name) {
         Ok(path) => eprintln!("[lab] manifest: {}", path.display()),
         Err(e) => eprintln!("[lab] manifest write failed: {e}"),
+    }
+    if result.is_err() {
+        std::process::exit(1);
     }
 }
 

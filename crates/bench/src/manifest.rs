@@ -1,17 +1,35 @@
 //! Run-manifest observability layer.
 //!
 //! Every simulated cell — a (workload, input set, system) triple — yields
-//! a [`RunRecord`]: the machine-config hash, the full
-//! [`StatsSummary`](sim_core::StatsSummary) (IPC, BPKI, per-prefetcher
-//! accuracy/coverage, ...) and the wall time of the fresh simulation.
-//! Figure and section binaries bundle their records into a [`Manifest`]
-//! written to `target/lab/<name>.json`, which the regression tests (and
-//! any external tooling) consume instead of re-parsing report text.
+//! a [`RunOutcome`]: either a [`RunRecord`] with the machine-config hash,
+//! the full [`StatsSummary`](sim_core::StatsSummary) (IPC, BPKI,
+//! per-prefetcher accuracy/coverage, ...) and the wall time of the fresh
+//! simulation, or a [`FailureRecord`] carrying the structured error of a
+//! cell that panicked or wedged. Figure and section binaries bundle their
+//! outcomes into a [`Manifest`] written to `target/lab/<name>.json`,
+//! which the regression tests (and any external tooling) consume instead
+//! of re-parsing report text.
 //!
-//! Records are deterministic: two runs of the same build produce
-//! byte-identical manifests except for the `wall_ms` fields.
+//! Successful records are deterministic: two runs of the same build
+//! produce byte-identical manifests except for the `wall_ms` fields.
+//!
+//! # Schema
+//!
+//! `schema_version` is 2. A success record has no `outcome` field (for
+//! compatibility with version-1 readers and golden files); a failure
+//! record carries `"outcome": "failed"` plus `error_kind` (the stable
+//! [`SimError::kind`](sim_core::SimError::kind) tag, or `"panic"`) and a
+//! human-readable `error` message, and has no `stats`.
+//!
+//! # Crash safety
+//!
+//! [`Manifest::write`] is atomic (temp file + rename in the output
+//! directory), and [`ManifestWriter`] re-writes the manifest after every
+//! completed cell — a killed sweep leaves a valid manifest of everything
+//! that finished, which `run_all --resume` uses to skip completed cells.
 
 use std::path::PathBuf;
+use std::sync::Mutex;
 
 use ecdp::system::SystemKind;
 use sim_core::{Json, MachineConfig, RunStats, StatsSummary};
@@ -32,7 +50,7 @@ pub fn config_hash() -> u64 {
     h
 }
 
-/// The outcome of one simulated cell.
+/// The outcome of one successfully simulated cell.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunRecord {
     /// Workload name (as accepted by `workloads::by_name`).
@@ -117,29 +135,220 @@ impl RunRecord {
     }
 }
 
-/// A named collection of run records, serialized to `target/lab/`.
+/// The outcome of a cell whose simulation panicked or returned a
+/// [`SimError`](sim_core::SimError).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailureRecord {
+    /// Workload name.
+    pub workload: String,
+    /// Input set, lower-cased.
+    pub input: String,
+    /// System label.
+    pub system: String,
+    /// Hash of the machine configuration the run used.
+    pub config_hash: u64,
+    /// Stable error tag: a [`SimError::kind`](sim_core::SimError::kind)
+    /// value (`"deadlock"`, `"cycle-budget"`, `"invariant"`) or
+    /// `"panic"`.
+    pub error_kind: String,
+    /// Human-readable error message (includes the diagnostic snapshot
+    /// for engine failures).
+    pub error: String,
+    /// Wall-clock milliseconds until the failure was detected.
+    pub wall_ms: f64,
+}
+
+impl FailureRecord {
+    /// Builds a failure record for one cell.
+    pub fn new(
+        workload: &str,
+        input: InputSet,
+        kind: SystemKind,
+        error_kind: &str,
+        error: &str,
+        wall_ms: f64,
+    ) -> Self {
+        FailureRecord {
+            workload: workload.to_string(),
+            input: format!("{input:?}").to_lowercase(),
+            system: kind.label().to_string(),
+            config_hash: config_hash(),
+            error_kind: error_kind.to_string(),
+            error: error.to_string(),
+            wall_ms,
+        }
+    }
+
+    /// JSON form; the `"outcome": "failed"` field is the discriminator.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("workload", Json::Str(self.workload.clone())),
+            ("input", Json::Str(self.input.clone())),
+            ("system", Json::Str(self.system.clone())),
+            (
+                "config_hash",
+                Json::Str(format!("{:016x}", self.config_hash)),
+            ),
+            ("outcome", Json::Str("failed".to_string())),
+            ("error_kind", Json::Str(self.error_kind.clone())),
+            ("error", Json::Str(self.error.clone())),
+            ("wall_ms", Json::Num(self.wall_ms)),
+        ])
+    }
+
+    /// Parses a record produced by [`FailureRecord::to_json`].
+    pub fn from_json(j: &Json) -> Option<Self> {
+        if j.get("outcome")?.as_str()? != "failed" {
+            return None;
+        }
+        Some(FailureRecord {
+            workload: j.get("workload")?.as_str()?.to_string(),
+            input: j.get("input")?.as_str()?.to_string(),
+            system: j.get("system")?.as_str()?.to_string(),
+            config_hash: u64::from_str_radix(j.get("config_hash")?.as_str()?, 16).ok()?,
+            error_kind: j.get("error_kind")?.as_str()?.to_string(),
+            error: j.get("error")?.as_str()?.to_string(),
+            wall_ms: j.get("wall_ms")?.as_f64()?,
+        })
+    }
+}
+
+/// One manifest entry: a completed cell, successful or failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunOutcome {
+    /// The cell simulated to completion.
+    Success(RunRecord),
+    /// The cell panicked or returned a simulation error.
+    Failed(FailureRecord),
+}
+
+impl RunOutcome {
+    /// Workload name of the cell.
+    pub fn workload(&self) -> &str {
+        match self {
+            RunOutcome::Success(r) => &r.workload,
+            RunOutcome::Failed(f) => &f.workload,
+        }
+    }
+
+    /// Input-set label of the cell.
+    pub fn input(&self) -> &str {
+        match self {
+            RunOutcome::Success(r) => &r.input,
+            RunOutcome::Failed(f) => &f.input,
+        }
+    }
+
+    /// System label of the cell.
+    pub fn system(&self) -> &str {
+        match self {
+            RunOutcome::Success(r) => &r.system,
+            RunOutcome::Failed(f) => &f.system,
+        }
+    }
+
+    /// Machine-config hash the cell ran under.
+    pub fn config_hash(&self) -> u64 {
+        match self {
+            RunOutcome::Success(r) => r.config_hash,
+            RunOutcome::Failed(f) => f.config_hash,
+        }
+    }
+
+    /// True for [`RunOutcome::Failed`].
+    pub fn is_failed(&self) -> bool {
+        matches!(self, RunOutcome::Failed(_))
+    }
+
+    /// The success record, if any.
+    pub fn success(&self) -> Option<&RunRecord> {
+        match self {
+            RunOutcome::Success(r) => Some(r),
+            RunOutcome::Failed(_) => None,
+        }
+    }
+
+    /// The failure record, if any.
+    pub fn failure(&self) -> Option<&FailureRecord> {
+        match self {
+            RunOutcome::Success(_) => None,
+            RunOutcome::Failed(f) => Some(f),
+        }
+    }
+
+    /// Stable (workload, input, system) sort key.
+    pub fn sort_key(&self) -> (String, String, String) {
+        (
+            self.workload().to_string(),
+            self.input().to_string(),
+            self.system().to_string(),
+        )
+    }
+
+    /// JSON form (success records carry no `outcome` field).
+    pub fn to_json(&self) -> Json {
+        match self {
+            RunOutcome::Success(r) => r.to_json(),
+            RunOutcome::Failed(f) => f.to_json(),
+        }
+    }
+
+    /// Parses either record shape; records without an `outcome` field
+    /// are successes (the version-1 format).
+    pub fn from_json(j: &Json) -> Option<Self> {
+        match j.get("outcome").and_then(Json::as_str) {
+            Some("failed") => FailureRecord::from_json(j).map(RunOutcome::Failed),
+            Some(_) => None,
+            None => RunRecord::from_json(j).map(RunOutcome::Success),
+        }
+    }
+}
+
+/// A named collection of run outcomes, serialized to `target/lab/`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Manifest {
     /// Manifest name; also the output file stem.
     pub name: String,
-    /// Records in stable (workload, input, system) order.
-    pub records: Vec<RunRecord>,
+    /// Outcomes in stable (workload, input, system) order.
+    pub records: Vec<RunOutcome>,
 }
 
 impl Manifest {
+    /// The success records, in manifest order.
+    pub fn successes(&self) -> impl Iterator<Item = &RunRecord> {
+        self.records.iter().filter_map(RunOutcome::success)
+    }
+
+    /// The failure records, in manifest order.
+    pub fn failures(&self) -> impl Iterator<Item = &FailureRecord> {
+        self.records.iter().filter_map(RunOutcome::failure)
+    }
+
+    /// True if a *successful* record for this exact cell (including the
+    /// machine-config hash) exists — the resume-skip criterion.
+    pub fn has_success(&self, workload: &str, input: &str, system: &str, config: u64) -> bool {
+        self.successes().any(|r| {
+            r.workload == workload
+                && r.input == input
+                && r.system == system
+                && r.config_hash == config
+        })
+    }
+
     /// JSON form of the whole manifest.
     pub fn to_json(&self) -> Json {
         Json::obj([
             ("name", Json::Str(self.name.clone())),
-            ("schema_version", Json::Num(1.0)),
+            ("schema_version", Json::Num(2.0)),
             (
                 "records",
-                Json::Arr(self.records.iter().map(RunRecord::to_json).collect()),
+                Json::Arr(self.records.iter().map(RunOutcome::to_json).collect()),
             ),
         ])
     }
 
-    /// Parses manifest text written by [`Manifest::write`].
+    /// Parses manifest text written by [`Manifest::write`] (either
+    /// schema version).
     ///
     /// # Errors
     ///
@@ -160,9 +369,15 @@ impl Manifest {
             .iter()
             .enumerate()
         {
-            records.push(RunRecord::from_json(r).ok_or_else(|| format!("bad record {i}"))?);
+            records.push(RunOutcome::from_json(r).ok_or_else(|| format!("bad record {i}"))?);
         }
         Ok(Manifest { name, records })
+    }
+
+    /// Loads and parses `<out_dir>/<name>.json`, if present and valid.
+    pub fn load(name: &str) -> Option<Self> {
+        let text = std::fs::read_to_string(Self::out_dir().join(format!("{name}.json"))).ok()?;
+        Manifest::parse(&text).ok()
     }
 
     /// The directory manifests are written to: `$BENCH_LAB_DIR` if set,
@@ -173,8 +388,12 @@ impl Manifest {
             .unwrap_or_else(|| PathBuf::from("target").join("lab"))
     }
 
-    /// Writes the manifest to `<out_dir>/<name>.json` and returns the
-    /// path.
+    /// Atomically writes the manifest to `<out_dir>/<name>.json` and
+    /// returns the path.
+    ///
+    /// The content is first written to a temp file in the same directory
+    /// and then renamed into place, so a crash mid-write never leaves a
+    /// truncated manifest (the previous version, if any, survives).
     ///
     /// # Errors
     ///
@@ -183,12 +402,79 @@ impl Manifest {
         let dir = Self::out_dir();
         std::fs::create_dir_all(&dir)?;
         let path = dir.join(format!("{}.json", self.name));
-        std::fs::write(&path, self.to_json().to_string_pretty())?;
-        Ok(path)
+        let tmp = dir.join(format!(".{}.json.tmp-{}", self.name, std::process::id()));
+        std::fs::write(&tmp, self.to_json().to_string_pretty())?;
+        match std::fs::rename(&tmp, &path) {
+            Ok(()) => Ok(path),
+            Err(e) => {
+                let _ = std::fs::remove_file(&tmp);
+                Err(e)
+            }
+        }
+    }
+}
+
+/// Incremental, crash-safe manifest output.
+///
+/// Sweep workers report each completed cell via [`ManifestWriter::append`]
+/// together with its plan-order index; the writer keeps the outcomes
+/// sorted by that index and atomically re-writes the manifest file after
+/// every append. Killing the process at any point leaves a valid
+/// manifest of every cell completed so far.
+#[derive(Debug)]
+pub struct ManifestWriter {
+    name: String,
+    state: Mutex<Vec<(usize, RunOutcome)>>,
+}
+
+impl ManifestWriter {
+    /// Creates a writer for `<out_dir>/<name>.json`.
+    pub fn new(name: impl Into<String>) -> Self {
+        ManifestWriter {
+            name: name.into(),
+            state: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Records one completed cell (at plan index `order`) and re-writes
+    /// the manifest file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors; the in-memory state is updated
+    /// regardless, so a later append retries the write.
+    pub fn append(&self, order: usize, outcome: RunOutcome) -> std::io::Result<PathBuf> {
+        // The write happens while the lock is held: concurrent appends
+        // share one temp-file path (the pid), and an unserialized rename
+        // could land a stale snapshot last.
+        let mut state = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        state.push((order, outcome));
+        state.sort_by_key(|(i, _)| *i);
+        let manifest = Manifest {
+            name: self.name.clone(),
+            records: state.iter().map(|(_, o)| o.clone()).collect(),
+        };
+        manifest.write()
+    }
+
+    /// The manifest assembled so far, in plan order.
+    pub fn manifest(&self) -> Manifest {
+        let state = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        Manifest {
+            name: self.name.clone(),
+            records: state.iter().map(|(_, o)| o.clone()).collect(),
+        }
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 
@@ -203,6 +489,17 @@ mod tests {
         )
     }
 
+    fn sample_failure() -> FailureRecord {
+        FailureRecord::new(
+            "health",
+            InputSet::Test,
+            SystemKind::StreamCdp,
+            "deadlock",
+            "simulator deadlock: cycle 42 ...",
+            3.5,
+        )
+    }
+
     #[test]
     fn record_roundtrips_through_json() {
         let r = sample_record(12.5);
@@ -210,6 +507,19 @@ mod tests {
         assert_eq!(r, parsed);
         assert_eq!(parsed.input, "ref");
         assert_eq!(parsed.system, SystemKind::StreamEcdpThrottled.label());
+    }
+
+    #[test]
+    fn failure_roundtrips_through_json() {
+        let f = sample_failure();
+        let j = f.to_json();
+        assert_eq!(j.get("outcome").and_then(Json::as_str), Some("failed"));
+        let parsed = FailureRecord::from_json(&j).unwrap();
+        assert_eq!(f, parsed);
+        // The generic outcome parser discriminates on the field.
+        assert!(RunOutcome::from_json(&j).unwrap().is_failed());
+        let s = RunOutcome::from_json(&sample_record(1.0).to_json()).unwrap();
+        assert!(!s.is_failed());
     }
 
     #[test]
@@ -225,12 +535,24 @@ mod tests {
     fn manifest_roundtrips_and_is_deterministic() {
         let m = Manifest {
             name: "unit".to_string(),
-            records: vec![sample_record(3.0), sample_record(4.0)],
+            records: vec![
+                RunOutcome::Success(sample_record(3.0)),
+                RunOutcome::Failed(sample_failure()),
+            ],
         };
         let text = m.to_json().to_string_pretty();
         assert_eq!(text, m.to_json().to_string_pretty());
         let parsed = Manifest::parse(&text).unwrap();
         assert_eq!(m, parsed);
+        assert_eq!(parsed.successes().count(), 1);
+        assert_eq!(parsed.failures().count(), 1);
+        let r = sample_record(0.0);
+        assert!(parsed.has_success(&r.workload, &r.input, &r.system, r.config_hash));
+        let f = sample_failure();
+        assert!(
+            !parsed.has_success(&f.workload, &f.input, &f.system, f.config_hash),
+            "failed cells must not satisfy the resume-skip criterion"
+        );
     }
 
     #[test]

@@ -11,14 +11,26 @@
 //! thread count, and all metric fields are identical at any `jobs` value
 //! (only `wall_ms` may differ); the determinism regression test in
 //! `crates/bench/tests` pins this down.
+//!
+//! [`SweepPlan::run_fault_tolerant`] adds failure isolation on top: each
+//! cell's simulation runs under `catch_unwind`, so a panicking or
+//! deadlocked cell yields a [`RunOutcome::Failed`] record while every
+//! other cell completes normally. Combined with a [`ManifestWriter`]
+//! (incremental, atomic manifest flushes) and a resume manifest (skip
+//! cells that already succeeded under the same machine config), this is
+//! what makes long sweeps crash-safe and restartable.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
 use ecdp::system::SystemKind;
 use workloads::InputSet;
 
 use crate::lab::Lab;
-use crate::manifest::{Manifest, RunRecord};
+use crate::manifest::{
+    config_hash, FailureRecord, Manifest, ManifestWriter, RunOutcome, RunRecord,
+};
 
 /// One simulation cell of a sweep.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -29,6 +41,63 @@ pub struct SweepCell {
     pub input: InputSet,
     /// System configuration to run.
     pub system: SystemKind,
+}
+
+impl SweepCell {
+    /// The lower-cased input label used in manifests.
+    pub fn input_label(&self) -> String {
+        format!("{:?}", self.input).to_lowercase()
+    }
+}
+
+/// Execution options for [`SweepPlan::run_fault_tolerant`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SweepOptions<'a> {
+    /// Skip cells that already have a *successful* record (same
+    /// workload, input, system and machine-config hash) in this
+    /// manifest; the prior record is carried into the results.
+    pub resume_from: Option<&'a Manifest>,
+    /// Flush every completed cell to this writer as it finishes, so a
+    /// killed process leaves a valid partial manifest behind.
+    pub writer: Option<&'a ManifestWriter>,
+}
+
+/// What [`SweepPlan::run_fault_tolerant`] did.
+#[derive(Debug, Clone)]
+pub struct SweepExecution {
+    /// One outcome per plan cell, in plan order. Resume-skipped cells
+    /// carry their prior success record.
+    pub outcomes: Vec<RunOutcome>,
+    /// Cells actually simulated in this execution.
+    pub ran: usize,
+    /// Cells skipped because the resume manifest already had them.
+    pub skipped: usize,
+}
+
+impl SweepExecution {
+    /// Number of failed cells.
+    pub fn failed(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.is_failed()).count()
+    }
+
+    /// The success records, in plan order.
+    pub fn records(&self) -> Vec<RunRecord> {
+        self.outcomes
+            .iter()
+            .filter_map(RunOutcome::success)
+            .cloned()
+            .collect()
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// An ordered list of cells to execute, possibly in parallel.
@@ -88,6 +157,10 @@ impl SweepPlan {
     /// Cells are claimed from a shared atomic counter, so a slow cell
     /// never stalls unrelated workers; duplicate cells hit the lab cache
     /// and simulate only once.
+    ///
+    /// A failing cell panics the worker (and, through the thread scope,
+    /// the caller) — use [`SweepPlan::run_fault_tolerant`] when the
+    /// remaining cells should survive a failure.
     pub fn run(&self, lab: &Lab, jobs: usize) -> Vec<RunRecord> {
         let n = self.cells.len();
         let workers = jobs.clamp(1, n.max(1));
@@ -118,6 +191,110 @@ impl SweepPlan {
             .collect()
     }
 
+    /// Executes every cell with per-cell failure isolation.
+    ///
+    /// Each cell's simulation runs under `catch_unwind`: a panic or a
+    /// structured `SimError` produces a [`RunOutcome::Failed`] record
+    /// for that cell and the remaining cells keep going on all workers.
+    /// See [`SweepOptions`] for resume and incremental-flush behavior.
+    pub fn run_fault_tolerant(
+        &self,
+        lab: &Lab,
+        jobs: usize,
+        opts: &SweepOptions<'_>,
+    ) -> SweepExecution {
+        let n = self.cells.len();
+        let workers = jobs.clamp(1, n.max(1));
+        let cfg = config_hash();
+
+        // Resolve resume skips up front so `skipped` is exact even if
+        // the process dies mid-sweep.
+        let prior: Vec<Option<RunRecord>> = self
+            .cells
+            .iter()
+            .map(|c| {
+                opts.resume_from.and_then(|m| {
+                    let input = c.input_label();
+                    m.successes()
+                        .find(|r| {
+                            r.workload == c.workload
+                                && r.input == input
+                                && r.system == c.system.label()
+                                && r.config_hash == cfg
+                        })
+                        .cloned()
+                })
+            })
+            .collect();
+        let skipped = prior.iter().filter(|p| p.is_some()).count();
+
+        let next = AtomicUsize::new(0);
+        let mut slots: Vec<std::sync::OnceLock<RunOutcome>> = Vec::new();
+        slots.resize_with(n, std::sync::OnceLock::new);
+
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let cell = &self.cells[i];
+                    let outcome = match &prior[i] {
+                        Some(record) => RunOutcome::Success(record.clone()),
+                        None => {
+                            let t0 = Instant::now();
+                            let result = catch_unwind(AssertUnwindSafe(|| {
+                                lab.try_run_on(&cell.workload, cell.input, cell.system)
+                            }));
+                            let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+                            match result {
+                                Ok(Ok(_)) => RunOutcome::Success(
+                                    lab.record_for(&cell.workload, cell.input, cell.system)
+                                        .expect("successful run populated the cache"),
+                                ),
+                                Ok(Err(e)) => RunOutcome::Failed(FailureRecord::new(
+                                    &cell.workload,
+                                    cell.input,
+                                    cell.system,
+                                    e.kind(),
+                                    &e.to_string(),
+                                    wall_ms,
+                                )),
+                                Err(payload) => RunOutcome::Failed(FailureRecord::new(
+                                    &cell.workload,
+                                    cell.input,
+                                    cell.system,
+                                    "panic",
+                                    &panic_message(payload),
+                                    wall_ms,
+                                )),
+                            }
+                        }
+                    };
+                    if let Some(w) = opts.writer {
+                        if let Err(e) = w.append(i, outcome.clone()) {
+                            eprintln!("[sweep] manifest flush failed: {e}");
+                        }
+                    }
+                    let _ = slots[i].set(outcome);
+                });
+            }
+        });
+
+        SweepExecution {
+            outcomes: slots
+                .into_iter()
+                .map(|s| {
+                    s.into_inner()
+                        .expect("every claimed cell stored an outcome")
+                })
+                .collect(),
+            ran: n - skipped,
+            skipped,
+        }
+    }
+
     /// Runs the plan and writes its manifest to
     /// `target/lab/<name>.json`; returns the records and the path.
     ///
@@ -132,7 +309,7 @@ impl SweepPlan {
         let records = self.run(lab, jobs);
         let path = Manifest {
             name: self.name.clone(),
-            records: records.clone(),
+            records: records.iter().cloned().map(RunOutcome::Success).collect(),
         }
         .write()?;
         Ok((records, path))
@@ -165,6 +342,7 @@ impl LabelContains for SystemKind {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 
@@ -203,5 +381,13 @@ mod tests {
     #[test]
     fn default_jobs_is_positive() {
         assert!(default_jobs() >= 1);
+    }
+
+    #[test]
+    fn panic_messages_are_extracted() {
+        let payload = catch_unwind(|| panic!("plain {}", "message")).unwrap_err();
+        assert_eq!(panic_message(payload), "plain message");
+        let payload = catch_unwind(|| std::panic::panic_any(42u32)).unwrap_err();
+        assert_eq!(panic_message(payload), "non-string panic payload");
     }
 }

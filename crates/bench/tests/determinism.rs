@@ -3,6 +3,8 @@
 //! the `wall_ms` timing field) at any worker-thread count, and shared
 //! inputs must be computed exactly once per process.
 
+#![allow(clippy::unwrap_used)]
+
 use std::sync::Arc;
 
 use bench::{Lab, SweepPlan};

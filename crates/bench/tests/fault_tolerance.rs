@@ -1,0 +1,237 @@
+//! Fault-tolerance regression tests: panic isolation in the sweep
+//! executor, resume from a partial manifest, and the end-to-end behavior
+//! of the real `run_all` binary under injected faults.
+//!
+//! The injected failures come from [`bench::FaultPlan`]: a panic in one
+//! cell and a *genuine* engine livelock (circular address dependences
+//! through the real watchdog) in another. The acceptance property is
+//! that a sweep with both injected still completes every other cell,
+//! records two `Failed` manifest entries, exits nonzero — and that a
+//! `--resume` rerun re-simulates only the two failed cells.
+
+#![allow(clippy::unwrap_used)]
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use bench::{FaultAction, FaultPlan, Lab, Manifest, RunOutcome, SweepOptions, SweepPlan};
+use ecdp::system::SystemKind;
+use workloads::InputSet;
+
+const WORKLOADS: [&str; 3] = ["mst", "health", "libquantum"];
+const SYSTEMS: [SystemKind; 3] = [
+    SystemKind::StreamOnly,
+    SystemKind::StreamCdp,
+    SystemKind::StreamEcdpThrottled,
+];
+
+fn plan() -> SweepPlan {
+    SweepPlan::cross("fault-smoke", &WORKLOADS, InputSet::Test, &SYSTEMS)
+}
+
+/// The two injected failures used throughout: a panic in
+/// (mst, test, stream+cdp) and a livelock in (health, test, stream).
+fn faults() -> FaultPlan {
+    let mut f = FaultPlan::none();
+    f.push(FaultAction::Panic, "mst", "test", "stream+cdp");
+    f.push(FaultAction::Livelock, "health", "test", "stream");
+    f
+}
+
+#[test]
+fn sweep_isolates_injected_panic_and_livelock() {
+    let lab = Lab::with_faults(faults());
+    let exec = plan().run_fault_tolerant(&lab, 4, &SweepOptions::default());
+
+    assert_eq!(exec.outcomes.len(), 9, "one outcome per cell");
+    assert_eq!(exec.ran, 9);
+    assert_eq!(exec.skipped, 0);
+    assert_eq!(exec.failed(), 2, "exactly the two injected cells fail");
+
+    let failure = |workload: &str, system: &str| {
+        exec.outcomes
+            .iter()
+            .filter_map(RunOutcome::failure)
+            .find(|f| f.workload == workload && f.system == system)
+            .unwrap_or_else(|| panic!("{workload}/{system} must have failed"))
+    };
+    let panicked = failure("mst", "stream+cdp");
+    assert_eq!(panicked.error_kind, "panic");
+    assert!(
+        panicked.error.contains("injected fault"),
+        "{}",
+        panicked.error
+    );
+    let wedged = failure("health", "stream");
+    assert_eq!(wedged.error_kind, "deadlock");
+    assert!(
+        wedged.error.contains("ops retired"),
+        "deadlock message must carry the diagnostic snapshot: {}",
+        wedged.error
+    );
+
+    // Every remaining cell completed normally, in plan order.
+    let successes: Vec<_> = exec
+        .outcomes
+        .iter()
+        .filter_map(RunOutcome::success)
+        .collect();
+    assert_eq!(successes.len(), 7);
+    for s in &successes {
+        assert!(s.stats.retired_instructions > 0);
+    }
+
+    // The mixed result set round-trips through the manifest format.
+    let manifest = Manifest {
+        name: "fault-smoke".to_string(),
+        records: exec.outcomes.clone(),
+    };
+    let parsed = Manifest::parse(&manifest.to_json().to_string_pretty()).unwrap();
+    assert_eq!(parsed, manifest);
+}
+
+#[test]
+fn resume_skips_previously_successful_cells() {
+    // First pass: two injected failures.
+    let first = {
+        let lab = Lab::with_faults(faults());
+        plan().run_fault_tolerant(&lab, 4, &SweepOptions::default())
+    };
+    assert_eq!(first.failed(), 2);
+    let manifest = Manifest {
+        name: "fault-smoke".to_string(),
+        records: first.outcomes,
+    };
+
+    // Second pass: fresh lab, no faults, resuming from the manifest.
+    let lab = Lab::with_faults(FaultPlan::none());
+    let exec = plan().run_fault_tolerant(
+        &lab,
+        4,
+        &SweepOptions {
+            resume_from: Some(&manifest),
+            writer: None,
+        },
+    );
+    assert_eq!(exec.skipped, 7, "all prior successes are skipped");
+    assert_eq!(exec.ran, 2, "only the two failed cells re-run");
+    assert_eq!(exec.failed(), 0);
+    assert_eq!(exec.outcomes.len(), 9, "skipped cells keep their records");
+    assert_eq!(
+        lab.records().len(),
+        2,
+        "the lab only simulated the two previously failed cells"
+    );
+    // The re-run cells are exactly the previously failed ones.
+    let rerun: Vec<_> = lab
+        .records()
+        .iter()
+        .map(|r| (r.workload.clone(), r.system.clone()))
+        .collect();
+    assert!(rerun.contains(&("mst".to_string(), "stream+cdp".to_string())));
+    assert!(rerun.contains(&("health".to_string(), "stream".to_string())));
+}
+
+/// Drives the real `run_all` binary: a fault-injected sweep must
+/// complete the healthy cells, write `Failed` records for the injected
+/// ones, exit nonzero, and leave a manifest that a `--resume` rerun
+/// (faults cleared) uses to re-simulate only the failed cells.
+#[test]
+fn run_all_binary_survives_faults_and_resumes() {
+    let lab_dir = std::env::temp_dir().join(format!("bench-fault-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&lab_dir);
+    std::fs::create_dir_all(&lab_dir).unwrap();
+
+    let run = |fault_plan: Option<&str>, resume: bool| {
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_run_all"));
+        cmd.arg("--sweep")
+            .arg("--jobs")
+            .arg("4")
+            .env("BENCH_LAB_DIR", &lab_dir)
+            .env("BENCH_SWEEP_WORKLOADS", WORKLOADS.join(","))
+            .env("BENCH_SWEEP_INPUT", "test")
+            .env(
+                "BENCH_SWEEP_SYSTEMS",
+                SYSTEMS.map(SystemKind::label).join(","),
+            )
+            .env_remove("BENCH_FAULT_PLAN");
+        if let Some(p) = fault_plan {
+            cmd.env("BENCH_FAULT_PLAN", p);
+        }
+        if resume {
+            cmd.arg("--resume");
+        }
+        cmd.output().expect("run_all spawns")
+    };
+    let manifest_path = lab_dir.join("run_all.json");
+    let load = |path: &PathBuf| {
+        Manifest::parse(&std::fs::read_to_string(path).unwrap()).expect("manifest parses")
+    };
+
+    // Pass 1: injected panic + livelock → nonzero exit, mixed manifest.
+    let out = run(
+        Some("panic@mst:test:stream+cdp;livelock@health:test:stream"),
+        false,
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        !out.status.success(),
+        "injected faults must fail the run\n{stderr}"
+    );
+    assert!(
+        stderr.contains("9 ran, 0 skipped (resume), 2 failed"),
+        "unexpected sweep summary:\n{stderr}"
+    );
+    let manifest = load(&manifest_path);
+    assert_eq!(manifest.records.len(), 9, "every cell has a record");
+    assert_eq!(manifest.failures().count(), 2);
+    assert_eq!(manifest.successes().count(), 7);
+    let kinds: Vec<_> = manifest.failures().map(|f| f.error_kind.clone()).collect();
+    assert!(kinds.contains(&"panic".to_string()), "{kinds:?}");
+    assert!(kinds.contains(&"deadlock".to_string()), "{kinds:?}");
+
+    // Pass 2: faults cleared, --resume → only the two failed cells
+    // re-run, exit zero, fully successful manifest.
+    let out = run(None, true);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "resume pass must succeed\n{stderr}");
+    assert!(
+        stderr.contains("2 ran, 7 skipped (resume), 0 failed"),
+        "resume must re-run only the failed cells:\n{stderr}"
+    );
+    let manifest = load(&manifest_path);
+    assert_eq!(manifest.records.len(), 9);
+    assert_eq!(manifest.failures().count(), 0);
+    assert_eq!(manifest.successes().count(), 9);
+
+    let _ = std::fs::remove_dir_all(&lab_dir);
+}
+
+/// Malformed command lines must be rejected with a usage error (exit 2)
+/// instead of being silently reinterpreted.
+#[test]
+fn run_all_binary_rejects_malformed_arguments() {
+    for args in [
+        vec!["--jobs"],
+        vec!["--jobs", "many"],
+        vec!["--jobs", "0"],
+        vec!["--filter"],
+        vec!["--no-such-flag"],
+        vec!["a.md", "b.md"],
+    ] {
+        let out = Command::new(env!("CARGO_BIN_EXE_run_all"))
+            .args(&args)
+            .output()
+            .expect("run_all spawns");
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "args {args:?} must exit 2 (usage): {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("usage:"),
+            "args {args:?} must print usage"
+        );
+    }
+}

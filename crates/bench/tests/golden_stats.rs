@@ -13,9 +13,11 @@
 //! BENCH_UPDATE_GOLDEN=1 cargo test -p bench --test golden_stats
 //! ```
 
+#![allow(clippy::unwrap_used)]
+
 use std::path::PathBuf;
 
-use bench::{Lab, Manifest, RunRecord, SweepPlan};
+use bench::{FailureRecord, Lab, Manifest, RunOutcome, RunRecord, SweepPlan};
 use ecdp::system::SystemKind;
 use workloads::InputSet;
 
@@ -60,7 +62,7 @@ fn sweep_matches_golden_snapshot() {
     if std::env::var_os("BENCH_UPDATE_GOLDEN").is_some() {
         let manifest = Manifest {
             name: "golden-smoke".to_string(),
-            records,
+            records: records.into_iter().map(RunOutcome::Success).collect(),
         };
         std::fs::create_dir_all(path.parent().unwrap()).unwrap();
         std::fs::write(&path, manifest.to_json().to_string_pretty()).unwrap();
@@ -75,13 +77,19 @@ fn sweep_matches_golden_snapshot() {
         )
     });
     let golden = Manifest::parse(&text).expect("golden snapshot parses");
+    let golden_records: Vec<&RunRecord> = golden.successes().collect();
     assert_eq!(
-        golden.records.len(),
+        golden.failures().count(),
+        0,
+        "golden snapshot must contain only successful cells"
+    );
+    assert_eq!(
+        golden_records.len(),
         records.len(),
         "golden snapshot has a different cell count; regenerate it"
     );
 
-    for (g, r) in golden.records.iter().zip(&records) {
+    for (&g, r) in golden_records.iter().zip(&records) {
         let ctx = format!("{} {} {}", r.workload, r.input, r.system);
         assert_eq!(g.workload, r.workload);
         assert_eq!(g.input, r.input);
@@ -93,6 +101,69 @@ fn sweep_matches_golden_snapshot() {
         );
         compare_stats(g, r, &ctx);
     }
+}
+
+/// The manifest schema must round-trip `Failed` records through the same
+/// write path `BENCH_UPDATE_GOLDEN` uses, so a golden update of a
+/// manifest that contains failures (e.g. from a fault-injected sweep)
+/// is lossless and the success records stay byte-compatible with the
+/// version-1 golden format.
+#[test]
+fn mixed_manifest_roundtrips_through_golden_write_path() {
+    let ok = RunRecord::new(
+        "mst",
+        InputSet::Test,
+        SystemKind::StreamOnly,
+        &sim_core::RunStats::default(),
+        0.0,
+    );
+    let failed = FailureRecord::new(
+        "health",
+        InputSet::Test,
+        SystemKind::StreamCdp,
+        "deadlock",
+        "simulator deadlock: cycle 7 core 0: 0/2 ops retired ...",
+        0.0,
+    );
+    let manifest = Manifest {
+        name: "mixed".to_string(),
+        records: vec![
+            RunOutcome::Success(ok.clone()),
+            RunOutcome::Failed(failed.clone()),
+        ],
+    };
+    // Same serialization path as the golden updater.
+    let text = manifest.to_json().to_string_pretty();
+    let parsed = Manifest::parse(&text).expect("mixed manifest parses");
+    assert_eq!(parsed, manifest);
+    assert_eq!(parsed.successes().cloned().collect::<Vec<_>>(), vec![ok]);
+    assert_eq!(
+        parsed.failures().cloned().collect::<Vec<_>>(),
+        vec![failed.clone()]
+    );
+    // A success record's JSON has no `outcome` field (v1 compatibility);
+    // a failure's is discriminated and carries the structured error.
+    let j = manifest.to_json();
+    let records = j.get("records").and_then(sim_core::Json::as_arr).unwrap();
+    assert!(records[0].get("outcome").is_none());
+    assert_eq!(
+        records[1].get("outcome").and_then(sim_core::Json::as_str),
+        Some("failed")
+    );
+    assert_eq!(
+        records[1]
+            .get("error_kind")
+            .and_then(sim_core::Json::as_str),
+        Some("deadlock")
+    );
+    assert!(records[1].get("stats").is_none(), "failures carry no stats");
+    // Failed cells never satisfy the resume-skip criterion.
+    assert!(!parsed.has_success(
+        &failed.workload,
+        &failed.input,
+        &failed.system,
+        failed.config_hash
+    ));
 }
 
 fn compare_stats(g: &RunRecord, r: &RunRecord, ctx: &str) {

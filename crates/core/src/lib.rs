@@ -36,8 +36,8 @@
 //! // Run the ref input on the full proposal (ECDP + coordinated
 //! // throttling) and on the baseline.
 //! let reference = wl.generate(InputSet::Ref);
-//! let base = run_system(SystemKind::StreamOnly, &reference, &artifacts);
-//! let ours = run_system(SystemKind::StreamEcdpThrottled, &reference, &artifacts);
+//! let base = run_system(SystemKind::StreamOnly, &reference, &artifacts).expect("sim");
+//! let ours = run_system(SystemKind::StreamEcdpThrottled, &reference, &artifacts).expect("sim");
 //! assert!(ours.ipc() > 0.0 && base.ipc() > 0.0);
 //! ```
 

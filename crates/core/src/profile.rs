@@ -267,7 +267,9 @@ pub fn informing_profile(trace: &Trace) -> PgProfile {
     )));
     let (collector, handle) = InformingCollector::new();
     machine.set_observer(Box::new(collector));
-    let _ = machine.run(trace);
+    // A wedged profiling run is a simulator bug; surface it as a
+    // panic so the experiment harness records the cell as failed.
+    machine.run(trace).expect("profiling run failed");
     let mut pgs = handle.borrow().clone();
     for u in pgs.values_mut() {
         u.useless = u.issued.saturating_sub(u.useful);
@@ -292,7 +294,9 @@ pub fn profile_workload_with(trace: &Trace, config: MachineConfig) -> PgProfile 
     )));
     let (collector, handle) = PgCollector::new();
     machine.set_observer(Box::new(collector));
-    let _ = machine.run(trace);
+    // A wedged profiling run is a simulator bug; surface it as a
+    // panic so the experiment harness records the cell as failed.
+    machine.run(trace).expect("profiling run failed");
     let pgs = handle.borrow().clone();
     PgProfile {
         pgs,

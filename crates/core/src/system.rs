@@ -14,7 +14,7 @@ use prefetch::{
     PollutionFilteredPrefetcher, ScanFilter, StreamConfig, StreamPrefetcher, StrideConfig,
     StridePrefetcher,
 };
-use sim_core::{CoreSetup, Machine, MachineConfig, PrefetcherId, RunStats, Trace};
+use sim_core::{CoreSetup, Machine, MachineConfig, PrefetcherId, RunStats, SimError, Trace};
 use throttle::{CoordinatedThrottle, FdpThrottle, PabSelector, Switchable};
 
 use crate::hints::HintTable;
@@ -124,6 +124,38 @@ pub enum SystemKind {
 }
 
 impl SystemKind {
+    /// Every system, in presentation order. `ALL[i].label()` round-trips
+    /// through [`SystemKind::from_label`].
+    pub const ALL: [SystemKind; 22] = [
+        SystemKind::NoPrefetch,
+        SystemKind::StreamOnly,
+        SystemKind::OracleLds,
+        SystemKind::StreamCdp,
+        SystemKind::StreamEcdp,
+        SystemKind::StreamCdpThrottled,
+        SystemKind::StreamEcdpThrottled,
+        SystemKind::StreamDbp,
+        SystemKind::StreamMarkov,
+        SystemKind::GhbAlone,
+        SystemKind::GhbEcdp,
+        SystemKind::GhbEcdpThrottled,
+        SystemKind::StreamCdpHwFilter,
+        SystemKind::StreamCdpHwFilterThrottled,
+        SystemKind::StreamEcdpFdp,
+        SystemKind::StreamEcdpPab,
+        SystemKind::StreamGrpCdp,
+        SystemKind::StreamLoadFilterCdp,
+        SystemKind::NextLineOnly,
+        SystemKind::StrideOnly,
+        SystemKind::StreamJumpPointer,
+        SystemKind::StreamAvd,
+    ];
+
+    /// Inverse of [`SystemKind::label`]; `None` for unknown labels.
+    pub fn from_label(label: &str) -> Option<SystemKind> {
+        SystemKind::ALL.into_iter().find(|k| k.label() == label)
+    }
+
     /// Short label used in experiment tables.
     pub fn label(self) -> &'static str {
         match self {
@@ -322,30 +354,44 @@ pub fn build_machine_with(
 }
 
 /// Builds the machine for `kind`, runs `trace`, returns statistics.
-pub fn run_system(kind: SystemKind, trace: &Trace, artifacts: &CompilerArtifacts) -> RunStats {
+///
+/// # Errors
+///
+/// Propagates any [`SimError`] from the run (deadlock watchdog, cycle
+/// budget, invariant violation) so sweep harnesses can record the cell
+/// as failed instead of aborting the process.
+pub fn run_system(
+    kind: SystemKind,
+    trace: &Trace,
+    artifacts: &CompilerArtifacts,
+) -> Result<RunStats, SimError> {
     build_machine(kind, artifacts).run(trace)
 }
 
 /// Like [`run_system`], but also collects the pointer-group usefulness
 /// observed *during this run* (used by the Figure 10 experiment to compare
 /// PG usefulness under original CDP versus ECDP).
+///
+/// # Errors
+///
+/// Propagates any [`SimError`] from the run, as [`run_system`] does.
 pub fn run_system_profiled(
     kind: SystemKind,
     trace: &Trace,
     artifacts: &CompilerArtifacts,
-) -> (RunStats, crate::profile::PgProfile) {
+) -> Result<(RunStats, crate::profile::PgProfile), SimError> {
     let mut machine = build_machine(kind, artifacts);
     let (collector, handle) = crate::profile::PgCollector::new();
     machine.set_observer(Box::new(collector));
-    let stats = machine.run(trace);
+    let stats = machine.run(trace)?;
     let pgs = handle.borrow().clone();
-    (
+    Ok((
         stats,
         crate::profile::PgProfile {
             pgs,
             min_samples: 4,
         },
-    )
+    ))
 }
 
 // Thread-safety contract of the parallel experiment harness: the shared
@@ -375,41 +421,26 @@ mod tests {
     #[test]
     fn all_kinds_build() {
         let a = CompilerArtifacts::empty();
-        for kind in [
-            SystemKind::NoPrefetch,
-            SystemKind::StreamOnly,
-            SystemKind::OracleLds,
-            SystemKind::StreamCdp,
-            SystemKind::StreamEcdp,
-            SystemKind::StreamCdpThrottled,
-            SystemKind::StreamEcdpThrottled,
-            SystemKind::StreamDbp,
-            SystemKind::StreamMarkov,
-            SystemKind::GhbAlone,
-            SystemKind::GhbEcdp,
-            SystemKind::GhbEcdpThrottled,
-            SystemKind::StreamCdpHwFilter,
-            SystemKind::StreamCdpHwFilterThrottled,
-            SystemKind::StreamEcdpFdp,
-            SystemKind::StreamEcdpPab,
-            SystemKind::StreamGrpCdp,
-            SystemKind::StreamLoadFilterCdp,
-            SystemKind::NextLineOnly,
-            SystemKind::StrideOnly,
-            SystemKind::StreamJumpPointer,
-            SystemKind::StreamAvd,
-        ] {
+        for kind in SystemKind::ALL {
             let _ = build_machine(kind, &a);
             assert!(!kind.label().is_empty());
         }
     }
 
     #[test]
+    fn labels_round_trip() {
+        for kind in SystemKind::ALL {
+            assert_eq!(SystemKind::from_label(kind.label()), Some(kind));
+        }
+        assert_eq!(SystemKind::from_label("no-such-system"), None);
+    }
+
+    #[test]
     fn stream_beats_no_prefetch_on_streaming_workload() {
         let t = workloads::streaming::Libquantum.generate(InputSet::Train);
         let a = CompilerArtifacts::empty();
-        let none = run_system(SystemKind::NoPrefetch, &t, &a);
-        let stream = run_system(SystemKind::StreamOnly, &t, &a);
+        let none = run_system(SystemKind::NoPrefetch, &t, &a).expect("run");
+        let stream = run_system(SystemKind::StreamOnly, &t, &a).expect("run");
         assert!(
             stream.ipc() > 1.2 * none.ipc(),
             "stream {} vs none {}",
@@ -423,8 +454,8 @@ mod tests {
         let t = workloads::olden::Mst.generate(InputSet::Train);
         let a = artifacts_for(&t);
         assert!(!a.hints.is_empty(), "profiling must produce hints");
-        let with_cdp = run_system(SystemKind::StreamCdp, &t, &a);
-        let with_ecdp = run_system(SystemKind::StreamEcdp, &t, &a);
+        let with_cdp = run_system(SystemKind::StreamCdp, &t, &a).expect("run");
+        let with_ecdp = run_system(SystemKind::StreamEcdp, &t, &a).expect("run");
         let cdp_issued = with_cdp.prefetchers[1].issued;
         let ecdp_issued = with_ecdp.prefetchers[1].issued;
         assert!(
@@ -443,8 +474,8 @@ mod tests {
     fn oracle_is_an_upper_bound_on_pointer_chase() {
         let t = workloads::olden::Health.generate(InputSet::Train);
         let a = CompilerArtifacts::empty();
-        let base = run_system(SystemKind::StreamOnly, &t, &a);
-        let oracle = run_system(SystemKind::OracleLds, &t, &a);
+        let base = run_system(SystemKind::StreamOnly, &t, &a).expect("run");
+        let oracle = run_system(SystemKind::OracleLds, &t, &a).expect("run");
         assert!(oracle.ipc() > base.ipc());
     }
 }

@@ -190,7 +190,10 @@ impl Cache {
         let ways = &mut self.lines[range];
         let victim = match ways.iter_mut().find(|l| !l.valid) {
             Some(l) => l,
-            None => ways.iter_mut().min_by_key(|l| l.last_used).unwrap(),
+            None => ways
+                .iter_mut()
+                .min_by_key(|l| l.last_used)
+                .expect("cache sets have at least one way"),
         };
 
         let evicted = victim.valid.then(|| Evicted {
@@ -248,6 +251,7 @@ impl Cache {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -11,6 +11,7 @@ use sim_mem::{block_of, Addr, SimMemory};
 use crate::cache::{Cache, LineState};
 use crate::config::MachineConfig;
 use crate::dram::{Dram, DramCompletion, DramRequest};
+use crate::error::{DiagnosticSnapshot, SimError};
 use crate::mshr::MshrFile;
 use crate::prefetcher::{
     AccessKind, DemandAccess, FillEvent, PrefetchCtx, PrefetchObserver, PrefetchRequest,
@@ -69,7 +70,12 @@ pub(crate) struct CoreSim {
     last_interval_evictions: u64,
     pub(crate) stats: RunStats,
     pub(crate) retired_ops: usize,
-    last_activity: u64,
+    /// Last cycle with *forward progress*: an instruction retired or an
+    /// MSHR drained. Activity without progress (e.g. a prefetcher
+    /// spinning against a full queue) does not move this, which is what
+    /// lets the watchdog catch livelocks that the quiescence check
+    /// cannot see.
+    last_progress: u64,
 }
 
 impl CoreSim {
@@ -112,7 +118,7 @@ impl CoreSim {
             last_interval_evictions: 0,
             stats,
             retired_ops: 0,
-            last_activity: 0,
+            last_progress: 0,
         }
     }
 
@@ -244,6 +250,7 @@ impl CoreSim {
         }
         let entry = self.mshrs.free(req.mshr_slot as usize);
         let block = entry.block_addr;
+        self.last_progress = now;
 
         // Memory service latency, split demand vs prefetch (§4's contention
         // measurement).
@@ -343,6 +350,9 @@ impl CoreSim {
             }
         }
         self.stats.retired_instructions += u64::from(retired);
+        if retired > 0 {
+            self.last_progress = now;
+        }
         retired
     }
 
@@ -446,7 +456,11 @@ impl CoreSim {
     ) -> IssueOutcome {
         let is_store = op.kind == OpKind::Store;
         let value = {
-            let front = self.window.front().unwrap().op_idx;
+            let front = self
+                .window
+                .front()
+                .expect("issuing op is in the window")
+                .op_idx;
             self.window[(op_idx - front) as usize].value
         };
 
@@ -465,7 +479,10 @@ impl CoreSim {
         }
         if l1_hit {
             if is_store {
-                self.l1.access(op.addr).unwrap().dirty = true;
+                self.l1
+                    .access(op.addr)
+                    .expect("L1 hit implies a resident line")
+                    .dirty = true;
                 self.completed[op_idx as usize] = now + 1;
             } else {
                 self.completed[op_idx as usize] = now + self.cfg.l1.hit_latency;
@@ -491,7 +508,10 @@ impl CoreSim {
                 }
             }
             // Feedback: first demand touch of a prefetched line.
-            let line = self.l2.access(op.addr).unwrap();
+            let line = self
+                .l2
+                .access(op.addr)
+                .expect("L2 hit implies a resident line");
             let pf = line.prefetched_by.take();
             let pg = line.pg_tag.take();
             line.used = true;
@@ -802,11 +822,7 @@ impl CoreSim {
         let retired = self.retire(now);
         let dispatched = self.dispatch(ops, now);
         let issued = self.issue(ops, now, dram, prefetchers, observer, &mut l2_port);
-        let progressed = retired > 0 || dispatched > 0 || issued > 0;
-        if progressed {
-            self.last_activity = now;
-        }
-        progressed
+        retired > 0 || dispatched > 0 || issued > 0
     }
 
     /// Earliest future cycle at which this core can make progress, ignoring
@@ -866,6 +882,32 @@ impl CoreSim {
         }
         false
     }
+
+    /// Captures the state attached to watchdog and deadlock reports.
+    pub(crate) fn snapshot(&self, now: u64, total_ops: usize, dram: &Dram) -> DiagnosticSnapshot {
+        DiagnosticSnapshot {
+            cycle: now,
+            core: self.core_id,
+            retired_ops: self.retired_ops,
+            total_ops,
+            window_instrs: self.window_instrs,
+            rob_head: self.window.front().map(|h| {
+                let done = self.completed[h.op_idx as usize];
+                (h.op_idx, h.issued, (done != NOT_DONE).then_some(done))
+            }),
+            mshr_occupancy: self.mshrs.occupied(),
+            mshr_capacity: self.cfg.l2_mshrs,
+            pf_queue_len: self.pf_queue.len(),
+            pending_writebacks: self.pending_writebacks.len(),
+            dram_queue_depth: dram.occupancy(),
+            dram_full: dram.is_full(),
+        }
+    }
+
+    /// Last cycle at which an instruction retired or an MSHR drained.
+    pub(crate) fn last_progress(&self) -> u64 {
+        self.last_progress
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -885,6 +927,7 @@ pub struct Machine {
     prefetchers: Vec<Box<dyn Prefetcher>>,
     throttle: Box<dyn ThrottlePolicy>,
     observer: Option<Box<dyn PrefetchObserver>>,
+    cycle_budget: Option<u64>,
 }
 
 impl Machine {
@@ -895,7 +938,16 @@ impl Machine {
             prefetchers: Vec::new(),
             throttle: Box::new(NoThrottle),
             observer: None,
+            cycle_budget: None,
         }
+    }
+
+    /// Caps the simulated cycle count: a run that passes `budget` cycles
+    /// fails with [`SimError::CycleBudgetExceeded`] instead of running
+    /// on. `None` (the default) means unlimited.
+    pub fn set_cycle_budget(&mut self, budget: Option<u64>) -> &mut Self {
+        self.cycle_budget = budget;
+        self
     }
 
     /// Registers a prefetcher; returns its id (registration index).
@@ -929,11 +981,18 @@ impl Machine {
 
     /// Replays `trace` to completion and returns the run statistics.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the model deadlocks (no forward progress for the
-    /// configured `deadlock_cycles`) — always a simulator bug.
-    pub fn run(&mut self, trace: &Trace) -> RunStats {
+    /// Returns [`SimError::Deadlock`] when the watchdog sees no forward
+    /// progress (no retirement, no MSHR drain) for the configured
+    /// `deadlock_cycles`, or when the machine goes fully quiescent with
+    /// unfinished work — both are simulator/trace bugs, never properties
+    /// of a slow workload. Returns [`SimError::CycleBudgetExceeded`] when
+    /// a budget installed with [`Machine::set_cycle_budget`] runs out,
+    /// and [`SimError::InvariantViolation`] if the post-run drain loop
+    /// fails to converge. The error carries a [`DiagnosticSnapshot`] of
+    /// the stuck core where applicable.
+    pub fn run(&mut self, trace: &Trace) -> Result<RunStats, SimError> {
         let mut core = CoreSim::new(0, self.config.clone(), trace, self.prefetchers.len());
         let mut dram = Dram::new(self.config.dram.clone(), 1);
         let mut observer: Box<dyn PrefetchObserver> = self
@@ -959,6 +1018,23 @@ impl Machine {
             activity |= core.issue_to_dram(&mut dram, now, observer.as_mut());
             core.maybe_end_interval(&mut self.prefetchers, self.throttle.as_mut());
 
+            // Watchdog: cycling without retiring or draining an MSHR for
+            // the deadlock budget is a livelock even if "activity" (e.g.
+            // prefetch churn) never ceases.
+            if now.saturating_sub(core.last_progress()) >= self.config.deadlock_cycles {
+                self.observer = Some(observer);
+                return Err(SimError::Deadlock(core.snapshot(now, ops.len(), &dram)));
+            }
+            if let Some(budget) = self.cycle_budget {
+                if now >= budget {
+                    self.observer = Some(observer);
+                    return Err(SimError::CycleBudgetExceeded {
+                        budget,
+                        snapshot: core.snapshot(now, ops.len(), &dram),
+                    });
+                }
+            }
+
             if activity {
                 now += 1;
                 continue;
@@ -975,19 +1051,14 @@ impl Machine {
             match next {
                 Some(n) => now = n,
                 None => {
-                    now += 1;
-                    assert!(
-                        now - core.last_activity < self.config.deadlock_cycles,
-                        "simulator deadlock at cycle {now}: {} ops retired of {}",
-                        core.retired_ops,
-                        ops.len()
-                    );
+                    // Fully quiescent with unfinished work: nothing is in
+                    // flight anywhere, so no future cycle can change
+                    // state. Report the deadlock immediately instead of
+                    // idling through the whole watchdog budget.
+                    self.observer = Some(observer);
+                    return Err(SimError::Deadlock(core.snapshot(now, ops.len(), &dram)));
                 }
             }
-            assert!(
-                now - core.last_activity < self.config.deadlock_cycles,
-                "simulator deadlock at cycle {now}"
-            );
         }
 
         // Drain in-flight misses and writebacks so bandwidth counters see
@@ -1001,7 +1072,13 @@ impl Machine {
             }
             core.issue_to_dram(&mut dram, now, observer.as_mut());
             now = dram.next_event(now).unwrap_or(now + 1);
-            assert!(now < drain_deadline, "drain deadlock");
+            if now >= drain_deadline {
+                self.observer = Some(observer);
+                return Err(SimError::InvariantViolation(format!(
+                    "post-run drain did not converge: {}",
+                    core.snapshot(now, ops.len(), &dram)
+                )));
+            }
         }
 
         // Resolve prefetched lines still resident at run end as unused —
@@ -1024,7 +1101,7 @@ impl Machine {
         for (i, p) in self.prefetchers.iter().enumerate() {
             stats.prefetchers[i].name = p.name().to_string();
         }
-        stats
+        Ok(stats)
     }
 }
 
@@ -1076,7 +1153,7 @@ mod tests {
         let n = 50;
         let trace = chase_trace(n);
         let mut m = Machine::new(MachineConfig::default());
-        let stats = m.run(&trace);
+        let stats = m.run(&trace).expect("run");
         assert_eq!(stats.retired_instructions, n as u64);
         // Each load must wait for the previous: cycles >= n * min-latency.
         let min = MachineConfig::default().min_memory_latency();
@@ -1102,7 +1179,7 @@ mod tests {
         }
         let trace = tb.finish();
         let mut m = Machine::new(MachineConfig::default());
-        let stats = m.run(&trace);
+        let stats = m.run(&trace).expect("run");
         let serial = (n as u64) * MachineConfig::default().min_memory_latency();
         assert!(
             stats.cycles < serial / 2,
@@ -1121,7 +1198,7 @@ mod tests {
         }
         let trace = tb.finish();
         let mut m = Machine::new(MachineConfig::default());
-        let stats = m.run(&trace);
+        let stats = m.run(&trace).expect("run");
         assert_eq!(stats.l2_demand_misses, 1);
         assert!(
             stats.ipc() > 0.5,
@@ -1141,7 +1218,7 @@ mod tests {
         }
         let trace = tb.finish();
         let mut m = Machine::new(MachineConfig::default());
-        let stats = m.run(&trace);
+        let stats = m.run(&trace).expect("run");
         assert_eq!(stats.retired_instructions, 4000);
         // Retire width 4 bounds IPC at 4.
         assert!(stats.ipc() <= 4.0 + 1e-9);
@@ -1160,7 +1237,7 @@ mod tests {
         }
         let trace = tb.finish();
         let mut m = Machine::new(MachineConfig::default());
-        let stats = m.run(&trace);
+        let stats = m.run(&trace).expect("run");
         assert_eq!(stats.retired_instructions, 100);
         // Store misses fetch blocks (RFO) but complete immediately; the run
         // should be far faster than serialised misses.
@@ -1177,7 +1254,7 @@ mod tests {
             ..Default::default()
         };
         let mut m = Machine::new(cfg);
-        let stats = m.run(&trace);
+        let stats = m.run(&trace).expect("run");
         // First load of a chase has no dep and is not LDS-marked; the rest
         // are converted to hits.
         assert!(stats.l2_demand_misses <= 1);
@@ -1187,12 +1264,14 @@ mod tests {
     #[test]
     fn oracle_speeds_up_pointer_chase() {
         let trace = chase_trace(50);
-        let base = Machine::new(MachineConfig::default()).run(&trace);
+        let base = Machine::new(MachineConfig::default())
+            .run(&trace)
+            .expect("run");
         let cfg = MachineConfig {
             oracle_lds: true,
             ..Default::default()
         };
-        let oracle = Machine::new(cfg).run(&trace);
+        let oracle = Machine::new(cfg).run(&trace).expect("run");
         assert!(
             oracle.cycles * 4 < base.cycles,
             "oracle {} vs base {}",
@@ -1209,9 +1288,71 @@ mod tests {
         tb.load(0x404, layout::HEAP_BASE + 4, None);
         let trace = tb.finish();
         let mut m = Machine::new(MachineConfig::default());
-        let stats = m.run(&trace);
+        let stats = m.run(&trace).expect("run");
         assert_eq!(stats.l2_demand_misses, 1, "secondary miss must merge");
         assert_eq!(stats.bus_transfers, 1);
+    }
+
+    /// A trace with a circular address dependence (op 0 waits on op 1,
+    /// op 1 waits on op 0): both dispatch, neither can ever issue.
+    fn livelock_trace() -> Trace {
+        let op = |dep: u32| TraceOp {
+            pc: 0x400,
+            addr: layout::HEAP_BASE,
+            value: 0,
+            dep,
+            kind: OpKind::Load,
+            lds: false,
+        };
+        Trace {
+            initial_memory: SimMemory::new(),
+            ops: vec![op(1), op(0)],
+            instructions: 2,
+        }
+    }
+
+    #[test]
+    fn livelocked_engine_returns_deadlock_with_snapshot() {
+        let trace = livelock_trace();
+        let cfg = MachineConfig::default();
+        let budget = cfg.deadlock_cycles;
+        let mut m = Machine::new(cfg);
+        let err = m.run(&trace).expect_err("circular deps must deadlock");
+        let SimError::Deadlock(snap) = &err else {
+            panic!("expected Deadlock, got {err:?}");
+        };
+        // The quiescence check fires long before the full watchdog budget.
+        assert!(snap.cycle < budget, "detected at cycle {}", snap.cycle);
+        assert_eq!(snap.retired_ops, 0);
+        assert_eq!(snap.total_ops, 2);
+        assert_eq!(snap.mshr_capacity, MachineConfig::default().l2_mshrs);
+        assert_eq!(snap.mshr_occupancy, 0);
+        let (op, issued, done) = snap.rob_head.expect("window holds the stuck head");
+        assert_eq!(op, 0);
+        assert!(!issued, "the head can never issue");
+        assert_eq!(done, None, "no completion is scheduled");
+        assert!(err.to_string().contains("deadlock"), "{err}");
+    }
+
+    #[test]
+    fn cycle_budget_exceeded_is_reported() {
+        let trace = chase_trace(50);
+        let mut m = Machine::new(MachineConfig::default());
+        m.set_cycle_budget(Some(1_000));
+        let err = m.run(&trace).expect_err("budget far below the chase time");
+        match err {
+            SimError::CycleBudgetExceeded { budget, snapshot } => {
+                assert_eq!(budget, 1_000);
+                assert!(snapshot.cycle >= 1_000);
+                assert!(snapshot.retired_ops < 50);
+                assert_eq!(snapshot.total_ops, 50);
+            }
+            other => panic!("expected CycleBudgetExceeded, got {other:?}"),
+        }
+        // The same machine still completes the run without the budget.
+        m.set_cycle_budget(None);
+        let stats = m.run(&trace).expect("run");
+        assert_eq!(stats.retired_instructions, 50);
     }
 
     #[test]
@@ -1225,7 +1366,7 @@ mod tests {
         }
         let trace = tb.finish();
         let mut m = Machine::new(MachineConfig::default());
-        let stats = m.run(&trace);
+        let stats = m.run(&trace).expect("run");
         assert!(stats.writebacks > 0, "dirty evictions expected");
         assert!(
             stats.bus_transfers > blocks as u64,

@@ -345,6 +345,7 @@ fn utf8_len(first: u8) -> usize {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -44,14 +44,20 @@
 //! let trace = tb.finish();
 //!
 //! let mut machine = Machine::new(MachineConfig::default());
-//! let stats = machine.run(&trace);
+//! let stats = machine.run(&trace).expect("simulation failed");
 //! assert_eq!(stats.retired_instructions, 2);
 //! ```
+//!
+//! Runs are fallible: [`Machine::run`] returns `Result<RunStats,
+//! SimError>`, with a watchdog turning livelocks into
+//! [`SimError::Deadlock`] reports that carry a [`DiagnosticSnapshot`]
+//! of the stuck core instead of aborting the process.
 
 pub mod cache;
 pub mod config;
 pub mod dram;
 pub mod engine;
+pub mod error;
 pub mod json;
 pub mod mshr;
 pub mod multicore;
@@ -65,6 +71,7 @@ pub use cache::{Cache, CacheConfig, LineState};
 pub use config::{CoreConfig, DramConfig, DramScheduling, MachineConfig, RowPolicy};
 pub use dram::Dram;
 pub use engine::Machine;
+pub use error::{DiagnosticSnapshot, SimError};
 pub use json::Json;
 pub use multicore::{CoreSetup, MultiMachine, MultiRunStats};
 pub use prefetcher::{

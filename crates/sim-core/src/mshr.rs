@@ -41,7 +41,7 @@ pub struct MshrEntry {
 /// use sim_core::prefetcher::AccessKind;
 ///
 /// let mut m = MshrFile::new(2);
-/// let slot = m.alloc(0x1000, AccessKind::DemandLoad, 0x400, 0x1004).unwrap();
+/// let slot = m.alloc(0x1000, AccessKind::DemandLoad, 0x400, 0x1004).expect("free slot");
 /// assert!(m.find(0x1000).is_some());
 /// let entry = m.free(slot);
 /// assert_eq!(entry.block_addr, 0x1000);
@@ -135,6 +135,7 @@ impl MshrFile {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

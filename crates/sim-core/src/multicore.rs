@@ -8,6 +8,7 @@
 
 use crate::dram::Dram;
 use crate::engine::CoreSim;
+use crate::error::SimError;
 use crate::prefetcher::{NullObserver, Prefetcher};
 use crate::stats::RunStats;
 use crate::throttling::{NoThrottle, ThrottlePolicy};
@@ -110,11 +111,17 @@ impl MultiMachine {
     /// Runs one trace per core until every core has completed its trace at
     /// least once.
     ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Deadlock`] (with a diagnostic snapshot of the
+    /// first unfinished core) when no core makes forward progress for the
+    /// configured `deadlock_cycles`, or when the whole chip goes
+    /// quiescent with unfinished work.
+    ///
     /// # Panics
     ///
-    /// Panics if `traces.len()` differs from the core count, or on a
-    /// simulator deadlock.
-    pub fn run(&mut self, traces: &[Trace]) -> MultiRunStats {
+    /// Panics if `traces.len()` differs from the core count.
+    pub fn run(&mut self, traces: &[Trace]) -> Result<MultiRunStats, SimError> {
         assert_eq!(traces.len(), self.cores.len(), "one trace per core");
         let n = self.cores.len();
         let mut dram = Dram::new(self.config.dram.clone(), n as u32);
@@ -132,7 +139,17 @@ impl MultiMachine {
         let mut snapshots: Vec<Option<RunStats>> = vec![None; n];
         let bus_at_start: Vec<u64> = vec![0; n];
         let mut now: u64 = 0;
-        let mut last_activity: u64 = 0;
+
+        // Attribute a wedge to the first core that has not completed its
+        // trace (rewound cores count as finished for blame purposes).
+        let stuck_core_error =
+            |sims: &[CoreSim], snapshots: &[Option<RunStats>], now, dram: &Dram| {
+                let c = snapshots
+                    .iter()
+                    .position(Option::is_none)
+                    .unwrap_or_default();
+                SimError::Deadlock(sims[c].snapshot(now, traces[c].ops.len(), dram))
+            };
 
         while snapshots.iter().any(Option::is_none) {
             let mut activity = false;
@@ -181,8 +198,15 @@ impl MultiMachine {
                 }
             }
 
+            // Watchdog: if *no* core retired or drained an MSHR within the
+            // deadlock budget, the chip is livelocked even if prefetch
+            // churn keeps "activity" alive.
+            let newest_progress = sims.iter().map(CoreSim::last_progress).max().unwrap_or(0);
+            if now.saturating_sub(newest_progress) >= self.config.deadlock_cycles {
+                return Err(stuck_core_error(&sims, &snapshots, now, &dram));
+            }
+
             if activity {
-                last_activity = now;
                 now += 1;
                 continue;
             }
@@ -203,19 +227,20 @@ impl MultiMachine {
                 if let Some(d) = dram.next_event(now) {
                     next = Some(next.map_or(d, |n| n.min(d)));
                 }
-                now = next.unwrap_or(now + 1);
+                match next {
+                    Some(e) => now = e,
+                    // Fully quiescent with unfinished cores: no future
+                    // event can change state — report immediately.
+                    None => return Err(stuck_core_error(&sims, &snapshots, now, &dram)),
+                }
             }
-            assert!(
-                now - last_activity < self.config.deadlock_cycles,
-                "multi-core simulator deadlock at cycle {now}"
-            );
         }
         let _ = bus_at_start;
 
-        MultiRunStats {
-            per_core: snapshots.into_iter().map(Option::unwrap).collect(),
+        Ok(MultiRunStats {
+            per_core: snapshots.into_iter().flatten().collect(),
             total_bus_transfers: dram.bus_transfers(),
-        }
+        })
     }
 }
 
@@ -248,7 +273,7 @@ mod tests {
         let mut mm = MultiMachine::new(cfg, vec![CoreSetup::bare(), CoreSetup::bare()]);
         let t0 = stream_trace(500, 0);
         let t1 = stream_trace(500, 0x100_0000);
-        let r = mm.run(&[t0, t1]);
+        let r = mm.run(&[t0, t1]).expect("run");
         assert_eq!(r.per_core.len(), 2);
         for s in &r.per_core {
             assert_eq!(s.retired_instructions, 500 * 5);
@@ -262,7 +287,7 @@ mod tests {
         let cfg = MachineConfig::default();
         let alone = {
             let mut m = crate::Machine::new(cfg.clone());
-            m.run(&stream_trace(500, 0))
+            m.run(&stream_trace(500, 0)).expect("run")
         };
         let mut mm = MultiMachine::new(
             cfg,
@@ -274,7 +299,7 @@ mod tests {
             ],
         );
         let traces: Vec<Trace> = (0..4).map(|i| stream_trace(500, i * 0x100_0000)).collect();
-        let r = mm.run(&traces);
+        let r = mm.run(&traces).expect("run");
         // With four cores sharing the bus, at least one core must be slower
         // than running alone.
         assert!(

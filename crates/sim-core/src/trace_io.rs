@@ -165,6 +165,7 @@ pub fn read(r: &mut impl Read) -> io::Result<Trace> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::trace::TraceBuilder;
@@ -203,8 +204,12 @@ mod tests {
         let mut buf = Vec::new();
         write(&t, &mut buf).unwrap();
         let back = read(&mut buf.as_slice()).unwrap();
-        let a = crate::Machine::new(crate::MachineConfig::default()).run(&t);
-        let b = crate::Machine::new(crate::MachineConfig::default()).run(&back);
+        let a = crate::Machine::new(crate::MachineConfig::default())
+            .run(&t)
+            .expect("run");
+        let b = crate::Machine::new(crate::MachineConfig::default())
+            .run(&back)
+            .expect("run");
         assert_eq!(a.cycles, b.cycles);
         assert_eq!(a.bus_transfers, b.bus_transfers);
     }

@@ -2,6 +2,8 @@
 //! prefetcher: feedback accounting (used/late/unused/pollution), prefetch
 //! deduplication, and throttling application.
 
+#![allow(clippy::unwrap_used)]
+
 use sim_core::{
     Aggressiveness, DemandAccess, IntervalFeedback, Machine, MachineConfig, PrefetchCtx,
     PrefetchRequest, Prefetcher, PrefetcherId, PrefetcherKind, ThrottleDecision, ThrottlePolicy,
@@ -73,7 +75,7 @@ fn useful_prefetches_are_credited() {
     let trace = strided_trace(400, 64, 30);
     let mut m = Machine::new(MachineConfig::default());
     m.add_prefetcher(Box::new(NextDelta::new(64)));
-    let s = m.run(&trace);
+    let s = m.run(&trace).expect("run");
     let p = &s.prefetchers[0];
     assert!(p.issued > 100, "prefetcher should issue: {}", p.issued);
     assert!(
@@ -96,7 +98,7 @@ fn useless_prefetches_are_marked_unused_on_eviction() {
     let trace = strided_trace(blocks, 64, 0);
     let mut m = Machine::new(MachineConfig::default());
     m.add_prefetcher(Box::new(NextDelta::new(-(1 << 20))));
-    let s = m.run(&trace);
+    let s = m.run(&trace).expect("run");
     let p = &s.prefetchers[0];
     assert!(p.issued > 1000);
     assert_eq!(p.used, 0, "junk is never used");
@@ -123,7 +125,7 @@ fn resident_blocks_are_not_prefetched_twice() {
     let trace = tb.finish();
     let mut m = Machine::new(MachineConfig::default());
     m.add_prefetcher(Box::new(NextDelta::new(64)));
-    let s = m.run(&trace);
+    let s = m.run(&trace).expect("run");
     assert!(
         s.prefetchers[0].issued <= 220,
         "second pass must not re-issue: {}",
@@ -139,7 +141,7 @@ fn late_prefetches_count_as_merged() {
     let trace = strided_trace(600, 64, 0);
     let mut m = Machine::new(MachineConfig::default());
     m.add_prefetcher(Box::new(NextDelta::new(64)));
-    let s = m.run(&trace);
+    let s = m.run(&trace).expect("run");
     assert!(
         s.prefetchers[0].late > 0,
         "racing demands should produce late prefetches"
@@ -176,7 +178,7 @@ fn throttle_decisions_are_applied_to_prefetchers() {
     m.set_throttle(Box::new(AlwaysDown {
         calls: std::rc::Rc::clone(&calls),
     }));
-    let s = m.run(&trace);
+    let s = m.run(&trace).expect("run");
     assert!(s.intervals >= 3, "intervals must elapse: {}", s.intervals);
     assert_eq!(
         u64::from(calls.get()),
@@ -208,7 +210,7 @@ fn pollution_is_attributed_to_the_evicting_prefetcher() {
     let trace = tb.finish();
     let mut m = Machine::new(MachineConfig::default());
     m.add_prefetcher(Box::new(NextDelta::new(32 << 20)));
-    let s = m.run(&trace);
+    let s = m.run(&trace).expect("run");
     assert!(
         s.prefetchers[0].pollution > 0,
         "demand re-misses to prefetch-evicted blocks must be detected"

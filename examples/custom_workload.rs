@@ -89,9 +89,9 @@ fn main() {
     println!("profiled: {beneficial} beneficial / {harmful} harmful pointer groups");
     let artifacts = CompilerArtifacts::from_profile(&profile);
 
-    let base = run_system(SystemKind::StreamOnly, &reference, &artifacts);
-    let cdp = run_system(SystemKind::StreamCdp, &reference, &artifacts);
-    let ours = run_system(SystemKind::StreamEcdpThrottled, &reference, &artifacts);
+    let base = run_system(SystemKind::StreamOnly, &reference, &artifacts).expect("run");
+    let cdp = run_system(SystemKind::StreamCdp, &reference, &artifacts).expect("run");
+    let ours = run_system(SystemKind::StreamEcdpThrottled, &reference, &artifacts).expect("run");
     println!(
         "\n{:<24} {:>8} {:>9} {:>8}",
         "system", "IPC", "speedup", "BPKI"

@@ -38,14 +38,14 @@ fn main() {
         SystemKind::OracleLds,
     ];
 
-    let base = run_system(SystemKind::StreamOnly, &reference, &artifacts);
+    let base = run_system(SystemKind::StreamOnly, &reference, &artifacts).expect("run");
     println!("workload: {name} ({} memory ops)\n", reference.memory_ops());
     println!(
         "{:<30} {:>8} {:>9} {:>8} {:>10}",
         "system", "IPC", "speedup", "BPKI", "L2 misses"
     );
     for kind in systems {
-        let s = run_system(kind, &reference, &artifacts);
+        let s = run_system(kind, &reference, &artifacts).expect("run");
         println!(
             "{:<30} {:>8.3} {:>8.2}x {:>8.1} {:>10}",
             kind.label(),

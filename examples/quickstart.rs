@@ -36,7 +36,7 @@ fn main() {
         "running the ref input ({} memory ops) on four systems ...\n",
         reference.memory_ops()
     );
-    let base = run_system(SystemKind::StreamOnly, &reference, &artifacts);
+    let base = run_system(SystemKind::StreamOnly, &reference, &artifacts).expect("run");
     println!(
         "{:<24} {:>8} {:>8} {:>10} {:>9}",
         "system", "IPC", "speedup", "BPKI", "CDP acc"
@@ -47,7 +47,7 @@ fn main() {
         SystemKind::StreamEcdp,
         SystemKind::StreamEcdpThrottled,
     ] {
-        let stats = run_system(kind, &reference, &artifacts);
+        let stats = run_system(kind, &reference, &artifacts).expect("run");
         let acc = stats
             .prefetchers
             .get(1)

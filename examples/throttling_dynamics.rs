@@ -63,7 +63,7 @@ fn main() {
         inner: CoordinatedThrottle::default(),
         interval: 0,
     }));
-    let stats = machine.run(&reference);
+    let stats = machine.run(&reference).expect("run");
     println!(
         "\nfinished: IPC {:.3}, BPKI {:.1}, {} sampling intervals total",
         stats.ipc(),

@@ -38,8 +38,12 @@ fn main() -> std::io::Result<()> {
     let reloaded = trace_io::read(&mut BufReader::new(File::open(&path)?))?;
     println!("  reloaded: {} ops", reloaded.ops.len());
 
-    let a = Machine::new(MachineConfig::default()).run(&trace);
-    let b = Machine::new(MachineConfig::default()).run(&reloaded);
+    let a = Machine::new(MachineConfig::default())
+        .run(&trace)
+        .expect("run");
+    let b = Machine::new(MachineConfig::default())
+        .run(&reloaded)
+        .expect("run");
     assert_eq!(a.cycles, b.cycles, "replays must be identical");
     println!(
         "  replay check: {} cycles, {} bus transfers — identical both ways ✓",

@@ -58,9 +58,9 @@ fn cdp_degrades_mst_and_ecdp_repairs_it() {
     // The paper's central Figure 5 / §3 example: unfiltered CDP wrecks mst,
     // the compiler hints restore it.
     let (art, reference) = artifacts_for_ref("mst");
-    let base = run_system(SystemKind::StreamOnly, &reference, &art);
-    let cdp = run_system(SystemKind::StreamCdp, &reference, &art);
-    let ecdp = run_system(SystemKind::StreamEcdp, &reference, &art);
+    let base = run_system(SystemKind::StreamOnly, &reference, &art).expect("run");
+    let cdp = run_system(SystemKind::StreamCdp, &reference, &art).expect("run");
+    let ecdp = run_system(SystemKind::StreamEcdp, &reference, &art).expect("run");
 
     assert!(
         cdp.ipc() < 0.8 * base.ipc(),
@@ -88,8 +88,8 @@ fn cdp_degrades_mst_and_ecdp_repairs_it() {
 fn cdp_speeds_up_health_dramatically() {
     // The paper's best case: long list chases with multi-node blocks.
     let (art, train) = artifacts_for("health");
-    let base = run_system(SystemKind::StreamOnly, &train, &art);
-    let ours = run_system(SystemKind::StreamEcdpThrottled, &train, &art);
+    let base = run_system(SystemKind::StreamOnly, &train, &art).expect("run");
+    let ours = run_system(SystemKind::StreamEcdpThrottled, &train, &art).expect("run");
     assert!(
         ours.ipc() > 1.4 * base.ipc(),
         "health must gain a lot: {:.3} vs {:.3}",
@@ -104,9 +104,9 @@ fn proposal_never_loses_badly_where_cdp_does() {
     // the baseline even when it cannot win.
     for name in ["mst", "xalancbmk", "bisort"] {
         let (art, reference) = artifacts_for_ref(name);
-        let base = run_system(SystemKind::StreamOnly, &reference, &art);
-        let cdp = run_system(SystemKind::StreamCdp, &reference, &art);
-        let ours = run_system(SystemKind::StreamEcdpThrottled, &reference, &art);
+        let base = run_system(SystemKind::StreamOnly, &reference, &art).expect("run");
+        let cdp = run_system(SystemKind::StreamCdp, &reference, &art).expect("run");
+        let ours = run_system(SystemKind::StreamEcdpThrottled, &reference, &art).expect("run");
         assert!(cdp.ipc() < base.ipc(), "{name}: CDP should hurt");
         assert!(
             ours.ipc() > 0.9 * base.ipc(),
@@ -120,14 +120,14 @@ fn proposal_never_loses_badly_where_cdp_does() {
 #[test]
 fn oracle_bounds_every_real_prefetcher() {
     let (art, train) = artifacts_for("omnetpp");
-    let oracle = run_system(SystemKind::OracleLds, &train, &art);
+    let oracle = run_system(SystemKind::OracleLds, &train, &art).expect("run");
     for kind in [
         SystemKind::StreamOnly,
         SystemKind::StreamCdp,
         SystemKind::StreamEcdpThrottled,
         SystemKind::GhbAlone,
     ] {
-        let s = run_system(kind, &train, &art);
+        let s = run_system(kind, &train, &art).expect("run");
         assert!(
             s.ipc() <= oracle.ipc() * 1.02,
             "{:?} beats the oracle?!",
@@ -140,8 +140,8 @@ fn oracle_bounds_every_real_prefetcher() {
 fn streaming_workloads_are_unaffected_by_the_proposal() {
     // §6.7: no LDS misses => nothing for ECDP to do.
     let (art, train) = artifacts_for("libquantum");
-    let base = run_system(SystemKind::StreamOnly, &train, &art);
-    let ours = run_system(SystemKind::StreamEcdpThrottled, &train, &art);
+    let base = run_system(SystemKind::StreamOnly, &train, &art).expect("run");
+    let ours = run_system(SystemKind::StreamEcdpThrottled, &train, &art).expect("run");
     let ratio = ours.ipc() / base.ipc();
     assert!(
         (0.97..=1.03).contains(&ratio),
@@ -152,8 +152,8 @@ fn streaming_workloads_are_unaffected_by_the_proposal() {
 #[test]
 fn runs_are_deterministic() {
     let (art, train) = artifacts_for("perlbench");
-    let a = run_system(SystemKind::StreamEcdpThrottled, &train, &art);
-    let b = run_system(SystemKind::StreamEcdpThrottled, &train, &art);
+    let a = run_system(SystemKind::StreamEcdpThrottled, &train, &art).expect("run");
+    let b = run_system(SystemKind::StreamEcdpThrottled, &train, &art).expect("run");
     assert_eq!(a.cycles, b.cycles);
     assert_eq!(a.bus_transfers, b.bus_transfers);
     assert_eq!(a.prefetchers[1].issued, b.prefetchers[1].issued);
@@ -185,9 +185,9 @@ fn hardware_filter_is_coarser_than_ecdp() {
     // §6.4: the 8 KB Zhuang-Lee filter helps CDP but less than the
     // compiler hints on the Figure 5 benchmark.
     let (art, train) = artifacts_for("mst");
-    let cdp = run_system(SystemKind::StreamCdp, &train, &art);
-    let hw = run_system(SystemKind::StreamCdpHwFilter, &train, &art);
-    let ours = run_system(SystemKind::StreamEcdpThrottled, &train, &art);
+    let cdp = run_system(SystemKind::StreamCdp, &train, &art).expect("run");
+    let hw = run_system(SystemKind::StreamCdpHwFilter, &train, &art).expect("run");
+    let ours = run_system(SystemKind::StreamEcdpThrottled, &train, &art).expect("run");
     assert!(
         hw.ipc() >= cdp.ipc() * 0.98,
         "the filter should not be worse than raw CDP"

@@ -29,8 +29,12 @@ fn sharing_the_bus_slows_both_cores() {
     let t1 = train_trace("omnetpp");
     let a0 = artifacts(&t0);
     let a1 = artifacts(&t1);
-    let alone0 = run_system(SystemKind::StreamOnly, &t0, &a0).ipc();
-    let alone1 = run_system(SystemKind::StreamOnly, &t1, &a1).ipc();
+    let alone0 = run_system(SystemKind::StreamOnly, &t0, &a0)
+        .expect("run")
+        .ipc();
+    let alone1 = run_system(SystemKind::StreamOnly, &t1, &a1)
+        .expect("run")
+        .ipc();
 
     let mut mm = MultiMachine::new(
         MachineConfig::default(),
@@ -39,7 +43,7 @@ fn sharing_the_bus_slows_both_cores() {
             core_setup(SystemKind::StreamOnly, &a1),
         ],
     );
-    let shared = mm.run(&[clone_trace(&t0), clone_trace(&t1)]);
+    let shared = mm.run(&[clone_trace(&t0), clone_trace(&t1)]).expect("run");
     assert!(shared.per_core[0].ipc() <= alone0 * 1.01);
     assert!(shared.per_core[1].ipc() <= alone1 * 1.01);
     let ws = shared.weighted_speedup(&[alone0, alone1]);
@@ -57,8 +61,12 @@ fn proposal_helps_a_pointer_intensive_pair() {
     let a0 = artifacts(&t0);
     let a1 = artifacts(&t1);
     let alone = [
-        run_system(SystemKind::StreamOnly, &t0, &a0).ipc(),
-        run_system(SystemKind::StreamOnly, &t1, &a1).ipc(),
+        run_system(SystemKind::StreamOnly, &t0, &a0)
+            .expect("run")
+            .ipc(),
+        run_system(SystemKind::StreamOnly, &t1, &a1)
+            .expect("run")
+            .ipc(),
     ];
 
     let run_pair = |kind: SystemKind| {
@@ -66,7 +74,7 @@ fn proposal_helps_a_pointer_intensive_pair() {
             MachineConfig::default(),
             vec![core_setup(kind, &a0), core_setup(kind, &a1)],
         );
-        mm.run(&[clone_trace(&t0), clone_trace(&t1)])
+        mm.run(&[clone_trace(&t0), clone_trace(&t1)]).expect("run")
     };
     let base = run_pair(SystemKind::StreamOnly);
     let ours = run_pair(SystemKind::StreamEcdpThrottled);
@@ -90,7 +98,9 @@ fn four_cores_complete_and_account_bus_traffic() {
             .map(|a| core_setup(SystemKind::StreamEcdpThrottled, a))
             .collect(),
     );
-    let r = mm.run(&traces.iter().map(clone_trace).collect::<Vec<_>>());
+    let r = mm
+        .run(&traces.iter().map(clone_trace).collect::<Vec<_>>())
+        .expect("run");
     assert_eq!(r.per_core.len(), 4);
     let per_core_sum: u64 = r.per_core.iter().map(|s| s.bus_transfers).sum();
     assert!(

@@ -255,7 +255,7 @@ proptest! {
         let trace = tb.finish();
         let expected = trace.instructions;
         let mut machine = Machine::new(MachineConfig::default());
-        let stats = machine.run(&trace);
+        let stats = machine.run(&trace).expect("run");
         prop_assert_eq!(stats.retired_instructions, expected);
         prop_assert!(stats.cycles > 0);
     }
