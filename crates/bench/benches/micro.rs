@@ -9,7 +9,7 @@ use std::hint::black_box;
 
 use ecdp::hints::{HintTable, HintVector};
 use ecdp::profile::profile_workload;
-use ecdp::system::{run_system, CompilerArtifacts, SystemKind};
+use ecdp::system::{CompilerArtifacts, SystemBuilder, SystemKind};
 use prefetch::{AllowAll, CdpConfig, ContentDirectedPrefetcher, StreamConfig, StreamPrefetcher};
 use sim_core::cache::{Cache, CacheConfig, LineState};
 use sim_core::dram::{Dram, DramRequest};
@@ -153,8 +153,11 @@ fn bench_end_to_end(c: &mut Criterion) {
     group.bench_function("stream_ecdp_throttled", |b| {
         b.iter(|| {
             black_box(
-                run_system(SystemKind::StreamEcdpThrottled, &train, &artifacts)
+                SystemBuilder::new(SystemKind::StreamEcdpThrottled)
+                    .artifacts(&artifacts)
+                    .run(&train)
                     .expect("run")
+                    .stats
                     .cycles,
             )
         })
@@ -162,8 +165,11 @@ fn bench_end_to_end(c: &mut Criterion) {
     group.bench_function("stream_only", |b| {
         b.iter(|| {
             black_box(
-                run_system(SystemKind::StreamOnly, &train, &artifacts)
+                SystemBuilder::new(SystemKind::StreamOnly)
+                    .artifacts(&artifacts)
+                    .run(&train)
                     .expect("run")
+                    .stats
                     .cycles,
             )
         })

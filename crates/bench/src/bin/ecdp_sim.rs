@@ -108,15 +108,15 @@ fn main() {
             };
             let s = lab.run(&name, kind);
             print_stats(kind.label(), &s, None);
-            for p in &s.prefetchers {
+            for (i, p) in s.prefetchers.iter().enumerate() {
                 println!(
                     "  {:<10} issued {:>9} used {:>9} late {:>8} acc {:>5.1}% cov {:>5.1}%",
                     p.name,
                     p.issued,
                     p.used,
                     p.late,
-                    p.accuracy() * 100.0,
-                    p.coverage(s.l2_demand_misses) * 100.0
+                    s.prefetch_accuracy(i) * 100.0,
+                    s.prefetch_coverage(i) * 100.0
                 );
             }
         }

@@ -2,19 +2,20 @@
 //! workload alternates between a streaming phase (the stream prefetcher's
 //! regime) and a pointer-chase phase (CDP's regime), and the Table 3
 //! heuristics hand the memory system back and forth between the two
-//! prefetchers. Renders the per-interval aggressiveness trajectories.
+//! prefetchers. Renders the per-interval aggressiveness trajectories from
+//! the observability layer's interval time series and summarises which
+//! Table 3 cases drove the transitions.
 //!
 //! ```text
 //! cargo run --release -p bench --bin phase_dynamics
 //! ```
 
 use ecdp::profile::profile_workload;
-use ecdp::system::{build_machine, CompilerArtifacts, SystemKind};
+use ecdp::system::{CompilerArtifacts, SystemBuilder, SystemKind};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use sim_core::{Aggressiveness, Trace, TraceBuilder};
+use sim_core::{Aggressiveness, ObsConfig, ThrottleDecision, Trace, TraceBuilder};
 use sim_mem::{layout, Heap, SimMemory};
-use throttle::{level_trajectory, CoordinatedThrottle, Recorder};
 
 /// Builds a trace alternating `phases` times between an array sweep and a
 /// scrambled list chase.
@@ -86,26 +87,51 @@ fn main() {
     let artifacts = CompilerArtifacts::from_profile(&profile_workload(&train));
     let reference = phased_trace(2, 6);
 
-    let mut machine = build_machine(SystemKind::StreamEcdpThrottled, &artifacts);
-    let (policy, log) = Recorder::new(CoordinatedThrottle::default());
-    machine.set_throttle(Box::new(policy));
-    let stats = machine.run(&reference).expect("run failed");
+    let run = SystemBuilder::new(SystemKind::StreamEcdpThrottled)
+        .artifacts(&artifacts)
+        .observe(ObsConfig {
+            timeseries: true,
+            decisions: true,
+            ..ObsConfig::default()
+        })
+        .run(&reference)
+        .expect("run failed");
+    let trace = run.trace.expect("observability was enabled");
 
-    let log = log.borrow();
     println!(
         "run complete: IPC {:.3}, {} sampling intervals\n",
-        stats.ipc(),
-        log.len()
+        run.stats.ipc(),
+        trace.samples.len()
     );
     println!("aggressiveness per interval (1 = very conservative .. 4 = aggressive):");
-    println!(
-        "  stream: {}",
-        render(&level_trajectory(&log, 0, Aggressiveness::Aggressive))
-    );
-    println!(
-        "  ecdp  : {}",
-        render(&level_trajectory(&log, 1, Aggressiveness::Aggressive))
-    );
+    println!("  stream: {}", render(&trace.levels(0)));
+    println!("  ecdp  : {}", render(&trace.levels(1)));
+
+    // Which Table 3 case fired, per prefetcher, across the run.
+    let names = ["stream", "ecdp"];
+    println!("\nTable 3 case counts (case -> decisions):");
+    for (pf, name) in names.iter().enumerate() {
+        let mut cases = [0usize; 6];
+        let mut ups = 0usize;
+        let mut downs = 0usize;
+        for t in trace
+            .transitions
+            .iter()
+            .filter(|t| t.prefetcher == pf as u8)
+        {
+            cases[usize::from(t.case.min(5))] += 1;
+            match t.decision {
+                ThrottleDecision::Up => ups += 1,
+                ThrottleDecision::Down => downs += 1,
+                ThrottleDecision::Keep => {}
+            }
+        }
+        println!(
+            "  {name}: c1={} c2={} c3={} c4={} c5={} (up {ups}, down {downs})",
+            cases[1], cases[2], cases[3], cases[4], cases[5]
+        );
+    }
+
     println!(
         "\nECDP is throttled down during the streaming phases (its coverage collapses\n\
          while the stream prefetcher's soars) and restored in the pointer-chase\n\

@@ -5,7 +5,8 @@
 //!
 //! ```text
 //! cargo run --release -p bench --bin run_all [-- [--jobs N] [--filter SUBSTR]
-//!                                               [--resume] [--sweep] [output.md]]
+//!                                               [--resume] [--sweep]
+//!                                               [--trace-dir DIR] [output.md]]
 //! ```
 //!
 //! Execution has two phases:
@@ -17,7 +18,11 @@
 //!    `target/lab/run_all.json`, so a killed process leaves a valid
 //!    partial manifest. `--resume` skips cells the existing manifest
 //!    already records as successful under the same machine-config hash.
-//!    `--sweep` stops after this phase.
+//!    `--sweep` stops after this phase; combined with `--filter` it runs
+//!    only the matching cells, and a filter matching no cell exits 2.
+//!    `--trace-dir DIR` runs every cell with the observability layer
+//!    enabled and writes per-cell `timeseries.json` + `obs.jsonl` under
+//!    `DIR`; the manifest records the artifact paths.
 //! 2. **Sections**: report sections are generated concurrently on the
 //!    same pool (mostly cache hits after the sweep); a failing section is
 //!    reported inline in the output instead of aborting the report.
@@ -122,9 +127,16 @@ fn main() {
     // Phase 1 — fault-tolerant sweep over the shared grid, with
     // incremental manifest flushes and optional resume. A filtered
     // report run skips it: the filter may need none of these cells.
-    let mut sweep_failures: Vec<RunOutcome> = Vec::new();
+    let trace_dir = args.trace_dir.as_ref().map(std::path::PathBuf::from);
+    let mut sweep_outcomes: Vec<RunOutcome> = Vec::new();
     if args.filter.is_none() || args.sweep_only {
-        let plan = sweep_plan();
+        let mut plan = sweep_plan();
+        if let Some(f) = &args.filter {
+            plan = plan.filtered(f);
+            if plan.cells.is_empty() {
+                fail_usage(&format!("no cells matched --filter {f}"));
+            }
+        }
         let prior = if args.resume {
             let m = Manifest::load(&plan.name);
             if m.is_none() {
@@ -146,6 +158,7 @@ fn main() {
             &SweepOptions {
                 resume_from: prior.as_ref(),
                 writer: Some(&writer),
+                trace_dir: trace_dir.as_deref(),
             },
         );
         eprintln!(
@@ -162,11 +175,7 @@ fn main() {
             );
         }
         failures += exec.failed();
-        sweep_failures = exec
-            .outcomes
-            .into_iter()
-            .filter(RunOutcome::is_failed)
-            .collect();
+        sweep_outcomes = exec.outcomes;
     }
 
     if args.sweep_only {
@@ -265,14 +274,18 @@ fn main() {
     ));
     std::fs::write(&out_path, &report).expect("write report");
 
-    // Final manifest: every successful cell the lab saw (sweep and
-    // sections) plus the sweep's failure records.
-    let mut records: Vec<RunOutcome> = lab
-        .records()
-        .into_iter()
-        .map(RunOutcome::Success)
-        .chain(sweep_failures)
-        .collect();
+    // Final manifest: the sweep's outcomes verbatim (success records may
+    // carry --trace-dir artifact paths, which the lab cache does not
+    // know about) plus every additional cell the sections ran.
+    let swept: std::collections::HashSet<_> =
+        sweep_outcomes.iter().map(RunOutcome::sort_key).collect();
+    let mut records: Vec<RunOutcome> = sweep_outcomes;
+    records.extend(
+        lab.records()
+            .into_iter()
+            .map(RunOutcome::Success)
+            .filter(|o| !swept.contains(&o.sort_key())),
+    );
     records.sort_by_key(RunOutcome::sort_key);
     let manifest = Manifest {
         name: "run_all".to_string(),

@@ -6,14 +6,17 @@
 //! message, instead of being silently reinterpreted as an output path.
 
 /// Usage line printed on `--help` and on every parse error.
-pub const USAGE: &str =
-    "usage: run_all [--jobs N] [--filter SUBSTR] [--resume] [--sweep] [output.md]
+pub const USAGE: &str = "usage: run_all [--jobs N] [--filter SUBSTR] [--resume] [--sweep]
+               [--trace-dir DIR] [output.md]
 
   --jobs N        worker threads (default: $BENCH_JOBS or available parallelism)
-  --filter SUBSTR only generate report sections whose name contains SUBSTR
+  --filter SUBSTR only generate report sections whose name contains SUBSTR;
+                  with --sweep, keep only sweep cells matching SUBSTR
   --resume        skip sweep cells already recorded as successful in the
                   existing run_all manifest (same machine-config hash)
   --sweep         run only the sweep phase (no report sections)
+  --trace-dir DIR run sweep cells with the observability layer enabled and
+                  write per-cell timeseries.json + obs.jsonl under DIR
   output.md       report path (default: EXPERIMENTS.md)";
 
 /// Parsed `run_all` arguments.
@@ -27,6 +30,8 @@ pub struct RunAllArgs {
     pub resume: bool,
     /// Run only the sweep phase.
     pub sweep_only: bool,
+    /// Directory for per-cell observability artifacts; enables tracing.
+    pub trace_dir: Option<String>,
     /// Report output path; `None` means `EXPERIMENTS.md`.
     pub out_path: Option<String>,
 }
@@ -73,6 +78,13 @@ where
             }
             "--resume" => parsed.resume = true,
             "--sweep" => parsed.sweep_only = true,
+            "--trace-dir" => {
+                let v = args.next().ok_or("--trace-dir requires a value")?;
+                if v.is_empty() {
+                    return Err("--trace-dir value must be non-empty".to_string());
+                }
+                parsed.trace_dir = Some(v);
+            }
             "--help" | "-h" => return Ok(Parsed::Help),
             _ if a.starts_with('-') => return Err(format!("unknown flag {a:?}")),
             _ => {
@@ -99,7 +111,15 @@ mod tests {
     #[test]
     fn parses_the_full_flag_set() {
         let p = parse(&[
-            "--jobs", "4", "--filter", "Figure", "--resume", "--sweep", "out.md",
+            "--jobs",
+            "4",
+            "--filter",
+            "Figure",
+            "--resume",
+            "--sweep",
+            "--trace-dir",
+            "target/traces",
+            "out.md",
         ]);
         assert_eq!(
             p,
@@ -108,6 +128,7 @@ mod tests {
                 filter: Some("figure".to_string()),
                 resume: true,
                 sweep_only: true,
+                trace_dir: Some("target/traces".to_string()),
                 out_path: Some("out.md".to_string()),
             }))
         );
@@ -128,6 +149,8 @@ mod tests {
     fn rejects_malformed_filter_and_unknown_flags() {
         assert!(parse(&["--filter"]).is_err(), "missing value");
         assert!(parse(&["--filter", ""]).is_err(), "empty value");
+        assert!(parse(&["--trace-dir"]).is_err(), "missing value");
+        assert!(parse(&["--trace-dir", ""]).is_err(), "empty value");
         assert!(parse(&["--jbos", "4"]).is_err(), "unknown flag");
         assert!(parse(&["--resume=now"]).is_err(), "unknown flag form");
     }

@@ -3,7 +3,7 @@
 
 use ecdp::cost::HardwareCost;
 use ecdp::profile::profile_workload;
-use ecdp::system::{run_system, CompilerArtifacts, SystemKind};
+use ecdp::system::{CompilerArtifacts, SystemBuilder, SystemKind};
 use sim_core::MachineConfig;
 use workloads::{by_name, InputSet};
 
@@ -25,7 +25,7 @@ pub fn fig01(lab: &Lab) -> String {
         let nopf = lab.run(name, SystemKind::NoPrefetch);
         let stream = lab.run(name, SystemKind::StreamOnly);
         let orac = lab.run(name, SystemKind::OracleLds);
-        let cov = stream.prefetchers[0].coverage(stream.l2_demand_misses);
+        let cov = stream.prefetch_coverage(0);
         t.row(vec![
             name.to_string(),
             f2(stream.ipc() / nopf.ipc()),
@@ -72,7 +72,7 @@ pub fn fig02_tab01(lab: &Lab) -> String {
             f2(cdp.ipc() / base.ipc()),
             format!("{:.1}", base.bpki()),
             format!("{:.1}", cdp.bpki()),
-            format!("{:.1}%", cdp.prefetchers[1].accuracy() * 100.0),
+            format!("{:.1}%", cdp.prefetch_accuracy(1) * 100.0),
         ]);
         speed.push((name, cdp.ipc() / base.ipc()));
         bw.push(cdp.bpki() / base.bpki().max(1e-9));
@@ -209,9 +209,9 @@ fn accuracy_coverage_report(lab: &Lab, accuracy: bool) -> String {
     ];
     let metric = |s: &sim_core::RunStats, pf: usize| -> f64 {
         if accuracy {
-            s.prefetchers[pf].accuracy()
+            s.prefetch_accuracy(pf)
         } else {
-            s.prefetchers[pf].coverage(s.l2_demand_misses)
+            s.prefetch_coverage(pf)
         }
     };
     let mut headers = vec!["bench".to_string()];
@@ -272,9 +272,13 @@ pub fn fig10(lab: &Lab) -> String {
     for name in POINTER_BENCHES {
         let art = lab.artifacts(name);
         let trace = lab.trace(name, InputSet::Ref);
-        let (_, pc) = ecdp::system::run_system_profiled(SystemKind::StreamCdp, &trace, &art)
+        let (_, pc) = SystemBuilder::new(SystemKind::StreamCdp)
+            .artifacts(&art)
+            .run_profiled(&trace)
             .expect("profiled run failed");
-        let (_, pe) = ecdp::system::run_system_profiled(SystemKind::StreamEcdp, &trace, &art)
+        let (_, pe) = SystemBuilder::new(SystemKind::StreamEcdp)
+            .artifacts(&art)
+            .run_profiled(&trace)
             .expect("profiled run failed");
         for (h, p) in [(&mut cdp_hist, pc), (&mut ecdp_hist, pe)] {
             let hh = p.usefulness_histogram();
@@ -336,8 +340,11 @@ pub fn sec616(lab: &Lab) -> String {
             .generate(InputSet::Ref);
         let ref_profile = profile_workload(&ref_trace);
         let ref_art = CompilerArtifacts::from_profile(&ref_profile);
-        let with_ref = run_system(SystemKind::StreamEcdpThrottled, &ref_trace, &ref_art)
+        let with_ref = SystemBuilder::new(SystemKind::StreamEcdpThrottled)
+            .artifacts(&ref_art)
+            .run(&ref_trace)
             .expect("run failed")
+            .stats
             .ipc()
             / base;
         deltas.push((with_ref / with_train - 1.0) * 100.0);

@@ -22,8 +22,8 @@ use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Instant;
 
 use ecdp::profile::{profile_workload, PgProfile};
-use ecdp::system::{run_system, CompilerArtifacts, SystemKind};
-use sim_core::{RunStats, SimError, Trace};
+use ecdp::system::{CompilerArtifacts, SystemBuilder, SystemKind};
+use sim_core::{ObsConfig, RunStats, RunTrace, SimError, Trace};
 use workloads::{by_name, InputSet};
 
 use crate::fault::{FaultAction, FaultPlan};
@@ -112,6 +112,8 @@ struct LabShared {
     artifacts: OnceMap<String, Arc<CompilerArtifacts>>,
     /// Run result plus the wall-clock milliseconds of the fresh compute.
     runs: OnceMap<(String, InputSet, SystemKind), (RunStats, f64)>,
+    /// Observability traces of runs executed with [`Lab::try_run_traced`].
+    traces_obs: OnceMap<(String, InputSet, SystemKind), Arc<RunTrace>>,
     faults: FaultPlan,
     verbose: bool,
 }
@@ -158,6 +160,7 @@ impl Lab {
                 profiles: OnceMap::new(),
                 artifacts: OnceMap::new(),
                 runs: OnceMap::new(),
+                traces_obs: OnceMap::new(),
                 faults,
                 verbose: std::env::var_os("BENCH_VERBOSE").is_some(),
             }),
@@ -248,30 +251,92 @@ impl Lab {
         input: InputSet,
         kind: SystemKind,
     ) -> Result<RunStats, SimError> {
-        let key = (name.to_string(), input, kind);
-        self.shared
-            .runs
-            .get_or_try_init(&key, || {
-                match self.shared.faults.action_for(name, input, kind) {
-                    Some(FaultAction::Panic) => {
-                        panic!("injected fault: panic in {name} {input:?} {}", kind.label())
-                    }
-                    Some(FaultAction::Livelock) => return Err(crate::fault::run_livelock()),
-                    Some(FaultAction::Slow(ms)) => {
-                        std::thread::sleep(std::time::Duration::from_millis(ms));
-                    }
-                    None => {}
-                }
-                let art = self.artifacts(name);
-                let t = self.trace(name, input);
-                if self.shared.verbose {
-                    eprintln!("[lab] running {name} {input:?} on {}", kind.label());
-                }
-                let t0 = Instant::now();
-                let stats = run_system(kind, &t, &art)?;
-                Ok((stats, t0.elapsed().as_secs_f64() * 1e3))
-            })
+        self.try_run_inner(name, input, kind, None)
             .map(|(stats, _)| stats)
+    }
+
+    /// Like [`Lab::try_run_on`], but with the observability layer
+    /// (interval time series + throttle decision trace) enabled; returns
+    /// the statistics together with the recorded [`RunTrace`].
+    ///
+    /// The statistics are bit-identical to an untraced run (the
+    /// disabled-observer fast path is the default; enabling it only adds
+    /// bookkeeping outside the simulated machine), so the run *also*
+    /// seeds the plain stats cache: a later [`Lab::try_run_on`] of the
+    /// same cell is a cache hit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the [`SimError`] of a wedged or injected-fault run.
+    pub fn try_run_traced(
+        &self,
+        name: &str,
+        input: InputSet,
+        kind: SystemKind,
+    ) -> Result<(RunStats, Arc<RunTrace>), SimError> {
+        let key = (name.to_string(), input, kind);
+        let obs = ObsConfig::enabled();
+        let (stats, trace) = self.try_run_inner(name, input, kind, Some(obs))?;
+        Ok((
+            stats,
+            trace.unwrap_or_else(|| {
+                // The cell was already simulated untraced: rerun outside
+                // the stats cache to collect the trace, once.
+                self.shared.traces_obs.get_or_init(&key, || {
+                    let art = self.artifacts(name);
+                    let t = self.trace(name, input);
+                    if self.shared.verbose {
+                        eprintln!(
+                            "[lab] re-running {name} {input:?} on {} for its trace",
+                            kind.label()
+                        );
+                    }
+                    let run = SystemBuilder::new(kind)
+                        .artifacts(&art)
+                        .observe(obs)
+                        .run(&t);
+                    Arc::new(run.ok().and_then(|r| r.trace).unwrap_or_default())
+                })
+            }),
+        ))
+    }
+
+    fn try_run_inner(
+        &self,
+        name: &str,
+        input: InputSet,
+        kind: SystemKind,
+        obs: Option<ObsConfig>,
+    ) -> Result<(RunStats, Option<Arc<RunTrace>>), SimError> {
+        let key = (name.to_string(), input, kind);
+        let (stats, _) = self.shared.runs.get_or_try_init(&key, || {
+            match self.shared.faults.action_for(name, input, kind) {
+                Some(FaultAction::Panic) => {
+                    panic!("injected fault: panic in {name} {input:?} {}", kind.label())
+                }
+                Some(FaultAction::Livelock) => return Err(crate::fault::run_livelock()),
+                Some(FaultAction::Slow(ms)) => {
+                    std::thread::sleep(std::time::Duration::from_millis(ms));
+                }
+                None => {}
+            }
+            let art = self.artifacts(name);
+            let t = self.trace(name, input);
+            if self.shared.verbose {
+                eprintln!("[lab] running {name} {input:?} on {}", kind.label());
+            }
+            let t0 = Instant::now();
+            let mut builder = SystemBuilder::new(kind).artifacts(&art);
+            if let Some(cfg) = obs {
+                builder = builder.observe(cfg);
+            }
+            let run = builder.run(&t)?;
+            if let Some(trace) = run.trace {
+                self.shared.traces_obs.get_or_init(&key, || Arc::new(trace));
+            }
+            Ok((run.stats, t0.elapsed().as_secs_f64() * 1e3))
+        })?;
+        Ok((stats, self.shared.traces_obs.get(&key)))
     }
 
     /// Like [`Lab::try_run_on`], for callers that treat a failed

@@ -2,7 +2,7 @@
 //!
 //! Every simulated cell — a (workload, input set, system) triple — yields
 //! a [`RunOutcome`]: either a [`RunRecord`] with the machine-config hash,
-//! the full [`StatsSummary`](sim_core::StatsSummary) (IPC, BPKI,
+//! the full [`sim_core::StatsSummary`] (IPC, BPKI,
 //! per-prefetcher accuracy/coverage, ...) and the wall time of the fresh
 //! simulation, or a [`FailureRecord`] carrying the structured error of a
 //! cell that panicked or wedged. Figure and section binaries bundle their
@@ -66,6 +66,12 @@ pub struct RunRecord {
     pub wall_ms: f64,
     /// Full deterministic statistics summary.
     pub stats: StatsSummary,
+    /// Path of the per-interval `timeseries.json` artifact, when the cell
+    /// ran with `--trace-dir`. Omitted from the JSON when absent.
+    pub timeseries_path: Option<String>,
+    /// Path of the `obs.jsonl` decision-trace artifact, when the cell ran
+    /// with `--trace-dir`. Omitted from the JSON when absent.
+    pub obs_path: Option<String>,
 }
 
 impl RunRecord {
@@ -84,6 +90,8 @@ impl RunRecord {
             config_hash: config_hash(),
             wall_ms,
             stats: stats.summary(),
+            timeseries_path: None,
+            obs_path: None,
         }
     }
 
@@ -96,7 +104,8 @@ impl RunRecord {
         )
     }
 
-    /// Deterministic equality: every field except `wall_ms`.
+    /// Deterministic equality: every field except `wall_ms` and the
+    /// trace artifact paths (which embed the caller's output directory).
     pub fn same_metrics(&self, other: &RunRecord) -> bool {
         self.workload == other.workload
             && self.input == other.input
@@ -105,9 +114,11 @@ impl RunRecord {
             && self.stats == other.stats
     }
 
-    /// JSON form (field order is part of the manifest format).
+    /// JSON form (field order is part of the manifest format; the trace
+    /// artifact paths are appended only when present, so untraced
+    /// manifests are byte-identical to the version-2 format).
     pub fn to_json(&self) -> Json {
-        Json::obj([
+        let mut pairs = vec![
             ("workload", Json::Str(self.workload.clone())),
             ("input", Json::Str(self.input.clone())),
             ("system", Json::Str(self.system.clone())),
@@ -119,7 +130,14 @@ impl RunRecord {
             ),
             ("wall_ms", Json::Num(self.wall_ms)),
             ("stats", self.stats.to_json()),
-        ])
+        ];
+        if let Some(p) = &self.timeseries_path {
+            pairs.push(("timeseries_path", Json::Str(p.clone())));
+        }
+        if let Some(p) = &self.obs_path {
+            pairs.push(("obs_path", Json::Str(p.clone())));
+        }
+        Json::obj(pairs)
     }
 
     /// Parses a record produced by [`RunRecord::to_json`].
@@ -131,6 +149,14 @@ impl RunRecord {
             config_hash: u64::from_str_radix(j.get("config_hash")?.as_str()?, 16).ok()?,
             wall_ms: j.get("wall_ms")?.as_f64()?,
             stats: StatsSummary::from_json(j.get("stats")?).ok()?,
+            timeseries_path: j
+                .get("timeseries_path")
+                .and_then(Json::as_str)
+                .map(ToString::to_string),
+            obs_path: j
+                .get("obs_path")
+                .and_then(Json::as_str)
+                .map(ToString::to_string),
         })
     }
 }
@@ -552,6 +578,22 @@ mod tests {
         assert!(
             !parsed.has_success(&f.workload, &f.input, &f.system, f.config_hash),
             "failed cells must not satisfy the resume-skip criterion"
+        );
+    }
+
+    #[test]
+    fn trace_paths_are_optional_and_roundtrip() {
+        let plain = sample_record(1.0);
+        assert!(plain.to_json().get("timeseries_path").is_none());
+        assert!(plain.to_json().get("obs_path").is_none());
+        let mut traced = sample_record(2.0);
+        traced.timeseries_path = Some("target/traces/cell/timeseries.json".to_string());
+        traced.obs_path = Some("target/traces/cell/obs.jsonl".to_string());
+        let parsed = RunRecord::from_json(&traced.to_json()).unwrap();
+        assert_eq!(traced, parsed);
+        assert!(
+            plain.same_metrics(&traced),
+            "artifact paths must not affect metric equality"
         );
     }
 

@@ -21,10 +21,12 @@
 //! what makes long sweeps crash-safe and restartable.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 use ecdp::system::SystemKind;
+use sim_core::{Json, RunTrace};
 use workloads::InputSet;
 
 use crate::lab::Lab;
@@ -60,6 +62,10 @@ pub struct SweepOptions<'a> {
     /// Flush every completed cell to this writer as it finishes, so a
     /// killed process leaves a valid partial manifest behind.
     pub writer: Option<&'a ManifestWriter>,
+    /// Run every cell with the observability layer enabled and write
+    /// `<trace_dir>/<workload>-<input>-<system>/{timeseries.json,
+    /// obs.jsonl}`; the success records carry the artifact paths.
+    pub trace_dir: Option<&'a Path>,
 }
 
 /// What [`SweepPlan::run_fault_tolerant`] did.
@@ -244,15 +250,36 @@ impl SweepPlan {
                         Some(record) => RunOutcome::Success(record.clone()),
                         None => {
                             let t0 = Instant::now();
-                            let result = catch_unwind(AssertUnwindSafe(|| {
-                                lab.try_run_on(&cell.workload, cell.input, cell.system)
+                            let result = catch_unwind(AssertUnwindSafe(|| match opts.trace_dir {
+                                None => lab
+                                    .try_run_on(&cell.workload, cell.input, cell.system)
+                                    .map(|_| None),
+                                Some(_) => lab
+                                    .try_run_traced(&cell.workload, cell.input, cell.system)
+                                    .map(|(_, trace)| Some(trace)),
                             }));
                             let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
                             match result {
-                                Ok(Ok(_)) => RunOutcome::Success(
-                                    lab.record_for(&cell.workload, cell.input, cell.system)
-                                        .expect("successful run populated the cache"),
-                                ),
+                                Ok(Ok(trace)) => {
+                                    let mut record = lab
+                                        .record_for(&cell.workload, cell.input, cell.system)
+                                        .expect("successful run populated the cache");
+                                    if let (Some(dir), Some(trace)) = (opts.trace_dir, trace) {
+                                        match write_cell_trace(dir, cell, &trace) {
+                                            Ok((ts, obs)) => {
+                                                record.timeseries_path = Some(ts);
+                                                record.obs_path = Some(obs);
+                                            }
+                                            Err(e) => eprintln!(
+                                                "[sweep] trace write failed for {} {} {}: {e}",
+                                                cell.workload,
+                                                cell.input_label(),
+                                                cell.system.label()
+                                            ),
+                                        }
+                                    }
+                                    RunOutcome::Success(record)
+                                }
                                 Ok(Err(e)) => RunOutcome::Failed(FailureRecord::new(
                                     &cell.workload,
                                     cell.input,
@@ -314,6 +341,36 @@ impl SweepPlan {
         .write()?;
         Ok((records, path))
     }
+}
+
+/// Writes one cell's observability artifacts under `dir` and returns the
+/// `(timeseries.json, obs.jsonl)` paths as manifest strings.
+fn write_cell_trace(
+    dir: &Path,
+    cell: &SweepCell,
+    trace: &RunTrace,
+) -> std::io::Result<(String, String)> {
+    let cell_dir = dir.join(format!(
+        "{}-{}-{}",
+        cell.workload,
+        cell.input_label(),
+        cell.system.label()
+    ));
+    std::fs::create_dir_all(&cell_dir)?;
+    let ts_path = cell_dir.join("timeseries.json");
+    std::fs::write(&ts_path, trace.timeseries_json().to_string_pretty())?;
+    let obs_path = cell_dir.join("obs.jsonl");
+    let meta = [
+        ("workload", Json::Str(cell.workload.clone())),
+        ("input", Json::Str(cell.input_label())),
+        ("system", Json::Str(cell.system.label().to_string())),
+        ("config_hash", Json::Str(format!("{:016x}", config_hash()))),
+    ];
+    std::fs::write(&obs_path, trace.to_jsonl(&meta))?;
+    Ok((
+        ts_path.to_string_lossy().into_owned(),
+        obs_path.to_string_lossy().into_owned(),
+    ))
 }
 
 /// The worker-thread count to use by default: `$BENCH_JOBS` if set to a

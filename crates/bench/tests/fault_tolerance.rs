@@ -111,6 +111,7 @@ fn resume_skips_previously_successful_cells() {
         &SweepOptions {
             resume_from: Some(&manifest),
             writer: None,
+            trace_dir: None,
         },
     );
     assert_eq!(exec.skipped, 7, "all prior successes are skipped");

@@ -23,7 +23,7 @@
 //!
 //! ```
 //! use ecdp::profile::profile_workload;
-//! use ecdp::system::{run_system, CompilerArtifacts, SystemKind};
+//! use ecdp::system::{CompilerArtifacts, SystemBuilder, SystemKind};
 //! use workloads::{by_name, InputSet};
 //!
 //! let wl = by_name("mst").unwrap();
@@ -36,9 +36,15 @@
 //! // Run the ref input on the full proposal (ECDP + coordinated
 //! // throttling) and on the baseline.
 //! let reference = wl.generate(InputSet::Ref);
-//! let base = run_system(SystemKind::StreamOnly, &reference, &artifacts).expect("sim");
-//! let ours = run_system(SystemKind::StreamEcdpThrottled, &reference, &artifacts).expect("sim");
-//! assert!(ours.ipc() > 0.0 && base.ipc() > 0.0);
+//! let base = SystemBuilder::new(SystemKind::StreamOnly)
+//!     .artifacts(&artifacts)
+//!     .run(&reference)
+//!     .expect("sim");
+//! let ours = SystemBuilder::new(SystemKind::StreamEcdpThrottled)
+//!     .artifacts(&artifacts)
+//!     .run(&reference)
+//!     .expect("sim");
+//! assert!(ours.stats.ipc() > 0.0 && base.stats.ipc() > 0.0);
 //! ```
 
 pub mod cost;
@@ -50,4 +56,6 @@ pub mod system;
 pub use cost::HardwareCost;
 pub use hints::{HintTable, HintVector};
 pub use profile::{profile_workload, PgProfile, PgUsage};
-pub use system::{run_system, CompilerArtifacts, SystemKind};
+#[allow(deprecated)]
+pub use system::run_system;
+pub use system::{CompilerArtifacts, SystemBuilder, SystemKind, SystemRun};

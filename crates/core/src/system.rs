@@ -1,9 +1,11 @@
 //! Assembly of every machine configuration evaluated in the paper.
 //!
-//! [`SystemKind`] enumerates the systems; [`build_machine`] wires the right
-//! prefetchers, scan filters and throttling policy together, and
-//! [`run_system`] runs a trace through one. Multi-core experiments use
-//! [`core_setup`] to get the per-core equivalent.
+//! [`SystemKind`] enumerates the systems; [`SystemBuilder`] wires the right
+//! prefetchers, scan filters and throttling policy together and runs a
+//! trace through the result, optionally attaching the observability layer
+//! ([`sim_core::ObsConfig`]) or a [`sim_core::PrefetchObserver`].
+//! Multi-core experiments use [`core_setup`] to get the per-core
+//! equivalent.
 
 use std::collections::HashSet;
 
@@ -14,7 +16,10 @@ use prefetch::{
     PollutionFilteredPrefetcher, ScanFilter, StreamConfig, StreamPrefetcher, StrideConfig,
     StridePrefetcher,
 };
-use sim_core::{CoreSetup, Machine, MachineConfig, PrefetcherId, RunStats, SimError, Trace};
+use sim_core::{
+    CoreSetup, Machine, MachineConfig, ObsConfig, PrefetchObserver, PrefetcherId, RunStats,
+    RunTrace, SimError, Trace,
+};
 use throttle::{CoordinatedThrottle, FdpThrottle, PabSelector, Switchable};
 
 use crate::hints::HintTable;
@@ -331,79 +336,236 @@ pub fn core_setup(kind: SystemKind, artifacts: &CompilerArtifacts) -> CoreSetup 
     setup
 }
 
-/// Builds a single-core [`Machine`] for `kind` with the default
-/// configuration (Table 5).
-pub fn build_machine(kind: SystemKind, artifacts: &CompilerArtifacts) -> Machine {
-    build_machine_with(kind, artifacts, MachineConfig::default())
+/// The outcome of a [`SystemBuilder`] run: run statistics plus, when the
+/// observability layer was enabled with [`SystemBuilder::observe`], the
+/// interval-resolution [`RunTrace`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SystemRun {
+    /// End-of-run statistics.
+    pub stats: RunStats,
+    /// Interval samples / throttle transitions / lifecycle events.
+    /// `None` unless observability was requested and the run succeeded.
+    pub trace: Option<RunTrace>,
 }
 
-/// [`build_machine`] with an explicit machine configuration.
+/// One-stop assembly and execution of a paper system.
+///
+/// Collapses the old `build_machine` / `build_machine_with` /
+/// `run_system` / `run_system_profiled` quartet into a single fluent API.
+/// Observability hooks (the interval sampler and decision trace of
+/// [`sim_core::obs`], or a custom [`PrefetchObserver`]) attach only
+/// through this builder.
+///
+/// # Example
+///
+/// ```no_run
+/// use ecdp::system::{CompilerArtifacts, SystemBuilder, SystemKind};
+/// # fn demo(trace: &sim_core::Trace) -> Result<(), sim_core::SimError> {
+/// let artifacts = CompilerArtifacts::empty();
+/// let run = SystemBuilder::new(SystemKind::StreamOnly)
+///     .artifacts(&artifacts)
+///     .run(trace)?;
+/// println!("IPC {:.3}", run.stats.ipc());
+/// # Ok(()) }
+/// ```
+pub struct SystemBuilder<'a> {
+    kind: SystemKind,
+    artifacts: Option<&'a CompilerArtifacts>,
+    config: MachineConfig,
+    observer: Option<Box<dyn PrefetchObserver>>,
+    obs: ObsConfig,
+    cycle_budget: Option<u64>,
+}
+
+impl<'a> SystemBuilder<'a> {
+    /// Starts a builder for `kind` with the default configuration
+    /// (Table 5), empty compiler artifacts and observability disabled.
+    pub fn new(kind: SystemKind) -> Self {
+        SystemBuilder {
+            kind,
+            artifacts: None,
+            config: MachineConfig::default(),
+            observer: None,
+            obs: ObsConfig::default(),
+            cycle_budget: None,
+        }
+    }
+
+    /// Uses `artifacts` (hint vectors and per-load gates) when assembling
+    /// compiler-guided systems. Systems that ignore the compiler are
+    /// unaffected.
+    pub fn artifacts(mut self, artifacts: &'a CompilerArtifacts) -> Self {
+        self.artifacts = Some(artifacts);
+        self
+    }
+
+    /// Replaces the machine configuration. `oracle_lds` is still forced
+    /// to match the system kind.
+    pub fn config(mut self, config: MachineConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Attaches a custom per-prefetch observer (e.g. the pointer-group
+    /// profiler's `PgCollector`).
+    pub fn observer(mut self, observer: Box<dyn PrefetchObserver>) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// Enables the observability layer: interval time series, throttle
+    /// decision traces and (optionally) prefetch lifecycle events, per
+    /// `obs`. With the default (all-disabled) config this is a no-op and
+    /// the run costs nothing extra.
+    pub fn observe(mut self, obs: ObsConfig) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// Aborts runs exceeding `cycles` with `SimError::CycleBudget`.
+    pub fn cycle_budget(mut self, cycles: u64) -> Self {
+        self.cycle_budget = Some(cycles);
+        self
+    }
+
+    /// Assembles the machine without running it.
+    pub fn build(self) -> Machine {
+        let empty = CompilerArtifacts::empty();
+        let mut config = self.config;
+        config.oracle_lds = self.kind == SystemKind::OracleLds;
+        let setup = core_setup(self.kind, self.artifacts.unwrap_or(&empty));
+        let mut machine = Machine::new(config);
+        for p in setup.prefetchers {
+            machine.add_prefetcher(p);
+        }
+        machine.set_throttle(setup.throttle);
+        if let Some(observer) = self.observer {
+            machine.set_observer(observer);
+        }
+        machine.set_obs(self.obs);
+        machine.set_cycle_budget(self.cycle_budget);
+        machine
+    }
+
+    /// Builds the machine and runs `trace` through it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`SimError`] from the run (deadlock watchdog, cycle
+    /// budget, invariant violation) so sweep harnesses can record the
+    /// cell as failed instead of aborting the process.
+    pub fn run(self, trace: &Trace) -> Result<SystemRun, SimError> {
+        let mut machine = self.build();
+        let stats = machine.run(trace)?;
+        Ok(SystemRun {
+            stats,
+            trace: machine.take_run_trace(),
+        })
+    }
+
+    /// Like [`SystemBuilder::run`], but also collects the pointer-group
+    /// usefulness observed *during this run* (used by the Figure 10
+    /// experiment to compare PG usefulness under original CDP versus
+    /// ECDP). Replaces any observer set with [`SystemBuilder::observer`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`SimError`] from the run, as
+    /// [`SystemBuilder::run`] does.
+    pub fn run_profiled(mut self, trace: &Trace) -> Result<(SystemRun, PgProfile), SimError> {
+        let (collector, handle) = crate::profile::PgCollector::new();
+        self.observer = Some(Box::new(collector));
+        let run = self.run(trace)?;
+        let pgs = handle.borrow().clone();
+        Ok((
+            run,
+            PgProfile {
+                pgs,
+                min_samples: 4,
+            },
+        ))
+    }
+}
+
+/// Builds a single-core [`Machine`] for `kind` with the default
+/// configuration (Table 5).
+#[deprecated(
+    since = "0.4.0",
+    note = "use `SystemBuilder::new(kind).artifacts(artifacts).build()`"
+)]
+pub fn build_machine(kind: SystemKind, artifacts: &CompilerArtifacts) -> Machine {
+    SystemBuilder::new(kind).artifacts(artifacts).build()
+}
+
+/// `build_machine` with an explicit machine configuration.
+#[deprecated(
+    since = "0.4.0",
+    note = "use `SystemBuilder::new(kind).artifacts(artifacts).config(config).build()`"
+)]
 pub fn build_machine_with(
     kind: SystemKind,
     artifacts: &CompilerArtifacts,
-    mut config: MachineConfig,
+    config: MachineConfig,
 ) -> Machine {
-    config.oracle_lds = kind == SystemKind::OracleLds;
-    let setup = core_setup(kind, artifacts);
-    let mut machine = Machine::new(config);
-    for p in setup.prefetchers {
-        machine.add_prefetcher(p);
-    }
-    machine.set_throttle(setup.throttle);
-    machine
+    SystemBuilder::new(kind)
+        .artifacts(artifacts)
+        .config(config)
+        .build()
 }
 
 /// Builds the machine for `kind`, runs `trace`, returns statistics.
 ///
 /// # Errors
 ///
-/// Propagates any [`SimError`] from the run (deadlock watchdog, cycle
-/// budget, invariant violation) so sweep harnesses can record the cell
-/// as failed instead of aborting the process.
+/// Propagates any [`SimError`] from the run.
+#[deprecated(
+    since = "0.4.0",
+    note = "use `SystemBuilder::new(kind).artifacts(artifacts).run(trace)`"
+)]
 pub fn run_system(
     kind: SystemKind,
     trace: &Trace,
     artifacts: &CompilerArtifacts,
 ) -> Result<RunStats, SimError> {
-    build_machine(kind, artifacts).run(trace)
+    SystemBuilder::new(kind)
+        .artifacts(artifacts)
+        .run(trace)
+        .map(|run| run.stats)
 }
 
-/// Like [`run_system`], but also collects the pointer-group usefulness
-/// observed *during this run* (used by the Figure 10 experiment to compare
-/// PG usefulness under original CDP versus ECDP).
+/// Like `run_system`, but also collects the pointer-group usefulness
+/// observed during the run.
 ///
 /// # Errors
 ///
-/// Propagates any [`SimError`] from the run, as [`run_system`] does.
+/// Propagates any [`SimError`] from the run.
+#[deprecated(
+    since = "0.4.0",
+    note = "use `SystemBuilder::new(kind).artifacts(artifacts).run_profiled(trace)`"
+)]
 pub fn run_system_profiled(
     kind: SystemKind,
     trace: &Trace,
     artifacts: &CompilerArtifacts,
-) -> Result<(RunStats, crate::profile::PgProfile), SimError> {
-    let mut machine = build_machine(kind, artifacts);
-    let (collector, handle) = crate::profile::PgCollector::new();
-    machine.set_observer(Box::new(collector));
-    let stats = machine.run(trace)?;
-    let pgs = handle.borrow().clone();
-    Ok((
-        stats,
-        crate::profile::PgProfile {
-            pgs,
-            min_samples: 4,
-        },
-    ))
+) -> Result<(RunStats, PgProfile), SimError> {
+    SystemBuilder::new(kind)
+        .artifacts(artifacts)
+        .run_profiled(trace)
+        .map(|(run, profile)| (run.stats, profile))
 }
 
 // Thread-safety contract of the parallel experiment harness: the shared
-// *inputs and outputs* of `run_system` must be `Send + Sync` so a cached
-// trace/artifact can feed simulations on many worker threads at once. The
-// machine internals themselves (e.g. the `Rc<RefCell<_>>` collector used
-// by `run_system_profiled`) are deliberately single-threaded — each worker
-// builds its own `Machine` — and are *not* part of this contract.
+// *inputs and outputs* of `SystemBuilder::run` must be `Send + Sync` so a
+// cached trace/artifact can feed simulations on many worker threads at
+// once. The machine internals themselves (e.g. the `Rc<RefCell<_>>`
+// collector used by `SystemBuilder::run_profiled`) are deliberately
+// single-threaded — each worker builds its own `Machine` — and are *not*
+// part of this contract.
 const _: () = {
     const fn assert_send_sync<T: Send + Sync>() {}
     assert_send_sync::<Trace>();
     assert_send_sync::<RunStats>();
+    assert_send_sync::<SystemRun>();
     assert_send_sync::<CompilerArtifacts>();
     assert_send_sync::<crate::profile::PgProfile>();
     assert_send_sync::<SystemKind>();
@@ -418,13 +580,79 @@ mod tests {
         CompilerArtifacts::from_profile(&crate::profile::profile_workload(trace))
     }
 
+    fn run_system(
+        kind: SystemKind,
+        trace: &Trace,
+        artifacts: &CompilerArtifacts,
+    ) -> Result<RunStats, SimError> {
+        SystemBuilder::new(kind)
+            .artifacts(artifacts)
+            .run(trace)
+            .map(|run| run.stats)
+    }
+
     #[test]
     fn all_kinds_build() {
-        let a = CompilerArtifacts::empty();
         for kind in SystemKind::ALL {
-            let _ = build_machine(kind, &a);
+            let _ = SystemBuilder::new(kind).build();
             assert!(!kind.label().is_empty());
         }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_the_builder() {
+        let t = workloads::streaming::Libquantum.generate(InputSet::Test);
+        let a = CompilerArtifacts::empty();
+        let wrapped = super::run_system(SystemKind::StreamOnly, &t, &a).expect("run");
+        let built = SystemBuilder::new(SystemKind::StreamOnly)
+            .artifacts(&a)
+            .run(&t)
+            .expect("run");
+        assert_eq!(wrapped, built.stats);
+        assert!(built.trace.is_none(), "observability defaults to off");
+    }
+
+    #[test]
+    fn observe_yields_an_interval_trace_without_perturbing_stats() {
+        let t = workloads::streaming::Libquantum.generate(InputSet::Test);
+        let a = CompilerArtifacts::empty();
+        // Shrink the L2 and interval so the short test input spans
+        // several sampling intervals.
+        let mut cfg = MachineConfig::default();
+        cfg.l2.bytes = 64 * 1024;
+        cfg.interval_evictions = 128;
+        let kind = SystemKind::StreamEcdpThrottled;
+        let plain = SystemBuilder::new(kind)
+            .artifacts(&a)
+            .config(cfg.clone())
+            .run(&t)
+            .expect("run");
+        let observed = SystemBuilder::new(kind)
+            .artifacts(&a)
+            .config(cfg)
+            .observe(ObsConfig {
+                timeseries: true,
+                decisions: true,
+                ..ObsConfig::default()
+            })
+            .run(&t)
+            .expect("run");
+        assert_eq!(plain.stats, observed.stats, "observer must not perturb");
+        let trace = observed.trace.expect("trace requested");
+        assert_eq!(trace.samples.len(), observed.stats.intervals as usize);
+        assert!(
+            observed.stats.intervals > 0,
+            "workload too small to sample; shrink the interval further"
+        );
+    }
+
+    #[test]
+    fn oracle_flag_is_forced_by_the_builder() {
+        let m = SystemBuilder::new(SystemKind::OracleLds).build();
+        assert!(m.config().oracle_lds);
+        let m = SystemBuilder::new(SystemKind::StreamOnly).build();
+        assert!(!m.config().oracle_lds);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! (`cargo bench`) and report a simple mean wall-clock time per
 //! iteration; there is no statistical analysis, warm-up tuning, or HTML
 //! report. The measurement loop auto-scales the iteration count to
-//! roughly [`Criterion::measurement_time`].
+//! roughly the configured target time (400 ms by default).
 
 use std::time::{Duration, Instant};
 

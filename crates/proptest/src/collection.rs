@@ -2,7 +2,7 @@
 
 use crate::{Strategy, TestRng};
 
-/// Inclusive-exclusive element-count bounds for [`vec`].
+/// Inclusive-exclusive element-count bounds for [`vec()`].
 #[derive(Debug, Clone, Copy)]
 pub struct SizeRange {
     lo: usize,
@@ -42,7 +42,7 @@ pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
     }
 }
 
-/// See [`vec`].
+/// See [`vec()`].
 #[derive(Debug, Clone)]
 pub struct VecStrategy<S> {
     elem: S,

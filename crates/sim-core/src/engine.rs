@@ -13,6 +13,10 @@ use crate::config::MachineConfig;
 use crate::dram::{Dram, DramCompletion, DramRequest};
 use crate::error::{DiagnosticSnapshot, SimError};
 use crate::mshr::MshrFile;
+use crate::obs::{
+    IntervalObservation, LifecycleEvent, LifecycleStage, ObsCollector, ObsConfig, PrefetcherSample,
+    RunTrace, ThrottleTransition,
+};
 use crate::prefetcher::{
     AccessKind, DemandAccess, FillEvent, PrefetchCtx, PrefetchObserver, PrefetchRequest,
     Prefetcher, PrefetcherId,
@@ -69,6 +73,9 @@ pub(crate) struct CoreSim {
     cur_misses: u64,
     last_interval_evictions: u64,
     pub(crate) stats: RunStats,
+    /// Observability collector; `None` (the default) keeps every hook on
+    /// the hot path down to a pointer null-check.
+    pub(crate) obs: Option<Box<ObsCollector>>,
     pub(crate) retired_ops: usize,
     /// Last cycle with *forward progress*: an instruction retired or an
     /// MSHR drained. Activity without progress (e.g. a prefetcher
@@ -117,8 +124,31 @@ impl CoreSim {
             cur_misses: 0,
             last_interval_evictions: 0,
             stats,
+            obs: None,
             retired_ops: 0,
             last_progress: 0,
+        }
+    }
+
+    /// Records a prefetch lifecycle event if lifecycle tracing is on.
+    fn obs_lifecycle(
+        &mut self,
+        cycle: u64,
+        stage: LifecycleStage,
+        pid: PrefetcherId,
+        addr: Addr,
+        late: bool,
+    ) {
+        if let Some(o) = self.obs.as_deref_mut() {
+            if o.lifecycle_enabled() {
+                o.record_lifecycle(LifecycleEvent {
+                    cycle,
+                    stage,
+                    prefetcher: pid.0,
+                    addr,
+                    late,
+                });
+            }
         }
     }
 
@@ -164,6 +194,7 @@ impl CoreSim {
         &mut self,
         victim: crate::cache::Evicted,
         filled_by: Option<PrefetcherId>,
+        now: u64,
         prefetchers: &mut [Box<dyn Prefetcher>],
         observer: &mut dyn PrefetchObserver,
     ) {
@@ -175,6 +206,7 @@ impl CoreSim {
             // Evicted before any demand use.
             self.stats.prefetchers[pid.0 as usize].unused_evicted += 1;
             observer.prefetch_unused(victim.block_addr, pid, victim.state.pg_tag);
+            self.obs_lifecycle(now, LifecycleStage::Evicted, pid, victim.block_addr, false);
             prefetchers[pid.0 as usize].on_prefetch_outcome(
                 victim.block_addr,
                 victim.state.pg_tag,
@@ -217,12 +249,14 @@ impl CoreSim {
     /// (the demand still missed; the merge path charges the miss counter) —
     /// otherwise a flood of barely-late junk prefetches reads as high
     /// coverage and can never be throttled down.
+    #[allow(clippy::too_many_arguments)]
     fn credit_prefetch_use(
         &mut self,
         block_addr: Addr,
         pid: PrefetcherId,
         pg: Option<crate::prefetcher::PgTag>,
         late: bool,
+        now: u64,
         prefetchers: &mut [Box<dyn Prefetcher>],
         observer: &mut dyn PrefetchObserver,
     ) {
@@ -233,6 +267,7 @@ impl CoreSim {
             s.late += 1;
         }
         observer.prefetch_used(block_addr, pid, pg);
+        self.obs_lifecycle(now, LifecycleStage::Used, pid, block_addr, late);
         prefetchers[pid.0 as usize].on_prefetch_outcome(block_addr, pg, true);
     }
 
@@ -267,9 +302,18 @@ impl CoreSim {
         };
         match entry.kind {
             AccessKind::Prefetch(pid) => {
+                self.obs_lifecycle(now, LifecycleStage::Filled, pid, block, false);
                 if entry.demand_merged {
                     // Late prefetch: consumed at arrival.
-                    self.credit_prefetch_use(block, pid, entry.pg, true, prefetchers, observer);
+                    self.credit_prefetch_use(
+                        block,
+                        pid,
+                        entry.pg,
+                        true,
+                        now,
+                        prefetchers,
+                        observer,
+                    );
                     state.used = true;
                 } else {
                     state.prefetched_by = Some(pid);
@@ -286,7 +330,7 @@ impl CoreSim {
                 AccessKind::Prefetch(pid) => Some(pid),
                 _ => None,
             };
-            self.handle_l2_eviction(victim, filled_by, prefetchers, observer);
+            self.handle_l2_eviction(victim, filled_by, now, prefetchers, observer);
         }
 
         // Wake waiting loads.
@@ -519,7 +563,7 @@ impl CoreSim {
                 line.dirty = true;
             }
             if let Some(pid) = pf {
-                self.credit_prefetch_use(block, pid, pg, false, prefetchers, observer);
+                self.credit_prefetch_use(block, pid, pg, false, now, prefetchers, observer);
             }
             self.fill_l1(op.addr, is_store);
             self.completed[op_idx as usize] = if is_store {
@@ -557,7 +601,7 @@ impl CoreSim {
                     ..Default::default()
                 },
             ) {
-                self.handle_l2_eviction(victim, None, prefetchers, observer);
+                self.handle_l2_eviction(victim, None, now, prefetchers, observer);
             }
             self.fill_l1(op.addr, is_store);
             self.completed[op_idx as usize] = if is_store {
@@ -739,6 +783,7 @@ impl CoreSim {
                 self.counters[req.id.0 as usize].record_issued();
                 self.stats.prefetchers[req.id.0 as usize].issued += 1;
                 observer.prefetch_issued(&req);
+                self.obs_lifecycle(now, LifecycleStage::Issued, req.id, block, false);
                 any = true;
             }
         }
@@ -746,17 +791,28 @@ impl CoreSim {
     }
 
     /// Ends a feedback interval if enough L2 evictions have accumulated,
-    /// consulting the throttling policy.
+    /// consulting the throttling policy. `now` and `bus_transfers` (this
+    /// core's cumulative transfer count) feed the observability sampler.
     pub(crate) fn maybe_end_interval(
         &mut self,
         prefetchers: &mut [Box<dyn Prefetcher>],
         policy: &mut dyn ThrottlePolicy,
+        now: u64,
+        bus_transfers: u64,
     ) {
         if self.l2.evictions() - self.last_interval_evictions < self.cfg.interval_evictions {
             return;
         }
         self.last_interval_evictions = self.l2.evictions();
         self.stats.intervals += 1;
+
+        // Raw per-interval counts, captured before Equation 3 zeroes them.
+        let raw: Option<Vec<(u64, u64, u64)>> = self.obs.as_ref().map(|_| {
+            self.counters
+                .iter()
+                .map(|c| (c.cur_prefetched, c.cur_used, c.cur_late))
+                .collect()
+        });
 
         for c in &mut self.counters {
             c.end_interval();
@@ -798,13 +854,67 @@ impl CoreSim {
 
         let decisions = policy.adjust(&feedback);
         debug_assert_eq!(decisions.len(), prefetchers.len());
-        for (p, d) in prefetchers.iter_mut().zip(decisions) {
+        let interval = self.stats.intervals - 1;
+        let rationale = self.obs.as_ref().and_then(|_| {
+            policy
+                .decision_trace()
+                .map(<[crate::throttling::DecisionTrace]>::to_vec)
+        });
+        for (i, (p, d)) in prefetchers.iter_mut().zip(&decisions).enumerate() {
             let level = p.aggressiveness();
             match d {
                 ThrottleDecision::Up => p.set_aggressiveness(level.up()),
                 ThrottleDecision::Down => p.set_aggressiveness(level.down()),
                 ThrottleDecision::Keep => {}
             }
+            if let Some(o) = self.obs.as_deref_mut() {
+                let why = rationale.as_ref().and_then(|r| r.get(i));
+                o.record_transition(ThrottleTransition {
+                    interval,
+                    prefetcher: i as u8,
+                    case: why.map_or(0, |w| w.case),
+                    accuracy: feedback[i].accuracy,
+                    coverage: feedback[i].coverage,
+                    rival_coverage: why.map_or(0.0, |w| w.rival_coverage),
+                    decision: *d,
+                    from_level: level,
+                    to_level: p.aggressiveness(),
+                });
+            }
+        }
+
+        if let Some(mut o) = self.obs.take() {
+            if o.timeseries_enabled() {
+                let pf_samples: Vec<PrefetcherSample> = raw
+                    .unwrap_or_default()
+                    .iter()
+                    .zip(feedback.iter())
+                    .zip(prefetchers.iter())
+                    .map(|(((issued, used, late), fb), p)| PrefetcherSample {
+                        issued: *issued,
+                        used: *used,
+                        late: *late,
+                        accuracy: fb.accuracy,
+                        coverage: fb.coverage,
+                        level: p.aggressiveness(),
+                    })
+                    .collect();
+                o.record_interval(
+                    interval,
+                    &IntervalObservation {
+                        cycle: now,
+                        retired: self.stats.retired_instructions,
+                        l2_demand_accesses: self.stats.l2_demand_accesses,
+                        l2_demand_misses: self.stats.l2_demand_misses,
+                        l2_lds_misses: self.stats.l2_lds_misses,
+                        bus_transfers,
+                        bus_transfer_cycles: self.cfg.dram.bus_transfer_cycles,
+                        mshr_occupancy: self.mshrs.occupied(),
+                        prefetchers: &pf_samples,
+                    },
+                );
+            }
+            self.obs = Some(o);
         }
     }
 
@@ -928,6 +1038,8 @@ pub struct Machine {
     throttle: Box<dyn ThrottlePolicy>,
     observer: Option<Box<dyn PrefetchObserver>>,
     cycle_budget: Option<u64>,
+    obs_config: Option<ObsConfig>,
+    run_trace: Option<RunTrace>,
 }
 
 impl Machine {
@@ -939,6 +1051,8 @@ impl Machine {
             throttle: Box::new(NoThrottle),
             observer: None,
             cycle_budget: None,
+            obs_config: None,
+            run_trace: None,
         }
     }
 
@@ -974,6 +1088,24 @@ impl Machine {
         self.observer.take()
     }
 
+    /// Enables observability collection for subsequent runs. Pass a
+    /// config with no classes enabled (the default) to turn it back off.
+    pub fn set_obs(&mut self, cfg: ObsConfig) -> &mut Self {
+        self.obs_config = cfg.any().then_some(cfg);
+        self
+    }
+
+    /// Removes and returns the trace recorded by the most recent
+    /// successful [`Machine::run`] with observability enabled.
+    pub fn take_run_trace(&mut self) -> Option<RunTrace> {
+        self.run_trace.take()
+    }
+
+    /// The machine configuration this machine was built with.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
     /// Access to a registered prefetcher (for post-run inspection).
     pub fn prefetcher(&self, id: PrefetcherId) -> &dyn Prefetcher {
         self.prefetchers[id.0 as usize].as_ref()
@@ -994,6 +1126,10 @@ impl Machine {
     /// the stuck core where applicable.
     pub fn run(&mut self, trace: &Trace) -> Result<RunStats, SimError> {
         let mut core = CoreSim::new(0, self.config.clone(), trace, self.prefetchers.len());
+        if let Some(cfg) = &self.obs_config {
+            core.obs = Some(Box::new(ObsCollector::new(*cfg)));
+        }
+        self.run_trace = None;
         let mut dram = Dram::new(self.config.dram.clone(), 1);
         let mut observer: Box<dyn PrefetchObserver> = self
             .observer
@@ -1016,7 +1152,12 @@ impl Machine {
                 observer.as_mut(),
             );
             activity |= core.issue_to_dram(&mut dram, now, observer.as_mut());
-            core.maybe_end_interval(&mut self.prefetchers, self.throttle.as_mut());
+            core.maybe_end_interval(
+                &mut self.prefetchers,
+                self.throttle.as_mut(),
+                now,
+                dram.bus_transfers(),
+            );
 
             // Watchdog: cycling without retiring or draining an MSHR for
             // the deadlock budget is a livelock even if "activity" (e.g.
@@ -1084,17 +1225,26 @@ impl Machine {
         // Resolve prefetched lines still resident at run end as unused —
         // they were never demanded, so profiling must not leave them in
         // limbo (accuracy statistics count used/issued and are unaffected).
+        let mut resident: Vec<(Addr, PrefetcherId)> = Vec::new();
         for (block_addr, state) in core.l2.iter_valid() {
             if let Some(pid) = state.prefetched_by {
                 core.stats.prefetchers[pid.0 as usize].unused_evicted += 1;
                 observer.prefetch_unused(block_addr, pid, state.pg_tag);
+                resident.push((block_addr, pid));
             }
+        }
+        for (block_addr, pid) in resident {
+            core.obs_lifecycle(now, LifecycleStage::Evicted, pid, block_addr, false);
         }
 
         self.observer = Some(observer);
+        if let Some(o) = core.obs.take() {
+            self.run_trace = Some(o.into_trace());
+        }
         let mut stats = std::mem::take(&mut core.stats);
         stats.cycles = end_cycles.max(1);
         stats.bus_transfers = dram.bus_transfers();
+        stats.bus_busy_cycles = stats.bus_transfers * self.config.dram.bus_transfer_cycles;
         let (rh, rc) = dram.row_stats();
         stats.dram_row_hits = rh;
         stats.dram_row_conflicts = rc;
@@ -1372,5 +1522,101 @@ mod tests {
             stats.bus_transfers > blocks as u64,
             "writebacks add bus traffic"
         );
+    }
+
+    /// A store sweep over `blocks` distinct blocks (drives L2 evictions —
+    /// the interval clock).
+    fn sweep_trace(blocks: u32) -> Trace {
+        let mut tb = TraceBuilder::new(SimMemory::new());
+        for i in 0..blocks {
+            tb.store(0x500, layout::HEAP_BASE + i * 64, 1, None);
+        }
+        tb.finish()
+    }
+
+    /// A small-L2 config so a short store sweep crosses many interval
+    /// boundaries cheaply (1024 lines, 128-eviction intervals).
+    fn obs_test_config() -> MachineConfig {
+        MachineConfig {
+            l2: crate::cache::CacheConfig {
+                bytes: 64 * 1024,
+                ways: 8,
+                hit_latency: 15,
+            },
+            interval_evictions: 128,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn obs_disabled_is_the_default_and_enabling_changes_no_stats() {
+        // 4x the shrunken L2 line count: ~3k evictions = ~24 intervals.
+        let trace = sweep_trace(4 * 1024);
+        let cfg = obs_test_config();
+        let mut plain = Machine::new(cfg.clone());
+        let base = plain.run(&trace).expect("run");
+        assert!(plain.take_run_trace().is_none(), "no obs requested");
+
+        let mut observed = Machine::new(cfg);
+        observed.set_obs(ObsConfig {
+            lifecycle: true,
+            ..ObsConfig::enabled()
+        });
+        let stats = observed.run(&trace).expect("run");
+        // The collector must be a pure observer: timing and counters are
+        // bit-identical with and without it.
+        assert_eq!(base.cycles, stats.cycles);
+        assert_eq!(base.summary(), stats.summary());
+        assert_eq!(
+            base.bus_transfers * MachineConfig::default().dram.bus_transfer_cycles,
+            stats.bus_busy_cycles
+        );
+        let t = observed.take_run_trace().expect("trace recorded");
+        assert_eq!(t.samples.len() as u64, stats.intervals);
+        assert!(!t.samples.is_empty(), "sweep crosses interval boundaries");
+        // Interval indices and sample cycles are monotonic.
+        for (i, s) in t.samples.iter().enumerate() {
+            assert_eq!(s.interval, i as u64);
+        }
+        assert!(t.samples.windows(2).all(|w| w[0].cycle < w[1].cycle));
+        // A second run of the same machine replaces the previous trace
+        // deterministically.
+        let again = observed.run(&trace).expect("run");
+        assert_eq!(again.cycles, stats.cycles);
+        let t2 = observed.take_run_trace().expect("trace recorded");
+        assert_eq!(t, t2, "traces are deterministic across runs");
+    }
+
+    #[test]
+    fn run_shorter_than_one_interval_yields_an_empty_trace() {
+        // 50 evictions-worth of traffic against the default 8192-eviction
+        // interval: the boundary is never reached.
+        let trace = chase_trace(50);
+        let mut m = Machine::new(MachineConfig::default());
+        m.set_obs(ObsConfig::enabled());
+        let stats = m.run(&trace).expect("run");
+        assert_eq!(stats.intervals, 0);
+        let t = m.take_run_trace().expect("collector still attached");
+        assert!(t.samples.is_empty());
+        assert!(t.transitions.is_empty());
+    }
+
+    #[test]
+    fn interval_sample_deltas_sum_to_run_totals_prefix() {
+        let trace = sweep_trace(4 * 1024);
+        let mut m = Machine::new(obs_test_config());
+        m.set_obs(ObsConfig::enabled());
+        let stats = m.run(&trace).expect("run");
+        let t = m.take_run_trace().expect("trace");
+        // Every sample is a delta; their sum cannot exceed the run totals
+        // (the tail after the last boundary is not sampled).
+        let retired: u64 = t.samples.iter().map(|s| s.retired).sum();
+        let misses: u64 = t.samples.iter().map(|s| s.l2_demand_misses).sum();
+        assert!(retired <= stats.retired_instructions);
+        assert!(misses <= stats.l2_demand_misses);
+        assert!(retired > 0, "intervals saw retirement");
+        // The last sampled boundary lies within the run.
+        let last = t.samples.last().expect("non-empty");
+        assert!(last.cycle <= stats.cycles + MachineConfig::default().deadlock_cycles);
     }
 }

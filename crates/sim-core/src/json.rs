@@ -80,6 +80,55 @@ impl Json {
         out
     }
 
+    /// Serializes onto a single line with no whitespace — the JSONL form
+    /// used by the observability trace files. Number and string formatting
+    /// are shared with [`Json::to_string_pretty`], so both forms are
+    /// deterministic and re-parse to the same value.
+    pub fn to_string_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::Num(x) => {
+                if x.fract() == 0.0 && x.abs() < 2f64.powi(53) {
+                    let _ = write!(out, "{}", *x as i64);
+                } else {
+                    let _ = write!(out, "{x:?}");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     fn write(&self, out: &mut String, indent: usize) {
         let pad = "  ".repeat(indent);
         match self {
@@ -412,5 +461,31 @@ mod tests {
     fn parses_unicode_escapes_and_raw_utf8() {
         let v = Json::parse(r#""Aé""#).unwrap();
         assert_eq!(v.as_str(), Some("Aé"));
+    }
+
+    #[test]
+    fn compact_form_is_one_line_and_roundtrips() {
+        let v = Json::obj(vec![
+            ("name", Json::Str("mst \"ref\"".to_string())),
+            ("ipc", Json::Num(1.25)),
+            ("count", Json::Num(12345.0)),
+            ("flag", Json::Bool(true)),
+            ("none", Json::Null),
+            (
+                "items",
+                Json::Arr(vec![Json::Num(1.0), Json::Str("x\n".into())]),
+            ),
+            ("empty_obj", Json::Obj(vec![])),
+            ("empty_arr", Json::Arr(vec![])),
+        ]);
+        let text = v.to_string_compact();
+        assert!(!text.contains('\n'));
+        assert!(!text.contains(": "));
+        assert_eq!(Json::parse(&text).unwrap(), v);
+        // Pretty and compact forms parse to the same value.
+        assert_eq!(
+            Json::parse(&v.to_string_pretty()).unwrap(),
+            Json::parse(&text).unwrap()
+        );
     }
 }

@@ -61,6 +61,7 @@ pub mod error;
 pub mod json;
 pub mod mshr;
 pub mod multicore;
+pub mod obs;
 pub mod prefetcher;
 pub mod stats;
 pub mod throttling;
@@ -74,12 +75,16 @@ pub use engine::Machine;
 pub use error::{DiagnosticSnapshot, SimError};
 pub use json::Json;
 pub use multicore::{CoreSetup, MultiMachine, MultiRunStats};
+pub use obs::{
+    IntervalSample, LifecycleEvent, LifecycleStage, ObsCollector, ObsConfig, PrefetcherSample,
+    RunTrace, ThrottleTransition, OBS_SCHEMA_VERSION,
+};
 pub use prefetcher::{
     AccessKind, Aggressiveness, DemandAccess, FillEvent, NullObserver, PgTag, PrefetchCtx,
     PrefetchObserver, PrefetchRequest, Prefetcher, PrefetcherId, PrefetcherKind,
 };
 pub use stats::{PrefetcherStats, PrefetcherSummary, RunStats, StatsSummary};
-pub use throttling::{IntervalFeedback, ThrottleDecision, ThrottlePolicy};
+pub use throttling::{DecisionTrace, IntervalFeedback, ThrottleDecision, ThrottlePolicy};
 pub use trace::{OpKind, Trace, TraceBuilder, TraceOp};
 
 /// Re-export of the address type used throughout the simulator.

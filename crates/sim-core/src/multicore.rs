@@ -9,6 +9,7 @@
 use crate::dram::Dram;
 use crate::engine::CoreSim;
 use crate::error::SimError;
+use crate::obs::{ObsCollector, ObsConfig, RunTrace};
 use crate::prefetcher::{NullObserver, Prefetcher};
 use crate::stats::RunStats;
 use crate::throttling::{NoThrottle, ThrottlePolicy};
@@ -49,6 +50,9 @@ pub struct MultiRunStats {
     pub per_core: Vec<RunStats>,
     /// Total bus transfers across all cores during the measured region.
     pub total_bus_transfers: u64,
+    /// Per-core observability traces (empty unless enabled with
+    /// [`MultiMachine::set_obs`]; one entry per core otherwise).
+    pub traces: Vec<RunTrace>,
 }
 
 impl MultiRunStats {
@@ -95,12 +99,23 @@ impl MultiRunStats {
 pub struct MultiMachine {
     config: MachineConfig,
     cores: Vec<CoreSetup>,
+    obs_config: Option<ObsConfig>,
 }
 
 impl MultiMachine {
     /// Creates a multi-core machine from per-core setups.
     pub fn new(config: MachineConfig, cores: Vec<CoreSetup>) -> Self {
-        MultiMachine { config, cores }
+        MultiMachine {
+            config,
+            cores,
+            obs_config: None,
+        }
+    }
+
+    /// Enables observability collection on every core for subsequent runs.
+    pub fn set_obs(&mut self, cfg: ObsConfig) -> &mut Self {
+        self.obs_config = cfg.any().then_some(cfg);
+        self
     }
 
     /// Number of cores.
@@ -135,6 +150,11 @@ impl MultiMachine {
                 )
             })
             .collect();
+        if let Some(cfg) = &self.obs_config {
+            for sim in &mut sims {
+                sim.obs = Some(Box::new(ObsCollector::new(*cfg)));
+            }
+        }
         let mut observer = NullObserver;
         let mut snapshots: Vec<Option<RunStats>> = vec![None; n];
         let bus_at_start: Vec<u64> = vec![0; n];
@@ -179,12 +199,18 @@ impl MultiMachine {
                 );
                 activity |= sims[c].issue_to_dram(&mut dram, now, &mut observer);
                 let core = &mut self.cores[c];
-                sims[c].maybe_end_interval(&mut core.prefetchers, core.throttle.as_mut());
+                sims[c].maybe_end_interval(
+                    &mut core.prefetchers,
+                    core.throttle.as_mut(),
+                    now,
+                    dram.bus_transfers_for(c as u8),
+                );
                 if sims[c].finished(ops) {
                     if snapshots[c].is_none() {
                         let mut s = sims[c].stats.clone();
                         s.cycles = now.max(1);
                         s.bus_transfers = dram.bus_transfers_for(c as u8) - bus_at_start[c];
+                        s.bus_busy_cycles = s.bus_transfers * self.config.dram.bus_transfer_cycles;
                         for (i, p) in self.cores[c].prefetchers.iter().enumerate() {
                             s.prefetchers[i].name = p.name().to_string();
                         }
@@ -237,9 +263,17 @@ impl MultiMachine {
         }
         let _ = bus_at_start;
 
+        let traces = if self.obs_config.is_some() {
+            sims.iter_mut()
+                .map(|s| s.obs.take().map(|o| o.into_trace()).unwrap_or_default())
+                .collect()
+        } else {
+            Vec::new()
+        };
         Ok(MultiRunStats {
             per_core: snapshots.into_iter().flatten().collect(),
             total_bus_transfers: dram.bus_transfers(),
+            traces,
         })
     }
 }
@@ -324,6 +358,7 @@ mod tests {
                 },
             ],
             total_bus_transfers: 0,
+            traces: Vec::new(),
         };
         // Alone IPCs of 1.0 and 1.0: weighted speedup = 1.0 + 0.5.
         let ws = stats.weighted_speedup(&[1.0, 1.0]);

@@ -5,7 +5,7 @@
 use crate::json::Json;
 
 /// Per-prefetcher outcome statistics for one run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PrefetcherStats {
     /// Prefetcher display name.
     pub name: String,
@@ -44,7 +44,7 @@ impl PrefetcherStats {
 
 /// Aggregate service-latency statistics (memory-request buffer entry to
 /// data-transfer completion).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct LatencyStats {
     /// Requests measured.
     pub count: u64,
@@ -73,7 +73,7 @@ impl LatencyStats {
 }
 
 /// Statistics from a single-core run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RunStats {
     /// Total simulated cycles.
     pub cycles: u64,
@@ -93,6 +93,10 @@ pub struct RunStats {
     pub l1_misses: u64,
     /// Block transfers over the off-chip bus (reads + writebacks).
     pub bus_transfers: u64,
+    /// Cycles the off-chip data bus spent transferring blocks
+    /// (`bus_transfers * bus_transfer_cycles`) — the numerator of
+    /// [`RunStats::bus_utilization`].
+    pub bus_busy_cycles: u64,
     /// Dirty L2 evictions written back to memory.
     pub writebacks: u64,
     /// DRAM row-buffer hits.
@@ -139,6 +143,40 @@ impl RunStats {
             0.0
         } else {
             self.l2_demand_misses as f64 * 1000.0 / self.retired_instructions as f64
+        }
+    }
+
+    /// L2 demand miss rate: misses / accesses (0.0 when nothing accessed).
+    pub fn l2_miss_rate(&self) -> f64 {
+        if self.l2_demand_accesses == 0 {
+            0.0
+        } else {
+            self.l2_demand_misses as f64 / self.l2_demand_accesses as f64
+        }
+    }
+
+    /// Lifetime accuracy of the prefetcher at registration `index`
+    /// (1.0 when the index is out of range or nothing was issued, matching
+    /// [`PrefetcherStats::accuracy`]).
+    pub fn prefetch_accuracy(&self, index: usize) -> f64 {
+        self.prefetchers.get(index).map_or(1.0, |p| p.accuracy())
+    }
+
+    /// Lifetime coverage of the prefetcher at registration `index` against
+    /// this run's demand misses (0.0 when the index is out of range).
+    pub fn prefetch_coverage(&self, index: usize) -> f64 {
+        self.prefetchers
+            .get(index)
+            .map_or(0.0, |p| p.coverage(self.l2_demand_misses))
+    }
+
+    /// Fraction of run cycles the off-chip data bus was transferring
+    /// blocks (0.0 when no cycles were simulated).
+    pub fn bus_utilization(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            (self.bus_busy_cycles as f64 / self.cycles as f64).min(1.0)
         }
     }
 }
@@ -409,5 +447,33 @@ mod tests {
         };
         assert!((p.accuracy() - 0.4).abs() < 1e-12);
         assert!((p.coverage(60) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let s = RunStats {
+            cycles: 1000,
+            l2_demand_accesses: 200,
+            l2_demand_misses: 60,
+            bus_busy_cycles: 400,
+            prefetchers: vec![PrefetcherStats {
+                name: "stream".to_string(),
+                issued: 100,
+                used: 40,
+                ..Default::default()
+            }],
+            ..Default::default()
+        };
+        assert!((s.l2_miss_rate() - 0.3).abs() < 1e-12);
+        assert!((s.prefetch_accuracy(0) - 0.4).abs() < 1e-12);
+        assert!((s.prefetch_coverage(0) - 0.4).abs() < 1e-12);
+        assert!((s.bus_utilization() - 0.4).abs() < 1e-12);
+        // Out-of-range indices degrade like the zero-issue guards.
+        assert_eq!(s.prefetch_accuracy(9), 1.0);
+        assert_eq!(s.prefetch_coverage(9), 0.0);
+        // Defaults hit every zero-division guard.
+        let z = RunStats::default();
+        assert_eq!(z.l2_miss_rate(), 0.0);
+        assert_eq!(z.bus_utilization(), 0.0);
     }
 }

@@ -122,6 +122,21 @@ pub enum ThrottleDecision {
     Keep,
 }
 
+/// Why a throttling decision was taken, for the observability layer.
+///
+/// Policies that classify their decisions (the coordinated policy's Table 3
+/// cases) expose one entry per prefetcher after each
+/// [`ThrottlePolicy::adjust`] call.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecisionTrace {
+    /// The heuristic case that fired (Table 3 cases 1–5 for the
+    /// coordinated policy; 0 when the policy does not classify).
+    pub case: u8,
+    /// The rival coverage the decision was based on (0.0 when the policy
+    /// has no notion of a rival).
+    pub rival_coverage: f64,
+}
+
 /// A policy that adjusts prefetcher aggressiveness from interval feedback.
 ///
 /// Implementations receive one [`IntervalFeedback`] per registered
@@ -133,6 +148,14 @@ pub trait ThrottlePolicy {
 
     /// Decides the per-prefetcher throttling actions for the next interval.
     fn adjust(&mut self, feedback: &[IntervalFeedback]) -> Vec<ThrottleDecision>;
+
+    /// The per-prefetcher rationale for the most recent [`Self::adjust`]
+    /// call, if the policy records one (one entry per prefetcher, in the
+    /// same order as the returned decisions). The default is `None`; the
+    /// observability layer then records case 0 ("unclassified").
+    fn decision_trace(&self) -> Option<&[DecisionTrace]> {
+        None
+    }
 }
 
 /// A policy that never changes anything (the paper's non-throttled configs).

@@ -99,7 +99,7 @@ pub fn write(trace: &Trace, w: &mut impl Write) -> io::Result<()> {
     Ok(())
 }
 
-/// Deserialises a trace written by [`write`].
+/// Deserialises a trace written by [`write()`].
 ///
 /// # Errors
 ///

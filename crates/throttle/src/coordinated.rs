@@ -16,7 +16,7 @@
 //! coverage among the other prefetchers (the paper notes the scheme is
 //! prefetcher-symmetric and extensible this way).
 
-use sim_core::{IntervalFeedback, ThrottleDecision, ThrottlePolicy};
+use sim_core::{DecisionTrace, IntervalFeedback, ThrottleDecision, ThrottlePolicy};
 
 /// The thresholds of the paper's Table 4.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -61,13 +61,20 @@ enum AccClass {
 #[derive(Debug, Clone, Default)]
 pub struct CoordinatedThrottle {
     thresholds: Thresholds,
+    /// Case number + rival coverage behind the most recent `adjust`
+    /// decisions, exposed through `ThrottlePolicy::decision_trace` for
+    /// the observability layer.
+    last_trace: Vec<DecisionTrace>,
 }
 
 impl CoordinatedThrottle {
     /// Creates the policy with the given thresholds (use
     /// `Thresholds::default()` for the paper's values).
     pub fn new(thresholds: Thresholds) -> Self {
-        CoordinatedThrottle { thresholds }
+        CoordinatedThrottle {
+            thresholds,
+            last_trace: Vec::new(),
+        }
     }
 
     fn acc_class(&self, accuracy: f64) -> AccClass {
@@ -80,28 +87,24 @@ impl CoordinatedThrottle {
         }
     }
 
-    /// The Table 3 decision for one prefetcher.
+    /// The Table 3 decision for one prefetcher, with the case number
+    /// (1–5) that fired.
     fn decide(
         &self,
         own_coverage: f64,
         own_accuracy: f64,
         rival_coverage: f64,
-    ) -> ThrottleDecision {
+    ) -> (ThrottleDecision, u8) {
         let cov_high = own_coverage >= self.thresholds.coverage;
         if cov_high {
-            // Case 1.
-            return ThrottleDecision::Up;
+            return (ThrottleDecision::Up, 1);
         }
         let rival_high = rival_coverage >= self.thresholds.coverage;
         match (self.acc_class(own_accuracy), rival_high) {
-            // Case 2.
-            (AccClass::Low, _) => ThrottleDecision::Down,
-            // Case 3.
-            (AccClass::Medium | AccClass::High, false) => ThrottleDecision::Up,
-            // Case 4.
-            (AccClass::Medium, true) => ThrottleDecision::Down,
-            // Case 5.
-            (AccClass::High, true) => ThrottleDecision::Keep,
+            (AccClass::Low, _) => (ThrottleDecision::Down, 2),
+            (AccClass::Medium | AccClass::High, false) => (ThrottleDecision::Up, 3),
+            (AccClass::Medium, true) => (ThrottleDecision::Down, 4),
+            (AccClass::High, true) => (ThrottleDecision::Keep, 5),
         }
     }
 }
@@ -112,6 +115,7 @@ impl ThrottlePolicy for CoordinatedThrottle {
     }
 
     fn adjust(&mut self, feedback: &[IntervalFeedback]) -> Vec<ThrottleDecision> {
+        self.last_trace.clear();
         feedback
             .iter()
             .enumerate()
@@ -122,9 +126,18 @@ impl ThrottlePolicy for CoordinatedThrottle {
                     .filter(|(j, _)| *j != i)
                     .map(|(_, f)| f.coverage)
                     .fold(0.0, f64::max);
-                self.decide(own.coverage, own.accuracy, rival_coverage)
+                let (decision, case) = self.decide(own.coverage, own.accuracy, rival_coverage);
+                self.last_trace.push(DecisionTrace {
+                    case,
+                    rival_coverage,
+                });
+                decision
             })
             .collect()
+    }
+
+    fn decision_trace(&self) -> Option<&[DecisionTrace]> {
+        Some(&self.last_trace)
     }
 }
 
@@ -199,7 +212,35 @@ mod tests {
         assert_eq!(p.acc_class(0.4), AccClass::Medium);
         assert_eq!(p.acc_class(0.39), AccClass::Low);
         // coverage == T_coverage is high: case 1.
-        assert_eq!(p.decide(0.2, 0.0, 0.0), ThrottleDecision::Up);
+        assert_eq!(p.decide(0.2, 0.0, 0.0), (ThrottleDecision::Up, 1));
+    }
+
+    #[test]
+    fn decision_trace_reports_case_numbers_and_rival_coverage() {
+        let mut p = policy();
+        assert!(
+            p.decision_trace().expect("always classifies").is_empty(),
+            "no adjust yet"
+        );
+        // Idx 0: low cov, medium acc, rival high => case 4 Down.
+        // Idx 1: high cov => case 1 Up.
+        let d = p.adjust(&[fb(0.1, 0.5), fb(0.6, 0.9)]);
+        assert_eq!(d, vec![ThrottleDecision::Down, ThrottleDecision::Up]);
+        let trace = p.decision_trace().expect("recorded");
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace[0].case, 4);
+        assert!((trace[0].rival_coverage - 0.6).abs() < 1e-12);
+        assert_eq!(trace[1].case, 1);
+        assert!((trace[1].rival_coverage - 0.1).abs() < 1e-12);
+        // All five cases classify as documented.
+        assert_eq!(p.decide(0.5, 0.0, 0.0).1, 1);
+        assert_eq!(p.decide(0.1, 0.2, 0.0).1, 2);
+        assert_eq!(p.decide(0.1, 0.5, 0.1).1, 3);
+        assert_eq!(p.decide(0.1, 0.5, 0.6).1, 4);
+        assert_eq!(p.decide(0.1, 0.9, 0.6).1, 5);
+        // The trace is replaced, not appended, on the next adjust.
+        p.adjust(&[fb(0.5, 0.5)]);
+        assert_eq!(p.decision_trace().expect("recorded").len(), 1);
     }
 
     #[test]

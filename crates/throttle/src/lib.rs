@@ -15,9 +15,7 @@
 pub mod coordinated;
 pub mod fdp;
 pub mod pab;
-pub mod recorder;
 
 pub use coordinated::{CoordinatedThrottle, Thresholds};
 pub use fdp::{FdpThresholds, FdpThrottle};
 pub use pab::{PabSelector, Switchable};
-pub use recorder::{level_trajectory, IntervalRecord, Recorder};

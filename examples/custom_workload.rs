@@ -13,7 +13,7 @@
 //! ```
 
 use ecdp::profile::profile_workload;
-use ecdp::system::{run_system, CompilerArtifacts, SystemKind};
+use ecdp::system::{CompilerArtifacts, SystemBuilder, SystemKind};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sim_core::{Trace, TraceBuilder};
@@ -89,9 +89,21 @@ fn main() {
     println!("profiled: {beneficial} beneficial / {harmful} harmful pointer groups");
     let artifacts = CompilerArtifacts::from_profile(&profile);
 
-    let base = run_system(SystemKind::StreamOnly, &reference, &artifacts).expect("run");
-    let cdp = run_system(SystemKind::StreamCdp, &reference, &artifacts).expect("run");
-    let ours = run_system(SystemKind::StreamEcdpThrottled, &reference, &artifacts).expect("run");
+    let base = SystemBuilder::new(SystemKind::StreamOnly)
+        .artifacts(&artifacts)
+        .run(&reference)
+        .expect("run")
+        .stats;
+    let cdp = SystemBuilder::new(SystemKind::StreamCdp)
+        .artifacts(&artifacts)
+        .run(&reference)
+        .expect("run")
+        .stats;
+    let ours = SystemBuilder::new(SystemKind::StreamEcdpThrottled)
+        .artifacts(&artifacts)
+        .run(&reference)
+        .expect("run")
+        .stats;
     println!(
         "\n{:<24} {:>8} {:>9} {:>8}",
         "system", "IPC", "speedup", "BPKI"

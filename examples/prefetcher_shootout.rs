@@ -7,7 +7,7 @@
 //! ```
 
 use ecdp::profile::profile_workload;
-use ecdp::system::{run_system, CompilerArtifacts, SystemKind};
+use ecdp::system::{CompilerArtifacts, SystemBuilder, SystemKind};
 use workloads::{by_name, InputSet};
 
 fn main() {
@@ -38,14 +38,22 @@ fn main() {
         SystemKind::OracleLds,
     ];
 
-    let base = run_system(SystemKind::StreamOnly, &reference, &artifacts).expect("run");
+    let base = SystemBuilder::new(SystemKind::StreamOnly)
+        .artifacts(&artifacts)
+        .run(&reference)
+        .expect("run")
+        .stats;
     println!("workload: {name} ({} memory ops)\n", reference.memory_ops());
     println!(
         "{:<30} {:>8} {:>9} {:>8} {:>10}",
         "system", "IPC", "speedup", "BPKI", "L2 misses"
     );
     for kind in systems {
-        let s = run_system(kind, &reference, &artifacts).expect("run");
+        let s = SystemBuilder::new(kind)
+            .artifacts(&artifacts)
+            .run(&reference)
+            .expect("run")
+            .stats;
         println!(
             "{:<30} {:>8.3} {:>8.2}x {:>8.1} {:>10}",
             kind.label(),

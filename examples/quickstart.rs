@@ -7,7 +7,7 @@
 //! ```
 
 use ecdp::profile::profile_workload;
-use ecdp::system::{run_system, CompilerArtifacts, SystemKind};
+use ecdp::system::{CompilerArtifacts, SystemBuilder, SystemKind};
 use workloads::{by_name, InputSet};
 
 fn main() {
@@ -36,7 +36,11 @@ fn main() {
         "running the ref input ({} memory ops) on four systems ...\n",
         reference.memory_ops()
     );
-    let base = run_system(SystemKind::StreamOnly, &reference, &artifacts).expect("run");
+    let base = SystemBuilder::new(SystemKind::StreamOnly)
+        .artifacts(&artifacts)
+        .run(&reference)
+        .expect("run")
+        .stats;
     println!(
         "{:<24} {:>8} {:>8} {:>10} {:>9}",
         "system", "IPC", "speedup", "BPKI", "CDP acc"
@@ -47,7 +51,11 @@ fn main() {
         SystemKind::StreamEcdp,
         SystemKind::StreamEcdpThrottled,
     ] {
-        let stats = run_system(kind, &reference, &artifacts).expect("run");
+        let stats = SystemBuilder::new(kind)
+            .artifacts(&artifacts)
+            .run(&reference)
+            .expect("run")
+            .stats;
         let acc = stats
             .prefetchers
             .get(1)

@@ -7,7 +7,7 @@
 //! ```
 
 use ecdp::profile::profile_workload;
-use ecdp::system::{build_machine, CompilerArtifacts, SystemKind};
+use ecdp::system::{CompilerArtifacts, SystemBuilder, SystemKind};
 use sim_core::{IntervalFeedback, ThrottleDecision, ThrottlePolicy};
 use throttle::CoordinatedThrottle;
 use workloads::{by_name, InputSet};
@@ -58,7 +58,9 @@ fn main() {
     let reference = workload.generate(InputSet::Ref);
 
     println!("== {name}: coordinated throttling, first 30 intervals ==");
-    let mut machine = build_machine(SystemKind::StreamEcdpThrottled, &artifacts);
+    let mut machine = SystemBuilder::new(SystemKind::StreamEcdpThrottled)
+        .artifacts(&artifacts)
+        .build();
     machine.set_throttle(Box::new(Logged {
         inner: CoordinatedThrottle::default(),
         interval: 0,

@@ -12,7 +12,19 @@
 //! builds does not change hint classification.
 
 use ecdp::profile::profile_workload;
-use ecdp::system::{run_system, CompilerArtifacts, SystemKind};
+use ecdp::system::{CompilerArtifacts, SystemBuilder, SystemKind};
+/// Thin shim over [`SystemBuilder`] keeping the older call shape used
+/// throughout these tests.
+fn run_system(
+    kind: SystemKind,
+    trace: &sim_core::Trace,
+    artifacts: &CompilerArtifacts,
+) -> Result<sim_core::RunStats, sim_core::SimError> {
+    SystemBuilder::new(kind)
+        .artifacts(artifacts)
+        .run(trace)
+        .map(|run| run.stats)
+}
 use workloads::{by_name, InputSet};
 
 /// The profiling input: paper methodology (`Train`) in release builds,

@@ -2,9 +2,22 @@
 //! speedup, and the proposal's behaviour under contention.
 
 use ecdp::profile::profile_workload;
-use ecdp::system::{core_setup, run_system, CompilerArtifacts, SystemKind};
+use ecdp::system::{core_setup, CompilerArtifacts, SystemBuilder, SystemKind};
 use sim_core::{MachineConfig, MultiMachine, Trace};
 use workloads::{by_name, InputSet};
+
+/// Thin shim over [`SystemBuilder`] keeping the older call shape used
+/// throughout these tests.
+fn run_system(
+    kind: SystemKind,
+    trace: &Trace,
+    artifacts: &CompilerArtifacts,
+) -> Result<sim_core::RunStats, sim_core::SimError> {
+    SystemBuilder::new(kind)
+        .artifacts(artifacts)
+        .run(trace)
+        .map(|run| run.stats)
+}
 
 fn train_trace(name: &str) -> Trace {
     by_name(name).unwrap().generate(InputSet::Train)
