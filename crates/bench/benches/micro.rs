@@ -177,6 +177,75 @@ fn bench_end_to_end(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_cow_memory(c: &mut Criterion) {
+    // Cost of the copy-on-write snapshot restore that `CoreSim::rewind`
+    // relies on, versus the eager deep copy it replaced.
+    let mut mem = SimMemory::new();
+    for i in 0..4096u32 {
+        mem.write_u32(0x4000_0000 + i * 64, i);
+    }
+    c.bench_function("simmemory_cow_clone", |b| {
+        b.iter(|| black_box(mem.clone().resident_pages()))
+    });
+    let mut scratch = mem.clone();
+    c.bench_function("simmemory_clone_from_snapshot", |b| {
+        b.iter(|| {
+            scratch.write_u32(0x4000_0000, 7); // un-share one page
+            scratch.clone_from(&mem);
+            black_box(scratch.resident_pages())
+        })
+    });
+}
+
+fn bench_dram_idle_tick(c: &mut Criterion) {
+    // The cached-next-event fast path: ticking an empty (or all-in-flight)
+    // DRAM must be nearly free, because the skip-ahead loop still calls it
+    // at every visited event.
+    let mut dram = Dram::new(DramConfig::default(), 1);
+    let mut now = 0u64;
+    c.bench_function("dram_idle_tick", |b| {
+        b.iter(|| {
+            now += 1;
+            black_box(dram.tick(now).len())
+        })
+    });
+}
+
+fn bench_skip_vs_reference(c: &mut Criterion) {
+    // The tentpole: the event-skipping engine against the cycle-by-cycle
+    // reference stepper on the same trace. The ratio is the skip-ahead win.
+    let trace = by_name("libquantum").unwrap().generate(InputSet::Test);
+    let artifacts = CompilerArtifacts::empty();
+    let mut group = c.benchmark_group("engine_stepping_libquantum_test");
+    group.sample_size(10);
+    group.bench_function("skip_ahead", |b| {
+        b.iter(|| {
+            black_box(
+                SystemBuilder::new(SystemKind::StreamOnly)
+                    .artifacts(&artifacts)
+                    .run(&trace)
+                    .expect("run")
+                    .stats
+                    .cycles,
+            )
+        })
+    });
+    group.bench_function("reference_stepper", |b| {
+        b.iter(|| {
+            black_box(
+                SystemBuilder::new(SystemKind::StreamOnly)
+                    .artifacts(&artifacts)
+                    .reference_stepping(true)
+                    .run(&trace)
+                    .expect("run")
+                    .stats
+                    .cycles,
+            )
+        })
+    });
+    group.finish();
+}
+
 fn bench_interval_rollover(c: &mut Criterion) {
     use sim_core::throttling::FeedbackCounters;
     let mut counters = FeedbackCounters::default();
@@ -201,6 +270,9 @@ criterion_group!(
     bench_hints,
     bench_trace_generation,
     bench_end_to_end,
+    bench_cow_memory,
+    bench_dram_idle_tick,
+    bench_skip_vs_reference,
     bench_interval_rollover
 );
 criterion_main!(benches);

@@ -6,8 +6,14 @@
 //! ```text
 //! cargo run --release -p bench --bin run_all [-- [--jobs N] [--filter SUBSTR]
 //!                                               [--resume] [--sweep]
+//!                                               [--bench] [--no-skip]
 //!                                               [--trace-dir DIR] [output.md]]
 //! ```
+//!
+//! `--bench` bypasses both phases and times the engine hot path over the
+//! same grid instead, writing `BENCH_hotpath.json` (see
+//! [`bench::hotpath`]); `--no-skip` runs the benchmark on the
+//! cycle-by-cycle reference stepper for comparison.
 //!
 //! Execution has two phases:
 //!
@@ -80,7 +86,9 @@ fn env_list(var: &str) -> Option<Vec<String>> {
     )
 }
 
-fn sweep_plan() -> SweepPlan {
+/// The (workloads, input, systems) grid, honoring the `BENCH_SWEEP_*`
+/// environment overrides shared by the sweep and `--bench` modes.
+fn sweep_grid() -> (Vec<String>, InputSet, Vec<SystemKind>) {
     let workloads = env_list("BENCH_SWEEP_WORKLOADS")
         .unwrap_or_else(|| POINTER_BENCHES.iter().map(ToString::to_string).collect());
     let systems: Vec<SystemKind> = match env_list("BENCH_SWEEP_SYSTEMS") {
@@ -102,8 +110,59 @@ fn sweep_plan() -> SweepPlan {
         Ok("ref") | Err(_) => InputSet::Ref,
         Ok(other) => fail_usage(&format!("unknown BENCH_SWEEP_INPUT {other:?}")),
     };
+    (workloads, input, systems)
+}
+
+fn sweep_plan() -> SweepPlan {
+    let (workloads, input, systems) = sweep_grid();
     let workload_refs: Vec<&str> = workloads.iter().map(String::as_str).collect();
     SweepPlan::cross("run_all", &workload_refs, input, &systems)
+}
+
+/// `--bench`: time the engine hot path over the grid, write the report,
+/// and gate against `$BENCH_BASELINE` when set.
+fn run_bench(args: &RunAllArgs) -> ! {
+    let (workloads, input, systems) = sweep_grid();
+    let out_path = args
+        .out_path
+        .clone()
+        .unwrap_or_else(|| "BENCH_hotpath.json".to_string());
+    let t = Instant::now();
+    eprintln!(
+        "[run_all] benching {} cells ({} workloads x {} systems, {input:?} input{}) ...",
+        workloads.len() * systems.len(),
+        workloads.len(),
+        systems.len(),
+        if args.no_skip { ", no-skip" } else { "" },
+    );
+    let report = bench::run_hotpath_bench(&workloads, input, &systems, args.no_skip);
+    eprintln!(
+        "[run_all] bench: {:.1} cells/sec, {:.2e} cycles/sec, peak RSS {} in {:.1?}",
+        report.cells_per_sec,
+        report.cycles_per_sec,
+        report
+            .peak_rss_bytes
+            .map_or_else(|| "n/a".to_string(), |b| format!("{} MiB", b >> 20)),
+        t.elapsed(),
+    );
+    std::fs::write(&out_path, report.to_json().to_string_pretty()).expect("write bench report");
+    println!("wrote {out_path}");
+    if let Ok(baseline_path) = std::env::var("BENCH_BASELINE") {
+        let text = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| fail_usage(&format!("BENCH_BASELINE {baseline_path:?}: {e}")));
+        let baseline = sim_core::Json::parse(&text)
+            .and_then(|j| bench::HotpathReport::from_json(&j))
+            .unwrap_or_else(|e| fail_usage(&format!("BENCH_BASELINE {baseline_path:?}: {e}")));
+        if let Err(msg) = report.regression_check(&baseline, 0.2) {
+            eprintln!("[run_all] {msg}");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "[run_all] within 20% of baseline {baseline_path} ({:.1} cells/sec)",
+            baseline.cells_per_sec
+        );
+    }
+    std::process::exit(0);
 }
 
 fn main() {
@@ -115,6 +174,9 @@ fn main() {
         }
         Err(e) => fail_usage(&e),
     };
+    if args.bench {
+        run_bench(&args);
+    }
     let jobs = args.jobs.unwrap_or_else(bench::default_jobs);
     let out_path = args
         .out_path

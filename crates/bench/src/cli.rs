@@ -7,7 +7,7 @@
 
 /// Usage line printed on `--help` and on every parse error.
 pub const USAGE: &str = "usage: run_all [--jobs N] [--filter SUBSTR] [--resume] [--sweep]
-               [--trace-dir DIR] [output.md]
+               [--bench] [--no-skip] [--trace-dir DIR] [output.md]
 
   --jobs N        worker threads (default: $BENCH_JOBS or available parallelism)
   --filter SUBSTR only generate report sections whose name contains SUBSTR;
@@ -15,6 +15,12 @@ pub const USAGE: &str = "usage: run_all [--jobs N] [--filter SUBSTR] [--resume] 
   --resume        skip sweep cells already recorded as successful in the
                   existing run_all manifest (same machine-config hash)
   --sweep         run only the sweep phase (no report sections)
+  --bench         time the engine hot path over the sweep grid and write
+                  BENCH_hotpath.json (or the positional output path); with
+                  $BENCH_BASELINE set to a prior report, exit 1 when
+                  cells/sec regresses more than 20%
+  --no-skip       with --bench: run the cycle-by-cycle reference stepper
+                  instead of the event-skipping engine (for comparison)
   --trace-dir DIR run sweep cells with the observability layer enabled and
                   write per-cell timeseries.json + obs.jsonl under DIR
   output.md       report path (default: EXPERIMENTS.md)";
@@ -30,6 +36,10 @@ pub struct RunAllArgs {
     pub resume: bool,
     /// Run only the sweep phase.
     pub sweep_only: bool,
+    /// Run the hot-path throughput benchmark instead of the report.
+    pub bench: bool,
+    /// With `bench`: disable event skip-ahead (reference stepper).
+    pub no_skip: bool,
     /// Directory for per-cell observability artifacts; enables tracing.
     pub trace_dir: Option<String>,
     /// Report output path; `None` means `EXPERIMENTS.md`.
@@ -78,6 +88,8 @@ where
             }
             "--resume" => parsed.resume = true,
             "--sweep" => parsed.sweep_only = true,
+            "--bench" => parsed.bench = true,
+            "--no-skip" => parsed.no_skip = true,
             "--trace-dir" => {
                 let v = args.next().ok_or("--trace-dir requires a value")?;
                 if v.is_empty() {
@@ -96,6 +108,9 @@ where
                 parsed.out_path = Some(a);
             }
         }
+    }
+    if parsed.no_skip && !parsed.bench {
+        return Err("--no-skip only makes sense with --bench".to_string());
     }
     Ok(Parsed::Run(parsed))
 }
@@ -130,6 +145,7 @@ mod tests {
                 sweep_only: true,
                 trace_dir: Some("target/traces".to_string()),
                 out_path: Some("out.md".to_string()),
+                ..RunAllArgs::default()
             }))
         );
         assert_eq!(parse(&[]), Ok(Parsed::Run(RunAllArgs::default())));
@@ -158,5 +174,20 @@ mod tests {
     #[test]
     fn rejects_extra_positionals() {
         assert!(parse(&["a.md", "b.md"]).is_err());
+    }
+
+    #[test]
+    fn parses_bench_flags() {
+        let p = parse(&["--bench", "--no-skip", "out.json"]);
+        assert_eq!(
+            p,
+            Ok(Parsed::Run(RunAllArgs {
+                bench: true,
+                no_skip: true,
+                out_path: Some("out.json".to_string()),
+                ..RunAllArgs::default()
+            }))
+        );
+        assert!(parse(&["--no-skip"]).is_err(), "--no-skip requires --bench");
     }
 }

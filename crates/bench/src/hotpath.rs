@@ -1,0 +1,305 @@
+//! The engine hot-path throughput benchmark behind `run_all --bench`.
+//!
+//! Runs a (workload × system) grid through [`SystemBuilder`] with empty
+//! compiler artifacts — no profiling pass, no lab cache — so the wall
+//! time measures the timing engine itself. The result is a
+//! [`HotpathReport`] serialized to `BENCH_hotpath.json`:
+//!
+//! - `cells_per_sec` — simulated grid cells completed per wall second,
+//!   the headline regression-gated figure;
+//! - `cycles_per_sec` — simulated machine cycles per wall second, the
+//!   engine-throughput view that is robust to grid composition;
+//! - `peak_rss_bytes` — `VmHWM` from `/proc/self/status`, guarding the
+//!   allocation-free steady state against regressions.
+//!
+//! [`HotpathReport::regression_check`] compares a fresh report against a
+//! checked-in baseline and fails on a >20 % `cells_per_sec` drop; the CI
+//! `bench-smoke` job wires it to the `BENCH_BASELINE` environment
+//! variable.
+
+use std::time::Instant;
+
+use ecdp::system::{CompilerArtifacts, SystemBuilder, SystemKind};
+use sim_core::Json;
+use workloads::InputSet;
+
+/// One timed (workload × system) cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HotpathCell {
+    /// Workload name (`by_name` key).
+    pub workload: String,
+    /// System label ([`SystemKind::label`]).
+    pub system: String,
+    /// Simulated cycles of the run.
+    pub cycles: u64,
+    /// Retired instructions of the run.
+    pub retired: u64,
+    /// Wall-clock milliseconds for the simulation (trace generation
+    /// excluded).
+    pub wall_ms: f64,
+}
+
+/// The full benchmark result written to `BENCH_hotpath.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HotpathReport {
+    /// Input set the grid ran on.
+    pub input: String,
+    /// True if the grid ran with the cycle-by-cycle reference stepper
+    /// (`--no-skip`) instead of the event-skipping engine.
+    pub no_skip: bool,
+    /// Per-cell timings.
+    pub cells: Vec<HotpathCell>,
+    /// Total simulation wall seconds (sum over cells).
+    pub wall_seconds: f64,
+    /// Total simulated cycles (sum over cells).
+    pub total_cycles: u64,
+    /// Cells completed per wall second.
+    pub cells_per_sec: f64,
+    /// Simulated cycles per wall second.
+    pub cycles_per_sec: f64,
+    /// Peak resident set size of the process, if the platform exposes it.
+    pub peak_rss_bytes: Option<u64>,
+}
+
+impl HotpathReport {
+    /// Serializes the report (deterministic field order).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("schema_version", Json::Num(1.0)),
+            ("input", Json::Str(self.input.clone())),
+            ("no_skip", Json::Bool(self.no_skip)),
+            (
+                "cells",
+                Json::Arr(
+                    self.cells
+                        .iter()
+                        .map(|c| {
+                            Json::obj([
+                                ("workload", Json::Str(c.workload.clone())),
+                                ("system", Json::Str(c.system.clone())),
+                                ("cycles", Json::Num(c.cycles as f64)),
+                                ("retired", Json::Num(c.retired as f64)),
+                                ("wall_ms", Json::Num(c.wall_ms)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("wall_seconds", Json::Num(self.wall_seconds)),
+            ("total_cycles", Json::Num(self.total_cycles as f64)),
+            ("cells_per_sec", Json::Num(self.cells_per_sec)),
+            ("cycles_per_sec", Json::Num(self.cycles_per_sec)),
+            (
+                "peak_rss_bytes",
+                self.peak_rss_bytes
+                    .map_or(Json::Null, |b| Json::Num(b as f64)),
+            ),
+        ])
+    }
+
+    /// Parses a report produced by [`HotpathReport::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing or mistyped field.
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        let str_field = |v: &Json, k: &str| -> Result<String, String> {
+            v.get(k)
+                .and_then(Json::as_str)
+                .map(ToString::to_string)
+                .ok_or_else(|| format!("missing string field {k:?}"))
+        };
+        let num_field = |v: &Json, k: &str| -> Result<f64, String> {
+            v.get(k)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("missing numeric field {k:?}"))
+        };
+        let int_field = |v: &Json, k: &str| -> Result<u64, String> {
+            v.get(k)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("missing integer field {k:?}"))
+        };
+        let cells = v
+            .get("cells")
+            .and_then(Json::as_arr)
+            .ok_or("missing array field \"cells\"")?
+            .iter()
+            .map(|c| {
+                Ok(HotpathCell {
+                    workload: str_field(c, "workload")?,
+                    system: str_field(c, "system")?,
+                    cycles: int_field(c, "cycles")?,
+                    retired: int_field(c, "retired")?,
+                    wall_ms: num_field(c, "wall_ms")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(HotpathReport {
+            input: str_field(v, "input")?,
+            no_skip: matches!(v.get("no_skip"), Some(Json::Bool(true))),
+            cells,
+            wall_seconds: num_field(v, "wall_seconds")?,
+            total_cycles: int_field(v, "total_cycles")?,
+            cells_per_sec: num_field(v, "cells_per_sec")?,
+            cycles_per_sec: num_field(v, "cycles_per_sec")?,
+            peak_rss_bytes: v.get("peak_rss_bytes").and_then(Json::as_u64),
+        })
+    }
+
+    /// Fails when this report's `cells_per_sec` dropped more than
+    /// `tolerance` (e.g. `0.2` = 20 %) below `baseline`'s — the CI
+    /// regression gate.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the regression.
+    pub fn regression_check(&self, baseline: &HotpathReport, tolerance: f64) -> Result<(), String> {
+        let floor = baseline.cells_per_sec * (1.0 - tolerance);
+        if self.cells_per_sec < floor {
+            return Err(format!(
+                "hot-path regression: {:.2} cells/sec is below {:.2} \
+                 ({:.0}% of the baseline {:.2})",
+                self.cells_per_sec,
+                floor,
+                (1.0 - tolerance) * 100.0,
+                baseline.cells_per_sec,
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Peak resident set size (`VmHWM`) in bytes, on platforms with
+/// `/proc/self/status`.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+/// Runs the benchmark grid and assembles the report.
+///
+/// Traces are generated (and dropped from the timing) up front; every
+/// cell then runs once through [`SystemBuilder`] with empty artifacts.
+///
+/// # Panics
+///
+/// Panics on an unknown workload name or a failing simulation — the
+/// benchmark grid is expected to be a known-good configuration.
+pub fn run_hotpath_bench(
+    workloads: &[String],
+    input: InputSet,
+    systems: &[SystemKind],
+    no_skip: bool,
+) -> HotpathReport {
+    let artifacts = CompilerArtifacts::empty();
+    let traces: Vec<_> = workloads
+        .iter()
+        .map(|w| {
+            let wl = workloads::by_name(w).unwrap_or_else(|| panic!("unknown workload {w:?}"));
+            (w.clone(), wl.generate(input))
+        })
+        .collect();
+    let mut cells = Vec::with_capacity(traces.len() * systems.len());
+    for (name, trace) in &traces {
+        for &system in systems {
+            let t = Instant::now();
+            let run = SystemBuilder::new(system)
+                .artifacts(&artifacts)
+                .reference_stepping(no_skip)
+                .run(trace)
+                .unwrap_or_else(|e| panic!("bench cell {name}/{}: {e}", system.label()));
+            cells.push(HotpathCell {
+                workload: name.clone(),
+                system: system.label().to_string(),
+                cycles: run.stats.cycles,
+                retired: run.stats.retired_instructions,
+                wall_ms: t.elapsed().as_secs_f64() * 1e3,
+            });
+        }
+    }
+    let wall_seconds: f64 = cells.iter().map(|c| c.wall_ms / 1e3).sum();
+    let total_cycles: u64 = cells.iter().map(|c| c.cycles).sum();
+    let denom = wall_seconds.max(1e-9);
+    HotpathReport {
+        input: format!("{input:?}").to_lowercase(),
+        no_skip,
+        cells_per_sec: cells.len() as f64 / denom,
+        cycles_per_sec: total_cycles as f64 / denom,
+        peak_rss_bytes: peak_rss_bytes(),
+        cells,
+        wall_seconds,
+        total_cycles,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> HotpathReport {
+        HotpathReport {
+            input: "test".to_string(),
+            no_skip: false,
+            cells: vec![HotpathCell {
+                workload: "mst".to_string(),
+                system: "stream".to_string(),
+                cycles: 123_456,
+                retired: 65_432,
+                wall_ms: 12.5,
+            }],
+            wall_seconds: 0.0125,
+            total_cycles: 123_456,
+            cells_per_sec: 80.0,
+            cycles_per_sec: 9_876_480.0,
+            peak_rss_bytes: Some(64 * 1024 * 1024),
+        }
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let r = sample_report();
+        let text = r.to_json().to_string_pretty();
+        let back = HotpathReport::from_json(&Json::parse(&text).expect("parse")).expect("decode");
+        assert_eq!(r, back);
+    }
+
+    #[test]
+    fn missing_rss_round_trips_as_null() {
+        let mut r = sample_report();
+        r.peak_rss_bytes = None;
+        let text = r.to_json().to_string_pretty();
+        let back = HotpathReport::from_json(&Json::parse(&text).expect("parse")).expect("decode");
+        assert_eq!(back.peak_rss_bytes, None);
+    }
+
+    #[test]
+    fn regression_gate_uses_the_tolerance() {
+        let base = sample_report();
+        let mut fresh = sample_report();
+        fresh.cells_per_sec = base.cells_per_sec * 0.81;
+        assert!(fresh.regression_check(&base, 0.2).is_ok());
+        fresh.cells_per_sec = base.cells_per_sec * 0.79;
+        let err = fresh.regression_check(&base, 0.2).expect_err("regressed");
+        assert!(err.contains("regression"), "{err}");
+    }
+
+    #[test]
+    fn tiny_grid_produces_consistent_totals() {
+        let r = run_hotpath_bench(
+            &["libquantum".to_string()],
+            InputSet::Test,
+            &[SystemKind::NoPrefetch, SystemKind::StreamOnly],
+            false,
+        );
+        assert_eq!(r.cells.len(), 2);
+        assert_eq!(
+            r.total_cycles,
+            r.cells.iter().map(|c| c.cycles).sum::<u64>()
+        );
+        assert!(r.cells_per_sec > 0.0);
+        assert!(r.cycles_per_sec > 0.0);
+        assert_eq!(r.input, "test");
+    }
+}

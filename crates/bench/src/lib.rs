@@ -14,12 +14,14 @@ pub mod chart;
 pub mod cli;
 pub mod experiments;
 pub mod fault;
+pub mod hotpath;
 pub mod lab;
 pub mod manifest;
 pub mod sweep;
 pub mod table;
 
 pub use fault::{FaultAction, FaultPlan};
+pub use hotpath::{run_hotpath_bench, HotpathCell, HotpathReport};
 pub use lab::Lab;
 pub use manifest::{config_hash, FailureRecord, Manifest, ManifestWriter, RunOutcome, RunRecord};
 pub use sweep::{default_jobs, SweepCell, SweepExecution, SweepOptions, SweepPlan};

@@ -56,6 +56,4 @@ pub mod system;
 pub use cost::HardwareCost;
 pub use hints::{HintTable, HintVector};
 pub use profile::{profile_workload, PgProfile, PgUsage};
-#[allow(deprecated)]
-pub use system::run_system;
 pub use system::{CompilerArtifacts, SystemBuilder, SystemKind, SystemRun};

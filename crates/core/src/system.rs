@@ -8,6 +8,7 @@
 //! equivalent.
 
 use std::collections::HashSet;
+use std::sync::Arc;
 
 use prefetch::{
     AllowAll, AvdConfig, AvdPrefetcher, CdpConfig, ContentDirectedPrefetcher, DbpConfig,
@@ -348,13 +349,16 @@ pub struct SystemRun {
     pub trace: Option<RunTrace>,
 }
 
-/// One-stop assembly and execution of a paper system.
+/// One-stop assembly and execution of a paper system — the single entry
+/// point for building and running machines (the former `build_machine` /
+/// `build_machine_with` / `run_system` / `run_system_profiled` free
+/// functions are gone).
 ///
-/// Collapses the old `build_machine` / `build_machine_with` /
-/// `run_system` / `run_system_profiled` quartet into a single fluent API.
 /// Observability hooks (the interval sampler and decision trace of
 /// [`sim_core::obs`], or a custom [`PrefetchObserver`]) attach only
-/// through this builder.
+/// through this builder. The machine configuration is held behind an
+/// [`Arc`], so cloning a prebuilt config across thousands of sweep cells
+/// shares one allocation instead of deep-copying.
 ///
 /// # Example
 ///
@@ -371,10 +375,11 @@ pub struct SystemRun {
 pub struct SystemBuilder<'a> {
     kind: SystemKind,
     artifacts: Option<&'a CompilerArtifacts>,
-    config: MachineConfig,
+    config: Arc<MachineConfig>,
     observer: Option<Box<dyn PrefetchObserver>>,
     obs: ObsConfig,
     cycle_budget: Option<u64>,
+    reference_stepping: bool,
 }
 
 impl<'a> SystemBuilder<'a> {
@@ -384,10 +389,11 @@ impl<'a> SystemBuilder<'a> {
         SystemBuilder {
             kind,
             artifacts: None,
-            config: MachineConfig::default(),
+            config: Arc::new(MachineConfig::default()),
             observer: None,
             obs: ObsConfig::default(),
             cycle_budget: None,
+            reference_stepping: false,
         }
     }
 
@@ -400,9 +406,19 @@ impl<'a> SystemBuilder<'a> {
     }
 
     /// Replaces the machine configuration. `oracle_lds` is still forced
-    /// to match the system kind.
-    pub fn config(mut self, config: MachineConfig) -> Self {
-        self.config = config;
+    /// to match the system kind. Accepts a plain [`MachineConfig`] or an
+    /// already-shared `Arc<MachineConfig>` (the latter avoids a deep copy
+    /// when many builders reuse one config).
+    pub fn config(mut self, config: impl Into<Arc<MachineConfig>>) -> Self {
+        self.config = config.into();
+        self
+    }
+
+    /// Disables event skip-ahead and steps the machine cycle by cycle, as
+    /// a reference for differential tests. Results are bit-identical to
+    /// the default skipping engine, only slower.
+    pub fn reference_stepping(mut self, on: bool) -> Self {
+        self.reference_stepping = on;
         self
     }
 
@@ -432,7 +448,12 @@ impl<'a> SystemBuilder<'a> {
     pub fn build(self) -> Machine {
         let empty = CompilerArtifacts::empty();
         let mut config = self.config;
-        config.oracle_lds = self.kind == SystemKind::OracleLds;
+        let oracle = self.kind == SystemKind::OracleLds;
+        // Only unshare the config when the flag actually differs, so
+        // sweep harnesses sharing one Arc across cells keep sharing it.
+        if config.oracle_lds != oracle {
+            Arc::make_mut(&mut config).oracle_lds = oracle;
+        }
         let setup = core_setup(self.kind, self.artifacts.unwrap_or(&empty));
         let mut machine = Machine::new(config);
         for p in setup.prefetchers {
@@ -444,6 +465,7 @@ impl<'a> SystemBuilder<'a> {
         }
         machine.set_obs(self.obs);
         machine.set_cycle_budget(self.cycle_budget);
+        machine.set_reference_stepping(self.reference_stepping);
         machine
     }
 
@@ -485,73 +507,6 @@ impl<'a> SystemBuilder<'a> {
             },
         ))
     }
-}
-
-/// Builds a single-core [`Machine`] for `kind` with the default
-/// configuration (Table 5).
-#[deprecated(
-    since = "0.4.0",
-    note = "use `SystemBuilder::new(kind).artifacts(artifacts).build()`"
-)]
-pub fn build_machine(kind: SystemKind, artifacts: &CompilerArtifacts) -> Machine {
-    SystemBuilder::new(kind).artifacts(artifacts).build()
-}
-
-/// `build_machine` with an explicit machine configuration.
-#[deprecated(
-    since = "0.4.0",
-    note = "use `SystemBuilder::new(kind).artifacts(artifacts).config(config).build()`"
-)]
-pub fn build_machine_with(
-    kind: SystemKind,
-    artifacts: &CompilerArtifacts,
-    config: MachineConfig,
-) -> Machine {
-    SystemBuilder::new(kind)
-        .artifacts(artifacts)
-        .config(config)
-        .build()
-}
-
-/// Builds the machine for `kind`, runs `trace`, returns statistics.
-///
-/// # Errors
-///
-/// Propagates any [`SimError`] from the run.
-#[deprecated(
-    since = "0.4.0",
-    note = "use `SystemBuilder::new(kind).artifacts(artifacts).run(trace)`"
-)]
-pub fn run_system(
-    kind: SystemKind,
-    trace: &Trace,
-    artifacts: &CompilerArtifacts,
-) -> Result<RunStats, SimError> {
-    SystemBuilder::new(kind)
-        .artifacts(artifacts)
-        .run(trace)
-        .map(|run| run.stats)
-}
-
-/// Like `run_system`, but also collects the pointer-group usefulness
-/// observed during the run.
-///
-/// # Errors
-///
-/// Propagates any [`SimError`] from the run.
-#[deprecated(
-    since = "0.4.0",
-    note = "use `SystemBuilder::new(kind).artifacts(artifacts).run_profiled(trace)`"
-)]
-pub fn run_system_profiled(
-    kind: SystemKind,
-    trace: &Trace,
-    artifacts: &CompilerArtifacts,
-) -> Result<(RunStats, PgProfile), SimError> {
-    SystemBuilder::new(kind)
-        .artifacts(artifacts)
-        .run_profiled(trace)
-        .map(|(run, profile)| (run.stats, profile))
 }
 
 // Thread-safety contract of the parallel experiment harness: the shared
@@ -600,17 +555,20 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_match_the_builder() {
-        let t = workloads::streaming::Libquantum.generate(InputSet::Test);
-        let a = CompilerArtifacts::empty();
-        let wrapped = super::run_system(SystemKind::StreamOnly, &t, &a).expect("run");
-        let built = SystemBuilder::new(SystemKind::StreamOnly)
-            .artifacts(&a)
-            .run(&t)
-            .expect("run");
-        assert_eq!(wrapped, built.stats);
-        assert!(built.trace.is_none(), "observability defaults to off");
+    fn shared_config_arc_is_not_deep_copied() {
+        let cfg = Arc::new(MachineConfig::default());
+        let m = SystemBuilder::new(SystemKind::StreamOnly)
+            .config(Arc::clone(&cfg))
+            .build();
+        // StreamOnly leaves oracle_lds at its default, so the builder must
+        // keep sharing the caller's allocation.
+        assert!(!m.config().oracle_lds);
+        assert_eq!(Arc::strong_count(&cfg), 2);
+        let m = SystemBuilder::new(SystemKind::OracleLds)
+            .config(Arc::clone(&cfg))
+            .build();
+        assert!(m.config().oracle_lds);
+        assert!(!cfg.oracle_lds, "caller's config must not be mutated");
     }
 
     #[test]

@@ -48,6 +48,16 @@ struct InFlight {
     finish_cycle: u64,
 }
 
+/// A buffered request with its bank and row precomputed at enqueue time,
+/// so the scheduling scan does no address arithmetic (the divisions in
+/// `bank_of`/`row_of` dominated the scan cost).
+#[derive(Debug, Clone, Copy)]
+struct Queued {
+    request: DramRequest,
+    bank: u32,
+    row: u32,
+}
+
 /// The DRAM system shared by all cores.
 ///
 /// Call [`Dram::try_enqueue`] to submit requests (bounded by the memory
@@ -58,7 +68,7 @@ struct InFlight {
 pub struct Dram {
     config: DramConfig,
     capacity: usize,
-    queue: Vec<DramRequest>,
+    queue: Vec<Queued>,
     banks: Vec<Bank>,
     in_flight: Vec<InFlight>,
     bus_free_at: u64,
@@ -66,6 +76,19 @@ pub struct Dram {
     bus_transfers_by_core: Vec<u64>,
     row_hits: u64,
     row_conflicts: u64,
+    /// Scratch buffer returned by [`Dram::tick`]; reused across calls so
+    /// the steady state allocates nothing.
+    completions: Vec<DramCompletion>,
+    /// Earliest in-flight finish cycle (`u64::MAX` when none) — kept
+    /// exact so `tick` can skip the drain scan and `next_event` is O(1).
+    next_finish: u64,
+    /// Set by `try_enqueue`; cleared by the next scheduling scan. While
+    /// clear, no scan can succeed before `next_bank_free` (see proof in
+    /// [`Dram::schedule`]), so scans in between are skipped.
+    sched_dirty: bool,
+    /// Earliest `busy_until` over the banks that were still busy at the
+    /// end of the last scheduling scan (`u64::MAX` when none were).
+    next_bank_free: u64,
 }
 
 impl Dram {
@@ -91,6 +114,10 @@ impl Dram {
             bus_transfers_by_core: vec![0; cores as usize],
             row_hits: 0,
             row_conflicts: 0,
+            completions: Vec::new(),
+            next_finish: u64::MAX,
+            sched_dirty: false,
+            next_bank_free: u64::MAX,
         }
     }
 
@@ -136,31 +163,60 @@ impl Dram {
             return false;
         }
         debug_assert_eq!(request.block_addr, block_of(request.block_addr));
-        self.queue.push(request);
+        self.queue.push(Queued {
+            bank: self.bank_of(request.block_addr) as u32,
+            row: self.row_of(request.block_addr),
+            request,
+        });
+        self.sched_dirty = true;
         true
     }
 
     /// Schedules work onto free banks and returns accesses that finished at
-    /// or before `now`.
-    pub fn tick(&mut self, now: u64) -> Vec<DramCompletion> {
+    /// or before `now`. The returned slice borrows an internal scratch
+    /// buffer that is overwritten by the next call.
+    pub fn tick(&mut self, now: u64) -> &[DramCompletion] {
         self.schedule(now);
-        let mut done = Vec::new();
-        let mut i = 0;
-        while i < self.in_flight.len() {
-            if self.in_flight[i].finish_cycle <= now {
-                let f = self.in_flight.swap_remove(i);
-                done.push(DramCompletion {
-                    request: f.request,
-                    finish_cycle: f.finish_cycle,
-                });
-            } else {
-                i += 1;
+        self.completions.clear();
+        if self.next_finish <= now {
+            let mut next = u64::MAX;
+            let mut i = 0;
+            while i < self.in_flight.len() {
+                if self.in_flight[i].finish_cycle <= now {
+                    let f = self.in_flight.swap_remove(i);
+                    self.completions.push(DramCompletion {
+                        request: f.request,
+                        finish_cycle: f.finish_cycle,
+                    });
+                } else {
+                    next = next.min(self.in_flight[i].finish_cycle);
+                    i += 1;
+                }
             }
+            self.next_finish = next;
         }
-        done
+        &self.completions
     }
 
+    /// Runs the FR-FCFS scan unless it provably cannot schedule anything.
+    ///
+    /// Skipping is sound because a scan's outcome does not depend on the
+    /// cycle it runs at: a request's service timing is derived from
+    /// `enqueue_cycle`, the bank's `busy_until` and `bus_free_at`, never
+    /// from `now`. After a scan completes, every still-queued request
+    /// targets a bank that is still busy (a free bank with a matching
+    /// request would have been scheduled), so until either a new request
+    /// arrives (`sched_dirty`) or the earliest busy bank frees
+    /// (`next_bank_free`), re-running the scan is a no-op.
     fn schedule(&mut self, now: u64) {
+        if self.queue.is_empty() {
+            self.sched_dirty = false;
+            return;
+        }
+        if !self.sched_dirty && now < self.next_bank_free {
+            return;
+        }
+        self.sched_dirty = false;
         for bank_idx in 0..self.banks.len() {
             loop {
                 if self.banks[bank_idx].busy_until > now || self.queue.is_empty() {
@@ -170,27 +226,32 @@ impl Dram {
                 // scheduling policy.
                 let open_row = self.banks[bank_idx].open_row;
                 let mut best: Option<(usize, (bool, bool, u64))> = None;
-                for (qi, req) in self.queue.iter().enumerate() {
-                    if self.bank_of(req.block_addr) != bank_idx {
+                for (qi, q) in self.queue.iter().enumerate() {
+                    if q.bank as usize != bank_idx {
                         continue;
                     }
-                    let row_hit = open_row == Some(self.row_of(req.block_addr));
+                    let row_hit = open_row == Some(q.row);
                     // Higher key wins. Scheduling policies zero out the
                     // components they ignore.
                     let key = match self.config.scheduling {
-                        DramScheduling::FrFcfsDemandFirst => {
-                            (row_hit, req.is_demand, u64::MAX - req.enqueue_cycle)
+                        DramScheduling::FrFcfsDemandFirst => (
+                            row_hit,
+                            q.request.is_demand,
+                            u64::MAX - q.request.enqueue_cycle,
+                        ),
+                        DramScheduling::FrFcfs => {
+                            (row_hit, false, u64::MAX - q.request.enqueue_cycle)
                         }
-                        DramScheduling::FrFcfs => (row_hit, false, u64::MAX - req.enqueue_cycle),
-                        DramScheduling::Fcfs => (false, false, u64::MAX - req.enqueue_cycle),
+                        DramScheduling::Fcfs => (false, false, u64::MAX - q.request.enqueue_cycle),
                     };
                     if best.as_ref().is_none_or(|(_, bk)| key > *bk) {
                         best = Some((qi, key));
                     }
                 }
                 let Some((qi, _)) = best else { break };
-                let req = self.queue.swap_remove(qi);
-                let row = self.row_of(req.block_addr);
+                let q = self.queue.swap_remove(qi);
+                let req = q.request;
+                let row = q.row;
                 let row_hit = self.config.row_policy == RowPolicy::OpenPage
                     && self.banks[bank_idx].open_row == Some(row);
                 let access = if row_hit {
@@ -215,30 +276,46 @@ impl Dram {
                     RowPolicy::OpenPage => Some(row),
                     RowPolicy::ClosedPage => None,
                 };
+                self.next_finish = self.next_finish.min(finish);
                 self.in_flight.push(InFlight {
                     request: req,
                     finish_cycle: finish,
                 });
             }
         }
+        let mut free = u64::MAX;
+        for b in &self.banks {
+            if b.busy_until > now {
+                free = free.min(b.busy_until);
+            }
+        }
+        self.next_bank_free = free;
     }
 
     /// The next cycle at which a completion or a scheduling decision can
     /// occur, or `None` if the DRAM system is completely idle.
+    ///
+    /// Exact (not conservative): completions use the cached earliest
+    /// in-flight finish, and queued requests use the earliest bank-free
+    /// cycle recorded by the last scheduling scan — per the soundness
+    /// argument on the (private) `schedule` method, nothing can be
+    /// scheduled before that.
     pub fn next_event(&self, now: u64) -> Option<u64> {
         let mut next: Option<u64> = None;
         let mut consider = |c: u64| {
             let c = c.max(now + 1);
             next = Some(next.map_or(c, |n: u64| n.min(c)));
         };
-        for f in &self.in_flight {
-            consider(f.finish_cycle);
+        if self.next_finish != u64::MAX {
+            consider(self.next_finish);
         }
         if !self.queue.is_empty() {
-            // A queued request can be scheduled as soon as its bank frees;
-            // conservatively use the earliest bank-free time.
-            for b in &self.banks {
-                consider(b.busy_until);
+            if self.sched_dirty || self.next_bank_free == u64::MAX {
+                // Not yet scanned since the last enqueue: anything could
+                // be schedulable immediately.
+                consider(now + 1);
+            } else {
+                consider(self.next_bank_free);
             }
         }
         next

@@ -4,7 +4,9 @@
 //! window attached to an L1/L2/DRAM hierarchy with pluggable prefetchers
 //! and a throttling policy. See the crate docs for the modelling approach.
 
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::Arc;
 
 use sim_mem::{block_of, Addr, SimMemory};
 
@@ -54,18 +56,27 @@ struct PollutionSlot {
 /// [`Machine`] and the multi-core engine).
 pub(crate) struct CoreSim {
     pub(crate) core_id: u8,
-    cfg: MachineConfig,
+    cfg: Arc<MachineConfig>,
     mem: SimMemory,
     next_dispatch: usize,
     window: VecDeque<WinEntry>,
     window_instrs: u32,
     completed: Vec<u64>,
     pending_mem: VecDeque<u32>,
-    outstanding: Vec<u32>,
+    /// Issued memory ops still occupying LSQ slots.
+    lsq_used: u32,
+    /// Completion wheel: min-heap of `(completion cycle, op)` for issued
+    /// memory ops. Replaces the per-cycle `outstanding.retain` scan —
+    /// expired entries pop from the top, and the top entry doubles as the
+    /// core's earliest wake-up event for idle-cycle skipping.
+    inflight: BinaryHeap<Reverse<(u64, u32)>>,
     l1: Cache,
     pub(crate) l2: Cache,
     pub(crate) mshrs: MshrFile,
     pf_queue: VecDeque<PrefetchRequest>,
+    /// Reused staging buffer for prefetcher request generation, so the
+    /// steady state allocates no per-event `Vec`s.
+    pf_scratch: Vec<PrefetchRequest>,
     pollution: Vec<Option<PollutionSlot>>,
     pending_writebacks: VecDeque<Addr>,
     pub(crate) counters: Vec<FeedbackCounters>,
@@ -88,7 +99,7 @@ pub(crate) struct CoreSim {
 impl CoreSim {
     pub(crate) fn new(
         core_id: u8,
-        cfg: MachineConfig,
+        cfg: Arc<MachineConfig>,
         trace: &Trace,
         num_prefetchers: usize,
     ) -> Self {
@@ -101,20 +112,23 @@ impl CoreSim {
                 .collect(),
             ..Default::default()
         };
-        CoreSim {
+        let mut sim = CoreSim {
             core_id,
             cfg,
+            // Copy-on-write snapshot: shares pages with the trace.
             mem: trace.initial_memory.clone(),
             next_dispatch: 0,
             window: VecDeque::new(),
             window_instrs: 0,
-            completed: vec![NOT_DONE; trace.ops.len()],
+            completed: Vec::new(),
             pending_mem: VecDeque::new(),
-            outstanding: Vec::new(),
+            lsq_used: 0,
+            inflight: BinaryHeap::new(),
             l1,
             l2,
             mshrs,
             pf_queue: VecDeque::new(),
+            pf_scratch: Vec::new(),
             pollution: vec![None; POLLUTION_FILTER_ENTRIES],
             pending_writebacks: VecDeque::new(),
             counters: (0..num_prefetchers)
@@ -127,7 +141,9 @@ impl CoreSim {
             obs: None,
             retired_ops: 0,
             last_progress: 0,
-        }
+        };
+        sim.reset_replay(trace);
+        sim
     }
 
     /// Records a prefetch lifecycle event if lifecycle tracing is on.
@@ -155,7 +171,15 @@ impl CoreSim {
     /// Rewinds replay state for another pass over the trace (multi-core
     /// restart), keeping caches, prefetcher state and counters warm.
     pub(crate) fn rewind(&mut self, trace: &Trace) {
-        self.mem = trace.initial_memory.clone();
+        // Restore from the shared copy-on-write snapshot, reusing this
+        // core's page-table allocation (no page data is copied).
+        self.mem.clone_from(&trace.initial_memory);
+        self.reset_replay(trace);
+    }
+
+    /// Replay-cursor reset shared by [`CoreSim::new`] and
+    /// [`CoreSim::rewind`].
+    fn reset_replay(&mut self, trace: &Trace) {
         self.next_dispatch = 0;
         self.window.clear();
         self.window_instrs = 0;
@@ -165,7 +189,8 @@ impl CoreSim {
         // Outstanding ops and MSHR waiters refer to the finished pass; the
         // multi-core driver only rewinds once the window has drained, so
         // these are empty by construction.
-        self.outstanding.clear();
+        self.lsq_used = 0;
+        self.inflight.clear();
         self.retired_ops = 0;
     }
 
@@ -333,13 +358,15 @@ impl CoreSim {
             self.handle_l2_eviction(victim, filled_by, now, prefetchers, observer);
         }
 
-        // Wake waiting loads.
+        // Wake waiting loads (their completion-wheel entries are created
+        // here — a waiter's completion cycle is unknown until its fill).
         let wake_at = now + self.cfg.l1.hit_latency;
         if !entry.waiters.is_empty() {
             self.fill_l1(entry.trigger_addr, false);
         }
-        for w in &entry.waiters {
-            self.completed[*w as usize] = wake_at;
+        for &w in &entry.waiters {
+            self.completed[w as usize] = wake_at;
+            self.inflight.push(Reverse((wake_at, w)));
         }
 
         // Notify prefetchers of the fill (content-directed scans happen
@@ -353,16 +380,19 @@ impl CoreSim {
             pg: entry.pg,
             cycle: now,
         };
-        let mut ctx = PrefetchCtx::new(&self.mem, now);
+        self.mshrs.recycle_waiters(entry.waiters);
+        let mut buf = std::mem::take(&mut self.pf_scratch);
+        let mut ctx = PrefetchCtx::with_buffer(&self.mem, now, buf);
         for p in prefetchers.iter_mut() {
             p.on_fill(&mut ctx, &ev);
         }
-        let staged = ctx.take_requests();
-        self.stage_prefetches(staged);
+        buf = ctx.into_buffer();
+        self.stage_prefetches(&mut buf);
+        self.pf_scratch = buf;
     }
 
-    fn stage_prefetches(&mut self, reqs: Vec<PrefetchRequest>) {
-        for r in reqs {
+    fn stage_prefetches(&mut self, reqs: &mut Vec<PrefetchRequest>) {
+        for r in reqs.drain(..) {
             if self.pf_queue.len() >= self.cfg.prefetch_queue_size as usize {
                 // Queue full: drop the oldest request.
                 self.pf_queue.pop_front();
@@ -453,15 +483,21 @@ impl CoreSim {
         observer: &mut dyn PrefetchObserver,
         l2_port: &mut u32,
     ) -> u32 {
-        // Free LSQ slots for completed ops.
-        let completed = &self.completed;
-        self.outstanding.retain(|&op| completed[op as usize] > now);
+        // Free LSQ slots for completed ops: pop expired completion-wheel
+        // entries instead of scanning the whole LSQ every cycle.
+        while let Some(&Reverse((c, _))) = self.inflight.peek() {
+            if c > now {
+                break;
+            }
+            self.inflight.pop();
+            self.lsq_used -= 1;
+        }
 
         let mut issued = 0;
         let mut budget = self.cfg.core.issue_width;
         let mut qi = 0;
         while qi < self.pending_mem.len() {
-            if budget == 0 || self.outstanding.len() >= self.cfg.core.lsq_size as usize {
+            if budget == 0 || self.lsq_used >= self.cfg.core.lsq_size {
                 break;
             }
             let op_idx = self.pending_mem[qi];
@@ -474,7 +510,7 @@ impl CoreSim {
             match self.try_issue_one(op_idx, op, now, dram, prefetchers, observer, l2_port) {
                 IssueOutcome::Issued => {
                     self.entry_mut(op_idx).issued = true;
-                    self.outstanding.push(op_idx);
+                    self.lsq_used += 1;
                     self.pending_mem.remove(qi);
                     issued += 1;
                     budget -= 1;
@@ -485,6 +521,15 @@ impl CoreSim {
             }
         }
         issued
+    }
+
+    /// Records an issued memory op's completion cycle and its
+    /// completion-wheel entry (which later frees the LSQ slot and feeds
+    /// [`CoreSim::next_local_event`]).
+    #[inline]
+    fn complete_issued(&mut self, op_idx: u32, at: u64) {
+        self.completed[op_idx as usize] = at;
+        self.inflight.push(Reverse((at, op_idx)));
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -527,9 +572,9 @@ impl CoreSim {
                     .access(op.addr)
                     .expect("L1 hit implies a resident line")
                     .dirty = true;
-                self.completed[op_idx as usize] = now + 1;
+                self.complete_issued(op_idx, now + 1);
             } else {
-                self.completed[op_idx as usize] = now + self.cfg.l1.hit_latency;
+                self.complete_issued(op_idx, now + self.cfg.l1.hit_latency);
             }
             return IssueOutcome::Issued;
         }
@@ -566,11 +611,12 @@ impl CoreSim {
                 self.credit_prefetch_use(block, pid, pg, false, now, prefetchers, observer);
             }
             self.fill_l1(op.addr, is_store);
-            self.completed[op_idx as usize] = if is_store {
+            let done_at = if is_store {
                 now + 1
             } else {
                 now + self.cfg.l2.hit_latency
             };
+            self.complete_issued(op_idx, done_at);
             let ev = DemandAccess {
                 pc: op.pc,
                 addr: op.addr,
@@ -604,11 +650,12 @@ impl CoreSim {
                 self.handle_l2_eviction(victim, None, now, prefetchers, observer);
             }
             self.fill_l1(op.addr, is_store);
-            self.completed[op_idx as usize] = if is_store {
+            let done_at = if is_store {
                 now + 1
             } else {
                 now + self.cfg.l2.hit_latency
             };
+            self.complete_issued(op_idx, done_at);
             return IssueOutcome::Issued;
         }
 
@@ -632,7 +679,7 @@ impl CoreSim {
             }
             if is_store {
                 entry.store_merged = true;
-                self.completed[op_idx as usize] = now + 1;
+                self.complete_issued(op_idx, now + 1);
             } else {
                 entry.waiters.push(op_idx);
             }
@@ -696,7 +743,7 @@ impl CoreSim {
             }
         }
         if is_store {
-            self.completed[op_idx as usize] = now + 1;
+            self.complete_issued(op_idx, now + 1);
         } else {
             self.mshrs.get_mut(slot).waiters.push(op_idx);
         }
@@ -718,12 +765,14 @@ impl CoreSim {
         now: u64,
         prefetchers: &mut [Box<dyn Prefetcher>],
     ) {
-        let mut ctx = PrefetchCtx::new(&self.mem, now);
+        let mut buf = std::mem::take(&mut self.pf_scratch);
+        let mut ctx = PrefetchCtx::with_buffer(&self.mem, now, buf);
         for p in prefetchers.iter_mut() {
             p.on_demand_access(&mut ctx, ev);
         }
-        let staged = ctx.take_requests();
-        self.stage_prefetches(staged);
+        buf = ctx.into_buffer();
+        self.stage_prefetches(&mut buf);
+        self.pf_scratch = buf;
     }
 
     /// Sends queued memory requests (demand misses wait in the MSHRs; this
@@ -948,8 +997,10 @@ impl CoreSim {
         if let Some(head) = self.window.front() {
             consider(self.completed[head.op_idx as usize]);
         }
-        for &op in &self.outstanding {
-            consider(self.completed[op as usize]);
+        // The completion wheel is a min-heap, so its top is the earliest
+        // outstanding completion — no scan needed.
+        if let Some(&Reverse((c, _))) = self.inflight.peek() {
+            consider(c);
         }
         next
     }
@@ -982,7 +1033,7 @@ impl CoreSim {
                 return true;
             }
         }
-        if self.outstanding.len() < self.cfg.core.lsq_size as usize {
+        if self.lsq_used < self.cfg.core.lsq_size {
             for &op in &self.pending_mem {
                 let dep = ops[op as usize].dep;
                 if dep == NO_DEP || self.completed[dep as usize] <= now {
@@ -1033,27 +1084,43 @@ enum IssueOutcome {
 /// [`Machine::add_prefetcher`] (registration order defines
 /// [`PrefetcherId`]s), then call [`Machine::run`].
 pub struct Machine {
-    config: MachineConfig,
+    config: Arc<MachineConfig>,
     prefetchers: Vec<Box<dyn Prefetcher>>,
     throttle: Box<dyn ThrottlePolicy>,
     observer: Option<Box<dyn PrefetchObserver>>,
     cycle_budget: Option<u64>,
     obs_config: Option<ObsConfig>,
     run_trace: Option<RunTrace>,
+    no_skip: bool,
 }
 
 impl Machine {
     /// Creates a machine with no prefetchers and no throttling.
-    pub fn new(config: MachineConfig) -> Self {
+    ///
+    /// Accepts a plain [`MachineConfig`] or an `Arc<MachineConfig>`;
+    /// passing the `Arc` lets sweeps share one config allocation across
+    /// every machine they build.
+    pub fn new(config: impl Into<Arc<MachineConfig>>) -> Self {
         Machine {
-            config,
+            config: config.into(),
             prefetchers: Vec::new(),
             throttle: Box::new(NoThrottle),
             observer: None,
             cycle_budget: None,
             obs_config: None,
             run_trace: None,
+            no_skip: false,
         }
+    }
+
+    /// Disables event skip-ahead: the clock advances one cycle at a time
+    /// through idle regions instead of jumping to the next event. This is
+    /// the *reference stepper* — results are bit-identical to the default
+    /// skipping mode (the equivalence property tests pin this down), it
+    /// is just slower. Useful for debugging the skip logic itself.
+    pub fn set_reference_stepping(&mut self, on: bool) -> &mut Self {
+        self.no_skip = on;
+        self
     }
 
     /// Caps the simulated cycle count: a run that passes `budget` cycles
@@ -1125,7 +1192,7 @@ impl Machine {
     /// fails to converge. The error carries a [`DiagnosticSnapshot`] of
     /// the stuck core where applicable.
     pub fn run(&mut self, trace: &Trace) -> Result<RunStats, SimError> {
-        let mut core = CoreSim::new(0, self.config.clone(), trace, self.prefetchers.len());
+        let mut core = CoreSim::new(0, Arc::clone(&self.config), trace, self.prefetchers.len());
         if let Some(cfg) = &self.obs_config {
             core.obs = Some(Box::new(ObsCollector::new(*cfg)));
         }
@@ -1141,7 +1208,7 @@ impl Machine {
         while !core.finished(ops) {
             let mut activity = false;
             for completion in dram.tick(now) {
-                core.apply_completion(&completion, now, &mut self.prefetchers, observer.as_mut());
+                core.apply_completion(completion, now, &mut self.prefetchers, observer.as_mut());
                 activity = true;
             }
             activity |= core.step(
@@ -1180,7 +1247,8 @@ impl Machine {
                 now += 1;
                 continue;
             }
-            // Idle: skip to the next event.
+            // Idle: skip to the next event (or crawl there one cycle at a
+            // time under the reference stepper — same visited events).
             if core.has_immediate_work(ops, now, dram.is_full()) {
                 now += 1;
                 continue;
@@ -1190,7 +1258,7 @@ impl Machine {
                 next = Some(next.map_or(d, |n| n.min(d)));
             }
             match next {
-                Some(n) => now = n,
+                Some(n) => now = if self.no_skip { now + 1 } else { n },
                 None => {
                     // Fully quiescent with unfinished work: nothing is in
                     // flight anywhere, so no future cycle can change
@@ -1209,10 +1277,14 @@ impl Machine {
         let drain_deadline = now + self.config.deadlock_cycles;
         while core.mshrs.occupied() > 0 || core.has_pending_writebacks() || dram.occupancy() > 0 {
             for completion in dram.tick(now) {
-                core.apply_completion(&completion, now, &mut self.prefetchers, observer.as_mut());
+                core.apply_completion(completion, now, &mut self.prefetchers, observer.as_mut());
             }
             core.issue_to_dram(&mut dram, now, observer.as_mut());
-            now = dram.next_event(now).unwrap_or(now + 1);
+            now = if self.no_skip {
+                now + 1
+            } else {
+                dram.next_event(now).unwrap_or(now + 1)
+            };
             if now >= drain_deadline {
                 self.observer = Some(observer);
                 return Err(SimError::InvariantViolation(format!(

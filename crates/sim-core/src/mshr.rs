@@ -51,6 +51,9 @@ pub struct MshrEntry {
 pub struct MshrFile {
     entries: Vec<Option<MshrEntry>>,
     occupied: u32,
+    /// Retired waiter vectors awaiting reuse by [`MshrFile::alloc`], so
+    /// the steady state allocates no per-miss `Vec`s.
+    spare_waiters: Vec<Vec<u32>>,
 }
 
 impl MshrFile {
@@ -59,6 +62,7 @@ impl MshrFile {
         MshrFile {
             entries: (0..capacity).map(|_| None).collect(),
             occupied: 0,
+            spare_waiters: Vec::new(),
         }
     }
 
@@ -114,7 +118,7 @@ impl MshrFile {
             trigger_addr,
             depth: 0,
             pg: None,
-            waiters: Vec::new(),
+            waiters: self.spare_waiters.pop().unwrap_or_default(),
             demand_merged: false,
             store_merged: false,
         });
@@ -131,6 +135,15 @@ impl MshrFile {
         let e = self.entries[slot].take().expect("double free of MSHR slot");
         self.occupied -= 1;
         e
+    }
+
+    /// Returns a freed entry's waiter storage for reuse by a later
+    /// [`MshrFile::alloc`] (the pool is bounded by the entry count).
+    pub fn recycle_waiters(&mut self, mut waiters: Vec<u32>) {
+        if self.spare_waiters.len() < self.entries.len() {
+            waiters.clear();
+            self.spare_waiters.push(waiters);
+        }
     }
 }
 

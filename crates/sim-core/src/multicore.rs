@@ -15,6 +15,7 @@ use crate::stats::RunStats;
 use crate::throttling::{NoThrottle, ThrottlePolicy};
 use crate::trace::Trace;
 use crate::MachineConfig;
+use std::sync::Arc;
 
 /// Per-core prefetcher + throttling configuration for [`MultiMachine`].
 pub struct CoreSetup {
@@ -97,16 +98,17 @@ impl MultiRunStats {
 /// A chip multiprocessor: N cores with private cache hierarchies sharing the
 /// DRAM system.
 pub struct MultiMachine {
-    config: MachineConfig,
+    config: Arc<MachineConfig>,
     cores: Vec<CoreSetup>,
     obs_config: Option<ObsConfig>,
 }
 
 impl MultiMachine {
-    /// Creates a multi-core machine from per-core setups.
-    pub fn new(config: MachineConfig, cores: Vec<CoreSetup>) -> Self {
+    /// Creates a multi-core machine from per-core setups. The configuration
+    /// is shared (not cloned) across all cores.
+    pub fn new(config: impl Into<Arc<MachineConfig>>, cores: Vec<CoreSetup>) -> Self {
         MultiMachine {
-            config,
+            config: config.into(),
             cores,
             obs_config: None,
         }
@@ -144,7 +146,7 @@ impl MultiMachine {
             .map(|i| {
                 CoreSim::new(
                     i as u8,
-                    self.config.clone(),
+                    Arc::clone(&self.config),
                     &traces[i],
                     self.cores[i].prefetchers.len(),
                 )
@@ -179,7 +181,7 @@ impl MultiMachine {
                 }
                 let c = completion.request.core as usize;
                 sims[c].apply_completion(
-                    &completion,
+                    completion,
                     now,
                     &mut self.cores[c].prefetchers,
                     &mut observer,

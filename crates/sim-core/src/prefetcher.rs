@@ -196,6 +196,27 @@ impl<'a> PrefetchCtx<'a> {
     pub fn take_requests(&mut self) -> Vec<PrefetchRequest> {
         std::mem::take(&mut self.requests)
     }
+
+    /// Like [`PrefetchCtx::new`], staging into a caller-owned buffer so
+    /// the engine's hot path reuses one allocation per core.
+    pub(crate) fn with_buffer(
+        mem: &'a SimMemory,
+        cycle: u64,
+        requests: Vec<PrefetchRequest>,
+    ) -> Self {
+        debug_assert!(requests.is_empty(), "staging buffer must start empty");
+        PrefetchCtx {
+            mem,
+            cycle,
+            requests,
+        }
+    }
+
+    /// Returns the staging buffer (with any staged requests) to the
+    /// caller, consuming the context.
+    pub(crate) fn into_buffer(self) -> Vec<PrefetchRequest> {
+        self.requests
+    }
 }
 
 impl std::fmt::Debug for PrefetchCtx<'_> {

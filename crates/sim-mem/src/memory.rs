@@ -1,5 +1,7 @@
 //! Sparse page-granular simulated memory.
 
+use std::sync::Arc;
+
 use crate::{Addr, BLOCK_BYTES};
 
 const PAGE_SHIFT: u32 = 12;
@@ -8,13 +10,22 @@ const PAGE_MASK: u32 = (PAGE_BYTES as u32) - 1;
 /// Number of pages in the 32-bit address space.
 const NUM_PAGES: usize = 1 << (32 - PAGE_SHIFT);
 
-type Page = Box<[u8; PAGE_BYTES]>;
+/// Pages are reference-counted so cloning a memory image is a
+/// page-*table* copy, not a page-*data* copy; writes un-share lazily.
+type Page = Arc<[u8; PAGE_BYTES]>;
 
 /// A sparse, byte-addressable simulated 32-bit memory.
 ///
 /// Pages are allocated lazily on first write; reads of untouched memory
 /// return zero, which conveniently never looks like a heap pointer to the
 /// CDP compare-bits predictor.
+///
+/// Cloning is copy-on-write: the clone shares every resident page with
+/// the original, and either side transparently un-shares a page the
+/// first time it writes to it. Clones therefore behave exactly like deep
+/// copies while costing only a page-table copy — which is what lets the
+/// engine treat `trace.initial_memory.clone()` as a cheap per-run
+/// snapshot restore.
 ///
 /// All multi-byte accessors are little-endian (the modelled ISA is x86) and
 /// impose no alignment requirements.
@@ -69,13 +80,14 @@ impl SimMemory {
     }
 
     #[inline]
-    fn page_mut(&mut self, addr: Addr) -> &mut Page {
+    fn page_mut(&mut self, addr: Addr) -> &mut [u8; PAGE_BYTES] {
         let idx = Self::page_index(addr);
         if self.pages[idx].is_none() {
-            self.pages[idx] = Some(Box::new([0u8; PAGE_BYTES]));
+            self.pages[idx] = Some(Arc::new([0u8; PAGE_BYTES]));
             self.resident += 1;
         }
-        self.pages[idx].as_mut().unwrap()
+        // Copy-on-write: un-share the page if a clone still references it.
+        Arc::make_mut(self.pages[idx].as_mut().unwrap())
     }
 
     /// Reads one byte.
@@ -197,11 +209,20 @@ impl Default for SimMemory {
 }
 
 impl Clone for SimMemory {
+    /// Copy-on-write clone: shares every resident page with `self`.
     fn clone(&self) -> Self {
         SimMemory {
             pages: self.pages.clone(),
             resident: self.resident,
         }
+    }
+
+    /// Restores `self` to `source`'s contents, reusing `self`'s existing
+    /// page-table allocation (the engine's rewind path calls this every
+    /// multi-core replay).
+    fn clone_from(&mut self, source: &Self) {
+        self.pages.clone_from(&source.pages);
+        self.resident = source.resident;
     }
 }
 
@@ -288,6 +309,46 @@ mod tests {
         a.write_u32(0x100, 9);
         assert_eq!(b.read_u32(0x100), 7);
         assert_eq!(a.read_u32(0x100), 9);
+    }
+
+    #[test]
+    fn cow_clone_shares_pages_until_written() {
+        let mut a = SimMemory::new();
+        a.write_u32(0x100, 7);
+        a.write_u32(0x2000, 8);
+        let b = a.clone();
+        // Pages are physically shared right after the clone.
+        assert!(Arc::ptr_eq(
+            a.pages[0].as_ref().unwrap(),
+            b.pages[0].as_ref().unwrap()
+        ));
+        // A write un-shares only the touched page.
+        let mut c = b.clone();
+        c.write_u8(0x101, 9);
+        assert!(!Arc::ptr_eq(
+            b.pages[0].as_ref().unwrap(),
+            c.pages[0].as_ref().unwrap()
+        ));
+        assert!(Arc::ptr_eq(
+            b.pages[2].as_ref().unwrap(),
+            c.pages[2].as_ref().unwrap()
+        ));
+        assert_eq!(b.read_u8(0x101), 0);
+        assert_eq!(c.read_u8(0x101), 9);
+        assert_eq!(c.read_u32(0x2000), 8);
+    }
+
+    #[test]
+    fn clone_from_restores_snapshot() {
+        let mut snapshot = SimMemory::new();
+        snapshot.write_u32(0x100, 7);
+        let mut working = snapshot.clone();
+        working.write_u32(0x100, 9);
+        working.write_u32(0x9000, 1); // extra page beyond the snapshot
+        working.clone_from(&snapshot);
+        assert_eq!(working.read_u32(0x100), 7);
+        assert_eq!(working.read_u32(0x9000), 0);
+        assert_eq!(working.resident_pages(), snapshot.resident_pages());
     }
 
     #[test]

@@ -260,3 +260,90 @@ proptest! {
         prop_assert!(stats.cycles > 0);
     }
 }
+
+// ------------------------------------------------- event skip-ahead engine
+//
+// The event-skipping clock must be an invisible optimisation: running the
+// same trace on the cycle-by-cycle reference stepper has to reproduce the
+// statistics (and the interval time series) byte for byte, across
+// randomized machine shapes, workloads and system assemblies.
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+    #[test]
+    fn skip_ahead_matches_reference_stepper_on_random_traces(
+        ops in proptest::collection::vec((0u32..2000u32, 0u8..10u8, 1u32..20), 1..120),
+        window_size in 8u32..64,
+        lsq_size in 4u32..32,
+        l2_mshrs in 2u32..16,
+    ) {
+        let mut tb = TraceBuilder::new(SimMemory::new());
+        let mut load_ids = Vec::new();
+        for (addr_word, kind, count) in ops {
+            let addr = layout::HEAP_BASE + addr_word * 4;
+            match kind {
+                0..=4 => {
+                    let dep = if kind % 2 == 0 { load_ids.last().copied() } else { None };
+                    let (_, id) = tb.load(0x10 + u32::from(kind), addr, dep);
+                    load_ids.push(id);
+                }
+                5..=6 => tb.store(0x20, addr, count, None),
+                _ => tb.compute(count),
+            }
+        }
+        let trace = tb.finish();
+        let mut cfg = MachineConfig::default();
+        cfg.core.window_size = window_size;
+        cfg.core.lsq_size = lsq_size;
+        cfg.l2_mshrs = l2_mshrs;
+        let skipping = Machine::new(cfg.clone()).run(&trace).expect("run");
+        let mut reference = Machine::new(cfg);
+        reference.set_reference_stepping(true);
+        let reference = reference.run(&trace).expect("run");
+        prop_assert_eq!(skipping, reference);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+    #[test]
+    fn skip_ahead_matches_reference_on_assembled_systems(
+        workload_idx in 0usize..3,
+        system_idx in 0usize..3,
+        interval_evictions in 64u64..512,
+    ) {
+        use ecdp::system::{CompilerArtifacts, SystemBuilder, SystemKind};
+        use sim_core::ObsConfig;
+
+        let workload = ["mst", "health", "libquantum"][workload_idx];
+        let system = [
+            SystemKind::StreamOnly,
+            SystemKind::StreamCdp,
+            SystemKind::StreamEcdpThrottled,
+        ][system_idx];
+        let trace = workloads::by_name(workload)
+            .expect("workload")
+            .generate(workloads::InputSet::Test);
+        let artifacts = CompilerArtifacts::empty();
+        // Shrink the interval so the short test input crosses several
+        // sampling boundaries — boundaries are skip targets, so this
+        // exercises the interval-as-event path.
+        let cfg = MachineConfig { interval_evictions, ..MachineConfig::default() };
+        let obs = ObsConfig { timeseries: true, decisions: true, ..ObsConfig::default() };
+        let run = |no_skip: bool| {
+            SystemBuilder::new(system)
+                .artifacts(&artifacts)
+                .config(cfg.clone())
+                .observe(obs)
+                .reference_stepping(no_skip)
+                .run(&trace)
+                .expect("run")
+        };
+        let skipping = run(false);
+        let reference = run(true);
+        prop_assert_eq!(&skipping.stats, &reference.stats);
+        let skip_ts = skipping.trace.expect("trace").timeseries_json().to_string_pretty();
+        let ref_ts = reference.trace.expect("trace").timeseries_json().to_string_pretty();
+        prop_assert_eq!(skip_ts, ref_ts, "timeseries.json must be byte-identical");
+    }
+}
