@@ -13,7 +13,10 @@
 //! `--bench` bypasses both phases and times the engine hot path over the
 //! same grid instead, writing `BENCH_hotpath.json` (see
 //! [`bench::hotpath`]); `--no-skip` runs the benchmark on the
-//! cycle-by-cycle reference stepper for comparison.
+//! cycle-by-cycle reference stepper for comparison. `--validate` runs the
+//! paper-conformance suite (see [`bench::validate`]) over the grid's
+//! workloads instead, writes `VALIDATE_report.json`, and exits 2 when any
+//! property is violated.
 //!
 //! Execution has two phases:
 //!
@@ -165,6 +168,56 @@ fn run_bench(args: &RunAllArgs) -> ! {
     std::process::exit(0);
 }
 
+/// `--validate`: run the paper-conformance suite over the sweep grid's
+/// workloads and write `VALIDATE_report.json`. Exits 2 when a property is
+/// violated, 1 when the report cannot be written, 0 on a clean pass.
+fn run_validate(args: &RunAllArgs) -> ! {
+    let (workloads, input, _) = sweep_grid();
+    let out_path = args
+        .out_path
+        .clone()
+        .unwrap_or_else(|| "VALIDATE_report.json".to_string());
+    let lab = Lab::new();
+    let t = Instant::now();
+    eprintln!(
+        "[run_all] validating {} properties x {} workloads ({input:?} input) ...",
+        bench::validate::PROPERTIES.len(),
+        workloads.len(),
+    );
+    let report = bench::run_conformance(&lab, &workloads, input);
+    for r in &report.results {
+        eprintln!(
+            "[run_all] {} {}/{}: {}",
+            if r.passed { "PASS" } else { "FAIL" },
+            r.workload,
+            r.property,
+            r.detail
+        );
+    }
+    if let Some(parent) = std::path::Path::new(&out_path).parent() {
+        if !parent.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+    }
+    if let Err(e) = std::fs::write(&out_path, report.to_json().to_string_pretty()) {
+        eprintln!("[run_all] cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path}");
+    let failures = report.failures().len();
+    eprintln!(
+        "[run_all] validate: {}/{} properties held in {:.1?}",
+        report.results.len() - failures,
+        report.results.len(),
+        t.elapsed()
+    );
+    if failures > 0 {
+        eprintln!("[run_all] {failures} conformance violation(s); exiting 2");
+        std::process::exit(2);
+    }
+    std::process::exit(0);
+}
+
 fn main() {
     let args: RunAllArgs = match parse_args(std::env::args().skip(1)) {
         Ok(Parsed::Run(a)) => a,
@@ -176,6 +229,9 @@ fn main() {
     };
     if args.bench {
         run_bench(&args);
+    }
+    if args.validate {
+        run_validate(&args);
     }
     let jobs = args.jobs.unwrap_or_else(bench::default_jobs);
     let out_path = args

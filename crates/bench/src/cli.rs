@@ -7,7 +7,7 @@
 
 /// Usage line printed on `--help` and on every parse error.
 pub const USAGE: &str = "usage: run_all [--jobs N] [--filter SUBSTR] [--resume] [--sweep]
-               [--bench] [--no-skip] [--trace-dir DIR] [output.md]
+               [--bench] [--validate] [--no-skip] [--trace-dir DIR] [output.md]
 
   --jobs N        worker threads (default: $BENCH_JOBS or available parallelism)
   --filter SUBSTR only generate report sections whose name contains SUBSTR;
@@ -19,6 +19,9 @@ pub const USAGE: &str = "usage: run_all [--jobs N] [--filter SUBSTR] [--resume] 
                   BENCH_hotpath.json (or the positional output path); with
                   $BENCH_BASELINE set to a prior report, exit 1 when
                   cells/sec regresses more than 20%
+  --validate      run the paper-conformance suite over the sweep grid and
+                  write VALIDATE_report.json (or the positional output
+                  path); exit 2 when any property is violated
   --no-skip       with --bench: run the cycle-by-cycle reference stepper
                   instead of the event-skipping engine (for comparison)
   --trace-dir DIR run sweep cells with the observability layer enabled and
@@ -38,6 +41,8 @@ pub struct RunAllArgs {
     pub sweep_only: bool,
     /// Run the hot-path throughput benchmark instead of the report.
     pub bench: bool,
+    /// Run the paper-conformance suite instead of the report.
+    pub validate: bool,
     /// With `bench`: disable event skip-ahead (reference stepper).
     pub no_skip: bool,
     /// Directory for per-cell observability artifacts; enables tracing.
@@ -89,6 +94,7 @@ where
             "--resume" => parsed.resume = true,
             "--sweep" => parsed.sweep_only = true,
             "--bench" => parsed.bench = true,
+            "--validate" => parsed.validate = true,
             "--no-skip" => parsed.no_skip = true,
             "--trace-dir" => {
                 let v = args.next().ok_or("--trace-dir requires a value")?;
@@ -111,6 +117,9 @@ where
     }
     if parsed.no_skip && !parsed.bench {
         return Err("--no-skip only makes sense with --bench".to_string());
+    }
+    if parsed.validate && (parsed.bench || parsed.sweep_only) {
+        return Err("--validate cannot be combined with --bench or --sweep".to_string());
     }
     Ok(Parsed::Run(parsed))
 }
@@ -189,5 +198,24 @@ mod tests {
             }))
         );
         assert!(parse(&["--no-skip"]).is_err(), "--no-skip requires --bench");
+    }
+
+    #[test]
+    fn parses_validate_flag() {
+        let p = parse(&["--validate", "report.json"]);
+        assert_eq!(
+            p,
+            Ok(Parsed::Run(RunAllArgs {
+                validate: true,
+                out_path: Some("report.json".to_string()),
+                ..RunAllArgs::default()
+            }))
+        );
+        assert!(parse(&["--validate", "--bench"]).is_err(), "exclusive");
+        assert!(parse(&["--validate", "--sweep"]).is_err(), "exclusive");
+        assert!(
+            parse(&["--validate", "--jobs", "2"]).is_ok(),
+            "--jobs composes"
+        );
     }
 }

@@ -19,6 +19,7 @@ pub mod lab;
 pub mod manifest;
 pub mod sweep;
 pub mod table;
+pub mod validate;
 
 pub use fault::{FaultAction, FaultPlan};
 pub use hotpath::{run_hotpath_bench, HotpathCell, HotpathReport};
@@ -26,6 +27,9 @@ pub use lab::Lab;
 pub use manifest::{config_hash, FailureRecord, Manifest, ManifestWriter, RunOutcome, RunRecord};
 pub use sweep::{default_jobs, SweepCell, SweepExecution, SweepOptions, SweepPlan};
 pub use table::Table;
+pub use validate::{
+    run_conformance, thresholds_from_env, PropertyResult, ValidateReport, VALIDATE_SCHEMA_VERSION,
+};
 
 /// Runs one report generator against a fresh [`Lab`], prints the report,
 /// and writes the run manifest to `target/lab/<name>.json`.

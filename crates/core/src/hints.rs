@@ -10,7 +10,13 @@
 use std::collections::HashMap;
 
 use prefetch::ScanFilter;
+use sim_core::Json;
 use sim_mem::PTRS_PER_BLOCK;
+
+/// Schema version of the hint-table JSON representation. Bump on any
+/// change to the field layout; the schema-stability tests pin the exact
+/// serialized form for the current version.
+pub const HINTS_SCHEMA_VERSION: u64 = 1;
 
 /// A per-load pair of hint bit vectors (positive and negative offsets).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -55,6 +61,22 @@ impl HintVector {
             assert!(bit < PTRS_PER_BLOCK, "offset {offset} out of range");
             self.negative |= 1 << bit;
         }
+    }
+
+    /// Serializes to `{"positive": n, "negative": n}`.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("positive", Json::Num(f64::from(self.positive))),
+            ("negative", Json::Num(f64::from(self.negative))),
+        ])
+    }
+
+    /// Parses the [`HintVector::to_json`] representation. Returns `None`
+    /// on missing fields or values outside the 16-bit range.
+    pub fn from_json(j: &Json) -> Option<Self> {
+        let positive = u16::try_from(j.get("positive")?.as_u64()?).ok()?;
+        let negative = u16::try_from(j.get("negative")?.as_u64()?).ok()?;
+        Some(HintVector { positive, negative })
     }
 
     /// True if the pointer group at byte `offset` is beneficial.
@@ -112,6 +134,44 @@ impl HintTable {
     /// Iterates over `(pc, vector)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (&u32, &HintVector)> {
         self.vectors.iter()
+    }
+
+    /// Serializes the table, with entries sorted by PC so the output is
+    /// deterministic:
+    /// `{"schema_version": 1, "hints": [{"pc": n, "positive": n,
+    /// "negative": n}, ...]}`.
+    pub fn to_json(&self) -> Json {
+        let mut pcs: Vec<u32> = self.vectors.keys().copied().collect();
+        pcs.sort_unstable();
+        let hints: Vec<Json> = pcs
+            .into_iter()
+            .map(|pc| {
+                let v = self.vectors[&pc];
+                Json::obj(vec![
+                    ("pc", Json::Num(f64::from(pc))),
+                    ("positive", Json::Num(f64::from(v.positive))),
+                    ("negative", Json::Num(f64::from(v.negative))),
+                ])
+            })
+            .collect();
+        Json::obj(vec![
+            ("schema_version", Json::Num(HINTS_SCHEMA_VERSION as f64)),
+            ("hints", Json::Arr(hints)),
+        ])
+    }
+
+    /// Parses the [`HintTable::to_json`] representation. Returns `None`
+    /// on a schema-version mismatch or any malformed entry.
+    pub fn from_json(j: &Json) -> Option<Self> {
+        if j.get("schema_version")?.as_u64()? != HINTS_SCHEMA_VERSION {
+            return None;
+        }
+        let mut table = HintTable::new();
+        for entry in j.get("hints")?.as_arr()? {
+            let pc = u32::try_from(entry.get("pc")?.as_u64()?).ok()?;
+            table.insert(pc, HintVector::from_json(entry)?);
+        }
+        Some(table)
     }
 }
 
@@ -184,6 +244,71 @@ mod tests {
         assert!(!t.allow(0x100, 8));
         // Unprofiled load: nothing allowed.
         assert!(!t.allow(0x200, 12));
+    }
+
+    #[test]
+    fn vector_json_round_trips() {
+        let mut v = HintVector::default();
+        v.set(0);
+        v.set(-4);
+        v.set(60);
+        let back = HintVector::from_json(&v.to_json()).expect("parse");
+        assert_eq!(back, v);
+        // Through text, too.
+        let text = v.to_json().to_string_compact();
+        let parsed = Json::parse(&text).expect("valid json");
+        assert_eq!(HintVector::from_json(&parsed).expect("parse"), v);
+    }
+
+    #[test]
+    fn table_json_round_trips() {
+        let mut t = HintTable::new();
+        let mut v1 = HintVector::default();
+        v1.set(12);
+        let mut v2 = HintVector::default();
+        v2.set(-8);
+        v2.set(4);
+        t.insert(0x200, v2);
+        t.insert(0x100, v1);
+        t.insert(0x300, HintVector::ALL);
+        let text = t.to_json().to_string_pretty();
+        let back = HintTable::from_json(&Json::parse(&text).expect("valid")).expect("parse");
+        assert_eq!(back.len(), 3);
+        assert_eq!(back.get(0x100), t.get(0x100));
+        assert_eq!(back.get(0x200), t.get(0x200));
+        assert_eq!(back.get(0x300), Some(&HintVector::ALL));
+    }
+
+    #[test]
+    fn table_json_schema_is_stable() {
+        // Pins the exact serialized form of schema v1: entries sorted by
+        // pc, fields in pc/positive/negative order. Any change here is a
+        // schema break and must bump HINTS_SCHEMA_VERSION.
+        let mut t = HintTable::new();
+        let mut v = HintVector::default();
+        v.set(8);
+        t.insert(0x2000, HintVector::ALL);
+        t.insert(0x1000, v);
+        assert_eq!(
+            t.to_json().to_string_compact(),
+            "{\"schema_version\":1,\"hints\":[\
+             {\"pc\":4096,\"positive\":4,\"negative\":0},\
+             {\"pc\":8192,\"positive\":65535,\"negative\":65535}]}"
+        );
+    }
+
+    #[test]
+    fn malformed_json_is_rejected() {
+        for text in [
+            "{}",
+            "{\"schema_version\":2,\"hints\":[]}",
+            "{\"schema_version\":1}",
+            "{\"schema_version\":1,\"hints\":[{\"pc\":1}]}",
+            "{\"schema_version\":1,\"hints\":[{\"pc\":1,\"positive\":70000,\"negative\":0}]}",
+        ] {
+            let j = Json::parse(text).expect("syntactically valid");
+            assert!(HintTable::from_json(&j).is_none(), "accepted: {text}");
+        }
     }
 
     #[test]

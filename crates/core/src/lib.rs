@@ -54,6 +54,6 @@ pub mod profile;
 pub mod system;
 
 pub use cost::HardwareCost;
-pub use hints::{HintTable, HintVector};
+pub use hints::{HintTable, HintVector, HINTS_SCHEMA_VERSION};
 pub use profile::{profile_workload, PgProfile, PgUsage};
 pub use system::{CompilerArtifacts, SystemBuilder, SystemKind, SystemRun};

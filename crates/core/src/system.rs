@@ -19,7 +19,7 @@ use prefetch::{
 };
 use sim_core::{
     CoreSetup, Machine, MachineConfig, ObsConfig, PrefetchObserver, PrefetcherId, RunStats,
-    RunTrace, SimError, Trace,
+    RunTrace, SimError, Trace, ValidateConfig,
 };
 use throttle::{CoordinatedThrottle, FdpThrottle, PabSelector, Switchable};
 
@@ -378,6 +378,7 @@ pub struct SystemBuilder<'a> {
     config: Arc<MachineConfig>,
     observer: Option<Box<dyn PrefetchObserver>>,
     obs: ObsConfig,
+    validate: Option<ValidateConfig>,
     cycle_budget: Option<u64>,
     reference_stepping: bool,
 }
@@ -392,6 +393,7 @@ impl<'a> SystemBuilder<'a> {
             config: Arc::new(MachineConfig::default()),
             observer: None,
             obs: ObsConfig::default(),
+            validate: None,
             cycle_budget: None,
             reference_stepping: false,
         }
@@ -438,6 +440,17 @@ impl<'a> SystemBuilder<'a> {
         self
     }
 
+    /// Opts the run into the paper-conformance runtime invariants
+    /// (conservation, bus/MSHR bounds, Table 3 re-derivation), per `cfg`.
+    /// Checks are read-only — statistics stay bit-identical — and a
+    /// violation fails the run with `SimError::InvariantViolation`.
+    /// Passing `ValidateConfig::disabled()` opts out even when the
+    /// `validate` cargo feature arms the suite-wide default.
+    pub fn validate(mut self, cfg: ValidateConfig) -> Self {
+        self.validate = Some(cfg);
+        self
+    }
+
     /// Aborts runs exceeding `cycles` with `SimError::CycleBudget`.
     pub fn cycle_budget(mut self, cycles: u64) -> Self {
         self.cycle_budget = Some(cycles);
@@ -464,6 +477,9 @@ impl<'a> SystemBuilder<'a> {
             machine.set_observer(observer);
         }
         machine.set_obs(self.obs);
+        if let Some(v) = self.validate {
+            machine.set_validate(v);
+        }
         machine.set_cycle_budget(self.cycle_budget);
         machine.set_reference_stepping(self.reference_stepping);
         machine

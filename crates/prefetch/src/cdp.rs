@@ -210,6 +210,7 @@ impl Prefetcher for ContentDirectedPrefetcher {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use sim_core::AccessKind;

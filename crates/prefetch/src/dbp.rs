@@ -95,14 +95,15 @@ impl DependenceBasedPrefetcher {
             return;
         }
         if self.ct.len() >= self.config.ct_entries {
-            let victim = self
+            if let Some(victim) = self
                 .ct
                 .iter()
                 .enumerate()
                 .min_by_key(|(_, e)| e.lru)
                 .map(|(i, _)| i)
-                .unwrap();
-            self.ct.swap_remove(victim);
+            {
+                self.ct.swap_remove(victim);
+            }
         }
         self.ct.push(CtEntry {
             producer_pc,

@@ -45,10 +45,17 @@ pub struct GhbPrefetcher {
     id: PrefetcherId,
     config: GhbConfig,
     level: Aggressiveness,
-    /// Miss block history (monotonically growing positions; the buffer
-    /// window is the last `buffer_entries`).
+    /// The tail of the miss-block history. Positions are *absolute*
+    /// (monotonically growing across the whole run); `base` is the
+    /// absolute position of `history[0]`, and entries older than the
+    /// buffer window are periodically compacted away so the vector
+    /// stays O(`buffer_entries`) instead of growing with the run.
     history: Vec<Addr>,
-    /// (delta1, delta2) -> last position at which that pair ended.
+    /// Absolute position of `history[0]`.
+    base: usize,
+    /// (delta1, delta2) -> last absolute position at which that pair
+    /// ended. Stale positions (outside the buffer window) are rejected
+    /// at lookup time.
     index: HashMap<(i64, i64), usize>,
 }
 
@@ -60,6 +67,7 @@ impl GhbPrefetcher {
             config,
             level: Aggressiveness::Aggressive,
             history: Vec::new(),
+            base: 0,
             index: HashMap::new(),
         }
     }
@@ -68,11 +76,48 @@ impl GhbPrefetcher {
         DEGREE_LEVELS[self.level.index()]
     }
 
+    /// Total misses recorded, i.e. the absolute position one past the
+    /// newest history entry.
+    fn total(&self) -> usize {
+        self.base + self.history.len()
+    }
+
+    /// The address delta ending at absolute position `pos`, if both
+    /// endpoints are still in the retained window.
     fn delta(&self, pos: usize) -> Option<i64> {
-        if pos == 0 || pos >= self.history.len() {
+        if pos <= self.base || pos >= self.total() {
             return None;
         }
-        Some(i64::from(self.history[pos]) - i64::from(self.history[pos - 1]))
+        let i = pos - self.base;
+        Some(i64::from(self.history[i]) - i64::from(self.history[i - 1]))
+    }
+
+    /// Number of history entries currently retained (bounded at
+    /// `4 * buffer_entries` by compaction — exposed for the storage
+    /// property tests).
+    pub fn history_len(&self) -> usize {
+        self.history.len()
+    }
+
+    /// Number of index-table entries (bounded at `index_entries`).
+    pub fn index_len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Drops history entries that can no longer be reached by any walk.
+    ///
+    /// A walk starting from an index match accesses positions no older
+    /// than `pos - buffer_entries` (older matches are rejected before
+    /// walking), so retaining the last `buffer_entries + 2` entries is
+    /// behavior-identical. Compacting only once the vector reaches 4x
+    /// the window keeps the amortized cost at O(1) per miss.
+    fn maybe_compact(&mut self) {
+        let keep = self.config.buffer_entries + 2;
+        if self.history.len() > (4 * self.config.buffer_entries).max(keep) {
+            let drop = self.history.len() - keep;
+            self.history.drain(..drop);
+            self.base += drop;
+        }
     }
 }
 
@@ -91,7 +136,8 @@ impl Prefetcher for GhbPrefetcher {
         }
         let block = block_of(ev.addr);
         self.history.push(block);
-        let pos = self.history.len() - 1;
+        self.maybe_compact();
+        let pos = self.total() - 1;
 
         // Current delta pair (d_{n-1}, d_n).
         let (Some(d2), Some(d1)) = (

@@ -74,6 +74,12 @@ impl JumpPointerPrefetcher {
     fn slot(&self, block: Addr) -> usize {
         ((block / sim_mem::BLOCK_BYTES) as usize) % self.config.entries
     }
+
+    /// Number of traversal-window entries currently held (bounded at
+    /// `interval + 1` — exposed for the storage property tests).
+    pub fn history_len(&self) -> usize {
+        self.history.len()
+    }
 }
 
 impl Prefetcher for JumpPointerPrefetcher {
@@ -96,9 +102,10 @@ impl Prefetcher for JumpPointerPrefetcher {
         // Record: the node visited `interval` hops ago jumps to this node.
         self.history.push_back(block);
         if self.history.len() > self.config.interval {
-            let past = self.history.pop_front().unwrap();
-            let slot = self.slot(past);
-            self.table[slot] = Some((past, block));
+            if let Some(past) = self.history.pop_front() {
+                let slot = self.slot(past);
+                self.table[slot] = Some((past, block));
+            }
         }
 
         // Fire: if this node has a recorded jump target, prefetch it

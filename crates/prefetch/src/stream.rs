@@ -153,14 +153,14 @@ impl StreamPrefetcher {
             .streams
             .iter()
             .position(|s| !s.valid)
-            .unwrap_or_else(|| {
+            .or_else(|| {
                 self.streams
                     .iter()
                     .enumerate()
                     .min_by_key(|(_, s)| s.last_touch)
                     .map(|(i, _)| i)
-                    .unwrap()
-            });
+            })
+            .expect("stream table is never empty");
         self.streams[slot] = StreamEntry {
             state: StreamState::Training {
                 first_block: block,

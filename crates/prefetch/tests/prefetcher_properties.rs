@@ -3,8 +3,8 @@
 use proptest::prelude::*;
 
 use prefetch::{
-    GhbConfig, GhbPrefetcher, MarkovConfig, MarkovPrefetcher, StreamConfig, StreamPrefetcher,
-    StrideConfig, StridePrefetcher,
+    GhbConfig, GhbPrefetcher, JumpPointerConfig, JumpPointerPrefetcher, MarkovConfig,
+    MarkovPrefetcher, StreamConfig, StreamPrefetcher, StrideConfig, StridePrefetcher,
 };
 use sim_core::{Addr, DemandAccess, PrefetchCtx, Prefetcher, PrefetcherId};
 use sim_mem::SimMemory;
@@ -109,5 +109,145 @@ proptest! {
         for r in reqs {
             prop_assert!(r != 0);
         }
+    }
+
+    /// GHB storage stays bounded on arbitrary miss streams: the history
+    /// window is compacted to O(buffer_entries) and the index table never
+    /// exceeds its configured capacity, no matter how long the run.
+    #[test]
+    fn ghb_storage_stays_bounded(
+        blocks in proptest::collection::vec(0u32..200_000, 1..600)
+    ) {
+        let cfg = GhbConfig { buffer_entries: 32, index_entries: 16 };
+        let mut pf = GhbPrefetcher::new(PrefetcherId(0), cfg);
+        let mem = SimMemory::new();
+        for (i, &b) in blocks.iter().enumerate() {
+            let addr = 0x4000_0000 + (b % 200_000) * 64;
+            let mut ctx = PrefetchCtx::new(&mem, i as u64);
+            pf.on_demand_access(&mut ctx, &DemandAccess {
+                pc: 0x10, addr, value: 0, hit: false, is_store: false, cycle: i as u64,
+            });
+            let _ = ctx.take_requests();
+            prop_assert!(
+                pf.history_len() <= 4 * cfg.buffer_entries,
+                "history grew to {} entries", pf.history_len()
+            );
+            prop_assert!(
+                pf.index_len() <= cfg.index_entries,
+                "index grew to {} entries", pf.index_len()
+            );
+        }
+    }
+
+    /// On strided miss streams GHB only ever prefetches *ahead*: it never
+    /// re-requests the block that triggered it.
+    #[test]
+    fn ghb_strided_streams_never_self_prefetch(
+        stride in 1u32..512, len in 4usize..100
+    ) {
+        let mut pf = GhbPrefetcher::new(PrefetcherId(0), GhbConfig::default());
+        let mem = SimMemory::new();
+        for i in 0..len {
+            let addr = 0x4000_0000 + (i as u32) * stride * 64;
+            let mut ctx = PrefetchCtx::new(&mem, i as u64);
+            pf.on_demand_access(&mut ctx, &DemandAccess {
+                pc: 0x10, addr, value: 0, hit: false, is_store: false, cycle: i as u64,
+            });
+            for r in ctx.take_requests() {
+                prop_assert!(
+                    sim_mem::block_of(r.addr) != sim_mem::block_of(addr),
+                    "self-prefetch of {:#x}", addr
+                );
+            }
+        }
+    }
+
+    /// Markov's per-miss fan-out is bounded by the configured successor
+    /// ways, and it never predicts the block that triggered it (recording
+    /// skips prev == current, so an entry never lists itself).
+    #[test]
+    fn markov_fanout_bounded_and_no_self_prefetch(
+        blocks in proptest::collection::vec(0u32..64, 1..300)
+    ) {
+        let cfg = MarkovConfig::default();
+        let mut pf = MarkovPrefetcher::new(PrefetcherId(0), cfg);
+        let mem = SimMemory::new();
+        for (i, &b) in blocks.iter().enumerate() {
+            let addr = 0x4000_0000 + b * 64;
+            let mut ctx = PrefetchCtx::new(&mem, i as u64);
+            pf.on_demand_access(&mut ctx, &DemandAccess {
+                pc: 0x10, addr, value: 0, hit: false, is_store: false, cycle: i as u64,
+            });
+            let reqs = ctx.take_requests();
+            prop_assert!(reqs.len() <= cfg.ways, "{} successors fired", reqs.len());
+            for r in reqs {
+                prop_assert!(
+                    sim_mem::block_of(r.addr) != sim_mem::block_of(addr),
+                    "self-prefetch of {:#x}", addr
+                );
+            }
+        }
+    }
+
+    /// The jump-pointer traversal window never grows past `interval`
+    /// entries, and the stored jump target fired on a revisit is never
+    /// the triggering block itself.
+    #[test]
+    fn jump_pointer_window_bounded_and_no_self_target(
+        blocks in proptest::collection::vec(0u32..4096, 1..400)
+    ) {
+        let cfg = JumpPointerConfig::default();
+        let mut pf = JumpPointerPrefetcher::new(PrefetcherId(0), cfg);
+        let mem = SimMemory::new();
+        for (i, &b) in blocks.iter().enumerate() {
+            let addr = 0x4000_0000 + b * 64;
+            let mut ctx = PrefetchCtx::new(&mem, i as u64);
+            pf.on_demand_access(&mut ctx, &DemandAccess {
+                pc: 0x10, addr, value: 0x4000_0040, hit: false, is_store: false, cycle: i as u64,
+            });
+            prop_assert!(
+                pf.history_len() <= cfg.interval,
+                "window grew to {} entries", pf.history_len()
+            );
+            if let Some(first) = ctx.take_requests().first() {
+                prop_assert!(
+                    sim_mem::block_of(first.addr) != sim_mem::block_of(addr),
+                    "jump target is the trigger {:#x}", addr
+                );
+            }
+        }
+    }
+
+    /// Replaying the identical miss stream on a fresh instance yields the
+    /// identical request sequence — no hidden state escapes a run.
+    #[test]
+    fn prefetchers_are_deterministic(
+        blocks in proptest::collection::vec(0u32..100_000, 1..300)
+    ) {
+        let addrs: Vec<Addr> = blocks.iter().map(|b| 0x4000_0000 + b * 64).collect();
+        let replay = |a: &mut dyn Prefetcher, b: &mut dyn Prefetcher| {
+            (drive(a, &addrs), drive(b, &addrs))
+        };
+        let id = PrefetcherId(0);
+        let (a, b) = replay(
+            &mut GhbPrefetcher::new(id, GhbConfig::default()),
+            &mut GhbPrefetcher::new(id, GhbConfig::default()),
+        );
+        prop_assert_eq!(a, b, "ghb diverged between identical runs");
+        let (a, b) = replay(
+            &mut MarkovPrefetcher::new(id, MarkovConfig::default()),
+            &mut MarkovPrefetcher::new(id, MarkovConfig::default()),
+        );
+        prop_assert_eq!(a, b, "markov diverged between identical runs");
+        let (a, b) = replay(
+            &mut StreamPrefetcher::new(id, StreamConfig::default()),
+            &mut StreamPrefetcher::new(id, StreamConfig::default()),
+        );
+        prop_assert_eq!(a, b, "stream diverged between identical runs");
+        let (a, b) = replay(
+            &mut JumpPointerPrefetcher::new(id, JumpPointerConfig::default()),
+            &mut JumpPointerPrefetcher::new(id, JumpPointerConfig::default()),
+        );
+        prop_assert_eq!(a, b, "jump-pointer diverged between identical runs");
     }
 }

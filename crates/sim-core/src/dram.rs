@@ -136,6 +136,18 @@ impl Dram {
         (self.row_hits, self.row_conflicts)
     }
 
+    /// Upper bound on how far cumulative bus busy-cycles
+    /// (`bus_transfers * bus_transfer_cycles`) can run ahead of the
+    /// current cycle: transfers are counted at scheduling time, and a
+    /// scheduled transfer's bus slot can lie in the future by one bank
+    /// access plus the serialized backlog of every other buffered request.
+    /// Used by the validate subsystem's bus-conservation invariant.
+    pub fn bus_busy_slack(&self) -> u64 {
+        self.config.controller_overhead
+            + self.config.row_conflict_cycles
+            + (self.capacity as u64 + 1) * self.config.bus_transfer_cycles
+    }
+
     /// Requests currently buffered or in flight.
     pub fn occupancy(&self) -> usize {
         self.queue.len() + self.in_flight.len()

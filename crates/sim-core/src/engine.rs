@@ -20,8 +20,8 @@ use crate::obs::{
     RunTrace, ThrottleTransition,
 };
 use crate::prefetcher::{
-    AccessKind, DemandAccess, FillEvent, PrefetchCtx, PrefetchObserver, PrefetchRequest,
-    Prefetcher, PrefetcherId,
+    AccessKind, Aggressiveness, DemandAccess, FillEvent, PrefetchCtx, PrefetchObserver,
+    PrefetchRequest, Prefetcher, PrefetcherId,
 };
 use crate::stats::{PrefetcherStats, RunStats};
 use crate::throttling::{
@@ -87,6 +87,10 @@ pub(crate) struct CoreSim {
     /// Observability collector; `None` (the default) keeps every hook on
     /// the hot path down to a pointer null-check.
     pub(crate) obs: Option<Box<ObsCollector>>,
+    /// Paper-conformance validator; `None` (the default without the
+    /// `validate` feature) keeps the hook down to a pointer null-check,
+    /// mirroring `obs`.
+    pub(crate) validate: Option<Box<crate::validate::RuntimeValidator>>,
     pub(crate) retired_ops: usize,
     /// Last cycle with *forward progress*: an instruction retired or an
     /// MSHR drained. Activity without progress (e.g. a prefetcher
@@ -139,6 +143,7 @@ impl CoreSim {
             last_interval_evictions: 0,
             stats,
             obs: None,
+            validate: crate::validate::default_runtime_validator(),
             retired_ops: 0,
             last_progress: 0,
         };
@@ -848,6 +853,7 @@ impl CoreSim {
         policy: &mut dyn ThrottlePolicy,
         now: u64,
         bus_transfers: u64,
+        bus_busy_slack: u64,
     ) {
         if self.l2.evictions() - self.last_interval_evictions < self.cfg.interval_evictions {
             return;
@@ -904,11 +910,14 @@ impl CoreSim {
         let decisions = policy.adjust(&feedback);
         debug_assert_eq!(decisions.len(), prefetchers.len());
         let interval = self.stats.intervals - 1;
-        let rationale = self.obs.as_ref().and_then(|_| {
-            policy
-                .decision_trace()
-                .map(<[crate::throttling::DecisionTrace]>::to_vec)
-        });
+        let rationale = (self.obs.is_some() || self.validate.is_some())
+            .then(|| {
+                policy
+                    .decision_trace()
+                    .map(<[crate::throttling::DecisionTrace]>::to_vec)
+            })
+            .flatten();
+        let mut validate_transitions: Vec<ThrottleTransition> = Vec::new();
         for (i, (p, d)) in prefetchers.iter_mut().zip(&decisions).enumerate() {
             let level = p.aggressiveness();
             match d {
@@ -916,9 +925,9 @@ impl CoreSim {
                 ThrottleDecision::Down => p.set_aggressiveness(level.down()),
                 ThrottleDecision::Keep => {}
             }
-            if let Some(o) = self.obs.as_deref_mut() {
+            if self.obs.is_some() || self.validate.is_some() {
                 let why = rationale.as_ref().and_then(|r| r.get(i));
-                o.record_transition(ThrottleTransition {
+                let transition = ThrottleTransition {
                     interval,
                     prefetcher: i as u8,
                     case: why.map_or(0, |w| w.case),
@@ -928,8 +937,29 @@ impl CoreSim {
                     decision: *d,
                     from_level: level,
                     to_level: p.aggressiveness(),
-                });
+                };
+                if self.validate.is_some() {
+                    validate_transitions.push(transition.clone());
+                }
+                if let Some(o) = self.obs.as_deref_mut() {
+                    o.record_transition(transition);
+                }
             }
+        }
+        if let Some(mut v) = self.validate.take() {
+            v.check_interval(&crate::validate::IntervalCheck {
+                interval,
+                cycle: now,
+                counters: &self.counters,
+                stats: &self.stats,
+                mshr_occupied: self.mshrs.occupied(),
+                mshr_capacity: self.cfg.l2_mshrs,
+                bus_transfers,
+                bus_transfer_cycles: self.cfg.dram.bus_transfer_cycles,
+                bus_busy_slack,
+                transitions: &validate_transitions,
+            });
+            self.validate = Some(v);
         }
 
         if let Some(mut o) = self.obs.take() {
@@ -1090,6 +1120,7 @@ pub struct Machine {
     observer: Option<Box<dyn PrefetchObserver>>,
     cycle_budget: Option<u64>,
     obs_config: Option<ObsConfig>,
+    validate_config: Option<crate::validate::ValidateConfig>,
     run_trace: Option<RunTrace>,
     no_skip: bool,
 }
@@ -1108,6 +1139,7 @@ impl Machine {
             observer: None,
             cycle_budget: None,
             obs_config: None,
+            validate_config: None,
             run_trace: None,
             no_skip: false,
         }
@@ -1162,6 +1194,44 @@ impl Machine {
         self
     }
 
+    /// Opts subsequent runs into (or, with
+    /// [`ValidateConfig::disabled`](crate::validate::ValidateConfig::disabled),
+    /// out of) the paper-conformance runtime invariants. Without an
+    /// explicit opt-in, runs are validated only when the `validate` cargo
+    /// feature is enabled. Violations fail the run with
+    /// [`SimError::InvariantViolation`] after it completes; the checks
+    /// themselves never perturb simulation state, so a validated run's
+    /// statistics are bit-identical to an unvalidated one's.
+    pub fn set_validate(&mut self, cfg: crate::validate::ValidateConfig) -> &mut Self {
+        self.validate_config = Some(cfg);
+        self
+    }
+
+    /// Sets every registered prefetcher's aggressiveness level (e.g. to
+    /// pin a static level for differential experiments; the default is
+    /// each prefetcher's own initial level).
+    pub fn set_initial_aggressiveness(&mut self, level: Aggressiveness) -> &mut Self {
+        for p in &mut self.prefetchers {
+            p.set_aggressiveness(level);
+        }
+        self
+    }
+
+    /// Sets one prefetcher's aggressiveness level by registration index
+    /// (for differential experiments over mixed static-level corners).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range for the registered prefetchers.
+    pub fn set_prefetcher_aggressiveness(
+        &mut self,
+        index: usize,
+        level: Aggressiveness,
+    ) -> &mut Self {
+        self.prefetchers[index].set_aggressiveness(level);
+        self
+    }
+
     /// Removes and returns the trace recorded by the most recent
     /// successful [`Machine::run`] with observability enabled.
     pub fn take_run_trace(&mut self) -> Option<RunTrace> {
@@ -1196,6 +1266,9 @@ impl Machine {
         if let Some(cfg) = &self.obs_config {
             core.obs = Some(Box::new(ObsCollector::new(*cfg)));
         }
+        if self.validate_config.is_some() {
+            core.validate = crate::validate::runtime_validator_for(self.validate_config.as_ref());
+        }
         self.run_trace = None;
         let mut dram = Dram::new(self.config.dram.clone(), 1);
         let mut observer: Box<dyn PrefetchObserver> = self
@@ -1224,6 +1297,7 @@ impl Machine {
                 self.throttle.as_mut(),
                 now,
                 dram.bus_transfers(),
+                dram.bus_busy_slack(),
             );
 
             // Watchdog: cycling without retiring or draining an MSHR for
@@ -1307,6 +1381,18 @@ impl Machine {
         }
         for (block_addr, pid) in resident {
             core.obs_lifecycle(now, LifecycleStage::Evicted, pid, block_addr, false);
+        }
+
+        if let Some(v) = core.validate.take() {
+            if let Err(e) = v.finish(
+                &core.stats,
+                now,
+                dram.bus_transfers(),
+                self.config.dram.bus_transfer_cycles,
+            ) {
+                self.observer = Some(observer);
+                return Err(e);
+            }
         }
 
         self.observer = Some(observer);

@@ -67,6 +67,7 @@ pub mod stats;
 pub mod throttling;
 pub mod trace;
 pub mod trace_io;
+pub mod validate;
 
 pub use cache::{Cache, CacheConfig, LineState};
 pub use config::{CoreConfig, DramConfig, DramScheduling, MachineConfig, RowPolicy};
@@ -84,8 +85,14 @@ pub use prefetcher::{
     PrefetchObserver, PrefetchRequest, Prefetcher, PrefetcherId, PrefetcherKind,
 };
 pub use stats::{PrefetcherStats, PrefetcherSummary, RunStats, StatsSummary};
-pub use throttling::{DecisionTrace, IntervalFeedback, ThrottleDecision, ThrottlePolicy};
+pub use throttling::{
+    AccuracyClass, DecisionTrace, IntervalFeedback, ThrottleDecision, ThrottlePolicy,
+    ThrottleThresholds, TABLE4_THRESHOLDS,
+};
 pub use trace::{OpKind, Trace, TraceBuilder, TraceOp};
+pub use validate::{
+    check_transition_step, rederive_transition, IntervalCheck, RuntimeValidator, ValidateConfig,
+};
 
 /// Re-export of the address type used throughout the simulator.
 pub use sim_mem::Addr;

@@ -101,6 +101,7 @@ pub struct MultiMachine {
     config: Arc<MachineConfig>,
     cores: Vec<CoreSetup>,
     obs_config: Option<ObsConfig>,
+    validate_config: Option<crate::validate::ValidateConfig>,
 }
 
 impl MultiMachine {
@@ -111,12 +112,23 @@ impl MultiMachine {
             config: config.into(),
             cores,
             obs_config: None,
+            validate_config: None,
         }
     }
 
     /// Enables observability collection on every core for subsequent runs.
     pub fn set_obs(&mut self, cfg: ObsConfig) -> &mut Self {
         self.obs_config = cfg.any().then_some(cfg);
+        self
+    }
+
+    /// Opts every core into (or out of) the paper-conformance runtime
+    /// invariants, mirroring [`crate::Machine::set_validate`]. Only the
+    /// interval-boundary checks run here: per-core statistics are
+    /// snapshotted mid-flight while rewound cores keep generating
+    /// contention, so the end-of-run exact decomposition does not apply.
+    pub fn set_validate(&mut self, cfg: crate::validate::ValidateConfig) -> &mut Self {
+        self.validate_config = Some(cfg);
         self
     }
 
@@ -155,6 +167,12 @@ impl MultiMachine {
         if let Some(cfg) = &self.obs_config {
             for sim in &mut sims {
                 sim.obs = Some(Box::new(ObsCollector::new(*cfg)));
+            }
+        }
+        if self.validate_config.is_some() {
+            for sim in &mut sims {
+                sim.validate =
+                    crate::validate::runtime_validator_for(self.validate_config.as_ref());
             }
         }
         let mut observer = NullObserver;
@@ -206,6 +224,7 @@ impl MultiMachine {
                     core.throttle.as_mut(),
                     now,
                     dram.bus_transfers_for(c as u8),
+                    dram.bus_busy_slack(),
                 );
                 if sims[c].finished(ops) {
                     if snapshots[c].is_none() {
@@ -264,6 +283,12 @@ impl MultiMachine {
             }
         }
         let _ = bus_at_start;
+
+        for sim in &mut sims {
+            if let Some(v) = sim.validate.take() {
+                v.into_error()?;
+            }
+        }
 
         let traces = if self.obs_config.is_some() {
             sims.iter_mut()

@@ -16,6 +16,89 @@
 
 use crate::prefetcher::Aggressiveness;
 
+/// The coordinated-throttling thresholds of the paper's Table 4.
+///
+/// This is the **single const table** shared by every consumer: the
+/// `throttle` crate's coordinated policy classifies decisions with it, and
+/// the validate subsystem re-derives logged Table 3 transitions from the
+/// same values — so the two can never drift apart.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThrottleThresholds {
+    /// Coverage at or above which coverage is "high" (`T_coverage`).
+    pub coverage: f64,
+    /// Accuracy below which accuracy is "low" (`A_low`).
+    pub accuracy_low: f64,
+    /// Accuracy at or above which accuracy is "high" (`A_high`).
+    pub accuracy_high: f64,
+}
+
+/// The paper's Table 4 values: `T_coverage` = 0.2, `A_low` = 0.4,
+/// `A_high` = 0.7.
+pub const TABLE4_THRESHOLDS: ThrottleThresholds = ThrottleThresholds {
+    coverage: 0.2,
+    accuracy_low: 0.4,
+    accuracy_high: 0.7,
+};
+
+impl Default for ThrottleThresholds {
+    fn default() -> Self {
+        TABLE4_THRESHOLDS
+    }
+}
+
+/// Accuracy band relative to [`ThrottleThresholds`]: the paper's
+/// Low / Medium / High classification used by Table 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccuracyClass {
+    /// `accuracy < A_low`.
+    Low,
+    /// `A_low <= accuracy < A_high`.
+    Medium,
+    /// `accuracy >= A_high`.
+    High,
+}
+
+impl ThrottleThresholds {
+    /// Classifies an accuracy value against `A_low`/`A_high`.
+    pub fn accuracy_class(&self, accuracy: f64) -> AccuracyClass {
+        if accuracy >= self.accuracy_high {
+            AccuracyClass::High
+        } else if accuracy < self.accuracy_low {
+            AccuracyClass::Low
+        } else {
+            AccuracyClass::Medium
+        }
+    }
+
+    /// The paper's Table 3 decision for one prefetcher, with the case
+    /// number (1–5) that fired.
+    ///
+    /// | Case | Own coverage | Own accuracy    | Rival coverage | Decision |
+    /// |------|--------------|-----------------|----------------|----------|
+    /// | 1    | High         | —               | —              | Up       |
+    /// | 2    | Low          | Low             | —              | Down     |
+    /// | 3    | Low          | Medium or High  | Low            | Up       |
+    /// | 4    | Low          | Medium          | High           | Down     |
+    /// | 5    | Low          | High            | High           | Keep     |
+    pub fn classify(
+        &self,
+        own_coverage: f64,
+        own_accuracy: f64,
+        rival_coverage: f64,
+    ) -> (ThrottleDecision, u8) {
+        if own_coverage >= self.coverage {
+            return (ThrottleDecision::Up, 1);
+        }
+        let rival_high = rival_coverage >= self.coverage;
+        match (self.accuracy_class(own_accuracy), rival_high) {
+            (AccuracyClass::Low, _) => (ThrottleDecision::Down, 2),
+            (AccuracyClass::Medium | AccuracyClass::High, false) => (ThrottleDecision::Up, 3),
+            (AccuracyClass::Medium, true) => (ThrottleDecision::Down, 4),
+            (AccuracyClass::High, true) => (ThrottleDecision::Keep, 5),
+        }
+    }
+}
+
 /// One prefetcher's feedback counters.
 #[derive(Debug, Clone, Default)]
 pub struct FeedbackCounters {
@@ -200,6 +283,36 @@ mod tests {
         c.record_used(true);
         assert_eq!(c.total_used, 2);
         assert_eq!(c.total_late, 1);
+    }
+
+    #[test]
+    fn table4_constants_match_the_paper() {
+        let t = TABLE4_THRESHOLDS;
+        assert_eq!(t.coverage, 0.2);
+        assert_eq!(t.accuracy_low, 0.4);
+        assert_eq!(t.accuracy_high, 0.7);
+        assert_eq!(ThrottleThresholds::default(), t);
+    }
+
+    #[test]
+    fn classify_covers_all_five_table3_cases() {
+        let t = ThrottleThresholds::default();
+        assert_eq!(t.classify(0.5, 0.0, 0.0), (ThrottleDecision::Up, 1));
+        assert_eq!(t.classify(0.1, 0.2, 0.0), (ThrottleDecision::Down, 2));
+        assert_eq!(t.classify(0.1, 0.5, 0.1), (ThrottleDecision::Up, 3));
+        assert_eq!(t.classify(0.1, 0.5, 0.6), (ThrottleDecision::Down, 4));
+        assert_eq!(t.classify(0.1, 0.9, 0.6), (ThrottleDecision::Keep, 5));
+    }
+
+    #[test]
+    fn boundary_values_classify_as_documented() {
+        let t = ThrottleThresholds::default();
+        // accuracy == A_high is high; accuracy == A_low is medium.
+        assert_eq!(t.accuracy_class(0.7), AccuracyClass::High);
+        assert_eq!(t.accuracy_class(0.4), AccuracyClass::Medium);
+        assert_eq!(t.accuracy_class(0.39), AccuracyClass::Low);
+        // coverage == T_coverage is high: case 1.
+        assert_eq!(t.classify(0.2, 0.0, 0.0), (ThrottleDecision::Up, 1));
     }
 
     #[test]

@@ -19,33 +19,12 @@
 use sim_core::{DecisionTrace, IntervalFeedback, ThrottleDecision, ThrottlePolicy};
 
 /// The thresholds of the paper's Table 4.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct Thresholds {
-    /// Coverage at or above which coverage is "high" (`T_coverage`).
-    pub coverage: f64,
-    /// Accuracy below which accuracy is "low" (`A_low`).
-    pub accuracy_low: f64,
-    /// Accuracy at or above which accuracy is "high" (`A_high`).
-    pub accuracy_high: f64,
-}
-
-impl Default for Thresholds {
-    fn default() -> Self {
-        // Paper Table 4.
-        Thresholds {
-            coverage: 0.2,
-            accuracy_low: 0.4,
-            accuracy_high: 0.7,
-        }
-    }
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum AccClass {
-    Low,
-    Medium,
-    High,
-}
+///
+/// This is the shared `sim_core` const table
+/// ([`sim_core::TABLE4_THRESHOLDS`]), re-exported under its historical
+/// name so the policy and the validate subsystem's Table 3 re-derivation
+/// can never disagree on the values.
+pub use sim_core::ThrottleThresholds as Thresholds;
 
 /// The coordinated throttling policy. See the module docs.
 ///
@@ -77,35 +56,17 @@ impl CoordinatedThrottle {
         }
     }
 
-    fn acc_class(&self, accuracy: f64) -> AccClass {
-        if accuracy >= self.thresholds.accuracy_high {
-            AccClass::High
-        } else if accuracy < self.thresholds.accuracy_low {
-            AccClass::Low
-        } else {
-            AccClass::Medium
-        }
-    }
-
     /// The Table 3 decision for one prefetcher, with the case number
-    /// (1–5) that fired.
+    /// (1–5) that fired. Delegates to the shared
+    /// [`sim_core::ThrottleThresholds::classify`] table.
     fn decide(
         &self,
         own_coverage: f64,
         own_accuracy: f64,
         rival_coverage: f64,
     ) -> (ThrottleDecision, u8) {
-        let cov_high = own_coverage >= self.thresholds.coverage;
-        if cov_high {
-            return (ThrottleDecision::Up, 1);
-        }
-        let rival_high = rival_coverage >= self.thresholds.coverage;
-        match (self.acc_class(own_accuracy), rival_high) {
-            (AccClass::Low, _) => (ThrottleDecision::Down, 2),
-            (AccClass::Medium | AccClass::High, false) => (ThrottleDecision::Up, 3),
-            (AccClass::Medium, true) => (ThrottleDecision::Down, 4),
-            (AccClass::High, true) => (ThrottleDecision::Keep, 5),
-        }
+        self.thresholds
+            .classify(own_coverage, own_accuracy, rival_coverage)
     }
 }
 
@@ -202,15 +163,18 @@ mod tests {
         assert_eq!(t.coverage, 0.2);
         assert_eq!(t.accuracy_low, 0.4);
         assert_eq!(t.accuracy_high, 0.7);
+        // The policy consumes the shared sim-core const table verbatim.
+        assert_eq!(t, sim_core::TABLE4_THRESHOLDS);
     }
 
     #[test]
     fn boundary_values_classify_as_documented() {
+        use sim_core::AccuracyClass;
         let p = policy();
         // accuracy == A_high is high; accuracy == A_low is medium.
-        assert_eq!(p.acc_class(0.7), AccClass::High);
-        assert_eq!(p.acc_class(0.4), AccClass::Medium);
-        assert_eq!(p.acc_class(0.39), AccClass::Low);
+        assert_eq!(p.thresholds.accuracy_class(0.7), AccuracyClass::High);
+        assert_eq!(p.thresholds.accuracy_class(0.4), AccuracyClass::Medium);
+        assert_eq!(p.thresholds.accuracy_class(0.39), AccuracyClass::Low);
         // coverage == T_coverage is high: case 1.
         assert_eq!(p.decide(0.2, 0.0, 0.0), (ThrottleDecision::Up, 1));
     }

@@ -57,15 +57,17 @@ impl Workload for Pfast {
             c.tb.setup(|mem| {
                 table = Some(
                     builders::build_hash_table_with_ratio(mem, heap, buckets, kmers, 1, 0.4, rng)
-                        .unwrap(),
+                        .expect("workload heap exhausted"),
                 );
-                genome = heap.alloc(genome_words * 4).unwrap();
+                genome = heap
+                    .alloc(genome_words * 4)
+                    .expect("workload heap exhausted");
                 for i in 0..genome_words {
                     mem.write_u32(genome + i * 4, rng.gen());
                 }
             });
         }
-        let table = table.unwrap();
+        let table = table.expect("built on the first outer iteration");
         let next_off = table.next_offset();
 
         for _ in 0..reads {

@@ -124,6 +124,7 @@ pub fn by_name(name: &str) -> Option<Box<dyn Workload>> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

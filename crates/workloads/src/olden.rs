@@ -56,9 +56,12 @@ impl Workload for Bisort {
         let heap = &mut c.heap;
         let rng = &mut c.rng;
         c.tb.setup(|mem| {
-            tree = Some(builders::build_binary_tree(mem, heap, depth, rng).unwrap());
+            tree = Some(
+                builders::build_binary_tree(mem, heap, depth, rng)
+                    .expect("workload heap exhausted"),
+            );
         });
-        let tree = tree.unwrap();
+        let tree = tree.expect("built on the first outer iteration");
         let root = tree.root;
 
         // Random root-to-leaf descents with subtree swaps: at half the
@@ -167,9 +170,10 @@ impl Workload for Health {
                 use rand::seq::SliceRandom;
                 let mut all_lists: Vec<Vec<Addr>> = Vec::with_capacity(villages);
                 for _ in 0..villages {
-                    heads.push(heap.alloc(8).unwrap());
-                    let mut nodes: Vec<Addr> =
-                        (0..patients_per).map(|_| heap.alloc(16).unwrap()).collect();
+                    heads.push(heap.alloc(8).expect("workload heap exhausted"));
+                    let mut nodes: Vec<Addr> = (0..patients_per)
+                        .map(|_| heap.alloc(16).expect("workload heap exhausted"))
+                        .collect();
                     nodes.shuffle(rng);
                     all_lists.push(nodes);
                 }
@@ -181,7 +185,7 @@ impl Workload for Health {
                         // the chain's pointer groups stay majority-useful
                         // while the record group stays harmful.
                         let record = if rng.gen_bool(0.5) {
-                            heap.alloc(24).unwrap()
+                            heap.alloc(24).expect("workload heap exhausted")
                         } else {
                             0
                         };
@@ -280,11 +284,11 @@ impl Workload for Mst {
                 // beneficial bar while the data groups stay harmful.
                 table = Some(
                     builders::build_hash_table_with_ratio(mem, heap, buckets, keys, 2, 0.35, rng)
-                        .unwrap(),
+                        .expect("workload heap exhausted"),
                 );
             });
         }
-        let table = table.unwrap();
+        let table = table.expect("built on the first outer iteration");
         let next_off = table.next_offset();
 
         for _ in 0..lookups {
@@ -356,10 +360,13 @@ impl Workload for Perimeter {
             let heap = &mut c.heap;
             let rng = &mut c.rng;
             c.tb.setup(|mem| {
-                tree = Some(builders::build_quadtree(mem, heap, depth, rng).unwrap());
+                tree = Some(
+                    builders::build_quadtree(mem, heap, depth, rng)
+                        .expect("workload heap exhausted"),
+                );
             });
         }
-        let tree = tree.unwrap();
+        let tree = tree.expect("built on the first outer iteration");
 
         for _ in 0..passes {
             // Iterative DFS carrying the dependence of the pointer load
@@ -423,7 +430,7 @@ impl Workload for Voronoi {
             let rng = &mut c.rng;
             c.tb.setup(|mem| {
                 for _ in 0..edges {
-                    nodes.push(heap.alloc(24).unwrap());
+                    nodes.push(heap.alloc(24).expect("workload heap exhausted"));
                 }
                 // Connect the edges in a random ring (a DCEL built by a
                 // divide-and-conquer algorithm has no allocation-order

@@ -49,10 +49,13 @@ impl Workload for Treeadd {
             let heap = &mut c.heap;
             let rng = &mut c.rng;
             c.tb.setup(|mem| {
-                tree = Some(builders::build_binary_tree(mem, heap, depth, rng).unwrap());
+                tree = Some(
+                    builders::build_binary_tree(mem, heap, depth, rng)
+                        .expect("workload heap exhausted"),
+                );
             });
         }
-        let tree = tree.unwrap();
+        let tree = tree.expect("built on the first outer iteration");
 
         // Iterative post-order sum.
         let mut stack: Vec<(Addr, Option<sim_core::trace::LoadId>)> = vec![(tree.root, None)];
@@ -113,9 +116,11 @@ impl Workload for Em3d {
             let heap = &mut c.heap;
             let rng = &mut c.rng;
             c.tb.setup(|mem| {
-                hnodes = (0..nodes).map(|_| heap.alloc(8).unwrap()).collect();
+                hnodes = (0..nodes)
+                    .map(|_| heap.alloc(8).expect("workload heap exhausted"))
+                    .collect();
                 for &n in &hnodes {
-                    let deps = heap.alloc(degree * 4).unwrap();
+                    let deps = heap.alloc(degree * 4).expect("workload heap exhausted");
                     mem.write_u32(n, rng.gen::<u32>() & 0xFFFF);
                     mem.write_u32(n + 4, deps);
                     for d in 0..degree {
@@ -169,7 +174,7 @@ impl Workload for Tsp {
             let heap = &mut c.heap;
             let rng = &mut c.rng;
             c.tb.setup(|mem| {
-                coords = heap.alloc(cities * 8).unwrap();
+                coords = heap.alloc(cities * 8).expect("workload heap exhausted");
                 for i in 0..cities * 2 {
                     mem.write_u32(coords + i * 4, rng.gen::<u32>() & 0xFFFF);
                 }
@@ -215,8 +220,8 @@ impl Workload for Power {
             let rng = &mut c.rng;
             c.tb.setup(|mem| {
                 for _ in 0..laterals {
-                    let list =
-                        builders::build_list(mem, heap, branches as usize, 3, false, rng).unwrap();
+                    let list = builders::build_list(mem, heap, branches as usize, 3, false, rng)
+                        .expect("workload heap exhausted");
                     heads.push(list.head);
                 }
             });

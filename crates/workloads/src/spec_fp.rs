@@ -47,13 +47,16 @@ impl Workload for Art {
             let heap = &mut c.heap;
             let rng = &mut c.rng;
             c.tb.setup(|mem| {
-                weights = heap.alloc(neurons * features * 4).unwrap();
-                f1 = heap.alloc(features * 4).unwrap();
+                weights = heap
+                    .alloc(neurons * features * 4)
+                    .expect("workload heap exhausted");
+                f1 = heap.alloc(features * 4).expect("workload heap exhausted");
                 for i in 0..neurons * features {
                     mem.write_u32(weights + i * 4, rng.gen());
                 }
                 // Small winner list: {score, next} nodes.
-                let list = sim_mem::builders::build_list(mem, heap, 64, 1, true, rng).unwrap();
+                let list = sim_mem::builders::build_list(mem, heap, 64, 1, true, rng)
+                    .expect("workload heap exhausted");
                 winner_head = list.head;
             });
         }
@@ -132,7 +135,7 @@ impl Workload for Ammp {
             c.tb.setup(|mem| {
                 let mut nodes: Vec<Addr> = Vec::with_capacity(atoms);
                 for _ in 0..atoms {
-                    nodes.push(heap.alloc(64).unwrap());
+                    nodes.push(heap.alloc(64).expect("workload heap exhausted"));
                 }
                 use rand::seq::SliceRandom;
                 nodes.shuffle(rng);
@@ -142,7 +145,7 @@ impl Workload for Ammp {
                         // look like heap pointers to the compare-bits check.
                         mem.write_u32(a + w * 4, rng.gen::<u32>() & 0x00FF_FFFF);
                     }
-                    let nlist = heap.alloc(neighbours * 4).unwrap();
+                    let nlist = heap.alloc(neighbours * 4).expect("workload heap exhausted");
                     for k in 0..neighbours {
                         mem.write_u32(nlist + k * 4, rng.gen::<u32>() & 0x00FF_FFFF);
                     }

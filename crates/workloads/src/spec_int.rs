@@ -60,15 +60,15 @@ impl Workload for Perlbench {
             c.tb.setup(|mem| {
                 table = Some(
                     builders::build_hash_table_with_ratio(mem, heap, buckets, keys, 1, 0.4, rng)
-                        .unwrap(),
+                        .expect("workload heap exhausted"),
                 );
-                optab = heap.alloc(4096).unwrap();
+                optab = heap.alloc(4096).expect("workload heap exhausted");
                 for i in 0..1024 {
                     mem.write_u32(optab + i * 4, rng.gen());
                 }
             });
         }
-        let table = table.unwrap();
+        let table = table.expect("built on the first outer iteration");
         let next_off = table.next_offset();
 
         for _ in 0..ops {
@@ -149,16 +149,18 @@ impl Workload for Gcc {
             let rng = &mut c.rng;
             c.tb.setup(|mem| {
                 use rand::seq::SliceRandom;
-                ir = heap.alloc(ir_words * 4).unwrap();
+                ir = heap.alloc(ir_words * 4).expect("workload heap exhausted");
                 for i in 0..ir_words {
                     mem.write_u32(ir + i * 4, rng.gen::<u32>() & 0xFFFF);
                 }
                 let mut values = Vec::with_capacity(120_000);
                 for _ in 0..120_000u32 {
-                    values.push(heap.alloc(16).unwrap());
+                    values.push(heap.alloc(16).expect("workload heap exhausted"));
                 }
                 let total = blocks * insns_per_block;
-                let mut insns: Vec<Addr> = (0..total).map(|_| heap.alloc(16).unwrap()).collect();
+                let mut insns: Vec<Addr> = (0..total)
+                    .map(|_| heap.alloc(16).expect("workload heap exhausted"))
+                    .collect();
                 insns.shuffle(rng);
                 for (b, chunk) in insns.chunks(insns_per_block).enumerate() {
                     for (k, &insn) in chunk.iter().enumerate() {
@@ -255,10 +257,13 @@ impl Workload for Mcf {
             let heap = &mut c.heap;
             let rng = &mut c.rng;
             c.tb.setup(|mem| {
-                graph = Some(builders::build_graph(mem, heap, nodes, 8, rng).unwrap());
+                graph = Some(
+                    builders::build_graph(mem, heap, nodes, 8, rng)
+                        .expect("workload heap exhausted"),
+                );
             });
         }
-        let graph = graph.unwrap();
+        let graph = graph.expect("built on the first outer iteration");
 
         let mut cur = graph.nodes[0];
         let mut dep = None;
@@ -325,10 +330,13 @@ impl Workload for Astar {
             let heap = &mut c.heap;
             let rng = &mut c.rng;
             c.tb.setup(|mem| {
-                graph = Some(builders::build_graph(mem, heap, nodes, 8, rng).unwrap());
+                graph = Some(
+                    builders::build_graph(mem, heap, nodes, 8, rng)
+                        .expect("workload heap exhausted"),
+                );
             });
         }
-        let graph = graph.unwrap();
+        let graph = graph.expect("built on the first outer iteration");
 
         let mut cur = graph.nodes[0];
         let mut dep = None;
@@ -419,15 +427,16 @@ impl Workload for Xalancbmk {
             let heap = &mut c.heap;
             let rng = &mut c.rng;
             c.tb.setup(|mem| {
-                let mut prev: Vec<Addr> = vec![heap.alloc(node_size).unwrap()];
+                let mut prev: Vec<Addr> =
+                    vec![heap.alloc(node_size).expect("workload heap exhausted")];
                 levels.push(prev.clone());
                 for _ in 1..=depth {
                     let mut level = Vec::new();
                     for &parent in &prev {
                         for k in 0..fanout {
-                            let child = heap.alloc(node_size).unwrap();
+                            let child = heap.alloc(node_size).expect("workload heap exhausted");
                             mem.write_u32(child, rng.gen::<u32>() & 0xFFF);
-                            let attr = heap.alloc(16).unwrap();
+                            let attr = heap.alloc(16).expect("workload heap exhausted");
                             mem.write_u32(child + 4, attr);
                             mem.write_u32(parent + 8 + k * 4, child);
                             level.push(child);
@@ -507,18 +516,18 @@ impl Workload for Omnetpp {
             c.tb.setup(|mem| {
                 let mut gates = Vec::new();
                 for _ in 0..4096 {
-                    let g = heap.alloc(16).unwrap();
-                    let module = heap.alloc(32).unwrap();
+                    let g = heap.alloc(16).expect("workload heap exhausted");
+                    let module = heap.alloc(32).expect("workload heap exhausted");
                     mem.write_u32(g, rng.gen());
                     mem.write_u32(g + 4, module);
                     gates.push(g);
                 }
-                heap_arr = heap.alloc(events * 4).unwrap();
+                heap_arr = heap.alloc(events * 4).expect("workload heap exhausted");
                 for i in 0..events {
                     // Event: {time, gate_ptr, payload...} = 32 bytes, with
                     // bounded timestamps/payloads that never pass the
                     // compare-bits pointer test.
-                    let ev = heap.alloc(32).unwrap();
+                    let ev = heap.alloc(32).expect("workload heap exhausted");
                     mem.write_u32(ev, rng.gen::<u32>() & 0x00FF_FFFF);
                     mem.write_u32(ev + 4, gates[rng.gen_range(0..gates.len())]);
                     for w in 2..8 {
@@ -598,14 +607,14 @@ impl Workload for Parser {
             let heap = &mut c.heap;
             let rng = &mut c.rng;
             c.tb.setup(|mem| {
-                root = heap.alloc(node_size).unwrap();
+                root = heap.alloc(node_size).expect("workload heap exhausted");
                 let mut frontier = vec![root];
                 for _ in 0..depth {
                     let mut next = Vec::new();
                     for &n in &frontier {
                         mem.write_u32(n, rng.gen::<u32>() & 0xFF);
                         for k in 0..fanout {
-                            let ch = heap.alloc(node_size).unwrap();
+                            let ch = heap.alloc(node_size).expect("workload heap exhausted");
                             mem.write_u32(n + 8 + k * 4, ch);
                             next.push(ch);
                         }

@@ -14,7 +14,7 @@ fn alloc_array(c: &mut Ctx, words: u32) -> Addr {
     let rng = &mut c.rng;
     let mut base = 0;
     c.tb.setup(|mem| {
-        base = heap.alloc(words * 4).unwrap();
+        base = heap.alloc(words * 4).expect("workload heap exhausted");
         for i in 0..words {
             mem.write_u32(base + i * 4, rng.gen());
         }
