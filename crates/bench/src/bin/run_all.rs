@@ -132,13 +132,15 @@ fn run_bench(args: &RunAllArgs) -> ! {
         .unwrap_or_else(|| "BENCH_hotpath.json".to_string());
     let t = Instant::now();
     eprintln!(
-        "[run_all] benching {} cells ({} workloads x {} systems, {input:?} input{}) ...",
+        "[run_all] benching {} cells ({} workloads x {} systems, {input:?} input{}{}) ...",
         workloads.len() * systems.len(),
         workloads.len(),
         systems.len(),
         if args.no_skip { ", no-skip" } else { "" },
+        if args.warm_fork { ", warm-fork" } else { "" },
     );
-    let report = bench::run_hotpath_bench(&workloads, input, &systems, args.no_skip);
+    let report =
+        bench::run_hotpath_bench(&workloads, input, &systems, args.no_skip, args.warm_fork);
     eprintln!(
         "[run_all] bench: {:.1} cells/sec, {:.2e} cycles/sec, peak RSS {} in {:.1?}",
         report.cells_per_sec,
@@ -164,6 +166,16 @@ fn run_bench(args: &RunAllArgs) -> ! {
             "[run_all] within 20% of baseline {baseline_path} ({:.1} cells/sec)",
             baseline.cells_per_sec
         );
+        // Against a cold baseline, warm-fork must actually pay for
+        // itself: ≥2x cells/sec, or the checkpoint path regressed.
+        if report.warm_fork && !baseline.warm_fork {
+            let ratio = report.cells_per_sec / baseline.cells_per_sec.max(1e-9);
+            eprintln!("[run_all] warm-fork speedup over cold baseline: {ratio:.2}x");
+            if ratio < 2.0 {
+                eprintln!("[run_all] warm-fork speedup below the 2x floor");
+                std::process::exit(1);
+            }
+        }
     }
     std::process::exit(0);
 }

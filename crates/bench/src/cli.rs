@@ -7,7 +7,8 @@
 
 /// Usage line printed on `--help` and on every parse error.
 pub const USAGE: &str = "usage: run_all [--jobs N] [--filter SUBSTR] [--resume] [--sweep]
-               [--bench] [--validate] [--no-skip] [--trace-dir DIR] [output.md]
+               [--bench] [--validate] [--no-skip] [--warm-fork]
+               [--trace-dir DIR] [output.md]
 
   --jobs N        worker threads (default: $BENCH_JOBS or available parallelism)
   --filter SUBSTR only generate report sections whose name contains SUBSTR;
@@ -24,6 +25,9 @@ pub const USAGE: &str = "usage: run_all [--jobs N] [--filter SUBSTR] [--resume] 
                   path); exit 2 when any property is violated
   --no-skip       with --bench: run the cycle-by-cycle reference stepper
                   instead of the event-skipping engine (for comparison)
+  --warm-fork     with --bench: time only the portion of each cell after
+                  a warm checkpoint at 70% of its cycles (the per-variant
+                  cost of a sweep row with checkpoints on disk)
   --trace-dir DIR run sweep cells with the observability layer enabled and
                   write per-cell timeseries.json + obs.jsonl under DIR
   output.md       report path (default: EXPERIMENTS.md)";
@@ -45,6 +49,8 @@ pub struct RunAllArgs {
     pub validate: bool,
     /// With `bench`: disable event skip-ahead (reference stepper).
     pub no_skip: bool,
+    /// With `bench`: time only the warm-forked tail of each cell.
+    pub warm_fork: bool,
     /// Directory for per-cell observability artifacts; enables tracing.
     pub trace_dir: Option<String>,
     /// Report output path; `None` means `EXPERIMENTS.md`.
@@ -96,6 +102,7 @@ where
             "--bench" => parsed.bench = true,
             "--validate" => parsed.validate = true,
             "--no-skip" => parsed.no_skip = true,
+            "--warm-fork" => parsed.warm_fork = true,
             "--trace-dir" => {
                 let v = args.next().ok_or("--trace-dir requires a value")?;
                 if v.is_empty() {
@@ -117,6 +124,9 @@ where
     }
     if parsed.no_skip && !parsed.bench {
         return Err("--no-skip only makes sense with --bench".to_string());
+    }
+    if parsed.warm_fork && !parsed.bench {
+        return Err("--warm-fork only makes sense with --bench".to_string());
     }
     if parsed.validate && (parsed.bench || parsed.sweep_only) {
         return Err("--validate cannot be combined with --bench or --sweep".to_string());
@@ -198,6 +208,23 @@ mod tests {
             }))
         );
         assert!(parse(&["--no-skip"]).is_err(), "--no-skip requires --bench");
+    }
+
+    #[test]
+    fn parses_warm_fork_flag() {
+        let p = parse(&["--bench", "--warm-fork"]);
+        assert_eq!(
+            p,
+            Ok(Parsed::Run(RunAllArgs {
+                bench: true,
+                warm_fork: true,
+                ..RunAllArgs::default()
+            }))
+        );
+        assert!(
+            parse(&["--warm-fork"]).is_err(),
+            "--warm-fork requires --bench"
+        );
     }
 
     #[test]

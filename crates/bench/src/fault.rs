@@ -13,7 +13,8 @@
 //! action@workload:input:system[=ms]
 //! ```
 //!
-//! * `action` is `panic`, `livelock` or `slow` (only `slow` takes `=ms`);
+//! * `action` is `panic`, `livelock`, `slow` or `corrupt-checkpoint`
+//!   (only `slow` takes `=ms`);
 //! * `workload` is a workload name, `input` is `train`/`ref`/`test`,
 //!   `system` is a system label (`SystemKind::label`);
 //! * any of the three selectors may be `*` to match everything.
@@ -36,6 +37,10 @@ pub enum FaultAction {
     /// Sleep this many milliseconds before the real run (scheduling
     /// jitter for the executor tests).
     Slow(u64),
+    /// Flip a byte of the cell's on-disk warm checkpoint before it is
+    /// parsed, so the snapshot CRC check rejects it and the lab's
+    /// cold-run fallback path runs for real.
+    CorruptCheckpoint,
 }
 
 /// One `action@workload:input:system` entry of a plan.
@@ -114,6 +119,10 @@ impl FaultPlan {
                 ("slow", Some(ms)) => FaultAction::Slow(ms),
                 ("slow", None) => {
                     return Err(format!("fault entry {entry:?} needs '=<ms>' for slow"))
+                }
+                ("corrupt-checkpoint", None) => FaultAction::CorruptCheckpoint,
+                ("corrupt-checkpoint", Some(_)) => {
+                    return Err(format!("fault entry {entry:?} takes no duration"))
                 }
                 (other, _) => return Err(format!("unknown fault action {other:?} in {entry:?}")),
             };
@@ -220,6 +229,13 @@ mod tests {
         assert!(FaultPlan::parse("slow@a:b:c").is_err());
         assert!(FaultPlan::parse("slow@a:b:c=fast").is_err());
         assert!(FaultPlan::parse("panic mst").is_err());
+        assert!(FaultPlan::parse("corrupt-checkpoint@a:b:c=3").is_err());
+        assert_eq!(
+            FaultPlan::parse("corrupt-checkpoint@mst:test:stream")
+                .expect("valid")
+                .action_for("mst", InputSet::Test, SystemKind::StreamOnly),
+            Some(FaultAction::CorruptCheckpoint)
+        );
     }
 
     #[test]

@@ -47,6 +47,12 @@ pub struct HotpathReport {
     /// True if the grid ran with the cycle-by-cycle reference stepper
     /// (`--no-skip`) instead of the event-skipping engine.
     pub no_skip: bool,
+    /// True if each cell's timing covers only the portion *after* a warm
+    /// checkpoint (`--warm-fork`): the cell is checkpointed at 70 % of
+    /// its cold cycle count and only the forked tail is timed. This is
+    /// the sweep-row view — what a `SweepPlan` pays per variant when
+    /// checkpoints are already on disk.
+    pub warm_fork: bool,
     /// Per-cell timings.
     pub cells: Vec<HotpathCell>,
     /// Total simulation wall seconds (sum over cells).
@@ -68,6 +74,7 @@ impl HotpathReport {
             ("schema_version", Json::Num(1.0)),
             ("input", Json::Str(self.input.clone())),
             ("no_skip", Json::Bool(self.no_skip)),
+            ("warm_fork", Json::Bool(self.warm_fork)),
             (
                 "cells",
                 Json::Arr(
@@ -137,6 +144,8 @@ impl HotpathReport {
         Ok(HotpathReport {
             input: str_field(v, "input")?,
             no_skip: matches!(v.get("no_skip"), Some(Json::Bool(true))),
+            // Absent in pre-warm-fork baselines: default false.
+            warm_fork: matches!(v.get("warm_fork"), Some(Json::Bool(true))),
             cells,
             wall_seconds: num_field(v, "wall_seconds")?,
             total_cycles: int_field(v, "total_cycles")?,
@@ -183,6 +192,12 @@ pub fn peak_rss_bytes() -> Option<u64> {
 /// Traces are generated (and dropped from the timing) up front; every
 /// cell then runs once through [`SystemBuilder`] with empty artifacts.
 ///
+/// With `warm_fork`, each cell is first run cold *untimed* to learn its
+/// length and capture a warm snapshot at 70 % of it; the timed portion
+/// is only the run forked from that snapshot. The forked run's cycle
+/// count is asserted identical to the cold run's, so a snapshot bug
+/// shows up as a loud failure, not a silently faster benchmark.
+///
 /// # Panics
 ///
 /// Panics on an unknown workload name or a failing simulation — the
@@ -192,6 +207,7 @@ pub fn run_hotpath_bench(
     input: InputSet,
     systems: &[SystemKind],
     no_skip: bool,
+    warm_fork: bool,
 ) -> HotpathReport {
     let artifacts = CompilerArtifacts::empty();
     let traces: Vec<_> = workloads
@@ -204,18 +220,54 @@ pub fn run_hotpath_bench(
     let mut cells = Vec::with_capacity(traces.len() * systems.len());
     for (name, trace) in &traces {
         for &system in systems {
-            let t = Instant::now();
-            let run = SystemBuilder::new(system)
-                .artifacts(&artifacts)
-                .reference_stepping(no_skip)
-                .run(trace)
-                .unwrap_or_else(|e| panic!("bench cell {name}/{}: {e}", system.label()));
+            let build = || {
+                SystemBuilder::new(system)
+                    .artifacts(&artifacts)
+                    .reference_stepping(no_skip)
+            };
+            let die = |e: sim_core::SimError| -> ! {
+                panic!("bench cell {name}/{}: {e}", system.label())
+            };
+            let (run, wall_ms) = if warm_fork {
+                // Untimed: learn the cell's length, then capture a warm
+                // snapshot at 70 % of it.
+                let cold = build().run(trace).unwrap_or_else(|e| die(e));
+                let checkpoint = (cold.stats.cycles * 7 / 10).max(1);
+                let warm = build()
+                    .warm_checkpoint(checkpoint)
+                    .run(trace)
+                    .unwrap_or_else(|e| die(e));
+                let snapshot = warm.snapshot.unwrap_or_else(|| {
+                    panic!(
+                        "bench cell {name}/{}: no snapshot at cycle {checkpoint}",
+                        system.label()
+                    )
+                });
+                // Timed: only the forked tail.
+                let t = Instant::now();
+                let run = build()
+                    .fork_from(&snapshot)
+                    .run(trace)
+                    .unwrap_or_else(|e| die(e));
+                let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+                assert_eq!(
+                    run.stats,
+                    cold.stats,
+                    "warm-forked bench cell {name}/{} diverged from its cold run",
+                    system.label()
+                );
+                (run, wall_ms)
+            } else {
+                let t = Instant::now();
+                let run = build().run(trace).unwrap_or_else(|e| die(e));
+                (run, t.elapsed().as_secs_f64() * 1e3)
+            };
             cells.push(HotpathCell {
                 workload: name.clone(),
                 system: system.label().to_string(),
                 cycles: run.stats.cycles,
                 retired: run.stats.retired_instructions,
-                wall_ms: t.elapsed().as_secs_f64() * 1e3,
+                wall_ms,
             });
         }
     }
@@ -225,6 +277,7 @@ pub fn run_hotpath_bench(
     HotpathReport {
         input: format!("{input:?}").to_lowercase(),
         no_skip,
+        warm_fork,
         cells_per_sec: cells.len() as f64 / denom,
         cycles_per_sec: total_cycles as f64 / denom,
         peak_rss_bytes: peak_rss_bytes(),
@@ -242,6 +295,7 @@ mod tests {
         HotpathReport {
             input: "test".to_string(),
             no_skip: false,
+            warm_fork: false,
             cells: vec![HotpathCell {
                 workload: "mst".to_string(),
                 system: "stream".to_string(),
@@ -292,6 +346,7 @@ mod tests {
             InputSet::Test,
             &[SystemKind::NoPrefetch, SystemKind::StreamOnly],
             false,
+            false,
         );
         assert_eq!(r.cells.len(), 2);
         assert_eq!(
@@ -301,5 +356,40 @@ mod tests {
         assert!(r.cells_per_sec > 0.0);
         assert!(r.cycles_per_sec > 0.0);
         assert_eq!(r.input, "test");
+        assert!(!r.warm_fork);
+    }
+
+    #[test]
+    fn warm_fork_grid_reports_the_same_cycles() {
+        let grid = ["libquantum".to_string()];
+        let systems = [SystemKind::StreamOnly, SystemKind::StreamEcdpThrottled];
+        let cold = run_hotpath_bench(&grid, InputSet::Test, &systems, false, false);
+        let forked = run_hotpath_bench(&grid, InputSet::Test, &systems, false, true);
+        assert!(forked.warm_fork);
+        // The forked grid simulates the same cells to the same cycle
+        // counts — only the timed portion shrinks.
+        assert_eq!(cold.total_cycles, forked.total_cycles);
+        for (c, f) in cold.cells.iter().zip(&forked.cells) {
+            assert_eq!(c.cycles, f.cycles, "{}/{}", c.workload, c.system);
+            assert_eq!(c.retired, f.retired, "{}/{}", c.workload, c.system);
+        }
+    }
+
+    #[test]
+    fn warm_fork_flag_round_trips_and_defaults_false() {
+        let mut r = sample_report();
+        r.warm_fork = true;
+        let text = r.to_json().to_string_pretty();
+        let back = HotpathReport::from_json(&Json::parse(&text).expect("parse")).expect("decode");
+        assert!(back.warm_fork);
+        // A pre-warm-fork baseline (no field at all) parses as false.
+        let legacy = sample_report();
+        let mut v = legacy.to_json();
+        if let Json::Obj(pairs) = &mut v {
+            pairs.retain(|(k, _)| k != "warm_fork");
+        }
+        let back = HotpathReport::from_json(&Json::parse(&v.to_string_pretty()).expect("parse"))
+            .expect("decode");
+        assert!(!back.warm_fork);
     }
 }

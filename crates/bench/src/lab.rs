@@ -17,13 +17,13 @@
 
 use std::collections::HashMap;
 use std::hash::Hash;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Instant;
 
 use ecdp::profile::{profile_workload, PgProfile};
-use ecdp::system::{CompilerArtifacts, SystemBuilder, SystemKind};
-use sim_core::{ObsConfig, RunStats, RunTrace, SimError, Trace};
+use ecdp::system::{CompilerArtifacts, SystemBuilder, SystemKind, SystemRun};
+use sim_core::{ObsConfig, RunStats, RunTrace, SimError, Snapshot, Trace};
 use workloads::{by_name, InputSet};
 
 use crate::fault::{FaultAction, FaultPlan};
@@ -106,15 +106,122 @@ impl<K: Eq + Hash + Clone, V: Clone> OnceMap<K, V> {
     }
 }
 
+/// On-disk warm-checkpoint store configuration.
+///
+/// With a store configured, each sweep cell's first run captures a
+/// warm-state [`Snapshot`] after `warm_cycles` simulated cycles and
+/// writes it to `dir`; later runs of the same cell (typically from
+/// another process — the in-process result cache already deduplicates
+/// within one) fork from the stored snapshot instead of re-simulating
+/// the warmup. Results are bit-identical either way (see
+/// `bench::difftest`), so the store is purely a wall-clock optimization,
+/// like `BENCH_TRACE_CACHE` is for trace generation.
+///
+/// Checkpoints are keyed by workload, input, system, machine-config
+/// hash and warm-cycle count. A corrupt, truncated or stale file is
+/// *never* fatal: the lab falls back to a cold run for that cell,
+/// rewrites the checkpoint, and records the disposition in the cell's
+/// manifest record (`checkpoint: "fallback:<reason>"`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointConfig {
+    /// Directory holding `.snap` files (created on demand).
+    pub dir: PathBuf,
+    /// Cycle count at which the warm snapshot is captured.
+    pub warm_cycles: u64,
+}
+
+impl CheckpointConfig {
+    /// Default capture point when `BENCH_WARM_CYCLES` is unset: late
+    /// enough that prefetcher tables and caches are warm on the test
+    /// inputs, early enough that most runs have not finished.
+    pub const DEFAULT_WARM_CYCLES: u64 = 200_000;
+
+    /// Creates a store rooted at `dir` capturing after `warm_cycles`.
+    pub fn new(dir: impl Into<PathBuf>, warm_cycles: u64) -> Self {
+        CheckpointConfig {
+            dir: dir.into(),
+            warm_cycles,
+        }
+    }
+
+    /// The store configured via `BENCH_CHECKPOINT_DIR` (and optionally
+    /// `BENCH_WARM_CYCLES`), or `None` when unset.
+    pub fn from_env() -> Option<Self> {
+        let dir = std::env::var_os("BENCH_CHECKPOINT_DIR")?;
+        let warm_cycles = std::env::var("BENCH_WARM_CYCLES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(Self::DEFAULT_WARM_CYCLES);
+        Some(CheckpointConfig::new(PathBuf::from(dir), warm_cycles))
+    }
+
+    /// The checkpoint file for one sweep cell. The machine-config hash
+    /// and warm-cycle count are part of the key, so a config change or
+    /// a different capture point misses cleanly instead of loading a
+    /// mismatched snapshot.
+    pub fn cell_path(&self, name: &str, input: InputSet, kind: SystemKind) -> PathBuf {
+        self.dir.join(format!(
+            "{name}-{}-{}-{:016x}-{}.snap",
+            format!("{input:?}").to_lowercase(),
+            kind.label(),
+            crate::manifest::config_hash(),
+            self.warm_cycles
+        ))
+    }
+}
+
+/// Outcome of trying to load a cell's on-disk checkpoint.
+enum CheckpointLoad {
+    /// No checkpoint on disk yet.
+    Missing,
+    /// Parsed and CRC-verified.
+    Loaded(Box<Snapshot>),
+    /// Unreadable, corrupt or otherwise rejected — fall back cold.
+    Rejected(String),
+}
+
+fn load_checkpoint(path: &Path, fault: Option<FaultAction>) -> CheckpointLoad {
+    let mut bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return CheckpointLoad::Missing,
+        Err(e) => return CheckpointLoad::Rejected(format!("unreadable: {e}")),
+    };
+    if matches!(fault, Some(FaultAction::CorruptCheckpoint)) && !bytes.is_empty() {
+        // Flip a payload byte so the *real* CRC check drives the
+        // fallback path, not a synthetic error.
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+    }
+    match Snapshot::from_bytes(&bytes) {
+        Ok(s) => CheckpointLoad::Loaded(Box::new(s)),
+        Err(e) => CheckpointLoad::Rejected(e.to_string()),
+    }
+}
+
+/// Atomic write (temp file + rename) so a concurrent reader never sees
+/// a half-written checkpoint.
+fn write_checkpoint(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    std::fs::write(&tmp, bytes)?;
+    std::fs::rename(&tmp, path)
+}
+
+/// Run result, the wall-clock milliseconds of the fresh compute, and
+/// the warm-checkpoint disposition (`None` without a store).
+type RunEntry = (RunStats, f64, Option<String>);
+
 struct LabShared {
     traces: OnceMap<(String, InputSet), Arc<Trace>>,
     profiles: OnceMap<String, Arc<PgProfile>>,
     artifacts: OnceMap<String, Arc<CompilerArtifacts>>,
-    /// Run result plus the wall-clock milliseconds of the fresh compute.
-    runs: OnceMap<(String, InputSet, SystemKind), (RunStats, f64)>,
+    runs: OnceMap<(String, InputSet, SystemKind), RunEntry>,
     /// Observability traces of runs executed with [`Lab::try_run_traced`].
     traces_obs: OnceMap<(String, InputSet, SystemKind), Arc<RunTrace>>,
     faults: FaultPlan,
+    checkpoints: Option<CheckpointConfig>,
     verbose: bool,
 }
 
@@ -146,14 +253,23 @@ impl Lab {
     /// Creates an empty lab. Set `BENCH_VERBOSE` in the environment for
     /// one progress line per fresh simulation on stderr; set
     /// `BENCH_FAULT_PLAN` (see [`FaultPlan`]) to inject failures into
-    /// matching cells.
+    /// matching cells; set `BENCH_CHECKPOINT_DIR` (see
+    /// [`CheckpointConfig`]) to reuse warm-state checkpoints across
+    /// processes.
     pub fn new() -> Self {
-        Self::with_faults(FaultPlan::from_env())
+        Self::with_checkpoints(FaultPlan::from_env(), CheckpointConfig::from_env())
     }
 
     /// Creates an empty lab with an explicit fault-injection plan
     /// (tests use this instead of mutating the process environment).
+    /// The checkpoint store still comes from the environment.
     pub fn with_faults(faults: FaultPlan) -> Self {
+        Self::with_checkpoints(faults, CheckpointConfig::from_env())
+    }
+
+    /// Creates an empty lab with an explicit fault plan and warm
+    /// checkpoint store (`None` disables checkpointing).
+    pub fn with_checkpoints(faults: FaultPlan, checkpoints: Option<CheckpointConfig>) -> Self {
         Lab {
             shared: Arc::new(LabShared {
                 traces: OnceMap::new(),
@@ -162,6 +278,7 @@ impl Lab {
                 runs: OnceMap::new(),
                 traces_obs: OnceMap::new(),
                 faults,
+                checkpoints,
                 verbose: std::env::var_os("BENCH_VERBOSE").is_some(),
             }),
         }
@@ -309,7 +426,7 @@ impl Lab {
         obs: Option<ObsConfig>,
     ) -> Result<(RunStats, Option<Arc<RunTrace>>), SimError> {
         let key = (name.to_string(), input, kind);
-        let (stats, _) = self.shared.runs.get_or_try_init(&key, || {
+        let (stats, _, _) = self.shared.runs.get_or_try_init(&key, || {
             match self.shared.faults.action_for(name, input, kind) {
                 Some(FaultAction::Panic) => {
                     panic!("injected fault: panic in {name} {input:?} {}", kind.label())
@@ -318,7 +435,8 @@ impl Lab {
                 Some(FaultAction::Slow(ms)) => {
                     std::thread::sleep(std::time::Duration::from_millis(ms));
                 }
-                None => {}
+                // Handled at checkpoint-load time, inside run_cell.
+                Some(FaultAction::CorruptCheckpoint) | None => {}
             }
             let art = self.artifacts(name);
             let t = self.trace(name, input);
@@ -326,17 +444,81 @@ impl Lab {
                 eprintln!("[lab] running {name} {input:?} on {}", kind.label());
             }
             let t0 = Instant::now();
-            let mut builder = SystemBuilder::new(kind).artifacts(&art);
-            if let Some(cfg) = obs {
-                builder = builder.observe(cfg);
-            }
-            let run = builder.run(&t)?;
+            let (run, checkpoint) = self.run_cell(name, input, kind, &art, &t, obs)?;
             if let Some(trace) = run.trace {
                 self.shared.traces_obs.get_or_init(&key, || Arc::new(trace));
             }
-            Ok((run.stats, t0.elapsed().as_secs_f64() * 1e3))
+            Ok((run.stats, t0.elapsed().as_secs_f64() * 1e3, checkpoint))
         })?;
         Ok((stats, self.shared.traces_obs.get(&key)))
+    }
+
+    /// Runs one cell, forking from the warm checkpoint store when one is
+    /// configured. Returns the run plus the checkpoint disposition.
+    ///
+    /// A corrupt, unreadable or mismatched checkpoint is a *recoverable*
+    /// per-cell event: the cell falls back to a cold run (re-capturing
+    /// and rewriting the checkpoint) and the disposition records the
+    /// reason. Only genuine simulation errors propagate.
+    fn run_cell(
+        &self,
+        name: &str,
+        input: InputSet,
+        kind: SystemKind,
+        art: &CompilerArtifacts,
+        t: &Trace,
+        obs: Option<ObsConfig>,
+    ) -> Result<(SystemRun, Option<String>), SimError> {
+        let build = || {
+            let mut b = SystemBuilder::new(kind).artifacts(art);
+            if let Some(cfg) = obs {
+                b = b.observe(cfg);
+            }
+            b
+        };
+        let Some(cp) = self.shared.checkpoints.as_ref() else {
+            return Ok((build().run(t)?, None));
+        };
+        let path = cp.cell_path(name, input, kind);
+        let fault = self.shared.faults.action_for(name, input, kind);
+        let mut status = None;
+        match load_checkpoint(&path, fault) {
+            CheckpointLoad::Missing => {}
+            CheckpointLoad::Loaded(snapshot) => match build().fork_from(&snapshot).run(t) {
+                Ok(run) => return Ok((run, Some("forked".to_string()))),
+                // A parseable but stale snapshot (the machine shape
+                // changed under the same key) is recoverable too.
+                Err(e) if e.kind() == "snapshot-rejected" => {
+                    status = Some(format!("fallback:{e}"));
+                }
+                Err(e) => return Err(e),
+            },
+            CheckpointLoad::Rejected(reason) => {
+                status = Some(format!("fallback:{reason}"));
+            }
+        }
+        if let Some(s) = &status {
+            if self.shared.verbose {
+                eprintln!("[lab] {name} {input:?} {}: {s}", kind.label());
+            }
+        }
+        // Cold run, (re-)capturing the checkpoint for the next process.
+        let run = build().warm_checkpoint(cp.warm_cycles).run(t)?;
+        match &run.snapshot {
+            Some(snap) => match write_checkpoint(&path, &snap.to_bytes()) {
+                Ok(()) => {
+                    status.get_or_insert_with(|| "created".to_string());
+                }
+                Err(e) => {
+                    status.get_or_insert_with(|| format!("write-failed: {e}"));
+                }
+            },
+            // The run finished before the capture point; nothing to store.
+            None => {
+                status.get_or_insert_with(|| "cold".to_string());
+            }
+        }
+        Ok((run, status))
     }
 
     /// Like [`Lab::try_run_on`], for callers that treat a failed
@@ -374,8 +556,10 @@ impl Lab {
     /// The [`RunRecord`] of one cached run, if it has been executed.
     pub fn record_for(&self, name: &str, input: InputSet, kind: SystemKind) -> Option<RunRecord> {
         let key = (name.to_string(), input, kind);
-        let (stats, wall_ms) = self.shared.runs.get(&key)?;
-        Some(RunRecord::new(name, input, kind, &stats, wall_ms))
+        let (stats, wall_ms, checkpoint) = self.shared.runs.get(&key)?;
+        let mut r = RunRecord::new(name, input, kind, &stats, wall_ms);
+        r.checkpoint = checkpoint;
+        Some(r)
     }
 
     /// Records of every successful run executed so far, sorted by
@@ -386,8 +570,10 @@ impl Lab {
             .runs
             .snapshot()
             .into_iter()
-            .map(|((name, input, kind), (stats, wall_ms))| {
-                RunRecord::new(&name, input, kind, &stats, wall_ms)
+            .map(|((name, input, kind), (stats, wall_ms, checkpoint))| {
+                let mut r = RunRecord::new(&name, input, kind, &stats, wall_ms);
+                r.checkpoint = checkpoint;
+                r
             })
             .collect();
         records.sort_by_key(RunRecord::sort_key);

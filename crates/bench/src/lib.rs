@@ -12,6 +12,7 @@
 
 pub mod chart;
 pub mod cli;
+pub mod difftest;
 pub mod experiments;
 pub mod fault;
 pub mod hotpath;
@@ -21,9 +22,10 @@ pub mod sweep;
 pub mod table;
 pub mod validate;
 
+pub use difftest::{random_cases, run_suite, DiffCase, DiffFailure, DiffOutcome};
 pub use fault::{FaultAction, FaultPlan};
 pub use hotpath::{run_hotpath_bench, HotpathCell, HotpathReport};
-pub use lab::Lab;
+pub use lab::{CheckpointConfig, Lab};
 pub use manifest::{config_hash, FailureRecord, Manifest, ManifestWriter, RunOutcome, RunRecord};
 pub use sweep::{default_jobs, SweepCell, SweepExecution, SweepOptions, SweepPlan};
 pub use table::Table;

@@ -72,6 +72,11 @@ pub struct RunRecord {
     /// Path of the `obs.jsonl` decision-trace artifact, when the cell ran
     /// with `--trace-dir`. Omitted from the JSON when absent.
     pub obs_path: Option<String>,
+    /// Warm-checkpoint disposition of the cell, when the lab ran with a
+    /// checkpoint store: `"created"`, `"forked"`, `"cold"` or
+    /// `"fallback:<reason>"` for a corrupt/unreadable checkpoint that
+    /// fell back to cold simulation. Omitted from the JSON when absent.
+    pub checkpoint: Option<String>,
 }
 
 impl RunRecord {
@@ -92,6 +97,7 @@ impl RunRecord {
             stats: stats.summary(),
             timeseries_path: None,
             obs_path: None,
+            checkpoint: None,
         }
     }
 
@@ -104,8 +110,10 @@ impl RunRecord {
         )
     }
 
-    /// Deterministic equality: every field except `wall_ms` and the
-    /// trace artifact paths (which embed the caller's output directory).
+    /// Deterministic equality: every field except `wall_ms`, the trace
+    /// artifact paths (which embed the caller's output directory) and
+    /// the checkpoint disposition (a forked rerun must count as equal
+    /// to the cold run it reproduces).
     pub fn same_metrics(&self, other: &RunRecord) -> bool {
         self.workload == other.workload
             && self.input == other.input
@@ -137,6 +145,9 @@ impl RunRecord {
         if let Some(p) = &self.obs_path {
             pairs.push(("obs_path", Json::Str(p.clone())));
         }
+        if let Some(c) = &self.checkpoint {
+            pairs.push(("checkpoint", Json::Str(c.clone())));
+        }
         Json::obj(pairs)
     }
 
@@ -155,6 +166,10 @@ impl RunRecord {
                 .map(ToString::to_string),
             obs_path: j
                 .get("obs_path")
+                .and_then(Json::as_str)
+                .map(ToString::to_string),
+            checkpoint: j
+                .get("checkpoint")
                 .and_then(Json::as_str)
                 .map(ToString::to_string),
         })

@@ -14,7 +14,9 @@
 use std::path::PathBuf;
 use std::process::Command;
 
-use bench::{FaultAction, FaultPlan, Lab, Manifest, RunOutcome, SweepOptions, SweepPlan};
+use bench::{
+    CheckpointConfig, FaultAction, FaultPlan, Lab, Manifest, RunOutcome, SweepOptions, SweepPlan,
+};
 use ecdp::system::SystemKind;
 use workloads::InputSet;
 
@@ -206,6 +208,65 @@ fn run_all_binary_survives_faults_and_resumes() {
     assert_eq!(manifest.successes().count(), 9);
 
     let _ = std::fs::remove_dir_all(&lab_dir);
+}
+
+/// A corrupted on-disk warm checkpoint is a *recoverable* per-cell
+/// event, not a sweep failure: the injected `corrupt-checkpoint` fault
+/// flips a byte of one cell's checkpoint before it is parsed, the real
+/// CRC check rejects it, and the sweep still completes every cell with
+/// zero failures — the corrupted cell falls back cold and records a
+/// `fallback:` disposition in its manifest record.
+#[test]
+fn sweep_treats_corrupt_checkpoint_as_recoverable() {
+    let dir = std::env::temp_dir().join(format!("bench-ckpt-sweep-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cp = CheckpointConfig::new(&dir, 50_000);
+
+    // Pass 1: clean checkpoint-enabled lab populates the store.
+    let seed_lab = Lab::with_checkpoints(FaultPlan::none(), Some(cp.clone()));
+    let seeded = plan().run_fault_tolerant(&seed_lab, 4, &SweepOptions::default());
+    assert_eq!(seeded.failed(), 0);
+    for r in seed_lab.records() {
+        assert_eq!(r.checkpoint.as_deref(), Some("created"), "{}", r.workload);
+    }
+
+    // Pass 2: fresh lab, same store, one cell's checkpoint corrupted.
+    let mut faults = FaultPlan::none();
+    faults.push(FaultAction::CorruptCheckpoint, "mst", "test", "stream+cdp");
+    let lab = Lab::with_checkpoints(faults, Some(cp));
+    let exec = plan().run_fault_tolerant(&lab, 4, &SweepOptions::default());
+    assert_eq!(exec.ran, 9, "every cell still runs");
+    assert_eq!(exec.failed(), 0, "checkpoint corruption never fails a cell");
+
+    let records = lab.records();
+    assert_eq!(records.len(), 9);
+    for r in &records {
+        let disposition = r.checkpoint.as_deref().unwrap();
+        if r.workload == "mst" && r.system == "stream+cdp" {
+            assert!(
+                disposition.starts_with("fallback:") && disposition.contains("CRC"),
+                "corrupted cell must fall back via the CRC check: {disposition:?}"
+            );
+        } else {
+            assert_eq!(disposition, "forked", "{} {}", r.workload, r.system);
+        }
+    }
+
+    // The fallback run is bit-identical to the clean pass, and the
+    // manifest round-trips the dispositions.
+    let clean = seed_lab.records();
+    for (a, b) in clean.iter().zip(&records) {
+        assert_eq!(a.sort_key(), b.sort_key());
+        assert!(a.same_metrics(b), "{} {} diverged", a.workload, a.system);
+    }
+    let manifest = Manifest {
+        name: "ckpt-sweep".to_string(),
+        records: records.into_iter().map(RunOutcome::Success).collect(),
+    };
+    let parsed = Manifest::parse(&manifest.to_json().to_string_pretty()).unwrap();
+    assert_eq!(parsed, manifest);
+
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// Malformed command lines must be rejected with a usage error (exit 2)

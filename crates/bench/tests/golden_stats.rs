@@ -17,7 +17,9 @@
 
 use std::path::PathBuf;
 
-use bench::{FailureRecord, Lab, Manifest, RunOutcome, RunRecord, SweepPlan};
+use bench::{
+    CheckpointConfig, FailureRecord, FaultPlan, Lab, Manifest, RunOutcome, RunRecord, SweepPlan,
+};
 use ecdp::system::SystemKind;
 use workloads::InputSet;
 
@@ -101,6 +103,68 @@ fn sweep_matches_golden_snapshot() {
         );
         compare_stats(g, r, &ctx);
     }
+}
+
+/// Warm-fork variant of the golden test: the same pinned sweep run
+/// through a checkpoint-enabled lab — one pass creating the on-disk
+/// warm checkpoints, a second fresh lab forking from them — must
+/// reproduce the *checked-in cold* golden snapshot. This pins the
+/// end-to-end claim that the checkpoint store is purely a wall-clock
+/// optimization: forked sweep cells are indistinguishable from cold
+/// ones at golden-snapshot tolerances (integers exact).
+#[test]
+fn warm_forked_sweep_matches_golden_snapshot() {
+    if std::env::var_os("BENCH_UPDATE_GOLDEN").is_some() {
+        return; // regeneration is owned by the cold test above
+    }
+    let path = golden_path();
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {} ({e}); run with BENCH_UPDATE_GOLDEN=1 to create it",
+            path.display()
+        )
+    });
+    let golden = Manifest::parse(&text).expect("golden snapshot parses");
+
+    let dir = std::env::temp_dir().join(format!("bench-golden-ckpt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cp = CheckpointConfig::new(&dir, 50_000);
+
+    // Pass 1: populate the store.
+    let create_lab = Lab::with_checkpoints(FaultPlan::none(), Some(cp.clone()));
+    golden_plan().run(&create_lab, 2);
+    for r in create_lab.records() {
+        assert_eq!(
+            r.checkpoint.as_deref(),
+            Some("created"),
+            "{} {}",
+            r.workload,
+            r.system
+        );
+    }
+
+    // Pass 2: a fresh lab must fork every cell from disk.
+    let fork_lab = Lab::with_checkpoints(FaultPlan::none(), Some(cp));
+    let mut records = golden_plan().run(&fork_lab, 2);
+    for r in &mut records {
+        r.wall_ms = 0.0;
+        assert_eq!(
+            r.checkpoint.as_deref(),
+            Some("forked"),
+            "{} {}",
+            r.workload,
+            r.system
+        );
+    }
+
+    let golden_records: Vec<&RunRecord> = golden.successes().collect();
+    assert_eq!(golden_records.len(), records.len());
+    for (&g, r) in golden_records.iter().zip(&records) {
+        let ctx = format!("warm-fork {} {} {}", r.workload, r.input, r.system);
+        assert_eq!(g.config_hash, r.config_hash, "{ctx}: config hash");
+        compare_stats(g, r, &ctx);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// The manifest schema must round-trip `Failed` records through the same

@@ -139,6 +139,66 @@ fn quad_core_smoke_matches_golden_snapshot() {
     assert_json_close(&golden, &doc, "multicore");
 }
 
+/// Warm-fork variant of the multicore golden: capture a whole-chip
+/// snapshot mid-run (every core plus the shared DRAM system), round it
+/// through the wire format, fork a *fresh* `MultiMachine` from it, and
+/// require the forked chip to reproduce the checked-in cold golden
+/// byte-for-byte — capture must be a pure read and fork must restore
+/// shared-bus arbitration state exactly.
+#[test]
+fn quad_core_warm_fork_matches_golden_snapshot() {
+    if std::env::var_os("BENCH_UPDATE_GOLDEN").is_some() {
+        return; // regeneration is owned by the cold test above
+    }
+    let lab = Lab::new();
+    let setups = || {
+        MIX.iter()
+            .map(|n| core_setup(KIND, &lab.artifacts(n)))
+            .collect()
+    };
+    let traces: Vec<sim_core::Trace> = MIX
+        .iter()
+        .map(|n| {
+            let t = lab.trace(n, InputSet::Test);
+            sim_core::Trace {
+                initial_memory: t.initial_memory.clone(),
+                ops: t.ops.clone(),
+                instructions: t.instructions,
+            }
+        })
+        .collect();
+
+    let mut cold = MultiMachine::new(MachineConfig::default(), setups());
+    cold.set_warm_checkpoint(Some(50_000));
+    let cold_stats = cold.run(&traces).expect("cold run");
+    let snapshot = cold.take_snapshot().expect("run passed the capture point");
+
+    // Round-trip the snapshot through the wire format before forking,
+    // so the on-disk path is what this golden actually certifies.
+    let restored = sim_core::Snapshot::from_bytes(&snapshot.to_bytes()).expect("wire round-trip");
+    let mut forked = MultiMachine::new(MachineConfig::default(), setups());
+    forked.fork_from(&restored).expect("fork accepted");
+    let fork_stats = forked.run(&traces).expect("forked run");
+
+    // Forked chip == cold chip, bit for bit (identical serialized docs).
+    assert_eq!(
+        stats_doc(&cold_stats).to_string_pretty(),
+        stats_doc(&fork_stats).to_string_pretty(),
+        "warm-forked chip diverged from the capture-armed cold run"
+    );
+
+    // And both match the checked-in golden (capture was a pure read).
+    let path = golden_path();
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing multicore golden {} ({e}); run with BENCH_UPDATE_GOLDEN=1 to create it",
+            path.display()
+        )
+    });
+    let golden = Json::parse(&text).expect("multicore golden parses");
+    assert_json_close(&golden, &stats_doc(&fork_stats), "multicore-warm-fork");
+}
+
 /// Two back-to-back runs of the same mix must agree exactly — the
 /// shared-bus arbiter has no hidden cross-run state.
 #[test]

@@ -19,7 +19,7 @@ use prefetch::{
 };
 use sim_core::{
     CoreSetup, Machine, MachineConfig, ObsConfig, PrefetchObserver, PrefetcherId, RunStats,
-    RunTrace, SimError, Trace, ValidateConfig,
+    RunTrace, SimError, Snapshot, Trace, ValidateConfig,
 };
 use throttle::{CoordinatedThrottle, FdpThrottle, PabSelector, Switchable};
 
@@ -339,14 +339,29 @@ pub fn core_setup(kind: SystemKind, artifacts: &CompilerArtifacts) -> CoreSetup 
 
 /// The outcome of a [`SystemBuilder`] run: run statistics plus, when the
 /// observability layer was enabled with [`SystemBuilder::observe`], the
-/// interval-resolution [`RunTrace`].
-#[derive(Debug, Clone, Default, PartialEq)]
+/// interval-resolution [`RunTrace`], and, when a warm checkpoint was
+/// requested with [`SystemBuilder::warm_checkpoint`], the captured
+/// [`Snapshot`].
+#[derive(Debug, Clone, Default)]
 pub struct SystemRun {
     /// End-of-run statistics.
     pub stats: RunStats,
     /// Interval samples / throttle transitions / lifecycle events.
     /// `None` unless observability was requested and the run succeeded.
     pub trace: Option<RunTrace>,
+    /// Warm-state snapshot captured mid-run. `None` unless requested (or
+    /// if the run finished before the checkpoint cycle).
+    pub snapshot: Option<Snapshot>,
+}
+
+/// Two runs are equal when their *results* agree: statistics and trace.
+/// A captured snapshot is a by-product, not a result, and is excluded —
+/// differential harnesses compare a cold run (no snapshot) against a
+/// checkpointing run.
+impl PartialEq for SystemRun {
+    fn eq(&self, other: &Self) -> bool {
+        self.stats == other.stats && self.trace == other.trace
+    }
 }
 
 /// One-stop assembly and execution of a paper system — the single entry
@@ -381,6 +396,8 @@ pub struct SystemBuilder<'a> {
     validate: Option<ValidateConfig>,
     cycle_budget: Option<u64>,
     reference_stepping: bool,
+    warm_checkpoint: Option<u64>,
+    fork_from: Option<&'a Snapshot>,
 }
 
 impl<'a> SystemBuilder<'a> {
@@ -396,6 +413,8 @@ impl<'a> SystemBuilder<'a> {
             validate: None,
             cycle_budget: None,
             reference_stepping: false,
+            warm_checkpoint: None,
+            fork_from: None,
         }
     }
 
@@ -457,6 +476,26 @@ impl<'a> SystemBuilder<'a> {
         self
     }
 
+    /// Captures a warm-state [`Snapshot`] once the run reaches `cycles`
+    /// simulated cycles. Capture is read-only — the run's results are
+    /// bit-identical with or without it — and the snapshot comes back in
+    /// [`SystemRun::snapshot`] (or `None` if the run finished first).
+    pub fn warm_checkpoint(mut self, cycles: u64) -> Self {
+        self.warm_checkpoint = Some(cycles);
+        self
+    }
+
+    /// Starts the run from `snapshot` instead of a cold machine: state is
+    /// restored and simulation resumes at the captured cycle. The same
+    /// trace that produced the snapshot must be replayed, and the machine
+    /// assembled by this builder must match the one that captured it
+    /// (same config, prefetchers and throttle) — mismatches fail the run
+    /// with [`SimError::SnapshotRejected`].
+    pub fn fork_from(mut self, snapshot: &'a Snapshot) -> Self {
+        self.fork_from = Some(snapshot);
+        self
+    }
+
     /// Assembles the machine without running it.
     pub fn build(self) -> Machine {
         let empty = CompilerArtifacts::empty();
@@ -482,6 +521,7 @@ impl<'a> SystemBuilder<'a> {
         }
         machine.set_cycle_budget(self.cycle_budget);
         machine.set_reference_stepping(self.reference_stepping);
+        machine.set_warm_checkpoint(self.warm_checkpoint);
         machine
     }
 
@@ -493,11 +533,16 @@ impl<'a> SystemBuilder<'a> {
     /// budget, invariant violation) so sweep harnesses can record the
     /// cell as failed instead of aborting the process.
     pub fn run(self, trace: &Trace) -> Result<SystemRun, SimError> {
+        let fork = self.fork_from;
         let mut machine = self.build();
+        if let Some(snapshot) = fork {
+            machine.fork_from(snapshot)?;
+        }
         let stats = machine.run(trace)?;
         Ok(SystemRun {
             stats,
             trace: machine.take_run_trace(),
+            snapshot: machine.take_snapshot(),
         })
     }
 
@@ -619,6 +664,52 @@ mod tests {
             observed.stats.intervals > 0,
             "workload too small to sample; shrink the interval further"
         );
+    }
+
+    #[test]
+    fn warm_checkpoint_fork_reproduces_cold_run() {
+        let t = workloads::olden::Mst.generate(InputSet::Test);
+        let a = artifacts_for(&t);
+        let mut cfg = MachineConfig::default();
+        cfg.l2.bytes = 64 * 1024;
+        cfg.interval_evictions = 128;
+        let kind = SystemKind::StreamEcdpThrottled;
+        let obs = ObsConfig {
+            timeseries: true,
+            decisions: true,
+            ..ObsConfig::default()
+        };
+        let build = || {
+            SystemBuilder::new(kind)
+                .artifacts(&a)
+                .config(cfg.clone())
+                .observe(obs)
+        };
+
+        let cold = build().run(&t).expect("cold run");
+        assert!(cold.snapshot.is_none(), "no checkpoint requested");
+
+        // Checkpoint mid-run; capture must not perturb the results.
+        let warm = build()
+            .warm_checkpoint(cold.stats.cycles / 2)
+            .run(&t)
+            .expect("checkpointing run");
+        assert_eq!(warm, cold, "capture must be read-only");
+        let snapshot = warm.snapshot.expect("snapshot captured");
+        assert!(snapshot.cycle() >= cold.stats.cycles / 2);
+
+        // Fork from the snapshot; the forked run must be bit-identical.
+        let forked = build().fork_from(&snapshot).run(&t).expect("forked run");
+        assert_eq!(forked, cold, "fork must reproduce the cold run");
+
+        // A mismatched system rejects the snapshot instead of panicking.
+        let err = SystemBuilder::new(SystemKind::StreamOnly)
+            .artifacts(&a)
+            .config(cfg.clone())
+            .fork_from(&snapshot)
+            .run(&t)
+            .expect_err("mismatched system");
+        assert_eq!(err.kind(), "snapshot-rejected");
     }
 
     #[test]

@@ -14,7 +14,7 @@ use std::collections::HashMap;
 
 use sim_core::{
     Aggressiveness, DemandAccess, PrefetchCtx, PrefetchRequest, Prefetcher, PrefetcherId,
-    PrefetcherKind,
+    PrefetcherKind, SnapReader, SnapWriter, SnapshotError,
 };
 use sim_mem::{layout, Addr};
 
@@ -136,6 +136,44 @@ impl Prefetcher for AvdPrefetcher {
 
     fn aggressiveness(&self) -> Aggressiveness {
         self.level
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) {
+        w.u64(self.tick);
+        // Sort by PC for a deterministic blob (LRU stamps are unique).
+        let mut entries: Vec<(&u32, &AvdEntry)> = self.table.iter().collect();
+        entries.sort_by_key(|(&pc, _)| pc);
+        w.u32(entries.len() as u32);
+        for (&pc, e) in entries {
+            w.u32(pc);
+            w.i64(e.delta);
+            w.u8(e.confidence);
+            w.u64(e.lru);
+        }
+    }
+
+    fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapshotError> {
+        self.tick = r.u64()?;
+        let n = r.u32()? as usize;
+        if n > self.config.entries + 1 {
+            return Err(SnapshotError::Malformed(format!(
+                "snapshot has {n} AVD entries, table holds {}",
+                self.config.entries
+            )));
+        }
+        self.table.clear();
+        for _ in 0..n {
+            let pc = r.u32()?;
+            self.table.insert(
+                pc,
+                AvdEntry {
+                    delta: r.i64()?,
+                    confidence: r.u8()?,
+                    lru: r.u64()?,
+                },
+            );
+        }
+        Ok(())
     }
 }
 

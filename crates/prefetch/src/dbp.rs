@@ -14,7 +14,7 @@
 
 use sim_core::{
     Aggressiveness, DemandAccess, PrefetchCtx, PrefetchRequest, Prefetcher, PrefetcherId,
-    PrefetcherKind,
+    PrefetcherKind, SnapReader, SnapWriter, SnapshotError,
 };
 use sim_mem::layout;
 
@@ -184,6 +184,57 @@ impl Prefetcher for DependenceBasedPrefetcher {
 
     fn aggressiveness(&self) -> Aggressiveness {
         self.level
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) {
+        w.u64(self.tick);
+        // Both tables are position-sensitive (PPW scan order, CT
+        // swap_remove eviction): store them in order.
+        w.u32(self.ppw.len() as u32);
+        for p in &self.ppw {
+            w.u32(p.value);
+            w.u32(p.pc);
+        }
+        w.u32(self.ct.len() as u32);
+        for e in &self.ct {
+            w.u32(e.producer_pc);
+            w.i32(e.offset);
+            w.u64(e.lru);
+        }
+    }
+
+    fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapshotError> {
+        self.tick = r.u64()?;
+        let n = r.u32()? as usize;
+        if n > self.config.ppw_entries {
+            return Err(SnapshotError::Malformed(format!(
+                "snapshot has {n} PPW entries, window holds {}",
+                self.config.ppw_entries
+            )));
+        }
+        self.ppw.clear();
+        for _ in 0..n {
+            self.ppw.push(PpwEntry {
+                value: r.u32()?,
+                pc: r.u32()?,
+            });
+        }
+        let n = r.u32()? as usize;
+        if n > self.config.ct_entries {
+            return Err(SnapshotError::Malformed(format!(
+                "snapshot has {n} CT entries, table holds {}",
+                self.config.ct_entries
+            )));
+        }
+        self.ct.clear();
+        for _ in 0..n {
+            self.ct.push(CtEntry {
+                producer_pc: r.u32()?,
+                offset: r.i32()?,
+                lru: r.u64()?,
+            });
+        }
+        Ok(())
     }
 }
 

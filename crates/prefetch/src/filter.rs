@@ -12,6 +12,7 @@
 
 use sim_core::{
     Addr, Aggressiveness, DemandAccess, FillEvent, PgTag, PrefetchCtx, Prefetcher, PrefetcherKind,
+    SnapReader, SnapWriter, SnapshotError,
 };
 use sim_mem::block_of;
 
@@ -149,6 +150,35 @@ impl Prefetcher for PollutionFilteredPrefetcher {
 
     fn aggressiveness(&self) -> Aggressiveness {
         self.inner.aggressiveness()
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) {
+        // Counters are mostly zero: store (slot, value) pairs, then
+        // delegate to the wrapped prefetcher in the same stream.
+        let filled = self.table.iter().filter(|&&c| c != 0).count();
+        w.u64(filled as u64);
+        for (slot, &c) in self.table.iter().enumerate() {
+            if c != 0 {
+                w.u32(slot as u32);
+                w.u8(c);
+            }
+        }
+        self.inner.save_state(w);
+    }
+
+    fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapshotError> {
+        self.table.fill(0);
+        let n = r.len_prefix()?;
+        for _ in 0..n {
+            let slot = r.u32()? as usize;
+            if slot >= self.table.len() {
+                return Err(SnapshotError::Malformed(format!(
+                    "filter counter slot {slot} out of range"
+                )));
+            }
+            self.table[slot] = r.u8()?;
+        }
+        self.inner.load_state(r)
     }
 }
 

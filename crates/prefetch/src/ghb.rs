@@ -14,7 +14,7 @@ use std::collections::HashMap;
 
 use sim_core::{
     Aggressiveness, DemandAccess, PrefetchCtx, PrefetchRequest, Prefetcher, PrefetcherId,
-    PrefetcherKind,
+    PrefetcherKind, SnapReader, SnapWriter, SnapshotError,
 };
 use sim_mem::{block_of, Addr};
 
@@ -201,6 +201,42 @@ impl Prefetcher for GhbPrefetcher {
 
     fn aggressiveness(&self) -> Aggressiveness {
         self.level
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) {
+        w.u64(self.base as u64);
+        w.u64(self.history.len() as u64);
+        for &a in &self.history {
+            w.u32(a);
+        }
+        // The index is a HashMap: emit entries sorted by key so the blob
+        // is deterministic for a given logical state.
+        let mut entries: Vec<(&(i64, i64), &usize)> = self.index.iter().collect();
+        entries.sort();
+        w.u64(entries.len() as u64);
+        for (&(d1, d2), &pos) in entries {
+            w.i64(d1);
+            w.i64(d2);
+            w.u64(pos as u64);
+        }
+    }
+
+    fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapshotError> {
+        self.base = r.u64()? as usize;
+        let n = r.len_prefix()?;
+        self.history.clear();
+        for _ in 0..n {
+            self.history.push(r.u32()?);
+        }
+        let n = r.len_prefix()?;
+        self.index.clear();
+        for _ in 0..n {
+            let d1 = r.i64()?;
+            let d2 = r.i64()?;
+            let pos = r.u64()? as usize;
+            self.index.insert((d1, d2), pos);
+        }
+        Ok(())
     }
 }
 

@@ -13,7 +13,7 @@ use std::collections::VecDeque;
 
 use sim_core::{
     Aggressiveness, DemandAccess, PrefetchCtx, PrefetchRequest, Prefetcher, PrefetcherId,
-    PrefetcherKind,
+    PrefetcherKind, SnapReader, SnapWriter, SnapshotError,
 };
 use sim_mem::{block_of, layout, Addr};
 
@@ -141,6 +141,51 @@ impl Prefetcher for JumpPointerPrefetcher {
 
     fn aggressiveness(&self) -> Aggressiveness {
         self.level
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) {
+        w.u32(self.history.len() as u32);
+        for &h in &self.history {
+            w.u32(h);
+        }
+        let filled = self.table.iter().filter(|e| e.is_some()).count();
+        w.u64(filled as u64);
+        for (slot, e) in self.table.iter().enumerate() {
+            let Some((tag, target)) = e else { continue };
+            w.u32(slot as u32);
+            w.u32(*tag);
+            w.u32(*target);
+        }
+    }
+
+    fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapshotError> {
+        let n = r.u32()? as usize;
+        if n > self.config.interval + 1 {
+            return Err(SnapshotError::Malformed(format!(
+                "snapshot has {n} traversal-window entries, window holds {}",
+                self.config.interval
+            )));
+        }
+        self.history.clear();
+        for _ in 0..n {
+            self.history.push_back(r.u32()?);
+        }
+        for e in &mut self.table {
+            *e = None;
+        }
+        let n = r.len_prefix()?;
+        for _ in 0..n {
+            let slot = r.u32()? as usize;
+            if slot >= self.table.len() {
+                return Err(SnapshotError::Malformed(format!(
+                    "jump-pointer slot {slot} out of range"
+                )));
+            }
+            let tag = r.u32()?;
+            let target = r.u32()?;
+            self.table[slot] = Some((tag, target));
+        }
+        Ok(())
     }
 }
 

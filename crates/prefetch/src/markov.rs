@@ -10,7 +10,7 @@
 
 use sim_core::{
     Aggressiveness, DemandAccess, PrefetchCtx, PrefetchRequest, Prefetcher, PrefetcherId,
-    PrefetcherKind,
+    PrefetcherKind, SnapReader, SnapWriter, SnapshotError,
 };
 use sim_mem::{block_of, Addr};
 
@@ -148,6 +148,58 @@ impl Prefetcher for MarkovPrefetcher {
 
     fn aggressiveness(&self) -> Aggressiveness {
         self.level
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) {
+        match self.last_miss {
+            None => w.bool(false),
+            Some(a) => {
+                w.bool(true);
+                w.u32(a);
+            }
+        }
+        // The table is direct mapped and mostly empty: store filled slots.
+        let filled = self.table.iter().filter(|e| e.is_some()).count();
+        w.u64(filled as u64);
+        for (slot, e) in self.table.iter().enumerate() {
+            let Some(e) = e else { continue };
+            w.u32(slot as u32);
+            w.u32(e.tag);
+            w.u32(e.successors.len() as u32);
+            for &s in &e.successors {
+                w.u32(s);
+            }
+        }
+    }
+
+    fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapshotError> {
+        self.last_miss = if r.bool()? { Some(r.u32()?) } else { None };
+        for e in &mut self.table {
+            *e = None;
+        }
+        let n = r.len_prefix()?;
+        for _ in 0..n {
+            let slot = r.u32()? as usize;
+            if slot >= self.table.len() {
+                return Err(SnapshotError::Malformed(format!(
+                    "markov slot {slot} out of range"
+                )));
+            }
+            let tag = r.u32()?;
+            let ways = r.u32()? as usize;
+            if ways > self.config.ways {
+                return Err(SnapshotError::Malformed(format!(
+                    "markov entry holds {ways} successors, table ways {}",
+                    self.config.ways
+                )));
+            }
+            let mut successors = Vec::with_capacity(ways);
+            for _ in 0..ways {
+                successors.push(r.u32()?);
+            }
+            self.table[slot] = Some(Entry { tag, successors });
+        }
+        Ok(())
     }
 }
 

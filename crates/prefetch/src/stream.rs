@@ -11,7 +11,7 @@
 
 use sim_core::{
     Addr, Aggressiveness, DemandAccess, PrefetchCtx, PrefetchRequest, Prefetcher, PrefetcherId,
-    PrefetcherKind,
+    PrefetcherKind, SnapReader, SnapWriter, SnapshotError,
 };
 use sim_mem::{block_of, BLOCK_BYTES};
 
@@ -271,6 +271,53 @@ impl Prefetcher for StreamPrefetcher {
 
     fn aggressiveness(&self) -> Aggressiveness {
         self.level
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) {
+        w.u64(self.tick);
+        w.u32(self.streams.len() as u32);
+        for s in &self.streams {
+            match s.state {
+                StreamState::Training { first_block, hits } => {
+                    w.u8(0);
+                    w.u32(first_block);
+                    w.u32(hits);
+                }
+                StreamState::Monitoring => w.u8(1),
+            }
+            w.i64(s.dir);
+            w.u32(s.last_demand);
+            w.u32(s.frontier);
+            w.u64(s.last_touch);
+            w.bool(s.valid);
+        }
+    }
+
+    fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapshotError> {
+        self.tick = r.u64()?;
+        let n = r.u32()? as usize;
+        if n != self.streams.len() {
+            return Err(SnapshotError::Malformed(format!(
+                "snapshot has {n} streams, this prefetcher tracks {}",
+                self.streams.len()
+            )));
+        }
+        for s in &mut self.streams {
+            s.state = match r.u8()? {
+                0 => StreamState::Training {
+                    first_block: r.u32()?,
+                    hits: r.u32()?,
+                },
+                1 => StreamState::Monitoring,
+                t => return Err(SnapshotError::Malformed(format!("stream state tag {t}"))),
+            };
+            s.dir = r.i64()?;
+            s.last_demand = r.u32()?;
+            s.frontier = r.u32()?;
+            s.last_touch = r.u64()?;
+            s.valid = r.bool()?;
+        }
+        Ok(())
     }
 }
 

@@ -8,7 +8,7 @@ use std::collections::HashMap;
 
 use sim_core::{
     Aggressiveness, DemandAccess, PrefetchCtx, PrefetchRequest, Prefetcher, PrefetcherId,
-    PrefetcherKind,
+    PrefetcherKind, SnapReader, SnapWriter, SnapshotError,
 };
 use sim_mem::Addr;
 
@@ -150,6 +150,47 @@ impl Prefetcher for StridePrefetcher {
 
     fn aggressiveness(&self) -> Aggressiveness {
         self.level
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) {
+        w.u64(self.tick);
+        // Sort by PC for a deterministic blob (LRU stamps are unique, so
+        // eviction order does not depend on map iteration order).
+        let mut entries: Vec<(&u32, &RptEntry)> = self.table.iter().collect();
+        entries.sort_by_key(|(&pc, _)| pc);
+        w.u32(entries.len() as u32);
+        for (&pc, e) in entries {
+            w.u32(pc);
+            w.u32(e.last_addr);
+            w.i64(e.stride);
+            w.u8(e.confidence);
+            w.u64(e.lru);
+        }
+    }
+
+    fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapshotError> {
+        self.tick = r.u64()?;
+        let n = r.u32()? as usize;
+        if n > self.config.table_entries {
+            return Err(SnapshotError::Malformed(format!(
+                "snapshot has {n} RPT entries, table holds {}",
+                self.config.table_entries
+            )));
+        }
+        self.table.clear();
+        for _ in 0..n {
+            let pc = r.u32()?;
+            self.table.insert(
+                pc,
+                RptEntry {
+                    last_addr: r.u32()?,
+                    stride: r.i64()?,
+                    confidence: r.u8()?,
+                    lru: r.u64()?,
+                },
+            );
+        }
+        Ok(())
     }
 }
 

@@ -4,6 +4,7 @@
 
 use crate::prefetcher::PgTag;
 use crate::prefetcher::PrefetcherId;
+use crate::snapshot::{SnapReader, SnapWriter, SnapshotError};
 use sim_mem::{Addr, BLOCK_BYTES};
 
 /// Geometry and latency of one cache level.
@@ -248,6 +249,111 @@ impl Cache {
     pub fn total_lines(&self) -> usize {
         self.lines.len()
     }
+
+    /// Serializes tags, LRU clocks and line metadata (valid lines only).
+    /// Geometry is not stored — it is implied by the machine
+    /// configuration, which the snapshot layer fingerprints separately.
+    pub(crate) fn save_state(&self, w: &mut SnapWriter) {
+        w.u64(self.tick);
+        w.u64(self.evictions);
+        w.u32(self.lines.len() as u32);
+        let valid: Vec<(u32, &Line)> = self
+            .lines
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.valid)
+            .map(|(i, l)| (i as u32, l))
+            .collect();
+        w.u32(valid.len() as u32);
+        for (i, l) in valid {
+            w.u32(i);
+            w.u32(l.tag);
+            w.u64(l.last_used);
+            write_line_state(w, &l.state);
+        }
+    }
+
+    /// Restores state saved by [`Cache::save_state`] into a cache of the
+    /// same geometry.
+    pub(crate) fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapshotError> {
+        self.tick = r.u64()?;
+        self.evictions = r.u64()?;
+        let total = r.u32()? as usize;
+        if total != self.lines.len() {
+            return Err(SnapshotError::Malformed(format!(
+                "snapshot cache has {total} lines, this cache has {}",
+                self.lines.len()
+            )));
+        }
+        for l in &mut self.lines {
+            *l = INVALID;
+        }
+        let n = r.u32()? as usize;
+        if n > total {
+            return Err(SnapshotError::Malformed(format!(
+                "{n} valid lines exceed capacity {total}"
+            )));
+        }
+        for _ in 0..n {
+            let i = r.u32()? as usize;
+            if i >= total {
+                return Err(SnapshotError::Malformed(format!("line index {i}")));
+            }
+            let tag = r.u32()?;
+            let last_used = r.u64()?;
+            let state = read_line_state(r)?;
+            self.lines[i] = Line {
+                tag,
+                valid: true,
+                last_used,
+                state,
+            };
+        }
+        Ok(())
+    }
+}
+
+fn write_line_state(w: &mut SnapWriter, s: &LineState) {
+    w.bool(s.dirty);
+    match s.prefetched_by {
+        None => w.bool(false),
+        Some(id) => {
+            w.bool(true);
+            w.u8(id.0);
+        }
+    }
+    match s.pg_tag {
+        None => w.bool(false),
+        Some(pg) => {
+            w.bool(true);
+            w.u32(pg.pc);
+            w.i16(pg.offset);
+        }
+    }
+    w.bool(s.used);
+}
+
+fn read_line_state(r: &mut SnapReader<'_>) -> Result<LineState, SnapshotError> {
+    let dirty = r.bool()?;
+    let prefetched_by = if r.bool()? {
+        Some(PrefetcherId(r.u8()?))
+    } else {
+        None
+    };
+    let pg_tag = if r.bool()? {
+        let pc = r.u32()?;
+        let offset = r.i16()?;
+        Some(PgTag { pc, offset })
+    } else {
+        None
+    };
+    let used = r.bool()?;
+    Ok(LineState {
+        dirty,
+        prefetched_by,
+        pg_tag,
+        used,
+    })
 }
 
 #[cfg(test)]

@@ -8,6 +8,7 @@
 //! `BPKI` bandwidth metric counts these bus transfers.
 
 use crate::config::{DramConfig, DramScheduling, RowPolicy};
+use crate::snapshot::{SnapReader, SnapWriter, SnapshotError};
 use sim_mem::{block_of, Addr};
 
 /// A request queued at the memory controller.
@@ -332,6 +333,135 @@ impl Dram {
         }
         next
     }
+
+    /// Serializes the complete controller state into a blob. Queue and
+    /// in-flight order matter (the FR-FCFS scan and the completion drain
+    /// both use `swap_remove`), so both are stored positionally; queued
+    /// requests' bank/row are recomputed at restore from the
+    /// configuration the snapshot layer fingerprints.
+    pub(crate) fn save_state(&self) -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        w.u32(self.banks.len() as u32);
+        for b in &self.banks {
+            w.u64(b.busy_until);
+            match b.open_row {
+                None => w.bool(false),
+                Some(row) => {
+                    w.bool(true);
+                    w.u32(row);
+                }
+            }
+        }
+        w.u32(self.queue.len() as u32);
+        for q in &self.queue {
+            write_request(&mut w, &q.request);
+        }
+        w.u32(self.in_flight.len() as u32);
+        for f in &self.in_flight {
+            write_request(&mut w, &f.request);
+            w.u64(f.finish_cycle);
+        }
+        w.u64(self.bus_free_at);
+        w.u64(self.bus_transfers);
+        w.u32(self.bus_transfers_by_core.len() as u32);
+        for &t in &self.bus_transfers_by_core {
+            w.u64(t);
+        }
+        w.u64(self.row_hits);
+        w.u64(self.row_conflicts);
+        w.u64(self.next_finish);
+        w.bool(self.sched_dirty);
+        w.u64(self.next_bank_free);
+        w.into_bytes()
+    }
+
+    /// Restores state saved by [`Dram::save_state`] into a controller of
+    /// the same configuration.
+    pub(crate) fn restore_state(&mut self, data: &[u8]) -> Result<(), SnapshotError> {
+        let mut r = SnapReader::new(data);
+        let n = r.u32()? as usize;
+        if n != self.banks.len() {
+            return Err(SnapshotError::Malformed(format!(
+                "snapshot has {n} banks, this controller has {}",
+                self.banks.len()
+            )));
+        }
+        for b in &mut self.banks {
+            b.busy_until = r.u64()?;
+            b.open_row = if r.bool()? { Some(r.u32()?) } else { None };
+        }
+        let n = r.u32()? as usize;
+        if n > self.capacity {
+            return Err(SnapshotError::Malformed(format!(
+                "{n} queued requests exceed buffer capacity {}",
+                self.capacity
+            )));
+        }
+        self.queue.clear();
+        for _ in 0..n {
+            let request = read_request(&mut r)?;
+            self.queue.push(Queued {
+                bank: self.bank_of(request.block_addr) as u32,
+                row: self.row_of(request.block_addr),
+                request,
+            });
+        }
+        let n = r.u32()? as usize;
+        if self.queue.len() + n > self.capacity {
+            return Err(SnapshotError::Malformed(format!(
+                "{n} in-flight requests overflow buffer capacity {}",
+                self.capacity
+            )));
+        }
+        self.in_flight.clear();
+        for _ in 0..n {
+            let request = read_request(&mut r)?;
+            let finish_cycle = r.u64()?;
+            self.in_flight.push(InFlight {
+                request,
+                finish_cycle,
+            });
+        }
+        self.bus_free_at = r.u64()?;
+        self.bus_transfers = r.u64()?;
+        let n = r.u32()? as usize;
+        if n != self.bus_transfers_by_core.len() {
+            return Err(SnapshotError::Malformed(format!(
+                "snapshot tracks {n} cores, this controller has {}",
+                self.bus_transfers_by_core.len()
+            )));
+        }
+        for t in &mut self.bus_transfers_by_core {
+            *t = r.u64()?;
+        }
+        self.row_hits = r.u64()?;
+        self.row_conflicts = r.u64()?;
+        self.next_finish = r.u64()?;
+        self.sched_dirty = r.bool()?;
+        self.next_bank_free = r.u64()?;
+        self.completions.clear();
+        r.finish()
+    }
+}
+
+fn write_request(w: &mut SnapWriter, req: &DramRequest) {
+    w.u32(req.block_addr);
+    w.bool(req.is_write);
+    w.bool(req.is_demand);
+    w.u8(req.core);
+    w.u32(req.mshr_slot);
+    w.u64(req.enqueue_cycle);
+}
+
+fn read_request(r: &mut SnapReader<'_>) -> Result<DramRequest, SnapshotError> {
+    Ok(DramRequest {
+        block_addr: r.u32()?,
+        is_write: r.bool()?,
+        is_demand: r.bool()?,
+        core: r.u8()?,
+        mshr_slot: r.u32()?,
+        enqueue_cycle: r.u64()?,
+    })
 }
 
 #[cfg(test)]

@@ -23,6 +23,9 @@ use crate::prefetcher::{
     AccessKind, Aggressiveness, DemandAccess, FillEvent, PrefetchCtx, PrefetchObserver,
     PrefetchRequest, Prefetcher, PrefetcherId,
 };
+use crate::snapshot::{
+    config_fingerprint, CoreState, PrefetcherState, SnapReader, SnapWriter, Snapshot, SnapshotError,
+};
 use crate::stats::{PrefetcherStats, RunStats};
 use crate::throttling::{
     FeedbackCounters, IntervalFeedback, NoThrottle, ThrottleDecision, ThrottlePolicy,
@@ -57,7 +60,7 @@ struct PollutionSlot {
 pub(crate) struct CoreSim {
     pub(crate) core_id: u8,
     cfg: Arc<MachineConfig>,
-    mem: SimMemory,
+    pub(crate) mem: SimMemory,
     next_dispatch: usize,
     window: VecDeque<WinEntry>,
     window_instrs: u32,
@@ -106,6 +109,7 @@ impl CoreSim {
         cfg: Arc<MachineConfig>,
         trace: &Trace,
         num_prefetchers: usize,
+        warm_resume: bool,
     ) -> Self {
         let l1 = Cache::new(cfg.l1);
         let l2 = Cache::new(cfg.l2);
@@ -119,8 +123,14 @@ impl CoreSim {
         let mut sim = CoreSim {
             core_id,
             cfg,
-            // Copy-on-write snapshot: shares pages with the trace.
-            mem: trace.initial_memory.clone(),
+            // Copy-on-write snapshot: shares pages with the trace. A
+            // machine about to resume from a warm snapshot skips the
+            // clone — `restore_warm` overwrites the image anyway.
+            mem: if warm_resume {
+                SimMemory::new()
+            } else {
+                trace.initial_memory.clone()
+            },
             next_dispatch: 0,
             window: VecDeque::new(),
             window_instrs: 0,
@@ -1099,6 +1109,421 @@ impl CoreSim {
     pub(crate) fn last_progress(&self) -> u64 {
         self.last_progress
     }
+
+    // ---- warm-state capture / restore (see [`crate::snapshot`]) ----
+
+    /// Serializes this core's complete replay state into a blob (the
+    /// memory image travels separately as a CoW clone in
+    /// [`CoreState::mem`]).
+    ///
+    /// Capture happens at the top of the run loop, so every completion
+    /// cycle at or before `now` is *settled*: the only property the
+    /// engine ever observes of a settled entry is "already done"
+    /// (`completed[i] <= now` in retire, issue and dependence checks).
+    /// The `completed` array is therefore stored sparsely — the dispatch
+    /// cursor plus the entries still in the future — and settled entries
+    /// restore as 0, which is behaviorally identical.
+    pub(crate) fn save_warm(&self, now: u64) -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        w.u64(self.next_dispatch as u64);
+        w.u32(self.window.len() as u32);
+        for e in &self.window {
+            w.u32(e.op_idx);
+            w.u32(e.instrs);
+            w.u32(e.retired);
+            w.bool(e.issued);
+            w.bool(e.counted_l1);
+            w.bool(e.counted_l2);
+            w.u32(e.value);
+        }
+        w.u32(self.window_instrs);
+        w.u64(self.completed.len() as u64);
+        let unsettled: Vec<(u32, u64)> = self
+            .completed
+            .iter()
+            .take(self.next_dispatch)
+            .enumerate()
+            .filter(|&(_, &c)| c == NOT_DONE || c > now)
+            .map(|(i, &c)| (i as u32, c))
+            .collect();
+        w.u32(unsettled.len() as u32);
+        for (i, c) in unsettled {
+            w.u32(i);
+            w.u64(c);
+        }
+        w.u32(self.pending_mem.len() as u32);
+        for &op in &self.pending_mem {
+            w.u32(op);
+        }
+        w.u32(self.lsq_used);
+        // The completion wheel is a heap with unique keys, so the sorted
+        // entry list reproduces the exact pop order. Stale entries (at or
+        // before `now`) are kept: they still hold LSQ slots until issue()
+        // pops them.
+        let mut wheel: Vec<(u64, u32)> = self.inflight.iter().map(|&Reverse(p)| p).collect();
+        wheel.sort_unstable();
+        w.u32(wheel.len() as u32);
+        for (c, op) in wheel {
+            w.u64(c);
+            w.u32(op);
+        }
+        self.l1.save_state(&mut w);
+        self.l2.save_state(&mut w);
+        self.mshrs.save_state(&mut w);
+        w.u32(self.pf_queue.len() as u32);
+        for req in &self.pf_queue {
+            write_pf_request(&mut w, req);
+        }
+        let filled: Vec<(u32, PollutionSlot)> = self
+            .pollution
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.map(|s| (i as u32, s)))
+            .collect();
+        w.u32(filled.len() as u32);
+        for (i, s) in filled {
+            w.u32(i);
+            w.u32(s.block_addr);
+            w.u8(s.by.0);
+        }
+        w.u32(self.pending_writebacks.len() as u32);
+        for &a in &self.pending_writebacks {
+            w.u32(a);
+        }
+        w.u32(self.counters.len() as u32);
+        for c in &self.counters {
+            write_feedback_counters(&mut w, c);
+        }
+        w.f64(self.misses_smoothed);
+        w.u64(self.cur_misses);
+        w.u64(self.last_interval_evictions);
+        crate::snapshot::write_run_stats(&mut w, &self.stats);
+        w.u64(self.retired_ops as u64);
+        w.u64(self.last_progress);
+        // Obs and validator ride along as optional nested blobs so a
+        // forked run's timeseries and conformance checks continue
+        // seamlessly from the capture point.
+        match &self.obs {
+            None => w.bool(false),
+            Some(o) => {
+                w.bool(true);
+                let mut ow = SnapWriter::new();
+                o.save_state(&mut ow);
+                w.bytes(&ow.into_bytes());
+            }
+        }
+        match &self.validate {
+            None => w.bool(false),
+            Some(v) => {
+                w.bool(true);
+                let mut vw = SnapWriter::new();
+                v.save_state(&mut vw);
+                w.bytes(&vw.into_bytes());
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Restores state saved by [`CoreSim::save_warm`] into a freshly
+    /// constructed core for the same trace and configuration.
+    ///
+    /// The obs collector / validator blobs are applied only when the
+    /// forked machine has the facility installed; a facility enabled on
+    /// the fork but absent at capture starts fresh from the fork point.
+    pub(crate) fn restore_warm(&mut self, cs: &CoreState) -> Result<(), SnapshotError> {
+        // Reuse this core's page-table allocation; pages stay CoW-shared
+        // with the snapshot.
+        self.mem.clone_from(&cs.mem);
+        let mut r = SnapReader::new(&cs.core);
+        let next_dispatch = r.u64()? as usize;
+        if next_dispatch > self.completed.len() {
+            return Err(SnapshotError::Malformed(format!(
+                "dispatch cursor {next_dispatch} past trace end {}",
+                self.completed.len()
+            )));
+        }
+        self.next_dispatch = next_dispatch;
+        let n = r.u32()? as usize;
+        self.window.clear();
+        for _ in 0..n {
+            self.window.push_back(WinEntry {
+                op_idx: r.u32()?,
+                instrs: r.u32()?,
+                retired: r.u32()?,
+                issued: r.bool()?,
+                counted_l1: r.bool()?,
+                counted_l2: r.bool()?,
+                value: r.u32()?,
+            });
+        }
+        self.window_instrs = r.u32()?;
+        let total = r.u64()? as usize;
+        if total != self.completed.len() {
+            return Err(SnapshotError::Malformed(format!(
+                "snapshot trace has {total} ops, this trace has {}",
+                self.completed.len()
+            )));
+        }
+        for c in self.completed.iter_mut() {
+            *c = NOT_DONE;
+        }
+        for c in self.completed.iter_mut().take(next_dispatch) {
+            *c = 0;
+        }
+        let n = r.u32()? as usize;
+        for _ in 0..n {
+            let idx = r.u32()? as usize;
+            let val = r.u64()?;
+            if idx >= next_dispatch {
+                return Err(SnapshotError::Malformed(format!(
+                    "unsettled completion index {idx} past dispatch cursor"
+                )));
+            }
+            self.completed[idx] = val;
+        }
+        let n = r.u32()? as usize;
+        self.pending_mem.clear();
+        for _ in 0..n {
+            self.pending_mem.push_back(r.u32()?);
+        }
+        self.lsq_used = r.u32()?;
+        let n = r.u32()? as usize;
+        self.inflight.clear();
+        for _ in 0..n {
+            let c = r.u64()?;
+            let op = r.u32()?;
+            self.inflight.push(Reverse((c, op)));
+        }
+        self.l1.restore_state(&mut r)?;
+        self.l2.restore_state(&mut r)?;
+        self.mshrs.restore_state(&mut r)?;
+        let n = r.u32()? as usize;
+        self.pf_queue.clear();
+        for _ in 0..n {
+            self.pf_queue.push_back(read_pf_request(&mut r)?);
+        }
+        self.pollution.clear();
+        self.pollution.resize(POLLUTION_FILTER_ENTRIES, None);
+        let n = r.u32()? as usize;
+        for _ in 0..n {
+            let slot = r.u32()? as usize;
+            let block_addr = r.u32()?;
+            let by = PrefetcherId(r.u8()?);
+            if slot >= POLLUTION_FILTER_ENTRIES {
+                return Err(SnapshotError::Malformed(format!("pollution slot {slot}")));
+            }
+            self.pollution[slot] = Some(PollutionSlot { block_addr, by });
+        }
+        let n = r.u32()? as usize;
+        self.pending_writebacks.clear();
+        for _ in 0..n {
+            self.pending_writebacks.push_back(r.u32()?);
+        }
+        let n = r.u32()? as usize;
+        if n != self.counters.len() {
+            return Err(SnapshotError::Malformed(format!(
+                "snapshot has {n} feedback counters, machine has {}",
+                self.counters.len()
+            )));
+        }
+        for c in &mut self.counters {
+            *c = read_feedback_counters(&mut r)?;
+        }
+        self.misses_smoothed = r.f64()?;
+        self.cur_misses = r.u64()?;
+        self.last_interval_evictions = r.u64()?;
+        let stats = crate::snapshot::read_run_stats(&mut r)?;
+        if stats.prefetchers.len() != self.counters.len() {
+            return Err(SnapshotError::Malformed(format!(
+                "snapshot stats cover {} prefetchers, machine has {}",
+                stats.prefetchers.len(),
+                self.counters.len()
+            )));
+        }
+        self.stats = stats;
+        self.retired_ops = r.u64()? as usize;
+        self.last_progress = r.u64()?;
+        if r.bool()? {
+            let blob = r.bytes()?;
+            if let Some(o) = self.obs.as_deref_mut() {
+                let mut or = SnapReader::new(&blob);
+                o.restore_state(&mut or)?;
+                or.finish()?;
+            }
+        }
+        if r.bool()? {
+            let blob = r.bytes()?;
+            if let Some(v) = self.validate.as_deref_mut() {
+                let mut vr = SnapReader::new(&blob);
+                v.restore_state(&mut vr)?;
+                vr.finish()?;
+            }
+        }
+        r.finish()
+    }
+}
+
+fn write_pf_request(w: &mut SnapWriter, req: &PrefetchRequest) {
+    w.u32(req.addr);
+    w.u8(req.id.0);
+    w.u8(req.depth);
+    match req.pg {
+        None => w.bool(false),
+        Some(pg) => {
+            w.bool(true);
+            w.u32(pg.pc);
+            w.i16(pg.offset);
+        }
+    }
+    w.u32(req.root_pc);
+}
+
+fn read_pf_request(r: &mut SnapReader<'_>) -> Result<PrefetchRequest, SnapshotError> {
+    let addr = r.u32()?;
+    let id = PrefetcherId(r.u8()?);
+    let depth = r.u8()?;
+    let pg = if r.bool()? {
+        let pc = r.u32()?;
+        let offset = r.i16()?;
+        Some(crate::prefetcher::PgTag { pc, offset })
+    } else {
+        None
+    };
+    let root_pc = r.u32()?;
+    Ok(PrefetchRequest {
+        addr,
+        id,
+        depth,
+        pg,
+        root_pc,
+    })
+}
+
+fn write_feedback_counters(w: &mut SnapWriter, c: &FeedbackCounters) {
+    w.f64(c.prefetched);
+    w.f64(c.used);
+    w.f64(c.timely);
+    w.f64(c.late);
+    w.f64(c.pollution);
+    w.u64(c.cur_prefetched);
+    w.u64(c.cur_used);
+    w.u64(c.cur_timely);
+    w.u64(c.cur_late);
+    w.u64(c.cur_pollution);
+    w.u64(c.total_prefetched);
+    w.u64(c.total_used);
+    w.u64(c.total_late);
+    w.u64(c.total_pollution);
+}
+
+fn read_feedback_counters(r: &mut SnapReader<'_>) -> Result<FeedbackCounters, SnapshotError> {
+    Ok(FeedbackCounters {
+        prefetched: r.f64()?,
+        used: r.f64()?,
+        timely: r.f64()?,
+        late: r.f64()?,
+        pollution: r.f64()?,
+        cur_prefetched: r.u64()?,
+        cur_used: r.u64()?,
+        cur_timely: r.u64()?,
+        cur_late: r.u64()?,
+        cur_pollution: r.u64()?,
+        total_prefetched: r.u64()?,
+        total_used: r.u64()?,
+        total_late: r.u64()?,
+        total_pollution: r.u64()?,
+    })
+}
+
+/// Captures every registered prefetcher's name, aggressiveness level and
+/// learned-table blob. The level is captured here, generically, so
+/// stateless prefetchers need no [`Prefetcher::save_state`] override.
+pub(crate) fn save_prefetcher_states(prefetchers: &[Box<dyn Prefetcher>]) -> Vec<PrefetcherState> {
+    prefetchers
+        .iter()
+        .map(|p| {
+            let mut w = SnapWriter::new();
+            p.save_state(&mut w);
+            PrefetcherState {
+                name: p.name().to_string(),
+                level: p.aggressiveness(),
+                data: w.into_bytes(),
+            }
+        })
+        .collect()
+}
+
+/// Captures the throttling policy's state (the level slot is unused for
+/// throttles and stored as a fixed placeholder).
+pub(crate) fn save_throttle_state(t: &dyn ThrottlePolicy) -> PrefetcherState {
+    let mut w = SnapWriter::new();
+    t.save_state(&mut w);
+    PrefetcherState {
+        name: t.name().to_string(),
+        level: Aggressiveness::Aggressive,
+        data: w.into_bytes(),
+    }
+}
+
+/// Restores prefetcher levels and learned tables from captured states.
+/// The caller has already validated registration via
+/// [`check_registration`], so the zip lengths match.
+pub(crate) fn restore_prefetcher_states(
+    prefetchers: &mut [Box<dyn Prefetcher>],
+    states: &[PrefetcherState],
+) -> Result<(), SnapshotError> {
+    for (p, st) in prefetchers.iter_mut().zip(states) {
+        p.set_aggressiveness(st.level);
+        let mut r = SnapReader::new(&st.data);
+        p.load_state(&mut r)?;
+        r.finish()?;
+    }
+    Ok(())
+}
+
+/// Restores the throttling policy's state from its captured blob.
+pub(crate) fn restore_throttle_state(
+    throttle: &mut dyn ThrottlePolicy,
+    state: &PrefetcherState,
+) -> Result<(), SnapshotError> {
+    let mut r = SnapReader::new(&state.data);
+    throttle.load_state(&mut r)?;
+    r.finish()
+}
+
+/// Validates that a captured core's prefetcher/throttle registration
+/// matches the forking machine's (shared by [`Machine::fork_from`] and
+/// the multi-core engine).
+pub(crate) fn check_registration(
+    cs: &CoreState,
+    prefetchers: &[Box<dyn Prefetcher>],
+    throttle: &dyn ThrottlePolicy,
+    core: usize,
+) -> Result<(), SimError> {
+    if cs.prefetchers.len() != prefetchers.len() {
+        return Err(SimError::SnapshotRejected(format!(
+            "core {core}: snapshot has {} prefetchers, machine has {}",
+            cs.prefetchers.len(),
+            prefetchers.len()
+        )));
+    }
+    for (i, (st, p)) in cs.prefetchers.iter().zip(prefetchers).enumerate() {
+        if st.name != p.name() {
+            return Err(SimError::SnapshotRejected(format!(
+                "core {core} prefetcher {i}: snapshot has {:?}, machine has {:?}",
+                st.name,
+                p.name()
+            )));
+        }
+    }
+    if cs.throttle.name != throttle.name() {
+        return Err(SimError::SnapshotRejected(format!(
+            "core {core}: snapshot throttle {:?}, machine has {:?}",
+            cs.throttle.name,
+            throttle.name()
+        )));
+    }
+    Ok(())
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -1123,6 +1548,9 @@ pub struct Machine {
     validate_config: Option<crate::validate::ValidateConfig>,
     run_trace: Option<RunTrace>,
     no_skip: bool,
+    warm_cycles: Option<u64>,
+    captured: Option<Snapshot>,
+    resume: Option<Snapshot>,
 }
 
 impl Machine {
@@ -1142,6 +1570,9 @@ impl Machine {
             validate_config: None,
             run_trace: None,
             no_skip: false,
+            warm_cycles: None,
+            captured: None,
+            resume: None,
         }
     }
 
@@ -1238,6 +1669,95 @@ impl Machine {
         self.run_trace.take()
     }
 
+    /// Arms warm-state capture: the next [`Machine::run`] records a
+    /// [`Snapshot`] at the first *visited* cycle at or past `cycles`
+    /// (retrieve it with [`Machine::take_snapshot`]). Capture is a pure
+    /// read of machine state, so a run with a checkpoint armed is
+    /// bit-identical to one without. `None` disarms.
+    pub fn set_warm_checkpoint(&mut self, cycles: Option<u64>) -> &mut Self {
+        self.warm_cycles = cycles;
+        self
+    }
+
+    /// Removes and returns the snapshot captured by the most recent run,
+    /// if a checkpoint was armed with [`Machine::set_warm_checkpoint`]
+    /// and the run reached the capture cycle.
+    pub fn take_snapshot(&mut self) -> Option<Snapshot> {
+        self.captured.take()
+    }
+
+    /// Arms the next [`Machine::run`] to resume from `snapshot` instead
+    /// of simulating warmup cold. Single-shot: the run consumes the armed
+    /// snapshot; fork again to replay from it once more. The forked run
+    /// must replay the **same trace** the snapshot was captured on (the
+    /// checkpoint is keyed per (workload, input) upstream; a different
+    /// trace of the same length silently diverges).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::SnapshotRejected`] when the snapshot is not
+    /// single-core, was captured under a different configuration
+    /// (fingerprint mismatch), or its prefetcher/throttle registration
+    /// does not match this machine's.
+    pub fn fork_from(&mut self, snapshot: &Snapshot) -> Result<&mut Self, SimError> {
+        if snapshot.cores.len() != 1 || !snapshot.finished.is_empty() {
+            return Err(SimError::SnapshotRejected(format!(
+                "single-core machine cannot fork a {}-core multi-machine snapshot",
+                snapshot.cores.len()
+            )));
+        }
+        let fp = config_fingerprint(&self.config);
+        if snapshot.config_fp != fp {
+            return Err(SimError::SnapshotRejected(format!(
+                "configuration fingerprint {fp:#018x} != snapshot {:#018x}",
+                snapshot.config_fp
+            )));
+        }
+        check_registration(
+            &snapshot.cores[0],
+            &self.prefetchers,
+            self.throttle.as_ref(),
+            0,
+        )?;
+        self.resume = Some(snapshot.clone());
+        Ok(self)
+    }
+
+    /// Reads the complete machine state into a [`Snapshot`]. Pure read:
+    /// simulation state is untouched (memory pages are CoW-shared).
+    fn capture(&self, now: u64, core: &CoreSim, dram: &Dram) -> Snapshot {
+        Snapshot {
+            cycle: now,
+            config_fp: config_fingerprint(&self.config),
+            cores: vec![CoreState {
+                mem: Arc::new(core.mem.clone()),
+                core: core.save_warm(now),
+                prefetchers: save_prefetcher_states(&self.prefetchers),
+                throttle: save_throttle_state(self.throttle.as_ref()),
+            }],
+            dram: dram.save_state(),
+            finished: Vec::new(),
+            bus_at_start: Vec::new(),
+        }
+    }
+
+    /// Applies an armed snapshot to the freshly built `core` and `dram`,
+    /// returning the cycle to resume at.
+    fn resume_from(
+        &mut self,
+        snap: &Snapshot,
+        core: &mut CoreSim,
+        dram: &mut Dram,
+    ) -> Result<u64, SimError> {
+        let rej = |e: SnapshotError| SimError::SnapshotRejected(e.to_string());
+        let cs = &snap.cores[0];
+        core.restore_warm(cs).map_err(rej)?;
+        restore_prefetcher_states(&mut self.prefetchers, &cs.prefetchers).map_err(rej)?;
+        restore_throttle_state(self.throttle.as_mut(), &cs.throttle).map_err(rej)?;
+        dram.restore_state(&snap.dram).map_err(rej)?;
+        Ok(snap.cycle)
+    }
+
     /// The machine configuration this machine was built with.
     pub fn config(&self) -> &MachineConfig {
         &self.config
@@ -1262,7 +1782,13 @@ impl Machine {
     /// fails to converge. The error carries a [`DiagnosticSnapshot`] of
     /// the stuck core where applicable.
     pub fn run(&mut self, trace: &Trace) -> Result<RunStats, SimError> {
-        let mut core = CoreSim::new(0, Arc::clone(&self.config), trace, self.prefetchers.len());
+        let mut core = CoreSim::new(
+            0,
+            Arc::clone(&self.config),
+            trace,
+            self.prefetchers.len(),
+            self.resume.is_some(),
+        );
         if let Some(cfg) = &self.obs_config {
             core.obs = Some(Box::new(ObsCollector::new(*cfg)));
         }
@@ -1277,8 +1803,28 @@ impl Machine {
             .unwrap_or_else(|| Box::new(crate::prefetcher::NullObserver));
         let ops = &trace.ops;
 
+        self.captured = None;
         let mut now: u64 = 0;
+        if let Some(snap) = self.resume.take() {
+            match self.resume_from(&snap, &mut core, &mut dram) {
+                Ok(cycle) => now = cycle,
+                Err(e) => {
+                    self.observer = Some(observer);
+                    return Err(e);
+                }
+            }
+        }
+        let mut capture_at = self.warm_cycles.unwrap_or(u64::MAX);
         while !core.finished(ops) {
+            // Warm-state capture: a pure read of machine state at the top
+            // of the loop, before this cycle's DRAM tick, so an armed
+            // checkpoint never perturbs the run and a forked machine
+            // re-enters the loop at exactly this point.
+            if now >= capture_at {
+                capture_at = u64::MAX;
+                let snap = self.capture(now, &core, &dram);
+                self.captured = Some(snap);
+            }
             let mut activity = false;
             for completion in dram.tick(now) {
                 core.apply_completion(completion, now, &mut self.prefetchers, observer.as_mut());
@@ -1776,5 +2322,203 @@ mod tests {
         // The last sampled boundary lies within the run.
         let last = t.samples.last().expect("non-empty");
         assert!(last.cycle <= stats.cycles + MachineConfig::default().deadlock_cycles);
+    }
+
+    /// A tiny stateful prefetcher for the fork tests: tracks a sequential
+    /// streak and prefetches ahead proportionally, so a fork that failed to
+    /// restore learned state or the aggressiveness level would issue
+    /// different requests and visibly diverge from the cold run.
+    struct StreakPrefetcher {
+        level: Aggressiveness,
+        last_block: Addr,
+        streak: u32,
+    }
+
+    impl StreakPrefetcher {
+        fn new() -> Self {
+            StreakPrefetcher {
+                level: Aggressiveness::Moderate,
+                last_block: 0,
+                streak: 0,
+            }
+        }
+    }
+
+    impl Prefetcher for StreakPrefetcher {
+        fn name(&self) -> &'static str {
+            "test-streak"
+        }
+
+        fn kind(&self) -> crate::prefetcher::PrefetcherKind {
+            crate::prefetcher::PrefetcherKind::Other
+        }
+
+        fn on_demand_access(&mut self, ctx: &mut PrefetchCtx<'_>, ev: &DemandAccess) {
+            let block = ev.addr & !63;
+            if block == self.last_block + 64 {
+                self.streak = (self.streak + 1).min(8);
+            } else if block != self.last_block {
+                self.streak = 1;
+            }
+            self.last_block = block;
+            let degree = self.streak.min(1 + self.level.index() as u32);
+            for d in 1..=degree {
+                ctx.request(PrefetchRequest {
+                    addr: block + d * 64,
+                    id: PrefetcherId(0),
+                    depth: 0,
+                    pg: None,
+                    root_pc: ev.pc,
+                });
+            }
+        }
+
+        fn set_aggressiveness(&mut self, level: Aggressiveness) {
+            self.level = level;
+        }
+
+        fn aggressiveness(&self) -> Aggressiveness {
+            self.level
+        }
+
+        fn save_state(&self, w: &mut SnapWriter) {
+            w.u32(self.last_block);
+            w.u32(self.streak);
+        }
+
+        fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapshotError> {
+            self.last_block = r.u32()?;
+            self.streak = r.u32()?;
+            Ok(())
+        }
+    }
+
+    fn fork_test_machine() -> Machine {
+        let mut m = Machine::new(obs_test_config());
+        m.add_prefetcher(Box::new(StreakPrefetcher::new()));
+        m.set_obs(ObsConfig {
+            lifecycle: true,
+            ..ObsConfig::enabled()
+        });
+        m
+    }
+
+    #[test]
+    fn warm_checkpoint_capture_does_not_perturb_the_run() {
+        let trace = sweep_trace(4 * 1024);
+        let mut cold = fork_test_machine();
+        let base = cold.run(&trace).expect("run");
+        let base_trace = cold.take_run_trace().expect("trace");
+
+        let mut observed = fork_test_machine();
+        observed.set_warm_checkpoint(Some(base.cycles / 2));
+        let stats = observed.run(&trace).expect("run");
+        assert_eq!(base, stats, "capture must be a pure read");
+        let t = observed.take_run_trace().expect("trace");
+        assert_eq!(base_trace, t);
+        let snap = observed.take_snapshot().expect("snapshot captured");
+        assert!(snap.cycle >= base.cycles / 2);
+        assert!(snap.cycle < base.cycles);
+
+        // A checkpoint beyond the run end never fires.
+        let mut late = fork_test_machine();
+        late.set_warm_checkpoint(Some(base.cycles * 2));
+        assert_eq!(late.run(&trace).expect("run"), base);
+        assert!(late.take_snapshot().is_none());
+    }
+
+    #[test]
+    fn forked_run_matches_cold_run() {
+        let trace = sweep_trace(4 * 1024);
+        let mut cold = fork_test_machine();
+        let base = cold.run(&trace).expect("run");
+        let base_trace = cold.take_run_trace().expect("trace");
+
+        let mut warm = fork_test_machine();
+        warm.set_warm_checkpoint(Some(base.cycles / 2));
+        warm.run(&trace).expect("run");
+        let snap = warm.take_snapshot().expect("snapshot");
+
+        // Fork on a freshly built machine.
+        let mut fork = fork_test_machine();
+        fork.fork_from(&snap).expect("fork");
+        let stats = fork.run(&trace).expect("forked run");
+        assert_eq!(base, stats, "forked run must be bit-identical");
+        let t = fork.take_run_trace().expect("trace");
+        assert_eq!(base_trace, t, "forked obs trace must be bit-identical");
+
+        // The fork is single-shot: the same machine re-run cold afterwards
+        // still reproduces the cold result.
+        let again = fork.run(&trace).expect("cold re-run");
+        assert_eq!(base, again);
+
+        // Forking the machine that produced the snapshot works too.
+        warm.set_warm_checkpoint(None);
+        warm.fork_from(&snap).expect("fork self");
+        assert_eq!(base, warm.run(&trace).expect("run"));
+    }
+
+    #[test]
+    fn wire_round_tripped_snapshot_forks_identically() {
+        let trace = sweep_trace(4 * 1024);
+        let mut cold = fork_test_machine();
+        let base = cold.run(&trace).expect("run");
+        let base_trace = cold.take_run_trace().expect("trace");
+
+        let mut warm = fork_test_machine();
+        warm.set_warm_checkpoint(Some(base.cycles / 2));
+        warm.run(&trace).expect("run");
+        let snap = warm.take_snapshot().expect("snapshot");
+        let bytes = snap.to_bytes();
+        let restored = Snapshot::from_bytes(&bytes).expect("decode");
+
+        let mut fork = fork_test_machine();
+        fork.fork_from(&restored).expect("fork");
+        let stats = fork.run(&trace).expect("forked run");
+        assert_eq!(base, stats);
+        assert_eq!(base_trace, fork.take_run_trace().expect("trace"));
+    }
+
+    #[test]
+    fn fork_rejects_mismatched_machines() {
+        let trace = sweep_trace(4 * 1024);
+        let mut warm = fork_test_machine();
+        warm.set_warm_checkpoint(Some(10_000));
+        warm.run(&trace).expect("run");
+        let snap = warm.take_snapshot().expect("snapshot");
+
+        // Different configuration.
+        let mut other_cfg = Machine::new(MachineConfig::default());
+        other_cfg.add_prefetcher(Box::new(StreakPrefetcher::new()));
+        let err = other_cfg.fork_from(&snap).expect_err("config mismatch");
+        assert_eq!(err.kind(), "snapshot-rejected");
+
+        // Different prefetcher registration.
+        let mut no_pf = Machine::new(obs_test_config());
+        let err = no_pf.fork_from(&snap).expect_err("registration mismatch");
+        assert_eq!(err.kind(), "snapshot-rejected");
+
+        // A matching machine still accepts it afterwards.
+        let mut ok = fork_test_machine();
+        ok.fork_from(&snap).expect("fork");
+    }
+
+    #[test]
+    fn forked_run_with_validation_matches_cold_run() {
+        let trace = sweep_trace(4 * 1024);
+        let mut cold = fork_test_machine();
+        cold.set_validate(crate::validate::ValidateConfig::paper());
+        let base = cold.run(&trace).expect("run");
+
+        let mut warm = fork_test_machine();
+        warm.set_validate(crate::validate::ValidateConfig::paper());
+        warm.set_warm_checkpoint(Some(base.cycles / 2));
+        warm.run(&trace).expect("run");
+        let snap = warm.take_snapshot().expect("snapshot");
+
+        let mut fork = fork_test_machine();
+        fork.set_validate(crate::validate::ValidateConfig::paper());
+        fork.fork_from(&snap).expect("fork");
+        assert_eq!(base, fork.run(&trace).expect("forked run"));
     }
 }

@@ -92,6 +92,11 @@ pub enum SimError {
     /// A workload generator or simulation panicked; the harness caught
     /// the unwind and carries the panic message here.
     WorkloadPanic(String),
+    /// A warm-state snapshot was rejected at fork time (wrong
+    /// configuration fingerprint, mismatched prefetcher registration, or
+    /// a malformed state blob). The message is the decoder's diagnostic;
+    /// harnesses treat this as "fall back to a cold run".
+    SnapshotRejected(String),
 }
 
 impl SimError {
@@ -102,6 +107,7 @@ impl SimError {
             SimError::CycleBudgetExceeded { .. } => "cycle-budget",
             SimError::InvariantViolation(_) => "invariant",
             SimError::WorkloadPanic(_) => "panic",
+            SimError::SnapshotRejected(_) => "snapshot-rejected",
         }
     }
 
@@ -123,6 +129,7 @@ impl std::fmt::Display for SimError {
             }
             SimError::InvariantViolation(msg) => write!(f, "invariant violation: {msg}"),
             SimError::WorkloadPanic(msg) => write!(f, "workload panic: {msg}"),
+            SimError::SnapshotRejected(msg) => write!(f, "snapshot rejected: {msg}"),
         }
     }
 }
@@ -153,6 +160,10 @@ mod tests {
             "invariant"
         );
         assert_eq!(SimError::WorkloadPanic(String::new()).kind(), "panic");
+        assert_eq!(
+            SimError::SnapshotRejected(String::new()).kind(),
+            "snapshot-rejected"
+        );
     }
 
     #[test]

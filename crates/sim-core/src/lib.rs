@@ -63,6 +63,7 @@ pub mod mshr;
 pub mod multicore;
 pub mod obs;
 pub mod prefetcher;
+pub mod snapshot;
 pub mod stats;
 pub mod throttling;
 pub mod trace;
@@ -83,6 +84,10 @@ pub use obs::{
 pub use prefetcher::{
     AccessKind, Aggressiveness, DemandAccess, FillEvent, NullObserver, PgTag, PrefetchCtx,
     PrefetchObserver, PrefetchRequest, Prefetcher, PrefetcherId, PrefetcherKind,
+};
+pub use snapshot::{
+    config_fingerprint, SnapReader, SnapWriter, Snapshot, SnapshotError, SNAPSHOT_MAGIC,
+    SNAPSHOT_SCHEMA, SNAPSHOT_VERSION,
 };
 pub use stats::{PrefetcherStats, PrefetcherSummary, RunStats, StatsSummary};
 pub use throttling::{

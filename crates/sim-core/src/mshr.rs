@@ -6,7 +6,8 @@
 //! a block whose prefetch is already in flight *merge* into the entry; such
 //! prefetches are counted as used-but-late.
 
-use crate::prefetcher::{AccessKind, PgTag};
+use crate::prefetcher::{AccessKind, PgTag, PrefetcherId};
+use crate::snapshot::{SnapReader, SnapWriter, SnapshotError};
 use sim_mem::Addr;
 
 /// An in-flight last-level-cache miss.
@@ -144,6 +145,113 @@ impl MshrFile {
             waiters.clear();
             self.spare_waiters.push(waiters);
         }
+    }
+
+    /// Serializes every slot in order (slot indices are stored in DRAM
+    /// requests, so positions must survive the round trip). The spare
+    /// waiter pool is a pure allocation cache and is not captured.
+    pub(crate) fn save_state(&self, w: &mut SnapWriter) {
+        w.u32(self.entries.len() as u32);
+        for slot in &self.entries {
+            match slot {
+                None => w.bool(false),
+                Some(e) => {
+                    w.bool(true);
+                    w.u32(e.block_addr);
+                    write_access_kind(w, e.kind);
+                    w.u32(e.trigger_pc);
+                    w.u32(e.trigger_addr);
+                    w.u8(e.depth);
+                    match e.pg {
+                        None => w.bool(false),
+                        Some(pg) => {
+                            w.bool(true);
+                            w.u32(pg.pc);
+                            w.i16(pg.offset);
+                        }
+                    }
+                    w.u32(e.waiters.len() as u32);
+                    for &wt in &e.waiters {
+                        w.u32(wt);
+                    }
+                    w.bool(e.demand_merged);
+                    w.bool(e.store_merged);
+                }
+            }
+        }
+    }
+
+    /// Restores state saved by [`MshrFile::save_state`] into a file of
+    /// the same capacity.
+    pub(crate) fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapshotError> {
+        let n = r.u32()? as usize;
+        if n != self.entries.len() {
+            return Err(SnapshotError::Malformed(format!(
+                "snapshot has {n} MSHRs, this file has {}",
+                self.entries.len()
+            )));
+        }
+        self.occupied = 0;
+        for slot in &mut self.entries {
+            *slot = None;
+        }
+        for i in 0..n {
+            if !r.bool()? {
+                continue;
+            }
+            let block_addr = r.u32()?;
+            let kind = read_access_kind(r)?;
+            let trigger_pc = r.u32()?;
+            let trigger_addr = r.u32()?;
+            let depth = r.u8()?;
+            let pg = if r.bool()? {
+                let pc = r.u32()?;
+                let offset = r.i16()?;
+                Some(PgTag { pc, offset })
+            } else {
+                None
+            };
+            let num_waiters = r.u32()? as usize;
+            let mut waiters = Vec::with_capacity(num_waiters);
+            for _ in 0..num_waiters {
+                waiters.push(r.u32()?);
+            }
+            let demand_merged = r.bool()?;
+            let store_merged = r.bool()?;
+            self.entries[i] = Some(MshrEntry {
+                block_addr,
+                kind,
+                trigger_pc,
+                trigger_addr,
+                depth,
+                pg,
+                waiters,
+                demand_merged,
+                store_merged,
+            });
+            self.occupied += 1;
+        }
+        Ok(())
+    }
+}
+
+fn write_access_kind(w: &mut SnapWriter, k: AccessKind) {
+    match k {
+        AccessKind::DemandLoad => w.u8(0),
+        AccessKind::DemandStore => w.u8(1),
+        AccessKind::Prefetch(id) => {
+            w.u8(2);
+            w.u8(id.0);
+        }
+    }
+}
+
+fn read_access_kind(r: &mut SnapReader<'_>) -> Result<AccessKind, SnapshotError> {
+    match r.u8()? {
+        0 => Ok(AccessKind::DemandLoad),
+        1 => Ok(AccessKind::DemandStore),
+        2 => Ok(AccessKind::Prefetch(PrefetcherId(r.u8()?))),
+        t => Err(SnapshotError::Malformed(format!("access kind tag {t}"))),
     }
 }
 

@@ -7,10 +7,14 @@
 //! memory-system contention persists until the slowest core completes.
 
 use crate::dram::Dram;
-use crate::engine::CoreSim;
+use crate::engine::{
+    check_registration, restore_prefetcher_states, restore_throttle_state, save_prefetcher_states,
+    save_throttle_state, CoreSim,
+};
 use crate::error::SimError;
 use crate::obs::{ObsCollector, ObsConfig, RunTrace};
 use crate::prefetcher::{NullObserver, Prefetcher};
+use crate::snapshot::{config_fingerprint, CoreState, Snapshot, SnapshotError};
 use crate::stats::RunStats;
 use crate::throttling::{NoThrottle, ThrottlePolicy};
 use crate::trace::Trace;
@@ -102,6 +106,9 @@ pub struct MultiMachine {
     cores: Vec<CoreSetup>,
     obs_config: Option<ObsConfig>,
     validate_config: Option<crate::validate::ValidateConfig>,
+    warm_cycles: Option<u64>,
+    captured: Option<Snapshot>,
+    resume: Option<Snapshot>,
 }
 
 impl MultiMachine {
@@ -113,6 +120,9 @@ impl MultiMachine {
             cores,
             obs_config: None,
             validate_config: None,
+            warm_cycles: None,
+            captured: None,
+            resume: None,
         }
     }
 
@@ -135,6 +145,56 @@ impl MultiMachine {
     /// Number of cores.
     pub fn num_cores(&self) -> usize {
         self.cores.len()
+    }
+
+    /// Arms warm-state capture, mirroring
+    /// [`crate::Machine::set_warm_checkpoint`]: the next
+    /// [`MultiMachine::run`] records a [`Snapshot`] of every core plus the
+    /// shared DRAM system at the first visited cycle at or past `cycles`.
+    /// Capture is a pure read; `None` disarms.
+    pub fn set_warm_checkpoint(&mut self, cycles: Option<u64>) -> &mut Self {
+        self.warm_cycles = cycles;
+        self
+    }
+
+    /// Removes and returns the snapshot captured by the most recent run.
+    pub fn take_snapshot(&mut self) -> Option<Snapshot> {
+        self.captured.take()
+    }
+
+    /// Arms the next [`MultiMachine::run`] to resume from `snapshot`.
+    /// Single-shot, and the forked run must replay the **same traces** the
+    /// snapshot was captured on (see [`crate::Machine::fork_from`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::SnapshotRejected`] when the snapshot's core
+    /// count differs from this machine's, was captured under a different
+    /// configuration (fingerprint mismatch), or any core's
+    /// prefetcher/throttle registration does not match.
+    pub fn fork_from(&mut self, snapshot: &Snapshot) -> Result<&mut Self, SimError> {
+        let n = self.cores.len();
+        if snapshot.cores.len() != n
+            || snapshot.finished.len() != n
+            || snapshot.bus_at_start.len() != n
+        {
+            return Err(SimError::SnapshotRejected(format!(
+                "{n}-core machine cannot fork a {}-core snapshot",
+                snapshot.cores.len()
+            )));
+        }
+        let fp = config_fingerprint(&self.config);
+        if snapshot.config_fp != fp {
+            return Err(SimError::SnapshotRejected(format!(
+                "configuration fingerprint {fp:#018x} != snapshot {:#018x}",
+                snapshot.config_fp
+            )));
+        }
+        for (c, (cs, setup)) in snapshot.cores.iter().zip(&self.cores).enumerate() {
+            check_registration(cs, &setup.prefetchers, setup.throttle.as_ref(), c)?;
+        }
+        self.resume = Some(snapshot.clone());
+        Ok(self)
     }
 
     /// Runs one trace per core until every core has completed its trace at
@@ -161,6 +221,7 @@ impl MultiMachine {
                     Arc::clone(&self.config),
                     &traces[i],
                     self.cores[i].prefetchers.len(),
+                    self.resume.is_some(),
                 )
             })
             .collect();
@@ -177,8 +238,24 @@ impl MultiMachine {
         }
         let mut observer = NullObserver;
         let mut snapshots: Vec<Option<RunStats>> = vec![None; n];
-        let bus_at_start: Vec<u64> = vec![0; n];
+        let mut bus_at_start: Vec<u64> = vec![0; n];
         let mut now: u64 = 0;
+        self.captured = None;
+        if let Some(snap) = self.resume.take() {
+            let rej = |e: SnapshotError| SimError::SnapshotRejected(e.to_string());
+            for (c, cs) in snap.cores.iter().enumerate() {
+                sims[c].restore_warm(cs).map_err(rej)?;
+                restore_prefetcher_states(&mut self.cores[c].prefetchers, &cs.prefetchers)
+                    .map_err(rej)?;
+                restore_throttle_state(self.cores[c].throttle.as_mut(), &cs.throttle)
+                    .map_err(rej)?;
+            }
+            dram.restore_state(&snap.dram).map_err(rej)?;
+            snapshots.clone_from(&snap.finished);
+            bus_at_start.clone_from(&snap.bus_at_start);
+            now = snap.cycle;
+        }
+        let mut capture_at = self.warm_cycles.unwrap_or(u64::MAX);
 
         // Attribute a wedge to the first core that has not completed its
         // trace (rewound cores count as finished for blame purposes).
@@ -192,6 +269,28 @@ impl MultiMachine {
             };
 
         while snapshots.iter().any(Option::is_none) {
+            // Warm-state capture: a pure read of chip state at the top of
+            // the loop, before this cycle's DRAM tick (same phase the
+            // single-core engine captures at).
+            if now >= capture_at {
+                capture_at = u64::MAX;
+                let snap = Snapshot {
+                    cycle: now,
+                    config_fp: config_fingerprint(&self.config),
+                    cores: (0..n)
+                        .map(|c| CoreState {
+                            mem: Arc::new(sims[c].mem.clone()),
+                            core: sims[c].save_warm(now),
+                            prefetchers: save_prefetcher_states(&self.cores[c].prefetchers),
+                            throttle: save_throttle_state(self.cores[c].throttle.as_ref()),
+                        })
+                        .collect(),
+                    dram: dram.save_state(),
+                    finished: snapshots.clone(),
+                    bus_at_start: bus_at_start.clone(),
+                };
+                self.captured = Some(snap);
+            }
             let mut activity = false;
             for completion in dram.tick(now) {
                 if completion.request.is_write {
@@ -367,6 +466,47 @@ mod tests {
             r.per_core.iter().any(|s| s.cycles > alone.cycles),
             "expected shared-resource contention"
         );
+    }
+
+    #[test]
+    fn forked_multicore_run_matches_cold_run() {
+        let cfg = MachineConfig::default();
+        let traces: Vec<Trace> = (0..2).map(|i| stream_trace(400, i * 0x100_0000)).collect();
+        let mut cold = MultiMachine::new(cfg.clone(), vec![CoreSetup::bare(), CoreSetup::bare()]);
+        cold.set_obs(ObsConfig::enabled());
+        let base = cold.run(&traces).expect("run");
+
+        let mut warm = MultiMachine::new(cfg.clone(), vec![CoreSetup::bare(), CoreSetup::bare()]);
+        warm.set_obs(ObsConfig::enabled());
+        let warm_at = base.per_core.iter().map(|s| s.cycles).max().expect("cores") / 2;
+        warm.set_warm_checkpoint(Some(warm_at));
+        let unperturbed = warm.run(&traces).expect("run");
+        assert_eq!(
+            base.per_core, unperturbed.per_core,
+            "capture is a pure read"
+        );
+        assert_eq!(base.total_bus_transfers, unperturbed.total_bus_transfers);
+        let snap = warm.take_snapshot().expect("snapshot");
+        // Round-trip through the wire format, then fork a fresh machine.
+        let snap = Snapshot::from_bytes(&snap.to_bytes()).expect("decode");
+
+        let mut fork = MultiMachine::new(cfg.clone(), vec![CoreSetup::bare(), CoreSetup::bare()]);
+        fork.set_obs(ObsConfig::enabled());
+        fork.fork_from(&snap).expect("fork");
+        let stats = fork.run(&traces).expect("forked run");
+        assert_eq!(base.per_core, stats.per_core, "forked run is bit-identical");
+        assert_eq!(base.total_bus_transfers, stats.total_bus_transfers);
+        assert_eq!(base.traces, stats.traces);
+
+        // Core-count mismatch is rejected eagerly.
+        let mut wrong = MultiMachine::new(cfg, vec![CoreSetup::bare()]);
+        let err = wrong.fork_from(&snap).expect_err("core count mismatch");
+        assert_eq!(err.kind(), "snapshot-rejected");
+        // And a multi-core snapshot cannot fork a single-core machine.
+        let err = crate::Machine::new(MachineConfig::default())
+            .fork_from(&snap)
+            .expect_err("multi snapshot into single-core machine");
+        assert_eq!(err.kind(), "snapshot-rejected");
     }
 
     #[test]

@@ -498,6 +498,180 @@ impl ObsCollector {
             lifecycle_dropped: self.lifecycle_dropped,
         }
     }
+
+    /// Serializes everything recorded so far plus the delta baselines
+    /// (warm-state checkpointing). The configuration is *not* captured —
+    /// a forked run keeps its own collector's configuration.
+    pub(crate) fn save_state(&self, w: &mut SnapWriter) {
+        w.u64(self.samples.len() as u64);
+        for s in &self.samples {
+            write_sample(w, s);
+        }
+        w.u64(self.transitions.len() as u64);
+        for t in &self.transitions {
+            write_transition(w, t);
+        }
+        w.u64(self.transitions_dropped);
+        w.u64(self.lifecycle.len() as u64);
+        for e in &self.lifecycle {
+            write_lifecycle(w, e);
+        }
+        w.u64(self.lifecycle_dropped);
+        w.u64(self.last_cycle);
+        w.u64(self.last_retired);
+        w.u64(self.last_l2_demand_accesses);
+        w.u64(self.last_l2_demand_misses);
+        w.u64(self.last_l2_lds_misses);
+        w.u64(self.last_bus_transfers);
+    }
+
+    /// Restores state saved by [`ObsCollector::save_state`], keeping this
+    /// collector's configuration.
+    pub(crate) fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapshotError> {
+        let n = r.len_prefix()?;
+        self.samples.clear();
+        for _ in 0..n {
+            self.samples.push(read_sample(r)?);
+        }
+        let n = r.len_prefix()?;
+        self.transitions.clear();
+        for _ in 0..n {
+            self.transitions.push_back(read_transition(r)?);
+        }
+        self.transitions_dropped = r.u64()?;
+        let n = r.len_prefix()?;
+        self.lifecycle.clear();
+        for _ in 0..n {
+            self.lifecycle.push_back(read_lifecycle(r)?);
+        }
+        self.lifecycle_dropped = r.u64()?;
+        self.last_cycle = r.u64()?;
+        self.last_retired = r.u64()?;
+        self.last_l2_demand_accesses = r.u64()?;
+        self.last_l2_demand_misses = r.u64()?;
+        self.last_l2_lds_misses = r.u64()?;
+        self.last_bus_transfers = r.u64()?;
+        Ok(())
+    }
+}
+
+use crate::snapshot::{SnapReader, SnapWriter, SnapshotError};
+
+fn write_sample(w: &mut SnapWriter, s: &IntervalSample) {
+    w.u64(s.interval);
+    w.u64(s.cycle);
+    w.u64(s.retired);
+    w.f64(s.ipc);
+    w.u64(s.l2_demand_accesses);
+    w.u64(s.l2_demand_misses);
+    w.u64(s.l2_lds_misses);
+    w.u64(s.bus_transfers);
+    w.f64(s.bus_occupancy);
+    w.u32(s.mshr_occupancy);
+    w.u32(s.prefetchers.len() as u32);
+    for p in &s.prefetchers {
+        w.u64(p.issued);
+        w.u64(p.used);
+        w.u64(p.late);
+        w.f64(p.accuracy);
+        w.f64(p.coverage);
+        w.aggressiveness(p.level);
+    }
+}
+
+fn read_sample(r: &mut SnapReader<'_>) -> Result<IntervalSample, SnapshotError> {
+    let mut s = IntervalSample {
+        interval: r.u64()?,
+        cycle: r.u64()?,
+        retired: r.u64()?,
+        ipc: r.f64()?,
+        l2_demand_accesses: r.u64()?,
+        l2_demand_misses: r.u64()?,
+        l2_lds_misses: r.u64()?,
+        bus_transfers: r.u64()?,
+        bus_occupancy: r.f64()?,
+        mshr_occupancy: r.u32()?,
+        prefetchers: Vec::new(),
+    };
+    let n = r.u32()? as usize;
+    if n > 256 {
+        return Err(SnapshotError::Malformed(format!("{n} prefetcher samples")));
+    }
+    for _ in 0..n {
+        s.prefetchers.push(PrefetcherSample {
+            issued: r.u64()?,
+            used: r.u64()?,
+            late: r.u64()?,
+            accuracy: r.f64()?,
+            coverage: r.f64()?,
+            level: r.aggressiveness()?,
+        });
+    }
+    Ok(s)
+}
+
+fn write_transition(w: &mut SnapWriter, t: &ThrottleTransition) {
+    w.u64(t.interval);
+    w.u8(t.prefetcher);
+    w.u8(t.case);
+    w.f64(t.accuracy);
+    w.f64(t.coverage);
+    w.f64(t.rival_coverage);
+    w.u8(match t.decision {
+        ThrottleDecision::Up => 0,
+        ThrottleDecision::Down => 1,
+        ThrottleDecision::Keep => 2,
+    });
+    w.aggressiveness(t.from_level);
+    w.aggressiveness(t.to_level);
+}
+
+fn read_transition(r: &mut SnapReader<'_>) -> Result<ThrottleTransition, SnapshotError> {
+    Ok(ThrottleTransition {
+        interval: r.u64()?,
+        prefetcher: r.u8()?,
+        case: r.u8()?,
+        accuracy: r.f64()?,
+        coverage: r.f64()?,
+        rival_coverage: r.f64()?,
+        decision: match r.u8()? {
+            0 => ThrottleDecision::Up,
+            1 => ThrottleDecision::Down,
+            2 => ThrottleDecision::Keep,
+            t => return Err(SnapshotError::Malformed(format!("decision tag {t}"))),
+        },
+        from_level: r.aggressiveness()?,
+        to_level: r.aggressiveness()?,
+    })
+}
+
+fn write_lifecycle(w: &mut SnapWriter, e: &LifecycleEvent) {
+    w.u64(e.cycle);
+    w.u8(match e.stage {
+        LifecycleStage::Issued => 0,
+        LifecycleStage::Filled => 1,
+        LifecycleStage::Used => 2,
+        LifecycleStage::Evicted => 3,
+    });
+    w.u8(e.prefetcher);
+    w.u32(e.addr);
+    w.bool(e.late);
+}
+
+fn read_lifecycle(r: &mut SnapReader<'_>) -> Result<LifecycleEvent, SnapshotError> {
+    Ok(LifecycleEvent {
+        cycle: r.u64()?,
+        stage: match r.u8()? {
+            0 => LifecycleStage::Issued,
+            1 => LifecycleStage::Filled,
+            2 => LifecycleStage::Used,
+            3 => LifecycleStage::Evicted,
+            t => return Err(SnapshotError::Malformed(format!("lifecycle tag {t}"))),
+        },
+        prefetcher: r.u8()?,
+        addr: r.u32()?,
+        late: r.bool()?,
+    })
 }
 
 #[cfg(test)]

@@ -258,6 +258,26 @@ pub trait Prefetcher {
     fn aggressiveness(&self) -> Aggressiveness {
         Aggressiveness::Aggressive
     }
+
+    /// Serializes this prefetcher's learned state (tables, histories,
+    /// LRU clocks) for a warm-state snapshot. The aggressiveness level is
+    /// captured separately by the engine; stateless prefetchers keep the
+    /// default no-op.
+    fn save_state(&self, _w: &mut crate::snapshot::SnapWriter) {}
+
+    /// Restores state written by [`Prefetcher::save_state`], fully
+    /// overwriting any previously learned state.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`crate::snapshot::SnapshotError`] on a malformed blob;
+    /// the engine surfaces it as a snapshot rejection.
+    fn load_state(
+        &mut self,
+        _r: &mut crate::snapshot::SnapReader<'_>,
+    ) -> Result<(), crate::snapshot::SnapshotError> {
+        Ok(())
+    }
 }
 
 /// Observes per-prefetch outcomes; used by the ECDP profiling pass to

@@ -239,6 +239,25 @@ pub trait ThrottlePolicy {
     fn decision_trace(&self) -> Option<&[DecisionTrace]> {
         None
     }
+
+    /// Serializes the policy's internal state (selector flags, last
+    /// decision traces) for a warm-state snapshot. Stateless policies keep
+    /// the default no-op.
+    fn save_state(&self, _w: &mut crate::snapshot::SnapWriter) {}
+
+    /// Restores state written by [`ThrottlePolicy::save_state`], fully
+    /// overwriting any previous state.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`crate::snapshot::SnapshotError`] on a malformed blob;
+    /// the engine surfaces it as a snapshot rejection.
+    fn load_state(
+        &mut self,
+        _r: &mut crate::snapshot::SnapReader<'_>,
+    ) -> Result<(), crate::snapshot::SnapshotError> {
+        Ok(())
+    }
 }
 
 /// A policy that never changes anything (the paper's non-throttled configs).

@@ -214,6 +214,37 @@ impl RuntimeValidator {
         self.total
     }
 
+    /// Serializes the violations accumulated so far (warm-state
+    /// checkpointing). The check configuration is *not* captured — a forked
+    /// run keeps its own validator's configuration.
+    pub(crate) fn save_state(&self, w: &mut crate::snapshot::SnapWriter) {
+        w.u64(self.violations.len() as u64);
+        for v in &self.violations {
+            w.str(v);
+        }
+        w.u64(self.total);
+    }
+
+    /// Restores state saved by [`RuntimeValidator::save_state`], keeping
+    /// this validator's configuration.
+    pub(crate) fn restore_state(
+        &mut self,
+        r: &mut crate::snapshot::SnapReader<'_>,
+    ) -> Result<(), crate::snapshot::SnapshotError> {
+        let n = r.len_prefix()?;
+        if n > MAX_RECORDED {
+            return Err(crate::snapshot::SnapshotError::Malformed(format!(
+                "{n} recorded violations"
+            )));
+        }
+        self.violations.clear();
+        for _ in 0..n {
+            self.violations.push(r.str()?);
+        }
+        self.total = r.u64()?;
+        Ok(())
+    }
+
     /// Runs the interval-boundary checks.
     pub fn check_interval(&mut self, view: &IntervalCheck<'_>) {
         let at = format!("interval {} cycle {}", view.interval, view.cycle);

@@ -5,7 +5,8 @@ use std::sync::Arc;
 use crate::{Addr, BLOCK_BYTES};
 
 const PAGE_SHIFT: u32 = 12;
-const PAGE_BYTES: usize = 1 << PAGE_SHIFT;
+/// Size of one simulated memory page in bytes (the CoW sharing granule).
+pub const PAGE_BYTES: usize = 1 << PAGE_SHIFT;
 const PAGE_MASK: u32 = (PAGE_BYTES as u32) - 1;
 /// Number of pages in the 32-bit address space.
 const NUM_PAGES: usize = 1 << (32 - PAGE_SHIFT);
@@ -67,6 +68,35 @@ impl SimMemory {
             .filter(|(_, p)| p.is_some())
             .map(|(i, _)| i as u32)
             .collect()
+    }
+
+    /// Raw bytes of the resident page `index` (see
+    /// [`SimMemory::resident_page_indices`]), or `None` if the page was
+    /// never touched. Used by the warm-state snapshot serializer.
+    pub fn page_bytes(&self, index: u32) -> Option<&[u8]> {
+        self.pages
+            .get(index as usize)
+            .and_then(|p| p.as_ref())
+            .map(|p| p.as_slice())
+    }
+
+    /// Installs a full page image at `index`, allocating it if absent.
+    ///
+    /// Returns `false` (without touching memory) if `index` is out of
+    /// range or `data` is not exactly [`PAGE_BYTES`] long — the snapshot
+    /// decoder turns that into a structured error instead of panicking.
+    pub fn install_page(&mut self, index: u32, data: &[u8]) -> bool {
+        let Some(slot) = self.pages.get_mut(index as usize) else {
+            return false;
+        };
+        let Ok(page) = <&[u8; PAGE_BYTES]>::try_from(data) else {
+            return false;
+        };
+        if slot.is_none() {
+            self.resident += 1;
+        }
+        *slot = Some(Arc::new(*page));
+        true
     }
 
     #[inline]

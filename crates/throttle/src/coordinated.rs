@@ -16,7 +16,10 @@
 //! coverage among the other prefetchers (the paper notes the scheme is
 //! prefetcher-symmetric and extensible this way).
 
-use sim_core::{DecisionTrace, IntervalFeedback, ThrottleDecision, ThrottlePolicy};
+use sim_core::{
+    DecisionTrace, IntervalFeedback, SnapReader, SnapWriter, SnapshotError, ThrottleDecision,
+    ThrottlePolicy,
+};
 
 /// The thresholds of the paper's Table 4.
 ///
@@ -99,6 +102,28 @@ impl ThrottlePolicy for CoordinatedThrottle {
 
     fn decision_trace(&self) -> Option<&[DecisionTrace]> {
         Some(&self.last_trace)
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) {
+        // Thresholds come from construction; only the last interval's
+        // decision trace is run state.
+        w.u32(self.last_trace.len() as u32);
+        for t in &self.last_trace {
+            w.u8(t.case);
+            w.f64(t.rival_coverage);
+        }
+    }
+
+    fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapshotError> {
+        let n = r.u32()? as usize;
+        self.last_trace.clear();
+        for _ in 0..n {
+            self.last_trace.push(DecisionTrace {
+                case: r.u8()?,
+                rival_coverage: r.f64()?,
+            });
+        }
+        Ok(())
     }
 }
 

@@ -18,7 +18,8 @@ use std::rc::Rc;
 
 use sim_core::{
     Addr, Aggressiveness, DemandAccess, FillEvent, IntervalFeedback, PgTag, PrefetchCtx,
-    Prefetcher, PrefetcherKind, ThrottleDecision, ThrottlePolicy,
+    Prefetcher, PrefetcherKind, SnapReader, SnapWriter, SnapshotError, ThrottleDecision,
+    ThrottlePolicy,
 };
 
 /// A prefetcher wrapper with an externally controlled on/off switch.
@@ -94,6 +95,18 @@ impl Prefetcher for Switchable {
 
     fn aggressiveness(&self) -> Aggressiveness {
         self.inner.aggressiveness()
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) {
+        // The enable flag is shared with the PabSelector policy, so
+        // restoring it here also restores the selector's view.
+        w.bool(self.enabled.get());
+        self.inner.save_state(w);
+    }
+
+    fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapshotError> {
+        self.enabled.set(r.bool()?);
+        self.inner.load_state(r)
     }
 }
 

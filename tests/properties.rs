@@ -347,3 +347,63 @@ proptest! {
         prop_assert_eq!(skip_ts, ref_ts, "timeseries.json must be byte-identical");
     }
 }
+
+// ------------------------------------------------- warm-state checkpoint/fork
+//
+// Forking a system from a warm snapshot — directly, or after a round
+// trip through the wire format — must be invisible: the forked run's
+// statistics and interval time series have to match the cold run byte
+// for byte, across randomized workloads, systems, interval lengths and
+// capture points. Mirrors the skip-vs-no-skip suite above; the
+// `validate` feature arms the runtime invariants for all of them.
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+    #[test]
+    fn warm_fork_matches_cold_run_on_assembled_systems(
+        workload_idx in 0usize..3,
+        system_idx in 0usize..3,
+        interval_evictions in 64u64..512,
+        checkpoint_tenths in 1u64..9,
+    ) {
+        use ecdp::system::{CompilerArtifacts, SystemBuilder, SystemKind};
+        use sim_core::{ObsConfig, Snapshot};
+
+        let workload = ["mst", "health", "libquantum"][workload_idx];
+        let system = [
+            SystemKind::StreamOnly,
+            SystemKind::StreamCdp,
+            SystemKind::StreamEcdpThrottled,
+        ][system_idx];
+        let trace = workloads::by_name(workload)
+            .expect("workload")
+            .generate(workloads::InputSet::Test);
+        let artifacts = CompilerArtifacts::empty();
+        let cfg = MachineConfig { interval_evictions, ..MachineConfig::default() };
+        let obs = ObsConfig { timeseries: true, decisions: true, ..ObsConfig::default() };
+        let build = || {
+            SystemBuilder::new(system)
+                .artifacts(&artifacts)
+                .config(cfg.clone())
+                .observe(obs)
+        };
+
+        let cold = build().run(&trace).expect("cold run");
+        // Capture somewhere strictly inside the run (10%..80%).
+        let at = (cold.stats.cycles * checkpoint_tenths / 10).max(1);
+        let captured = build().warm_checkpoint(at).run(&trace).expect("capture run");
+        prop_assert_eq!(&captured.stats, &cold.stats, "capture must be a pure read");
+        let snapshot = captured.snapshot.expect("run passed the capture point");
+
+        let forked = build().fork_from(&snapshot).run(&trace).expect("forked run");
+        let restored = Snapshot::from_bytes(&snapshot.to_bytes()).expect("wire round-trip");
+        let rewired = build().fork_from(&restored).run(&trace).expect("restored run");
+
+        let cold_ts = cold.trace.expect("trace").timeseries_json().to_string_pretty();
+        for (tag, run) in [("forked", forked), ("wire-restored", rewired)] {
+            prop_assert_eq!(&run.stats, &cold.stats, "{} stats diverged", tag);
+            let ts = run.trace.expect("trace").timeseries_json().to_string_pretty();
+            prop_assert_eq!(&ts, &cold_ts, "{} timeseries must be byte-identical", tag);
+        }
+    }
+}
