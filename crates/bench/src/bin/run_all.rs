@@ -56,7 +56,9 @@ use std::time::Instant;
 
 use bench::cli::{parse_args, Parsed, RunAllArgs, USAGE};
 use bench::experiments::{compare, misc, multi, single, POINTER_BENCHES};
-use bench::{Lab, Manifest, ManifestWriter, RunOutcome, SweepOptions, SweepPlan};
+use bench::{
+    Lab, Manifest, ManifestWriter, ResultStore, RetryPolicy, RunOutcome, SweepOptions, SweepPlan,
+};
 use ecdp::system::SystemKind;
 use workloads::InputSet;
 
@@ -254,6 +256,37 @@ fn main() {
     let t0 = Instant::now();
     let mut failures = 0usize;
 
+    // Persistent result store (--store or $BENCH_RESULT_STORE): opening
+    // runs startup recovery; the report artifact lands next to the log.
+    let store = args
+        .store
+        .clone()
+        .or_else(|| {
+            std::env::var("BENCH_RESULT_STORE")
+                .ok()
+                .filter(|s| !s.is_empty())
+        })
+        .map(ResultStore::open);
+    if let Some(store) = &store {
+        let rec = store.recovery();
+        eprintln!(
+            "[run_all] result store {}: {} committed cells, {} quarantined, {}",
+            store.path().display(),
+            store.len(),
+            rec.quarantined(),
+            if rec.healed {
+                "healed"
+            } else if rec.is_clean() {
+                "clean"
+            } else {
+                "degraded"
+            },
+        );
+        if let Some(reason) = store.degraded() {
+            eprintln!("[run_all] result store is memory-only: {reason}");
+        }
+    }
+
     // Phase 1 — fault-tolerant sweep over the shared grid, with
     // incremental manifest flushes and optional resume. A filtered
     // report run skips it: the filter may need none of these cells.
@@ -289,6 +322,8 @@ fn main() {
                 resume_from: prior.as_ref(),
                 writer: Some(&writer),
                 trace_dir: trace_dir.as_deref(),
+                store: store.as_ref(),
+                retry: RetryPolicy::from_env(),
             },
         );
         eprintln!(
@@ -298,6 +333,9 @@ fn main() {
             exec.failed(),
             t.elapsed()
         );
+        if store.is_some() {
+            eprintln!("[run_all] result store served {} cell(s)", exec.store_hits);
+        }
         for f in exec.outcomes.iter().filter_map(RunOutcome::failure) {
             eprintln!(
                 "[run_all] FAILED {} {} {}: [{}] {}",
@@ -306,6 +344,25 @@ fn main() {
         }
         failures += exec.failed();
         sweep_outcomes = exec.outcomes;
+    }
+
+    // Store maintenance: optional offline compaction, then the
+    // quarantine/heal report artifact the chaos CI job uploads.
+    if let Some(store) = &store {
+        if std::env::var("BENCH_STORE_COMPACT").is_ok_and(|v| v == "1") {
+            match store.compact() {
+                Ok(stats) => eprintln!(
+                    "[run_all] store compacted: {} live records, {} -> {} bytes",
+                    stats.live_records, stats.bytes_before, stats.bytes_after
+                ),
+                Err(e) => eprintln!("[run_all] store compaction failed: {e}"),
+            }
+        }
+        let report_path = format!("{}.report.json", store.path().display());
+        match std::fs::write(&report_path, store.status_json().to_string_pretty()) {
+            Ok(()) => eprintln!("[run_all] store report: {report_path}"),
+            Err(e) => eprintln!("[run_all] store report write failed: {e}"),
+        }
     }
 
     if args.sweep_only {

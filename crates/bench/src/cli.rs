@@ -8,13 +8,20 @@
 /// Usage line printed on `--help` and on every parse error.
 pub const USAGE: &str = "usage: run_all [--jobs N] [--filter SUBSTR] [--resume] [--sweep]
                [--bench] [--validate] [--no-skip] [--warm-fork]
-               [--trace-dir DIR] [output.md]
+               [--trace-dir DIR] [--store PATH] [output.md]
 
   --jobs N        worker threads (default: $BENCH_JOBS or available parallelism)
   --filter SUBSTR only generate report sections whose name contains SUBSTR;
                   with --sweep, keep only sweep cells matching SUBSTR
   --resume        skip sweep cells already recorded as successful in the
                   existing run_all manifest (same machine-config hash)
+  --store PATH    persistent result store: serve sweep cells committed under
+                  the same machine-config hash without re-simulation, append
+                  fresh results, and write PATH.report.json with the
+                  recovery/heal status (default: $BENCH_RESULT_STORE; retry
+                  knobs: $BENCH_RETRY_ATTEMPTS, $BENCH_RETRY_BACKOFF_MS,
+                  $BENCH_CELL_DEADLINE_MS; set $BENCH_STORE_COMPACT=1 to
+                  compact the log after the sweep)
   --sweep         run only the sweep phase (no report sections)
   --bench         time the engine hot path over the sweep grid and write
                   BENCH_hotpath.json (or the positional output path); with
@@ -53,6 +60,9 @@ pub struct RunAllArgs {
     pub warm_fork: bool,
     /// Directory for per-cell observability artifacts; enables tracing.
     pub trace_dir: Option<String>,
+    /// Persistent result-store path; `None` falls back to
+    /// `$BENCH_RESULT_STORE`, and an empty environment disables it.
+    pub store: Option<String>,
     /// Report output path; `None` means `EXPERIMENTS.md`.
     pub out_path: Option<String>,
 }
@@ -109,6 +119,13 @@ where
                     return Err("--trace-dir value must be non-empty".to_string());
                 }
                 parsed.trace_dir = Some(v);
+            }
+            "--store" => {
+                let v = args.next().ok_or("--store requires a value")?;
+                if v.is_empty() {
+                    return Err("--store value must be non-empty".to_string());
+                }
+                parsed.store = Some(v);
             }
             "--help" | "-h" => return Ok(Parsed::Help),
             _ if a.starts_with('-') => return Err(format!("unknown flag {a:?}")),
@@ -178,6 +195,21 @@ mod tests {
         assert!(parse(&["--jobs", "many"]).is_err(), "non-numeric");
         assert!(parse(&["--jobs", "0"]).is_err(), "zero workers");
         assert!(parse(&["--jobs", "-3"]).is_err(), "negative");
+    }
+
+    #[test]
+    fn parses_store_flag() {
+        let p = parse(&["--store", "target/results.store", "--resume"]);
+        assert_eq!(
+            p,
+            Ok(Parsed::Run(RunAllArgs {
+                store: Some("target/results.store".to_string()),
+                resume: true,
+                ..RunAllArgs::default()
+            }))
+        );
+        assert!(parse(&["--store"]).is_err(), "missing value");
+        assert!(parse(&["--store", ""]).is_err(), "empty value");
     }
 
     #[test]

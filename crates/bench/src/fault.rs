@@ -2,24 +2,36 @@
 //!
 //! A [`FaultPlan`] maps sweep cells — (workload, input, system) triples —
 //! to injected failures: a panic, a genuine simulator livelock (driven
-//! through the real engine watchdog), or an artificial slowdown. Plans
-//! are parsed from the `BENCH_FAULT_PLAN` environment variable, so the
-//! integration tests can exercise the failure paths of the *real*
-//! `run_all` binary without patching any experiment code.
+//! through the real engine watchdog), an artificial slowdown, or one of
+//! the I/O faults the persistent result store's write layer understands
+//! (see [`crate::store`]). Plans are parsed from the `BENCH_FAULT_PLAN`
+//! environment variable, so the integration tests can exercise the
+//! failure paths of the *real* `run_all` binary without patching any
+//! experiment code.
 //!
 //! Plan syntax (entries separated by `;`):
 //!
 //! ```text
-//! action@workload:input:system[=ms]
+//! action@workload:input:system[=[ms][xN]]
+//! action@*[=[ms][xN]]
 //! ```
 //!
-//! * `action` is `panic`, `livelock`, `slow` or `corrupt-checkpoint`
-//!   (only `slow` takes `=ms`);
+//! * `action` is `panic`, `livelock`, `slow`, `stall`,
+//!   `corrupt-checkpoint`, `torn-write`, `short-write`, `enospc` or
+//!   `corrupt-record`;
 //! * `workload` is a workload name, `input` is `train`/`ref`/`test`,
 //!   `system` is a system label (`SystemKind::label`);
-//! * any of the three selectors may be `*` to match everything.
+//! * any of the three selectors may be `*` to match everything, and a
+//!   single `*` cell (`torn-write@*`) is shorthand for `*:*:*`;
+//! * `slow` and `stall` require a `=<ms>` duration; no other action
+//!   takes one;
+//! * an optional `xN` suffix on the value caps the rule to the first
+//!   `N` *attempts* of each matching cell (`slow@*=500x1` delays only
+//!   attempt 1), which is how the chaos tests make a fault transient:
+//!   the supervisor's retry runs clean. Without a cap the rule fires on
+//!   every attempt.
 //!
-//! Example: `panic@mst:test:stream+cdp;livelock@health:test:stream`.
+//! Example: `panic@mst:test:stream+cdp;slow@health:test:*=400x1;torn-write@*`.
 
 use ecdp::system::SystemKind;
 use sim_core::{Machine, MachineConfig, OpKind, SimError, Trace, TraceOp};
@@ -35,12 +47,47 @@ pub enum FaultAction {
     /// engine so the watchdog reports [`SimError::Deadlock`].
     Livelock,
     /// Sleep this many milliseconds before the real run (scheduling
-    /// jitter for the executor tests).
+    /// jitter for the executor tests). Under a per-cell wall-clock
+    /// deadline the sleep is interruptible: a deadline overrun mid-sleep
+    /// fails the attempt with `SimError::DeadlineExceeded`.
     Slow(u64),
+    /// Stall the cell's *store write* for this many milliseconds — the
+    /// I/O-side twin of [`FaultAction::Slow`], injected through the
+    /// result store's faultable write layer.
+    Stall(u64),
     /// Flip a byte of the cell's on-disk warm checkpoint before it is
     /// parsed, so the snapshot CRC check rejects it and the lab's
     /// cold-run fallback path runs for real.
     CorruptCheckpoint,
+    /// Tear the cell's result-store append: write only a prefix of the
+    /// record frame and report failure, as a crash mid-`write(2)` would.
+    TornWrite,
+    /// Short-write the cell's result-store append: persist a prefix of
+    /// the frame but report *success*, the silent-truncation case the
+    /// store's startup recovery must catch by CRC.
+    ShortWrite,
+    /// Fail the cell's result-store append with `ENOSPC` (disk full),
+    /// driving the store's in-memory degradation path.
+    Enospc,
+    /// Flip a byte of the cell's result-store record after a successful
+    /// append, so per-record CRC validation quarantines it on the next
+    /// open and the cell heals by cold re-run.
+    CorruptRecord,
+}
+
+impl FaultAction {
+    /// True for the actions dispatched through the result store's
+    /// faultable write layer rather than the cell's compute closure.
+    pub fn is_store_fault(self) -> bool {
+        matches!(
+            self,
+            FaultAction::Stall(_)
+                | FaultAction::TornWrite
+                | FaultAction::ShortWrite
+                | FaultAction::Enospc
+                | FaultAction::CorruptRecord
+        )
+    }
 }
 
 /// One `action@workload:input:system` entry of a plan.
@@ -50,6 +97,9 @@ struct FaultRule {
     input: String,
     system: String,
     action: FaultAction,
+    /// Fire only on attempts `1..=max_attempts` of a matching cell;
+    /// `None` means every attempt.
+    max_attempts: Option<u32>,
 }
 
 fn matches(selector: &str, value: &str) -> bool {
@@ -73,13 +123,27 @@ impl FaultPlan {
         self.rules.is_empty()
     }
 
-    /// Adds a rule; selectors may be `*`.
+    /// Adds a rule firing on every attempt; selectors may be `*`.
     pub fn push(&mut self, action: FaultAction, workload: &str, input: &str, system: &str) {
+        self.push_capped(action, workload, input, system, None);
+    }
+
+    /// Adds a rule firing only on the first `max_attempts` attempts of
+    /// each matching cell (`None` = every attempt).
+    pub fn push_capped(
+        &mut self,
+        action: FaultAction,
+        workload: &str,
+        input: &str,
+        system: &str,
+        max_attempts: Option<u32>,
+    ) {
         self.rules.push(FaultRule {
             workload: workload.to_string(),
             input: input.to_string(),
             system: system.to_string(),
             action,
+            max_attempts,
         });
     }
 
@@ -95,38 +159,67 @@ impl FaultPlan {
             let (action_text, cell) = entry
                 .split_once('@')
                 .ok_or_else(|| format!("fault entry {entry:?} is missing '@'"))?;
-            let (cell, ms) = match cell.split_once('=') {
-                Some((c, ms)) => (
-                    c,
-                    Some(ms.parse::<u64>().map_err(|_| {
-                        format!("fault entry {entry:?} has a non-numeric duration {ms:?}")
-                    })?),
-                ),
-                None => (cell, None),
+            // Optional value: `=<ms>`, `=x<N>` or `=<ms>x<N>`.
+            let (cell, ms, cap) = match cell.split_once('=') {
+                Some((c, value)) => {
+                    let (ms_text, cap) = match value.split_once('x') {
+                        Some((m, n)) => (
+                            m,
+                            Some(n.parse::<u32>().ok().filter(|&n| n > 0).ok_or_else(|| {
+                                format!("fault entry {entry:?} has a bad attempt cap {n:?}")
+                            })?),
+                        ),
+                        None => (value, None),
+                    };
+                    let ms = if ms_text.is_empty() {
+                        None
+                    } else {
+                        Some(ms_text.parse::<u64>().map_err(|_| {
+                            format!("fault entry {entry:?} has a non-numeric duration {ms_text:?}")
+                        })?)
+                    };
+                    if ms.is_none() && cap.is_none() {
+                        return Err(format!("fault entry {entry:?} has an empty '=' value"));
+                    }
+                    (c, ms, cap)
+                }
+                None => (cell, None, None),
             };
-            let mut parts = cell.split(':');
-            let (workload, input, system) = match (parts.next(), parts.next(), parts.next()) {
-                (Some(w), Some(i), Some(s)) if parts.next().is_none() => (w, i, s),
-                _ => {
-                    return Err(format!(
-                        "fault entry {entry:?} must target workload:input:system"
+            // `@*` is shorthand for the all-wildcard cell `*:*:*`.
+            let (workload, input, system) = if cell == "*" {
+                ("*", "*", "*")
+            } else {
+                let mut parts = cell.split(':');
+                match (parts.next(), parts.next(), parts.next()) {
+                    (Some(w), Some(i), Some(s)) if parts.next().is_none() => (w, i, s),
+                    _ => {
+                        return Err(format!(
+                        "fault entry {entry:?} must target workload:input:system (or a single '*')"
                     ))
+                    }
                 }
             };
             let action = match (action_text, ms) {
                 ("panic", None) => FaultAction::Panic,
                 ("livelock", None) => FaultAction::Livelock,
                 ("slow", Some(ms)) => FaultAction::Slow(ms),
-                ("slow", None) => {
-                    return Err(format!("fault entry {entry:?} needs '=<ms>' for slow"))
+                ("stall", Some(ms)) => FaultAction::Stall(ms),
+                ("slow" | "stall", None) => {
+                    return Err(format!("fault entry {entry:?} needs '=<ms>'"))
                 }
                 ("corrupt-checkpoint", None) => FaultAction::CorruptCheckpoint,
-                ("corrupt-checkpoint", Some(_)) => {
-                    return Err(format!("fault entry {entry:?} takes no duration"))
-                }
+                ("torn-write", None) => FaultAction::TornWrite,
+                ("short-write", None) => FaultAction::ShortWrite,
+                ("enospc", None) => FaultAction::Enospc,
+                ("corrupt-record", None) => FaultAction::CorruptRecord,
+                (
+                    "panic" | "livelock" | "corrupt-checkpoint" | "torn-write" | "short-write"
+                    | "enospc" | "corrupt-record",
+                    Some(_),
+                ) => return Err(format!("fault entry {entry:?} takes no duration")),
                 (other, _) => return Err(format!("unknown fault action {other:?} in {entry:?}")),
             };
-            plan.push(action, workload, input, system);
+            plan.push_capped(action, workload, input, system, cap);
         }
         Ok(plan)
     }
@@ -146,16 +239,55 @@ impl FaultPlan {
         }
     }
 
-    /// The first matching action for a cell, if any.
+    /// The first matching action for a cell's first attempt, if any.
     pub fn action_for(
         &self,
         workload: &str,
         input: InputSet,
         system: SystemKind,
     ) -> Option<FaultAction> {
+        self.action_for_attempt(workload, input, system, 1)
+    }
+
+    /// The first matching action for `attempt` (1-based) of a cell:
+    /// rules with an `xN` cap stop firing after attempt `N`, which is
+    /// what lets a supervisor retry land clean.
+    pub fn action_for_attempt(
+        &self,
+        workload: &str,
+        input: InputSet,
+        system: SystemKind,
+        attempt: u32,
+    ) -> Option<FaultAction> {
         let input = format!("{input:?}").to_lowercase();
         self.rules
             .iter()
+            .filter(|r| r.max_attempts.is_none_or(|cap| attempt <= cap))
+            .find(|r| {
+                matches(&r.workload, workload)
+                    && matches(&r.input, &input)
+                    && matches(&r.system, system.label())
+            })
+            .map(|r| r.action)
+    }
+
+    /// The first matching *store* fault (see
+    /// [`FaultAction::is_store_fault`]) for `attempt` of a cell — the
+    /// injection hook of the result store's faultable write layer.
+    /// Compute-side actions never leak through this lens, so one plan
+    /// can target both layers.
+    pub fn store_fault_for_attempt(
+        &self,
+        workload: &str,
+        input: InputSet,
+        system: SystemKind,
+        attempt: u32,
+    ) -> Option<FaultAction> {
+        let input = format!("{input:?}").to_lowercase();
+        self.rules
+            .iter()
+            .filter(|r| r.max_attempts.is_none_or(|cap| attempt <= cap))
+            .filter(|r| r.action.is_store_fault())
             .find(|r| {
                 matches(&r.workload, workload)
                     && matches(&r.input, &input)
@@ -235,6 +367,105 @@ mod tests {
                 .expect("valid")
                 .action_for("mst", InputSet::Test, SystemKind::StreamOnly),
             Some(FaultAction::CorruptCheckpoint)
+        );
+    }
+
+    #[test]
+    fn parses_io_fault_actions() {
+        let plan = FaultPlan::parse(
+            "torn-write@mst:test:stream;short-write@health:test:*;\
+             enospc@*:*:stream+cdp;corrupt-record@em3d:test:stream;stall@*:*:*=25",
+        )
+        .expect("valid plan");
+        assert_eq!(
+            plan.action_for("mst", InputSet::Test, SystemKind::StreamOnly),
+            Some(FaultAction::TornWrite)
+        );
+        assert_eq!(
+            plan.action_for("health", InputSet::Test, SystemKind::StreamEcdp),
+            Some(FaultAction::ShortWrite)
+        );
+        assert_eq!(
+            plan.action_for("perimeter", InputSet::Ref, SystemKind::StreamCdp),
+            Some(FaultAction::Enospc)
+        );
+        assert_eq!(
+            plan.action_for("em3d", InputSet::Test, SystemKind::StreamOnly),
+            Some(FaultAction::CorruptRecord)
+        );
+        assert_eq!(
+            plan.action_for("treeadd", InputSet::Train, SystemKind::GhbAlone),
+            Some(FaultAction::Stall(25))
+        );
+    }
+
+    #[test]
+    fn io_fault_actions_reject_durations_and_bad_cells() {
+        assert!(FaultPlan::parse("torn-write@a:b:c=3").is_err());
+        assert!(FaultPlan::parse("short-write@a:b:c=3").is_err());
+        assert!(FaultPlan::parse("enospc@a:b:c=3").is_err());
+        assert!(FaultPlan::parse("corrupt-record@a:b:c=3").is_err());
+        assert!(FaultPlan::parse("stall@a:b:c").is_err(), "stall needs ms");
+        assert!(FaultPlan::parse("torn-write@a:b").is_err(), "2-part cell");
+        assert!(FaultPlan::parse("torn-write@a:b:c:d").is_err(), "4 parts");
+        assert!(FaultPlan::parse("torn-write@").is_err(), "empty cell");
+    }
+
+    #[test]
+    fn single_star_is_the_all_wildcard_cell() {
+        let plan = FaultPlan::parse("torn-write@*").expect("valid");
+        assert_eq!(
+            plan.action_for("anything", InputSet::Ref, SystemKind::GhbAlone),
+            Some(FaultAction::TornWrite)
+        );
+        // `**` or a partial star cell is still malformed.
+        assert!(FaultPlan::parse("torn-write@**").is_err());
+        assert!(FaultPlan::parse("torn-write@*:*").is_err());
+    }
+
+    #[test]
+    fn attempt_caps_stop_rules_after_n_attempts() {
+        let plan = FaultPlan::parse("slow@mst:test:stream=40x2;panic@health:test:*=x1")
+            .expect("valid plan");
+        let slow = |attempt| {
+            plan.action_for_attempt("mst", InputSet::Test, SystemKind::StreamOnly, attempt)
+        };
+        assert_eq!(slow(1), Some(FaultAction::Slow(40)));
+        assert_eq!(slow(2), Some(FaultAction::Slow(40)));
+        assert_eq!(slow(3), None, "the cap clears the fault on attempt 3");
+        let panic_at = |attempt| {
+            plan.action_for_attempt("health", InputSet::Test, SystemKind::StreamCdp, attempt)
+        };
+        assert_eq!(panic_at(1), Some(FaultAction::Panic));
+        assert_eq!(panic_at(2), None);
+        // Malformed caps fail fast.
+        assert!(FaultPlan::parse("slow@a:b:c=40x0").is_err(), "zero cap");
+        assert!(FaultPlan::parse("slow@a:b:c=40xtwo").is_err());
+        assert!(FaultPlan::parse("slow@a:b:c=").is_err(), "empty value");
+    }
+
+    #[test]
+    fn store_fault_lens_sees_only_io_actions() {
+        let plan = FaultPlan::parse("panic@mst:test:*;corrupt-record@mst:test:*;stall@*=9x1")
+            .expect("valid plan");
+        // The compute-side lens sees the panic first …
+        assert_eq!(
+            plan.action_for("mst", InputSet::Test, SystemKind::StreamOnly),
+            Some(FaultAction::Panic)
+        );
+        // … while the store lens skips it and finds the record fault.
+        assert_eq!(
+            plan.store_fault_for_attempt("mst", InputSet::Test, SystemKind::StreamOnly, 1),
+            Some(FaultAction::CorruptRecord)
+        );
+        assert_eq!(
+            plan.store_fault_for_attempt("health", InputSet::Test, SystemKind::StreamOnly, 1),
+            Some(FaultAction::Stall(9))
+        );
+        assert_eq!(
+            plan.store_fault_for_attempt("health", InputSet::Test, SystemKind::StreamOnly, 2),
+            None,
+            "the x1 cap applies to the store lens too"
         );
     }
 

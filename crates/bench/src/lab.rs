@@ -23,7 +23,7 @@ use std::time::Instant;
 
 use ecdp::profile::{profile_workload, PgProfile};
 use ecdp::system::{CompilerArtifacts, SystemBuilder, SystemKind, SystemRun};
-use sim_core::{ObsConfig, RunStats, RunTrace, SimError, Snapshot, Trace};
+use sim_core::{DiagnosticSnapshot, ObsConfig, RunStats, RunTrace, SimError, Snapshot, Trace};
 use workloads::{by_name, InputSet};
 
 use crate::fault::{FaultAction, FaultPlan};
@@ -209,6 +209,41 @@ fn write_checkpoint(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
     std::fs::rename(&tmp, path)
 }
 
+/// Sleeps `ms` (the injected [`FaultAction::Slow`] delay) in short
+/// chunks, failing with [`SimError::DeadlineExceeded`] as soon as the
+/// attempt's wall-clock budget — measured from `started` — runs out.
+/// This is what makes an injected slowdown *transient*: the deadline
+/// kills the stalled attempt and the supervisor's retry runs clean.
+fn sleep_under_deadline(
+    ms: u64,
+    started: Instant,
+    deadline: Option<std::time::Duration>,
+) -> Result<(), SimError> {
+    use std::time::Duration;
+    let total = Duration::from_millis(ms);
+    let Some(limit) = deadline else {
+        std::thread::sleep(total);
+        return Ok(());
+    };
+    let end = started + total;
+    loop {
+        let now = Instant::now();
+        if now.duration_since(started) >= limit {
+            return Err(SimError::DeadlineExceeded {
+                deadline_ms: limit.as_millis() as u64,
+                snapshot: DiagnosticSnapshot::default(),
+            });
+        }
+        if now >= end {
+            return Ok(());
+        }
+        let chunk = (end - now)
+            .min(limit - now.duration_since(started))
+            .min(Duration::from_millis(10));
+        std::thread::sleep(chunk);
+    }
+}
+
 /// Run result, the wall-clock milliseconds of the fresh compute, and
 /// the warm-checkpoint disposition (`None` without a store).
 type RunEntry = (RunStats, f64, Option<String>);
@@ -368,7 +403,34 @@ impl Lab {
         input: InputSet,
         kind: SystemKind,
     ) -> Result<RunStats, SimError> {
-        self.try_run_inner(name, input, kind, None)
+        self.try_run_attempt(name, input, kind, 1, None)
+    }
+
+    /// The fault plan this lab injects from (the sweep supervisor uses
+    /// it to route store-side faults through the result store).
+    pub fn faults(&self) -> &FaultPlan {
+        &self.shared.faults
+    }
+
+    /// Like [`Lab::try_run_on`], but for the sweep supervisor: `attempt`
+    /// (1-based) selects which attempt-capped fault rules still fire,
+    /// and `deadline` imposes a per-attempt wall-clock budget enforced
+    /// by the engine watchdog (and by the injected-`slow` sleep, which
+    /// is deadline-interruptible).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the [`SimError`] of a wedged, injected-fault or
+    /// deadline-overrunning run.
+    pub fn try_run_attempt(
+        &self,
+        name: &str,
+        input: InputSet,
+        kind: SystemKind,
+        attempt: u32,
+        deadline: Option<std::time::Duration>,
+    ) -> Result<RunStats, SimError> {
+        self.try_run_inner(name, input, kind, None, attempt, deadline)
             .map(|(stats, _)| stats)
     }
 
@@ -391,9 +453,26 @@ impl Lab {
         input: InputSet,
         kind: SystemKind,
     ) -> Result<(RunStats, Arc<RunTrace>), SimError> {
+        self.try_run_traced_attempt(name, input, kind, 1, None)
+    }
+
+    /// The traced twin of [`Lab::try_run_attempt`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the [`SimError`] of a wedged, injected-fault or
+    /// deadline-overrunning run.
+    pub fn try_run_traced_attempt(
+        &self,
+        name: &str,
+        input: InputSet,
+        kind: SystemKind,
+        attempt: u32,
+        deadline: Option<std::time::Duration>,
+    ) -> Result<(RunStats, Arc<RunTrace>), SimError> {
         let key = (name.to_string(), input, kind);
         let obs = ObsConfig::enabled();
-        let (stats, trace) = self.try_run_inner(name, input, kind, Some(obs))?;
+        let (stats, trace) = self.try_run_inner(name, input, kind, Some(obs), attempt, deadline)?;
         Ok((
             stats,
             trace.unwrap_or_else(|| {
@@ -424,27 +503,40 @@ impl Lab {
         input: InputSet,
         kind: SystemKind,
         obs: Option<ObsConfig>,
+        attempt: u32,
+        deadline: Option<std::time::Duration>,
     ) -> Result<(RunStats, Option<Arc<RunTrace>>), SimError> {
         let key = (name.to_string(), input, kind);
         let (stats, _, _) = self.shared.runs.get_or_try_init(&key, || {
-            match self.shared.faults.action_for(name, input, kind) {
+            let started = Instant::now();
+            let fault = self
+                .shared
+                .faults
+                .action_for_attempt(name, input, kind, attempt);
+            match fault {
                 Some(FaultAction::Panic) => {
                     panic!("injected fault: panic in {name} {input:?} {}", kind.label())
                 }
                 Some(FaultAction::Livelock) => return Err(crate::fault::run_livelock()),
-                Some(FaultAction::Slow(ms)) => {
-                    std::thread::sleep(std::time::Duration::from_millis(ms));
-                }
-                // Handled at checkpoint-load time, inside run_cell.
-                Some(FaultAction::CorruptCheckpoint) | None => {}
+                Some(FaultAction::Slow(ms)) => sleep_under_deadline(ms, started, deadline)?,
+                // CorruptCheckpoint is handled at checkpoint-load time
+                // inside run_cell; the store faults (stall, torn-write,
+                // short-write, enospc, corrupt-record) dispatch through
+                // the result store's write layer, not the compute path.
+                Some(_) | None => {}
             }
             let art = self.artifacts(name);
             let t = self.trace(name, input);
             if self.shared.verbose {
                 eprintln!("[lab] running {name} {input:?} on {}", kind.label());
             }
+            // The deadline covers the whole attempt — injected sleep,
+            // trace/profile warm-up and simulation; the engine enforces
+            // whatever budget remains once the run itself starts.
+            let remaining = deadline.map(|limit| limit.saturating_sub(started.elapsed()));
             let t0 = Instant::now();
-            let (run, checkpoint) = self.run_cell(name, input, kind, &art, &t, obs)?;
+            let (run, checkpoint) =
+                self.run_cell(name, input, kind, &art, &t, obs, fault, remaining)?;
             if let Some(trace) = run.trace {
                 self.shared.traces_obs.get_or_init(&key, || Arc::new(trace));
             }
@@ -460,6 +552,7 @@ impl Lab {
     /// per-cell event: the cell falls back to a cold run (re-capturing
     /// and rewriting the checkpoint) and the disposition records the
     /// reason. Only genuine simulation errors propagate.
+    #[allow(clippy::too_many_arguments)]
     fn run_cell(
         &self,
         name: &str,
@@ -468,11 +561,24 @@ impl Lab {
         art: &CompilerArtifacts,
         t: &Trace,
         obs: Option<ObsConfig>,
+        fault: Option<FaultAction>,
+        deadline: Option<std::time::Duration>,
     ) -> Result<(SystemRun, Option<String>), SimError> {
+        if deadline.is_some_and(|d| d.is_zero()) {
+            // The attempt's budget was exhausted before the engine even
+            // started (e.g. a long injected sleep or trace warm-up).
+            return Err(SimError::DeadlineExceeded {
+                deadline_ms: 0,
+                snapshot: DiagnosticSnapshot::default(),
+            });
+        }
         let build = || {
             let mut b = SystemBuilder::new(kind).artifacts(art);
             if let Some(cfg) = obs {
                 b = b.observe(cfg);
+            }
+            if let Some(d) = deadline {
+                b = b.wall_deadline(d);
             }
             b
         };
@@ -480,7 +586,6 @@ impl Lab {
             return Ok((build().run(t)?, None));
         };
         let path = cp.cell_path(name, input, kind);
-        let fault = self.shared.faults.action_for(name, input, kind);
         let mut status = None;
         match load_checkpoint(&path, fault) {
             CheckpointLoad::Missing => {}

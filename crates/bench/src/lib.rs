@@ -18,6 +18,7 @@ pub mod fault;
 pub mod hotpath;
 pub mod lab;
 pub mod manifest;
+pub mod store;
 pub mod sweep;
 pub mod table;
 pub mod validate;
@@ -26,8 +27,13 @@ pub use difftest::{random_cases, run_suite, DiffCase, DiffFailure, DiffOutcome};
 pub use fault::{FaultAction, FaultPlan};
 pub use hotpath::{run_hotpath_bench, HotpathCell, HotpathReport};
 pub use lab::{CheckpointConfig, Lab};
-pub use manifest::{config_hash, FailureRecord, Manifest, ManifestWriter, RunOutcome, RunRecord};
-pub use sweep::{default_jobs, SweepCell, SweepExecution, SweepOptions, SweepPlan};
+pub use manifest::{
+    config_hash, FailureRecord, Manifest, ManifestWriter, RetryInfo, RunOutcome, RunRecord,
+};
+pub use store::{
+    AppendDisposition, CellKey, CompactStats, RecoveryEvent, RecoveryReport, ResultStore,
+};
+pub use sweep::{default_jobs, RetryPolicy, SweepCell, SweepExecution, SweepOptions, SweepPlan};
 pub use table::Table;
 pub use validate::{
     run_conformance, thresholds_from_env, PropertyResult, ValidateReport, VALIDATE_SCHEMA_VERSION,

@@ -15,11 +15,18 @@
 //!
 //! # Schema
 //!
-//! `schema_version` is 2. A success record has no `outcome` field (for
+//! `schema_version` is 3. A success record has no `outcome` field (for
 //! compatibility with version-1 readers and golden files); a failure
 //! record carries `"outcome": "failed"` plus `error_kind` (the stable
 //! [`SimError::kind`](sim_core::SimError::kind) tag, or `"panic"`) and a
 //! human-readable `error` message, and has no `stats`.
+//!
+//! Version 3 adds two optional fields, both omitted when absent so v1/v2
+//! documents (and fault-free single-attempt runs) stay byte-compatible:
+//! `retry` (a [`RetryInfo`] object — the supervisor's attempt history)
+//! on both record shapes, and `store` (the result-store disposition,
+//! `"hit"` / `"appended"` / `"degraded:<reason>"`) on success records.
+//! [`Manifest::parse`] accepts all three versions.
 //!
 //! # Crash safety
 //!
@@ -50,6 +57,55 @@ pub fn config_hash() -> u64 {
     h
 }
 
+/// The sweep supervisor's attempt history for one cell: how many times
+/// the cell ran, what each failed attempt died of, and how long the
+/// deterministic backoff between attempts added up to.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RetryInfo {
+    /// Total attempts made (the successful one included), ≥ 1.
+    pub attempts: u32,
+    /// One `"<error_kind>:<class>"` entry per *failed* attempt, in
+    /// order (e.g. `"deadline:transient"`), using the stable
+    /// [`SimError::kind`](sim_core::SimError::kind) and
+    /// [`ErrorClass::label`](sim_core::ErrorClass::label) tags.
+    pub attempt_errors: Vec<String>,
+    /// Milliseconds slept across all backoff intervals.
+    pub total_backoff_ms: u64,
+}
+
+impl RetryInfo {
+    /// JSON form.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("attempts", Json::Num(f64::from(self.attempts))),
+            (
+                "attempt_errors",
+                Json::Arr(
+                    self.attempt_errors
+                        .iter()
+                        .map(|e| Json::Str(e.clone()))
+                        .collect(),
+                ),
+            ),
+            ("total_backoff_ms", Json::Num(self.total_backoff_ms as f64)),
+        ])
+    }
+
+    /// Parses a value produced by [`RetryInfo::to_json`].
+    pub fn from_json(j: &Json) -> Option<Self> {
+        Some(RetryInfo {
+            attempts: j.get("attempts")?.as_u64()? as u32,
+            attempt_errors: j
+                .get("attempt_errors")?
+                .as_arr()?
+                .iter()
+                .map(|e| e.as_str().map(ToString::to_string))
+                .collect::<Option<Vec<_>>>()?,
+            total_backoff_ms: j.get("total_backoff_ms")?.as_u64()?,
+        })
+    }
+}
+
 /// The outcome of one successfully simulated cell.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunRecord {
@@ -77,6 +133,13 @@ pub struct RunRecord {
     /// `"fallback:<reason>"` for a corrupt/unreadable checkpoint that
     /// fell back to cold simulation. Omitted from the JSON when absent.
     pub checkpoint: Option<String>,
+    /// The supervisor's attempt history, when the cell needed more than
+    /// one attempt. Omitted from the JSON when absent.
+    pub retry: Option<RetryInfo>,
+    /// Result-store disposition (`"hit"`, `"appended"`,
+    /// `"degraded:<reason>"`), when the sweep ran with a persistent
+    /// result store. Omitted from the JSON when absent.
+    pub store: Option<String>,
 }
 
 impl RunRecord {
@@ -98,6 +161,8 @@ impl RunRecord {
             timeseries_path: None,
             obs_path: None,
             checkpoint: None,
+            retry: None,
+            store: None,
         }
     }
 
@@ -148,6 +213,12 @@ impl RunRecord {
         if let Some(c) = &self.checkpoint {
             pairs.push(("checkpoint", Json::Str(c.clone())));
         }
+        if let Some(r) = &self.retry {
+            pairs.push(("retry", r.to_json()));
+        }
+        if let Some(s) = &self.store {
+            pairs.push(("store", Json::Str(s.clone())));
+        }
         Json::obj(pairs)
     }
 
@@ -170,6 +241,11 @@ impl RunRecord {
                 .map(ToString::to_string),
             checkpoint: j
                 .get("checkpoint")
+                .and_then(Json::as_str)
+                .map(ToString::to_string),
+            retry: j.get("retry").and_then(RetryInfo::from_json),
+            store: j
+                .get("store")
                 .and_then(Json::as_str)
                 .map(ToString::to_string),
         })
@@ -197,6 +273,9 @@ pub struct FailureRecord {
     pub error: String,
     /// Wall-clock milliseconds until the failure was detected.
     pub wall_ms: f64,
+    /// The supervisor's attempt history (every attempt failed). Omitted
+    /// from the JSON when absent.
+    pub retry: Option<RetryInfo>,
 }
 
 impl FailureRecord {
@@ -217,12 +296,13 @@ impl FailureRecord {
             error_kind: error_kind.to_string(),
             error: error.to_string(),
             wall_ms,
+            retry: None,
         }
     }
 
     /// JSON form; the `"outcome": "failed"` field is the discriminator.
     pub fn to_json(&self) -> Json {
-        Json::obj([
+        let mut pairs = vec![
             ("workload", Json::Str(self.workload.clone())),
             ("input", Json::Str(self.input.clone())),
             ("system", Json::Str(self.system.clone())),
@@ -234,7 +314,11 @@ impl FailureRecord {
             ("error_kind", Json::Str(self.error_kind.clone())),
             ("error", Json::Str(self.error.clone())),
             ("wall_ms", Json::Num(self.wall_ms)),
-        ])
+        ];
+        if let Some(r) = &self.retry {
+            pairs.push(("retry", r.to_json()));
+        }
+        Json::obj(pairs)
     }
 
     /// Parses a record produced by [`FailureRecord::to_json`].
@@ -250,6 +334,7 @@ impl FailureRecord {
             error_kind: j.get("error_kind")?.as_str()?.to_string(),
             error: j.get("error")?.as_str()?.to_string(),
             wall_ms: j.get("wall_ms")?.as_f64()?,
+            retry: j.get("retry").and_then(RetryInfo::from_json),
         })
     }
 }
@@ -380,7 +465,7 @@ impl Manifest {
     pub fn to_json(&self) -> Json {
         Json::obj([
             ("name", Json::Str(self.name.clone())),
-            ("schema_version", Json::Num(2.0)),
+            ("schema_version", Json::Num(3.0)),
             (
                 "records",
                 Json::Arr(self.records.iter().map(RunOutcome::to_json).collect()),
@@ -388,8 +473,8 @@ impl Manifest {
         ])
     }
 
-    /// Parses manifest text written by [`Manifest::write`] (either
-    /// schema version).
+    /// Parses manifest text written by [`Manifest::write`] (any schema
+    /// version, 1 through 3).
     ///
     /// # Errors
     ///
@@ -615,5 +700,101 @@ mod tests {
     #[test]
     fn config_hash_is_stable_within_process() {
         assert_eq!(config_hash(), config_hash());
+    }
+
+    #[test]
+    fn retry_info_roundtrips_on_both_record_shapes() {
+        let info = RetryInfo {
+            attempts: 3,
+            attempt_errors: vec![
+                "deadline:transient".to_string(),
+                "deadline:transient".to_string(),
+            ],
+            total_backoff_ms: 150,
+        };
+        assert_eq!(RetryInfo::from_json(&info.to_json()).unwrap(), info);
+
+        let mut r = sample_record(1.0);
+        r.retry = Some(info.clone());
+        r.store = Some("appended".to_string());
+        let parsed = RunRecord::from_json(&r.to_json()).unwrap();
+        assert_eq!(parsed.retry.as_ref(), Some(&info));
+        assert_eq!(parsed.store.as_deref(), Some("appended"));
+        assert!(
+            sample_record(1.0).same_metrics(&parsed),
+            "retry/store fields must not affect metric equality"
+        );
+
+        let mut f = sample_failure();
+        f.retry = Some(info.clone());
+        let parsed = FailureRecord::from_json(&f.to_json()).unwrap();
+        assert_eq!(parsed.retry, Some(info));
+    }
+
+    #[test]
+    fn v3_fields_are_omitted_when_absent() {
+        // A single-attempt, store-less run serializes exactly as the
+        // version-2 format did — golden manifests stay byte-stable.
+        let j = sample_record(1.0).to_json();
+        assert!(j.get("retry").is_none());
+        assert!(j.get("store").is_none());
+        assert!(sample_failure().to_json().get("retry").is_none());
+    }
+
+    #[test]
+    fn parses_v1_and_v2_manifest_documents() {
+        // Version 1: success records only, no outcome/checkpoint/retry
+        // fields, schema_version 1.
+        let v1 = r#"{
+          "name": "legacy",
+          "schema_version": 1,
+          "records": [
+            {
+              "workload": "mst", "input": "ref", "system": "stream",
+              "config_hash": "00000000deadbeef", "wall_ms": 4.0,
+              "stats": STATS
+            }
+          ]
+        }"#
+        .replace(
+            "STATS",
+            &RunStats::default().summary().to_json().to_string_compact(),
+        );
+        let m = Manifest::parse(&v1).unwrap();
+        assert_eq!(m.successes().count(), 1);
+        let r = m.successes().next().unwrap();
+        assert_eq!(r.config_hash, 0xdead_beef);
+        assert_eq!(r.retry, None);
+        assert_eq!(r.store, None);
+
+        // Version 2: adds failure records and checkpoint dispositions.
+        let v2 = r#"{
+          "name": "legacy2",
+          "schema_version": 2,
+          "records": [
+            {
+              "workload": "mst", "input": "ref", "system": "stream",
+              "config_hash": "00000000deadbeef", "wall_ms": 4.0,
+              "stats": STATS, "checkpoint": "forked"
+            },
+            {
+              "workload": "health", "input": "test", "system": "stream+cdp",
+              "config_hash": "00000000deadbeef", "outcome": "failed",
+              "error_kind": "deadlock", "error": "wedged", "wall_ms": 1.0
+            }
+          ]
+        }"#
+        .replace(
+            "STATS",
+            &RunStats::default().summary().to_json().to_string_compact(),
+        );
+        let m = Manifest::parse(&v2).unwrap();
+        assert_eq!(m.successes().count(), 1);
+        assert_eq!(m.failures().count(), 1);
+        assert_eq!(
+            m.successes().next().unwrap().checkpoint.as_deref(),
+            Some("forked")
+        );
+        assert_eq!(m.failures().next().unwrap().retry, None);
     }
 }

@@ -23,16 +23,17 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use ecdp::system::SystemKind;
-use sim_core::{Json, RunTrace};
+use sim_core::{ErrorClass, Json, RunTrace};
 use workloads::InputSet;
 
 use crate::lab::Lab;
 use crate::manifest::{
-    config_hash, FailureRecord, Manifest, ManifestWriter, RunOutcome, RunRecord,
+    config_hash, FailureRecord, Manifest, ManifestWriter, RetryInfo, RunOutcome, RunRecord,
 };
+use crate::store::{AppendDisposition, ResultStore};
 
 /// One simulation cell of a sweep.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -52,6 +53,67 @@ impl SweepCell {
     }
 }
 
+/// The cell supervisor's retry/deadline policy.
+///
+/// Failures are classified with [`sim_core::SimError::class`]:
+/// *transient* failures (wall-clock deadline overruns) are retried up to
+/// [`RetryPolicy::max_attempts`] times with deterministic — seeded by
+/// nothing, jitter-free — exponential backoff, so two runs of the same
+/// plan behave identically; *permanent* failures (deadlocks, panics,
+/// invariant violations) fail the cell immediately, because a
+/// deterministic simulator reproduces them on every retry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Attempt budget per cell (≥ 1; 1 disables retries).
+    pub max_attempts: u32,
+    /// Backoff after the n-th failed attempt is
+    /// `backoff_base_ms << (n - 1)` milliseconds.
+    pub backoff_base_ms: u64,
+    /// Per-attempt wall-clock deadline; `None` disables the watchdog.
+    pub deadline_ms: Option<u64>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            backoff_base_ms: 50,
+            deadline_ms: None,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The policy configured via `BENCH_RETRY_ATTEMPTS`,
+    /// `BENCH_RETRY_BACKOFF_MS` and `BENCH_CELL_DEADLINE_MS`, with
+    /// defaults for anything unset.
+    pub fn from_env() -> Self {
+        fn parse<T: std::str::FromStr>(var: &str) -> Option<T> {
+            std::env::var(var).ok().and_then(|v| v.trim().parse().ok())
+        }
+        let d = RetryPolicy::default();
+        RetryPolicy {
+            max_attempts: parse("BENCH_RETRY_ATTEMPTS")
+                .filter(|&n: &u32| n >= 1)
+                .unwrap_or(d.max_attempts),
+            backoff_base_ms: parse("BENCH_RETRY_BACKOFF_MS").unwrap_or(d.backoff_base_ms),
+            deadline_ms: parse("BENCH_CELL_DEADLINE_MS").filter(|&ms: &u64| ms > 0),
+        }
+    }
+
+    /// Deterministic backoff before retrying after failed `attempt`
+    /// (1-based): exponential, no jitter.
+    pub fn backoff_ms(&self, attempt: u32) -> u64 {
+        self.backoff_base_ms
+            .saturating_mul(1u64 << (attempt - 1).min(16))
+    }
+
+    /// The per-attempt deadline as a [`Duration`], if configured.
+    pub fn deadline(&self) -> Option<Duration> {
+        self.deadline_ms.map(Duration::from_millis)
+    }
+}
+
 /// Execution options for [`SweepPlan::run_fault_tolerant`].
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SweepOptions<'a> {
@@ -66,6 +128,14 @@ pub struct SweepOptions<'a> {
     /// `<trace_dir>/<workload>-<input>-<system>/{timeseries.json,
     /// obs.jsonl}`; the success records carry the artifact paths.
     pub trace_dir: Option<&'a Path>,
+    /// Serve cells from (and commit fresh results to) this persistent
+    /// result store. A store hit skips the simulation entirely and the
+    /// record carries `store: "hit"`; fresh results are appended with
+    /// the cell's injected store fault, if any, routed through the
+    /// write layer.
+    pub store: Option<&'a ResultStore>,
+    /// Retry/deadline policy for the cell supervisor.
+    pub retry: RetryPolicy,
 }
 
 /// What [`SweepPlan::run_fault_tolerant`] did.
@@ -78,6 +148,8 @@ pub struct SweepExecution {
     pub ran: usize,
     /// Cells skipped because the resume manifest already had them.
     pub skipped: usize,
+    /// Cells served from the persistent result store.
+    pub store_hits: usize,
 }
 
 impl SweepExecution {
@@ -197,12 +269,18 @@ impl SweepPlan {
             .collect()
     }
 
-    /// Executes every cell with per-cell failure isolation.
+    /// Executes every cell with per-cell failure isolation under the
+    /// retry/deadline supervisor.
     ///
     /// Each cell's simulation runs under `catch_unwind`: a panic or a
     /// structured `SimError` produces a [`RunOutcome::Failed`] record
     /// for that cell and the remaining cells keep going on all workers.
-    /// See [`SweepOptions`] for resume and incremental-flush behavior.
+    /// Transient failures (deadline overruns) are retried with
+    /// deterministic backoff per [`RetryPolicy`]; the attempt history
+    /// lands in the record's `retry` field. With a [`ResultStore`]
+    /// configured, committed cells are served from the store without
+    /// re-simulation and fresh results are appended to it. See
+    /// [`SweepOptions`] for resume and incremental-flush behavior.
     pub fn run_fault_tolerant(
         &self,
         lab: &Lab,
@@ -235,6 +313,7 @@ impl SweepPlan {
         let skipped = prior.iter().filter(|p| p.is_some()).count();
 
         let next = AtomicUsize::new(0);
+        let store_hits = AtomicUsize::new(0);
         let mut slots: Vec<std::sync::OnceLock<RunOutcome>> = Vec::new();
         slots.resize_with(n, std::sync::OnceLock::new);
 
@@ -246,58 +325,25 @@ impl SweepPlan {
                         break;
                     }
                     let cell = &self.cells[i];
+                    let stored = || {
+                        let mut record = opts.store?.get(
+                            &cell.workload,
+                            &cell.input_label(),
+                            cell.system.label(),
+                            cfg,
+                        )?;
+                        record.store = Some("hit".to_string());
+                        Some(record)
+                    };
                     let outcome = match &prior[i] {
                         Some(record) => RunOutcome::Success(record.clone()),
-                        None => {
-                            let t0 = Instant::now();
-                            let result = catch_unwind(AssertUnwindSafe(|| match opts.trace_dir {
-                                None => lab
-                                    .try_run_on(&cell.workload, cell.input, cell.system)
-                                    .map(|_| None),
-                                Some(_) => lab
-                                    .try_run_traced(&cell.workload, cell.input, cell.system)
-                                    .map(|(_, trace)| Some(trace)),
-                            }));
-                            let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
-                            match result {
-                                Ok(Ok(trace)) => {
-                                    let mut record = lab
-                                        .record_for(&cell.workload, cell.input, cell.system)
-                                        .expect("successful run populated the cache");
-                                    if let (Some(dir), Some(trace)) = (opts.trace_dir, trace) {
-                                        match write_cell_trace(dir, cell, &trace) {
-                                            Ok((ts, obs)) => {
-                                                record.timeseries_path = Some(ts);
-                                                record.obs_path = Some(obs);
-                                            }
-                                            Err(e) => eprintln!(
-                                                "[sweep] trace write failed for {} {} {}: {e}",
-                                                cell.workload,
-                                                cell.input_label(),
-                                                cell.system.label()
-                                            ),
-                                        }
-                                    }
-                                    RunOutcome::Success(record)
-                                }
-                                Ok(Err(e)) => RunOutcome::Failed(FailureRecord::new(
-                                    &cell.workload,
-                                    cell.input,
-                                    cell.system,
-                                    e.kind(),
-                                    &e.to_string(),
-                                    wall_ms,
-                                )),
-                                Err(payload) => RunOutcome::Failed(FailureRecord::new(
-                                    &cell.workload,
-                                    cell.input,
-                                    cell.system,
-                                    "panic",
-                                    &panic_message(payload),
-                                    wall_ms,
-                                )),
+                        None => match stored() {
+                            Some(record) => {
+                                store_hits.fetch_add(1, Ordering::Relaxed);
+                                RunOutcome::Success(record)
                             }
-                        }
+                            None => supervise_cell(lab, cell, opts),
+                        },
                     };
                     if let Some(w) = opts.writer {
                         if let Err(e) = w.append(i, outcome.clone()) {
@@ -309,6 +355,7 @@ impl SweepPlan {
             }
         });
 
+        let store_hits = store_hits.into_inner();
         SweepExecution {
             outcomes: slots
                 .into_iter()
@@ -317,8 +364,9 @@ impl SweepPlan {
                         .expect("every claimed cell stored an outcome")
                 })
                 .collect(),
-            ran: n - skipped,
+            ran: n - skipped - store_hits,
             skipped,
+            store_hits,
         }
     }
 
@@ -340,6 +388,105 @@ impl SweepPlan {
         }
         .write()?;
         Ok((records, path))
+    }
+}
+
+/// Runs one cell under the retry/deadline supervisor and commits the
+/// result.
+///
+/// Per attempt: run (under `catch_unwind` and the per-attempt wall-clock
+/// deadline), classify any failure with
+/// [`sim_core::SimError::class`], and either retry after deterministic
+/// backoff (transient, attempts remaining) or fail the cell. A success
+/// carries the attempt history in `retry` (when more than one attempt
+/// ran) and is appended to the result store with the cell's injected
+/// store fault routed through the write layer.
+fn supervise_cell(lab: &Lab, cell: &SweepCell, opts: &SweepOptions<'_>) -> RunOutcome {
+    let policy = opts.retry;
+    let deadline = policy.deadline();
+    let mut attempt_errors: Vec<String> = Vec::new();
+    let mut total_backoff_ms = 0u64;
+    let mut attempt = 1u32;
+    loop {
+        let t0 = Instant::now();
+        let result = catch_unwind(AssertUnwindSafe(|| match opts.trace_dir {
+            None => lab
+                .try_run_attempt(&cell.workload, cell.input, cell.system, attempt, deadline)
+                .map(|_| None),
+            Some(_) => lab
+                .try_run_traced_attempt(&cell.workload, cell.input, cell.system, attempt, deadline)
+                .map(|(_, trace)| Some(trace)),
+        }));
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let (kind, class, message) = match result {
+            Ok(Ok(trace)) => {
+                let mut record = lab
+                    .record_for(&cell.workload, cell.input, cell.system)
+                    .expect("successful run populated the cache");
+                if let (Some(dir), Some(trace)) = (opts.trace_dir, trace) {
+                    match write_cell_trace(dir, cell, &trace) {
+                        Ok((ts, obs)) => {
+                            record.timeseries_path = Some(ts);
+                            record.obs_path = Some(obs);
+                        }
+                        Err(e) => eprintln!(
+                            "[sweep] trace write failed for {} {} {}: {e}",
+                            cell.workload,
+                            cell.input_label(),
+                            cell.system.label()
+                        ),
+                    }
+                }
+                if attempt > 1 {
+                    record.retry = Some(RetryInfo {
+                        attempts: attempt,
+                        attempt_errors,
+                        total_backoff_ms,
+                    });
+                }
+                if let Some(store) = opts.store {
+                    let fault = lab.faults().store_fault_for_attempt(
+                        &cell.workload,
+                        cell.input,
+                        cell.system,
+                        attempt,
+                    );
+                    record.store = Some(match store.append(&record, fault) {
+                        AppendDisposition::Appended => "appended".to_string(),
+                        AppendDisposition::Degraded(reason) => format!("degraded:{reason}"),
+                    });
+                }
+                return RunOutcome::Success(record);
+            }
+            Ok(Err(e)) => (e.kind().to_string(), e.class(), e.to_string()),
+            Err(payload) => (
+                "panic".to_string(),
+                ErrorClass::Permanent,
+                panic_message(payload),
+            ),
+        };
+        attempt_errors.push(format!("{kind}:{}", class.label()));
+        if class == ErrorClass::Transient && attempt < policy.max_attempts {
+            let backoff = policy.backoff_ms(attempt);
+            total_backoff_ms += backoff;
+            std::thread::sleep(Duration::from_millis(backoff));
+            attempt += 1;
+            continue;
+        }
+        let mut failure = FailureRecord::new(
+            &cell.workload,
+            cell.input,
+            cell.system,
+            &kind,
+            &message,
+            wall_ms,
+        );
+        failure.retry = Some(RetryInfo {
+            attempts: attempt,
+            attempt_errors,
+            total_backoff_ms,
+        });
+        return RunOutcome::Failed(failure);
     }
 }
 

@@ -112,8 +112,7 @@ fn resume_skips_previously_successful_cells() {
         4,
         &SweepOptions {
             resume_from: Some(&manifest),
-            writer: None,
-            trace_dir: None,
+            ..SweepOptions::default()
         },
     );
     assert_eq!(exec.skipped, 7, "all prior successes are skipped");

@@ -95,6 +95,7 @@ pub fn code_size_overhead(hinted_loads: usize, static_instructions: usize) -> f6
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -305,6 +305,7 @@ pub fn profile_workload_with(trace: &Trace, config: MachineConfig) -> PgProfile 
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -395,6 +395,7 @@ pub struct SystemBuilder<'a> {
     obs: ObsConfig,
     validate: Option<ValidateConfig>,
     cycle_budget: Option<u64>,
+    wall_deadline: Option<std::time::Duration>,
     reference_stepping: bool,
     warm_checkpoint: Option<u64>,
     fork_from: Option<&'a Snapshot>,
@@ -412,6 +413,7 @@ impl<'a> SystemBuilder<'a> {
             obs: ObsConfig::default(),
             validate: None,
             cycle_budget: None,
+            wall_deadline: None,
             reference_stepping: false,
             warm_checkpoint: None,
             fork_from: None,
@@ -476,6 +478,17 @@ impl<'a> SystemBuilder<'a> {
         self
     }
 
+    /// Aborts runs whose *wall-clock* time exceeds `deadline` with
+    /// [`sim_core::SimError::DeadlineExceeded`] (the engine watchdog
+    /// captures a diagnostic snapshot at the kill point). Successful
+    /// runs are bit-identical with or without a deadline — the check is
+    /// a coarse, read-only poll. This is the per-cell deadline hook the
+    /// sweep supervisor escalates through.
+    pub fn wall_deadline(mut self, deadline: std::time::Duration) -> Self {
+        self.wall_deadline = Some(deadline);
+        self
+    }
+
     /// Captures a warm-state [`Snapshot`] once the run reaches `cycles`
     /// simulated cycles. Capture is read-only — the run's results are
     /// bit-identical with or without it — and the snapshot comes back in
@@ -520,6 +533,7 @@ impl<'a> SystemBuilder<'a> {
             machine.set_validate(v);
         }
         machine.set_cycle_budget(self.cycle_budget);
+        machine.set_wall_deadline(self.wall_deadline);
         machine.set_reference_stepping(self.reference_stepping);
         machine.set_warm_checkpoint(self.warm_checkpoint);
         machine

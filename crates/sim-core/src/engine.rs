@@ -1532,6 +1532,12 @@ enum IssueOutcome {
     Stalled,
 }
 
+/// Engine loop iterations between wall-clock deadline polls (see
+/// [`Machine::set_wall_deadline`]): frequent enough that an overrun is
+/// caught within a few milliseconds on any realistic configuration,
+/// coarse enough that `Instant::now` never shows up in a profile.
+pub const WALL_DEADLINE_POLL_ITERS: u32 = 1 << 14;
+
 /// A single-core machine: configuration plus registered prefetchers,
 /// throttling policy and observer.
 ///
@@ -1544,6 +1550,7 @@ pub struct Machine {
     throttle: Box<dyn ThrottlePolicy>,
     observer: Option<Box<dyn PrefetchObserver>>,
     cycle_budget: Option<u64>,
+    wall_deadline: Option<std::time::Duration>,
     obs_config: Option<ObsConfig>,
     validate_config: Option<crate::validate::ValidateConfig>,
     run_trace: Option<RunTrace>,
@@ -1566,6 +1573,7 @@ impl Machine {
             throttle: Box::new(NoThrottle),
             observer: None,
             cycle_budget: None,
+            wall_deadline: None,
             obs_config: None,
             validate_config: None,
             run_trace: None,
@@ -1591,6 +1599,23 @@ impl Machine {
     /// on. `None` (the default) means unlimited.
     pub fn set_cycle_budget(&mut self, budget: Option<u64>) -> &mut Self {
         self.cycle_budget = budget;
+        self
+    }
+
+    /// Caps the *wall-clock* time of a run: once `deadline` has elapsed
+    /// since [`Machine::run`] started, the run fails with
+    /// [`SimError::DeadlineExceeded`] carrying a diagnostic snapshot of
+    /// the machine at the kill point. `None` (the default) means
+    /// unlimited.
+    ///
+    /// The clock is polled at a coarse cadence (every
+    /// [`WALL_DEADLINE_POLL_ITERS`] engine iterations), so the check
+    /// costs nothing on the hot path and a deadlined run is killed
+    /// shortly *after* the deadline, never before. Successful runs are
+    /// bit-identical with or without a deadline installed — the check is
+    /// a pure read.
+    pub fn set_wall_deadline(&mut self, deadline: Option<std::time::Duration>) -> &mut Self {
+        self.wall_deadline = deadline;
         self
     }
 
@@ -1804,6 +1829,10 @@ impl Machine {
         let ops = &trace.ops;
 
         self.captured = None;
+        let wall = self
+            .wall_deadline
+            .map(|limit| (std::time::Instant::now(), limit));
+        let mut wall_poll: u32 = 0;
         let mut now: u64 = 0;
         if let Some(snap) = self.resume.take() {
             match self.resume_from(&snap, &mut core, &mut dram) {
@@ -1860,6 +1889,22 @@ impl Machine {
                         budget,
                         snapshot: core.snapshot(now, ops.len(), &dram),
                     });
+                }
+            }
+            // Wall-clock deadline, polled coarsely so `Instant::now`
+            // stays off the hot path: on overrun the watchdog captures
+            // the diagnostic snapshot and kills the run.
+            if let Some((started, limit)) = wall {
+                wall_poll += 1;
+                if wall_poll >= WALL_DEADLINE_POLL_ITERS {
+                    wall_poll = 0;
+                    if started.elapsed() >= limit {
+                        self.observer = Some(observer);
+                        return Err(SimError::DeadlineExceeded {
+                            deadline_ms: limit.as_millis() as u64,
+                            snapshot: core.snapshot(now, ops.len(), &dram),
+                        });
+                    }
                 }
             }
 

@@ -70,6 +70,39 @@ impl std::fmt::Display for DiagnosticSnapshot {
     }
 }
 
+/// Whether a failure is worth retrying.
+///
+/// The sweep supervisor in `bench` retries [`ErrorClass::Transient`]
+/// failures with deterministic backoff and gives up immediately on
+/// [`ErrorClass::Permanent`] ones: a deterministic simulator re-run of a
+/// deadlocked or panicking cell reproduces the same failure, while a
+/// wall-clock deadline miss is a property of the host (scheduling, I/O
+/// stalls, injected delays), not of the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorClass {
+    /// Retrying may succeed (host-time effects: deadlines, stalls).
+    Transient,
+    /// Retrying reproduces the failure (deterministic simulator state).
+    Permanent,
+}
+
+impl ErrorClass {
+    /// Stable lower-case label used in manifests (`"transient"` /
+    /// `"permanent"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            ErrorClass::Transient => "transient",
+            ErrorClass::Permanent => "permanent",
+        }
+    }
+}
+
+impl std::fmt::Display for ErrorClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// A structured simulation failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SimError {
@@ -92,6 +125,19 @@ pub enum SimError {
     /// A workload generator or simulation panicked; the harness caught
     /// the unwind and carries the panic message here.
     WorkloadPanic(String),
+    /// The run exceeded a wall-clock deadline installed with
+    /// [`crate::Machine::set_wall_deadline`]. The engine watchdog
+    /// notices the overrun at its normal check cadence, captures the
+    /// diagnostic snapshot, and kills the run — the
+    /// watchdog → snapshot-capture → kill escalation the sweep
+    /// supervisor relies on. Always [`ErrorClass::Transient`]: the
+    /// overrun measures host time, not simulator state.
+    DeadlineExceeded {
+        /// The configured deadline, in wall-clock milliseconds.
+        deadline_ms: u64,
+        /// State at the moment the overrun was detected.
+        snapshot: DiagnosticSnapshot,
+    },
     /// A warm-state snapshot was rejected at fork time (wrong
     /// configuration fingerprint, mismatched prefetcher registration, or
     /// a malformed state blob). The message is the decoder's diagnostic;
@@ -107,14 +153,31 @@ impl SimError {
             SimError::CycleBudgetExceeded { .. } => "cycle-budget",
             SimError::InvariantViolation(_) => "invariant",
             SimError::WorkloadPanic(_) => "panic",
+            SimError::DeadlineExceeded { .. } => "deadline",
             SimError::SnapshotRejected(_) => "snapshot-rejected",
+        }
+    }
+
+    /// Retry classification (see [`ErrorClass`]): only wall-clock
+    /// deadline misses are transient; everything else reproduces
+    /// deterministically on a retry.
+    pub fn class(&self) -> ErrorClass {
+        match self {
+            SimError::DeadlineExceeded { .. } => ErrorClass::Transient,
+            SimError::Deadlock(_)
+            | SimError::CycleBudgetExceeded { .. }
+            | SimError::InvariantViolation(_)
+            | SimError::WorkloadPanic(_)
+            | SimError::SnapshotRejected(_) => ErrorClass::Permanent,
         }
     }
 
     /// The diagnostic snapshot, when the failure carries one.
     pub fn snapshot(&self) -> Option<&DiagnosticSnapshot> {
         match self {
-            SimError::Deadlock(s) | SimError::CycleBudgetExceeded { snapshot: s, .. } => Some(s),
+            SimError::Deadlock(s)
+            | SimError::CycleBudgetExceeded { snapshot: s, .. }
+            | SimError::DeadlineExceeded { snapshot: s, .. } => Some(s),
             _ => None,
         }
     }
@@ -129,6 +192,15 @@ impl std::fmt::Display for SimError {
             }
             SimError::InvariantViolation(msg) => write!(f, "invariant violation: {msg}"),
             SimError::WorkloadPanic(msg) => write!(f, "workload panic: {msg}"),
+            SimError::DeadlineExceeded {
+                deadline_ms,
+                snapshot,
+            } => {
+                write!(
+                    f,
+                    "wall-clock deadline of {deadline_ms} ms exceeded: {snapshot}"
+                )
+            }
             SimError::SnapshotRejected(msg) => write!(f, "snapshot rejected: {msg}"),
         }
     }
@@ -161,9 +233,42 @@ mod tests {
         );
         assert_eq!(SimError::WorkloadPanic(String::new()).kind(), "panic");
         assert_eq!(
+            SimError::DeadlineExceeded {
+                deadline_ms: 5,
+                snapshot: DiagnosticSnapshot::default()
+            }
+            .kind(),
+            "deadline"
+        );
+        assert_eq!(
             SimError::SnapshotRejected(String::new()).kind(),
             "snapshot-rejected"
         );
+    }
+
+    #[test]
+    fn only_deadline_misses_are_transient() {
+        let deadline = SimError::DeadlineExceeded {
+            deadline_ms: 100,
+            snapshot: DiagnosticSnapshot::default(),
+        };
+        assert_eq!(deadline.class(), ErrorClass::Transient);
+        assert!(deadline.snapshot().is_some(), "deadline carries state");
+        assert!(deadline.to_string().contains("100 ms"), "{deadline}");
+        for permanent in [
+            SimError::Deadlock(DiagnosticSnapshot::default()),
+            SimError::CycleBudgetExceeded {
+                budget: 1,
+                snapshot: DiagnosticSnapshot::default(),
+            },
+            SimError::InvariantViolation(String::new()),
+            SimError::WorkloadPanic(String::new()),
+            SimError::SnapshotRejected(String::new()),
+        ] {
+            assert_eq!(permanent.class(), ErrorClass::Permanent, "{permanent:?}");
+        }
+        assert_eq!(ErrorClass::Transient.label(), "transient");
+        assert_eq!(ErrorClass::Permanent.to_string(), "permanent");
     }
 
     #[test]

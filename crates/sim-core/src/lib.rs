@@ -74,7 +74,7 @@ pub use cache::{Cache, CacheConfig, LineState};
 pub use config::{CoreConfig, DramConfig, DramScheduling, MachineConfig, RowPolicy};
 pub use dram::Dram;
 pub use engine::Machine;
-pub use error::{DiagnosticSnapshot, SimError};
+pub use error::{DiagnosticSnapshot, ErrorClass, SimError};
 pub use json::Json;
 pub use multicore::{CoreSetup, MultiMachine, MultiRunStats};
 pub use obs::{

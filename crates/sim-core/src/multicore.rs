@@ -107,6 +107,7 @@ pub struct MultiMachine {
     obs_config: Option<ObsConfig>,
     validate_config: Option<crate::validate::ValidateConfig>,
     warm_cycles: Option<u64>,
+    wall_deadline: Option<std::time::Duration>,
     captured: Option<Snapshot>,
     resume: Option<Snapshot>,
 }
@@ -121,9 +122,19 @@ impl MultiMachine {
             obs_config: None,
             validate_config: None,
             warm_cycles: None,
+            wall_deadline: None,
             captured: None,
             resume: None,
         }
+    }
+
+    /// Caps the wall-clock time of a run, mirroring
+    /// [`crate::Machine::set_wall_deadline`]: on overrun the run fails
+    /// with [`SimError::DeadlineExceeded`] carrying a diagnostic
+    /// snapshot of the first unfinished core. `None` disarms.
+    pub fn set_wall_deadline(&mut self, deadline: Option<std::time::Duration>) -> &mut Self {
+        self.wall_deadline = deadline;
+        self
     }
 
     /// Enables observability collection on every core for subsequent runs.
@@ -256,6 +267,10 @@ impl MultiMachine {
             now = snap.cycle;
         }
         let mut capture_at = self.warm_cycles.unwrap_or(u64::MAX);
+        let wall = self
+            .wall_deadline
+            .map(|limit| (std::time::Instant::now(), limit));
+        let mut wall_poll: u32 = 0;
 
         // Attribute a wedge to the first core that has not completed its
         // trace (rewound cores count as finished for blame purposes).
@@ -350,6 +365,24 @@ impl MultiMachine {
             let newest_progress = sims.iter().map(CoreSim::last_progress).max().unwrap_or(0);
             if now.saturating_sub(newest_progress) >= self.config.deadlock_cycles {
                 return Err(stuck_core_error(&sims, &snapshots, now, &dram));
+            }
+            // Wall-clock deadline, polled at the same coarse cadence as
+            // the single-core engine (see `WALL_DEADLINE_POLL_ITERS`).
+            if let Some((started, limit)) = wall {
+                wall_poll += 1;
+                if wall_poll >= crate::engine::WALL_DEADLINE_POLL_ITERS {
+                    wall_poll = 0;
+                    if started.elapsed() >= limit {
+                        let c = snapshots
+                            .iter()
+                            .position(Option::is_none)
+                            .unwrap_or_default();
+                        return Err(SimError::DeadlineExceeded {
+                            deadline_ms: limit.as_millis() as u64,
+                            snapshot: sims[c].snapshot(now, traces[c].ops.len(), &dram),
+                        });
+                    }
+                }
             }
 
             if activity {

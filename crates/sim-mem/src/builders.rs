@@ -372,6 +372,7 @@ pub fn seeded_rng(seed: u64) -> StdRng {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::layout;

@@ -170,6 +170,7 @@ impl Heap {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::layout;

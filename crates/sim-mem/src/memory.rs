@@ -117,7 +117,8 @@ impl SimMemory {
             self.resident += 1;
         }
         // Copy-on-write: un-share the page if a clone still references it.
-        Arc::make_mut(self.pages[idx].as_mut().unwrap())
+        let page = self.pages[idx].as_mut().expect("page allocated above");
+        Arc::make_mut(page)
     }
 
     /// Reads one byte.
@@ -156,7 +157,8 @@ impl SimMemory {
             match self.page(addr) {
                 Some(p) => {
                     let off = (addr & PAGE_MASK) as usize;
-                    u32::from_le_bytes(p[off..off + 4].try_into().unwrap())
+                    let bytes = p[off..off + 4].try_into().expect("4-byte slice");
+                    u32::from_le_bytes(bytes)
                 }
                 None => 0,
             }
@@ -225,7 +227,8 @@ impl SimMemory {
             let off = (base & PAGE_MASK) as usize;
             for (i, w) in words.iter_mut().enumerate() {
                 let o = off + i * 4;
-                *w = u32::from_le_bytes(p[o..o + 4].try_into().unwrap());
+                let bytes = p[o..o + 4].try_into().expect("4-byte slice");
+                *w = u32::from_le_bytes(bytes);
             }
         }
         words
@@ -265,6 +268,7 @@ impl std::fmt::Debug for SimMemory {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

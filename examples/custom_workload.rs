@@ -12,6 +12,8 @@
 //! cargo run --release -p ecdp --example custom_workload
 //! ```
 
+#![allow(clippy::unwrap_used)]
+
 use ecdp::profile::profile_workload;
 use ecdp::system::{CompilerArtifacts, SystemBuilder, SystemKind};
 use rand::rngs::StdRng;

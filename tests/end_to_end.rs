@@ -11,6 +11,8 @@
 //! input it was gathered on, so profiling on the test input in debug
 //! builds does not change hint classification.
 
+#![allow(clippy::unwrap_used)]
+
 use ecdp::profile::profile_workload;
 use ecdp::system::{CompilerArtifacts, SystemBuilder, SystemKind};
 /// Thin shim over [`SystemBuilder`] keeping the older call shape used

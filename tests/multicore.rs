@@ -1,6 +1,8 @@
 //! Multi-core integration tests: private caches, shared DRAM, weighted
 //! speedup, and the proposal's behaviour under contention.
 
+#![allow(clippy::unwrap_used)]
+
 use ecdp::profile::profile_workload;
 use ecdp::system::{core_setup, CompilerArtifacts, SystemBuilder, SystemKind};
 use sim_core::{MachineConfig, MultiMachine, Trace};

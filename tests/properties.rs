@@ -1,6 +1,8 @@
 //! Property-based tests (proptest) for the core data structures and
 //! invariants of the simulator substrate.
 
+#![allow(clippy::unwrap_used)]
+
 use proptest::prelude::*;
 
 use ecdp::hints::HintVector;
