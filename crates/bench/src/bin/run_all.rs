@@ -4,9 +4,9 @@
 //! simulated cell to `target/lab/run_all.json`.
 //!
 //! ```text
-//! cargo run --release -p bench --bin run_all [-- [--jobs N] [--filter SUBSTR]
-//!                                               [--resume] [--sweep]
-//!                                               [--bench] [--no-skip]
+//! cargo run --release -p bench --bin run_all [-- [--config FILE] [--jobs N]
+//!                                               [--filter SUBSTR] [--resume]
+//!                                               [--sweep] [--bench] [--no-skip]
 //!                                               [--trace-dir DIR] [output.md]]
 //! ```
 //!
@@ -37,14 +37,16 @@
 //!    reported inline in the output instead of aborting the report.
 //!
 //! The process exits 0 only if every sweep cell and every section
-//! succeeded; any failure exits 1 (usage errors exit 2).
+//! succeeded; any failure exits 1 (usage errors — including conflicting
+//! configuration sources — exit 2).
 //!
-//! The sweep grid defaults to the paper's pointer benchmarks × the seven
-//! headline systems on the ref input and can be overridden with
-//! `BENCH_SWEEP_WORKLOADS` (comma-separated), `BENCH_SWEEP_SYSTEMS`
-//! (comma-separated system labels) and `BENCH_SWEEP_INPUT`
-//! (`test`/`train`/`ref`) — the knobs the fault-injection tests use to
-//! drive this binary on a small grid. The section text is identical at
+//! Configuration resolves through one typed [`bench::SweepRequest`]
+//! (the same schema-versioned document `sweepd` accepts over HTTP):
+//! flags override `--config FILE`, the file overrides the legacy
+//! `BENCH_*` environment, and a field set by both the file and the
+//! environment to different values is a usage error naming both. The
+//! sweep grid defaults to the paper's pointer benchmarks × the seven
+//! headline systems on the ref input. The section text is identical at
 //! any thread count (only the trailing timing line varies): results are
 //! assembled in section order and every simulation is memoized
 //! process-wide by the `Lab`. `--filter` keeps only sections whose name
@@ -55,23 +57,9 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 use bench::cli::{parse_args, Parsed, RunAllArgs, USAGE};
-use bench::experiments::{compare, misc, multi, single, POINTER_BENCHES};
-use bench::{
-    Lab, Manifest, ManifestWriter, ResultStore, RetryPolicy, RunOutcome, SweepOptions, SweepPlan,
-};
-use ecdp::system::SystemKind;
-use workloads::InputSet;
-
-/// The headline systems swept by default.
-const DEFAULT_SYSTEMS: [SystemKind; 7] = [
-    SystemKind::NoPrefetch,
-    SystemKind::StreamOnly,
-    SystemKind::OracleLds,
-    SystemKind::StreamCdp,
-    SystemKind::StreamEcdp,
-    SystemKind::StreamCdpThrottled,
-    SystemKind::StreamEcdpThrottled,
-];
+use bench::experiments::{compare, misc, multi, single};
+use bench::request::{compat, RequestOverlay};
+use bench::{Lab, Manifest, ManifestWriter, ResultStore, RunOutcome, SweepOptions, SweepRequest};
 
 fn fail_usage(msg: &str) -> ! {
     eprintln!("run_all: {msg}");
@@ -79,70 +67,56 @@ fn fail_usage(msg: &str) -> ! {
     std::process::exit(2);
 }
 
-/// Comma-separated override from the environment, if set.
-fn env_list(var: &str) -> Option<Vec<String>> {
-    let v = std::env::var(var).ok()?;
-    Some(
-        v.split(',')
-            .map(str::trim)
-            .filter(|s| !s.is_empty())
-            .map(ToString::to_string)
-            .collect(),
-    )
-}
-
-/// The (workloads, input, systems) grid, honoring the `BENCH_SWEEP_*`
-/// environment overrides shared by the sweep and `--bench` modes.
-fn sweep_grid() -> (Vec<String>, InputSet, Vec<SystemKind>) {
-    let workloads = env_list("BENCH_SWEEP_WORKLOADS")
-        .unwrap_or_else(|| POINTER_BENCHES.iter().map(ToString::to_string).collect());
-    let systems: Vec<SystemKind> = match env_list("BENCH_SWEEP_SYSTEMS") {
-        Some(labels) => labels
-            .iter()
-            .map(|l| {
-                SystemKind::from_label(l).unwrap_or_else(|| {
-                    fail_usage(&format!(
-                        "unknown system label {l:?} in BENCH_SWEEP_SYSTEMS"
-                    ))
-                })
-            })
-            .collect(),
-        None => DEFAULT_SYSTEMS.to_vec(),
+/// Resolves the typed request from the three sources — flags over
+/// `--config` file over legacy environment — and installs it as the
+/// authoritative configuration for every deep `BENCH_*` reader in this
+/// process (`Lab::new`, `Manifest::out_dir`, `RetryPolicy::from_env`…).
+fn resolve_request(args: &RunAllArgs) -> SweepRequest {
+    let flags = RequestOverlay {
+        jobs: args.jobs,
+        store_path: args.store.clone(),
+        ..RequestOverlay::default()
     };
-    let input = match std::env::var("BENCH_SWEEP_INPUT").as_deref() {
-        Ok("test") => InputSet::Test,
-        Ok("train") => InputSet::Train,
-        Ok("ref") | Err(_) => InputSet::Ref,
-        Ok(other) => fail_usage(&format!("unknown BENCH_SWEEP_INPUT {other:?}")),
-    };
-    (workloads, input, systems)
-}
-
-fn sweep_plan() -> SweepPlan {
-    let (workloads, input, systems) = sweep_grid();
-    let workload_refs: Vec<&str> = workloads.iter().map(String::as_str).collect();
-    SweepPlan::cross("run_all", &workload_refs, input, &systems)
+    let file = args.config.as_ref().map(|path| {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| fail_usage(&format!("--config {path:?}: {e}")));
+        let json = sim_core::Json::parse(&text)
+            .unwrap_or_else(|e| fail_usage(&format!("--config {path:?}: {e}")));
+        RequestOverlay::from_json(&json)
+            .unwrap_or_else(|e| fail_usage(&format!("--config {path:?}: {e}")))
+    });
+    let env = RequestOverlay::from_env().unwrap_or_else(|e| fail_usage(&e));
+    let request = SweepRequest::resolve(flags, file, env).unwrap_or_else(|e| fail_usage(&e));
+    if let Err(e) = compat::install_overrides(request.legacy_env_map()) {
+        eprintln!("[run_all] {e}");
+    }
+    request
 }
 
 /// `--bench`: time the engine hot path over the grid, write the report,
-/// and gate against `$BENCH_BASELINE` when set.
-fn run_bench(args: &RunAllArgs) -> ! {
-    let (workloads, input, systems) = sweep_grid();
+/// and gate against the configured baseline report when set.
+fn run_bench(args: &RunAllArgs, request: &SweepRequest) -> ! {
     let out_path = args
         .out_path
         .clone()
         .unwrap_or_else(|| "BENCH_hotpath.json".to_string());
     let t = Instant::now();
     eprintln!(
-        "[run_all] benching {} cells ({} workloads x {} systems, {input:?} input{}{}) ...",
-        workloads.len() * systems.len(),
-        workloads.len(),
-        systems.len(),
+        "[run_all] benching {} cells ({} workloads x {} systems, {:?} input{}{}) ...",
+        request.cell_count(),
+        request.workloads.len(),
+        request.systems.len(),
+        request.input,
         if args.no_skip { ", no-skip" } else { "" },
         if args.warm_fork { ", warm-fork" } else { "" },
     );
-    let report =
-        bench::run_hotpath_bench(&workloads, input, &systems, args.no_skip, args.warm_fork);
+    let report = bench::run_hotpath_bench(
+        &request.workloads,
+        request.input,
+        &request.systems,
+        args.no_skip,
+        args.warm_fork,
+    );
     eprintln!(
         "[run_all] bench: {:.1} cells/sec, {:.2e} cycles/sec, peak RSS {} in {:.1?}",
         report.cells_per_sec,
@@ -154,12 +128,12 @@ fn run_bench(args: &RunAllArgs) -> ! {
     );
     std::fs::write(&out_path, report.to_json().to_string_pretty()).expect("write bench report");
     println!("wrote {out_path}");
-    if let Ok(baseline_path) = std::env::var("BENCH_BASELINE") {
-        let text = std::fs::read_to_string(&baseline_path)
-            .unwrap_or_else(|e| fail_usage(&format!("BENCH_BASELINE {baseline_path:?}: {e}")));
+    if let Some(baseline_path) = &request.baseline {
+        let text = std::fs::read_to_string(baseline_path)
+            .unwrap_or_else(|e| fail_usage(&format!("baseline {baseline_path:?}: {e}")));
         let baseline = sim_core::Json::parse(&text)
             .and_then(|j| bench::HotpathReport::from_json(&j))
-            .unwrap_or_else(|e| fail_usage(&format!("BENCH_BASELINE {baseline_path:?}: {e}")));
+            .unwrap_or_else(|e| fail_usage(&format!("baseline {baseline_path:?}: {e}")));
         if let Err(msg) = report.regression_check(&baseline, 0.2) {
             eprintln!("[run_all] {msg}");
             std::process::exit(1);
@@ -185,8 +159,7 @@ fn run_bench(args: &RunAllArgs) -> ! {
 /// `--validate`: run the paper-conformance suite over the sweep grid's
 /// workloads and write `VALIDATE_report.json`. Exits 2 when a property is
 /// violated, 1 when the report cannot be written, 0 on a clean pass.
-fn run_validate(args: &RunAllArgs) -> ! {
-    let (workloads, input, _) = sweep_grid();
+fn run_validate(args: &RunAllArgs, request: &SweepRequest) -> ! {
     let out_path = args
         .out_path
         .clone()
@@ -194,11 +167,12 @@ fn run_validate(args: &RunAllArgs) -> ! {
     let lab = Lab::new();
     let t = Instant::now();
     eprintln!(
-        "[run_all] validating {} properties x {} workloads ({input:?} input) ...",
+        "[run_all] validating {} properties x {} workloads ({:?} input) ...",
         bench::validate::PROPERTIES.len(),
-        workloads.len(),
+        request.workloads.len(),
+        request.input,
     );
-    let report = bench::run_conformance(&lab, &workloads, input);
+    let report = bench::run_conformance(&lab, &request.workloads, request.input);
     for r in &report.results {
         eprintln!(
             "[run_all] {} {}/{}: {}",
@@ -241,13 +215,14 @@ fn main() {
         }
         Err(e) => fail_usage(&e),
     };
+    let request = resolve_request(&args);
     if args.bench {
-        run_bench(&args);
+        run_bench(&args, &request);
     }
     if args.validate {
-        run_validate(&args);
+        run_validate(&args, &request);
     }
-    let jobs = args.jobs.unwrap_or_else(bench::default_jobs);
+    let jobs = request.jobs.unwrap_or_else(bench::default_jobs);
     let out_path = args
         .out_path
         .unwrap_or_else(|| "EXPERIMENTS.md".to_string());
@@ -256,17 +231,10 @@ fn main() {
     let t0 = Instant::now();
     let mut failures = 0usize;
 
-    // Persistent result store (--store or $BENCH_RESULT_STORE): opening
-    // runs startup recovery; the report artifact lands next to the log.
-    let store = args
-        .store
-        .clone()
-        .or_else(|| {
-            std::env::var("BENCH_RESULT_STORE")
-                .ok()
-                .filter(|s| !s.is_empty())
-        })
-        .map(ResultStore::open);
+    // Persistent result store (--store, --config or $BENCH_RESULT_STORE):
+    // opening runs startup recovery; the report artifact lands next to
+    // the log.
+    let store = request.store_path.as_deref().map(ResultStore::open);
     if let Some(store) = &store {
         let rec = store.recovery();
         eprintln!(
@@ -293,7 +261,7 @@ fn main() {
     let trace_dir = args.trace_dir.as_ref().map(std::path::PathBuf::from);
     let mut sweep_outcomes: Vec<RunOutcome> = Vec::new();
     if args.filter.is_none() || args.sweep_only {
-        let mut plan = sweep_plan();
+        let mut plan = request.plan("run_all");
         if let Some(f) = &args.filter {
             plan = plan.filtered(f);
             if plan.cells.is_empty() {
@@ -323,7 +291,7 @@ fn main() {
                 writer: Some(&writer),
                 trace_dir: trace_dir.as_deref(),
                 store: store.as_ref(),
-                retry: RetryPolicy::from_env(),
+                retry: request.retry,
             },
         );
         eprintln!(
@@ -349,7 +317,7 @@ fn main() {
     // Store maintenance: optional offline compaction, then the
     // quarantine/heal report artifact the chaos CI job uploads.
     if let Some(store) = &store {
-        if std::env::var("BENCH_STORE_COMPACT").is_ok_and(|v| v == "1") {
+        if request.store_compact {
             match store.compact() {
                 Ok(stats) => eprintln!(
                     "[run_all] store compacted: {} live records, {} -> {} bytes",
@@ -358,9 +326,8 @@ fn main() {
                 Err(e) => eprintln!("[run_all] store compaction failed: {e}"),
             }
         }
-        let report_path = format!("{}.report.json", store.path().display());
-        match std::fs::write(&report_path, store.status_json().to_string_pretty()) {
-            Ok(()) => eprintln!("[run_all] store report: {report_path}"),
+        match store.write_report() {
+            Ok(path) => eprintln!("[run_all] store report: {}", path.display()),
             Err(e) => eprintln!("[run_all] store report write failed: {e}"),
         }
     }

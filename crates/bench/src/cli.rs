@@ -6,10 +6,15 @@
 //! message, instead of being silently reinterpreted as an output path.
 
 /// Usage line printed on `--help` and on every parse error.
-pub const USAGE: &str = "usage: run_all [--jobs N] [--filter SUBSTR] [--resume] [--sweep]
-               [--bench] [--validate] [--no-skip] [--warm-fork]
+pub const USAGE: &str = "usage: run_all [--config FILE] [--jobs N] [--filter SUBSTR] [--resume]
+               [--sweep] [--bench] [--validate] [--no-skip] [--warm-fork]
                [--trace-dir DIR] [--store PATH] [output.md]
 
+  --config FILE   load a SweepRequest JSON document (the same schema sweepd
+                  accepts over HTTP). Precedence: flags override the file,
+                  the file overrides the environment; a field set by both
+                  the file and a BENCH_* variable to different values is a
+                  usage error naming both sources
   --jobs N        worker threads (default: $BENCH_JOBS or available parallelism)
   --filter SUBSTR only generate report sections whose name contains SUBSTR;
                   with --sweep, keep only sweep cells matching SUBSTR
@@ -42,6 +47,8 @@ pub const USAGE: &str = "usage: run_all [--jobs N] [--filter SUBSTR] [--resume] 
 /// Parsed `run_all` arguments.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct RunAllArgs {
+    /// Path of a `SweepRequest` JSON document to layer under the flags.
+    pub config: Option<String>,
     /// Worker threads; `None` means use [`crate::default_jobs`].
     pub jobs: Option<usize>,
     /// Lower-cased section filter.
@@ -90,6 +97,13 @@ where
     let mut args = args.into_iter();
     while let Some(a) = args.next() {
         match a.as_str() {
+            "--config" => {
+                let v = args.next().ok_or("--config requires a value")?;
+                if v.is_empty() {
+                    return Err("--config value must be non-empty".to_string());
+                }
+                parsed.config = Some(v);
+            }
             "--jobs" => {
                 let v = args.next().ok_or("--jobs requires a value")?;
                 let n: usize = v
@@ -187,6 +201,21 @@ mod tests {
         assert_eq!(parse(&[]), Ok(Parsed::Run(RunAllArgs::default())));
         assert_eq!(parse(&["--help"]), Ok(Parsed::Help));
         assert_eq!(parse(&["-h"]), Ok(Parsed::Help));
+    }
+
+    #[test]
+    fn parses_config_flag() {
+        let p = parse(&["--config", "req.json", "--jobs", "2"]);
+        assert_eq!(
+            p,
+            Ok(Parsed::Run(RunAllArgs {
+                config: Some("req.json".to_string()),
+                jobs: Some(2),
+                ..RunAllArgs::default()
+            }))
+        );
+        assert!(parse(&["--config"]).is_err(), "missing value");
+        assert!(parse(&["--config", ""]).is_err(), "empty value");
     }
 
     #[test]

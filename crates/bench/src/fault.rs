@@ -224,18 +224,19 @@ impl FaultPlan {
         Ok(plan)
     }
 
-    /// The plan configured via `BENCH_FAULT_PLAN`, or the empty plan.
+    /// The plan configured via `BENCH_FAULT_PLAN` (read through the
+    /// [`crate::request::compat`] gate), or the empty plan.
     ///
     /// # Panics
     ///
     /// Panics on a malformed plan — a misspelled injection silently
     /// testing nothing is worse than failing fast.
     pub fn from_env() -> Self {
-        match std::env::var("BENCH_FAULT_PLAN") {
-            Ok(text) => {
+        match crate::request::compat::setting("BENCH_FAULT_PLAN") {
+            Some(text) => {
                 FaultPlan::parse(&text).unwrap_or_else(|e| panic!("invalid BENCH_FAULT_PLAN: {e}"))
             }
-            Err(_) => FaultPlan::none(),
+            None => FaultPlan::none(),
         }
     }
 

@@ -1,0 +1,387 @@
+//! Minimal HTTP/1.1 plumbing for the `sweepd` service binary.
+//!
+//! The workspace takes no external dependencies — there is no async
+//! runtime or web framework in the tree — so the service speaks plain
+//! HTTP over [`std::net`]: one thread per connection, `Connection:
+//! close` on every response, and streaming bodies terminated by closing
+//! the socket (legal for HTTP/1.1 without `Content-Length`). That is a
+//! deliberately boring transport: all the interesting behavior lives in
+//! [`crate::service`], and the parser here is small enough to unit-test
+//! exhaustively.
+//!
+//! Progress streams are JSONL by default; a client sending
+//! `Accept: text/event-stream` gets the same lines in SSE framing
+//! (`data: <line>\n\n`), which browsers' `EventSource` consumes
+//! directly.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::Arc;
+
+/// Cap on request head + body, defending the parser against garbage.
+pub const MAX_REQUEST_BYTES: usize = 1 << 20;
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpRequest {
+    /// Request method, upper-case as sent (`GET`, `POST`, …).
+    pub method: String,
+    /// Request path with the query string stripped.
+    pub path: String,
+    /// Raw query string (without `?`), empty when absent.
+    pub query: String,
+    /// Header name/value pairs; names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// Request body (`Content-Length` bytes).
+    pub body: Vec<u8>,
+}
+
+impl HttpRequest {
+    /// The first header with this (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// True when the client asked for SSE framing.
+    pub fn wants_sse(&self) -> bool {
+        self.header("accept")
+            .is_some_and(|a| a.contains("text/event-stream"))
+    }
+
+    /// The path split on `/`, empty segments dropped:
+    /// `/jobs/3/events` → `["jobs", "3", "events"]`.
+    pub fn segments(&self) -> Vec<&str> {
+        self.path.split('/').filter(|s| !s.is_empty()).collect()
+    }
+}
+
+/// Parses one request from a buffered stream.
+///
+/// # Errors
+///
+/// Returns a one-line message on malformed request lines or headers, a
+/// missing body, or a request exceeding [`MAX_REQUEST_BYTES`].
+pub fn parse_request<R: BufRead>(reader: &mut R) -> Result<HttpRequest, String> {
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .map_err(|e| format!("read request line: {e}"))?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next().ok_or("empty request line")?.to_uppercase();
+    let target = parts.next().ok_or("request line is missing the path")?;
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
+    let mut headers = Vec::new();
+    let mut content_length = 0usize;
+    let mut head_bytes = line.len();
+    loop {
+        let mut h = String::new();
+        reader
+            .read_line(&mut h)
+            .map_err(|e| format!("read header: {e}"))?;
+        head_bytes += h.len();
+        if head_bytes > MAX_REQUEST_BYTES {
+            return Err("request head too large".to_string());
+        }
+        let h = h.trim_end_matches(['\r', '\n']);
+        if h.is_empty() {
+            break;
+        }
+        let (name, value) = h
+            .split_once(':')
+            .ok_or_else(|| format!("malformed header {h:?}"))?;
+        let name = name.trim().to_lowercase();
+        let value = value.trim().to_string();
+        if name == "content-length" {
+            content_length = value
+                .parse()
+                .map_err(|_| format!("bad content-length {value:?}"))?;
+            if content_length > MAX_REQUEST_BYTES {
+                return Err("request body too large".to_string());
+            }
+        }
+        headers.push((name, value));
+    }
+    let mut body = vec![0u8; content_length];
+    reader
+        .read_exact(&mut body)
+        .map_err(|e| format!("read body: {e}"))?;
+    Ok(HttpRequest {
+        method,
+        path,
+        query,
+        headers,
+        body,
+    })
+}
+
+/// The reason phrase for the handful of status codes the service uses.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a complete response with a body and closes out the exchange.
+///
+/// # Errors
+///
+/// Propagates socket write errors.
+pub fn respond(
+    stream: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+) -> std::io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        reason(status),
+        body.len(),
+    )?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Writes a JSON response.
+///
+/// # Errors
+///
+/// Propagates socket write errors.
+pub fn respond_json(
+    stream: &mut impl Write,
+    status: u16,
+    json: &sim_core::Json,
+) -> std::io::Result<()> {
+    respond(
+        stream,
+        status,
+        "application/json",
+        json.to_string_pretty().as_bytes(),
+    )
+}
+
+/// Writes a plain-text error response.
+///
+/// # Errors
+///
+/// Propagates socket write errors.
+pub fn respond_error(stream: &mut impl Write, status: u16, msg: &str) -> std::io::Result<()> {
+    respond(stream, status, "text/plain", format!("{msg}\n").as_bytes())
+}
+
+/// Starts a streaming response: headers only, no `Content-Length` — the
+/// body is whatever the caller writes until it closes the socket. Pass
+/// `sse` to switch the content type to `text/event-stream`.
+///
+/// # Errors
+///
+/// Propagates socket write errors.
+pub fn start_stream(stream: &mut impl Write, sse: bool) -> std::io::Result<()> {
+    let content_type = if sse {
+        "text/event-stream"
+    } else {
+        "application/x-ndjson"
+    };
+    write!(
+        stream,
+        "HTTP/1.1 200 OK\r\ncontent-type: {content_type}\r\ncache-control: no-store\r\nconnection: close\r\n\r\n"
+    )?;
+    stream.flush()
+}
+
+/// Writes one event line in the negotiated framing: raw JSONL, or
+/// `data: <line>\n\n` for SSE.
+///
+/// # Errors
+///
+/// Propagates socket write errors (a disconnected client surfaces here;
+/// handlers treat that as the end of the stream).
+pub fn write_event(stream: &mut impl Write, sse: bool, line: &str) -> std::io::Result<()> {
+    if sse {
+        write!(stream, "data: {line}\n\n")?;
+    } else {
+        writeln!(stream, "{line}")?;
+    }
+    stream.flush()
+}
+
+/// A thread-per-connection HTTP server around a request handler.
+///
+/// The handler receives the parsed request and the raw stream, so plain
+/// endpoints use [`respond_json`] and streaming endpoints take over the
+/// socket with [`start_stream`]/[`write_event`].
+pub struct HttpServer {
+    listener: TcpListener,
+}
+
+impl HttpServer {
+    /// Binds the listener. `addr` may use port 0 to pick a free port;
+    /// [`HttpServer::local_addr`] reports the resolved one.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind errors.
+    pub fn bind(addr: impl ToSocketAddrs) -> std::io::Result<HttpServer> {
+        Ok(HttpServer {
+            listener: TcpListener::bind(addr)?,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Accepts connections forever, one handler thread per connection.
+    /// Parse failures get a 400; handler I/O errors are logged and drop
+    /// the connection (a disconnected streaming client is normal).
+    pub fn serve<F>(&self, handler: F) -> !
+    where
+        F: Fn(&HttpRequest, &mut TcpStream) -> std::io::Result<()> + Send + Sync + 'static,
+    {
+        let handler = Arc::new(handler);
+        loop {
+            let (stream, peer) = match self.listener.accept() {
+                Ok(x) => x,
+                Err(e) => {
+                    eprintln!("[httpd] accept failed: {e}");
+                    continue;
+                }
+            };
+            let handler = Arc::clone(&handler);
+            let spawned = std::thread::Builder::new()
+                .name(format!("httpd-{peer}"))
+                .spawn(move || handle_connection(&stream, handler.as_ref()));
+            if let Err(e) = spawned {
+                eprintln!("[httpd] spawn failed: {e}");
+            }
+        }
+    }
+}
+
+fn handle_connection<F>(stream: &TcpStream, handler: &F)
+where
+    F: Fn(&HttpRequest, &mut TcpStream) -> std::io::Result<()>,
+{
+    let mut write_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("[httpd] clone stream: {e}");
+            return;
+        }
+    };
+    let mut reader = BufReader::new(stream);
+    match parse_request(&mut reader) {
+        Ok(request) => {
+            if let Err(e) = handler(&request, &mut write_half) {
+                // Client hangups mid-stream are routine; anything else
+                // is worth a log line.
+                if e.kind() != std::io::ErrorKind::BrokenPipe
+                    && e.kind() != std::io::ErrorKind::ConnectionReset
+                {
+                    eprintln!("[httpd] {} {}: {e}", request.method, request.path);
+                }
+            }
+        }
+        Err(msg) => {
+            let _ = respond_error(&mut write_half, 400, &msg);
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn parse(text: &str) -> Result<HttpRequest, String> {
+        parse_request(&mut Cursor::new(text.as_bytes()))
+    }
+
+    #[test]
+    fn parses_get_with_query() {
+        let r = parse(
+            "GET /jobs/3/events?from=2 HTTP/1.1\r\nHost: x\r\nAccept: text/event-stream\r\n\r\n",
+        )
+        .unwrap();
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/jobs/3/events");
+        assert_eq!(r.query, "from=2");
+        assert_eq!(r.segments(), vec!["jobs", "3", "events"]);
+        assert!(r.wants_sse());
+        assert_eq!(r.header("host"), Some("x"));
+        assert_eq!(r.header("HOST"), Some("x"));
+    }
+
+    #[test]
+    fn parses_post_body_by_content_length() {
+        let r = parse("POST /sweep HTTP/1.1\r\nContent-Length: 9\r\n\r\n{\"a\": 1}\n").unwrap();
+        assert_eq!(r.method, "POST");
+        assert_eq!(r.body, b"{\"a\": 1}\n");
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        assert!(parse("\r\n\r\n").is_err(), "empty request line");
+        assert!(parse("GET\r\n\r\n").is_err(), "missing path");
+        assert!(
+            parse("GET / HTTP/1.1\r\nbadheader\r\n\r\n").is_err(),
+            "header without colon"
+        );
+        assert!(
+            parse("POST / HTTP/1.1\r\nContent-Length: nine\r\n\r\n").is_err(),
+            "bad content-length"
+        );
+        assert!(
+            parse("POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort").is_err(),
+            "truncated body"
+        );
+    }
+
+    #[test]
+    fn responses_have_framing_headers() {
+        let mut out = Vec::new();
+        respond_json(&mut out, 200, &sim_core::Json::Bool(true)).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("content-length: 5"), "{text}");
+        assert!(text.contains("connection: close"), "{text}");
+        assert!(text.ends_with("true\n"), "{text}");
+    }
+
+    #[test]
+    fn stream_framing_matches_negotiation() {
+        let mut out = Vec::new();
+        start_stream(&mut out, false).unwrap();
+        write_event(&mut out, false, "{\"n\":1}").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("application/x-ndjson"), "{text}");
+        assert!(text.ends_with("{\"n\":1}\n"), "{text}");
+
+        let mut out = Vec::new();
+        start_stream(&mut out, true).unwrap();
+        write_event(&mut out, true, "{\"n\":1}").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("text/event-stream"), "{text}");
+        assert!(text.ends_with("data: {\"n\":1}\n\n"), "{text}");
+    }
+}

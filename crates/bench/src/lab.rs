@@ -145,11 +145,11 @@ impl CheckpointConfig {
     }
 
     /// The store configured via `BENCH_CHECKPOINT_DIR` (and optionally
-    /// `BENCH_WARM_CYCLES`), or `None` when unset.
+    /// `BENCH_WARM_CYCLES`), read through the
+    /// [`crate::request::compat`] gate, or `None` when unset.
     pub fn from_env() -> Option<Self> {
-        let dir = std::env::var_os("BENCH_CHECKPOINT_DIR")?;
-        let warm_cycles = std::env::var("BENCH_WARM_CYCLES")
-            .ok()
+        let dir = crate::request::compat::setting("BENCH_CHECKPOINT_DIR")?;
+        let warm_cycles = crate::request::compat::setting("BENCH_WARM_CYCLES")
             .and_then(|s| s.parse().ok())
             .unwrap_or(Self::DEFAULT_WARM_CYCLES);
         Some(CheckpointConfig::new(PathBuf::from(dir), warm_cycles))
@@ -314,7 +314,7 @@ impl Lab {
                 traces_obs: OnceMap::new(),
                 faults,
                 checkpoints,
-                verbose: std::env::var_os("BENCH_VERBOSE").is_some(),
+                verbose: crate::request::compat::setting_is_set("BENCH_VERBOSE"),
             }),
         }
     }
@@ -335,7 +335,7 @@ impl Lab {
         let key = (name.to_string(), input);
         let shared = &self.shared;
         shared.traces.get_or_init(&key, || {
-            let disk = std::env::var_os("BENCH_TRACE_CACHE").map(|dir| {
+            let disk = crate::request::compat::setting("BENCH_TRACE_CACHE").map(|dir| {
                 let mut p = PathBuf::from(dir);
                 p.push(format!("{name}-{input:?}.trc"));
                 p

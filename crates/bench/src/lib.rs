@@ -16,8 +16,11 @@ pub mod difftest;
 pub mod experiments;
 pub mod fault;
 pub mod hotpath;
+pub mod httpd;
 pub mod lab;
 pub mod manifest;
+pub mod request;
+pub mod service;
 pub mod store;
 pub mod sweep;
 pub mod table;
@@ -30,6 +33,8 @@ pub use lab::{CheckpointConfig, Lab};
 pub use manifest::{
     config_hash, FailureRecord, Manifest, ManifestWriter, RetryInfo, RunOutcome, RunRecord,
 };
+pub use request::{RequestOverlay, SweepRequest, DEFAULT_SYSTEMS, REQUEST_SCHEMA_VERSION};
+pub use service::{JobStatus, SweepService};
 pub use store::{
     AppendDisposition, CellKey, CompactStats, RecoveryEvent, RecoveryReport, ResultStore,
 };

@@ -506,10 +506,12 @@ impl Manifest {
         Manifest::parse(&text).ok()
     }
 
-    /// The directory manifests are written to: `$BENCH_LAB_DIR` if set,
+    /// The directory manifests are written to: `BENCH_LAB_DIR` (via the
+    /// [`crate::request::compat`] gate, so a resolved
+    /// [`crate::request::SweepRequest`] with `lab_dir` wins) if set,
     /// else `target/lab` relative to the current directory.
     pub fn out_dir() -> PathBuf {
-        std::env::var_os("BENCH_LAB_DIR")
+        crate::request::compat::setting("BENCH_LAB_DIR")
             .map(PathBuf::from)
             .unwrap_or_else(|| PathBuf::from("target").join("lab"))
     }

@@ -1,0 +1,1117 @@
+//! Typed sweep-request configuration — the `BENCH_*` consolidation layer.
+//!
+//! Seven PRs grew the harness fourteen-plus ad-hoc `BENCH_*` environment
+//! variables (`BENCH_JOBS`, `BENCH_RETRY_*`, `BENCH_SWEEP_*`,
+//! `BENCH_RESULT_STORE`, …), each parsed at its point of use. This module
+//! replaces that sprawl with one validated, schema-versioned
+//! [`SweepRequest`] struct that the `run_all` CLI, the `sweepd` service
+//! and the library share: the server's POST body and the CLI's
+//! `--config` file are **the same document**.
+//!
+//! Serialization uses the in-tree [`Json`] layer (the workspace takes no
+//! external dependencies, so there is no serde crate to derive from) with
+//! an explicit `schema_version` field, exactly like the run manifest.
+//!
+//! # Layering
+//!
+//! A [`RequestOverlay`] is a *partial* request: every field optional.
+//! Overlays come from three sources and merge in strict precedence
+//! order — **flags over file over environment** — via
+//! [`SweepRequest::resolve`]:
+//!
+//! 1. command-line flags (`--jobs`, `--store`),
+//! 2. a `--config file.json` document / a POSTed request body,
+//! 3. the legacy `BENCH_*` environment.
+//!
+//! A field set by *both* the config file and the environment to
+//! **different** values is a hard error naming both sources (the
+//! usage-error convention: `run_all` exits 2); flags override either
+//! silently, and the environment overrides nothing.
+//!
+//! # The compat gate
+//!
+//! Every legacy `BENCH_*` read in this crate goes through
+//! [`compat::setting`]: a process-wide gate that (a) lets a resolved
+//! request install itself as the authoritative source for deep readers
+//! ([`compat::install_overrides`]) and (b) emits a one-line deprecation
+//! note the first time an environment variable — rather than a typed
+//! request — is the source of a setting. No production code reads
+//! `std::env::var("BENCH_…")` directly anymore.
+
+use std::path::PathBuf;
+
+use ecdp::system::SystemKind;
+use sim_core::Json;
+use workloads::InputSet;
+
+use crate::lab::CheckpointConfig;
+use crate::sweep::{RetryPolicy, SweepPlan};
+
+/// Version of the request document format (`--config` files and POSTed
+/// sweep requests). Bumped on incompatible field changes.
+pub const REQUEST_SCHEMA_VERSION: u32 = 1;
+
+/// The headline systems swept by default: the paper's seven
+/// configurations of Figure 7.
+pub const DEFAULT_SYSTEMS: [SystemKind; 7] = [
+    SystemKind::NoPrefetch,
+    SystemKind::StreamOnly,
+    SystemKind::OracleLds,
+    SystemKind::StreamCdp,
+    SystemKind::StreamEcdp,
+    SystemKind::StreamCdpThrottled,
+    SystemKind::StreamEcdpThrottled,
+];
+
+/// Request field ↔ legacy environment variable mapping (also the table
+/// documented in DESIGN.md). `compat::setting` uses it for the
+/// deprecation notes; [`RequestOverlay::conflicts_with_env`] for the
+/// conflict messages.
+pub const LEGACY_ENV: &[(&str, &str)] = &[
+    ("workloads", "BENCH_SWEEP_WORKLOADS"),
+    ("input", "BENCH_SWEEP_INPUT"),
+    ("systems", "BENCH_SWEEP_SYSTEMS"),
+    ("jobs", "BENCH_JOBS"),
+    ("retry.attempts", "BENCH_RETRY_ATTEMPTS"),
+    ("retry.backoff_ms", "BENCH_RETRY_BACKOFF_MS"),
+    ("retry.cell_deadline_ms", "BENCH_CELL_DEADLINE_MS"),
+    ("checkpoint.dir", "BENCH_CHECKPOINT_DIR"),
+    ("checkpoint.warm_cycles", "BENCH_WARM_CYCLES"),
+    ("store.path", "BENCH_RESULT_STORE"),
+    ("store.compact", "BENCH_STORE_COMPACT"),
+    ("fault_plan", "BENCH_FAULT_PLAN"),
+    ("trace_cache", "BENCH_TRACE_CACHE"),
+    ("lab_dir", "BENCH_LAB_DIR"),
+    ("verbose", "BENCH_VERBOSE"),
+    ("validate_thresholds", "BENCH_VALIDATE_THRESHOLDS"),
+    ("baseline", "BENCH_BASELINE"),
+];
+
+/// The process-wide legacy-environment gate. See the module docs.
+pub mod compat {
+    use std::collections::{HashMap, HashSet};
+    use std::sync::{Mutex, OnceLock};
+
+    static OVERRIDES: OnceLock<HashMap<String, String>> = OnceLock::new();
+    static NOTED: OnceLock<Mutex<HashSet<String>>> = OnceLock::new();
+
+    /// Installs a resolved request as the authoritative source for every
+    /// later [`setting`] read in this process. Call once, before worker
+    /// threads spawn (`run_all`/`sweepd` do this right after resolving
+    /// their configuration). Keys are legacy variable names
+    /// (`"BENCH_JOBS"`), values their string forms.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if overrides were already installed.
+    pub fn install_overrides(
+        settings: impl IntoIterator<Item = (String, String)>,
+    ) -> Result<(), String> {
+        OVERRIDES
+            .set(settings.into_iter().collect())
+            .map_err(|_| "sweep-request overrides already installed in this process".to_string())
+    }
+
+    /// The value of one legacy setting: an installed override if any,
+    /// else the environment variable (emitting the one-time deprecation
+    /// note), else `None`.
+    pub fn setting(var: &str) -> Option<String> {
+        if let Some(overrides) = OVERRIDES.get() {
+            if let Some(v) = overrides.get(var) {
+                return Some(v.clone());
+            }
+        }
+        let v = std::env::var_os(var)?.to_str()?.to_string();
+        note(var);
+        Some(v)
+    }
+
+    /// True when [`setting`] would return a value (used for
+    /// presence-style flags like `BENCH_VERBOSE`).
+    pub fn setting_is_set(var: &str) -> bool {
+        setting(var).is_some()
+    }
+
+    fn note(var: &str) {
+        let noted = NOTED.get_or_init(|| Mutex::new(HashSet::new()));
+        let mut set = noted
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if set.insert(var.to_string()) {
+            let field = super::LEGACY_ENV
+                .iter()
+                .find(|(_, v)| *v == var)
+                .map_or("(unmapped)", |(f, _)| *f);
+            eprintln!(
+                "[request] note: legacy {var} is the source of `{field}`; \
+                 prefer a typed SweepRequest (--config / POST body, see DESIGN.md)"
+            );
+        }
+    }
+}
+
+fn parse_input(s: &str) -> Result<InputSet, String> {
+    match s {
+        "test" => Ok(InputSet::Test),
+        "train" => Ok(InputSet::Train),
+        "ref" => Ok(InputSet::Ref),
+        other => Err(format!("unknown input set {other:?} (want test/train/ref)")),
+    }
+}
+
+fn parse_systems(labels: &[String]) -> Result<Vec<SystemKind>, String> {
+    labels
+        .iter()
+        .map(|l| SystemKind::from_label(l).ok_or_else(|| format!("unknown system label {l:?}")))
+        .collect()
+}
+
+fn split_list(v: &str) -> Vec<String> {
+    v.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(ToString::to_string)
+        .collect()
+}
+
+/// A partially-specified sweep request: every field optional, so three
+/// sources (flags, file, environment) can be merged with explicit
+/// precedence. See the module docs for the layering rules.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RequestOverlay {
+    /// Workload names (`BENCH_SWEEP_WORKLOADS`).
+    pub workloads: Option<Vec<String>>,
+    /// Input set (`BENCH_SWEEP_INPUT`).
+    pub input: Option<InputSet>,
+    /// System configurations (`BENCH_SWEEP_SYSTEMS`).
+    pub systems: Option<Vec<SystemKind>>,
+    /// Worker threads (`BENCH_JOBS`).
+    pub jobs: Option<usize>,
+    /// Supervisor attempt budget (`BENCH_RETRY_ATTEMPTS`).
+    pub retry_attempts: Option<u32>,
+    /// Supervisor backoff base (`BENCH_RETRY_BACKOFF_MS`).
+    pub retry_backoff_ms: Option<u64>,
+    /// Per-attempt wall-clock deadline; 0 disables
+    /// (`BENCH_CELL_DEADLINE_MS`).
+    pub cell_deadline_ms: Option<u64>,
+    /// Warm-checkpoint directory (`BENCH_CHECKPOINT_DIR`).
+    pub checkpoint_dir: Option<String>,
+    /// Warm-checkpoint capture cycle (`BENCH_WARM_CYCLES`).
+    pub warm_cycles: Option<u64>,
+    /// Persistent result-store path (`BENCH_RESULT_STORE`).
+    pub store_path: Option<String>,
+    /// Compact the store after the sweep (`BENCH_STORE_COMPACT=1`).
+    pub store_compact: Option<bool>,
+    /// Fault-injection plan text (`BENCH_FAULT_PLAN`).
+    pub fault_plan: Option<String>,
+    /// On-disk trace cache directory (`BENCH_TRACE_CACHE`).
+    pub trace_cache: Option<String>,
+    /// Manifest output directory (`BENCH_LAB_DIR`).
+    pub lab_dir: Option<String>,
+    /// Per-simulation progress lines on stderr (`BENCH_VERBOSE`).
+    pub verbose: Option<bool>,
+    /// Table 3 re-derivation thresholds, `cov,alow,ahigh`
+    /// (`BENCH_VALIDATE_THRESHOLDS`).
+    pub validate_thresholds: Option<String>,
+    /// Hot-path benchmark baseline report path (`BENCH_BASELINE`).
+    pub baseline: Option<String>,
+}
+
+impl RequestOverlay {
+    /// The overlay described by the legacy `BENCH_*` environment, read
+    /// through the [`compat`] gate. Soft-invalid numeric values
+    /// (`BENCH_JOBS=many`) are ignored with a warning, matching the
+    /// historical per-site parsers; structurally invalid grid values
+    /// (an unknown system label) are hard errors.
+    ///
+    /// # Errors
+    ///
+    /// Returns a one-line message for an unknown input set, system
+    /// label, or a malformed fault plan.
+    pub fn from_env() -> Result<Self, String> {
+        fn lenient<T: std::str::FromStr>(var: &str) -> Option<T> {
+            let raw = compat::setting(var)?;
+            match raw.trim().parse() {
+                Ok(v) => Some(v),
+                Err(_) => {
+                    eprintln!("[request] ignoring invalid {var}={raw:?}");
+                    None
+                }
+            }
+        }
+        let systems = match compat::setting("BENCH_SWEEP_SYSTEMS") {
+            Some(v) => Some(
+                parse_systems(&split_list(&v))
+                    .map_err(|e| format!("{e} in BENCH_SWEEP_SYSTEMS"))?,
+            ),
+            None => None,
+        };
+        let input = match compat::setting("BENCH_SWEEP_INPUT") {
+            Some(v) => Some(parse_input(&v).map_err(|e| format!("BENCH_SWEEP_INPUT: {e}"))?),
+            None => None,
+        };
+        let fault_plan = compat::setting("BENCH_FAULT_PLAN");
+        if let Some(text) = &fault_plan {
+            crate::fault::FaultPlan::parse(text).map_err(|e| format!("BENCH_FAULT_PLAN: {e}"))?;
+        }
+        Ok(RequestOverlay {
+            workloads: compat::setting("BENCH_SWEEP_WORKLOADS").map(|v| split_list(&v)),
+            input,
+            systems,
+            jobs: lenient::<usize>("BENCH_JOBS").filter(|&n| n > 0),
+            retry_attempts: lenient::<u32>("BENCH_RETRY_ATTEMPTS").filter(|&n| n >= 1),
+            retry_backoff_ms: lenient("BENCH_RETRY_BACKOFF_MS"),
+            cell_deadline_ms: lenient("BENCH_CELL_DEADLINE_MS"),
+            checkpoint_dir: compat::setting("BENCH_CHECKPOINT_DIR"),
+            warm_cycles: lenient("BENCH_WARM_CYCLES"),
+            store_path: compat::setting("BENCH_RESULT_STORE").filter(|s| !s.is_empty()),
+            store_compact: compat::setting("BENCH_STORE_COMPACT").map(|v| v == "1"),
+            fault_plan,
+            trace_cache: compat::setting("BENCH_TRACE_CACHE"),
+            lab_dir: compat::setting("BENCH_LAB_DIR"),
+            verbose: compat::setting("BENCH_VERBOSE").map(|_| true),
+            validate_thresholds: compat::setting("BENCH_VALIDATE_THRESHOLDS"),
+            baseline: compat::setting("BENCH_BASELINE"),
+        })
+    }
+
+    /// Parses a request document (a `--config` file or a POSTed body).
+    /// Unknown fields are hard errors — a misspelled knob silently
+    /// configuring nothing is worse than failing fast.
+    ///
+    /// # Errors
+    ///
+    /// Returns a one-line message on an unsupported `schema_version`, an
+    /// unknown field, or a mistyped value.
+    pub fn from_json(j: &Json) -> Result<Self, String> {
+        const KNOWN: &[&str] = &[
+            "schema_version",
+            "workloads",
+            "input",
+            "systems",
+            "jobs",
+            "retry",
+            "checkpoint",
+            "store",
+            "fault_plan",
+            "trace_cache",
+            "lab_dir",
+            "verbose",
+            "validate_thresholds",
+            "baseline",
+        ];
+        let Json::Obj(pairs) = j else {
+            return Err("request document must be a JSON object".to_string());
+        };
+        for (k, _) in pairs {
+            if !KNOWN.contains(&k.as_str()) {
+                return Err(format!("unknown request field {k:?}"));
+            }
+        }
+        if let Some(v) = j.get("schema_version") {
+            let version = v.as_u64().ok_or("schema_version must be an integer")?;
+            if version != u64::from(REQUEST_SCHEMA_VERSION) {
+                return Err(format!(
+                    "unsupported request schema_version {version} (this build reads {REQUEST_SCHEMA_VERSION})"
+                ));
+            }
+        }
+        fn str_list(j: &Json, key: &str) -> Result<Option<Vec<String>>, String> {
+            match j.get(key) {
+                None => Ok(None),
+                Some(v) => v
+                    .as_arr()
+                    .ok_or(format!("{key} must be an array of strings"))?
+                    .iter()
+                    .map(|e| {
+                        e.as_str()
+                            .map(ToString::to_string)
+                            .ok_or(format!("{key} must be an array of strings"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()
+                    .map(Some),
+            }
+        }
+        fn str_field(j: &Json, key: &str) -> Result<Option<String>, String> {
+            match j.get(key) {
+                None => Ok(None),
+                Some(v) => v
+                    .as_str()
+                    .map(|s| Some(s.to_string()))
+                    .ok_or(format!("{key} must be a string")),
+            }
+        }
+        fn u64_field(j: &Json, key: &str) -> Result<Option<u64>, String> {
+            match j.get(key) {
+                None => Ok(None),
+                Some(v) => v
+                    .as_u64()
+                    .map(Some)
+                    .ok_or(format!("{key} must be a non-negative integer")),
+            }
+        }
+        fn bool_field(j: &Json, key: &str) -> Result<Option<bool>, String> {
+            match j.get(key) {
+                None => Ok(None),
+                Some(Json::Bool(b)) => Ok(Some(*b)),
+                Some(_) => Err(format!("{key} must be a boolean")),
+            }
+        }
+
+        let mut o = RequestOverlay {
+            workloads: str_list(j, "workloads")?,
+            input: match str_field(j, "input")? {
+                Some(s) => Some(parse_input(&s)?),
+                None => None,
+            },
+            systems: match str_list(j, "systems")? {
+                Some(labels) => Some(parse_systems(&labels)?),
+                None => None,
+            },
+            jobs: u64_field(j, "jobs")?
+                .map(|n| {
+                    if n == 0 {
+                        Err("jobs must be at least 1".to_string())
+                    } else {
+                        Ok(n as usize)
+                    }
+                })
+                .transpose()?,
+            fault_plan: str_field(j, "fault_plan")?,
+            trace_cache: str_field(j, "trace_cache")?,
+            lab_dir: str_field(j, "lab_dir")?,
+            verbose: bool_field(j, "verbose")?,
+            validate_thresholds: str_field(j, "validate_thresholds")?,
+            baseline: str_field(j, "baseline")?,
+            ..RequestOverlay::default()
+        };
+        if let Some(r) = j.get("retry") {
+            o.retry_attempts = u64_field(r, "attempts")?
+                .map(|n| {
+                    if n == 0 {
+                        Err("retry.attempts must be at least 1".to_string())
+                    } else {
+                        Ok(n as u32)
+                    }
+                })
+                .transpose()?;
+            o.retry_backoff_ms = u64_field(r, "backoff_ms")?;
+            o.cell_deadline_ms = u64_field(r, "cell_deadline_ms")?;
+        }
+        if let Some(c) = j.get("checkpoint") {
+            o.checkpoint_dir = str_field(c, "dir")?;
+            o.warm_cycles = u64_field(c, "warm_cycles")?;
+        }
+        if let Some(s) = j.get("store") {
+            o.store_path = str_field(s, "path")?;
+            o.store_compact = bool_field(s, "compact")?;
+        }
+        if let Some(text) = &o.fault_plan {
+            crate::fault::FaultPlan::parse(text).map_err(|e| format!("fault_plan: {e}"))?;
+        }
+        Ok(o)
+    }
+
+    /// Sparse JSON form: only set fields are emitted, so an overlay
+    /// round-trips exactly and a POST body stays minimal.
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![(
+            "schema_version",
+            Json::Num(f64::from(REQUEST_SCHEMA_VERSION)),
+        )];
+        if let Some(w) = &self.workloads {
+            pairs.push((
+                "workloads",
+                Json::Arr(w.iter().map(|s| Json::Str(s.clone())).collect()),
+            ));
+        }
+        if let Some(i) = self.input {
+            pairs.push(("input", Json::Str(format!("{i:?}").to_lowercase())));
+        }
+        if let Some(s) = &self.systems {
+            pairs.push((
+                "systems",
+                Json::Arr(s.iter().map(|k| Json::Str(k.label().to_string())).collect()),
+            ));
+        }
+        if let Some(n) = self.jobs {
+            pairs.push(("jobs", Json::Num(n as f64)));
+        }
+        let mut retry = Vec::new();
+        if let Some(n) = self.retry_attempts {
+            retry.push(("attempts", Json::Num(f64::from(n))));
+        }
+        if let Some(ms) = self.retry_backoff_ms {
+            retry.push(("backoff_ms", Json::Num(ms as f64)));
+        }
+        if let Some(ms) = self.cell_deadline_ms {
+            retry.push(("cell_deadline_ms", Json::Num(ms as f64)));
+        }
+        if !retry.is_empty() {
+            pairs.push(("retry", Json::obj(retry)));
+        }
+        let mut checkpoint = Vec::new();
+        if let Some(d) = &self.checkpoint_dir {
+            checkpoint.push(("dir", Json::Str(d.clone())));
+        }
+        if let Some(c) = self.warm_cycles {
+            checkpoint.push(("warm_cycles", Json::Num(c as f64)));
+        }
+        if !checkpoint.is_empty() {
+            pairs.push(("checkpoint", Json::obj(checkpoint)));
+        }
+        let mut store = Vec::new();
+        if let Some(p) = &self.store_path {
+            store.push(("path", Json::Str(p.clone())));
+        }
+        if let Some(c) = self.store_compact {
+            store.push(("compact", Json::Bool(c)));
+        }
+        if !store.is_empty() {
+            pairs.push(("store", Json::obj(store)));
+        }
+        if let Some(f) = &self.fault_plan {
+            pairs.push(("fault_plan", Json::Str(f.clone())));
+        }
+        if let Some(t) = &self.trace_cache {
+            pairs.push(("trace_cache", Json::Str(t.clone())));
+        }
+        if let Some(l) = &self.lab_dir {
+            pairs.push(("lab_dir", Json::Str(l.clone())));
+        }
+        if let Some(v) = self.verbose {
+            pairs.push(("verbose", Json::Bool(v)));
+        }
+        if let Some(t) = &self.validate_thresholds {
+            pairs.push(("validate_thresholds", Json::Str(t.clone())));
+        }
+        if let Some(b) = &self.baseline {
+            pairs.push(("baseline", Json::Str(b.clone())));
+        }
+        Json::obj(pairs)
+    }
+
+    /// A copy with every field cleared that `mask` sets — used to mute
+    /// file/environment conflicts on fields the flags decide anyway.
+    #[must_use]
+    pub fn without_fields_set_in(mut self, mask: &Self) -> Self {
+        macro_rules! clear {
+            ($($field:ident),* $(,)?) => {
+                $(if mask.$field.is_some() { self.$field = None; })*
+            };
+        }
+        clear!(
+            workloads,
+            input,
+            systems,
+            jobs,
+            retry_attempts,
+            retry_backoff_ms,
+            cell_deadline_ms,
+            checkpoint_dir,
+            warm_cycles,
+            store_path,
+            store_compact,
+            fault_plan,
+            trace_cache,
+            lab_dir,
+            verbose,
+            validate_thresholds,
+            baseline,
+        );
+        self
+    }
+
+    /// Merges `self` over `base`: set fields of `self` win.
+    #[must_use]
+    pub fn merged_over(self, base: Self) -> Self {
+        RequestOverlay {
+            workloads: self.workloads.or(base.workloads),
+            input: self.input.or(base.input),
+            systems: self.systems.or(base.systems),
+            jobs: self.jobs.or(base.jobs),
+            retry_attempts: self.retry_attempts.or(base.retry_attempts),
+            retry_backoff_ms: self.retry_backoff_ms.or(base.retry_backoff_ms),
+            cell_deadline_ms: self.cell_deadline_ms.or(base.cell_deadline_ms),
+            checkpoint_dir: self.checkpoint_dir.or(base.checkpoint_dir),
+            warm_cycles: self.warm_cycles.or(base.warm_cycles),
+            store_path: self.store_path.or(base.store_path),
+            store_compact: self.store_compact.or(base.store_compact),
+            fault_plan: self.fault_plan.or(base.fault_plan),
+            trace_cache: self.trace_cache.or(base.trace_cache),
+            lab_dir: self.lab_dir.or(base.lab_dir),
+            verbose: self.verbose.or(base.verbose),
+            validate_thresholds: self.validate_thresholds.or(base.validate_thresholds),
+            baseline: self.baseline.or(base.baseline),
+        }
+    }
+
+    /// Conflict check between a config file and the environment: one
+    /// message per field both sources set to *different* values, naming
+    /// both (the `run_all` usage-error text). Equal values agree and
+    /// are not conflicts.
+    pub fn conflicts_with_env(&self, env: &RequestOverlay) -> Vec<String> {
+        fn show<T: std::fmt::Debug>(v: &T) -> String {
+            format!("{v:?}")
+        }
+        let mut conflicts = Vec::new();
+        macro_rules! check {
+            ($field:ident, $name:expr, $var:expr) => {
+                if let (Some(a), Some(b)) = (&self.$field, &env.$field) {
+                    if a != b {
+                        conflicts.push(format!(
+                            "conflicting `{}`: --config sets {} but {}={}",
+                            $name,
+                            show(a),
+                            $var,
+                            show(b)
+                        ));
+                    }
+                }
+            };
+        }
+        check!(workloads, "workloads", "BENCH_SWEEP_WORKLOADS");
+        check!(input, "input", "BENCH_SWEEP_INPUT");
+        check!(systems, "systems", "BENCH_SWEEP_SYSTEMS");
+        check!(jobs, "jobs", "BENCH_JOBS");
+        check!(retry_attempts, "retry.attempts", "BENCH_RETRY_ATTEMPTS");
+        check!(
+            retry_backoff_ms,
+            "retry.backoff_ms",
+            "BENCH_RETRY_BACKOFF_MS"
+        );
+        check!(
+            cell_deadline_ms,
+            "retry.cell_deadline_ms",
+            "BENCH_CELL_DEADLINE_MS"
+        );
+        check!(checkpoint_dir, "checkpoint.dir", "BENCH_CHECKPOINT_DIR");
+        check!(warm_cycles, "checkpoint.warm_cycles", "BENCH_WARM_CYCLES");
+        check!(store_path, "store.path", "BENCH_RESULT_STORE");
+        check!(store_compact, "store.compact", "BENCH_STORE_COMPACT");
+        check!(fault_plan, "fault_plan", "BENCH_FAULT_PLAN");
+        check!(trace_cache, "trace_cache", "BENCH_TRACE_CACHE");
+        check!(lab_dir, "lab_dir", "BENCH_LAB_DIR");
+        check!(verbose, "verbose", "BENCH_VERBOSE");
+        check!(
+            validate_thresholds,
+            "validate_thresholds",
+            "BENCH_VALIDATE_THRESHOLDS"
+        );
+        check!(baseline, "baseline", "BENCH_BASELINE");
+        conflicts
+    }
+}
+
+/// A fully-resolved, validated sweep request: the one configuration
+/// type `run_all`, `sweepd` and the library share.
+///
+/// Build one with the builder-style `with_*` methods, from the legacy
+/// environment ([`SweepRequest::from_env`]), or by layering sources
+/// ([`SweepRequest::resolve`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepRequest {
+    /// Workload names (validated against `workloads::by_name`).
+    pub workloads: Vec<String>,
+    /// Input set the measured traces come from.
+    pub input: InputSet,
+    /// System configurations to sweep.
+    pub systems: Vec<SystemKind>,
+    /// Worker threads; `None` means [`crate::default_jobs`].
+    pub jobs: Option<usize>,
+    /// Cell supervisor retry/deadline policy.
+    pub retry: RetryPolicy,
+    /// Warm-checkpoint store, when configured.
+    pub checkpoint: Option<CheckpointConfig>,
+    /// Persistent result-store path, when configured.
+    pub store_path: Option<String>,
+    /// Compact the result store after the sweep.
+    pub store_compact: bool,
+    /// Fault-injection plan text (empty = no injected faults).
+    pub fault_plan: String,
+    /// On-disk trace cache directory, when configured.
+    pub trace_cache: Option<String>,
+    /// Manifest output directory override, when configured.
+    pub lab_dir: Option<String>,
+    /// Per-simulation progress lines on stderr.
+    pub verbose: bool,
+    /// Table 3 re-derivation threshold override (`cov,alow,ahigh`).
+    pub validate_thresholds: Option<String>,
+    /// Hot-path benchmark baseline report path.
+    pub baseline: Option<String>,
+}
+
+impl Default for SweepRequest {
+    fn default() -> Self {
+        SweepRequest {
+            workloads: crate::experiments::POINTER_BENCHES
+                .iter()
+                .map(ToString::to_string)
+                .collect(),
+            input: InputSet::Ref,
+            systems: DEFAULT_SYSTEMS.to_vec(),
+            jobs: None,
+            retry: RetryPolicy::default(),
+            checkpoint: None,
+            store_path: None,
+            store_compact: false,
+            fault_plan: String::new(),
+            trace_cache: None,
+            lab_dir: None,
+            verbose: false,
+            validate_thresholds: None,
+            baseline: None,
+        }
+    }
+}
+
+impl SweepRequest {
+    /// The request described entirely by the legacy environment —
+    /// defaults plus the `BENCH_*` overlay.
+    ///
+    /// # Errors
+    ///
+    /// Returns a one-line message on a structurally invalid variable
+    /// (unknown system label or input set, malformed fault plan, or an
+    /// unknown workload name).
+    pub fn from_env() -> Result<Self, String> {
+        Self::resolve(RequestOverlay::default(), None, RequestOverlay::from_env()?)
+    }
+
+    /// Layers the three sources (see the module docs): flags over file
+    /// over environment, with file↔environment disagreements rejected.
+    /// A field the flags set silences any file/environment conflict on
+    /// it — the flag decides, so the disagreement is moot.
+    ///
+    /// # Errors
+    ///
+    /// Returns a one-line message on a file/environment conflict or a
+    /// request that fails [`SweepRequest::validated`].
+    pub fn resolve(
+        flags: RequestOverlay,
+        file: Option<RequestOverlay>,
+        env: RequestOverlay,
+    ) -> Result<Self, String> {
+        let mut merged = env;
+        if let Some(file) = file {
+            let conflicts = file
+                .clone()
+                .without_fields_set_in(&flags)
+                .conflicts_with_env(&merged.clone().without_fields_set_in(&flags));
+            if let Some(first) = conflicts.first() {
+                return Err(format!(
+                    "{first} (unset one of the two sources, or decide the field with a flag)"
+                ));
+            }
+            merged = file.merged_over(merged);
+        }
+        merged = flags.merged_over(merged);
+        Self::from_overlay(merged)?.validated()
+    }
+
+    fn from_overlay(o: RequestOverlay) -> Result<Self, String> {
+        let d = SweepRequest::default();
+        let rd = RetryPolicy::default();
+        let checkpoint = o.checkpoint_dir.map(|dir| {
+            CheckpointConfig::new(
+                PathBuf::from(dir),
+                o.warm_cycles
+                    .unwrap_or(CheckpointConfig::DEFAULT_WARM_CYCLES),
+            )
+        });
+        Ok(SweepRequest {
+            workloads: o.workloads.unwrap_or(d.workloads),
+            input: o.input.unwrap_or(d.input),
+            systems: o.systems.unwrap_or(d.systems),
+            jobs: o.jobs,
+            retry: RetryPolicy {
+                max_attempts: o.retry_attempts.unwrap_or(rd.max_attempts),
+                backoff_base_ms: o.retry_backoff_ms.unwrap_or(rd.backoff_base_ms),
+                deadline_ms: o.cell_deadline_ms.filter(|&ms| ms > 0),
+            },
+            checkpoint,
+            store_path: o.store_path.filter(|s| !s.is_empty()),
+            store_compact: o.store_compact.unwrap_or(false),
+            fault_plan: o.fault_plan.unwrap_or_default(),
+            trace_cache: o.trace_cache,
+            lab_dir: o.lab_dir,
+            verbose: o.verbose.unwrap_or(false),
+            validate_thresholds: o.validate_thresholds,
+            baseline: o.baseline,
+        })
+    }
+
+    /// Validates the request: non-empty grid, known workload names, a
+    /// parseable fault plan. Returns `self` unchanged on success.
+    ///
+    /// # Errors
+    ///
+    /// Returns a one-line message naming the offending field.
+    pub fn validated(self) -> Result<Self, String> {
+        if self.workloads.is_empty() {
+            return Err("workloads must not be empty".to_string());
+        }
+        if self.systems.is_empty() {
+            return Err("systems must not be empty".to_string());
+        }
+        for w in &self.workloads {
+            if workloads::by_name(w).is_none() {
+                return Err(format!("unknown workload {w:?}"));
+            }
+        }
+        crate::fault::FaultPlan::parse(&self.fault_plan).map_err(|e| format!("fault_plan: {e}"))?;
+        Ok(self)
+    }
+
+    /// Builder: replaces the workload list.
+    #[must_use]
+    pub fn with_workloads(mut self, workloads: &[&str]) -> Self {
+        self.workloads = workloads.iter().map(ToString::to_string).collect();
+        self
+    }
+
+    /// Builder: replaces the input set.
+    #[must_use]
+    pub fn with_input(mut self, input: InputSet) -> Self {
+        self.input = input;
+        self
+    }
+
+    /// Builder: replaces the system list.
+    #[must_use]
+    pub fn with_systems(mut self, systems: &[SystemKind]) -> Self {
+        self.systems = systems.to_vec();
+        self
+    }
+
+    /// Builder: sets the worker-thread count.
+    #[must_use]
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = Some(jobs);
+        self
+    }
+
+    /// Builder: sets the retry/deadline policy.
+    #[must_use]
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Builder: sets the persistent result-store path.
+    #[must_use]
+    pub fn with_store(mut self, path: impl Into<String>) -> Self {
+        self.store_path = Some(path.into());
+        self
+    }
+
+    /// The sweep plan of this request's grid: the full workloads ×
+    /// systems cross product on the configured input.
+    pub fn plan(&self, name: impl Into<String>) -> SweepPlan {
+        let refs: Vec<&str> = self.workloads.iter().map(String::as_str).collect();
+        SweepPlan::cross(name, &refs, self.input, &self.systems)
+    }
+
+    /// The parsed fault-injection plan.
+    pub fn parsed_fault_plan(&self) -> crate::fault::FaultPlan {
+        // Validated at construction; an empty plan parses to none().
+        crate::fault::FaultPlan::parse(&self.fault_plan)
+            .unwrap_or_else(|_| crate::fault::FaultPlan::none())
+    }
+
+    /// The number of grid cells (`workloads × systems`).
+    pub fn cell_count(&self) -> usize {
+        self.workloads.len() * self.systems.len()
+    }
+
+    /// Full JSON form: every field, resolved. Parses back through
+    /// [`SweepRequest::from_json`].
+    pub fn to_json(&self) -> Json {
+        let o = RequestOverlay {
+            workloads: Some(self.workloads.clone()),
+            input: Some(self.input),
+            systems: Some(self.systems.clone()),
+            jobs: self.jobs,
+            retry_attempts: Some(self.retry.max_attempts),
+            retry_backoff_ms: Some(self.retry.backoff_base_ms),
+            cell_deadline_ms: Some(self.retry.deadline_ms.unwrap_or(0)),
+            checkpoint_dir: self
+                .checkpoint
+                .as_ref()
+                .map(|c| c.dir.to_string_lossy().into_owned()),
+            warm_cycles: self.checkpoint.as_ref().map(|c| c.warm_cycles),
+            store_path: self.store_path.clone(),
+            store_compact: Some(self.store_compact),
+            fault_plan: (!self.fault_plan.is_empty()).then(|| self.fault_plan.clone()),
+            trace_cache: self.trace_cache.clone(),
+            lab_dir: self.lab_dir.clone(),
+            verbose: Some(self.verbose),
+            validate_thresholds: self.validate_thresholds.clone(),
+            baseline: self.baseline.clone(),
+        };
+        o.to_json()
+    }
+
+    /// Parses a full request document over the defaults (no
+    /// environment layering — the service uses this for POST bodies).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RequestOverlay::from_json`] and
+    /// [`SweepRequest::validated`] errors.
+    pub fn from_json(j: &Json) -> Result<Self, String> {
+        Self::from_overlay(RequestOverlay::from_json(j)?)?.validated()
+    }
+
+    /// The legacy-variable rendering of every *configured* setting, for
+    /// [`compat::install_overrides`]: after installation, deep readers
+    /// (`Lab::new`, `Manifest::out_dir`, `RetryPolicy::from_env`, …)
+    /// observe this request instead of the raw environment.
+    pub fn legacy_env_map(&self) -> Vec<(String, String)> {
+        let mut map = vec![
+            (
+                "BENCH_SWEEP_WORKLOADS".to_string(),
+                self.workloads.join(","),
+            ),
+            (
+                "BENCH_SWEEP_INPUT".to_string(),
+                format!("{:?}", self.input).to_lowercase(),
+            ),
+            (
+                "BENCH_SWEEP_SYSTEMS".to_string(),
+                self.systems
+                    .iter()
+                    .map(|s| s.label().to_string())
+                    .collect::<Vec<_>>()
+                    .join(","),
+            ),
+            (
+                "BENCH_RETRY_ATTEMPTS".to_string(),
+                self.retry.max_attempts.to_string(),
+            ),
+            (
+                "BENCH_RETRY_BACKOFF_MS".to_string(),
+                self.retry.backoff_base_ms.to_string(),
+            ),
+        ];
+        if let Some(n) = self.jobs {
+            map.push(("BENCH_JOBS".to_string(), n.to_string()));
+        }
+        if let Some(ms) = self.retry.deadline_ms {
+            map.push(("BENCH_CELL_DEADLINE_MS".to_string(), ms.to_string()));
+        }
+        if let Some(c) = &self.checkpoint {
+            map.push((
+                "BENCH_CHECKPOINT_DIR".to_string(),
+                c.dir.to_string_lossy().into_owned(),
+            ));
+            map.push(("BENCH_WARM_CYCLES".to_string(), c.warm_cycles.to_string()));
+        }
+        if let Some(p) = &self.store_path {
+            map.push(("BENCH_RESULT_STORE".to_string(), p.clone()));
+        }
+        if self.store_compact {
+            map.push(("BENCH_STORE_COMPACT".to_string(), "1".to_string()));
+        }
+        if !self.fault_plan.is_empty() {
+            map.push(("BENCH_FAULT_PLAN".to_string(), self.fault_plan.clone()));
+        }
+        if let Some(t) = &self.trace_cache {
+            map.push(("BENCH_TRACE_CACHE".to_string(), t.clone()));
+        }
+        if let Some(l) = &self.lab_dir {
+            map.push(("BENCH_LAB_DIR".to_string(), l.clone()));
+        }
+        if self.verbose {
+            map.push(("BENCH_VERBOSE".to_string(), "1".to_string()));
+        }
+        if let Some(t) = &self.validate_thresholds {
+            map.push(("BENCH_VALIDATE_THRESHOLDS".to_string(), t.clone()));
+        }
+        if let Some(b) = &self.baseline {
+            map.push(("BENCH_BASELINE".to_string(), b.clone()));
+        }
+        map
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_cover_the_paper_grid() {
+        let r = SweepRequest::default();
+        assert_eq!(r.workloads.len(), 15);
+        assert_eq!(r.systems.len(), 7);
+        assert_eq!(r.input, InputSet::Ref);
+        assert_eq!(r.cell_count(), 105);
+        assert!(r.clone().validated().is_ok());
+    }
+
+    #[test]
+    fn full_request_roundtrips_through_json() {
+        let r = SweepRequest::default()
+            .with_workloads(&["mst", "health"])
+            .with_input(InputSet::Test)
+            .with_systems(&[SystemKind::StreamOnly, SystemKind::StreamEcdpThrottled])
+            .with_jobs(2)
+            .with_retry(RetryPolicy {
+                max_attempts: 5,
+                backoff_base_ms: 10,
+                deadline_ms: Some(4000),
+            })
+            .with_store("target/results.store");
+        let text = r.to_json().to_string_pretty();
+        let parsed = SweepRequest::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(r, parsed);
+    }
+
+    #[test]
+    fn overlay_json_rejects_unknown_fields_and_bad_versions() {
+        let bad = Json::parse(r#"{"jbos": 4}"#).unwrap();
+        assert!(RequestOverlay::from_json(&bad)
+            .unwrap_err()
+            .contains("jbos"));
+        let v9 = Json::parse(r#"{"schema_version": 9}"#).unwrap();
+        assert!(RequestOverlay::from_json(&v9)
+            .unwrap_err()
+            .contains("schema_version 9"));
+        let zero = Json::parse(r#"{"jobs": 0}"#).unwrap();
+        assert!(RequestOverlay::from_json(&zero).is_err());
+        let badsys = Json::parse(r#"{"systems": ["warp-drive"]}"#).unwrap();
+        assert!(RequestOverlay::from_json(&badsys)
+            .unwrap_err()
+            .contains("warp-drive"));
+        let badplan = Json::parse(r#"{"fault_plan": "meteor@*"}"#).unwrap();
+        assert!(RequestOverlay::from_json(&badplan)
+            .unwrap_err()
+            .contains("fault_plan"));
+    }
+
+    #[test]
+    fn precedence_is_flags_over_file_over_env() {
+        let env = RequestOverlay {
+            jobs: Some(8),
+            store_path: Some("env.store".to_string()),
+            ..RequestOverlay::default()
+        };
+        let file = RequestOverlay {
+            input: Some(InputSet::Test),
+            ..RequestOverlay::default()
+        };
+        let flags = RequestOverlay {
+            jobs: Some(2),
+            ..RequestOverlay::default()
+        };
+        let r = SweepRequest::resolve(flags, Some(file), env).unwrap();
+        assert_eq!(r.jobs, Some(2), "flag beats env");
+        assert_eq!(r.input, InputSet::Test, "file beats default");
+        assert_eq!(r.store_path.as_deref(), Some("env.store"));
+    }
+
+    #[test]
+    fn file_env_disagreement_is_a_conflict_naming_both() {
+        let env = RequestOverlay {
+            jobs: Some(8),
+            ..RequestOverlay::default()
+        };
+        let file = RequestOverlay {
+            jobs: Some(4),
+            ..RequestOverlay::default()
+        };
+        let err = SweepRequest::resolve(RequestOverlay::default(), Some(file), env).unwrap_err();
+        assert!(err.contains("--config"), "{err}");
+        assert!(err.contains("BENCH_JOBS"), "{err}");
+        // Agreement is not a conflict.
+        let file = RequestOverlay {
+            jobs: Some(8),
+            ..RequestOverlay::default()
+        };
+        let env = RequestOverlay {
+            jobs: Some(8),
+            ..RequestOverlay::default()
+        };
+        assert!(SweepRequest::resolve(RequestOverlay::default(), Some(file), env).is_ok());
+    }
+
+    #[test]
+    fn flag_on_a_field_silences_its_file_env_conflict() {
+        let env = RequestOverlay {
+            jobs: Some(8),
+            ..RequestOverlay::default()
+        };
+        let file = RequestOverlay {
+            jobs: Some(4),
+            ..RequestOverlay::default()
+        };
+        let flags = RequestOverlay {
+            jobs: Some(2),
+            ..RequestOverlay::default()
+        };
+        let r = SweepRequest::resolve(flags, Some(file), env).unwrap();
+        assert_eq!(r.jobs, Some(2), "the flag decides the conflicted field");
+        // A flag on an unrelated field does not silence the conflict.
+        let env = RequestOverlay {
+            jobs: Some(8),
+            ..RequestOverlay::default()
+        };
+        let file = RequestOverlay {
+            jobs: Some(4),
+            ..RequestOverlay::default()
+        };
+        let flags = RequestOverlay {
+            store_path: Some("flag.store".to_string()),
+            ..RequestOverlay::default()
+        };
+        assert!(SweepRequest::resolve(flags, Some(file), env).is_err());
+    }
+
+    #[test]
+    fn validation_rejects_empty_and_unknown() {
+        let r = SweepRequest {
+            workloads: vec![],
+            ..SweepRequest::default()
+        };
+        assert!(r.validated().is_err());
+        let r = SweepRequest::default().with_workloads(&["no-such-workload"]);
+        assert!(r.validated().unwrap_err().contains("no-such-workload"));
+        let r = SweepRequest {
+            systems: vec![],
+            ..SweepRequest::default()
+        };
+        assert!(r.validated().is_err());
+    }
+
+    #[test]
+    fn plan_builds_the_cross_product() {
+        let r = SweepRequest::default()
+            .with_workloads(&["mst", "health"])
+            .with_input(InputSet::Test)
+            .with_systems(&[SystemKind::StreamOnly, SystemKind::StreamCdp]);
+        let plan = r.plan("unit");
+        assert_eq!(plan.cells.len(), 4);
+        assert_eq!(plan.cells[0].workload, "mst");
+        assert_eq!(plan.cells[3].system, SystemKind::StreamCdp);
+    }
+
+    #[test]
+    fn legacy_env_map_covers_configured_fields() {
+        let r = SweepRequest::default().with_jobs(3).with_store("s.store");
+        let map = r.legacy_env_map();
+        let get = |k: &str| map.iter().find(|(var, _)| var == k).map(|(_, v)| v.clone());
+        assert_eq!(get("BENCH_JOBS").as_deref(), Some("3"));
+        assert_eq!(get("BENCH_RESULT_STORE").as_deref(), Some("s.store"));
+        assert_eq!(get("BENCH_SWEEP_INPUT").as_deref(), Some("ref"));
+        assert_eq!(get("BENCH_VERBOSE"), None, "defaults are not installed");
+    }
+
+    #[test]
+    fn every_legacy_var_is_in_the_mapping_table() {
+        // The DESIGN.md table and the conflict checker both key off
+        // LEGACY_ENV; a new knob must be added there.
+        assert_eq!(LEGACY_ENV.len(), 17);
+        assert!(LEGACY_ENV.iter().all(|(_, v)| v.starts_with("BENCH_")));
+    }
+}

@@ -636,6 +636,34 @@ impl ResultStore {
         ])
     }
 
+    /// Where [`ResultStore::write_report`] puts the status artifact:
+    /// `<store path>.report.json` next to the log.
+    pub fn report_path(&self) -> PathBuf {
+        let mut name = self
+            .path
+            .file_name()
+            .map_or_else(|| "store".into(), std::ffi::OsStr::to_os_string);
+        name.push(".report.json");
+        self.path.with_file_name(name)
+    }
+
+    /// Writes [`ResultStore::status_json`] to [`ResultStore::report_path`]
+    /// and returns the path. This is the quarantine/heal artifact that
+    /// `run_all`, the `sweepd` health endpoint and CI all share — callers
+    /// never rebuild the report by hand.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_report(&self) -> std::io::Result<PathBuf> {
+        let path = self.report_path();
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(&path, self.status_json().to_string_pretty())?;
+        Ok(path)
+    }
+
     fn lock(&self) -> std::sync::MutexGuard<'_, StoreInner> {
         self.inner
             .lock()

@@ -85,11 +85,13 @@ impl Default for RetryPolicy {
 
 impl RetryPolicy {
     /// The policy configured via `BENCH_RETRY_ATTEMPTS`,
-    /// `BENCH_RETRY_BACKOFF_MS` and `BENCH_CELL_DEADLINE_MS`, with
-    /// defaults for anything unset.
+    /// `BENCH_RETRY_BACKOFF_MS` and `BENCH_CELL_DEADLINE_MS` (read
+    /// through the [`crate::request::compat`] gate, so an installed
+    /// [`crate::request::SweepRequest`] takes precedence), with defaults
+    /// for anything unset.
     pub fn from_env() -> Self {
         fn parse<T: std::str::FromStr>(var: &str) -> Option<T> {
-            std::env::var(var).ok().and_then(|v| v.trim().parse().ok())
+            crate::request::compat::setting(var).and_then(|v| v.trim().parse().ok())
         }
         let d = RetryPolicy::default();
         RetryPolicy {
@@ -520,11 +522,12 @@ fn write_cell_trace(
     ))
 }
 
-/// The worker-thread count to use by default: `$BENCH_JOBS` if set to a
-/// positive integer, else the machine's available parallelism.
+/// The worker-thread count to use by default: `BENCH_JOBS` (via the
+/// [`crate::request::compat`] gate) if set to a positive integer, else
+/// the machine's available parallelism.
 pub fn default_jobs() -> usize {
-    if let Some(v) = std::env::var_os("BENCH_JOBS") {
-        if let Some(n) = v.to_str().and_then(|s| s.trim().parse::<usize>().ok()) {
+    if let Some(v) = crate::request::compat::setting("BENCH_JOBS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
             if n > 0 {
                 return n;
             }

@@ -145,7 +145,7 @@ impl ValidateReport {
 ///
 /// Panics when the variable is set but not three comma-separated floats.
 pub fn thresholds_from_env() -> ThrottleThresholds {
-    let Ok(raw) = std::env::var("BENCH_VALIDATE_THRESHOLDS") else {
+    let Some(raw) = crate::request::compat::setting("BENCH_VALIDATE_THRESHOLDS") else {
         return ThrottleThresholds::default();
     };
     let parts: Vec<f64> = raw
