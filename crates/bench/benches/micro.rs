@@ -15,7 +15,7 @@ use sim_core::cache::{Cache, CacheConfig, LineState};
 use sim_core::dram::{Dram, DramRequest};
 use sim_core::{DemandAccess, DramConfig, FillEvent, PrefetchCtx, Prefetcher, PrefetcherId};
 use sim_mem::SimMemory;
-use workloads::{by_name, InputSet, Workload};
+use workloads::{registry, InputSet, Workload};
 
 fn bench_cache(c: &mut Criterion) {
     let mut cache = Cache::new(CacheConfig {
@@ -137,7 +137,7 @@ fn bench_hints(c: &mut Criterion) {
 fn bench_trace_generation(c: &mut Criterion) {
     c.bench_function("trace_generate_mst_train", |b| {
         b.iter(|| {
-            let t = by_name("mst").unwrap().generate(InputSet::Train);
+            let t = registry::lookup("mst").unwrap().generate(InputSet::Train);
             black_box(t.ops.len())
         })
     });
@@ -214,7 +214,9 @@ fn bench_dram_idle_tick(c: &mut Criterion) {
 fn bench_skip_vs_reference(c: &mut Criterion) {
     // The tentpole: the event-skipping engine against the cycle-by-cycle
     // reference stepper on the same trace. The ratio is the skip-ahead win.
-    let trace = by_name("libquantum").unwrap().generate(InputSet::Test);
+    let trace = registry::lookup("libquantum")
+        .unwrap()
+        .generate(InputSet::Test);
     let artifacts = CompilerArtifacts::empty();
     let mut group = c.benchmark_group("engine_stepping_libquantum_test");
     group.sample_size(10);

@@ -69,11 +69,11 @@ fn main() {
     match args.first().map(String::as_str) {
         Some("list") => {
             println!("pointer-intensive workloads:");
-            for w in workloads::pointer_suite() {
+            for w in workloads::registry::suite(workloads::registry::SUITE_POINTER) {
                 println!("  {:<12} {}", w.name(), w.describe());
             }
             println!("non-pointer workloads:");
-            for w in workloads::streaming_suite() {
+            for w in workloads::registry::suite(workloads::registry::SUITE_STREAMING) {
                 println!("  {:<12} {}", w.name(), w.describe());
             }
             println!("systems:");

@@ -4,10 +4,12 @@
 //! simulated cell to `target/lab/run_all.json`.
 //!
 //! ```text
-//! cargo run --release -p bench --bin run_all [-- [--config FILE] [--jobs N]
-//!                                               [--filter SUBSTR] [--resume]
-//!                                               [--sweep] [--bench] [--no-skip]
-//!                                               [--trace-dir DIR] [output.md]]
+//! cargo run --release -p bench --bin run_all [-- [--config FILE]
+//!                                               [--workload-file FILE]...
+//!                                               [--jobs N] [--filter SUBSTR]
+//!                                               [--resume] [--sweep] [--bench]
+//!                                               [--no-skip] [--trace-dir DIR]
+//!                                               [output.md]]
 //! ```
 //!
 //! `--bench` bypasses both phases and times the engine hot path over the
@@ -75,6 +77,7 @@ fn resolve_request(args: &RunAllArgs) -> SweepRequest {
     let flags = RequestOverlay {
         jobs: args.jobs,
         store_path: args.store.clone(),
+        workload_files: (!args.workload_files.is_empty()).then(|| args.workload_files.clone()),
         ..RequestOverlay::default()
     };
     let file = args.config.as_ref().map(|path| {
@@ -265,6 +268,13 @@ fn main() {
         if let Some(f) = &args.filter {
             plan = plan.filtered(f);
             if plan.cells.is_empty() {
+                // A filter that names no cell is usually a misspelled
+                // workload; the registry can often say which one.
+                if let Some(s) = workloads::registry::suggest(f) {
+                    fail_usage(&format!(
+                        "no cells matched --filter {f} (did you mean {s:?}?)"
+                    ));
+                }
                 fail_usage(&format!("no cells matched --filter {f}"));
             }
         }

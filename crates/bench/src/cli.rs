@@ -6,15 +6,22 @@
 //! message, instead of being silently reinterpreted as an output path.
 
 /// Usage line printed on `--help` and on every parse error.
-pub const USAGE: &str = "usage: run_all [--config FILE] [--jobs N] [--filter SUBSTR] [--resume]
-               [--sweep] [--bench] [--validate] [--no-skip] [--warm-fork]
-               [--trace-dir DIR] [--store PATH] [output.md]
+pub const USAGE: &str = "usage: run_all [--config FILE] [--workload-file FILE]... [--jobs N]
+               [--filter SUBSTR] [--resume] [--sweep] [--bench] [--validate]
+               [--no-skip] [--warm-fork] [--trace-dir DIR] [--store PATH]
+               [output.md]
 
   --config FILE   load a SweepRequest JSON document (the same schema sweepd
                   accepts over HTTP). Precedence: flags override the file,
                   the file overrides the environment; a field set by both
                   the file and a BENCH_* variable to different values is a
                   usage error naming both sources
+  --workload-file FILE
+                  register a workload file before the grid is built:
+                  .wl (workload DSL spec), .trace (text trace) or .xtrc
+                  (binary streamed trace). Repeatable. Without an explicit
+                  workload list, the grid is exactly the workloads these
+                  files define
   --jobs N        worker threads (default: $BENCH_JOBS or available parallelism)
   --filter SUBSTR only generate report sections whose name contains SUBSTR;
                   with --sweep, keep only sweep cells matching SUBSTR
@@ -49,6 +56,8 @@ pub const USAGE: &str = "usage: run_all [--config FILE] [--jobs N] [--filter SUB
 pub struct RunAllArgs {
     /// Path of a `SweepRequest` JSON document to layer under the flags.
     pub config: Option<String>,
+    /// Workload files (`.wl`/`.trace`/`.xtrc`) to register, in order.
+    pub workload_files: Vec<String>,
     /// Worker threads; `None` means use [`crate::default_jobs`].
     pub jobs: Option<usize>,
     /// Lower-cased section filter.
@@ -103,6 +112,13 @@ where
                     return Err("--config value must be non-empty".to_string());
                 }
                 parsed.config = Some(v);
+            }
+            "--workload-file" => {
+                let v = args.next().ok_or("--workload-file requires a value")?;
+                if v.is_empty() {
+                    return Err("--workload-file value must be non-empty".to_string());
+                }
+                parsed.workload_files.push(v);
             }
             "--jobs" => {
                 let v = args.next().ok_or("--jobs requires a value")?;
@@ -216,6 +232,20 @@ mod tests {
         );
         assert!(parse(&["--config"]).is_err(), "missing value");
         assert!(parse(&["--config", ""]).is_err(), "empty value");
+    }
+
+    #[test]
+    fn parses_repeatable_workload_file_flag() {
+        let p = parse(&["--workload-file", "a.wl", "--workload-file", "b.xtrc"]);
+        assert_eq!(
+            p,
+            Ok(Parsed::Run(RunAllArgs {
+                workload_files: vec!["a.wl".to_string(), "b.xtrc".to_string()],
+                ..RunAllArgs::default()
+            }))
+        );
+        assert!(parse(&["--workload-file"]).is_err(), "missing value");
+        assert!(parse(&["--workload-file", ""]).is_err(), "empty value");
     }
 
     #[test]

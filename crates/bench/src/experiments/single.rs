@@ -5,7 +5,7 @@ use ecdp::cost::HardwareCost;
 use ecdp::profile::profile_workload;
 use ecdp::system::{CompilerArtifacts, SystemBuilder, SystemKind};
 use sim_core::MachineConfig;
-use workloads::{by_name, InputSet};
+use workloads::{registry, InputSet};
 
 use crate::experiments::{gmean_with_without_health, POINTER_BENCHES};
 use crate::table::{f2, f3, pct, Table};
@@ -335,7 +335,7 @@ pub fn sec616(lab: &Lab) -> String {
         let base = lab.run(name, SystemKind::StreamOnly).ipc();
         let with_train = lab.run(name, SystemKind::StreamEcdpThrottled).ipc() / base;
         // Re-profile on the ref input (the "same input" experiment).
-        let ref_trace = by_name(name)
+        let ref_trace = registry::lookup(name)
             .expect("known workload")
             .generate(InputSet::Ref);
         let ref_profile = profile_workload(&ref_trace);

@@ -26,7 +26,7 @@ use workloads::InputSet;
 /// One timed (workload × system) cell.
 #[derive(Debug, Clone, PartialEq)]
 pub struct HotpathCell {
-    /// Workload name (`by_name` key).
+    /// Workload name (`registry::lookup` key).
     pub workload: String,
     /// System label ([`SystemKind::label`]).
     pub system: String,
@@ -213,7 +213,12 @@ pub fn run_hotpath_bench(
     let traces: Vec<_> = workloads
         .iter()
         .map(|w| {
-            let wl = workloads::by_name(w).unwrap_or_else(|| panic!("unknown workload {w:?}"));
+            let wl =
+                workloads::registry::lookup(w).unwrap_or_else(|| panic!("unknown workload {w:?}"));
+            assert!(
+                !wl.is_streamed(),
+                "hot-path benchmarking needs a resident trace; {w:?} is a streamed external trace"
+            );
             (w.clone(), wl.generate(input))
         })
         .collect();

@@ -24,7 +24,7 @@ use std::time::Instant;
 use ecdp::profile::{profile_workload, PgProfile};
 use ecdp::system::{CompilerArtifacts, SystemBuilder, SystemKind, SystemRun};
 use sim_core::{DiagnosticSnapshot, ObsConfig, RunStats, RunTrace, SimError, Snapshot, Trace};
-use workloads::{by_name, InputSet};
+use workloads::{registry, InputSet, StreamSource};
 
 use crate::fault::{FaultAction, FaultPlan};
 use crate::manifest::{Manifest, RunOutcome, RunRecord};
@@ -248,6 +248,35 @@ fn sleep_under_deadline(
 /// the warm-checkpoint disposition (`None` without a store).
 type RunEntry = (RunStats, f64, Option<String>);
 
+/// What a sweep cell replays: a resident in-memory trace (built-in and
+/// DSL workloads) or an external trace streamed from disk in bounded
+/// windows (registered `.xtrc` files).
+enum CellInput<'a> {
+    Resident(&'a Trace),
+    Streamed(&'a StreamSource),
+}
+
+impl CellInput<'_> {
+    /// Runs a built system on this input. Streamed sources re-open (and
+    /// re-validate against the registered content hash) per run, so each
+    /// run has its own file cursor and the statistics stay bit-identical
+    /// to a resident replay of the same ops.
+    fn run(&self, builder: SystemBuilder<'_>) -> Result<SystemRun, SimError> {
+        match self {
+            CellInput::Resident(t) => builder.run(t),
+            CellInput::Streamed(src) => {
+                // The file was validated at registration; a failure here
+                // means it changed or vanished mid-sweep, which is as
+                // unrecoverable as a trace-generation bug.
+                let mut trace = src
+                    .open()
+                    .unwrap_or_else(|e| panic!("streamed workload trace unusable: {e}"));
+                builder.run_streamed(&mut trace)
+            }
+        }
+    }
+}
+
 struct LabShared {
     traces: OnceMap<(String, InputSet), Arc<Trace>>,
     profiles: OnceMap<String, Arc<PgProfile>>,
@@ -350,7 +379,12 @@ impl Lab {
                     }
                 }
             }
-            let wl = by_name(name).unwrap_or_else(|| panic!("unknown workload {name}"));
+            let wl = registry::lookup(name).unwrap_or_else(|| panic!("unknown workload {name}"));
+            assert!(
+                !wl.is_streamed(),
+                "streamed workload {name} has no resident trace; it replays in bounded \
+                 windows through the run path"
+            );
             if shared.verbose {
                 eprintln!("[lab] generating {name} {input:?}");
             }
@@ -479,18 +513,28 @@ impl Lab {
                 // The cell was already simulated untraced: rerun outside
                 // the stats cache to collect the trace, once.
                 self.shared.traces_obs.get_or_init(&key, || {
-                    let art = self.artifacts(name);
-                    let t = self.trace(name, input);
+                    let streamed = match registry::lookup(name) {
+                        Some(workloads::WorkloadHandle::Streamed(src)) => Some(src),
+                        _ => None,
+                    };
+                    let (art, resident) = match &streamed {
+                        Some(_) => (Arc::new(CompilerArtifacts::empty()), None),
+                        None => (self.artifacts(name), Some(self.trace(name, input))),
+                    };
                     if self.shared.verbose {
                         eprintln!(
                             "[lab] re-running {name} {input:?} on {} for its trace",
                             kind.label()
                         );
                     }
-                    let run = SystemBuilder::new(kind)
-                        .artifacts(&art)
-                        .observe(obs)
-                        .run(&t);
+                    let builder = SystemBuilder::new(kind).artifacts(&art).observe(obs);
+                    let run = match (&streamed, &resident) {
+                        (Some(src), _) => CellInput::Streamed(src.as_ref()).run(builder),
+                        (None, Some(t)) => CellInput::Resident(t).run(builder),
+                        (None, None) => {
+                            unreachable!("non-streamed cell always has a resident trace")
+                        }
+                    };
                     Arc::new(run.ok().and_then(|r| r.trace).unwrap_or_default())
                 })
             }),
@@ -525,8 +569,22 @@ impl Lab {
                 // the result store's write layer, not the compute path.
                 Some(_) | None => {}
             }
-            let art = self.artifacts(name);
-            let t = self.trace(name, input);
+            // Streamed workloads have no train input to profile (an
+            // external trace is addresses, not a program), so they run
+            // with empty artifacts and skip the resident-trace cache.
+            let streamed = match registry::lookup(name) {
+                Some(workloads::WorkloadHandle::Streamed(src)) => Some(src),
+                _ => None,
+            };
+            let (art, resident) = match &streamed {
+                Some(_) => (Arc::new(CompilerArtifacts::empty()), None),
+                None => (self.artifacts(name), Some(self.trace(name, input))),
+            };
+            let cell_input = match (&streamed, &resident) {
+                (Some(src), _) => CellInput::Streamed(src.as_ref()),
+                (None, Some(t)) => CellInput::Resident(t),
+                (None, None) => unreachable!("non-streamed cell always has a resident trace"),
+            };
             if self.shared.verbose {
                 eprintln!("[lab] running {name} {input:?} on {}", kind.label());
             }
@@ -536,7 +594,7 @@ impl Lab {
             let remaining = deadline.map(|limit| limit.saturating_sub(started.elapsed()));
             let t0 = Instant::now();
             let (run, checkpoint) =
-                self.run_cell(name, input, kind, &art, &t, obs, fault, remaining)?;
+                self.run_cell(name, input, kind, &art, &cell_input, obs, fault, remaining)?;
             if let Some(trace) = run.trace {
                 self.shared.traces_obs.get_or_init(&key, || Arc::new(trace));
             }
@@ -559,7 +617,7 @@ impl Lab {
         input: InputSet,
         kind: SystemKind,
         art: &CompilerArtifacts,
-        t: &Trace,
+        t: &CellInput<'_>,
         obs: Option<ObsConfig>,
         fault: Option<FaultAction>,
         deadline: Option<std::time::Duration>,
@@ -583,13 +641,13 @@ impl Lab {
             b
         };
         let Some(cp) = self.shared.checkpoints.as_ref() else {
-            return Ok((build().run(t)?, None));
+            return Ok((t.run(build())?, None));
         };
         let path = cp.cell_path(name, input, kind);
         let mut status = None;
         match load_checkpoint(&path, fault) {
             CheckpointLoad::Missing => {}
-            CheckpointLoad::Loaded(snapshot) => match build().fork_from(&snapshot).run(t) {
+            CheckpointLoad::Loaded(snapshot) => match t.run(build().fork_from(&snapshot)) {
                 Ok(run) => return Ok((run, Some("forked".to_string()))),
                 // A parseable but stale snapshot (the machine shape
                 // changed under the same key) is recoverable too.
@@ -608,7 +666,7 @@ impl Lab {
             }
         }
         // Cold run, (re-)capturing the checkpoint for the next process.
-        let run = build().warm_checkpoint(cp.warm_cycles).run(t)?;
+        let run = t.run(build().warm_checkpoint(cp.warm_cycles))?;
         match &run.snapshot {
             Some(snap) => match write_checkpoint(&path, &snap.to_bytes()) {
                 Ok(()) => {

@@ -26,7 +26,11 @@
 //! `retry` (a [`RetryInfo`] object — the supervisor's attempt history)
 //! on both record shapes, and `store` (the result-store disposition,
 //! `"hit"` / `"appended"` / `"degraded:<reason>"`) on success records.
-//! [`Manifest::parse`] accepts all three versions.
+//! Success records for workloads loaded from a file (`--workload-file` /
+//! `workload_files`) additionally carry `workload_hash` — the 16-hex
+//! content hash of the source file (see [`workload_provenance`]) —
+//! omitted for built-in workloads. [`Manifest::parse`] accepts all
+//! three versions.
 //!
 //! # Crash safety
 //!
@@ -55,6 +59,21 @@ pub fn config_hash() -> u64 {
         h = h.wrapping_mul(0x1000_0000_01b3);
     }
     h
+}
+
+/// The registry's provenance hash for `workload` as a 16-digit hex
+/// string: the content hash of the `.wl` spec or external trace the
+/// name was loaded from, or `None` for built-in workloads (whose
+/// definition is pinned by the build itself).
+///
+/// Recorded in every [`RunRecord`] so a result computed from one
+/// version of a user-supplied file is never mistaken for the same cell
+/// after the file changed — resume skips and result-store hits both
+/// require the recorded hash to match the current registry state.
+pub fn workload_provenance(workload: &str) -> Option<String> {
+    workloads::registry::lookup(workload)
+        .and_then(|h| h.provenance_hash())
+        .map(|h| format!("{h:016x}"))
 }
 
 /// The sweep supervisor's attempt history for one cell: how many times
@@ -109,7 +128,7 @@ impl RetryInfo {
 /// The outcome of one successfully simulated cell.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunRecord {
-    /// Workload name (as accepted by `workloads::by_name`).
+    /// Workload name (as resolved by `workloads::registry::lookup`).
     pub workload: String,
     /// Input set, lower-cased (`"train"` / `"ref"` / `"test"`).
     pub input: String,
@@ -117,6 +136,12 @@ pub struct RunRecord {
     pub system: String,
     /// Hash of the machine configuration the run used.
     pub config_hash: u64,
+    /// Content hash of the workload file the workload was loaded from
+    /// (16 hex digits), when the workload came from `--workload-file` /
+    /// `workload_files`. `None` for built-in workloads; omitted from
+    /// the JSON when absent so built-in manifests stay byte-identical
+    /// to the version-3 format.
+    pub workload_hash: Option<String>,
     /// Wall-clock milliseconds of the fresh simulation (the only
     /// non-deterministic field; compare with [`RunRecord::same_metrics`]).
     pub wall_ms: f64,
@@ -156,6 +181,7 @@ impl RunRecord {
             input: format!("{input:?}").to_lowercase(),
             system: kind.label().to_string(),
             config_hash: config_hash(),
+            workload_hash: workload_provenance(workload),
             wall_ms,
             stats: stats.summary(),
             timeseries_path: None,
@@ -184,6 +210,7 @@ impl RunRecord {
             && self.input == other.input
             && self.system == other.system
             && self.config_hash == other.config_hash
+            && self.workload_hash == other.workload_hash
             && self.stats == other.stats
     }
 
@@ -204,6 +231,9 @@ impl RunRecord {
             ("wall_ms", Json::Num(self.wall_ms)),
             ("stats", self.stats.to_json()),
         ];
+        if let Some(h) = &self.workload_hash {
+            pairs.push(("workload_hash", Json::Str(h.clone())));
+        }
         if let Some(p) = &self.timeseries_path {
             pairs.push(("timeseries_path", Json::Str(p.clone())));
         }
@@ -229,6 +259,10 @@ impl RunRecord {
             input: j.get("input")?.as_str()?.to_string(),
             system: j.get("system")?.as_str()?.to_string(),
             config_hash: u64::from_str_radix(j.get("config_hash")?.as_str()?, 16).ok()?,
+            workload_hash: j
+                .get("workload_hash")
+                .and_then(Json::as_str)
+                .map(ToString::to_string),
             wall_ms: j.get("wall_ms")?.as_f64()?,
             stats: StatsSummary::from_json(j.get("stats")?).ok()?,
             timeseries_path: j
@@ -702,6 +736,22 @@ mod tests {
     #[test]
     fn config_hash_is_stable_within_process() {
         assert_eq!(config_hash(), config_hash());
+    }
+
+    #[test]
+    fn workload_hash_is_omitted_for_builtins_and_roundtrips() {
+        let builtin = sample_record(1.0);
+        assert_eq!(builtin.workload_hash, None, "mst is a built-in");
+        assert!(builtin.to_json().get("workload_hash").is_none());
+
+        let mut loaded = sample_record(1.0);
+        loaded.workload_hash = Some("00000000feedface".to_string());
+        let parsed = RunRecord::from_json(&loaded.to_json()).unwrap();
+        assert_eq!(parsed.workload_hash.as_deref(), Some("00000000feedface"));
+        assert!(
+            !builtin.same_metrics(&loaded),
+            "a record from a different workload file must not compare equal"
+        );
     }
 
     #[test]

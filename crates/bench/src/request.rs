@@ -42,14 +42,19 @@ use std::path::PathBuf;
 
 use ecdp::system::SystemKind;
 use sim_core::Json;
-use workloads::InputSet;
+use workloads::{registry, InputSet};
 
 use crate::lab::CheckpointConfig;
 use crate::sweep::{RetryPolicy, SweepPlan};
 
 /// Version of the request document format (`--config` files and POSTed
-/// sweep requests). Bumped on incompatible field changes.
-pub const REQUEST_SCHEMA_VERSION: u32 = 1;
+/// sweep requests). Bumped on incompatible field changes. Version 2
+/// added `workload_files`; version-1 documents are still accepted (the
+/// new field simply could not appear in them).
+pub const REQUEST_SCHEMA_VERSION: u32 = 2;
+
+/// Request document versions this build reads.
+pub const ACCEPTED_SCHEMA_VERSIONS: [u32; 2] = [1, REQUEST_SCHEMA_VERSION];
 
 /// The headline systems swept by default: the paper's seven
 /// configurations of Figure 7.
@@ -69,6 +74,7 @@ pub const DEFAULT_SYSTEMS: [SystemKind; 7] = [
 /// conflict messages.
 pub const LEGACY_ENV: &[(&str, &str)] = &[
     ("workloads", "BENCH_SWEEP_WORKLOADS"),
+    ("workload_files", "BENCH_WORKLOAD_FILES"),
     ("input", "BENCH_SWEEP_INPUT"),
     ("systems", "BENCH_SWEEP_SYSTEMS"),
     ("jobs", "BENCH_JOBS"),
@@ -166,6 +172,17 @@ fn parse_systems(labels: &[String]) -> Result<Vec<SystemKind>, String> {
         .collect()
 }
 
+/// Registers every listed workload file, returning the workload names
+/// they define in file order. Idempotent for unchanged files (content
+/// hashing in the registry), so re-resolving a request is safe.
+fn register_workload_files(files: &[String]) -> Result<Vec<String>, String> {
+    let mut loaded = Vec::new();
+    for f in files {
+        loaded.extend(registry::register_file(f).map_err(|e| format!("workload_files: {e}"))?);
+    }
+    Ok(loaded)
+}
+
 fn split_list(v: &str) -> Vec<String> {
     v.split(',')
         .map(str::trim)
@@ -181,6 +198,10 @@ fn split_list(v: &str) -> Vec<String> {
 pub struct RequestOverlay {
     /// Workload names (`BENCH_SWEEP_WORKLOADS`).
     pub workloads: Option<Vec<String>>,
+    /// Workload files — `.wl` specs, `.trace` text traces or `.xtrc`
+    /// binary traces — registered before the grid is built
+    /// (`BENCH_WORKLOAD_FILES`).
+    pub workload_files: Option<Vec<String>>,
     /// Input set (`BENCH_SWEEP_INPUT`).
     pub input: Option<InputSet>,
     /// System configurations (`BENCH_SWEEP_SYSTEMS`).
@@ -256,6 +277,7 @@ impl RequestOverlay {
         }
         Ok(RequestOverlay {
             workloads: compat::setting("BENCH_SWEEP_WORKLOADS").map(|v| split_list(&v)),
+            workload_files: compat::setting("BENCH_WORKLOAD_FILES").map(|v| split_list(&v)),
             input,
             systems,
             jobs: lenient::<usize>("BENCH_JOBS").filter(|&n| n > 0),
@@ -287,6 +309,7 @@ impl RequestOverlay {
         const KNOWN: &[&str] = &[
             "schema_version",
             "workloads",
+            "workload_files",
             "input",
             "systems",
             "jobs",
@@ -310,9 +333,12 @@ impl RequestOverlay {
         }
         if let Some(v) = j.get("schema_version") {
             let version = v.as_u64().ok_or("schema_version must be an integer")?;
-            if version != u64::from(REQUEST_SCHEMA_VERSION) {
+            if !ACCEPTED_SCHEMA_VERSIONS
+                .iter()
+                .any(|&a| u64::from(a) == version)
+            {
                 return Err(format!(
-                    "unsupported request schema_version {version} (this build reads {REQUEST_SCHEMA_VERSION})"
+                    "unsupported request schema_version {version} (this build reads {ACCEPTED_SCHEMA_VERSIONS:?})"
                 ));
             }
         }
@@ -360,6 +386,7 @@ impl RequestOverlay {
 
         let mut o = RequestOverlay {
             workloads: str_list(j, "workloads")?,
+            workload_files: str_list(j, "workload_files")?,
             input: match str_field(j, "input")? {
                 Some(s) => Some(parse_input(&s)?),
                 None => None,
@@ -423,6 +450,12 @@ impl RequestOverlay {
             pairs.push((
                 "workloads",
                 Json::Arr(w.iter().map(|s| Json::Str(s.clone())).collect()),
+            ));
+        }
+        if let Some(f) = &self.workload_files {
+            pairs.push((
+                "workload_files",
+                Json::Arr(f.iter().map(|s| Json::Str(s.clone())).collect()),
             ));
         }
         if let Some(i) = self.input {
@@ -502,6 +535,7 @@ impl RequestOverlay {
         }
         clear!(
             workloads,
+            workload_files,
             input,
             systems,
             jobs,
@@ -527,6 +561,7 @@ impl RequestOverlay {
     pub fn merged_over(self, base: Self) -> Self {
         RequestOverlay {
             workloads: self.workloads.or(base.workloads),
+            workload_files: self.workload_files.or(base.workload_files),
             input: self.input.or(base.input),
             systems: self.systems.or(base.systems),
             jobs: self.jobs.or(base.jobs),
@@ -571,6 +606,7 @@ impl RequestOverlay {
             };
         }
         check!(workloads, "workloads", "BENCH_SWEEP_WORKLOADS");
+        check!(workload_files, "workload_files", "BENCH_WORKLOAD_FILES");
         check!(input, "input", "BENCH_SWEEP_INPUT");
         check!(systems, "systems", "BENCH_SWEEP_SYSTEMS");
         check!(jobs, "jobs", "BENCH_JOBS");
@@ -611,8 +647,12 @@ impl RequestOverlay {
 /// ([`SweepRequest::resolve`]).
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepRequest {
-    /// Workload names (validated against `workloads::by_name`).
+    /// Workload names (validated against the workload registry).
     pub workloads: Vec<String>,
+    /// Workload files registered before the grid is built. When the
+    /// request names no explicit `workloads`, the grid is exactly the
+    /// workloads these files define.
+    pub workload_files: Vec<String>,
     /// Input set the measured traces come from.
     pub input: InputSet,
     /// System configurations to sweep.
@@ -648,6 +688,7 @@ impl Default for SweepRequest {
                 .iter()
                 .map(ToString::to_string)
                 .collect(),
+            workload_files: Vec::new(),
             input: InputSet::Ref,
             systems: DEFAULT_SYSTEMS.to_vec(),
             jobs: None,
@@ -719,8 +760,19 @@ impl SweepRequest {
                     .unwrap_or(CheckpointConfig::DEFAULT_WARM_CYCLES),
             )
         });
+        let workload_files = o.workload_files.unwrap_or_default();
+        // Register files before the grid forms so their names resolve.
+        // With no explicit workload list, files *are* the grid: loading
+        // a spec and then sweeping something else would be surprising.
+        let loaded = register_workload_files(&workload_files)?;
+        let workloads = match o.workloads {
+            Some(w) => w,
+            None if !loaded.is_empty() => loaded,
+            None => d.workloads,
+        };
         Ok(SweepRequest {
-            workloads: o.workloads.unwrap_or(d.workloads),
+            workloads,
+            workload_files,
             input: o.input.unwrap_or(d.input),
             systems: o.systems.unwrap_or(d.systems),
             jobs: o.jobs,
@@ -741,8 +793,10 @@ impl SweepRequest {
         })
     }
 
-    /// Validates the request: non-empty grid, known workload names, a
-    /// parseable fault plan. Returns `self` unchanged on success.
+    /// Validates the request: non-empty grid, loadable workload files,
+    /// known workload names (with a did-you-mean suggestion from the
+    /// registry), a parseable fault plan. Returns `self` unchanged on
+    /// success.
     ///
     /// # Errors
     ///
@@ -754,9 +808,16 @@ impl SweepRequest {
         if self.systems.is_empty() {
             return Err("systems must not be empty".to_string());
         }
+        // Hand-built requests (`SweepRequest { workload_files, .. }`)
+        // skip `from_overlay`; registration is idempotent, so repeating
+        // it here keeps both paths sound.
+        register_workload_files(&self.workload_files)?;
         for w in &self.workloads {
-            if workloads::by_name(w).is_none() {
-                return Err(format!("unknown workload {w:?}"));
+            if registry::lookup(w).is_none() {
+                return Err(match registry::suggest(w) {
+                    Some(s) => format!("unknown workload {w:?} (did you mean {s:?}?)"),
+                    None => format!("unknown workload {w:?}"),
+                });
             }
         }
         crate::fault::FaultPlan::parse(&self.fault_plan).map_err(|e| format!("fault_plan: {e}"))?;
@@ -767,6 +828,13 @@ impl SweepRequest {
     #[must_use]
     pub fn with_workloads(mut self, workloads: &[&str]) -> Self {
         self.workloads = workloads.iter().map(ToString::to_string).collect();
+        self
+    }
+
+    /// Builder: replaces the workload-file list.
+    #[must_use]
+    pub fn with_workload_files(mut self, files: &[&str]) -> Self {
+        self.workload_files = files.iter().map(ToString::to_string).collect();
         self
     }
 
@@ -829,6 +897,7 @@ impl SweepRequest {
     pub fn to_json(&self) -> Json {
         let o = RequestOverlay {
             workloads: Some(self.workloads.clone()),
+            workload_files: (!self.workload_files.is_empty()).then(|| self.workload_files.clone()),
             input: Some(self.input),
             systems: Some(self.systems.clone()),
             jobs: self.jobs,
@@ -894,6 +963,12 @@ impl SweepRequest {
                 self.retry.backoff_base_ms.to_string(),
             ),
         ];
+        if !self.workload_files.is_empty() {
+            map.push((
+                "BENCH_WORKLOAD_FILES".to_string(),
+                self.workload_files.join(","),
+            ));
+        }
         if let Some(n) = self.jobs {
             map.push(("BENCH_JOBS".to_string(), n.to_string()));
         }
@@ -978,6 +1053,9 @@ mod tests {
         assert!(RequestOverlay::from_json(&v9)
             .unwrap_err()
             .contains("schema_version 9"));
+        // Version-1 documents (pre-`workload_files`) still parse.
+        let v1 = Json::parse(r#"{"schema_version": 1, "jobs": 4}"#).unwrap();
+        assert_eq!(RequestOverlay::from_json(&v1).unwrap().jobs, Some(4));
         let zero = Json::parse(r#"{"jobs": 0}"#).unwrap();
         assert!(RequestOverlay::from_json(&zero).is_err());
         let badsys = Json::parse(r#"{"systems": ["warp-drive"]}"#).unwrap();
@@ -1077,6 +1155,10 @@ mod tests {
         assert!(r.validated().is_err());
         let r = SweepRequest::default().with_workloads(&["no-such-workload"]);
         assert!(r.validated().unwrap_err().contains("no-such-workload"));
+        // Near-misses get a registry suggestion.
+        let r = SweepRequest::default().with_workloads(&["libquantm"]);
+        let err = r.validated().unwrap_err();
+        assert!(err.contains("did you mean \"libquantum\"?"), "{err}");
         let r = SweepRequest {
             systems: vec![],
             ..SweepRequest::default()
@@ -1111,7 +1193,54 @@ mod tests {
     fn every_legacy_var_is_in_the_mapping_table() {
         // The DESIGN.md table and the conflict checker both key off
         // LEGACY_ENV; a new knob must be added there.
-        assert_eq!(LEGACY_ENV.len(), 17);
+        assert_eq!(LEGACY_ENV.len(), 18);
         assert!(LEGACY_ENV.iter().all(|(_, v)| v.starts_with("BENCH_")));
+    }
+
+    #[test]
+    fn workload_files_define_the_grid_and_roundtrip() {
+        // The same overlay a `sweepd` POST body or `--config` file
+        // produces: a workload file and no explicit workload list.
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("request-unit-{}.wl", std::process::id()));
+        std::fs::write(
+            &path,
+            "workload req_unit {\n  seed 3;\n  node N { size 8; ptr next @ 4; field v @ 0; }\n\
+             \x20 chain c: N { count 5; }\n  traverse c { visit { load v; } }\n}\n",
+        )
+        .unwrap();
+        let overlay = RequestOverlay {
+            workload_files: Some(vec![path.to_string_lossy().into_owned()]),
+            ..RequestOverlay::default()
+        };
+        let r = SweepRequest::resolve(overlay, None, RequestOverlay::default()).unwrap();
+        assert_eq!(
+            r.workloads,
+            vec!["req_unit".to_string()],
+            "with no explicit list, the loaded workloads are the grid"
+        );
+        let parsed =
+            SweepRequest::from_json(&Json::parse(&r.to_json().to_string_pretty()).unwrap())
+                .unwrap();
+        assert_eq!(r, parsed);
+
+        // An explicit list wins over the loaded names.
+        let overlay = RequestOverlay {
+            workload_files: Some(vec![path.to_string_lossy().into_owned()]),
+            workloads: Some(vec!["mst".to_string()]),
+            ..RequestOverlay::default()
+        };
+        let r = SweepRequest::resolve(overlay, None, RequestOverlay::default()).unwrap();
+        assert_eq!(r.workloads, vec!["mst".to_string()]);
+        std::fs::remove_file(&path).ok();
+
+        // Unsupported extensions are rejected with the field name.
+        let overlay = RequestOverlay {
+            workload_files: Some(vec!["spec.yaml".to_string()]),
+            ..RequestOverlay::default()
+        };
+        let err = SweepRequest::resolve(overlay, None, RequestOverlay::default()).unwrap_err();
+        assert!(err.contains("workload_files"), "{err}");
+        assert!(err.contains("yaml"), "{err}");
     }
 }

@@ -31,14 +31,15 @@ use workloads::InputSet;
 
 use crate::lab::Lab;
 use crate::manifest::{
-    config_hash, FailureRecord, Manifest, ManifestWriter, RetryInfo, RunOutcome, RunRecord,
+    config_hash, workload_provenance, FailureRecord, Manifest, ManifestWriter, RetryInfo,
+    RunOutcome, RunRecord,
 };
 use crate::store::{AppendDisposition, ResultStore};
 
 /// One simulation cell of a sweep.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct SweepCell {
-    /// Workload name (as accepted by `workloads::by_name`).
+    /// Workload name (as resolved by `workloads::registry::lookup`).
     pub workload: String,
     /// Input set the measured trace comes from.
     pub input: InputSet,
@@ -294,19 +295,24 @@ impl SweepPlan {
         let cfg = config_hash();
 
         // Resolve resume skips up front so `skipped` is exact even if
-        // the process dies mid-sweep.
+        // the process dies mid-sweep. A prior record only counts when
+        // its workload provenance matches the current registry state:
+        // an edited `.wl` spec or regenerated trace file must
+        // re-simulate, not inherit the stale result.
         let prior: Vec<Option<RunRecord>> = self
             .cells
             .iter()
             .map(|c| {
                 opts.resume_from.and_then(|m| {
                     let input = c.input_label();
+                    let provenance = workload_provenance(&c.workload);
                     m.successes()
                         .find(|r| {
                             r.workload == c.workload
                                 && r.input == input
                                 && r.system == c.system.label()
                                 && r.config_hash == cfg
+                                && r.workload_hash == provenance
                         })
                         .cloned()
                 })
@@ -334,6 +340,12 @@ impl SweepPlan {
                             cell.system.label(),
                             cfg,
                         )?;
+                        // Same provenance rule as resume: a committed
+                        // result for an older version of the workload
+                        // file is a miss, not a hit.
+                        if record.workload_hash != workload_provenance(&cell.workload) {
+                            return None;
+                        }
                         record.store = Some("hit".to_string());
                         Some(record)
                     };

@@ -19,7 +19,7 @@ use std::process::Command;
 use bench::{Lab, Manifest, SweepOptions, SweepPlan};
 use ecdp::system::{CompilerArtifacts, SystemBuilder, SystemKind};
 use sim_core::{Json, MachineConfig, ObsConfig, ThrottleDecision};
-use workloads::{by_name, InputSet};
+use workloads::{registry, InputSet};
 
 fn golden_path() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden/smoke_timeseries.json")
@@ -294,7 +294,7 @@ fn run_all_trace_dir_emits_schema_valid_artifacts() {
 /// column in Table 3, and a level step matching the decision.
 #[test]
 fn table3_case_sequence_is_deterministic_and_self_consistent() {
-    let t = by_name("mst").unwrap().generate(InputSet::Test);
+    let t = registry::lookup("mst").unwrap().generate(InputSet::Test);
     let artifacts = CompilerArtifacts::empty();
     // Shrink the L2 and interval so the short test input spans many
     // sampling intervals (same knobs as the sim-core obs tests).

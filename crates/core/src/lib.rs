@@ -24,9 +24,9 @@
 //! ```
 //! use ecdp::profile::profile_workload;
 //! use ecdp::system::{CompilerArtifacts, SystemBuilder, SystemKind};
-//! use workloads::{by_name, InputSet};
+//! use workloads::{registry, InputSet};
 //!
-//! let wl = by_name("mst").unwrap();
+//! let wl = registry::lookup("mst").unwrap();
 //!
 //! // "Compile": profile the train input to classify pointer groups.
 //! let train = wl.generate(InputSet::Train);

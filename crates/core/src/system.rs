@@ -560,6 +560,37 @@ impl<'a> SystemBuilder<'a> {
         })
     }
 
+    /// Builds the machine and replays a streamed external trace through
+    /// it in bounded windows (see [`sim_core::stream`]). Statistics are
+    /// bit-identical to materializing the same ops and calling
+    /// [`SystemBuilder::run`].
+    ///
+    /// External traces carry no train input, so profile-guided systems
+    /// run with whatever artifacts were supplied — usually
+    /// [`CompilerArtifacts::empty`], since there is nothing to profile
+    /// from a foreign address trace.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`SimError`] from the run, as
+    /// [`SystemBuilder::run`] does.
+    pub fn run_streamed(
+        self,
+        trace: &mut sim_core::stream::ExternalTrace,
+    ) -> Result<SystemRun, SimError> {
+        let fork = self.fork_from;
+        let mut machine = self.build();
+        if let Some(snapshot) = fork {
+            machine.fork_from(snapshot)?;
+        }
+        let stats = machine.run_streamed(trace)?;
+        Ok(SystemRun {
+            stats,
+            trace: machine.take_run_trace(),
+            snapshot: machine.take_snapshot(),
+        })
+    }
+
     /// Like [`SystemBuilder::run`], but also collects the pointer-group
     /// usefulness observed *during this run* (used by the Figure 10
     /// experiment to compare PG usefulness under original CDP versus

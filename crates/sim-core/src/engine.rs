@@ -30,13 +30,94 @@ use crate::stats::{PrefetcherStats, RunStats};
 use crate::throttling::{
     FeedbackCounters, IntervalFeedback, NoThrottle, ThrottleDecision, ThrottlePolicy,
 };
-use crate::trace::{OpKind, Trace, TraceOp, NO_DEP};
+use crate::trace::{OpKind, OpSource, ResidentOps, Trace, TraceOp, NO_DEP};
 
 const NOT_DONE: u64 = u64::MAX;
 
 /// Size of the direct-mapped pollution filter (blocks evicted by
 /// prefetches, consulted on demand misses — FDP-style accounting).
 const POLLUTION_FILTER_ENTRIES: usize = 4096;
+
+/// Completion-cycle store for in-window ops.
+///
+/// Replaces the old `Vec<u64>` indexed by absolute op index — which grew
+/// with the trace (8 bytes per op) and made the engine's footprint
+/// proportional to trace length, defeating streamed ingestion. The live
+/// range is bounded: the engine only writes completion cycles for ops
+/// between the window head and the dispatch cursor, and the window holds
+/// at most `window_size` ops (every op is ≥ 1 instruction). Everything
+/// below the window head has retired, and the only property the engine
+/// ever observes of a retired op's entry is "already done" (`<= now`), so
+/// settled indices read as 0 — behaviorally identical to the dense array
+/// (the same argument [`CoreSim::save_warm`] has always relied on).
+struct Completion {
+    ring: Vec<u64>,
+    mask: usize,
+    /// Lowest live index: everything below has retired (settled).
+    base: usize,
+}
+
+impl Completion {
+    fn new() -> Self {
+        Completion {
+            ring: Vec::new(),
+            mask: 0,
+            base: 0,
+        }
+    }
+
+    /// Resets for a fresh replay pass. Capacity covers twice the maximum
+    /// number of in-window ops so the live range never wraps onto itself.
+    fn reset(&mut self, window_size: u32) {
+        let cap = (2 * window_size.max(1) as usize).next_power_of_two();
+        self.ring.clear();
+        self.ring.resize(cap, NOT_DONE);
+        self.mask = cap - 1;
+        self.base = 0;
+    }
+
+    #[inline]
+    fn get(&self, idx: usize) -> u64 {
+        if idx < self.base {
+            // Retired before the window head: settled, observed only as
+            // "already done".
+            0
+        } else {
+            self.ring[idx & self.mask]
+        }
+    }
+
+    #[inline]
+    fn set(&mut self, idx: usize, at: u64) {
+        debug_assert!(
+            idx >= self.base && idx - self.base <= self.mask,
+            "completion write outside the live range"
+        );
+        self.ring[idx & self.mask] = at;
+    }
+
+    /// Advances the settled frontier to `new_base` (the window head after
+    /// retirement), resetting the passed slots to `NOT_DONE` so a later op
+    /// aliasing onto them starts un-completed.
+    fn settle_below(&mut self, new_base: usize) {
+        if new_base - self.base > self.mask {
+            // A jump past the whole ring (warm restore deep into a trace)
+            // touches every slot exactly once.
+            for s in &mut self.ring {
+                *s = NOT_DONE;
+            }
+        } else {
+            for i in self.base..new_base {
+                self.ring[i & self.mask] = NOT_DONE;
+            }
+        }
+        self.base = new_base;
+    }
+
+    fn base(&self) -> usize {
+        self.base
+    }
+}
 
 #[derive(Debug, Clone, Copy)]
 struct WinEntry {
@@ -61,10 +142,14 @@ pub(crate) struct CoreSim {
     pub(crate) core_id: u8,
     cfg: Arc<MachineConfig>,
     pub(crate) mem: SimMemory,
+    /// Number of ops in the trace this core replays (the op stream itself
+    /// is handed to [`CoreSim::step`] each cycle, so a streamed source
+    /// never has to be fully resident).
+    total_ops: usize,
     next_dispatch: usize,
     window: VecDeque<WinEntry>,
     window_instrs: u32,
-    completed: Vec<u64>,
+    completed: Completion,
     pending_mem: VecDeque<u32>,
     /// Issued memory ops still occupying LSQ slots.
     lsq_used: u32,
@@ -107,7 +192,8 @@ impl CoreSim {
     pub(crate) fn new(
         core_id: u8,
         cfg: Arc<MachineConfig>,
-        trace: &Trace,
+        initial_memory: &SimMemory,
+        total_ops: usize,
         num_prefetchers: usize,
         warm_resume: bool,
     ) -> Self {
@@ -129,12 +215,13 @@ impl CoreSim {
             mem: if warm_resume {
                 SimMemory::new()
             } else {
-                trace.initial_memory.clone()
+                initial_memory.clone()
             },
+            total_ops,
             next_dispatch: 0,
             window: VecDeque::new(),
             window_instrs: 0,
-            completed: Vec::new(),
+            completed: Completion::new(),
             pending_mem: VecDeque::new(),
             lsq_used: 0,
             inflight: BinaryHeap::new(),
@@ -157,7 +244,7 @@ impl CoreSim {
             retired_ops: 0,
             last_progress: 0,
         };
-        sim.reset_replay(trace);
+        sim.reset_replay();
         sim
     }
 
@@ -185,21 +272,20 @@ impl CoreSim {
 
     /// Rewinds replay state for another pass over the trace (multi-core
     /// restart), keeping caches, prefetcher state and counters warm.
-    pub(crate) fn rewind(&mut self, trace: &Trace) {
+    pub(crate) fn rewind(&mut self, initial_memory: &SimMemory) {
         // Restore from the shared copy-on-write snapshot, reusing this
         // core's page-table allocation (no page data is copied).
-        self.mem.clone_from(&trace.initial_memory);
-        self.reset_replay(trace);
+        self.mem.clone_from(initial_memory);
+        self.reset_replay();
     }
 
     /// Replay-cursor reset shared by [`CoreSim::new`] and
     /// [`CoreSim::rewind`].
-    fn reset_replay(&mut self, trace: &Trace) {
+    fn reset_replay(&mut self) {
         self.next_dispatch = 0;
         self.window.clear();
         self.window_instrs = 0;
-        self.completed.clear();
-        self.completed.resize(trace.ops.len(), NOT_DONE);
+        self.completed.reset(self.cfg.core.window_size);
         self.pending_mem.clear();
         // Outstanding ops and MSHR waiters refer to the finished pass; the
         // multi-core driver only rewinds once the window has drained, so
@@ -209,8 +295,8 @@ impl CoreSim {
         self.retired_ops = 0;
     }
 
-    pub(crate) fn finished(&self, ops: &[TraceOp]) -> bool {
-        self.retired_ops == ops.len()
+    pub(crate) fn finished(&self) -> bool {
+        self.retired_ops == self.total_ops
     }
 
     pub(crate) fn has_pending_writebacks(&self) -> bool {
@@ -380,7 +466,7 @@ impl CoreSim {
             self.fill_l1(entry.trigger_addr, false);
         }
         for &w in &entry.waiters {
-            self.completed[w as usize] = wake_at;
+            self.completed.set(w as usize, wake_at);
             self.inflight.push(Reverse((wake_at, w)));
         }
 
@@ -425,7 +511,7 @@ impl CoreSim {
             let Some(head) = self.window.front_mut() else {
                 break;
             };
-            if self.completed[head.op_idx as usize] > now {
+            if self.completed.get(head.op_idx as usize) > now {
                 break;
             }
             let take = (head.instrs - head.retired).min(budget);
@@ -441,16 +527,24 @@ impl CoreSim {
         self.stats.retired_instructions += u64::from(retired);
         if retired > 0 {
             self.last_progress = now;
+            // Everything below the (new) window head has retired: advance
+            // the settled frontier so the completion ring can recycle
+            // those slots.
+            let new_base = self
+                .window
+                .front()
+                .map_or(self.next_dispatch, |h| h.op_idx as usize);
+            self.completed.settle_below(new_base);
         }
         retired
     }
 
     /// Dispatches ops into the window. Returns dispatched instruction count.
-    fn dispatch(&mut self, ops: &[TraceOp], now: u64) -> u32 {
+    fn dispatch<O: OpSource>(&mut self, ops: &mut O, now: u64) -> u32 {
         let mut budget = self.cfg.core.dispatch_width;
         let mut dispatched = 0;
-        while budget > 0 && self.next_dispatch < ops.len() {
-            let op = &ops[self.next_dispatch];
+        while budget > 0 && self.next_dispatch < self.total_ops {
+            let op = ops.op(self.next_dispatch);
             let instrs = match op.kind {
                 OpKind::Compute => op.value,
                 _ => 1,
@@ -464,7 +558,7 @@ impl CoreSim {
                 OpKind::Load => value = self.mem.read_u32(op.addr),
                 OpKind::Store => self.mem.write_u32(op.addr, op.value),
                 OpKind::Compute => {
-                    self.completed[self.next_dispatch] = now + 1;
+                    self.completed.set(self.next_dispatch, now + 1);
                 }
             }
             self.window.push_back(WinEntry {
@@ -489,9 +583,9 @@ impl CoreSim {
 
     /// Issues ready memory ops to the hierarchy. Returns issued op count.
     #[allow(clippy::too_many_lines)]
-    fn issue(
+    fn issue<O: OpSource>(
         &mut self,
-        ops: &[TraceOp],
+        ops: &mut O,
         now: u64,
         dram: &mut Dram,
         prefetchers: &mut [Box<dyn Prefetcher>],
@@ -516,13 +610,13 @@ impl CoreSim {
                 break;
             }
             let op_idx = self.pending_mem[qi];
-            let op = &ops[op_idx as usize];
+            let op = ops.op(op_idx as usize);
             // Address dependence: the producing load must have completed.
-            if op.dep != NO_DEP && self.completed[op.dep as usize] > now {
+            if op.dep != NO_DEP && self.completed.get(op.dep as usize) > now {
                 qi += 1;
                 continue;
             }
-            match self.try_issue_one(op_idx, op, now, dram, prefetchers, observer, l2_port) {
+            match self.try_issue_one(op_idx, &op, now, dram, prefetchers, observer, l2_port) {
                 IssueOutcome::Issued => {
                     self.entry_mut(op_idx).issued = true;
                     self.lsq_used += 1;
@@ -543,7 +637,7 @@ impl CoreSim {
     /// [`CoreSim::next_local_event`]).
     #[inline]
     fn complete_issued(&mut self, op_idx: u32, at: u64) {
-        self.completed[op_idx as usize] = at;
+        self.completed.set(op_idx as usize, at);
         self.inflight.push(Reverse((at, op_idx)));
     }
 
@@ -1009,9 +1103,9 @@ impl CoreSim {
 
     /// Runs one cycle of the core pipeline (after DRAM completions have been
     /// applied). Returns true if any forward progress was made.
-    pub(crate) fn step(
+    pub(crate) fn step<O: OpSource>(
         &mut self,
-        ops: &[TraceOp],
+        ops: &mut O,
         now: u64,
         dram: &mut Dram,
         prefetchers: &mut [Box<dyn Prefetcher>],
@@ -1035,7 +1129,7 @@ impl CoreSim {
             }
         };
         if let Some(head) = self.window.front() {
-            consider(self.completed[head.op_idx as usize]);
+            consider(self.completed.get(head.op_idx as usize));
         }
         // The completion wheel is a min-heap, so its top is the earliest
         // outstanding completion — no scan needed.
@@ -1048,7 +1142,12 @@ impl CoreSim {
     /// True if the core has work it could perform on the very next cycle
     /// (used for idle-skip decisions). `dram_full` tells the core whether
     /// the shared request buffer can accept anything.
-    pub(crate) fn has_immediate_work(&self, ops: &[TraceOp], now: u64, dram_full: bool) -> bool {
+    pub(crate) fn has_immediate_work<O: OpSource>(
+        &self,
+        ops: &mut O,
+        now: u64,
+        dram_full: bool,
+    ) -> bool {
         if let Some(req) = self.pf_queue.front() {
             let block = block_of(req.addr);
             // A resident target would simply be dropped (progress), and a
@@ -1063,8 +1162,8 @@ impl CoreSim {
         if !self.pending_writebacks.is_empty() && !dram_full {
             return true;
         }
-        if self.next_dispatch < ops.len() {
-            let op = &ops[self.next_dispatch];
+        if self.next_dispatch < self.total_ops {
+            let op = ops.op(self.next_dispatch);
             let instrs = match op.kind {
                 OpKind::Compute => op.value,
                 _ => 1,
@@ -1074,9 +1173,9 @@ impl CoreSim {
             }
         }
         if self.lsq_used < self.cfg.core.lsq_size {
-            for &op in &self.pending_mem {
-                let dep = ops[op as usize].dep;
-                if dep == NO_DEP || self.completed[dep as usize] <= now {
+            for i in 0..self.pending_mem.len() {
+                let dep = ops.op(self.pending_mem[i] as usize).dep;
+                if dep == NO_DEP || self.completed.get(dep as usize) <= now {
                     return true;
                 }
             }
@@ -1085,15 +1184,15 @@ impl CoreSim {
     }
 
     /// Captures the state attached to watchdog and deadlock reports.
-    pub(crate) fn snapshot(&self, now: u64, total_ops: usize, dram: &Dram) -> DiagnosticSnapshot {
+    pub(crate) fn snapshot(&self, now: u64, dram: &Dram) -> DiagnosticSnapshot {
         DiagnosticSnapshot {
             cycle: now,
             core: self.core_id,
             retired_ops: self.retired_ops,
-            total_ops,
+            total_ops: self.total_ops,
             window_instrs: self.window_instrs,
             rob_head: self.window.front().map(|h| {
-                let done = self.completed[h.op_idx as usize];
+                let done = self.completed.get(h.op_idx as usize);
                 (h.op_idx, h.issued, (done != NOT_DONE).then_some(done))
             }),
             mshr_occupancy: self.mshrs.occupied(),
@@ -1137,14 +1236,13 @@ impl CoreSim {
             w.u32(e.value);
         }
         w.u32(self.window_instrs);
-        w.u64(self.completed.len() as u64);
-        let unsettled: Vec<(u32, u64)> = self
-            .completed
-            .iter()
-            .take(self.next_dispatch)
-            .enumerate()
-            .filter(|&(_, &c)| c == NOT_DONE || c > now)
-            .map(|(i, &c)| (i as u32, c))
+        w.u64(self.total_ops as u64);
+        // Indices below the ring base have retired (and are settled by the
+        // retire-time argument above), so scanning the live range alone
+        // yields exactly the dense array's unsettled set.
+        let unsettled: Vec<(u32, u64)> = (self.completed.base()..self.next_dispatch)
+            .map(|i| (i as u32, self.completed.get(i)))
+            .filter(|&(_, c)| c == NOT_DONE || c > now)
             .collect();
         w.u32(unsettled.len() as u32);
         for (i, c) in unsettled {
@@ -1236,10 +1334,10 @@ impl CoreSim {
         self.mem.clone_from(&cs.mem);
         let mut r = SnapReader::new(&cs.core);
         let next_dispatch = r.u64()? as usize;
-        if next_dispatch > self.completed.len() {
+        if next_dispatch > self.total_ops {
             return Err(SnapshotError::Malformed(format!(
                 "dispatch cursor {next_dispatch} past trace end {}",
-                self.completed.len()
+                self.total_ops
             )));
         }
         self.next_dispatch = next_dispatch;
@@ -1258,17 +1356,25 @@ impl CoreSim {
         }
         self.window_instrs = r.u32()?;
         let total = r.u64()? as usize;
-        if total != self.completed.len() {
+        if total != self.total_ops {
             return Err(SnapshotError::Malformed(format!(
                 "snapshot trace has {total} ops, this trace has {}",
-                self.completed.len()
+                self.total_ops
             )));
         }
-        for c in self.completed.iter_mut() {
-            *c = NOT_DONE;
-        }
-        for c in self.completed.iter_mut().take(next_dispatch) {
-            *c = 0;
+        // Rebuild the completion ring: indices below the window head are
+        // settled by construction (they read as 0); dispatched-but-
+        // unretired ops default to settled and the unsettled list below
+        // overrides the ones still in flight. This reproduces exactly the
+        // dense array the wire format describes.
+        self.completed.reset(self.cfg.core.window_size);
+        let base = self
+            .window
+            .front()
+            .map_or(next_dispatch, |h| h.op_idx as usize);
+        self.completed.settle_below(base);
+        for i in base..next_dispatch {
+            self.completed.set(i, 0);
         }
         let n = r.u32()? as usize;
         for _ in 0..n {
@@ -1279,7 +1385,12 @@ impl CoreSim {
                     "unsettled completion index {idx} past dispatch cursor"
                 )));
             }
-            self.completed[idx] = val;
+            if idx < base {
+                return Err(SnapshotError::Malformed(format!(
+                    "unsettled completion index {idx} below the window head {base}"
+                )));
+            }
+            self.completed.set(idx, val);
         }
         let n = r.u32()? as usize;
         self.pending_mem.clear();
@@ -1807,10 +1918,43 @@ impl Machine {
     /// fails to converge. The error carries a [`DiagnosticSnapshot`] of
     /// the stuck core where applicable.
     pub fn run(&mut self, trace: &Trace) -> Result<RunStats, SimError> {
+        self.run_inner(&trace.initial_memory, &mut ResidentOps(&trace.ops))
+    }
+
+    /// Replays an externally recorded trace streamed from disk in bounded
+    /// windows (see [`crate::stream`]) and returns the run statistics.
+    ///
+    /// The engine's working set stays proportional to the instruction
+    /// window, never to the trace length: ops are pulled through the
+    /// [`OpSource`] in chunks and dropped once the window has moved past
+    /// them. Statistics are bit-identical to materializing the same ops
+    /// in a resident [`Trace`] and calling [`Machine::run`].
+    ///
+    /// # Errors
+    ///
+    /// Fails exactly like [`Machine::run`]. Mid-stream I/O errors on the
+    /// already-validated trace file panic with the file context (the open
+    /// path validates framing up front, so this only happens when the
+    /// file changes or vanishes underneath a run).
+    pub fn run_streamed(
+        &mut self,
+        trace: &mut crate::stream::ExternalTrace,
+    ) -> Result<RunStats, SimError> {
+        let (initial_memory, ops) = trace.replay_parts();
+        self.run_inner(initial_memory, ops)
+    }
+
+    fn run_inner<O: OpSource>(
+        &mut self,
+        initial_memory: &SimMemory,
+        ops: &mut O,
+    ) -> Result<RunStats, SimError> {
+        let total_ops = ops.total_ops();
         let mut core = CoreSim::new(
             0,
             Arc::clone(&self.config),
-            trace,
+            initial_memory,
+            total_ops,
             self.prefetchers.len(),
             self.resume.is_some(),
         );
@@ -1826,7 +1970,6 @@ impl Machine {
             .observer
             .take()
             .unwrap_or_else(|| Box::new(crate::prefetcher::NullObserver));
-        let ops = &trace.ops;
 
         self.captured = None;
         let wall = self
@@ -1844,7 +1987,7 @@ impl Machine {
             }
         }
         let mut capture_at = self.warm_cycles.unwrap_or(u64::MAX);
-        while !core.finished(ops) {
+        while !core.finished() {
             // Warm-state capture: a pure read of machine state at the top
             // of the loop, before this cycle's DRAM tick, so an armed
             // checkpoint never perturbs the run and a forked machine
@@ -1880,14 +2023,14 @@ impl Machine {
             // prefetch churn) never ceases.
             if now.saturating_sub(core.last_progress()) >= self.config.deadlock_cycles {
                 self.observer = Some(observer);
-                return Err(SimError::Deadlock(core.snapshot(now, ops.len(), &dram)));
+                return Err(SimError::Deadlock(core.snapshot(now, &dram)));
             }
             if let Some(budget) = self.cycle_budget {
                 if now >= budget {
                     self.observer = Some(observer);
                     return Err(SimError::CycleBudgetExceeded {
                         budget,
-                        snapshot: core.snapshot(now, ops.len(), &dram),
+                        snapshot: core.snapshot(now, &dram),
                     });
                 }
             }
@@ -1902,7 +2045,7 @@ impl Machine {
                         self.observer = Some(observer);
                         return Err(SimError::DeadlineExceeded {
                             deadline_ms: limit.as_millis() as u64,
-                            snapshot: core.snapshot(now, ops.len(), &dram),
+                            snapshot: core.snapshot(now, &dram),
                         });
                     }
                 }
@@ -1930,7 +2073,7 @@ impl Machine {
                     // state. Report the deadlock immediately instead of
                     // idling through the whole watchdog budget.
                     self.observer = Some(observer);
-                    return Err(SimError::Deadlock(core.snapshot(now, ops.len(), &dram)));
+                    return Err(SimError::Deadlock(core.snapshot(now, &dram)));
                 }
             }
         }
@@ -1954,7 +2097,7 @@ impl Machine {
                 self.observer = Some(observer);
                 return Err(SimError::InvariantViolation(format!(
                     "post-run drain did not converge: {}",
-                    core.snapshot(now, ops.len(), &dram)
+                    core.snapshot(now, &dram)
                 )));
             }
         }

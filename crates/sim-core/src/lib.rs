@@ -65,6 +65,7 @@ pub mod obs;
 pub mod prefetcher;
 pub mod snapshot;
 pub mod stats;
+pub mod stream;
 pub mod throttling;
 pub mod trace;
 pub mod trace_io;
@@ -90,11 +91,15 @@ pub use snapshot::{
     SNAPSHOT_SCHEMA, SNAPSHOT_VERSION,
 };
 pub use stats::{PrefetcherStats, PrefetcherSummary, RunStats, StatsSummary};
+pub use stream::{
+    write_external, ExternalTrace, StreamedOps, XtraceError, XtraceWriter, STREAM_CHUNK_OPS,
+    STREAM_LOOKBACK_OPS, XTRACE_MAGIC, XTRACE_VERSION,
+};
 pub use throttling::{
     AccuracyClass, DecisionTrace, IntervalFeedback, ThrottleDecision, ThrottlePolicy,
     ThrottleThresholds, TABLE4_THRESHOLDS,
 };
-pub use trace::{OpKind, Trace, TraceBuilder, TraceOp};
+pub use trace::{LoadId, OpKind, OpSource, ResidentOps, Trace, TraceBuilder, TraceOp, NO_DEP};
 pub use validate::{
     check_transition_step, rederive_transition, IntervalCheck, RuntimeValidator, ValidateConfig,
 };

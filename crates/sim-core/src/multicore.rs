@@ -17,7 +17,7 @@ use crate::prefetcher::{NullObserver, Prefetcher};
 use crate::snapshot::{config_fingerprint, CoreState, Snapshot, SnapshotError};
 use crate::stats::RunStats;
 use crate::throttling::{NoThrottle, ThrottlePolicy};
-use crate::trace::Trace;
+use crate::trace::{ResidentOps, Trace};
 use crate::MachineConfig;
 use std::sync::Arc;
 
@@ -230,7 +230,8 @@ impl MultiMachine {
                 CoreSim::new(
                     i as u8,
                     Arc::clone(&self.config),
-                    &traces[i],
+                    &traces[i].initial_memory,
+                    traces[i].ops.len(),
                     self.cores[i].prefetchers.len(),
                     self.resume.is_some(),
                 )
@@ -280,7 +281,7 @@ impl MultiMachine {
                     .iter()
                     .position(Option::is_none)
                     .unwrap_or_default();
-                SimError::Deadlock(sims[c].snapshot(now, traces[c].ops.len(), dram))
+                SimError::Deadlock(sims[c].snapshot(now, dram))
             };
 
         while snapshots.iter().any(Option::is_none) {
@@ -323,9 +324,9 @@ impl MultiMachine {
             // Rotate core service order for fairness.
             for k in 0..n {
                 let c = (k + (now as usize)) % n;
-                let ops = &traces[c].ops[..];
+                let mut ops = ResidentOps(&traces[c].ops);
                 activity |= sims[c].step(
-                    ops,
+                    &mut ops,
                     now,
                     &mut dram,
                     &mut self.cores[c].prefetchers,
@@ -340,7 +341,7 @@ impl MultiMachine {
                     dram.bus_transfers_for(c as u8),
                     dram.bus_busy_slack(),
                 );
-                if sims[c].finished(ops) {
+                if sims[c].finished() {
                     if snapshots[c].is_none() {
                         let mut s = sims[c].stats.clone();
                         s.cycles = now.max(1);
@@ -354,7 +355,7 @@ impl MultiMachine {
                     // Restart the trace to keep generating contention
                     // (unless everyone is done).
                     if snapshots.iter().any(Option::is_none) {
-                        sims[c].rewind(&traces[c]);
+                        sims[c].rewind(&traces[c].initial_memory);
                     }
                 }
             }
@@ -379,7 +380,7 @@ impl MultiMachine {
                             .unwrap_or_default();
                         return Err(SimError::DeadlineExceeded {
                             deadline_ms: limit.as_millis() as u64,
-                            snapshot: sims[c].snapshot(now, traces[c].ops.len(), &dram),
+                            snapshot: sims[c].snapshot(now, &dram),
                         });
                     }
                 }
@@ -390,11 +391,9 @@ impl MultiMachine {
                 continue;
             }
             let dram_full = dram.is_full();
-            if sims
-                .iter()
-                .enumerate()
-                .any(|(c, s)| s.has_immediate_work(&traces[c].ops, now, dram_full))
-            {
+            if sims.iter().enumerate().any(|(c, s)| {
+                s.has_immediate_work(&mut ResidentOps(&traces[c].ops), now, dram_full)
+            }) {
                 now += 1;
             } else {
                 let mut next: Option<u64> = None;

@@ -74,6 +74,44 @@ impl std::fmt::Debug for Trace {
     }
 }
 
+/// A source of trace operations for the timing engine.
+///
+/// The engine indexes ops by absolute trace position but only ever looks
+/// at a bounded span: from the instruction-window head to the dispatch
+/// cursor. A resident [`Trace`] serves ops straight from its `Vec`
+/// ([`ResidentOps`]); a streamed external trace
+/// ([`crate::stream::ExternalTrace`]) keeps just that span buffered. The
+/// engine is generic over this trait and monomorphizes identically for
+/// both, so streamed replays are bit-identical to resident ones.
+pub trait OpSource {
+    /// Total number of ops in the trace.
+    fn total_ops(&self) -> usize;
+
+    /// Returns the op at absolute index `idx` (`0 <= idx < total_ops`).
+    ///
+    /// Callers only revisit indices within one instruction window of the
+    /// highest index requested so far; implementations may drop anything
+    /// older.
+    fn op(&mut self, idx: usize) -> TraceOp;
+}
+
+/// [`OpSource`] over a fully materialized op slice — the zero-cost path
+/// every existing resident-[`Trace`] run goes through.
+#[derive(Debug)]
+pub struct ResidentOps<'a>(pub &'a [TraceOp]);
+
+impl OpSource for ResidentOps<'_> {
+    #[inline]
+    fn total_ops(&self) -> usize {
+        self.0.len()
+    }
+
+    #[inline]
+    fn op(&mut self, idx: usize) -> TraceOp {
+        self.0[idx]
+    }
+}
+
 /// Records a trace while a workload executes functionally.
 ///
 /// The builder owns a [`SimMemory`]; the workload first populates it through

@@ -1,0 +1,94 @@
+//! Bounded-memory guarantee of streamed trace replay: peak RSS stays flat
+//! while the on-disk trace is far larger than the streaming window.
+//!
+//! This file holds exactly one test so the binary's `VmHWM` reading is not
+//! polluted by unrelated tests sharing the process.
+
+use std::fs::File;
+
+use sim_core::{
+    ExternalTrace, Machine, MachineConfig, OpKind, TraceOp, XtraceWriter, NO_DEP, STREAM_CHUNK_OPS,
+    STREAM_LOOKBACK_OPS,
+};
+use sim_mem::SimMemory;
+
+/// Peak resident set size (`VmHWM`) in bytes; `None` off Linux.
+fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+#[test]
+fn peak_rss_is_independent_of_trace_length() {
+    const HEAP_ADDR: u32 = 0x4000_0000;
+    const OPS: usize = 2_000_000;
+
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("ecdp-rss-{}.xtrc", std::process::id()));
+
+    // Stream the trace to disk without ever materializing it: the writer
+    // sees one op at a time.
+    let mut mem = SimMemory::new();
+    mem.write_u32(HEAP_ADDR, 0xABCD);
+    let mut w = XtraceWriter::new(File::create(&path).expect("create"), &mem).expect("header");
+    for i in 0..OPS {
+        let op = if i % 32 == 0 {
+            TraceOp {
+                pc: 0x1000,
+                addr: HEAP_ADDR,
+                value: 0xABCD,
+                dep: NO_DEP,
+                kind: OpKind::Load,
+                lds: false,
+            }
+        } else {
+            TraceOp {
+                pc: 0,
+                addr: 0,
+                value: 64,
+                dep: NO_DEP,
+                kind: OpKind::Compute,
+                lds: false,
+            }
+        };
+        w.push(&op).expect("push");
+    }
+    w.finish().expect("finish");
+    let file_bytes = std::fs::metadata(&path).expect("metadata").len();
+    assert!(
+        file_bytes > 30 * 1024 * 1024,
+        "trace file unexpectedly small ({file_bytes} bytes); the RSS bound below would be vacuous"
+    );
+
+    let before = peak_rss_bytes();
+    let mut trace = ExternalTrace::open(&path).expect("open");
+    assert_eq!(trace.op_count(), OPS);
+    let stats = Machine::new(MachineConfig::default())
+        .run_streamed(&mut trace)
+        .expect("run");
+    assert!(stats.retired_instructions > OPS as u64);
+
+    // The replay buffer never held more than one lookback + one refill
+    // chunk of ops...
+    let window = STREAM_LOOKBACK_OPS + STREAM_CHUNK_OPS;
+    assert!(
+        trace.max_resident_ops() <= window,
+        "resident window grew to {} ops (cap {window})",
+        trace.max_resident_ops()
+    );
+
+    // ...and the process-level peak backs that up: far less than the file
+    // size (let alone a materialized Vec<TraceOp>) was ever resident.
+    drop(trace);
+    std::fs::remove_file(&path).ok();
+    if let (Some(before), Some(after)) = (before, peak_rss_bytes()) {
+        let delta = after.saturating_sub(before);
+        assert!(
+            delta < file_bytes / 2,
+            "peak RSS grew by {delta} bytes replaying a {file_bytes}-byte trace; \
+             streaming should keep the resident window in the low hundreds of KB"
+        );
+    }
+}

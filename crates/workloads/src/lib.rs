@@ -20,23 +20,31 @@
 //! scan. Each has a `Train` and a `Ref` input set (different sizes and
 //! seeds) supporting the paper's §6.1.6 profiling-input experiment.
 //!
+//! Beyond the built-ins, the [`registry`] serves *loaded* workloads —
+//! DSL specs, text traces and streamed binary traces brought in through
+//! [`registry::register_file`] (see [`loader`]).
+//!
 //! # Example
 //!
 //! ```
-//! use workloads::{by_name, InputSet};
+//! use workloads::{registry, InputSet};
 //!
-//! let mst = by_name("mst").expect("mst is in the suite");
+//! let mst = registry::lookup("mst").expect("mst is in the suite");
 //! let trace = mst.generate(InputSet::Train);
 //! assert!(trace.memory_ops() > 1000);
 //! ```
 
 pub mod bio;
 pub mod common;
+pub mod loader;
 pub mod olden;
 pub mod olden_extra;
+pub mod registry;
 pub mod spec_fp;
 pub mod spec_int;
 pub mod streaming;
+
+pub use registry::{StreamSource, WorkloadHandle};
 
 use sim_core::Trace;
 
@@ -74,62 +82,44 @@ pub trait Workload {
     fn generate(&self, input: InputSet) -> Trace;
 }
 
+fn boxed(handle: WorkloadHandle) -> Box<dyn Workload> {
+    Box::new(registry::HandleWorkload(handle))
+}
+
 /// The 15 pointer-intensive workloads of the paper's main evaluation, in
 /// the order of Table 1.
+#[deprecated(note = "use workloads::registry::suite(registry::SUITE_POINTER)")]
 pub fn pointer_suite() -> Vec<Box<dyn Workload>> {
-    vec![
-        Box::new(spec_int::Perlbench),
-        Box::new(spec_int::Gcc),
-        Box::new(spec_int::Mcf),
-        Box::new(spec_int::Astar),
-        Box::new(spec_int::Xalancbmk),
-        Box::new(spec_int::Omnetpp),
-        Box::new(spec_int::Parser),
-        Box::new(spec_fp::Art),
-        Box::new(spec_fp::Ammp),
-        Box::new(olden::Bisort),
-        Box::new(olden::Health),
-        Box::new(olden::Mst),
-        Box::new(olden::Perimeter),
-        Box::new(olden::Voronoi),
-        Box::new(bio::Pfast),
-    ]
+    registry::suite(registry::SUITE_POINTER)
+        .into_iter()
+        .map(boxed)
+        .collect()
 }
 
 /// The non-pointer-intensive workloads used for §6.7 and the multi-core
 /// mixes.
+#[deprecated(note = "use workloads::registry::suite(registry::SUITE_STREAMING)")]
 pub fn streaming_suite() -> Vec<Box<dyn Workload>> {
-    vec![
-        Box::new(streaming::Libquantum),
-        Box::new(streaming::Bwaves),
-        Box::new(streaming::GemsFdtd),
-        Box::new(streaming::H264ref),
-        Box::new(streaming::Hmmer),
-        Box::new(streaming::Lbm),
-        Box::new(streaming::Milc),
-        Box::new(streaming::Sjeng),
-        Box::new(olden_extra::Treeadd),
-        Box::new(olden_extra::Em3d),
-        Box::new(olden_extra::Tsp),
-        Box::new(olden_extra::Power),
-    ]
+    registry::suite(registry::SUITE_STREAMING)
+        .into_iter()
+        .map(boxed)
+        .collect()
 }
 
-/// Looks a workload up by its paper name across both suites.
+/// Looks a workload up by name across everything registered (built-in
+/// suites and loaded files).
+#[deprecated(note = "use workloads::registry::lookup")]
 pub fn by_name(name: &str) -> Option<Box<dyn Workload>> {
-    pointer_suite()
-        .into_iter()
-        .chain(streaming_suite())
-        .find(|w| w.name() == name)
+    registry::lookup(name).map(boxed)
 }
 
 #[cfg(test)]
-#[allow(clippy::unwrap_used)]
+#[allow(clippy::unwrap_used, deprecated)]
 mod tests {
     use super::*;
 
     #[test]
-    fn suites_have_paper_counts() {
+    fn deprecated_suites_still_serve_paper_counts() {
         assert_eq!(pointer_suite().len(), 15);
         // 8 SPEC streaming/compute stand-ins + 4 remaining Olden programs.
         assert_eq!(streaming_suite().len(), 12);
@@ -137,11 +127,7 @@ mod tests {
 
     #[test]
     fn names_are_unique() {
-        let mut names: Vec<&str> = pointer_suite()
-            .iter()
-            .chain(streaming_suite().iter())
-            .map(|w| w.name())
-            .collect();
+        let mut names: Vec<&str> = registry::names();
         let before = names.len();
         names.sort_unstable();
         names.dedup();

@@ -1,0 +1,466 @@
+//! Structural validation and trace compilation for parsed DSL specs.
+
+use rand::seq::SliceRandom;
+use sim_core::Trace;
+use sim_mem::{layout, Addr};
+
+use super::parser::{
+    ChainSpec, Layout, NodeSpec, Order, SpecFile, TraverseSpec, VisitStmt, WorkloadSpec,
+};
+use super::LoadError;
+use crate::common::Ctx;
+use crate::{InputSet, Workload};
+
+/// Heap alignment applied per allocation (mirrors `sim_mem::Heap`).
+const ALLOC_ALIGN: u32 = 8;
+/// PC region for DSL-generated instructions, clear of the built-in
+/// workloads' PC ranges.
+const PC_BASE: u32 = 0x0010_0000;
+/// PC stride between traversals.
+const PC_TRAVERSAL_STRIDE: u32 = 0x100;
+/// PC of a traversal's pointer-advance load (top of its PC block, so
+/// visit statements at `+4*s` never collide with it).
+const PC_ADVANCE: u32 = 0xFC;
+/// Statement limit keeping visit PCs below [`PC_ADVANCE`].
+const MAX_VISIT_STMTS: usize = 62;
+
+fn align_up(v: u32, align: u32) -> u64 {
+    (u64::from(v) + u64::from(align) - 1) & !u64::from(align - 1)
+}
+
+/// Validates a parsed file: reference resolution, layout constraints and
+/// heap capacity. On success every spec in the file is compilable.
+///
+/// # Errors
+///
+/// The first violation, positioned at the offending construct.
+pub fn validate(file: &SpecFile) -> Result<(), LoadError> {
+    let mut names: Vec<&str> = Vec::new();
+    for spec in &file.workloads {
+        if names.contains(&spec.name.as_str()) {
+            return Err(LoadError::new(
+                spec.line,
+                spec.col,
+                format!("duplicate workload name `{}`", spec.name),
+            ));
+        }
+        names.push(&spec.name);
+        validate_workload(spec)?;
+    }
+    Ok(())
+}
+
+fn validate_workload(spec: &WorkloadSpec) -> Result<(), LoadError> {
+    for (i, node) in spec.nodes.iter().enumerate() {
+        if spec.nodes[..i].iter().any(|n| n.name == node.name) {
+            return Err(LoadError::new(
+                node.line,
+                node.col,
+                format!("duplicate node type `{}`", node.name),
+            ));
+        }
+        validate_node(node)?;
+    }
+    let mut heap_bytes: u64 = 0;
+    let heap_capacity = u64::from(layout::HEAP_LIMIT - layout::HEAP_BASE) + 1;
+    for (i, chain) in spec.chains.iter().enumerate() {
+        if spec.chains[..i].iter().any(|c| c.name == chain.name) {
+            return Err(LoadError::new(
+                chain.line,
+                chain.col,
+                format!("duplicate chain `{}`", chain.name),
+            ));
+        }
+        let node = find_node(spec, &chain.node).ok_or_else(|| {
+            LoadError::new(
+                chain.line,
+                chain.col,
+                format!(
+                    "chain `{}` references unknown node type `{}`",
+                    chain.name, chain.node
+                ),
+            )
+        })?;
+        if !node.fields.iter().any(|f| f.is_ptr) {
+            return Err(LoadError::new(
+                chain.line,
+                chain.col,
+                format!(
+                    "chain `{}` needs a node type with at least one `ptr` field, \
+                     but `{}` declares none",
+                    chain.name, chain.node
+                ),
+            ));
+        }
+        if chain.count == 0 {
+            return Err(LoadError::new(
+                chain.line,
+                chain.col,
+                format!("chain `{}`: field `count` must be at least 1", chain.name),
+            ));
+        }
+        let pad = match chain.layout {
+            Layout::Padded(p) => {
+                if p == 0 || p > 65536 {
+                    return Err(LoadError::new(
+                        chain.line,
+                        chain.col,
+                        format!(
+                            "chain `{}`: padded layout size {p} is out of range (1..=65536)",
+                            chain.name
+                        ),
+                    ));
+                }
+                p
+            }
+            _ => 0,
+        };
+        let per_node = align_up(node.size, ALLOC_ALIGN) + align_up(pad, ALLOC_ALIGN);
+        heap_bytes += per_node * u64::from(chain.count);
+        if heap_bytes > heap_capacity {
+            return Err(LoadError::new(
+                chain.line,
+                chain.col,
+                format!(
+                    "chain `{}`: allocations exceed the {heap_capacity}-byte simulated heap \
+                     ({heap_bytes} bytes requested so far)",
+                    chain.name
+                ),
+            ));
+        }
+    }
+    if spec.traversals.is_empty() {
+        return Err(LoadError::new(
+            spec.line,
+            spec.col,
+            format!(
+                "workload `{}` declares no `traverse` block, so its trace would be empty",
+                spec.name
+            ),
+        ));
+    }
+    for t in &spec.traversals {
+        validate_traverse(spec, t)?;
+    }
+    Ok(())
+}
+
+fn validate_node(node: &NodeSpec) -> Result<(), LoadError> {
+    if node.size < 4 || node.size > 65536 {
+        return Err(LoadError::new(
+            node.line,
+            node.col,
+            format!(
+                "node `{}`: field `size` is {}, expected 4..=65536",
+                node.name, node.size
+            ),
+        ));
+    }
+    for (i, f) in node.fields.iter().enumerate() {
+        if node.fields[..i].iter().any(|g| g.name == f.name) {
+            return Err(LoadError::new(
+                f.line,
+                f.col,
+                format!("duplicate field `{}` in node `{}`", f.name, node.name),
+            ));
+        }
+        if f.offset % 4 != 0 {
+            return Err(LoadError::new(
+                f.line,
+                f.col,
+                format!(
+                    "field `{}` of node `{}`: offset {} is not 4-byte aligned",
+                    f.name, node.name, f.offset
+                ),
+            ));
+        }
+        if f.offset + 4 > node.size {
+            return Err(LoadError::new(
+                f.line,
+                f.col,
+                format!(
+                    "field `{}` of node `{}`: offset {} does not fit in the {}-byte node",
+                    f.name, node.name, f.offset, node.size
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn validate_traverse(spec: &WorkloadSpec, t: &TraverseSpec) -> Result<(), LoadError> {
+    let chain = spec
+        .chains
+        .iter()
+        .find(|c| c.name == t.chain)
+        .ok_or_else(|| {
+            LoadError::new(
+                t.line,
+                t.col,
+                format!("traverse references unknown chain `{}`", t.chain),
+            )
+        })?;
+    let node = find_node(spec, &chain.node).expect("chain already validated");
+    if t.repeat == 0 {
+        return Err(LoadError::new(
+            t.line,
+            t.col,
+            "field `repeat` must be at least 1".to_string(),
+        ));
+    }
+    if t.visit.is_empty() {
+        return Err(LoadError::new(
+            t.line,
+            t.col,
+            format!(
+                "traverse of `{}` has an empty `visit` block; visit at least one field",
+                t.chain
+            ),
+        ));
+    }
+    if t.visit.len() > MAX_VISIT_STMTS {
+        return Err(LoadError::new(
+            t.line,
+            t.col,
+            format!(
+                "`visit` block has {} statements, max {MAX_VISIT_STMTS}",
+                t.visit.len()
+            ),
+        ));
+    }
+    for v in &t.visit {
+        match v {
+            VisitStmt::Load { field, line, col } => {
+                if !node.fields.iter().any(|f| &f.name == field) {
+                    return Err(LoadError::new(
+                        *line,
+                        *col,
+                        format!(
+                            "visit loads unknown field `{field}` of node `{}`",
+                            node.name
+                        ),
+                    ));
+                }
+            }
+            VisitStmt::Compute { count } => {
+                if *count == 0 {
+                    return Err(LoadError::new(
+                        t.line,
+                        t.col,
+                        "field `compute` must be at least 1".to_string(),
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn find_node<'a>(spec: &'a WorkloadSpec, name: &str) -> Option<&'a NodeSpec> {
+    spec.nodes.iter().find(|n| n.name == name)
+}
+
+/// A workload compiled from a validated DSL spec.
+///
+/// The name is leaked to `&'static str` once at construction so DSL
+/// workloads satisfy the same [`Workload`] contract as the built-ins;
+/// registration is process-global and bounded by the number of loaded
+/// files, so the leak is a constant.
+pub struct DslWorkload {
+    name: &'static str,
+    spec: WorkloadSpec,
+}
+
+impl DslWorkload {
+    /// Wraps a spec that already passed [`validate`].
+    pub fn new(spec: WorkloadSpec) -> Self {
+        let name: &'static str = Box::leak(spec.name.clone().into_boxed_str());
+        DslWorkload { name, spec }
+    }
+
+    /// The validated spec (for printing / provenance).
+    pub fn spec(&self) -> &WorkloadSpec {
+        &self.spec
+    }
+}
+
+impl std::fmt::Debug for DslWorkload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DslWorkload")
+            .field("name", &self.name)
+            .finish()
+    }
+}
+
+impl Workload for DslWorkload {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn pointer_intensive(&self) -> bool {
+        self.spec
+            .traversals
+            .iter()
+            .any(|t| t.order == Order::Forward)
+    }
+
+    fn describe(&self) -> &'static str {
+        "workload compiled from a .wl spec"
+    }
+
+    fn generate(&self, input: InputSet) -> Trace {
+        compile(&self.spec, input)
+    }
+}
+
+struct BuiltChain<'a> {
+    name: &'a str,
+    node: &'a NodeSpec,
+    /// Node addresses in allocation order.
+    alloc: Vec<Addr>,
+    /// Permutation of `alloc` indices giving the link order.
+    link_seq: Vec<usize>,
+}
+
+/// Compiles a validated spec into a trace for the given input set.
+///
+/// Deterministic: the same spec and input always produce the same trace.
+/// `Train` runs half the declared repeats (its RNG salt also differs, so
+/// shuffled layouts differ between profiling and measurement, matching
+/// the paper's train-vs-ref input discipline); `Test` runs one.
+fn compile(spec: &WorkloadSpec, input: InputSet) -> Trace {
+    let mut ctx = Ctx::new(spec.seed, input);
+    let mut chains: Vec<BuiltChain> = Vec::with_capacity(spec.chains.len());
+    for chain in &spec.chains {
+        chains.push(build_chain(spec, chain, &mut ctx));
+    }
+    for (ti, t) in spec.traversals.iter().enumerate() {
+        let built = chains
+            .iter()
+            .find(|c| c.name == t.chain)
+            .expect("validated chain reference");
+        let reps = match input {
+            InputSet::Test => 1,
+            InputSet::Train => (t.repeat / 2).max(1),
+            InputSet::Ref => t.repeat,
+        };
+        let pc = PC_BASE + ti as u32 * PC_TRAVERSAL_STRIDE;
+        for _ in 0..reps {
+            match t.order {
+                Order::Forward => chase(built, t, pc, &mut ctx),
+                Order::Scan => scan(built, t, pc, &mut ctx),
+            }
+        }
+    }
+    ctx.tb.finish()
+}
+
+fn build_chain<'a>(spec: &'a WorkloadSpec, chain: &'a ChainSpec, ctx: &mut Ctx) -> BuiltChain<'a> {
+    let node = find_node(spec, &chain.node).expect("validated node reference");
+    let mut alloc = Vec::with_capacity(chain.count as usize);
+    for _ in 0..chain.count {
+        // Padded layouts keep a fragmentation gap before every node.
+        let a = match chain.layout {
+            Layout::Padded(pad) => ctx.heap.alloc_padded(node.size, pad),
+            _ => ctx.heap.alloc(node.size),
+        }
+        .expect("heap capacity validated");
+        alloc.push(a);
+    }
+    let mut link_seq: Vec<usize> = (0..alloc.len()).collect();
+    if chain.layout == Layout::Shuffled {
+        link_seq.shuffle(&mut ctx.rng);
+    }
+    let link_off = node
+        .fields
+        .iter()
+        .find(|f| f.is_ptr)
+        .expect("validated ptr field")
+        .offset;
+    ctx.tb.setup(|m| {
+        for (pos, &ai) in link_seq.iter().enumerate() {
+            let next = link_seq.get(pos + 1).map_or(0, |&ni| alloc[ni]);
+            for (fi, f) in node.fields.iter().enumerate() {
+                let v = if f.is_ptr {
+                    if f.offset == link_off {
+                        next
+                    } else {
+                        0
+                    }
+                } else {
+                    // Deterministic data pattern: varies per node and per
+                    // field so block contents are not degenerate.
+                    (ai as u32).wrapping_mul(0x9E37_79B9) ^ fi as u32
+                };
+                m.write_u32(alloc[ai] + f.offset, v);
+            }
+        }
+    });
+    BuiltChain {
+        name: &chain.name,
+        node,
+        alloc,
+        link_seq,
+    }
+}
+
+/// Pointer chase in link order: each advance load depends on the
+/// previous one, and every access in the chase is an LDS access.
+fn chase(built: &BuiltChain, t: &TraverseSpec, pc: u32, ctx: &mut Ctx) {
+    let link_off = built
+        .node
+        .fields
+        .iter()
+        .find(|f| f.is_ptr)
+        .expect("validated ptr field")
+        .offset;
+    let field_off = |name: &str| {
+        built
+            .node
+            .fields
+            .iter()
+            .find(|f| f.name == name)
+            .expect("validated field reference")
+            .offset
+    };
+    ctx.tb.lds_begin();
+    let mut cur = built.alloc[built.link_seq[0]];
+    let mut dep = None;
+    while cur != 0 {
+        for (s, v) in t.visit.iter().enumerate() {
+            match v {
+                VisitStmt::Load { field, .. } => {
+                    let _ = ctx.tb.load(pc + s as u32 * 4, cur + field_off(field), dep);
+                }
+                VisitStmt::Compute { count } => ctx.tb.compute(*count),
+            }
+        }
+        let (next, id) = ctx.tb.load(pc + PC_ADVANCE, cur + link_off, dep);
+        cur = next;
+        dep = Some(id);
+    }
+    ctx.tb.lds_end();
+}
+
+/// Allocation-order scan: independent (non-LDS) loads, no pointer deps.
+fn scan(built: &BuiltChain, t: &TraverseSpec, pc: u32, ctx: &mut Ctx) {
+    let field_off = |name: &str| {
+        built
+            .node
+            .fields
+            .iter()
+            .find(|f| f.name == name)
+            .expect("validated field reference")
+            .offset
+    };
+    for &a in &built.alloc {
+        for (s, v) in t.visit.iter().enumerate() {
+            match v {
+                VisitStmt::Load { field, .. } => {
+                    let _ = ctx.tb.load(pc + s as u32 * 4, a + field_off(field), None);
+                }
+                VisitStmt::Compute { count } => ctx.tb.compute(*count),
+            }
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Tokenizer for the workload DSL.
+//!
+//! The DSL has five punctuation tokens (`{` `}` `;` `:` `@`), identifiers
+//! and integers (decimal or `0x` hexadecimal). Keywords are contextual —
+//! the parser decides which identifiers mean what — so node and field
+//! names may reuse words like `size`. `#` starts a comment running to end
+//! of line.
+
+use super::LoadError;
+
+/// A token kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or contextual keyword.
+    Ident(String),
+    /// Integer literal (decimal or `0x` hex).
+    Int(u64),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `@`
+    At,
+}
+
+impl std::fmt::Display for Tok {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "`{s}`"),
+            Tok::Int(v) => write!(f, "`{v}`"),
+            Tok::LBrace => f.write_str("`{`"),
+            Tok::RBrace => f.write_str("`}`"),
+            Tok::Semi => f.write_str("`;`"),
+            Tok::Colon => f.write_str("`:`"),
+            Tok::At => f.write_str("`@`"),
+        }
+    }
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token kind and payload.
+    pub tok: Tok,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column of the token's first character.
+    pub col: u32,
+}
+
+/// Tokenizes `src`.
+///
+/// # Errors
+///
+/// [`LoadError`] on the first unexpected character or malformed number.
+pub fn lex(src: &str) -> Result<Vec<Token>, LoadError> {
+    let mut out = Vec::new();
+    let mut chars = src.chars().peekable();
+    let (mut line, mut col) = (1u32, 1u32);
+    while let Some(&c) = chars.peek() {
+        let (tline, tcol) = (line, col);
+        match c {
+            '\n' => {
+                chars.next();
+                line += 1;
+                col = 1;
+            }
+            _ if c.is_whitespace() => {
+                chars.next();
+                col += 1;
+            }
+            '#' => {
+                while chars.peek().is_some_and(|&c| c != '\n') {
+                    chars.next();
+                }
+            }
+            '{' | '}' | ';' | ':' | '@' => {
+                chars.next();
+                col += 1;
+                out.push(Token {
+                    tok: match c {
+                        '{' => Tok::LBrace,
+                        '}' => Tok::RBrace,
+                        ';' => Tok::Semi,
+                        ':' => Tok::Colon,
+                        _ => Tok::At,
+                    },
+                    line: tline,
+                    col: tcol,
+                });
+            }
+            _ if c.is_ascii_digit() || c.is_ascii_alphabetic() || c == '_' => {
+                let mut text = String::new();
+                while let Some(&w) = chars.peek() {
+                    if !(w.is_ascii_alphanumeric() || w == '_') {
+                        break;
+                    }
+                    text.push(w);
+                    chars.next();
+                    col += 1;
+                }
+                let tok = if c.is_ascii_digit() {
+                    let digits = text.replace('_', "");
+                    let parsed = if let Some(hex) = digits
+                        .strip_prefix("0x")
+                        .or_else(|| digits.strip_prefix("0X"))
+                    {
+                        u64::from_str_radix(hex, 16)
+                    } else {
+                        digits.parse::<u64>()
+                    };
+                    Tok::Int(parsed.map_err(|_| {
+                        LoadError::new(tline, tcol, format!("malformed integer literal `{text}`"))
+                    })?)
+                } else {
+                    Tok::Ident(text)
+                };
+                out.push(Token {
+                    tok,
+                    line: tline,
+                    col: tcol,
+                });
+            }
+            other => {
+                return Err(LoadError::new(
+                    tline,
+                    tcol,
+                    format!("unexpected character `{other}`"),
+                ))
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_punctuation_idents_and_ints() {
+        let toks = lex("node N { size 24; ptr next @ 0x10; }").unwrap();
+        let kinds: Vec<&Tok> = toks.iter().map(|t| &t.tok).collect();
+        assert_eq!(kinds[0], &Tok::Ident("node".to_string()));
+        assert_eq!(kinds[4], &Tok::Int(24));
+        assert!(kinds.contains(&&Tok::At));
+        assert_eq!(kinds.last().unwrap(), &&Tok::RBrace);
+        assert!(toks.iter().any(|t| t.tok == Tok::Int(0x10)));
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let toks = lex("a\n  b").unwrap();
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn comments_run_to_end_of_line() {
+        let toks = lex("a # b c d\ne").unwrap();
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[1].tok, Tok::Ident("e".to_string()));
+    }
+
+    #[test]
+    fn bad_character_reports_position() {
+        let err = lex("seed 1;\n  $oops").unwrap_err();
+        assert_eq!((err.line, err.col), (2, 3));
+        assert!(err.msg.contains('$'), "{}", err.msg);
+    }
+
+    #[test]
+    fn malformed_number_is_an_error() {
+        let err = lex("size 12abc;").unwrap_err();
+        assert!(err.msg.contains("12abc"), "{}", err.msg);
+        let err = lex("size 0x;").unwrap_err();
+        assert!(err.msg.contains("0x"), "{}", err.msg);
+    }
+}

@@ -1,0 +1,75 @@
+//! Loader pipeline for bring-your-own workloads.
+//!
+//! Two file formats feed the simulator from outside the built-in suite:
+//!
+//! * `.wl` — a small workload-description DSL declaring allocation graphs
+//!   (node layouts, pointer fields, fragmentation policy) and traversal
+//!   orders, compiled into the same [`crate::Workload`] →
+//!   [`sim_core::Trace`] contract the built-ins use
+//!   ([`lexer`] → [`parser`] → [`compile`]);
+//! * `.trace` — a line-oriented text form of a raw op stream for
+//!   hand-written tests ([`trace_text`]); the binary streaming sibling
+//!   (`.xtrc`) lives in [`sim_core::stream`].
+//!
+//! Every stage reports failures as a [`LoadError`] carrying the line and
+//! column of the offending construct; the CLI maps those to exit 2.
+
+pub mod compile;
+pub mod lexer;
+pub mod parser;
+pub mod trace_text;
+
+pub use compile::DslWorkload;
+pub use parser::{print_file, print_spec, SpecFile, WorkloadSpec};
+pub use trace_text::parse_trace;
+
+/// A parse or validation failure, located in the source file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadError {
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column.
+    pub col: u32,
+    /// What went wrong, naming the field or construct.
+    pub msg: String,
+}
+
+impl LoadError {
+    pub(crate) fn new(line: u32, col: u32, msg: impl Into<String>) -> Self {
+        LoadError {
+            line,
+            col,
+            msg: msg.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}, column {}: {}", self.line, self.col, self.msg)
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+/// Lexes, parses and validates a `.wl` source string.
+///
+/// # Errors
+///
+/// The first [`LoadError`] encountered, with line/column position.
+pub fn parse_file(src: &str) -> Result<SpecFile, LoadError> {
+    let toks = lexer::lex(src)?;
+    let file = parser::parse(&toks)?;
+    compile::validate(&file)?;
+    Ok(file)
+}
+
+/// Parses a `.wl` source string into ready-to-run workloads.
+///
+/// # Errors
+///
+/// The first [`LoadError`] encountered, with line/column position.
+pub fn load_specs(src: &str) -> Result<Vec<DslWorkload>, LoadError> {
+    let file = parse_file(src)?;
+    Ok(file.workloads.into_iter().map(DslWorkload::new).collect())
+}

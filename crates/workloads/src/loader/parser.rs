@@ -1,0 +1,643 @@
+//! Recursive-descent parser and canonical printer for the workload DSL.
+//!
+//! Grammar (semicolon-terminated statements, `#` comments):
+//!
+//! ```text
+//! file      := workload*
+//! workload  := 'workload' NAME '{' stmt* '}'
+//! stmt      := 'seed' INT ';' | node | chain | traverse
+//! node      := 'node' NAME '{' ('size' INT ';'
+//!                              | ('ptr'|'field') NAME '@' INT ';')* '}'
+//! chain     := 'chain' NAME ':' NODE '{' ('count' INT ';'
+//!                              | 'layout' layout ';')* '}'
+//! layout    := 'sequential' | 'shuffled' | 'padded' INT
+//! traverse  := 'traverse' CHAIN '{' ('order' ('forward'|'scan') ';'
+//!                              | 'repeat' INT ';'
+//!                              | 'visit' '{' visit* '}')* '}'
+//! visit     := 'load' FIELD ';' | 'compute' INT ';'
+//! ```
+//!
+//! [`print_file`] emits the canonical form: `parse(print(parse(s)))`
+//! prints identically to `parse(s)`, which is the round-trip property the
+//! proptest suite pins.
+
+use super::lexer::{Tok, Token};
+use super::LoadError;
+
+/// A parsed `.wl` file: one or more workload declarations.
+#[derive(Debug, Clone)]
+pub struct SpecFile {
+    /// Declarations in source order.
+    pub workloads: Vec<WorkloadSpec>,
+}
+
+/// One `workload NAME { ... }` declaration.
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    /// Declared name (registry key).
+    pub name: String,
+    /// Position of the name token.
+    pub line: u32,
+    /// Column of the name token.
+    pub col: u32,
+    /// RNG seed (default 0) feeding shuffled layouts and input-set salts.
+    pub seed: u64,
+    /// Node type declarations, in source order.
+    pub nodes: Vec<NodeSpec>,
+    /// Allocation chains, in source order.
+    pub chains: Vec<ChainSpec>,
+    /// Traversals, in source order (this is trace order).
+    pub traversals: Vec<TraverseSpec>,
+}
+
+/// A node type: byte size plus named fields at fixed offsets.
+#[derive(Debug, Clone)]
+pub struct NodeSpec {
+    /// Type name.
+    pub name: String,
+    /// Position of the name token.
+    pub line: u32,
+    /// Column of the name token.
+    pub col: u32,
+    /// Node size in bytes.
+    pub size: u32,
+    /// Fields in declaration order; the first `ptr` field is the link.
+    pub fields: Vec<FieldSpec>,
+}
+
+/// One field of a node type.
+#[derive(Debug, Clone)]
+pub struct FieldSpec {
+    /// Field name.
+    pub name: String,
+    /// Position of the name token.
+    pub line: u32,
+    /// Column of the name token.
+    pub col: u32,
+    /// True for `ptr` fields (hold node addresses), false for `field`.
+    pub is_ptr: bool,
+    /// Byte offset within the node (4-byte aligned).
+    pub offset: u32,
+}
+
+/// Memory layout / fragmentation policy of a chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Layout {
+    /// Nodes allocated and linked in order — the prefetch-friendly case.
+    Sequential,
+    /// Allocated in order, linked in a seeded random permutation — the
+    /// adversarial pointer-chase case.
+    Shuffled,
+    /// Allocated in order with `N` pad bytes kept between nodes —
+    /// fragmented heaps.
+    Padded(u32),
+}
+
+/// A `chain NAME: NODE { ... }` allocation declaration.
+#[derive(Debug, Clone)]
+pub struct ChainSpec {
+    /// Chain name (referenced by traversals).
+    pub name: String,
+    /// Position of the name token.
+    pub line: u32,
+    /// Column of the name token.
+    pub col: u32,
+    /// Node type name.
+    pub node: String,
+    /// Number of nodes.
+    pub count: u32,
+    /// Allocation layout (default [`Layout::Sequential`]).
+    pub layout: Layout,
+}
+
+/// Traversal order over a chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Order {
+    /// Pointer chase through the link field (dependent LDS loads).
+    Forward,
+    /// Allocation-order scan (independent loads, no pointer deps).
+    Scan,
+}
+
+/// A `traverse CHAIN { ... }` declaration.
+#[derive(Debug, Clone)]
+pub struct TraverseSpec {
+    /// Chain being traversed.
+    pub chain: String,
+    /// Position of the chain-name token.
+    pub line: u32,
+    /// Column of the chain-name token.
+    pub col: u32,
+    /// Traversal order (default [`Order::Forward`]).
+    pub order: Order,
+    /// Repetitions on the `Ref` input (scaled down for `Train`/`Test`).
+    pub repeat: u32,
+    /// Per-node visit statements.
+    pub visit: Vec<VisitStmt>,
+}
+
+/// One statement of a `visit { ... }` block, executed per node.
+#[derive(Debug, Clone)]
+pub enum VisitStmt {
+    /// Load a named field of the current node.
+    Load {
+        /// Field name.
+        field: String,
+        /// Position of the field-name token.
+        line: u32,
+        /// Column of the field-name token.
+        col: u32,
+    },
+    /// `count` ALU instructions of work.
+    Compute {
+        /// Instruction count.
+        count: u32,
+    },
+}
+
+struct P<'a> {
+    toks: &'a [Token],
+    i: usize,
+}
+
+impl<'a> P<'a> {
+    fn here(&self) -> (u32, u32) {
+        self.toks
+            .get(self.i)
+            .or_else(|| self.toks.last())
+            .map_or((1, 1), |t| (t.line, t.col))
+    }
+
+    fn err(&self, msg: impl Into<String>) -> LoadError {
+        let (line, col) = self.here();
+        LoadError::new(line, col, msg)
+    }
+
+    fn peek(&self) -> Option<&'a Tok> {
+        self.toks.get(self.i).map(|t| &t.tok)
+    }
+
+    fn next(&mut self) -> Option<&'a Token> {
+        let t = self.toks.get(self.i);
+        self.i += 1;
+        t
+    }
+
+    fn expect(&mut self, want: &Tok, ctx: &str) -> Result<(), LoadError> {
+        match self.next() {
+            Some(t) if t.tok == *want => Ok(()),
+            Some(t) => Err(LoadError::new(
+                t.line,
+                t.col,
+                format!("expected {want} {ctx}, found {}", t.tok),
+            )),
+            None => Err(self.err(format!("expected {want} {ctx}, found end of file"))),
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<(String, u32, u32), LoadError> {
+        match self.next() {
+            Some(Token {
+                tok: Tok::Ident(s),
+                line,
+                col,
+            }) => Ok((s.clone(), *line, *col)),
+            Some(t) => Err(LoadError::new(
+                t.line,
+                t.col,
+                format!("expected {what}, found {}", t.tok),
+            )),
+            None => Err(self.err(format!("expected {what}, found end of file"))),
+        }
+    }
+
+    fn int(&mut self, what: &str) -> Result<(u64, u32, u32), LoadError> {
+        match self.next() {
+            Some(Token {
+                tok: Tok::Int(v),
+                line,
+                col,
+            }) => Ok((*v, *line, *col)),
+            Some(t) => Err(LoadError::new(
+                t.line,
+                t.col,
+                format!("expected {what}, found {}", t.tok),
+            )),
+            None => Err(self.err(format!("expected {what}, found end of file"))),
+        }
+    }
+
+    fn int_u32(&mut self, what: &str) -> Result<(u32, u32, u32), LoadError> {
+        let (v, line, col) = self.int(what)?;
+        let v = u32::try_from(v).map_err(|_| {
+            LoadError::new(line, col, format!("{what} `{v}` does not fit in 32 bits"))
+        })?;
+        Ok((v, line, col))
+    }
+}
+
+/// Parses a token stream into a [`SpecFile`].
+///
+/// # Errors
+///
+/// Syntax errors (structural validation is a separate pass — see
+/// [`super::compile::validate`]).
+pub fn parse(toks: &[Token]) -> Result<SpecFile, LoadError> {
+    let mut p = P { toks, i: 0 };
+    let mut workloads = Vec::new();
+    while p.peek().is_some() {
+        workloads.push(parse_workload(&mut p)?);
+    }
+    Ok(SpecFile { workloads })
+}
+
+fn parse_workload(p: &mut P) -> Result<WorkloadSpec, LoadError> {
+    let (kw, line, col) = p.ident("`workload`")?;
+    if kw != "workload" {
+        return Err(LoadError::new(
+            line,
+            col,
+            format!("expected `workload`, found `{kw}`"),
+        ));
+    }
+    let (name, nline, ncol) = p.ident("a workload name")?;
+    p.expect(&Tok::LBrace, "after the workload name")?;
+    let mut spec = WorkloadSpec {
+        name,
+        line: nline,
+        col: ncol,
+        seed: 0,
+        nodes: Vec::new(),
+        chains: Vec::new(),
+        traversals: Vec::new(),
+    };
+    let mut seed_seen = false;
+    loop {
+        match p.peek() {
+            Some(Tok::RBrace) => {
+                p.next();
+                break;
+            }
+            Some(Tok::Ident(_)) => {
+                let (stmt, sline, scol) = p.ident("a statement")?;
+                match stmt.as_str() {
+                    "seed" => {
+                        if seed_seen {
+                            return Err(LoadError::new(sline, scol, "duplicate `seed` statement"));
+                        }
+                        seed_seen = true;
+                        spec.seed = p.int("a seed value")?.0;
+                        p.expect(&Tok::Semi, "after the seed value")?;
+                    }
+                    "node" => spec.nodes.push(parse_node(p)?),
+                    "chain" => spec.chains.push(parse_chain(p)?),
+                    "traverse" => spec.traversals.push(parse_traverse(p)?),
+                    other => {
+                        return Err(LoadError::new(
+                            sline,
+                            scol,
+                            format!(
+                                "unknown workload statement `{other}` \
+                                 (expected `seed`, `node`, `chain` or `traverse`)"
+                            ),
+                        ))
+                    }
+                }
+            }
+            _ => return Err(p.err("expected a statement or `}` in the workload body")),
+        }
+    }
+    Ok(spec)
+}
+
+fn parse_node(p: &mut P) -> Result<NodeSpec, LoadError> {
+    let (name, line, col) = p.ident("a node type name")?;
+    p.expect(&Tok::LBrace, "after the node name")?;
+    let mut size: Option<u32> = None;
+    let mut fields = Vec::new();
+    loop {
+        match p.peek() {
+            Some(Tok::RBrace) => {
+                p.next();
+                break;
+            }
+            Some(Tok::Ident(_)) => {
+                let (stmt, sline, scol) = p.ident("a node statement")?;
+                match stmt.as_str() {
+                    "size" => {
+                        if size.is_some() {
+                            return Err(LoadError::new(sline, scol, "duplicate `size` statement"));
+                        }
+                        size = Some(p.int_u32("a node size")?.0);
+                        p.expect(&Tok::Semi, "after the node size")?;
+                    }
+                    kind @ ("ptr" | "field") => {
+                        let (fname, fline, fcol) = p.ident("a field name")?;
+                        p.expect(&Tok::At, "after the field name")?;
+                        let (offset, _, _) = p.int_u32("a field offset")?;
+                        p.expect(&Tok::Semi, "after the field offset")?;
+                        fields.push(FieldSpec {
+                            name: fname,
+                            line: fline,
+                            col: fcol,
+                            is_ptr: kind == "ptr",
+                            offset,
+                        });
+                    }
+                    other => {
+                        return Err(LoadError::new(
+                            sline,
+                            scol,
+                            format!(
+                                "unknown node statement `{other}` \
+                                 (expected `size`, `ptr` or `field`)"
+                            ),
+                        ))
+                    }
+                }
+            }
+            _ => return Err(p.err("expected a statement or `}` in the node body")),
+        }
+    }
+    let size = size.ok_or_else(|| {
+        LoadError::new(
+            line,
+            col,
+            format!("node `{name}` is missing a `size` statement"),
+        )
+    })?;
+    Ok(NodeSpec {
+        name,
+        line,
+        col,
+        size,
+        fields,
+    })
+}
+
+fn parse_chain(p: &mut P) -> Result<ChainSpec, LoadError> {
+    let (name, line, col) = p.ident("a chain name")?;
+    p.expect(&Tok::Colon, "after the chain name")?;
+    let (node, _, _) = p.ident("a node type name")?;
+    p.expect(&Tok::LBrace, "after the node type")?;
+    let mut count: Option<u32> = None;
+    let mut layout: Option<Layout> = None;
+    loop {
+        match p.peek() {
+            Some(Tok::RBrace) => {
+                p.next();
+                break;
+            }
+            Some(Tok::Ident(_)) => {
+                let (stmt, sline, scol) = p.ident("a chain statement")?;
+                match stmt.as_str() {
+                    "count" => {
+                        if count.is_some() {
+                            return Err(LoadError::new(sline, scol, "duplicate `count` statement"));
+                        }
+                        count = Some(p.int_u32("a node count")?.0);
+                        p.expect(&Tok::Semi, "after the node count")?;
+                    }
+                    "layout" => {
+                        if layout.is_some() {
+                            return Err(LoadError::new(
+                                sline,
+                                scol,
+                                "duplicate `layout` statement",
+                            ));
+                        }
+                        let (kind, kline, kcol) = p.ident("a layout kind")?;
+                        layout = Some(match kind.as_str() {
+                            "sequential" => Layout::Sequential,
+                            "shuffled" => Layout::Shuffled,
+                            "padded" => Layout::Padded(p.int_u32("a pad size")?.0),
+                            other => {
+                                return Err(LoadError::new(
+                                    kline,
+                                    kcol,
+                                    format!(
+                                        "unknown layout `{other}` \
+                                         (expected `sequential`, `shuffled` or `padded N`)"
+                                    ),
+                                ))
+                            }
+                        });
+                        p.expect(&Tok::Semi, "after the layout")?;
+                    }
+                    other => {
+                        return Err(LoadError::new(
+                            sline,
+                            scol,
+                            format!(
+                                "unknown chain statement `{other}` \
+                                 (expected `count` or `layout`)"
+                            ),
+                        ))
+                    }
+                }
+            }
+            _ => return Err(p.err("expected a statement or `}` in the chain body")),
+        }
+    }
+    let count = count.ok_or_else(|| {
+        LoadError::new(
+            line,
+            col,
+            format!("chain `{name}` is missing a `count` statement"),
+        )
+    })?;
+    Ok(ChainSpec {
+        name,
+        line,
+        col,
+        node,
+        count,
+        layout: layout.unwrap_or(Layout::Sequential),
+    })
+}
+
+fn parse_traverse(p: &mut P) -> Result<TraverseSpec, LoadError> {
+    let (chain, line, col) = p.ident("a chain name")?;
+    p.expect(&Tok::LBrace, "after the chain name")?;
+    let mut order: Option<Order> = None;
+    let mut repeat: Option<u32> = None;
+    let mut visit: Option<Vec<VisitStmt>> = None;
+    loop {
+        match p.peek() {
+            Some(Tok::RBrace) => {
+                p.next();
+                break;
+            }
+            Some(Tok::Ident(_)) => {
+                let (stmt, sline, scol) = p.ident("a traverse statement")?;
+                match stmt.as_str() {
+                    "order" => {
+                        if order.is_some() {
+                            return Err(LoadError::new(sline, scol, "duplicate `order` statement"));
+                        }
+                        let (kind, kline, kcol) = p.ident("a traversal order")?;
+                        order = Some(match kind.as_str() {
+                            "forward" => Order::Forward,
+                            "scan" => Order::Scan,
+                            other => {
+                                return Err(LoadError::new(
+                                    kline,
+                                    kcol,
+                                    format!(
+                                        "unknown order `{other}` (expected `forward` or `scan`)"
+                                    ),
+                                ))
+                            }
+                        });
+                        p.expect(&Tok::Semi, "after the order")?;
+                    }
+                    "repeat" => {
+                        if repeat.is_some() {
+                            return Err(LoadError::new(
+                                sline,
+                                scol,
+                                "duplicate `repeat` statement",
+                            ));
+                        }
+                        repeat = Some(p.int_u32("a repeat count")?.0);
+                        p.expect(&Tok::Semi, "after the repeat count")?;
+                    }
+                    "visit" => {
+                        if visit.is_some() {
+                            return Err(LoadError::new(sline, scol, "duplicate `visit` block"));
+                        }
+                        visit = Some(parse_visit(p)?);
+                    }
+                    other => {
+                        return Err(LoadError::new(
+                            sline,
+                            scol,
+                            format!(
+                                "unknown traverse statement `{other}` \
+                                 (expected `order`, `repeat` or `visit`)"
+                            ),
+                        ))
+                    }
+                }
+            }
+            _ => return Err(p.err("expected a statement or `}` in the traverse body")),
+        }
+    }
+    Ok(TraverseSpec {
+        chain,
+        line,
+        col,
+        order: order.unwrap_or(Order::Forward),
+        repeat: repeat.unwrap_or(1),
+        visit: visit.unwrap_or_default(),
+    })
+}
+
+fn parse_visit(p: &mut P) -> Result<Vec<VisitStmt>, LoadError> {
+    p.expect(&Tok::LBrace, "after `visit`")?;
+    let mut out = Vec::new();
+    loop {
+        match p.peek() {
+            Some(Tok::RBrace) => {
+                p.next();
+                break;
+            }
+            Some(Tok::Ident(_)) => {
+                let (stmt, sline, scol) = p.ident("a visit statement")?;
+                match stmt.as_str() {
+                    "load" => {
+                        let (field, fline, fcol) = p.ident("a field name")?;
+                        p.expect(&Tok::Semi, "after the field name")?;
+                        out.push(VisitStmt::Load {
+                            field,
+                            line: fline,
+                            col: fcol,
+                        });
+                    }
+                    "compute" => {
+                        let (count, _, _) = p.int_u32("an instruction count")?;
+                        p.expect(&Tok::Semi, "after the instruction count")?;
+                        out.push(VisitStmt::Compute { count });
+                    }
+                    other => {
+                        return Err(LoadError::new(
+                            sline,
+                            scol,
+                            format!(
+                                "unknown visit statement `{other}` \
+                                 (expected `load` or `compute`)"
+                            ),
+                        ))
+                    }
+                }
+            }
+            _ => return Err(p.err("expected a statement or `}` in the visit block")),
+        }
+    }
+    Ok(out)
+}
+
+/// Prints a workload in canonical form (fixed statement order and
+/// formatting, decimal integers).
+pub fn print_spec(spec: &WorkloadSpec) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(s, "workload {} {{", spec.name);
+    let _ = writeln!(s, "    seed {};", spec.seed);
+    for n in &spec.nodes {
+        let _ = write!(s, "    node {} {{ size {};", n.name, n.size);
+        for f in &n.fields {
+            let kw = if f.is_ptr { "ptr" } else { "field" };
+            let _ = write!(s, " {kw} {} @ {};", f.name, f.offset);
+        }
+        let _ = writeln!(s, " }}");
+    }
+    for c in &spec.chains {
+        let _ = write!(s, "    chain {}: {} {{ count {};", c.name, c.node, c.count);
+        match c.layout {
+            Layout::Sequential => {
+                let _ = write!(s, " layout sequential;");
+            }
+            Layout::Shuffled => {
+                let _ = write!(s, " layout shuffled;");
+            }
+            Layout::Padded(p) => {
+                let _ = write!(s, " layout padded {p};");
+            }
+        }
+        let _ = writeln!(s, " }}");
+    }
+    for t in &spec.traversals {
+        let order = match t.order {
+            Order::Forward => "forward",
+            Order::Scan => "scan",
+        };
+        let _ = write!(
+            s,
+            "    traverse {} {{ order {order}; repeat {}; visit {{",
+            t.chain, t.repeat
+        );
+        for v in &t.visit {
+            match v {
+                VisitStmt::Load { field, .. } => {
+                    let _ = write!(s, " load {field};");
+                }
+                VisitStmt::Compute { count } => {
+                    let _ = write!(s, " compute {count};");
+                }
+            }
+        }
+        let _ = writeln!(s, " }} }}");
+    }
+    s.push_str("}\n");
+    s
+}
+
+/// Prints a whole file in canonical form.
+pub fn print_file(file: &SpecFile) -> String {
+    file.workloads
+        .iter()
+        .map(print_spec)
+        .collect::<Vec<_>>()
+        .join("\n")
+}

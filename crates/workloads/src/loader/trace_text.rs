@@ -1,0 +1,245 @@
+//! Text form of an external memory-access trace, for hand-written tests.
+//!
+//! One directive per line; `#` starts a comment. Integers are decimal or
+//! `0x` hex:
+//!
+//! ```text
+//! mem ADDR VALUE          # u32 write to the initial memory image
+//! load PC ADDR [dep=K]    # 4-byte load; K = index of an earlier load
+//! store PC ADDR VALUE [dep=K]
+//! compute N               # N ALU instructions
+//! ```
+//!
+//! `mem` directives must precede the first timed op (they build the
+//! initial image). `dep=K` counts *loads*, 0-based, in file order — the
+//! pointer-chase dependence edge. The result is a resident
+//! [`sim_core::Trace`], byte-for-byte equivalent to recording the same
+//! ops through [`sim_core::TraceBuilder`]; convert to the streaming
+//! binary framing with [`sim_core::write_external`].
+
+use sim_core::{LoadId, Trace, TraceBuilder};
+use sim_mem::SimMemory;
+
+use super::LoadError;
+
+/// Splits a line into whitespace-separated tokens with 1-based columns,
+/// dropping any `#` comment.
+fn tokens_with_cols(raw: &str) -> Vec<(&str, u32)> {
+    let body = raw.split('#').next().unwrap_or("");
+    let mut out = Vec::new();
+    let mut start: Option<usize> = None;
+    for (i, c) in body.char_indices() {
+        if c.is_whitespace() {
+            if let Some(s) = start.take() {
+                out.push((&body[s..i], s as u32 + 1));
+            }
+        } else if start.is_none() {
+            start = Some(i);
+        }
+    }
+    if let Some(s) = start {
+        out.push((&body[s..], s as u32 + 1));
+    }
+    out
+}
+
+fn parse_u32(tok: &str) -> Option<u32> {
+    if let Some(hex) = tok.strip_prefix("0x").or_else(|| tok.strip_prefix("0X")) {
+        u32::from_str_radix(hex, 16).ok()
+    } else {
+        tok.parse().ok()
+    }
+}
+
+struct LineCtx {
+    line: u32,
+}
+
+impl LineCtx {
+    fn int(&self, toks: &[(&str, u32)], i: usize, what: &str) -> Result<u32, LoadError> {
+        let (tok, col) = toks
+            .get(i)
+            .ok_or_else(|| LoadError::new(self.line, 1, format!("missing {what} operand")))?;
+        parse_u32(tok).ok_or_else(|| {
+            LoadError::new(
+                self.line,
+                *col,
+                format!("malformed {what} `{tok}` (expected a decimal or 0x integer)"),
+            )
+        })
+    }
+
+    fn dep(
+        &self,
+        toks: &[(&str, u32)],
+        i: usize,
+        loads: &[LoadId],
+    ) -> Result<Option<LoadId>, LoadError> {
+        let Some((tok, col)) = toks.get(i) else {
+            return Ok(None);
+        };
+        let k = tok
+            .strip_prefix("dep=")
+            .and_then(|v| v.parse::<usize>().ok())
+            .ok_or_else(|| {
+                LoadError::new(
+                    self.line,
+                    *col,
+                    format!("malformed operand `{tok}` (expected `dep=K`)"),
+                )
+            })?;
+        if k >= loads.len() {
+            return Err(LoadError::new(
+                self.line,
+                *col,
+                format!(
+                    "field `dep` names load {k}, but only {} loads precede this line",
+                    loads.len()
+                ),
+            ));
+        }
+        Ok(Some(loads[k]))
+    }
+
+    fn exact(&self, toks: &[(&str, u32)], want: usize, usage: &str) -> Result<(), LoadError> {
+        if toks.len() > want {
+            let (tok, col) = toks[want];
+            return Err(LoadError::new(
+                self.line,
+                col,
+                format!("unexpected operand `{tok}` (usage: {usage})"),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Parses the text trace form into a resident [`Trace`].
+///
+/// # Errors
+///
+/// [`LoadError`] with the line/column of the first malformed directive.
+pub fn parse_trace(src: &str) -> Result<Trace, LoadError> {
+    let mut tb = TraceBuilder::new(SimMemory::new());
+    let mut loads: Vec<LoadId> = Vec::new();
+    for (ln, raw) in src.lines().enumerate() {
+        let cx = LineCtx {
+            line: ln as u32 + 1,
+        };
+        let toks = tokens_with_cols(raw);
+        let Some(&(dir, dcol)) = toks.first() else {
+            continue;
+        };
+        match dir {
+            "mem" => {
+                if !tb.is_empty() {
+                    return Err(LoadError::new(
+                        cx.line,
+                        dcol,
+                        "`mem` directive after the first timed op; memory image \
+                         lines must come first",
+                    ));
+                }
+                let addr = cx.int(&toks, 1, "address")?;
+                let value = cx.int(&toks, 2, "value")?;
+                cx.exact(&toks, 3, "mem ADDR VALUE")?;
+                tb.setup(|m| m.write_u32(addr, value));
+            }
+            "load" => {
+                let pc = cx.int(&toks, 1, "pc")?;
+                let addr = cx.int(&toks, 2, "address")?;
+                let dep = cx.dep(&toks, 3, &loads)?;
+                cx.exact(&toks, 4, "load PC ADDR [dep=K]")?;
+                let (_, id) = tb.load(pc, addr, dep);
+                loads.push(id);
+            }
+            "store" => {
+                let pc = cx.int(&toks, 1, "pc")?;
+                let addr = cx.int(&toks, 2, "address")?;
+                let value = cx.int(&toks, 3, "value")?;
+                let dep = cx.dep(&toks, 4, &loads)?;
+                cx.exact(&toks, 5, "store PC ADDR VALUE [dep=K]")?;
+                tb.store(pc, addr, value, dep);
+            }
+            "compute" => {
+                let n = cx.int(&toks, 1, "instruction count")?;
+                cx.exact(&toks, 2, "compute N")?;
+                if n == 0 {
+                    return Err(LoadError::new(
+                        cx.line,
+                        dcol,
+                        "field `compute` must be at least 1",
+                    ));
+                }
+                tb.compute(n);
+            }
+            other => {
+                return Err(LoadError::new(
+                    cx.line,
+                    dcol,
+                    format!(
+                        "unknown directive `{other}` \
+                         (expected `mem`, `load`, `store` or `compute`)"
+                    ),
+                ))
+            }
+        }
+    }
+    Ok(tb.finish())
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use sim_core::{OpKind, NO_DEP};
+
+    #[test]
+    fn parses_a_two_node_chase() {
+        let trace = parse_trace(
+            "# two-node list\n\
+             mem 0x40000000 0x40001000\n\
+             mem 0x40001000 0\n\
+             load 0x100 0x40000000\n\
+             load 0x100 0x40001000 dep=0\n\
+             compute 5\n",
+        )
+        .unwrap();
+        assert_eq!(trace.ops.len(), 3);
+        assert_eq!(trace.instructions, 7);
+        assert_eq!(trace.ops[1].dep, 0);
+        assert!(trace.ops[1].lds);
+        assert_eq!(trace.ops[0].dep, NO_DEP);
+        assert_eq!(trace.ops[2].kind, OpKind::Compute);
+        assert_eq!(trace.initial_memory.read_u32(0x4000_0000), 0x4000_1000);
+    }
+
+    #[test]
+    fn dep_out_of_range_reports_position() {
+        let err = parse_trace("load 1 0x40000000\nload 1 0x40000000 dep=3\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert_eq!(err.col, 19);
+        assert!(err.msg.contains("dep"), "{}", err.msg);
+    }
+
+    #[test]
+    fn mem_after_ops_is_rejected() {
+        let err = parse_trace("load 1 8\nmem 8 1\n").unwrap_err();
+        assert_eq!((err.line, err.col), (2, 1));
+        assert!(err.msg.contains("mem"), "{}", err.msg);
+    }
+
+    #[test]
+    fn unknown_directive_is_rejected() {
+        let err = parse_trace("  fetch 1 2\n").unwrap_err();
+        assert_eq!((err.line, err.col), (1, 3));
+        assert!(err.msg.contains("fetch"), "{}", err.msg);
+    }
+
+    #[test]
+    fn malformed_int_names_the_operand() {
+        let err = parse_trace("load pc_here 8\n").unwrap_err();
+        assert_eq!((err.line, err.col), (1, 6));
+        assert!(err.msg.contains("pc"), "{}", err.msg);
+    }
+}

@@ -653,7 +653,7 @@ mod tests {
 
     #[test]
     fn all_generate_nonempty_traces() {
-        for w in crate::pointer_suite() {
+        for w in crate::registry::suite(crate::registry::SUITE_POINTER) {
             if !matches!(
                 w.name(),
                 "perlbench" | "gcc" | "mcf" | "astar" | "xalancbmk" | "omnetpp" | "parser"

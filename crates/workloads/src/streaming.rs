@@ -308,7 +308,7 @@ mod tests {
 
     #[test]
     fn all_streaming_workloads_generate() {
-        for w in crate::streaming_suite() {
+        for w in crate::registry::suite(crate::registry::SUITE_STREAMING) {
             let t = w.generate(InputSet::Train);
             assert!(t.memory_ops() > 10_000, "{}", w.name());
             assert!(!w.pointer_intensive());

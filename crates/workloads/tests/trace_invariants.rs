@@ -3,11 +3,19 @@
 //! addresses, stable PCs, and non-trivial instruction mixes.
 
 use sim_core::trace::{OpKind, NO_DEP};
-use workloads::{pointer_suite, streaming_suite, InputSet};
+use workloads::registry::{self, WorkloadHandle, SUITE_POINTER, SUITE_STREAMING};
+use workloads::InputSet;
+
+fn pointer_suite() -> Vec<WorkloadHandle> {
+    registry::suite(SUITE_POINTER)
+}
 
 #[test]
 fn all_traces_satisfy_structural_invariants() {
-    for w in pointer_suite().iter().chain(streaming_suite().iter()) {
+    for w in pointer_suite()
+        .iter()
+        .chain(registry::suite(SUITE_STREAMING).iter())
+    {
         let t = w.generate(InputSet::Train);
         assert!(!t.ops.is_empty(), "{}: empty trace", w.name());
         assert!(

@@ -8,11 +8,11 @@
 
 use ecdp::profile::profile_workload;
 use ecdp::system::{CompilerArtifacts, SystemBuilder, SystemKind};
-use workloads::{by_name, InputSet};
+use workloads::{registry, InputSet};
 
 fn main() {
     let name = std::env::args().nth(1).unwrap_or_else(|| "mst".to_string());
-    let workload = by_name(&name).unwrap_or_else(|| {
+    let workload = registry::lookup(&name).unwrap_or_else(|| {
         eprintln!("unknown workload {name}; try mst, health, xalancbmk, ...");
         std::process::exit(1);
     });

@@ -10,7 +10,7 @@ use ecdp::profile::profile_workload;
 use ecdp::system::{CompilerArtifacts, SystemBuilder, SystemKind};
 use sim_core::{IntervalFeedback, ThrottleDecision, ThrottlePolicy};
 use throttle::CoordinatedThrottle;
-use workloads::{by_name, InputSet};
+use workloads::{registry, InputSet};
 
 /// A logging decorator for any throttling policy.
 struct Logged<P> {
@@ -49,7 +49,7 @@ fn main() {
     let name = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "pfast".to_string());
-    let workload = by_name(&name).unwrap_or_else(|| {
+    let workload = registry::lookup(&name).unwrap_or_else(|| {
         eprintln!("unknown workload {name}");
         std::process::exit(1);
     });

@@ -1,23 +1,33 @@
-//! Trace tooling: record a workload trace, save it in the compact binary
-//! format, reload it, and verify the replay is bit-identical — the workflow
-//! behind the harness's `BENCH_TRACE_CACHE` disk cache.
+//! Trace tooling: record a workload trace, save it to disk, reload it,
+//! and verify the replay is bit-identical.
 //!
 //! ```text
-//! cargo run --release -p ecdp --example trace_tools [workload] [file.trc]
+//! cargo run --release -p ecdp --example trace_tools [workload] [file.trc|file.xtrc]
 //! ```
+//!
+//! The output extension picks the format:
+//!
+//! * `.trc` — the harness's compact resident format (the
+//!   `BENCH_TRACE_CACHE` disk-cache workflow): save, reload, replay both
+//!   copies and compare.
+//! * `.xtrc` — the versioned *external* streamed-trace format accepted by
+//!   `run_all --workload-file`: export, then replay it through
+//!   `Machine::run_streamed` in bounded windows and compare against the
+//!   resident run. This is how a `.xtrc` fixture for the bring-your-own-
+//!   workload frontend is fabricated from a built-in kernel.
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 
-use sim_core::{trace_io, Machine, MachineConfig};
-use workloads::{by_name, InputSet};
+use sim_core::{trace_io, ExternalTrace, Machine, MachineConfig, XtraceWriter};
+use workloads::{registry, InputSet};
 
 fn main() -> std::io::Result<()> {
     let name = std::env::args().nth(1).unwrap_or_else(|| "mst".to_string());
     let path = std::env::args()
         .nth(2)
         .unwrap_or_else(|| format!("target/{name}-train.trc"));
-    let workload = by_name(&name).unwrap_or_else(|| {
+    let workload = registry::lookup(&name).unwrap_or_else(|| {
         eprintln!("unknown workload {name}");
         std::process::exit(1);
     });
@@ -31,6 +41,43 @@ fn main() -> std::io::Result<()> {
         trace.initial_memory.resident_pages()
     );
 
+    let a = Machine::new(MachineConfig::default())
+        .run(&trace)
+        .expect("run");
+
+    if path.ends_with(".xtrc") {
+        let mut w = XtraceWriter::new(BufWriter::new(File::create(&path)?), &trace.initial_memory)?;
+        for op in &trace.ops {
+            w.push(op)?;
+        }
+        w.finish()?;
+        let bytes = std::fs::metadata(&path)?.len();
+        println!(
+            "  exported external trace {path} ({:.1} MB)",
+            bytes as f64 / 1e6
+        );
+
+        let mut xt = ExternalTrace::open(&path).unwrap_or_else(|e| {
+            eprintln!("reopen failed: {e}");
+            std::process::exit(1);
+        });
+        println!(
+            "  reopened: {} ops, content hash {:016x}",
+            xt.op_count(),
+            xt.content_hash()
+        );
+        let b = Machine::new(MachineConfig::default())
+            .run_streamed(&mut xt)
+            .expect("streamed run");
+        assert_eq!(a, b, "streamed replay must match the resident run");
+        println!(
+            "  replay check: {} cycles streamed in a {}-op window — identical ✓",
+            b.cycles,
+            xt.max_resident_ops()
+        );
+        return Ok(());
+    }
+
     trace_io::write(&trace, &mut BufWriter::new(File::create(&path)?))?;
     let bytes = std::fs::metadata(&path)?.len();
     println!("  saved to {path} ({:.1} MB)", bytes as f64 / 1e6);
@@ -38,9 +85,6 @@ fn main() -> std::io::Result<()> {
     let reloaded = trace_io::read(&mut BufReader::new(File::open(&path)?))?;
     println!("  reloaded: {} ops", reloaded.ops.len());
 
-    let a = Machine::new(MachineConfig::default())
-        .run(&trace)
-        .expect("run");
     let b = Machine::new(MachineConfig::default())
         .run(&reloaded)
         .expect("run");

@@ -1,0 +1,21 @@
+# Two allocation-graph policies in one file: a sequentially laid-out
+# chain (stride-friendly, stream prefetcher territory) and a padded,
+# fragmented chain whose chase defeats stride detection — the contrast
+# the paper's content-directed prefetcher targets. A `.wl` file may
+# declare any number of workloads; both names join the sweep grid.
+workload seq_walk {
+    seed 7;
+    node Cell { size 16; ptr next @ 8; field val @ 0; }
+    chain lane: Cell { count 8192; layout sequential; }
+    traverse lane { order forward; repeat 2; visit { load val; compute 4; } }
+}
+
+workload frag_walk {
+    seed 7;
+    node Cell { size 16; ptr next @ 8; field val @ 0; }
+    # 48 bytes of dead space between cells: consecutive nodes land on
+    # different cache lines, so the chase is pointer-dependent loads
+    # all the way down.
+    chain lane: Cell { count 8192; layout padded 48; }
+    traverse lane { order forward; repeat 2; visit { load val; compute 4; } }
+}

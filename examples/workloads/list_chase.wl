@@ -1,0 +1,15 @@
+# Minimal bring-your-own-workload spec: a singly linked list chased
+# front to back, touching one data word per node.
+#
+#   cargo run --release -p bench --bin run_all -- --sweep \
+#       --workload-file examples/workloads/list_chase.wl
+#
+# `seed` fixes the layout RNG, so two runs of this file are
+# byte-identical. `repeat` is the ref-input traversal count; the train
+# input halves it and the test input always runs one pass.
+workload list_chase {
+    seed 42;
+    node Node { size 32; ptr next @ 24; field payload @ 0; }
+    chain items: Node { count 4096; layout shuffled; }
+    traverse items { order forward; repeat 4; visit { load payload; compute 12; } }
+}

@@ -27,7 +27,7 @@ fn run_system(
         .run(trace)
         .map(|run| run.stats)
 }
-use workloads::{by_name, InputSet};
+use workloads::{registry, InputSet};
 
 /// The profiling input: paper methodology (`Train`) in release builds,
 /// the smoke-test input in debug builds.
@@ -49,7 +49,7 @@ fn ref_input() -> InputSet {
 }
 
 fn artifacts_for(name: &str) -> (CompilerArtifacts, sim_core::Trace) {
-    let wl = by_name(name).unwrap();
+    let wl = registry::lookup(name).unwrap();
     let train = wl.generate(profile_input());
     let profile = profile_workload(&train);
     (CompilerArtifacts::from_profile(&profile), train)
@@ -59,7 +59,7 @@ fn artifacts_for(name: &str) -> (CompilerArtifacts, sim_core::Trace) {
 /// paper's methodology; needed where the qualitative shape only emerges
 /// at ref working-set sizes).
 fn artifacts_for_ref(name: &str) -> (CompilerArtifacts, sim_core::Trace) {
-    let wl = by_name(name).unwrap();
+    let wl = registry::lookup(name).unwrap();
     let profile = profile_workload(&wl.generate(profile_input()));
     (
         CompilerArtifacts::from_profile(&profile),
@@ -181,7 +181,7 @@ fn profiling_attributes_figure5_pointer_groups() {
     // profiles on a train-sized run precisely because PG usefulness only
     // resolves cleanly there — the ref-regime smoke input classifies
     // mst's next chains as useless (the Figure 5 degradation itself).
-    let wl = by_name("mst").unwrap();
+    let wl = registry::lookup("mst").unwrap();
     let train = wl.generate(InputSet::Train);
     let profile = profile_workload(&train);
     let (beneficial, harmful) = profile.counts();

@@ -6,7 +6,7 @@
 use ecdp::profile::profile_workload;
 use ecdp::system::{core_setup, CompilerArtifacts, SystemBuilder, SystemKind};
 use sim_core::{MachineConfig, MultiMachine, Trace};
-use workloads::{by_name, InputSet};
+use workloads::{registry, InputSet};
 
 /// Thin shim over [`SystemBuilder`] keeping the older call shape used
 /// throughout these tests.
@@ -22,7 +22,7 @@ fn run_system(
 }
 
 fn train_trace(name: &str) -> Trace {
-    by_name(name).unwrap().generate(InputSet::Train)
+    registry::lookup(name).unwrap().generate(InputSet::Train)
 }
 
 fn artifacts(trace: &Trace) -> CompilerArtifacts {

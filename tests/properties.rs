@@ -323,7 +323,7 @@ proptest! {
             SystemKind::StreamCdp,
             SystemKind::StreamEcdpThrottled,
         ][system_idx];
-        let trace = workloads::by_name(workload)
+        let trace = workloads::registry::lookup(workload)
             .expect("workload")
             .generate(workloads::InputSet::Test);
         let artifacts = CompilerArtifacts::empty();
@@ -377,7 +377,7 @@ proptest! {
             SystemKind::StreamCdp,
             SystemKind::StreamEcdpThrottled,
         ][system_idx];
-        let trace = workloads::by_name(workload)
+        let trace = workloads::registry::lookup(workload)
             .expect("workload")
             .generate(workloads::InputSet::Test);
         let artifacts = CompilerArtifacts::empty();
